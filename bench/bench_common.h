@@ -1,0 +1,91 @@
+// Shared helpers for the experiment harness (see EXPERIMENTS.md).
+
+#ifndef NWD_BENCH_BENCH_COMMON_H_
+#define NWD_BENCH_BENCH_COMMON_H_
+
+#include <cmath>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "gen/generators.h"
+#include "graph/colored_graph.h"
+#include "util/rng.h"
+
+namespace nwd {
+namespace bench {
+
+// Graph classes swept by the experiments. Keep ids stable: they appear in
+// benchmark names and in EXPERIMENTS.md.
+enum GraphKind : int {
+  kTree = 0,
+  kBoundedDegree = 1,
+  kGrid = 2,
+  kCaterpillar = 3,
+  kSubdividedClique = 4,
+  kErdosRenyi = 5,  // dense contrast
+  kClique = 6,      // anti-sparse extreme
+};
+
+inline const char* GraphKindName(int kind) {
+  switch (kind) {
+    case kTree: return "tree";
+    case kBoundedDegree: return "bdeg";
+    case kGrid: return "grid";
+    case kCaterpillar: return "caterpillar";
+    case kSubdividedClique: return "subdiv";
+    case kErdosRenyi: return "erdos";
+    case kClique: return "clique";
+    default: return "?";
+  }
+}
+
+inline ColoredGraph MakeGraph(int kind, int64_t n, uint64_t seed = 12345) {
+  Rng rng(seed + static_cast<uint64_t>(kind) * 1000003 +
+          static_cast<uint64_t>(n));
+  const gen::ColorOptions colors{2, 0.2};
+  switch (kind) {
+    case kTree:
+      return gen::RandomTree(n, 0, colors, &rng);
+    case kBoundedDegree:
+      return gen::BoundedDegreeGraph(n, 6, 3.0, colors, &rng);
+    case kGrid: {
+      const int64_t side = std::max<int64_t>(
+          2, static_cast<int64_t>(std::sqrt(static_cast<double>(n))));
+      return gen::Grid(side, side, colors, &rng);
+    }
+    case kCaterpillar:
+      return gen::Caterpillar(std::max<int64_t>(1, n / 4), 3, colors, &rng);
+    case kSubdividedClique:
+      return gen::SubdividedClique(8, std::max<int64_t>(1, n / 28), colors,
+                                   &rng);
+    case kErdosRenyi:
+      return gen::ErdosRenyi(n, 16.0, colors, &rng);
+    default:
+      return gen::Clique(n, colors, &rng);
+  }
+}
+
+// Memoizes expensive per-(kind, n) artifacts across benchmark iterations.
+template <typename T>
+class ArgCache {
+ public:
+  template <typename Factory>
+  T& Get(int64_t a, int64_t b, const Factory& factory) {
+    const auto key = std::make_pair(a, b);
+    auto it = cache_.find(key);
+    if (it == cache_.end()) {
+      it = cache_.emplace(key, factory()).first;
+    }
+    return it->second;
+  }
+
+ private:
+  std::map<std::pair<int64_t, int64_t>, T> cache_;
+};
+
+}  // namespace bench
+}  // namespace nwd
+
+#endif  // NWD_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,78 @@
+// Experiment E11 — counting (the paper's companion result [18]): the
+// ball-counting fast path computes |q(G)| pseudo-linearly, vs counting by
+// constant-delay enumeration (linear in |q(G)|, which is often
+// quadratic-sized for far queries).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "enumerate/counting.h"
+#include "enumerate/engine.h"
+#include "enumerate/enumerator.h"
+#include "fo/builders.h"
+
+namespace nwd {
+namespace {
+
+void BM_CountFastPath(benchmark::State& state) {
+  const int kind = static_cast<int>(state.range(0));
+  const int64_t n = state.range(1);
+  const ColoredGraph g = bench::MakeGraph(kind, n);
+  const fo::Query q = fo::FarColorQuery(2, 0);
+  int64_t count = 0;
+  for (auto _ : state) {
+    const CountResult result = CountSolutions(g, q);
+    count = result.count;
+    benchmark::DoNotOptimize(result.count);
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["count"] = static_cast<double>(count);
+  state.SetLabel(bench::GraphKindName(kind));
+}
+
+void BM_CountByEnumeration(benchmark::State& state) {
+  const int kind = static_cast<int>(state.range(0));
+  const int64_t n = state.range(1);
+  const ColoredGraph g = bench::MakeGraph(kind, n);
+  const fo::Query q = fo::FarColorQuery(2, 0);
+  int64_t count = 0;
+  for (auto _ : state) {
+    const EnumerationEngine engine(g, q);
+    ConstantDelayEnumerator enumerator(engine);
+    count = 0;
+    while (enumerator.NextSolution().has_value()) ++count;
+    benchmark::DoNotOptimize(count);
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["count"] = static_cast<double>(count);
+  state.SetLabel(bench::GraphKindName(kind));
+}
+
+void CountArgs(benchmark::internal::Benchmark* b) {
+  for (int kind : {bench::kTree, bench::kBoundedDegree}) {
+    for (int64_t n : {1 << 10, 1 << 12, 1 << 14}) b->Args({kind, n});
+  }
+  // The fast path keeps scaling where enumeration (|q(G)| ~ n^2) cannot.
+  b->Args({bench::kTree, 1 << 17});
+}
+
+BENCHMARK(BM_CountFastPath)
+    ->Apply(CountArgs)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void CountEnumArgs(benchmark::internal::Benchmark* b) {
+  for (int kind : {bench::kTree, bench::kBoundedDegree}) {
+    for (int64_t n : {1 << 10, 1 << 12}) b->Args({kind, n});
+  }
+}
+
+BENCHMARK(BM_CountByEnumeration)
+    ->Apply(CountEnumArgs)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace nwd
+
+BENCHMARK_MAIN();

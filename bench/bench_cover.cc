@@ -1,0 +1,63 @@
+// Experiment E6 — Theorem 4.4: neighborhood covers have low degree on
+// nowhere dense classes (and degenerate on dense graphs). Sweeps n and
+// class, reporting cover degree, bag count and total bag size — the
+// pseudo-linearity certificate Sum|X| <= n^{1+eps}.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "cover/neighborhood_cover.h"
+
+namespace nwd {
+namespace {
+
+void BM_CoverBuild(benchmark::State& state) {
+  const int kind = static_cast<int>(state.range(0));
+  const int64_t n = state.range(1);
+  const int radius = static_cast<int>(state.range(2));
+  const ColoredGraph g = bench::MakeGraph(kind, n);
+  int64_t degree = 0;
+  int64_t bags = 0;
+  int64_t total = 0;
+  for (auto _ : state) {
+    const NeighborhoodCover cover = NeighborhoodCover::Build(g, radius);
+    degree = cover.Degree();
+    bags = cover.NumBags();
+    total = cover.TotalBagSize();
+    benchmark::DoNotOptimize(&cover);
+  }
+  state.counters["n"] = static_cast<double>(g.NumVertices());
+  state.counters["degree"] = static_cast<double>(degree);
+  state.counters["bags"] = static_cast<double>(bags);
+  state.counters["total_bag_size"] = static_cast<double>(total);
+  // The exponent certificate: log(total)/log(n) - 1 ~ eps.
+  state.counters["eps_estimate"] =
+      g.NumVertices() > 1
+          ? std::log(static_cast<double>(total)) /
+                    std::log(static_cast<double>(g.NumVertices())) -
+                1.0
+          : 0.0;
+  state.SetLabel(bench::GraphKindName(kind));
+}
+
+void CoverArgs(benchmark::internal::Benchmark* b) {
+  for (int kind :
+       {bench::kTree, bench::kBoundedDegree, bench::kGrid,
+        bench::kCaterpillar, bench::kSubdividedClique, bench::kErdosRenyi}) {
+    for (int64_t n : {1 << 12, 1 << 14, 1 << 16}) b->Args({kind, n, 2});
+  }
+  // The anti-sparse extreme stays small (quadratic bags).
+  b->Args({bench::kClique, 1 << 10, 2});
+  // Radius sweep on trees.
+  for (int radius : {1, 2, 4, 8}) b->Args({bench::kTree, 1 << 14, radius});
+}
+
+BENCHMARK(BM_CoverBuild)
+    ->Apply(CoverArgs)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace nwd
+
+BENCHMARK_MAIN();

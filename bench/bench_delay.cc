@@ -1,0 +1,82 @@
+// Experiment E2 — Corollary 2.5: constant delay. After preprocessing,
+// enumerate the full result set and report mean and maximum inter-output
+// delay; across the n-sweep these must stay flat (independent of n) on
+// the nowhere dense classes.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "bench/bench_common.h"
+#include "enumerate/engine.h"
+#include "enumerate/enumerator.h"
+#include "fo/builders.h"
+#include "util/timer.h"
+
+namespace nwd {
+namespace {
+
+// The graph lives behind a stable heap pointer: the engine keeps a
+// reference to it, and the Prepared object is moved into the cache.
+struct Prepared {
+  std::unique_ptr<ColoredGraph> graph;
+  std::unique_ptr<EnumerationEngine> engine;
+};
+
+Prepared MakePrepared(int kind, int64_t n) {
+  Prepared p;
+  p.graph = std::make_unique<ColoredGraph>(bench::MakeGraph(kind, n));
+  p.engine = std::make_unique<EnumerationEngine>(*p.graph,
+                                                 fo::FarColorQuery(2, 0));
+  return p;
+}
+
+void BM_EnumerationDelay(benchmark::State& state) {
+  static bench::ArgCache<Prepared> cache;
+  const int kind = static_cast<int>(state.range(0));
+  const int64_t n = state.range(1);
+  Prepared& prepared =
+      cache.Get(kind, n, [&] { return MakePrepared(kind, n); });
+
+  int64_t max_delay = 0;
+  double total_delay = 0;
+  int64_t produced = 0;
+  for (auto _ : state) {
+    ConstantDelayEnumerator enumerator(*prepared.engine);
+    Timer delay;
+    for (;;) {
+      delay.Restart();
+      const auto t = enumerator.NextSolution();
+      const int64_t d = delay.ElapsedNanos();
+      if (!t.has_value()) break;
+      max_delay = std::max(max_delay, d);
+      total_delay += static_cast<double>(d);
+      ++produced;
+      benchmark::DoNotOptimize(t);
+    }
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["solutions"] =
+      static_cast<double>(produced) / static_cast<double>(state.iterations());
+  state.counters["max_delay_ns"] = static_cast<double>(max_delay);
+  state.counters["mean_delay_ns"] =
+      produced > 0 ? total_delay / static_cast<double>(produced) : 0.0;
+  state.SetLabel(bench::GraphKindName(kind));
+}
+
+void DelayArgs(benchmark::internal::Benchmark* b) {
+  for (int kind : {bench::kTree, bench::kBoundedDegree, bench::kGrid}) {
+    for (int64_t n : {1 << 10, 1 << 11, 1 << 12}) b->Args({kind, n});
+  }
+}
+
+BENCHMARK(BM_EnumerationDelay)
+    ->Apply(DelayArgs)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace nwd
+
+BENCHMARK_MAIN();

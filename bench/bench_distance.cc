@@ -1,0 +1,116 @@
+// Experiment E9 — Proposition 4.2: the distance oracle answers
+// dist <= r in constant time after pseudo-linear preprocessing, vs the
+// on-demand BFS baseline whose per-query cost grows with the ball size.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bench/bench_common.h"
+#include "graph/bfs.h"
+#include "local/distance_oracle.h"
+#include "splitter/strategy.h"
+#include "util/rng.h"
+
+namespace nwd {
+namespace {
+
+struct Prepared {
+  std::unique_ptr<ColoredGraph> graph;  // stable address for the strategy
+  std::unique_ptr<SplitterStrategy> strategy;
+  std::unique_ptr<DistanceOracle> oracle;
+};
+
+Prepared MakePrepared(int kind, int64_t n, int radius) {
+  Prepared p;
+  p.graph = std::make_unique<ColoredGraph>(bench::MakeGraph(kind, n));
+  p.strategy = MakeAutoStrategy(*p.graph);
+  p.oracle = std::make_unique<DistanceOracle>(*p.graph, radius, *p.strategy);
+  return p;
+}
+
+void BM_OraclePreprocess(benchmark::State& state) {
+  const int kind = static_cast<int>(state.range(0));
+  const int64_t n = state.range(1);
+  const int radius = static_cast<int>(state.range(2));
+  const ColoredGraph g = bench::MakeGraph(kind, n);
+  const auto strategy = MakeAutoStrategy(g);
+  int depth = 0;
+  int64_t bags = 0;
+  for (auto _ : state) {
+    const DistanceOracle oracle(g, radius, *strategy);
+    depth = oracle.stats().max_depth;
+    bags = oracle.stats().total_bags;
+    benchmark::DoNotOptimize(&oracle);
+  }
+  state.counters["n"] = static_cast<double>(g.NumVertices());
+  state.counters["depth"] = static_cast<double>(depth);
+  state.counters["bags"] = static_cast<double>(bags);
+  state.SetLabel(bench::GraphKindName(kind));
+}
+
+void OraclePrepArgs(benchmark::internal::Benchmark* b) {
+  for (int kind : {bench::kTree, bench::kBoundedDegree, bench::kGrid}) {
+    for (int64_t n : {1 << 12, 1 << 14, 1 << 16}) b->Args({kind, n, 4});
+  }
+  for (int radius : {2, 4, 8}) b->Args({bench::kTree, 1 << 14, radius});
+}
+
+BENCHMARK(BM_OraclePreprocess)
+    ->Apply(OraclePrepArgs)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void BM_OracleQuery(benchmark::State& state) {
+  static bench::ArgCache<Prepared> cache;
+  const int kind = static_cast<int>(state.range(0));
+  const int64_t n = state.range(1);
+  Prepared& p =
+      cache.Get(kind, n, [&] { return MakePrepared(kind, n, 4); });
+  Rng rng(1);
+  const int64_t domain = p.graph->NumVertices();
+  for (auto _ : state) {
+    const Vertex a = static_cast<Vertex>(
+        rng.NextBounded(static_cast<uint64_t>(domain)));
+    const Vertex b = static_cast<Vertex>(
+        rng.NextBounded(static_cast<uint64_t>(domain)));
+    benchmark::DoNotOptimize(p.oracle->WithinDistance(a, b, 4));
+  }
+  state.counters["n"] = static_cast<double>(domain);
+  state.SetLabel(bench::GraphKindName(kind));
+}
+
+void OracleQueryArgs(benchmark::internal::Benchmark* b) {
+  for (int kind : {bench::kTree, bench::kBoundedDegree, bench::kGrid}) {
+    for (int64_t n : {1 << 12, 1 << 14, 1 << 16}) b->Args({kind, n});
+  }
+}
+
+BENCHMARK(BM_OracleQuery)->Apply(OracleQueryArgs);
+
+void BM_BfsBaseline(benchmark::State& state) {
+  static bench::ArgCache<ColoredGraph> cache;
+  const int kind = static_cast<int>(state.range(0));
+  const int64_t n = state.range(1);
+  ColoredGraph& g =
+      cache.Get(kind, n, [&] { return bench::MakeGraph(kind, n); });
+  BfsScratch scratch(g.NumVertices());
+  Rng rng(1);
+  for (auto _ : state) {
+    const Vertex a = static_cast<Vertex>(
+        rng.NextBounded(static_cast<uint64_t>(g.NumVertices())));
+    const Vertex b = static_cast<Vertex>(
+        rng.NextBounded(static_cast<uint64_t>(g.NumVertices())));
+    scratch.Neighborhood(g, a, 4);
+    benchmark::DoNotOptimize(scratch.DistanceTo(b));
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.SetLabel(bench::GraphKindName(kind));
+}
+
+BENCHMARK(BM_BfsBaseline)->Apply(OracleQueryArgs);
+
+}  // namespace
+}  // namespace nwd
+
+BENCHMARK_MAIN();

@@ -1,0 +1,60 @@
+// Experiment E4 — Theorem 2.3: constant-time next-solution. Random seed
+// tuples a-bar; measure Next(a-bar) latency across the n-sweep.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bench/bench_common.h"
+#include "enumerate/engine.h"
+#include "fo/builders.h"
+#include "util/rng.h"
+
+namespace nwd {
+namespace {
+
+struct Prepared {
+  std::unique_ptr<ColoredGraph> graph;  // stable address for the engine
+  std::unique_ptr<EnumerationEngine> engine;
+};
+
+void BM_NextSolution(benchmark::State& state) {
+  static bench::ArgCache<Prepared> cache;
+  const int kind = static_cast<int>(state.range(0));
+  const int64_t n = state.range(1);
+  const int query_id = static_cast<int>(state.range(2));
+  Prepared& prepared = cache.Get(kind, n * 4 + query_id, [&] {
+    Prepared p;
+    p.graph = std::make_unique<ColoredGraph>(bench::MakeGraph(kind, n));
+    p.engine = std::make_unique<EnumerationEngine>(
+        *p.graph,
+        query_id == 0 ? fo::DistanceQuery(2) : fo::FarColorQuery(2, 0));
+    return p;
+  });
+  Rng rng(777);
+  const int64_t domain = prepared.graph->NumVertices();
+  for (auto _ : state) {
+    const Tuple from{
+        static_cast<Vertex>(rng.NextBounded(static_cast<uint64_t>(domain))),
+        static_cast<Vertex>(rng.NextBounded(static_cast<uint64_t>(domain)))};
+    benchmark::DoNotOptimize(prepared.engine->Next(from));
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.SetLabel(std::string(bench::GraphKindName(kind)) +
+                 (query_id == 0 ? "/dist" : "/farcolor"));
+}
+
+void NextArgs(benchmark::internal::Benchmark* b) {
+  for (int kind : {bench::kTree, bench::kBoundedDegree, bench::kGrid}) {
+    for (int64_t n : {1 << 11, 1 << 13, 1 << 15}) {
+      for (int query = 0; query < 2; ++query) b->Args({kind, n, query});
+    }
+  }
+}
+
+BENCHMARK(BM_NextSolution)->Apply(NextArgs);
+
+}  // namespace
+}  // namespace nwd
+
+BENCHMARK_MAIN();

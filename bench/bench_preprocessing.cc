@@ -1,0 +1,64 @@
+// Experiment E1 — Theorem 2.3 / 5.1: the preprocessing phase is
+// pseudo-linear. Sweep n per graph class and query; the reported time
+// should grow ~linearly in ||G|| on the nowhere dense classes (fit the
+// exponent offline from the n-sweep; EXPERIMENTS.md records it).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "enumerate/engine.h"
+#include "fo/builders.h"
+
+namespace nwd {
+namespace {
+
+void BM_EnginePreprocess(benchmark::State& state) {
+  const int kind = static_cast<int>(state.range(0));
+  const int64_t n = state.range(1);
+  const int query_id = static_cast<int>(state.range(2));
+  const ColoredGraph g = bench::MakeGraph(kind, n);
+  fo::Query query;
+  switch (query_id) {
+    case 0:
+      query = fo::DistanceQuery(2);
+      break;
+    case 1:
+      query = fo::FarColorQuery(2, 0);
+      break;
+    default:
+      query = fo::ColoredPairQuery(0, 1, 3);
+      break;
+  }
+  int64_t bags = 0;
+  int64_t degree = 0;
+  for (auto _ : state) {
+    const EnumerationEngine engine(g, query);
+    benchmark::DoNotOptimize(&engine);
+    bags = engine.stats().cover_bags;
+    degree = engine.stats().cover_degree;
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["size_norm"] = static_cast<double>(g.SizeNorm());
+  state.counters["cover_bags"] = static_cast<double>(bags);
+  state.counters["cover_degree"] = static_cast<double>(degree);
+  state.SetLabel(bench::GraphKindName(kind));
+}
+
+void PreprocessArgs(benchmark::internal::Benchmark* b) {
+  for (int kind : {bench::kTree, bench::kBoundedDegree, bench::kGrid}) {
+    for (int64_t n : {1 << 12, 1 << 13, 1 << 14, 1 << 15}) {
+      for (int query = 0; query < 3; ++query) b->Args({kind, n, query});
+    }
+  }
+}
+
+BENCHMARK(BM_EnginePreprocess)
+    ->Apply(PreprocessArgs)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace nwd
+
+BENCHMARK_MAIN();

@@ -1,0 +1,101 @@
+// Experiment E8 — Lemma 5.8: skip pointers. Build cost and materialized
+// entry count (the O(n^{1+k*eps}) space claim) plus query latency, across
+// n and the set-size parameter k.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bench/bench_common.h"
+#include "cover/kernel.h"
+#include "cover/neighborhood_cover.h"
+#include "skip/skip_pointers.h"
+#include "util/rng.h"
+
+namespace nwd {
+namespace {
+
+struct Prepared {
+  ColoredGraph graph;
+  NeighborhoodCover cover;
+  std::vector<std::vector<Vertex>> kernels;
+  std::vector<Vertex> list;
+};
+
+Prepared MakePrepared(int kind, int64_t n) {
+  Prepared p;
+  p.graph = bench::MakeGraph(kind, n);
+  p.cover = NeighborhoodCover::Build(p.graph, 2);
+  p.kernels = ComputeAllKernels(p.graph, p.cover, 2);
+  p.list = p.graph.ColorMembers(0);
+  return p;
+}
+
+void BM_SkipBuild(benchmark::State& state) {
+  static bench::ArgCache<Prepared> cache;
+  const int kind = static_cast<int>(state.range(0));
+  const int64_t n = state.range(1);
+  const int k = static_cast<int>(state.range(2));
+  Prepared& p = cache.Get(kind, n, [&] { return MakePrepared(kind, n); });
+  int64_t entries = 0;
+  for (auto _ : state) {
+    const SkipPointers skip(p.graph.NumVertices(), p.kernels, p.list, k);
+    entries = skip.TotalEntries();
+    benchmark::DoNotOptimize(&skip);
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["k"] = static_cast<double>(k);
+  state.counters["entries"] = static_cast<double>(entries);
+  state.counters["entries_per_vertex"] =
+      static_cast<double>(entries) / static_cast<double>(n);
+  state.SetLabel(bench::GraphKindName(kind));
+}
+
+void SkipBuildArgs(benchmark::internal::Benchmark* b) {
+  for (int kind : {bench::kTree, bench::kBoundedDegree}) {
+    for (int64_t n : {1 << 12, 1 << 14}) {
+      for (int k : {1, 2}) b->Args({kind, n, k});
+    }
+    // The entry count scales like n^{1 + k*eps}: keep k = 3 small.
+    b->Args({kind, 1 << 10, 3});
+  }
+}
+
+BENCHMARK(BM_SkipBuild)
+    ->Apply(SkipBuildArgs)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void BM_SkipQuery(benchmark::State& state) {
+  static bench::ArgCache<Prepared> cache;
+  const int64_t n = state.range(0);
+  Prepared& p =
+      cache.Get(bench::kTree, n, [&] { return MakePrepared(bench::kTree, n); });
+  static bench::ArgCache<std::shared_ptr<SkipPointers>> skip_cache;
+  auto& skip = skip_cache.Get(bench::kTree, n, [&] {
+    return std::make_shared<SkipPointers>(p.graph.NumVertices(), p.kernels,
+                                          p.list, 2);
+  });
+  Rng rng(1);
+  for (auto _ : state) {
+    const Vertex b = static_cast<Vertex>(
+        rng.NextBounded(static_cast<uint64_t>(p.graph.NumVertices())));
+    const Vertex a1 = static_cast<Vertex>(
+        rng.NextBounded(static_cast<uint64_t>(p.graph.NumVertices())));
+    const Vertex a2 = static_cast<Vertex>(
+        rng.NextBounded(static_cast<uint64_t>(p.graph.NumVertices())));
+    std::vector<int64_t> bags{p.cover.AssignedBag(a1),
+                              p.cover.AssignedBag(a2)};
+    std::sort(bags.begin(), bags.end());
+    bags.erase(std::unique(bags.begin(), bags.end()), bags.end());
+    benchmark::DoNotOptimize(skip->Skip(b, bags));
+  }
+  state.counters["n"] = static_cast<double>(n);
+}
+
+BENCHMARK(BM_SkipQuery)->Arg(1 << 12)->Arg(1 << 14)->Arg(1 << 16);
+
+}  // namespace
+}  // namespace nwd
+
+BENCHMARK_MAIN();

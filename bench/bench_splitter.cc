@@ -1,0 +1,63 @@
+// Experiment E7 — Theorem 4.6: the splitter game ends within lambda(r)
+// rounds on nowhere dense classes, with lambda independent of n. Measures
+// rounds across classes, radii and sizes; cliques show the blow-up.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "splitter/game.h"
+#include "splitter/strategy.h"
+#include "util/rng.h"
+
+namespace nwd {
+namespace {
+
+void BM_SplitterGame(benchmark::State& state) {
+  const int kind = static_cast<int>(state.range(0));
+  const int64_t n = state.range(1);
+  const int radius = static_cast<int>(state.range(2));
+  const ColoredGraph g = bench::MakeGraph(kind, n);
+  const auto strategy = MakeAutoStrategy(g);
+  int64_t rounds = 0;
+  int64_t won = 0;
+  int64_t games = 0;
+  for (auto _ : state) {
+    Rng rng(games + 1);
+    const SplitterGameResult result = PlaySplitterGame(
+        g, radius, *strategy, /*max_rounds=*/200, /*connector_samples=*/5,
+        &rng);
+    rounds = std::max<int64_t>(rounds, result.rounds);
+    won += result.splitter_won ? 1 : 0;
+    ++games;
+    benchmark::DoNotOptimize(result.rounds);
+  }
+  state.counters["n"] = static_cast<double>(g.NumVertices());
+  state.counters["radius"] = static_cast<double>(radius);
+  state.counters["max_rounds"] = static_cast<double>(rounds);
+  state.counters["win_rate"] =
+      static_cast<double>(won) / static_cast<double>(games);
+  state.SetLabel(bench::GraphKindName(kind));
+}
+
+void SplitterArgs(benchmark::internal::Benchmark* b) {
+  for (int kind : {bench::kTree, bench::kBoundedDegree, bench::kGrid,
+                   bench::kCaterpillar, bench::kSubdividedClique}) {
+    for (int radius : {1, 2, 4}) b->Args({kind, 1 << 12, radius});
+  }
+  // lambda must not grow with n on sparse classes.
+  for (int64_t n : {1 << 10, 1 << 12, 1 << 14}) {
+    b->Args({bench::kTree, n, 2});
+  }
+  // The dense contrast: rounds scale with n.
+  for (int64_t n : {64, 128, 256}) b->Args({bench::kClique, n, 2});
+}
+
+BENCHMARK(BM_SplitterGame)
+    ->Apply(SplitterArgs)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+}  // namespace
+}  // namespace nwd
+
+BENCHMARK_MAIN();

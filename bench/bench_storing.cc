@@ -1,0 +1,140 @@
+// Experiment E5 — Theorem 3.1 (Storing Theorem): initialization, lookup,
+// update costs and space, across n and eps, against std::map and
+// std::unordered_map baselines (neither of which offers the
+// successor-on-miss lookup in O(1)).
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <unordered_map>
+
+#include "storing/trie.h"
+#include "util/rng.h"
+
+namespace nwd {
+namespace {
+
+constexpr int64_t kDomain = 100000;
+
+std::vector<Tuple> RandomKeys(int64_t count, int64_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Tuple> keys;
+  keys.reserve(static_cast<size_t>(count));
+  for (int64_t i = 0; i < count; ++i) {
+    keys.push_back({static_cast<int64_t>(
+        rng.NextBounded(static_cast<uint64_t>(n)))});
+  }
+  return keys;
+}
+
+// eps is passed scaled by 100 (benchmark args are integers).
+void BM_TrieInsert(benchmark::State& state) {
+  const double eps = static_cast<double>(state.range(0)) / 100.0;
+  const int64_t inserts = state.range(1);
+  const auto keys = RandomKeys(inserts, kDomain, 1);
+  for (auto _ : state) {
+    StoringTrie trie(1, kDomain, eps);
+    for (int64_t i = 0; i < inserts; ++i) trie.Insert(keys[i], i);
+    benchmark::DoNotOptimize(trie.size());
+    state.counters["registers"] = static_cast<double>(trie.RegistersUsed());
+  }
+  state.SetItemsProcessed(state.iterations() * inserts);
+}
+BENCHMARK(BM_TrieInsert)
+    ->Args({25, 10000})
+    ->Args({50, 10000})
+    ->Args({75, 10000})
+    ->Args({50, 100000});
+
+void BM_TrieLookup(benchmark::State& state) {
+  const double eps = static_cast<double>(state.range(0)) / 100.0;
+  StoringTrie trie(1, kDomain, eps);
+  const auto keys = RandomKeys(20000, kDomain, 2);
+  for (int64_t i = 0; i < static_cast<int64_t>(keys.size()); ++i) {
+    trie.Insert(keys[i], i);
+  }
+  Rng rng(3);
+  for (auto _ : state) {
+    const Tuple probe{static_cast<int64_t>(
+        rng.NextBounded(static_cast<uint64_t>(kDomain)))};
+    benchmark::DoNotOptimize(trie.Lookup(probe));
+  }
+}
+BENCHMARK(BM_TrieLookup)->Arg(25)->Arg(50)->Arg(75);
+
+void BM_TrieInsertErase(benchmark::State& state) {
+  const double eps = static_cast<double>(state.range(0)) / 100.0;
+  StoringTrie trie(1, kDomain, eps);
+  Rng rng(4);
+  for (auto _ : state) {
+    const Tuple key{static_cast<int64_t>(
+        rng.NextBounded(static_cast<uint64_t>(kDomain)))};
+    trie.Insert(key, 1);
+    trie.Erase(key);
+  }
+}
+BENCHMARK(BM_TrieInsertErase)->Arg(25)->Arg(50);
+
+// ---- Baselines: successor-capable std::map, plain unordered_map ----
+
+void BM_StdMapInsert(benchmark::State& state) {
+  const int64_t inserts = state.range(0);
+  const auto keys = RandomKeys(inserts, kDomain, 1);
+  for (auto _ : state) {
+    std::map<int64_t, int64_t> m;
+    for (int64_t i = 0; i < inserts; ++i) m[keys[i][0]] = i;
+    benchmark::DoNotOptimize(m.size());
+  }
+  state.SetItemsProcessed(state.iterations() * inserts);
+}
+BENCHMARK(BM_StdMapInsert)->Arg(10000)->Arg(100000);
+
+void BM_StdMapSeek(benchmark::State& state) {
+  std::map<int64_t, int64_t> m;
+  const auto keys = RandomKeys(20000, kDomain, 2);
+  for (int64_t i = 0; i < static_cast<int64_t>(keys.size()); ++i) {
+    m[keys[i][0]] = i;
+  }
+  Rng rng(3);
+  for (auto _ : state) {
+    const int64_t probe = static_cast<int64_t>(
+        rng.NextBounded(static_cast<uint64_t>(kDomain)));
+    benchmark::DoNotOptimize(m.lower_bound(probe));
+  }
+}
+BENCHMARK(BM_StdMapSeek);
+
+void BM_UnorderedMapLookup(benchmark::State& state) {
+  std::unordered_map<int64_t, int64_t> m;
+  const auto keys = RandomKeys(20000, kDomain, 2);
+  for (int64_t i = 0; i < static_cast<int64_t>(keys.size()); ++i) {
+    m[keys[i][0]] = i;
+  }
+  Rng rng(3);
+  for (auto _ : state) {
+    const int64_t probe = static_cast<int64_t>(
+        rng.NextBounded(static_cast<uint64_t>(kDomain)));
+    benchmark::DoNotOptimize(m.find(probe));
+  }
+}
+BENCHMARK(BM_UnorderedMapLookup);
+
+// Binary keys: the k-ary case the engine actually uses.
+void BM_TrieBinaryKeys(benchmark::State& state) {
+  StoringTrie trie(2, 1000, 0.5);
+  Rng rng(5);
+  for (int i = 0; i < 5000; ++i) {
+    trie.Insert({rng.NextInt(0, 999), rng.NextInt(0, 999)}, i);
+  }
+  for (auto _ : state) {
+    const Tuple probe{rng.NextInt(0, 999), rng.NextInt(0, 999)};
+    benchmark::DoNotOptimize(trie.Lookup(probe));
+  }
+  state.counters["registers"] = static_cast<double>(trie.RegistersUsed());
+}
+BENCHMARK(BM_TrieBinaryKeys);
+
+}  // namespace
+}  // namespace nwd
+
+BENCHMARK_MAIN();

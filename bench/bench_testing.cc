@@ -1,0 +1,56 @@
+// Experiment E3 — Corollary 2.4: constant-time testing. Random probe
+// tuples after preprocessing; per-probe latency must be flat across the
+// n-sweep.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bench/bench_common.h"
+#include "enumerate/engine.h"
+#include "fo/builders.h"
+#include "util/rng.h"
+
+namespace nwd {
+namespace {
+
+struct Prepared {
+  std::unique_ptr<ColoredGraph> graph;  // stable address for the engine
+  std::unique_ptr<EnumerationEngine> engine;
+};
+
+void BM_Testing(benchmark::State& state) {
+  static bench::ArgCache<Prepared> cache;
+  const int kind = static_cast<int>(state.range(0));
+  const int64_t n = state.range(1);
+  Prepared& prepared = cache.Get(kind, n, [&] {
+    Prepared p;
+    p.graph = std::make_unique<ColoredGraph>(bench::MakeGraph(kind, n));
+    p.engine = std::make_unique<EnumerationEngine>(*p.graph,
+                                                   fo::FarColorQuery(2, 0));
+    return p;
+  });
+  Rng rng(4242);
+  const int64_t domain = prepared.graph->NumVertices();
+  for (auto _ : state) {
+    const Tuple t{
+        static_cast<Vertex>(rng.NextBounded(static_cast<uint64_t>(domain))),
+        static_cast<Vertex>(rng.NextBounded(static_cast<uint64_t>(domain)))};
+    benchmark::DoNotOptimize(prepared.engine->Test(t));
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.SetLabel(bench::GraphKindName(kind));
+}
+
+void TestingArgs(benchmark::internal::Benchmark* b) {
+  for (int kind : {bench::kTree, bench::kBoundedDegree, bench::kGrid}) {
+    for (int64_t n : {1 << 11, 1 << 13, 1 << 15}) b->Args({kind, n});
+  }
+}
+
+BENCHMARK(BM_Testing)->Apply(TestingArgs);
+
+}  // namespace
+}  // namespace nwd
+
+BENCHMARK_MAIN();

@@ -1,0 +1,58 @@
+// Reproduces Figure 1 of the paper: the Storing-Theorem trie for the
+// identity function on {2, 4, 5, 19, 24, 25} with n = 27 and eps = 1/3,
+// printed register by register, then the appendix's removal of 19.
+
+#include <cstdio>
+
+#include "storing/trie.h"
+
+namespace {
+
+void PrintRegisters(const nwd::StoringTrie& trie, const char* title) {
+  std::printf("%s (registers 0..%lld):\n", title,
+              static_cast<long long>(trie.RegistersUsed() - 1));
+  for (int64_t i = 0; i < trie.RegistersUsed(); ++i) {
+    const auto reg = trie.DebugRegister(i);
+    if (i == 0) {
+      std::printf("  R_%-2lld = frontier -> %lld\n",
+                  static_cast<long long>(i),
+                  static_cast<long long>(reg.payload));
+      continue;
+    }
+    const char* kind = reg.delta == 1    ? "child/value"
+                       : reg.delta == 0 ? "empty->succ"
+                                        : "parent-ptr ";
+    if (reg.payload == nwd::StoringTrie::kNullPayload) {
+      std::printf("  R_%-2lld = (%2d, Null)  %s\n",
+                  static_cast<long long>(i), reg.delta, kind);
+    } else {
+      std::printf("  R_%-2lld = (%2d, %4lld)  %s\n",
+                  static_cast<long long>(i), reg.delta,
+                  static_cast<long long>(reg.payload), kind);
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  nwd::StoringTrie trie(/*arity=*/1, /*n=*/27, /*epsilon=*/1.0 / 3.0);
+  std::printf("n = 27, eps = 1/3  =>  d = %d, h = %d\n", trie.degree(),
+              trie.height_per_coordinate());
+  for (int64_t v : {2, 4, 5, 19, 24, 25}) trie.Insert({v}, v);
+  PrintRegisters(trie, "Figure 1: f = id on {2,4,5,19,24,25}");
+
+  std::printf("\nlookup(7): ");
+  const auto miss = trie.Lookup({7});
+  std::printf("absent, successor = %lld\n",
+              static_cast<long long>(miss.successor[0]));
+  std::printf("lookup(19): present, f(19) = %lld\n",
+              *trie.Get({19}));
+
+  std::printf("\nRemoving 19 (Appendix 7.4 walk-through)...\n");
+  trie.Erase({19});
+  PrintRegisters(trie, "After Remove(19)");
+  std::printf("lookup(7) now skips to %lld\n",
+              static_cast<long long>(trie.Lookup({7}).successor[0]));
+  return 0;
+}

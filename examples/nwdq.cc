@@ -1,0 +1,183 @@
+// nwdq — a tiny command-line query runner over colored-graph files.
+//
+// Usage:
+//   nwdq <graph-file> '<query>' [--limit N] [--count] [--test a,b,...]
+//        [--next a,b,...] [--explain] [--color Name=idx]...
+//
+// Examples:
+//   nwdq city.g '(x, y) := dist(x, y) <= 4 & C0(y)' --limit 10
+//   nwdq net.g  '(x, y) := Blue(y) & dist(x,y) > 2' --color Blue=0 --count
+//   nwdq net.g  '(x, y) := E(x, y)' --test 3,7
+//
+// Demonstrates downstream-tool usage of the full public API: graph I/O,
+// the parser, the engine, counting, testing, next-solution and
+// constant-delay enumeration.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "enumerate/counting.h"
+#include "enumerate/engine.h"
+#include "enumerate/lnf.h"
+#include "enumerate/enumerator.h"
+#include "fo/parser.h"
+#include "fo/printer.h"
+#include "graph/io.h"
+#include "util/timer.h"
+
+namespace {
+
+bool ParseTuple(const char* text, int arity, nwd::Tuple* out) {
+  out->clear();
+  const char* p = text;
+  while (*p != '\0') {
+    char* end = nullptr;
+    out->push_back(std::strtoll(p, &end, 10));
+    if (end == p) return false;
+    p = (*end == ',') ? end + 1 : end;
+    if (*end != ',' && *end != '\0') return false;
+  }
+  return static_cast<int>(out->size()) == arity;
+}
+
+void PrintTuple(const nwd::Tuple& t) {
+  std::printf("(");
+  for (size_t i = 0; i < t.size(); ++i) {
+    std::printf("%s%lld", i ? ", " : "", static_cast<long long>(t[i]));
+  }
+  std::printf(")");
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: nwdq <graph-file> '<query>' [--limit N] [--count]\n"
+               "            [--test a,b,..] [--next a,b,..] "
+               "[--color Name=idx]...\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string graph_path = argv[1];
+  const std::string query_text = argv[2];
+
+  int64_t limit = 20;
+  bool count = false;
+  bool explain = false;
+  const char* test_tuple = nullptr;
+  const char* next_tuple = nullptr;
+  std::map<std::string, int> color_names;
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--limit" && i + 1 < argc) {
+      limit = std::atoll(argv[++i]);
+    } else if (arg == "--count") {
+      count = true;
+    } else if (arg == "--explain") {
+      explain = true;
+    } else if (arg == "--test" && i + 1 < argc) {
+      test_tuple = argv[++i];
+    } else if (arg == "--next" && i + 1 < argc) {
+      next_tuple = argv[++i];
+    } else if (arg == "--color" && i + 1 < argc) {
+      const std::string binding = argv[++i];
+      const size_t eq = binding.find('=');
+      if (eq == std::string::npos) return Usage();
+      color_names[binding.substr(0, eq)] =
+          std::atoi(binding.c_str() + eq + 1);
+    } else {
+      return Usage();
+    }
+  }
+
+  const nwd::GraphParseResult graph = nwd::ReadGraphFromFile(graph_path);
+  if (!graph.ok) {
+    std::fprintf(stderr, "error: %s\n", graph.error.c_str());
+    return 1;
+  }
+  std::printf("loaded %s\n", graph.graph.DebugString().c_str());
+
+  nwd::fo::ParseResult parsed =
+      nwd::fo::ParseQuery(query_text, color_names);
+  if (!parsed.ok) {
+    // Also accept a bare formula without the "(x,y) :=" header.
+    parsed = nwd::fo::ParseFormula(query_text, color_names);
+  }
+  if (!parsed.ok) {
+    std::fprintf(stderr, "query error: %s\n", parsed.error.c_str());
+    return 1;
+  }
+  std::printf("query: %s\n", nwd::fo::ToString(parsed.query).c_str());
+
+  if (explain) {
+    const nwd::Lnf lnf = nwd::CompileToLnf(parsed.query);
+    std::printf("%s", nwd::DescribeLnf(lnf).c_str());
+    return 0;
+  }
+
+  nwd::Timer prep;
+  const nwd::EnumerationEngine engine(graph.graph, parsed.query);
+  std::printf("preprocessing: %.3fs (%s)\n", prep.ElapsedSeconds(),
+              engine.used_fallback()
+                  ? engine.stats().fallback_reason.c_str()
+                  : "LNF engine");
+
+  if (test_tuple != nullptr) {
+    nwd::Tuple t;
+    if (!ParseTuple(test_tuple, engine.arity(), &t)) {
+      std::fprintf(stderr, "bad --test tuple\n");
+      return 1;
+    }
+    std::printf("test ");
+    PrintTuple(t);
+    std::printf(" = %s\n", engine.Test(t) ? "solution" : "not a solution");
+    return 0;
+  }
+  if (next_tuple != nullptr) {
+    nwd::Tuple t;
+    if (!ParseTuple(next_tuple, engine.arity(), &t)) {
+      std::fprintf(stderr, "bad --next tuple\n");
+      return 1;
+    }
+    const auto next = engine.Next(t);
+    std::printf("next ");
+    PrintTuple(t);
+    if (next.has_value()) {
+      std::printf(" = ");
+      PrintTuple(*next);
+      std::printf("\n");
+    } else {
+      std::printf(" = none\n");
+    }
+    return 0;
+  }
+  if (count) {
+    nwd::Timer timer;
+    const nwd::CountResult result =
+        nwd::CountSolutions(graph.graph, parsed.query);
+    std::printf("count = %lld (%.3fs, %s)\n",
+                static_cast<long long>(result.count),
+                timer.ElapsedSeconds(),
+                result.fast_path ? "ball counting" : "enumeration");
+    return 0;
+  }
+
+  nwd::ConstantDelayEnumerator enumerator(engine);
+  int64_t produced = 0;
+  for (auto t = enumerator.NextSolution();
+       t.has_value() && produced < limit; t = enumerator.NextSolution()) {
+    PrintTuple(*t);
+    std::printf("\n");
+    ++produced;
+  }
+  if (produced == limit && limit > 0) {
+    std::printf("... (limit %lld reached)\n", static_cast<long long>(limit));
+  }
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Scenario: an actual relational database (authors, papers, citations)
+// reduced to a colored graph via the adjacency-graph transform A'(D) of
+// Section 2, with queries rewritten per Lemma 2.2.
+
+#include <cstdio>
+
+#include "baseline/naive_enum.h"
+#include "fo/ast.h"
+#include "fo/naive_eval.h"
+#include "relational/adjacency_graph.h"
+#include "relational/database.h"
+#include "relational/rewrite.h"
+#include "util/rng.h"
+
+int main() {
+  using namespace nwd;
+  using namespace nwd::relational;
+  Rng rng(5);
+
+  // Schema: Wrote(author, paper), Cites(paper, paper).
+  Schema schema;
+  schema.AddRelation("Wrote", 2);
+  schema.AddRelation("Cites", 2);
+
+  // A small synthetic bibliography: 8 authors, 12 papers. (The rewritten
+  // query is quantified, i.e. outside the engine's LNF fragment, so it is
+  // evaluated by the baseline — keep the instance modest.)
+  const int64_t kAuthors = 8;
+  const int64_t kPapers = 12;
+  Database db(schema, kAuthors + kPapers);
+  for (int64_t p = 0; p < kPapers; ++p) {
+    const int64_t num_authors = 1 + static_cast<int64_t>(rng.NextBounded(3));
+    for (int64_t i = 0; i < num_authors; ++i) {
+      db.AddFact("Wrote", {static_cast<int64_t>(rng.NextBounded(kAuthors)),
+                           kAuthors + p});
+    }
+    // Papers cite up to 4 earlier papers.
+    for (int64_t c = 0; c < 4 && p > 0; ++c) {
+      if (rng.NextBool(0.5)) {
+        db.AddFact("Cites",
+                   {kAuthors + p,
+                    kAuthors + static_cast<int64_t>(rng.NextBounded(p))});
+      }
+    }
+  }
+  std::printf("database: |dom| = %lld, ||D|| = %lld\n",
+              static_cast<long long>(db.domain_size()),
+              static_cast<long long>(db.SizeNorm()));
+
+  // The adjacency colored graph A'(D).
+  const AdjacencyGraph a = BuildAdjacencyGraph(db);
+  std::printf("A'(D): %s (1-subdivided incidence structure)\n",
+              a.graph.DebugString().c_str());
+
+  // Lemma 2.2 rewrite of
+  //   q(x, y) := exists p, p' (Wrote(x, p) & Cites(p, p') & Wrote(y, p'))
+  // ("author x cites author y").
+  // Variables: x=0, y=1, p=2, p'=3; atom-internal fresh vars from 4.
+  const fo::FormulaPtr wrote_xp =
+      RelationAtom(a, schema, "Wrote", {0, 2}, 4);
+  const fo::FormulaPtr cites =
+      RelationAtom(a, schema, "Cites", {2, 3}, 7);
+  const fo::FormulaPtr wrote_yp =
+      RelationAtom(a, schema, "Wrote", {1, 3}, 10);
+  // Hoist subformulas so each is evaluated once per quantifier level, and
+  // relativize the quantified paper variables to elements (the guard also
+  // lets the evaluator range over elements only).
+  fo::FormulaPtr inner =
+      fo::Exists(3, fo::And(fo::Color(a.element_color, 3),
+                            fo::And(cites, wrote_yp)));
+  fo::FormulaPtr body = fo::And(fo::Color(a.element_color, 2),
+                                fo::And(wrote_xp, inner));
+  fo::Query query;
+  query.formula = Relativize(a, fo::Exists(2, body), {0, 1});
+  query.free_vars = {0, 1};
+
+  // The rewritten query is quantified, so the engine would fall back; we
+  // run the baseline directly and cross-check a sample against the
+  // relational ground truth.
+  BacktrackingEnumerator enumerator(a.graph, query);
+  int64_t pairs = 0;
+  Tuple first_pair;
+  enumerator.Enumerate([&pairs, &first_pair](const Tuple& t) {
+    if (pairs == 0) first_pair = t;
+    ++pairs;
+    return true;
+  });
+  std::printf("author-cites-author pairs via A'(D): %lld\n",
+              static_cast<long long>(pairs));
+  if (pairs > 0) {
+    std::printf("first pair: author %lld cites author %lld\n",
+                static_cast<long long>(first_pair[0]),
+                static_cast<long long>(first_pair[1]));
+  }
+
+  // Ground truth computed relationally.
+  int64_t expected = 0;
+  for (int64_t x = 0; x < kAuthors; ++x) {
+    for (int64_t y = 0; y < kAuthors; ++y) {
+      bool found = false;
+      for (const Tuple& w1 : db.Facts(0)) {
+        if (w1[0] != x || found) continue;
+        for (const Tuple& c : db.Facts(1)) {
+          if (c[0] != w1[1] || found) continue;
+          if (db.HasFact(0, {y, c[1]})) found = true;
+        }
+      }
+      if (found) ++expected;
+    }
+  }
+  std::printf("relational ground truth: %lld (%s)\n",
+              static_cast<long long>(expected),
+              pairs == expected ? "agree" : "MISMATCH");
+  return pairs == expected ? 0 : 1;
+}

@@ -1,0 +1,30 @@
+#include "baseline/ball_join.h"
+
+namespace nwd {
+
+BallJoinEnumerator::BallJoinEnumerator(const ColoredGraph& g, int radius)
+    : graph_(&g), radius_(radius), scratch_(g.NumVertices()) {}
+
+void BallJoinEnumerator::Enumerate(
+    const AcceptFn& accept,
+    const std::function<bool(const Tuple&)>& callback) {
+  for (Vertex a = 0; a < graph_->NumVertices(); ++a) {
+    const std::vector<Vertex> ball =
+        scratch_.Neighborhood(*graph_, a, radius_);
+    for (Vertex b : ball) {
+      if (!accept(a, b, scratch_.DistanceTo(b))) continue;
+      if (!callback({a, b})) return;
+    }
+  }
+}
+
+std::vector<Tuple> BallJoinEnumerator::AllSolutions(const AcceptFn& accept) {
+  std::vector<Tuple> out;
+  Enumerate(accept, [&out](const Tuple& t) {
+    out.push_back(t);
+    return true;
+  });
+  return out;
+}
+
+}  // namespace nwd

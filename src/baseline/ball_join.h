@@ -1,0 +1,44 @@
+// A hand-tuned competitor for *near* binary queries: enumerate, for each
+// anchor vertex a in id order, the radius-r ball around it and emit the
+// members that pass the query's checks. This is what a practitioner would
+// write for "dist(x,y) <= r"-style queries without the paper — output is
+// lexicographic for free (anchors ascending, balls sorted), preprocessing
+// is zero, but the delay is Theta(ball size) and *far* queries (the
+// engine's forte) are out of reach.
+
+#ifndef NWD_BASELINE_BALL_JOIN_H_
+#define NWD_BASELINE_BALL_JOIN_H_
+
+#include <functional>
+#include <vector>
+
+#include "graph/bfs.h"
+#include "graph/colored_graph.h"
+#include "util/lex.h"
+
+namespace nwd {
+
+class BallJoinEnumerator {
+ public:
+  // Enumerates pairs (a, b) with dist(a, b) <= radius and
+  // accept(a, b, dist) true, in lexicographic order.
+  BallJoinEnumerator(const ColoredGraph& g, int radius);
+
+  using AcceptFn = std::function<bool(Vertex a, Vertex b, int64_t dist)>;
+
+  // Streams solutions; return false from the callback to stop.
+  void Enumerate(const AcceptFn& accept,
+                 const std::function<bool(const Tuple&)>& callback);
+
+  // Convenience: all solutions.
+  std::vector<Tuple> AllSolutions(const AcceptFn& accept);
+
+ private:
+  const ColoredGraph* graph_;
+  int radius_;
+  BfsScratch scratch_;
+};
+
+}  // namespace nwd
+
+#endif  // NWD_BASELINE_BALL_JOIN_H_

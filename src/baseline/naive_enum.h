@@ -1,0 +1,63 @@
+// Baseline evaluation strategies the paper's engine is compared against
+// (experiments E1, E2, E10) and the fallback for unsupported queries.
+//
+// BacktrackingEnumerator assigns the free variables left to right and
+// prunes a partial assignment as soon as the formula is falsified under
+// three-valued (Kleene) evaluation — already much better than testing all
+// n^k tuples, and the honest "what you would do without the paper".
+
+#ifndef NWD_BASELINE_NAIVE_ENUM_H_
+#define NWD_BASELINE_NAIVE_ENUM_H_
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "fo/ast.h"
+#include "fo/naive_eval.h"
+#include "graph/bfs.h"
+#include "graph/colored_graph.h"
+#include "util/lex.h"
+
+namespace nwd {
+
+class BacktrackingEnumerator {
+ public:
+  BacktrackingEnumerator(const ColoredGraph& g, const fo::Query& query);
+
+  // All solutions in lexicographic order.
+  std::vector<Tuple> AllSolutions();
+
+  // Streams solutions in lexicographic order; return false from the
+  // callback to stop early (for time-to-first-m measurements).
+  void Enumerate(const std::function<bool(const Tuple&)>& callback);
+
+  // Smallest solution >= from (the baseline's answer to Theorem 2.3's
+  // functionality, in O(n^k) worst-case time).
+  std::optional<Tuple> Next(const Tuple& from);
+
+ private:
+  // Kleene evaluation: -1 false, 0 unknown, +1 true, given that variables
+  // with env[v] != kUnbound are assigned.
+  int Partial(const fo::FormulaPtr& f, std::vector<Vertex>* env);
+
+  // DFS over positions for Enumerate; sets *stopped when the callback
+  // requests termination.
+  void EnumerateImpl(size_t pos, std::vector<Vertex>* env,
+                     const std::function<bool(const Tuple&)>& callback,
+                     bool* stopped);
+
+  // DFS for Next: smallest completion of positions [pos, k) subject to the
+  // lex lower bound; returns true and fills *out on success.
+  bool NextImpl(size_t pos, const Tuple& from, bool tight,
+                std::vector<Vertex>* env, Tuple* out);
+
+  const ColoredGraph* graph_;
+  fo::Query query_;  // owned copy: callers may pass temporaries
+  fo::NaiveEvaluator eval_;
+  BfsScratch scratch_;
+};
+
+}  // namespace nwd
+
+#endif  // NWD_BASELINE_NAIVE_ENUM_H_

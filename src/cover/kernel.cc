@@ -1,0 +1,95 @@
+#include "cover/kernel.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace nwd {
+namespace {
+
+// Shared implementation: versioned membership + BFS buffers so that
+// repeated bag processing never clears O(n) state.
+class KernelComputer {
+ public:
+  explicit KernelComputer(int64_t n)
+      : member_stamp_(static_cast<size_t>(n), 0),
+        dist_stamp_(static_cast<size_t>(n), 0),
+        dist_(static_cast<size_t>(n), 0) {}
+
+  std::vector<Vertex> Kernel(const ColoredGraph& g,
+                             const std::vector<Vertex>& bag, int p) {
+    NWD_CHECK_GE(p, 0);
+    ++version_;
+    if (version_ == 0) {
+      std::fill(member_stamp_.begin(), member_stamp_.end(), 0);
+      std::fill(dist_stamp_.begin(), dist_stamp_.end(), 0);
+      version_ = 1;
+    }
+    for (Vertex v : bag) member_stamp_[v] = version_;
+
+    // Multi-source BFS inside G[bag] from boundary members. d(v) is the
+    // distance (within the bag) to a member adjacent to the outside;
+    // dist-to-outside(v) = d(v) + 1.
+    queue_.clear();
+    for (Vertex v : bag) {
+      for (Vertex u : g.Neighbors(v)) {
+        if (member_stamp_[u] != version_) {
+          dist_stamp_[v] = version_;
+          dist_[v] = 0;
+          queue_.push_back(v);
+          break;
+        }
+      }
+    }
+    for (size_t head = 0; head < queue_.size(); ++head) {
+      const Vertex v = queue_[head];
+      const int64_t d = dist_[v];
+      if (d + 1 >= p) continue;  // anything further is in the kernel anyway
+      for (Vertex u : g.Neighbors(v)) {
+        if (member_stamp_[u] == version_ && dist_stamp_[u] != version_) {
+          dist_stamp_[u] = version_;
+          dist_[u] = d + 1;
+          queue_.push_back(u);
+        }
+      }
+    }
+
+    std::vector<Vertex> kernel;
+    for (Vertex v : bag) {
+      // v is in the kernel iff its distance to the outside exceeds p, i.e.
+      // it was not reached with d(v) + 1 <= p.
+      const bool reached = dist_stamp_[v] == version_ && dist_[v] + 1 <= p;
+      if (!reached) kernel.push_back(v);
+    }
+    return kernel;  // bag was sorted, so kernel is sorted
+  }
+
+ private:
+  uint32_t version_ = 0;
+  std::vector<uint32_t> member_stamp_;
+  std::vector<uint32_t> dist_stamp_;
+  std::vector<int64_t> dist_;
+  std::vector<Vertex> queue_;
+};
+
+}  // namespace
+
+std::vector<Vertex> ComputeKernel(const ColoredGraph& g,
+                                  const NeighborhoodCover& cover, int64_t bag,
+                                  int p) {
+  KernelComputer computer(g.NumVertices());
+  return computer.Kernel(g, cover.Bag(bag), p);
+}
+
+std::vector<std::vector<Vertex>> ComputeAllKernels(
+    const ColoredGraph& g, const NeighborhoodCover& cover, int p) {
+  KernelComputer computer(g.NumVertices());
+  std::vector<std::vector<Vertex>> kernels;
+  kernels.reserve(static_cast<size_t>(cover.NumBags()));
+  for (int64_t bag = 0; bag < cover.NumBags(); ++bag) {
+    kernels.push_back(computer.Kernel(g, cover.Bag(bag), p));
+  }
+  return kernels;
+}
+
+}  // namespace nwd

@@ -1,0 +1,30 @@
+// p-kernels of cover bags (Definition 5.6, Lemma 5.7).
+//
+// K_p(X) = { a in V : N_p(a) is contained in X }. Equivalently, a is in
+// K_p(X) iff every vertex outside X is at distance > p from a. We compute
+// this with one multi-source BFS inside G[X] started from the bag's
+// boundary (members with a neighbor outside X), which costs O(||G[X]||) —
+// even better than Lemma 5.7's O(p * ||G[X]||).
+
+#ifndef NWD_COVER_KERNEL_H_
+#define NWD_COVER_KERNEL_H_
+
+#include <vector>
+
+#include "cover/neighborhood_cover.h"
+#include "graph/colored_graph.h"
+
+namespace nwd {
+
+// The p-kernel of `cover.Bag(bag)`, sorted ascending. Requires p >= 0.
+std::vector<Vertex> ComputeKernel(const ColoredGraph& g,
+                                  const NeighborhoodCover& cover, int64_t bag,
+                                  int p);
+
+// All kernels of a cover at once (shares scratch buffers across bags).
+std::vector<std::vector<Vertex>> ComputeAllKernels(
+    const ColoredGraph& g, const NeighborhoodCover& cover, int p);
+
+}  // namespace nwd
+
+#endif  // NWD_COVER_KERNEL_H_

@@ -1,0 +1,70 @@
+#include "cover/neighborhood_cover.h"
+
+#include <algorithm>
+
+#include "graph/bfs.h"
+#include "graph/stats.h"
+#include "util/check.h"
+
+namespace nwd {
+
+NeighborhoodCover NeighborhoodCover::Build(const ColoredGraph& g,
+                                           int radius) {
+  NWD_CHECK_GE(radius, 1);
+  const int64_t n = g.NumVertices();
+  NeighborhoodCover cover;
+  cover.radius_ = radius;
+  cover.assigned_bag_.assign(static_cast<size_t>(n), -1);
+  cover.bags_containing_.assign(static_cast<size_t>(n), {});
+  if (n == 0) return cover;
+
+  // Reverse degeneracy order: high-core vertices open bags first, so hub
+  // balls cover many leaves before the leaves are considered.
+  const DegeneracyResult degeneracy = DegeneracyOrder(g);
+  std::vector<Vertex> order(degeneracy.order.rbegin(),
+                            degeneracy.order.rend());
+
+  BfsScratch scratch(n);
+  for (Vertex center : order) {
+    if (cover.assigned_bag_[center] != -1) continue;
+    const int64_t bag_id = static_cast<int64_t>(cover.bags_.size());
+    // Single BFS to distance 2r; members with distance <= r become the
+    // vertices this bag is canonical for.
+    std::vector<Vertex> members = scratch.Neighborhood(g, center, 2 * radius);
+    std::vector<Vertex> assigned;
+    for (Vertex u : members) {
+      if (scratch.DistanceTo(u) <= radius &&
+          cover.assigned_bag_[u] == -1) {
+        cover.assigned_bag_[u] = bag_id;
+        assigned.push_back(u);
+      }
+    }
+    NWD_CHECK(!assigned.empty());  // at least `center` itself
+    for (Vertex u : members) cover.bags_containing_[u].push_back(bag_id);
+    cover.total_bag_size_ += static_cast<int64_t>(members.size());
+    cover.bags_.push_back(std::move(members));
+    cover.centers_.push_back(center);
+    cover.assigned_vertices_.push_back(std::move(assigned));
+  }
+
+  for (Vertex v = 0; v < n; ++v) {
+    NWD_CHECK_NE(cover.assigned_bag_[v], -1);
+    cover.degree_ = std::max(
+        cover.degree_,
+        static_cast<int64_t>(cover.bags_containing_[v].size()));
+  }
+  return cover;
+}
+
+bool NeighborhoodCover::InBag(int64_t bag, Vertex v) const {
+  const std::vector<Vertex>& members = bags_[bag];
+  return std::binary_search(members.begin(), members.end(), v);
+}
+
+Vertex NeighborhoodCover::NextInBag(int64_t bag, Vertex v) const {
+  const std::vector<Vertex>& members = bags_[bag];
+  const auto it = std::lower_bound(members.begin(), members.end(), v);
+  return it == members.end() ? -1 : *it;
+}
+
+}  // namespace nwd

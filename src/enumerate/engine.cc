@@ -1,0 +1,387 @@
+#include "enumerate/engine.h"
+
+#include <algorithm>
+#include <map>
+
+#include "baseline/naive_enum.h"
+#include "cover/kernel.h"
+#include "enumerate/sentences.h"
+#include "fo/analysis.h"
+#include "util/check.h"
+
+namespace nwd {
+
+EnumerationEngine::EnumerationEngine(const ColoredGraph& g,
+                                     const fo::Query& query,
+                                     EngineOptions options)
+    : graph_(&g), query_(query), options_(options) {
+  for (size_t i = 0; i < query_.free_vars.size(); ++i) {
+    for (size_t j = i + 1; j < query_.free_vars.size(); ++j) {
+      NWD_CHECK_NE(query_.free_vars[i], query_.free_vars[j])
+          << "duplicate free variable in query tuple";
+    }
+  }
+  lnf_ = CompileToLnf(query_);
+  const int64_t n = g.NumVertices();
+
+  // Sentences go through the dedicated model checker (guarded-local
+  // existentials, independence sentences, boolean combinations — naive
+  // only as a last resort inside CheckSentence).
+  if (query_.arity() == 0) {
+    stats_.fallback = true;
+    stats_.fallback_reason = "sentence: decided by the model checker";
+    const SentenceResult decided = CheckSentence(g, query_.formula);
+    if (decided.holds) materialized_.push_back({});
+    stats_.materialized_solutions =
+        static_cast<int64_t>(materialized_.size());
+    return;
+  }
+
+  // Quantified query on a large graph: try to peel off guarded-local unary
+  // subformulas (the Unary Theorem stand-in). If every quantifier lives in
+  // such a subformula, materialize them as virtual colors and proceed with
+  // the now quantifier-free residual on the expanded graph.
+  if (!lnf_.supported && n > options_.naive_cutoff &&
+      !fo::IsQuantifierFree(query_.formula)) {
+    LocalUnaryExtraction extraction =
+        ExtractLocalUnaries(query_, g.NumColors());
+    if (extraction.complete && !extraction.unaries.empty()) {
+      Lnf rewritten_lnf = CompileToLnf(extraction.rewritten);
+      if (rewritten_lnf.supported) {
+        owned_graph_ = MaterializeLocalUnaries(g, extraction.unaries);
+        graph_ = &owned_graph_;
+        query_ = std::move(extraction.rewritten);
+        lnf_ = std::move(rewritten_lnf);
+        stats_.local_unaries =
+            static_cast<int64_t>(extraction.unaries.size());
+      }
+    }
+  }
+
+  const bool materialize = !lnf_.supported || lnf_.arity < 2 ||
+                           n <= options_.naive_cutoff ||
+                           lnf_.radius >= (int64_t{1} << 20);
+  if (materialize) {
+    stats_.fallback = true;
+    if (!lnf_.supported) {
+      stats_.fallback_reason = lnf_.unsupported_reason;
+    } else if (lnf_.arity < 2) {
+      stats_.fallback_reason = "arity <= 1: materialized by a linear scan";
+    } else if (lnf_.radius >= (int64_t{1} << 20)) {
+      stats_.fallback_reason = "distance bounds too large for the oracle";
+    } else {
+      stats_.fallback_reason = "small graph (preprocessing Step 1)";
+    }
+    BacktrackingEnumerator baseline(g, query_);
+    materialized_ = baseline.AllSolutions();
+    stats_.materialized_solutions =
+        static_cast<int64_t>(materialized_.size());
+    return;
+  }
+  PrepareLnfMode();
+}
+
+void EnumerationEngine::PrepareLnfMode() {
+  const int k = lnf_.arity;
+  const int r = static_cast<int>(lnf_.radius);
+  const int64_t n = graph_->NumVertices();
+
+  strategy_ = MakeAutoStrategy(*graph_);
+  bfs_ = std::make_unique<BfsScratch>(n);
+  cover_ = std::make_unique<NeighborhoodCover>(
+      NeighborhoodCover::Build(*graph_, k * r));
+  kernels_ = ComputeAllKernels(*graph_, *cover_, r);
+  oracle_ = std::make_unique<DistanceOracle>(*graph_, r, *strategy_,
+                                             options_.oracle);
+  stats_.cover_bags = cover_->NumBags();
+  stats_.cover_degree = cover_->Degree();
+  stats_.oracle_depth = oracle_->stats().max_depth;
+  stats_.preprocessing_edge_work = cover_->TotalBagSize();
+
+  // Candidate lists, deduplicated by unary-literal signature across cases
+  // and positions (Step 12's L sets).
+  std::map<std::vector<std::pair<int, bool>>, int> signature_to_list;
+  const int skip_set_size = std::max(1, k - 1);
+  case_data_.resize(lnf_.cases.size());
+  for (size_t ci = 0; ci < lnf_.cases.size(); ++ci) {
+    const LnfCase& c = lnf_.cases[ci];
+    CaseData& data = case_data_[ci];
+    data.list_index.assign(static_cast<size_t>(k), -1);
+    for (int pos = 0; pos < k; ++pos) {
+      const int comp = c.component_of[pos];
+      if (c.components[comp][0] != pos) continue;  // not fresh
+      std::vector<std::pair<int, bool>> signature;
+      for (const LnfLiteral& lit : c.unary_literals[pos]) {
+        signature.emplace_back(lit.atom.color, lit.positive);
+      }
+      std::sort(signature.begin(), signature.end());
+      signature.erase(std::unique(signature.begin(), signature.end()),
+                      signature.end());
+      const auto [it, inserted] = signature_to_list.try_emplace(
+          signature, static_cast<int>(lists_.size()));
+      if (inserted) {
+        std::vector<Vertex> list;
+        for (Vertex v = 0; v < n; ++v) {
+          bool ok = true;
+          for (const auto& [color, positive] : signature) {
+            if (graph_->HasColor(v, color) != positive) {
+              ok = false;
+              break;
+            }
+          }
+          if (ok) list.push_back(v);
+        }
+        skips_.push_back(std::make_unique<SkipPointers>(n, kernels_, list,
+                                                        skip_set_size));
+        stats_.skip_entries += skips_.back()->TotalEntries();
+        lists_.push_back(std::move(list));
+      }
+      data.list_index[pos] = it->second;
+    }
+  }
+
+  // Materialize the extendable first coordinates per case (the Unary
+  // Theorem stand-in): position 0 is always the minimum of its component,
+  // so its base list exists; keep only values with a full completion.
+  const Tuple dummy_from = LexMin(k);
+  for (size_t ci = 0; ci < lnf_.cases.size(); ++ci) {
+    CaseData& data = case_data_[ci];
+    const std::vector<Vertex>& base =
+        lists_[static_cast<size_t>(data.list_index[0])];
+    Tuple assignment(static_cast<size_t>(k), 0);
+    for (Vertex a : base) {
+      assignment[0] = a;
+      if (Descend(ci, 1, dummy_from, /*tight=*/false, &assignment)) {
+        data.extendable0.push_back(a);
+      }
+    }
+  }
+}
+
+bool EnumerationEngine::UnaryOk(const LnfCase& c, int position,
+                                Vertex v) const {
+  for (const LnfLiteral& lit : c.unary_literals[position]) {
+    if (graph_->HasColor(v, lit.atom.color) != lit.positive) return false;
+  }
+  return true;
+}
+
+bool EnumerationEngine::ConsistentWithEarlier(const LnfCase& c, int pos,
+                                              Vertex v,
+                                              const Tuple& assignment) const {
+  const int r = static_cast<int>(lnf_.radius);
+  for (int e = 0; e < pos; ++e) {
+    const bool near = oracle_->WithinDistance(v, assignment[e], r);
+    if (near != c.tau[pos][e]) return false;
+  }
+  for (const LnfLiteral& lit : c.binary_literals_at[pos]) {
+    const int other = lit.atom.pos1 == pos ? lit.atom.pos2 : lit.atom.pos1;
+    NWD_DCHECK(other < pos);
+    const Vertex u = assignment[other];
+    bool holds = false;
+    switch (lit.atom.kind) {
+      case LnfAtom::Kind::kEdge:
+        holds = graph_->HasEdge(v, u);
+        break;
+      case LnfAtom::Kind::kEquals:
+        holds = v == u;
+        break;
+      case LnfAtom::Kind::kDist:
+        holds = oracle_->WithinDistance(
+            v, u, static_cast<int>(lit.atom.dist_bound));
+        break;
+      case LnfAtom::Kind::kColor:
+        NWD_CHECK(false) << "color literal among binary literals";
+    }
+    if (holds != lit.positive) return false;
+  }
+  return true;
+}
+
+std::optional<Vertex> EnumerationEngine::SmallestCandidate(
+    size_t case_index, int pos, const Tuple& assignment,
+    Vertex min_val) const {
+  const int64_t n = graph_->NumVertices();
+  if (min_val >= n) return std::nullopt;
+  if (min_val < 0) min_val = 0;
+  const LnfCase& c = lnf_.cases[case_index];
+  const CaseData& data = case_data_[case_index];
+
+  if (pos == 0) {
+    // The materialized projection: every entry extends to a full solution.
+    const std::vector<Vertex>& ext = data.extendable0;
+    const auto it = std::lower_bound(ext.begin(), ext.end(), min_val);
+    if (it == ext.end()) return std::nullopt;
+    return *it;
+  }
+
+  const int comp = c.component_of[pos];
+  const int anchor_pos = c.components[comp][0];
+  if (anchor_pos < pos) {
+    // Case II: an earlier variable of the same tau-component pins the
+    // candidate within distance (k-1)*r of its value (any tau-path between
+    // them has at most k-1 edges of weight <= r). Scanning that ball is
+    // much cheaper than scanning the anchor's canonical bag, whose radius
+    // is 2*k*r around a possibly high-degree center.
+    const Vertex anchor = assignment[anchor_pos];
+    const int radius = static_cast<int>((lnf_.arity - 1) * lnf_.radius);
+    const std::vector<Vertex> ball =
+        bfs_->Neighborhood(*graph_, anchor, radius);
+    for (auto it = std::lower_bound(ball.begin(), ball.end(), min_val);
+         it != ball.end(); ++it) {
+      if (UnaryOk(c, pos, *it) &&
+          ConsistentWithEarlier(c, pos, *it, assignment)) {
+        return *it;
+      }
+    }
+    return std::nullopt;
+  }
+
+  // Case I: `pos` starts a fresh component; every earlier variable is in
+  // another component, so the candidate must be at distance > r from all
+  // of them.
+  std::vector<int64_t> bags;
+  bags.reserve(static_cast<size_t>(pos));
+  for (int e = 0; e < pos; ++e) {
+    bags.push_back(cover_->AssignedBag(assignment[e]));
+  }
+  std::sort(bags.begin(), bags.end());
+  bags.erase(std::unique(bags.begin(), bags.end()), bags.end());
+
+  std::optional<Vertex> best;
+  // The b'_0 candidate: outside every kernel of the earlier bags, hence
+  // automatically far from every earlier vertex (kernel argument).
+  const int li = data.list_index[pos];
+  NWD_DCHECK(li >= 0);
+  const Vertex from_skip = skips_[static_cast<size_t>(li)]->Skip(min_val, bags);
+  if (from_skip >= 0) best = from_skip;
+
+  // The b'_kappa candidates: inside one of the earlier bags (covers valid
+  // candidates that sit in some kernel), individually validated.
+  for (int64_t bag : bags) {
+    const std::vector<Vertex>& members = cover_->Bag(bag);
+    for (auto it = std::lower_bound(members.begin(), members.end(), min_val);
+         it != members.end(); ++it) {
+      const Vertex v = *it;
+      if (best.has_value() && v >= *best) break;
+      if (UnaryOk(c, pos, v) && ConsistentWithEarlier(c, pos, v, assignment)) {
+        best = v;
+        break;
+      }
+    }
+  }
+  return best;
+}
+
+bool EnumerationEngine::Descend(size_t case_index, int pos, const Tuple& from,
+                                bool tight, Tuple* assignment) const {
+  const int k = lnf_.arity;
+  if (pos == k) return true;
+  Vertex min_val = tight ? from[static_cast<size_t>(pos)] : 0;
+  for (;;) {
+    const std::optional<Vertex> cand =
+        SmallestCandidate(case_index, pos, *assignment, min_val);
+    if (!cand.has_value()) return false;
+    (*assignment)[static_cast<size_t>(pos)] = *cand;
+    const bool child_tight =
+        tight && *cand == from[static_cast<size_t>(pos)];
+    if (Descend(case_index, pos + 1, from, child_tight, assignment)) {
+      return true;
+    }
+    min_val = *cand + 1;
+  }
+}
+
+std::optional<Tuple> EnumerationEngine::NextForCase(size_t case_index,
+                                                    const Tuple& from) const {
+  Tuple assignment(static_cast<size_t>(lnf_.arity), 0);
+  if (Descend(case_index, 0, from, /*tight=*/true, &assignment)) {
+    return assignment;
+  }
+  return std::nullopt;
+}
+
+std::optional<Tuple> EnumerationEngine::Next(const Tuple& from) const {
+  NWD_CHECK_EQ(static_cast<int>(from.size()), arity());
+  for (Vertex v : from) {
+    NWD_CHECK(v >= 0 && v < graph_->NumVertices())
+        << "Next() probe component " << v << " out of range";
+  }
+  if (stats_.fallback) {
+    const auto it = std::lower_bound(
+        materialized_.begin(), materialized_.end(), from,
+        [](const Tuple& a, const Tuple& b) { return LexCompare(a, b) < 0; });
+    if (it == materialized_.end()) return std::nullopt;
+    return *it;
+  }
+  std::optional<Tuple> best;
+  for (size_t ci = 0; ci < lnf_.cases.size(); ++ci) {
+    const std::optional<Tuple> cand = NextForCase(ci, from);
+    if (cand.has_value() &&
+        (!best.has_value() || LexCompare(*cand, *best) < 0)) {
+      best = cand;
+    }
+  }
+  return best;
+}
+
+bool EnumerationEngine::Test(const Tuple& tuple) const {
+  NWD_CHECK_EQ(static_cast<int>(tuple.size()), arity());
+  if (stats_.fallback) {
+    return std::binary_search(
+        materialized_.begin(), materialized_.end(), tuple,
+        [](const Tuple& a, const Tuple& b) { return LexCompare(a, b) < 0; });
+  }
+  const int k = lnf_.arity;
+  const int r = static_cast<int>(lnf_.radius);
+  for (const LnfCase& c : lnf_.cases) {
+    bool match = true;
+    for (int i = 0; i < k && match; ++i) {
+      for (int j = i + 1; j < k && match; ++j) {
+        const bool near = oracle_->WithinDistance(tuple[i], tuple[j], r);
+        if (near != c.tau[i][j]) match = false;
+      }
+    }
+    if (!match) continue;
+    for (const LnfLiteral& lit : c.literals) {
+      bool holds = false;
+      switch (lit.atom.kind) {
+        case LnfAtom::Kind::kColor:
+          holds = graph_->HasColor(tuple[lit.atom.pos1], lit.atom.color);
+          break;
+        case LnfAtom::Kind::kEdge:
+          holds = graph_->HasEdge(tuple[lit.atom.pos1], tuple[lit.atom.pos2]);
+          break;
+        case LnfAtom::Kind::kEquals:
+          holds = tuple[lit.atom.pos1] == tuple[lit.atom.pos2];
+          break;
+        case LnfAtom::Kind::kDist:
+          holds = oracle_->WithinDistance(tuple[lit.atom.pos1],
+                                          tuple[lit.atom.pos2],
+                                          static_cast<int>(lit.atom.dist_bound));
+          break;
+      }
+      if (holds != lit.positive) {
+        match = false;
+        break;
+      }
+    }
+    if (match) return true;  // cases are mutually exclusive
+  }
+  return false;
+}
+
+std::optional<Tuple> EnumerationEngine::First() const {
+  if (arity() == 0) {
+    // Sentence: materialized mode stores the empty tuple iff true.
+    if (stats_.fallback) {
+      return materialized_.empty() ? std::nullopt
+                                   : std::make_optional(materialized_[0]);
+    }
+    return std::nullopt;
+  }
+  if (graph_->NumVertices() == 0) return std::nullopt;
+  return Next(LexMin(arity()));
+}
+
+}  // namespace nwd

@@ -1,0 +1,177 @@
+// The enumeration engine — the paper's main contribution (Theorem 2.3 via
+// Theorem 5.1 / Lemma 5.2), specialized to the LNF fragment.
+//
+// Prepare-time (pseudo-linear on the sparse classes this library targets):
+//   * compile the query to LNF (the Theorem 5.4 stand-in),
+//   * build a (k*r, 2k*r)-neighborhood cover and the r-kernels of its bags
+//     (Theorem 4.4 / Lemma 5.7) — the cover radius k*r makes every
+//     tau-component fit inside one canonical bag, and, crucially, makes
+//     "outside every kernel of the query vertices' bags" imply "at distance
+//     > r from every query vertex" (the kernel argument of Case I),
+//   * build the distance oracle of Proposition 4.2 (cover + splitter +
+//     removal recursion) for constant-time dist <= d tests,
+//   * per case and per "fresh" position: the candidate lists L (Step 12)
+//     and their skip pointers (Lemma 5.8, Step 13),
+//   * materialize the extendable first coordinates (the Unary Theorem 5.3
+//     stand-in) so enumeration never dead-ends at position 0.
+//
+// Answer-time:
+//   * Test(tuple): locate the unique matching (tau, i) case — distance-type
+//     checks through the oracle plus literal checks; O(1) per case
+//     (Corollary 2.4).
+//   * Next(from): per case, a lexicographic descent over positions where
+//     each position's candidates come from
+//       - the canonical bag of the component anchor (positions with an
+//         earlier same-component variable; Case II of Section 5.2.2), or
+//       - the skip pointers over L avoiding the earlier vertices' kernels,
+//         merged with scans of those vertices' bags (Case I: the b'_0 and
+//         b'_kappa candidates);
+//     the smallest case answer wins (Theorem 2.3 / 5.1).
+//
+// Deviations from the paper, both documented in DESIGN.md:
+//   * within-component "smallest valid member" is found by scanning the
+//     (k-1)*r-ball of the component anchor (complete by the component-
+//     spread bound) instead of the lambda-recursive Lemma 5.2 structures —
+//     work bounded by the anchor's ball size, which is the constant-delay
+//     budget on the sparse classes (measured by experiments E2/E4);
+//   * positions after the first can dead-end (the paper prevents this with
+//     recursive structures for every projection query); the descent
+//     backtracks, and experiment E2 measures the resulting delays.
+//
+// Unsupported queries (quantifiers) transparently fall back to the
+// baseline; `used_fallback()` reports it.
+
+#ifndef NWD_ENUMERATE_ENGINE_H_
+#define NWD_ENUMERATE_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cover/neighborhood_cover.h"
+#include "enumerate/lnf.h"
+#include "enumerate/local_unary.h"
+#include "fo/ast.h"
+#include "graph/bfs.h"
+#include "graph/colored_graph.h"
+#include "local/distance_oracle.h"
+#include "skip/skip_pointers.h"
+#include "splitter/strategy.h"
+#include "util/lex.h"
+
+namespace nwd {
+
+struct EngineOptions {
+  // Graphs with at most this many vertices are handled by materializing
+  // the full (sorted) solution set — the "naive algorithm" of preprocessing
+  // Step 1.
+  int64_t naive_cutoff = 48;
+  DistanceOracle::Options oracle;
+};
+
+class EnumerationEngine {
+ public:
+  struct Stats {
+    bool fallback = false;          // materialized instead of LNF machinery
+    std::string fallback_reason;
+    int64_t cover_bags = 0;
+    int64_t cover_degree = 0;
+    int64_t skip_entries = 0;
+    int oracle_depth = 0;
+    int64_t materialized_solutions = 0;  // only in fallback mode
+    int64_t preprocessing_edge_work = 0;
+    // Guarded-local unary subformulas materialized as virtual colors (the
+    // Unary Theorem 5.3 stand-in widening the fast fragment).
+    int64_t local_unaries = 0;
+  };
+
+  // Performs the full preprocessing phase. Borrows `g`; it must outlive
+  // the engine.
+  EnumerationEngine(const ColoredGraph& g, const fo::Query& query,
+                    EngineOptions options = {});
+
+  // The engine holds internal self-references; pin it in place.
+  EnumerationEngine(const EnumerationEngine&) = delete;
+  EnumerationEngine& operator=(const EnumerationEngine&) = delete;
+
+  int arity() const { return query_.arity(); }
+  // Domain size of the underlying graph.
+  int64_t universe() const { return graph_->NumVertices(); }
+  bool used_fallback() const { return stats_.fallback; }
+  const Stats& stats() const { return stats_; }
+
+  // Theorem 2.3: the smallest solution >= from (lexicographically), or
+  // nullopt. `from` must have the query's arity with components in [0, n).
+  std::optional<Tuple> Next(const Tuple& from) const;
+
+  // Corollary 2.4: constant-time solution test.
+  bool Test(const Tuple& tuple) const;
+
+  // The smallest solution overall.
+  std::optional<Tuple> First() const;
+
+ private:
+  struct CaseData {
+    // Per fresh position (minimum of its tau-component): index into
+    // lists_ / skips_ of the candidate list for that position's unary
+    // literals; -1 for non-fresh positions.
+    std::vector<int> list_index;
+    // Sorted, case-specific extendable values for position 0 (the
+    // materialized projection).
+    std::vector<Vertex> extendable0;
+  };
+
+  void PrepareLnfMode();
+
+  // Whether vertex v satisfies the unary literals of `position` in `c`.
+  bool UnaryOk(const LnfCase& c, int position, Vertex v) const;
+  // Whether v is consistent, as position `pos`, with the earlier entries of
+  // `assignment` (tau distances + binary literals).
+  bool ConsistentWithEarlier(const LnfCase& c, int pos, Vertex v,
+                             const Tuple& assignment) const;
+
+  // Smallest valid candidate >= min_val for position `pos`, given the
+  // earlier assignment. `case_index` selects the case.
+  std::optional<Vertex> SmallestCandidate(size_t case_index, int pos,
+                                          const Tuple& assignment,
+                                          Vertex min_val) const;
+
+  // Lexicographic descent: complete `assignment` from position `pos` with
+  // the suffix >= from's when `tight`.
+  bool Descend(size_t case_index, int pos, const Tuple& from, bool tight,
+               Tuple* assignment) const;
+
+  std::optional<Tuple> NextForCase(size_t case_index, const Tuple& from) const;
+
+  const ColoredGraph* graph_;
+  // When guarded-local unaries are materialized, the engine operates on
+  // this expanded copy (original graph + virtual colors).
+  ColoredGraph owned_graph_;
+  fo::Query query_;
+  EngineOptions options_;
+  Lnf lnf_;
+  Stats stats_;
+
+  // Fallback mode: the sorted solution set.
+  std::vector<Tuple> materialized_;
+
+  // LNF mode.
+  std::unique_ptr<SplitterStrategy> strategy_;
+  std::unique_ptr<NeighborhoodCover> cover_;
+  std::vector<std::vector<Vertex>> kernels_;  // r-kernels per bag
+  std::unique_ptr<DistanceOracle> oracle_;
+  // Deduplicated candidate lists (by unary-literal signature) and their
+  // skip-pointer structures.
+  std::vector<std::vector<Vertex>> lists_;
+  std::vector<std::unique_ptr<SkipPointers>> skips_;
+  std::vector<CaseData> case_data_;
+  // Scratch for the anchored-candidate ball scans (answer-time only;
+  // makes Next() non-reentrant but keeps it allocation-free).
+  mutable std::unique_ptr<BfsScratch> bfs_;
+};
+
+}  // namespace nwd
+
+#endif  // NWD_ENUMERATE_ENGINE_H_

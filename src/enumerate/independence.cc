@@ -1,0 +1,123 @@
+#include "enumerate/independence.h"
+
+#include <algorithm>
+
+#include "fo/naive_eval.h"
+#include "graph/bfs.h"
+#include "util/check.h"
+
+namespace nwd {
+namespace {
+
+// Greedy maximal `separation`-separated subset of candidates (in id
+// order). Marks, via `blocked`, every vertex within `separation` of a
+// chosen vertex.
+std::vector<Vertex> GreedyScatter(const ColoredGraph& g,
+                                  const std::vector<Vertex>& candidates,
+                                  int separation, size_t cap,
+                                  BfsScratch* scratch,
+                                  std::vector<bool>* blocked) {
+  std::vector<Vertex> chosen;
+  for (Vertex v : candidates) {
+    if ((*blocked)[v]) continue;
+    chosen.push_back(v);
+    if (chosen.size() >= cap) break;
+    for (Vertex u : scratch->Neighborhood(g, v, separation)) {
+      (*blocked)[u] = true;
+    }
+  }
+  return chosen;
+}
+
+// Exact DFS: choose witnesses in increasing id order; prune with the
+// greedy bound on the remaining candidates.
+bool Dfs(const ColoredGraph& g, const std::vector<Vertex>& candidates,
+         size_t start, int k, int separation, BfsScratch* scratch,
+         std::vector<Vertex>* chosen) {
+  if (static_cast<int>(chosen->size()) == k) return true;
+  for (size_t i = start; i < candidates.size(); ++i) {
+    const Vertex v = candidates[i];
+    // v must be far from everything chosen.
+    bool far = true;
+    for (Vertex c : *chosen) {
+      scratch->Neighborhood(g, c, separation);
+      if (scratch->DistanceTo(v) >= 0) {
+        far = false;
+        break;
+      }
+    }
+    if (!far) continue;
+    chosen->push_back(v);
+    if (Dfs(g, candidates, i + 1, k, separation, scratch, chosen)) {
+      return true;
+    }
+    chosen->pop_back();
+  }
+  return false;
+}
+
+}  // namespace
+
+IndependenceResult FindScatteredSet(const ColoredGraph& g,
+                                    const std::vector<Vertex>& candidates,
+                                    int k, int separation) {
+  NWD_CHECK_GE(k, 0);
+  NWD_CHECK_GE(separation, 0);
+  IndependenceResult result;
+  if (k == 0) {
+    result.holds = true;
+    result.greedy_decided = true;
+    return result;
+  }
+  if (candidates.empty()) return result;
+  if (separation == 0) {
+    // Any k distinct candidates do (distance > 0 means distinct).
+    if (static_cast<int>(candidates.size()) >= k) {
+      result.holds = true;
+      result.greedy_decided = true;
+      result.witnesses.assign(candidates.begin(), candidates.begin() + k);
+    }
+    return result;
+  }
+
+  BfsScratch scratch(g.NumVertices());
+
+  // Fast path: a (2*separation)-separated set is in particular
+  // (> separation)-scattered.
+  std::vector<bool> blocked(static_cast<size_t>(g.NumVertices()), false);
+  const std::vector<Vertex> greedy =
+      GreedyScatter(g, candidates, 2 * separation, static_cast<size_t>(k),
+                    &scratch, &blocked);
+  if (static_cast<int>(greedy.size()) >= k) {
+    result.holds = true;
+    result.greedy_decided = true;
+    result.witnesses = greedy;
+    return result;
+  }
+
+  // Exact: the candidates are confined to < k balls of radius
+  // 2*separation; a pruned DFS settles it.
+  std::vector<Vertex> chosen;
+  if (Dfs(g, candidates, 0, k, separation, &scratch, &chosen)) {
+    result.holds = true;
+    result.witnesses = std::move(chosen);
+  }
+  return result;
+}
+
+IndependenceResult CheckIndependenceSentence(const ColoredGraph& g,
+                                             const fo::FormulaPtr& psi,
+                                             fo::Var var, int k,
+                                             int separation) {
+  fo::NaiveEvaluator eval(g);
+  fo::Query unary;
+  unary.formula = psi;
+  unary.free_vars = {var};
+  std::vector<Vertex> candidates;
+  for (Vertex v = 0; v < g.NumVertices(); ++v) {
+    if (eval.TestTuple(unary, {v})) candidates.push_back(v);
+  }
+  return FindScatteredSet(g, candidates, k, separation);
+}
+
+}  // namespace nwd

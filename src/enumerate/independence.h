@@ -1,0 +1,56 @@
+// (r, q)-independence sentences (Section 5.1.2).
+//
+// The Rank-Preserving Normal Form emits global sentences of the shape
+//
+//   exists z_1 .. z_k ( AND_{i<j} dist(z_i, z_j) > r  &  AND_i psi(z_i) )
+//
+// with psi quantifier-free and unary — "there exist k scattered psi-
+// vertices". This module decides such sentences:
+//
+//  * fast path: a greedy maximal (2r)-separated subset of the psi-vertices;
+//    if it reaches size k it is itself a valid witness set (2r > r), and
+//    on sparse graphs the greedy costs one bounded BFS per chosen vertex;
+//  * otherwise the psi-vertices are confined to fewer than k balls of
+//    radius 2r around the greedy picks (maximality), and a pruned DFS
+//    over the candidates decides exactly; the greedy bound prunes branches
+//    that cannot reach k.
+//
+// Deciding scatteredness exactly is NP-hard in general graphs (independent
+// set in disguise), which is another face of the paper's nowhere-dense
+// assumption: on the sparse classes the greedy almost always answers.
+
+#ifndef NWD_ENUMERATE_INDEPENDENCE_H_
+#define NWD_ENUMERATE_INDEPENDENCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "fo/ast.h"
+#include "graph/colored_graph.h"
+
+namespace nwd {
+
+struct IndependenceResult {
+  bool holds = false;
+  // A witness set (pairwise distance > r) when holds is true.
+  std::vector<Vertex> witnesses;
+  // Whether the greedy fast path decided (vs the exact DFS).
+  bool greedy_decided = false;
+};
+
+// Does g contain `k` vertices from `candidates` (sorted vertex list),
+// pairwise at distance > separation?
+IndependenceResult FindScatteredSet(const ColoredGraph& g,
+                                    const std::vector<Vertex>& candidates,
+                                    int k, int separation);
+
+// Convenience for full sentences: candidates = vertices satisfying a
+// quantifier-free unary formula `psi` (free variable `var`).
+IndependenceResult CheckIndependenceSentence(const ColoredGraph& g,
+                                             const fo::FormulaPtr& psi,
+                                             fo::Var var, int k,
+                                             int separation);
+
+}  // namespace nwd
+
+#endif  // NWD_ENUMERATE_INDEPENDENCE_H_

@@ -1,0 +1,339 @@
+#include "enumerate/lnf.h"
+
+#include <algorithm>
+#include <optional>
+#include <sstream>
+
+#include "fo/analysis.h"
+#include "util/check.h"
+
+namespace nwd {
+namespace {
+
+using fo::FormulaPtr;
+using fo::NodeKind;
+
+// Maps variable ids to positions in the free-variable tuple.
+class PositionMap {
+ public:
+  explicit PositionMap(const std::vector<fo::Var>& free_vars) {
+    for (size_t i = 0; i < free_vars.size(); ++i) {
+      positions_.emplace_back(free_vars[i], static_cast<int>(i));
+    }
+  }
+
+  int PositionOf(fo::Var v) const {
+    for (const auto& [var, pos] : positions_) {
+      if (var == v) return pos;
+    }
+    return -1;
+  }
+
+ private:
+  std::vector<std::pair<fo::Var, int>> positions_;
+};
+
+// Extracts the atom of a leaf formula node, normalized (pos1 <= pos2 for
+// the symmetric kinds). Returns nullopt for non-atom nodes.
+std::optional<LnfAtom> AtomOf(const FormulaPtr& f, const PositionMap& pmap) {
+  LnfAtom atom;
+  switch (f->kind) {
+    case NodeKind::kEdge:
+      atom.kind = LnfAtom::Kind::kEdge;
+      break;
+    case NodeKind::kColor:
+      atom.kind = LnfAtom::Kind::kColor;
+      atom.color = f->color;
+      atom.pos1 = pmap.PositionOf(f->var1);
+      return atom;
+    case NodeKind::kEquals:
+      atom.kind = LnfAtom::Kind::kEquals;
+      break;
+    case NodeKind::kDistLeq:
+      atom.kind = LnfAtom::Kind::kDist;
+      atom.dist_bound = f->dist_bound;
+      break;
+    default:
+      return std::nullopt;
+  }
+  atom.pos1 = pmap.PositionOf(f->var1);
+  atom.pos2 = pmap.PositionOf(f->var2);
+  if (atom.pos1 > atom.pos2) std::swap(atom.pos1, atom.pos2);
+  return atom;
+}
+
+// Collects the distinct atoms of a quantifier-free formula.
+bool CollectAtoms(const FormulaPtr& f, const PositionMap& pmap,
+                  std::vector<LnfAtom>* atoms, std::string* error) {
+  switch (f->kind) {
+    case NodeKind::kTrue:
+    case NodeKind::kFalse:
+      return true;
+    case NodeKind::kNot:
+      return CollectAtoms(f->child1, pmap, atoms, error);
+    case NodeKind::kAnd:
+    case NodeKind::kOr:
+      return CollectAtoms(f->child1, pmap, atoms, error) &&
+             CollectAtoms(f->child2, pmap, atoms, error);
+    case NodeKind::kExists:
+    case NodeKind::kForall:
+      *error = "query contains quantifiers";
+      return false;
+    default: {
+      const std::optional<LnfAtom> atom = AtomOf(f, pmap);
+      NWD_CHECK(atom.has_value());
+      if (atom->pos1 < 0 || (atom->kind != LnfAtom::Kind::kColor &&
+                             atom->pos2 < 0)) {
+        *error = "atom mentions a variable outside the free tuple";
+        return false;
+      }
+      if (std::find(atoms->begin(), atoms->end(), *atom) == atoms->end()) {
+        atoms->push_back(*atom);
+      }
+      return true;
+    }
+  }
+}
+
+// Evaluates the quantifier-free formula under a full truth assignment to
+// its atoms.
+bool EvalUnderTruths(const FormulaPtr& f, const PositionMap& pmap,
+                     const std::vector<LnfAtom>& atoms,
+                     const std::vector<bool>& truths) {
+  switch (f->kind) {
+    case NodeKind::kTrue:
+      return true;
+    case NodeKind::kFalse:
+      return false;
+    case NodeKind::kNot:
+      return !EvalUnderTruths(f->child1, pmap, atoms, truths);
+    case NodeKind::kAnd:
+      return EvalUnderTruths(f->child1, pmap, atoms, truths) &&
+             EvalUnderTruths(f->child2, pmap, atoms, truths);
+    case NodeKind::kOr:
+      return EvalUnderTruths(f->child1, pmap, atoms, truths) ||
+             EvalUnderTruths(f->child2, pmap, atoms, truths);
+    default: {
+      const std::optional<LnfAtom> atom = AtomOf(f, pmap);
+      NWD_CHECK(atom.has_value());
+      const auto it = std::find(atoms.begin(), atoms.end(), *atom);
+      NWD_CHECK(it != atoms.end());
+      return truths[static_cast<size_t>(it - atoms.begin())];
+    }
+  }
+}
+
+// Connected components of tau, ordered by minimum position.
+void BuildComponents(LnfCase* c, int k) {
+  c->component_of.assign(static_cast<size_t>(k), -1);
+  c->components.clear();
+  for (int start = 0; start < k; ++start) {
+    if (c->component_of[start] != -1) continue;
+    const int id = static_cast<int>(c->components.size());
+    std::vector<int> component;
+    std::vector<int> stack{start};
+    c->component_of[start] = id;
+    while (!stack.empty()) {
+      const int v = stack.back();
+      stack.pop_back();
+      component.push_back(v);
+      for (int u = 0; u < k; ++u) {
+        if (c->tau[v][u] && c->component_of[u] == -1) {
+          c->component_of[u] = id;
+          stack.push_back(u);
+        }
+      }
+    }
+    std::sort(component.begin(), component.end());
+    c->components.push_back(std::move(component));
+  }
+}
+
+}  // namespace
+
+Lnf CompileToLnf(const fo::Query& query) {
+  Lnf lnf;
+  lnf.arity = query.arity();
+  const int k = lnf.arity;
+
+  if (k == 0) {
+    lnf.supported = false;
+    lnf.unsupported_reason = "sentences are handled by direct evaluation";
+    return lnf;
+  }
+  if (!fo::IsQuantifierFree(query.formula)) {
+    lnf.supported = false;
+    lnf.unsupported_reason = "query contains quantifiers (outside the "
+                             "LNF fragment; falling back to the baseline)";
+    return lnf;
+  }
+  const int num_pairs = k * (k - 1) / 2;
+  if (num_pairs > 15) {
+    lnf.supported = false;
+    lnf.unsupported_reason = "arity too large for distance-type enumeration";
+    return lnf;
+  }
+
+  PositionMap pmap(query.free_vars);
+  std::vector<LnfAtom> atoms;
+  std::string error;
+  if (!CollectAtoms(query.formula, pmap, &atoms, &error)) {
+    lnf.supported = false;
+    lnf.unsupported_reason = error;
+    return lnf;
+  }
+  if (atoms.size() > 20) {
+    lnf.supported = false;
+    lnf.unsupported_reason = "too many distinct atoms";
+    return lnf;
+  }
+
+  lnf.radius = 1;
+  for (const LnfAtom& atom : atoms) {
+    if (atom.kind == LnfAtom::Kind::kDist) {
+      lnf.radius = std::max(lnf.radius, atom.dist_bound);
+    }
+  }
+
+  // Pair indexing for tau enumeration.
+  std::vector<std::pair<int, int>> pairs;
+  for (int i = 0; i < k; ++i) {
+    for (int j = i + 1; j < k; ++j) pairs.emplace_back(i, j);
+  }
+
+  for (uint32_t tau_bits = 0; tau_bits < (uint32_t{1} << num_pairs);
+       ++tau_bits) {
+    LnfCase base;
+    base.tau.assign(static_cast<size_t>(k),
+                    std::vector<bool>(static_cast<size_t>(k), false));
+    for (int p = 0; p < num_pairs; ++p) {
+      if ((tau_bits >> p) & 1) {
+        base.tau[pairs[p].first][pairs[p].second] = true;
+        base.tau[pairs[p].second][pairs[p].first] = true;
+      }
+    }
+    BuildComponents(&base, k);
+
+    // Decide atoms under tau; collect the live (undecided) ones.
+    // decided[a] set iff atom a is decided; decided_value[a] is its truth.
+    std::vector<bool> decided(atoms.size(), false);
+    std::vector<bool> decided_value(atoms.size(), false);
+    std::vector<size_t> live;
+    for (size_t a = 0; a < atoms.size(); ++a) {
+      const LnfAtom& atom = atoms[a];
+      if (atom.kind == LnfAtom::Kind::kColor) {
+        live.push_back(a);
+        continue;
+      }
+      const bool adjacent = base.tau[atom.pos1][atom.pos2];
+      if (!adjacent) {
+        // dist > r kills every binary atom with bound <= r, edges, and
+        // equalities.
+        decided[a] = true;
+        decided_value[a] = false;
+        continue;
+      }
+      if (atom.kind == LnfAtom::Kind::kDist && atom.dist_bound >= lnf.radius) {
+        decided[a] = true;
+        decided_value[a] = true;  // tau-edge means dist <= r <= bound
+        continue;
+      }
+      live.push_back(a);
+    }
+
+    // Enumerate assignments over the live atoms.
+    const uint32_t num_assignments = uint32_t{1} << live.size();
+    for (uint32_t bits = 0; bits < num_assignments; ++bits) {
+      std::vector<bool> truths(atoms.size(), false);
+      for (size_t a = 0; a < atoms.size(); ++a) {
+        if (decided[a]) truths[a] = decided_value[a];
+      }
+      for (size_t li = 0; li < live.size(); ++li) {
+        truths[live[li]] = (bits >> li) & 1;
+      }
+      if (!EvalUnderTruths(query.formula, pmap, atoms, truths)) continue;
+
+      LnfCase c = base;
+      c.unary_literals.assign(static_cast<size_t>(k), {});
+      c.binary_literals_at.assign(static_cast<size_t>(k), {});
+      for (size_t li = 0; li < live.size(); ++li) {
+        const LnfAtom& atom = atoms[live[li]];
+        const LnfLiteral literal{atom, truths[live[li]]};
+        c.literals.push_back(literal);
+        if (atom.kind == LnfAtom::Kind::kColor) {
+          c.unary_literals[atom.pos1].push_back(literal);
+        } else {
+          c.binary_literals_at[std::max(atom.pos1, atom.pos2)].push_back(
+              literal);
+        }
+      }
+      lnf.cases.push_back(std::move(c));
+    }
+  }
+
+  lnf.supported = true;
+  return lnf;
+}
+
+namespace {
+
+void PrintAtom(const LnfAtom& atom, std::ostringstream* out) {
+  switch (atom.kind) {
+    case LnfAtom::Kind::kEdge:
+      *out << "E(#" << atom.pos1 << ",#" << atom.pos2 << ")";
+      break;
+    case LnfAtom::Kind::kColor:
+      *out << "C" << atom.color << "(#" << atom.pos1 << ")";
+      break;
+    case LnfAtom::Kind::kEquals:
+      *out << "#" << atom.pos1 << "=#" << atom.pos2;
+      break;
+    case LnfAtom::Kind::kDist:
+      *out << "dist(#" << atom.pos1 << ",#" << atom.pos2
+           << ")<=" << atom.dist_bound;
+      break;
+  }
+}
+
+}  // namespace
+
+std::string DescribeLnf(const Lnf& lnf) {
+  std::ostringstream out;
+  if (!lnf.supported) {
+    out << "unsupported: " << lnf.unsupported_reason << "\n";
+    return out.str();
+  }
+  out << "arity " << lnf.arity << ", locality radius " << lnf.radius << ", "
+      << lnf.cases.size() << " case(s)\n";
+  for (size_t ci = 0; ci < lnf.cases.size(); ++ci) {
+    const LnfCase& c = lnf.cases[ci];
+    out << "  case " << ci << ": tau={";
+    bool first = true;
+    for (int i = 0; i < lnf.arity; ++i) {
+      for (int j = i + 1; j < lnf.arity; ++j) {
+        if (c.tau[i][j]) {
+          out << (first ? "" : ",") << i << "~" << j;
+          first = false;
+        }
+      }
+    }
+    out << "} components={";
+    for (size_t k = 0; k < c.components.size(); ++k) {
+      out << (k ? " " : "") << "{";
+      for (size_t m = 0; m < c.components[k].size(); ++m) {
+        out << (m ? "," : "") << c.components[k][m];
+      }
+      out << "}";
+    }
+    out << "} literals={";
+    for (size_t li = 0; li < c.literals.size(); ++li) {
+      if (li) out << ", ";
+      if (!c.literals[li].positive) out << "!";
+      PrintAtom(c.literals[li].atom, &out);
+    }
+    out << "}\n";
+  }
+  return out.str();
+}
+
+}  // namespace nwd

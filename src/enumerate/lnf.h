@@ -1,0 +1,89 @@
+// The Local Normal Form (LNF) compiler — this library's runnable stand-in
+// for the Rank-Preserving Normal Form Theorem 5.4 (see DESIGN.md).
+//
+// For a quantifier-free FO+ query phi(x_1..x_k) (all of the paper's worked
+// examples are in this fragment) the decomposition is *exact*:
+//
+//   phi  ==  OR over distance types tau, OR over atom assignments i of
+//            rho_tau(x)  AND  (literals of assignment i)
+//
+// where rho_tau pins the r-distance type (Section 5.2.1, Step 2): for every
+// pair {i,j}, dist(x_i,x_j) <= r iff {i,j} is an edge of tau, with
+// r = max(1, largest distance bound in phi). Under a fixed tau every atom
+// between different tau-components is decided (false), so the surviving
+// literals are local to tau's components — exactly the shape the engine's
+// per-component candidate machinery needs. Assignments enumerate the truth
+// values of the surviving atoms, so cases are mutually exclusive
+// (Theorem 5.4(b)'s uniqueness, by construction).
+//
+// Queries outside the fragment (quantifiers) are flagged unsupported; the
+// engine then falls back to the baseline evaluator (the documented
+// substitution for the non-elementary general construction).
+
+#ifndef NWD_ENUMERATE_LNF_H_
+#define NWD_ENUMERATE_LNF_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fo/ast.h"
+
+namespace nwd {
+
+// One atom over the free variables, positionally indexed: positions are
+// indices into query.free_vars (0-based), NOT variable ids.
+struct LnfAtom {
+  enum class Kind { kEdge, kColor, kEquals, kDist };
+  Kind kind;
+  int pos1 = -1;
+  int pos2 = -1;          // unused for kColor
+  int color = -1;         // kColor
+  int64_t dist_bound = 0;  // kDist
+
+  bool operator==(const LnfAtom& other) const = default;
+};
+
+// A literal: an atom with a required truth value.
+struct LnfLiteral {
+  LnfAtom atom;
+  bool positive;
+};
+
+// One (tau, i) case: a distance type plus a consistent literal assignment.
+struct LnfCase {
+  // tau as a symmetric adjacency matrix over positions [0, k).
+  std::vector<std::vector<bool>> tau;
+  // Connected components of tau, each sorted, ordered by minimum position.
+  std::vector<std::vector<int>> components;
+  // component_of[pos] = index into `components`.
+  std::vector<int> component_of;
+  // The literal assignment (only atoms undecided under tau appear).
+  std::vector<LnfLiteral> literals;
+  // literals restricted to single positions (color literals), per position.
+  std::vector<std::vector<LnfLiteral>> unary_literals;
+  // literals involving two positions, grouped by the max position (so the
+  // engine can check them as soon as the later variable is assigned).
+  std::vector<std::vector<LnfLiteral>> binary_literals_at;
+};
+
+struct Lnf {
+  bool supported = false;
+  std::string unsupported_reason;
+  int arity = 0;
+  // The locality radius r = max(1, max distance bound).
+  int64_t radius = 1;
+  std::vector<LnfCase> cases;
+};
+
+// Compiles `query` into LNF. Sets supported = false (with a reason) for
+// queries outside the quantifier-free FO+ fragment.
+Lnf CompileToLnf(const fo::Query& query);
+
+// Human-readable dump of the decomposition: one line per (tau, i) case
+// with the distance type, components and literals. Used by nwdq --explain.
+std::string DescribeLnf(const Lnf& lnf);
+
+}  // namespace nwd
+
+#endif  // NWD_ENUMERATE_LNF_H_

@@ -1,0 +1,215 @@
+#include "enumerate/local_unary.h"
+
+#include <algorithm>
+#include <map>
+
+#include "cover/neighborhood_cover.h"
+#include "fo/analysis.h"
+#include "graph/builder.h"
+#include "local/local_evaluator.h"
+#include "util/check.h"
+
+namespace nwd {
+namespace {
+
+using fo::FormulaPtr;
+using fo::NodeKind;
+using fo::Var;
+
+constexpr int64_t kNotLocal = -1;
+// Renaming target used to canonicalize free variables for deduplication.
+constexpr Var kCanonicalVar = 1 << 20;
+
+// Recursive checker. `anchors` maps anchored variables to their certified
+// distance from the root variable. Returns the locality radius of f (the
+// largest distance from the root variable that f's truth can depend on),
+// or kNotLocal.
+int64_t CheckLocal(const FormulaPtr& f, std::map<Var, int64_t>* anchors) {
+  const auto anchor_of = [anchors](Var v) -> int64_t {
+    const auto it = anchors->find(v);
+    return it == anchors->end() ? kNotLocal : it->second;
+  };
+  switch (f->kind) {
+    case NodeKind::kTrue:
+    case NodeKind::kFalse:
+      return 0;
+    case NodeKind::kColor:
+      return anchor_of(f->var1);
+    case NodeKind::kEdge:
+    case NodeKind::kEquals: {
+      const int64_t r1 = anchor_of(f->var1);
+      const int64_t r2 = anchor_of(f->var2);
+      if (r1 < 0 || r2 < 0) return kNotLocal;
+      // Edges/equality between ball members are decided by the induced
+      // subgraph; no extra reach needed.
+      return std::max(r1, r2);
+    }
+    case NodeKind::kDistLeq: {
+      const int64_t r1 = anchor_of(f->var1);
+      const int64_t r2 = anchor_of(f->var2);
+      if (r1 < 0 || r2 < 0) return kNotLocal;
+      // A witnessing path of length <= d stays within anchor + d of the
+      // root, so the induced ball decides the atom (positively and
+      // negatively) when the radius covers it.
+      return std::max(r1, r2) + f->dist_bound;
+    }
+    case NodeKind::kNot:
+      return CheckLocal(f->child1, anchors);
+    case NodeKind::kAnd:
+    case NodeKind::kOr: {
+      const int64_t r1 = CheckLocal(f->child1, anchors);
+      if (r1 < 0) return kNotLocal;
+      const int64_t r2 = CheckLocal(f->child2, anchors);
+      if (r2 < 0) return kNotLocal;
+      return std::max(r1, r2);
+    }
+    case NodeKind::kForall:
+      // Write "forall" as !exists ... to stay in the guarded fragment.
+      return kNotLocal;
+    case NodeKind::kExists: {
+      const Var qv = f->quantified_var;
+      if (anchors->count(qv)) return kNotLocal;  // shadowing: bail out
+      // Scan the top-level conjunction tree of the body for a positive
+      // guard anchoring qv.
+      int64_t guard_radius = kNotLocal;
+      std::vector<const fo::Formula*> stack{f->child1.get()};
+      while (!stack.empty()) {
+        const fo::Formula* node = stack.back();
+        stack.pop_back();
+        if (node->kind == NodeKind::kAnd) {
+          stack.push_back(node->child1.get());
+          stack.push_back(node->child2.get());
+          continue;
+        }
+        int64_t candidate = kNotLocal;
+        if (node->kind == NodeKind::kEdge || node->kind == NodeKind::kEquals) {
+          if (node->var1 == qv && anchors->count(node->var2)) {
+            candidate = (*anchors)[node->var2] +
+                        (node->kind == NodeKind::kEdge ? 1 : 0);
+          } else if (node->var2 == qv && anchors->count(node->var1)) {
+            candidate = (*anchors)[node->var1] +
+                        (node->kind == NodeKind::kEdge ? 1 : 0);
+          }
+        } else if (node->kind == NodeKind::kDistLeq) {
+          if (node->var1 == qv && anchors->count(node->var2)) {
+            candidate = (*anchors)[node->var2] + node->dist_bound;
+          } else if (node->var2 == qv && anchors->count(node->var1)) {
+            candidate = (*anchors)[node->var1] + node->dist_bound;
+          }
+        }
+        if (candidate >= 0 &&
+            (guard_radius < 0 || candidate < guard_radius)) {
+          guard_radius = candidate;
+        }
+      }
+      if (guard_radius < 0) return kNotLocal;
+      (*anchors)[qv] = guard_radius;
+      const int64_t body = CheckLocal(f->child1, anchors);
+      anchors->erase(qv);
+      if (body < 0) return kNotLocal;
+      return std::max(body, guard_radius);
+    }
+  }
+  return kNotLocal;
+}
+
+class Extractor {
+ public:
+  Extractor(int first_color) : next_color_(first_color) {}
+
+  FormulaPtr Transform(const FormulaPtr& f) {
+    if (fo::IsQuantifierFree(f)) return f;
+    const std::vector<Var> free_vars = fo::FreeVars(f);
+    if (free_vars.size() == 1) {
+      const int64_t radius = GuardedLocalityRadius(f, free_vars[0]);
+      if (radius >= 0 && radius < (int64_t{1} << 16)) {
+        return fo::Color(Register(f, free_vars[0], radius), free_vars[0]);
+      }
+    }
+    switch (f->kind) {
+      case NodeKind::kNot:
+        return fo::Not(Transform(f->child1));
+      case NodeKind::kAnd:
+        return fo::And(Transform(f->child1), Transform(f->child2));
+      case NodeKind::kOr:
+        return fo::Or(Transform(f->child1), Transform(f->child2));
+      case NodeKind::kExists:
+        return fo::Exists(f->quantified_var, Transform(f->child1));
+      case NodeKind::kForall:
+        return fo::Forall(f->quantified_var, Transform(f->child1));
+      default:
+        return f;
+    }
+  }
+
+  std::vector<LocalUnary>& unaries() { return unaries_; }
+
+ private:
+  int Register(const FormulaPtr& f, Var var, int64_t radius) {
+    // Deduplicate by the variable-canonicalized formula, so U(x) and U(y)
+    // share one virtual color.
+    const FormulaPtr canonical = fo::RenameFreeVar(f, var, kCanonicalVar);
+    for (const LocalUnary& existing : unaries_) {
+      const FormulaPtr other =
+          fo::RenameFreeVar(existing.formula, existing.var, kCanonicalVar);
+      if (fo::StructurallyEqual(canonical, other)) {
+        return existing.virtual_color;
+      }
+    }
+    LocalUnary unary;
+    unary.formula = f;
+    unary.var = var;
+    unary.radius = radius;
+    unary.virtual_color = next_color_++;
+    unaries_.push_back(unary);
+    return unary.virtual_color;
+  }
+
+  int next_color_;
+  std::vector<LocalUnary> unaries_;
+};
+
+}  // namespace
+
+int64_t GuardedLocalityRadius(const fo::FormulaPtr& f, fo::Var var) {
+  std::map<Var, int64_t> anchors{{var, 0}};
+  return CheckLocal(f, &anchors);
+}
+
+LocalUnaryExtraction ExtractLocalUnaries(const fo::Query& query,
+                                         int g_num_colors) {
+  Extractor extractor(g_num_colors);
+  LocalUnaryExtraction result;
+  result.rewritten = query;
+  result.rewritten.formula = extractor.Transform(query.formula);
+  result.unaries = std::move(extractor.unaries());
+  result.complete = fo::IsQuantifierFree(result.rewritten.formula);
+  return result;
+}
+
+ColoredGraph MaterializeLocalUnaries(
+    const ColoredGraph& g, const std::vector<LocalUnary>& unaries) {
+  NWD_CHECK(!unaries.empty());
+  int64_t max_radius = 1;
+  for (const LocalUnary& unary : unaries) {
+    max_radius = std::max(max_radius, unary.radius);
+  }
+  const NeighborhoodCover cover =
+      NeighborhoodCover::Build(g, static_cast<int>(max_radius));
+  LocalEvaluator evaluator(g, cover);
+
+  GraphBuilder builder =
+      GraphBuilder::FromGraph(g, static_cast<int>(unaries.size()));
+  for (const LocalUnary& unary : unaries) {
+    fo::Query unary_query;
+    unary_query.formula = unary.formula;
+    unary_query.free_vars = {unary.var};
+    const std::vector<bool> truth = evaluator.MaterializeUnary(unary_query);
+    for (Vertex v = 0; v < g.NumVertices(); ++v) {
+      if (truth[v]) builder.SetColor(v, unary.virtual_color);
+    }
+  }
+  return std::move(builder).Build();
+}
+
+}  // namespace nwd

@@ -1,0 +1,69 @@
+// Extraction and materialization of guarded-local unary subformulas —
+// the library's slice of the Unary Theorem (Theorem 5.3).
+//
+// Many natural queries are quantifier-free *except* for unary "pattern"
+// subformulas around one variable, e.g.
+//
+//   q(x, y) := dist(x,y) > 2  &  (exists z. E(y, z) & Red(z))
+//
+// The quantified part U(y) = exists z (E(y,z) & Red(z)) is 1-local: its
+// truth at y only depends on N_1(y). Such subformulas can be evaluated for
+// every vertex during preprocessing (pseudo-linearly, one bag-local
+// evaluation per vertex — the Theorem 5.3 stand-in of local_evaluator.h)
+// and replaced by fresh *virtual colors*, after which the remaining query
+// is quantifier-free and the full LNF engine applies.
+//
+// A subformula qualifies when it is syntactically guarded: each quantified
+// variable is introduced as  exists z (guard & ...)  where the guard is a
+// positive conjunct E(z, w) or dist(z, w) <= d anchoring z within known
+// distance of an already-anchored variable. The computed locality radius R
+// (anchors plus the largest distance atom) certifies that evaluation inside
+// any bag containing N_R(y) agrees with evaluation in G.
+
+#ifndef NWD_ENUMERATE_LOCAL_UNARY_H_
+#define NWD_ENUMERATE_LOCAL_UNARY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "fo/ast.h"
+#include "graph/colored_graph.h"
+
+namespace nwd {
+
+// One extracted unary subformula.
+struct LocalUnary {
+  fo::FormulaPtr formula;  // free variable: `var`
+  fo::Var var = -1;
+  int64_t radius = 0;      // locality radius R
+  int virtual_color = -1;  // color index assigned in the expanded graph
+};
+
+struct LocalUnaryExtraction {
+  // The query with each extracted subformula replaced by a virtual color
+  // atom. Quantifier-free iff `complete`.
+  fo::Query rewritten;
+  std::vector<LocalUnary> unaries;
+  // Whether the rewritten query is quantifier-free (i.e. every quantified
+  // part was extractable).
+  bool complete = false;
+};
+
+// Attempts the extraction. Virtual colors are numbered from
+// g_num_colors upward in extraction order.
+LocalUnaryExtraction ExtractLocalUnaries(const fo::Query& query,
+                                         int g_num_colors);
+
+// If `f` is a guarded-local formula whose only free variable is `var`,
+// returns its locality radius; otherwise -1. Exposed for tests.
+int64_t GuardedLocalityRadius(const fo::FormulaPtr& f, fo::Var var);
+
+// Materializes the extracted unaries over g: evaluates each one for every
+// vertex (via bag-local evaluation on a cover of sufficient radius) and
+// returns g expanded with the virtual colors.
+ColoredGraph MaterializeLocalUnaries(const ColoredGraph& g,
+                                     const std::vector<LocalUnary>& unaries);
+
+}  // namespace nwd
+
+#endif  // NWD_ENUMERATE_LOCAL_UNARY_H_

@@ -1,0 +1,190 @@
+#include "enumerate/sentences.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "cover/neighborhood_cover.h"
+#include "enumerate/independence.h"
+#include "enumerate/local_unary.h"
+#include "fo/analysis.h"
+#include "fo/naive_eval.h"
+#include "local/local_evaluator.h"
+#include "util/check.h"
+
+namespace nwd {
+namespace {
+
+using fo::FormulaPtr;
+using fo::NodeKind;
+using fo::Var;
+
+// Recognizes exists z_1 .. z_k (pairwise "dist > r" & unary parts) with
+// quantifier-free, per-variable-identical unary parts.
+struct ScatterPattern {
+  int k = 0;
+  int separation = 0;
+  FormulaPtr psi;  // unary part with free variable `var`
+  Var var = -1;
+};
+
+std::optional<ScatterPattern> MatchScatterPattern(const FormulaPtr& f) {
+  // Peel the quantifier prefix.
+  std::vector<Var> vars;
+  FormulaPtr node = f;
+  while (node->kind == NodeKind::kExists) {
+    vars.push_back(node->quantified_var);
+    node = node->child1;
+  }
+  if (vars.size() < 2) return std::nullopt;
+
+  // Flatten the conjunction body (keeping shared ownership).
+  std::vector<FormulaPtr> conjuncts;
+  std::vector<FormulaPtr> stack{node};
+  while (!stack.empty()) {
+    const FormulaPtr cur = stack.back();
+    stack.pop_back();
+    if (cur->kind == NodeKind::kAnd) {
+      stack.push_back(cur->child1);
+      stack.push_back(cur->child2);
+    } else {
+      conjuncts.push_back(cur);
+    }
+  }
+
+  // Separate the far-atoms from the unary parts.
+  std::map<std::pair<Var, Var>, int64_t> far;  // normalized pairs
+  std::map<Var, std::vector<FormulaPtr>> unary;
+  for (const FormulaPtr& c : conjuncts) {
+    if (c->kind == NodeKind::kNot &&
+        c->child1->kind == NodeKind::kDistLeq) {
+      Var a = c->child1->var1;
+      Var b = c->child1->var2;
+      if (a > b) std::swap(a, b);
+      far[{a, b}] = c->child1->dist_bound;
+      continue;
+    }
+    // Must be a quantifier-free formula over exactly one of the vars.
+    if (!fo::IsQuantifierFree(c)) return std::nullopt;
+    const std::vector<Var> fv = fo::FreeVars(c);
+    if (fv.size() != 1) return std::nullopt;
+    unary[fv[0]].push_back(c);
+  }
+
+  // All pairs present with one common bound.
+  int64_t separation = -1;
+  for (size_t i = 0; i < vars.size(); ++i) {
+    for (size_t j = i + 1; j < vars.size(); ++j) {
+      Var a = vars[i];
+      Var b = vars[j];
+      if (a > b) std::swap(a, b);
+      const auto it = far.find({a, b});
+      if (it == far.end()) return std::nullopt;
+      if (separation == -1) separation = it->second;
+      if (it->second != separation) return std::nullopt;
+    }
+  }
+  if (separation < 0 || separation > (int64_t{1} << 20)) {
+    return std::nullopt;
+  }
+
+  // Per-variable unary parts must be identical modulo renaming.
+  constexpr Var kCanonical = 1 << 20;
+  FormulaPtr canonical_psi;
+  for (Var v : vars) {
+    FormulaPtr part = fo::True();
+    for (const FormulaPtr& piece : unary[v]) part = fo::And(part, piece);
+    const FormulaPtr canon = fo::RenameFreeVar(part, v, kCanonical);
+    if (canonical_psi == nullptr) {
+      canonical_psi = canon;
+    } else if (!fo::StructurallyEqual(canonical_psi, canon)) {
+      return std::nullopt;
+    }
+  }
+
+  ScatterPattern pattern;
+  pattern.k = static_cast<int>(vars.size());
+  pattern.separation = static_cast<int>(separation);
+  pattern.psi = canonical_psi;
+  pattern.var = kCanonical;
+  return pattern;
+}
+
+class SentenceChecker {
+ public:
+  explicit SentenceChecker(const ColoredGraph& g) : graph_(&g) {}
+
+  bool Check(const FormulaPtr& f, bool* used_naive) {
+    switch (f->kind) {
+      case NodeKind::kTrue:
+        return true;
+      case NodeKind::kFalse:
+        return false;
+      case NodeKind::kNot:
+        return !Check(f->child1, used_naive);
+      case NodeKind::kAnd:
+        // Short-circuit, cheap side effects only.
+        return Check(f->child1, used_naive) && Check(f->child2, used_naive);
+      case NodeKind::kOr:
+        return Check(f->child1, used_naive) || Check(f->child2, used_naive);
+      case NodeKind::kExists: {
+        // Independence sentence?
+        if (const auto pattern = MatchScatterPattern(f)) {
+          return CheckIndependenceSentence(*graph_, pattern->psi,
+                                           pattern->var, pattern->k,
+                                           pattern->separation)
+              .holds;
+        }
+        // Guarded-local existential?
+        const Var x = f->quantified_var;
+        const int64_t radius = GuardedLocalityRadius(f->child1, x);
+        if (radius >= 0 && radius < (int64_t{1} << 16) &&
+            graph_->NumVertices() > 0) {
+          const NeighborhoodCover cover = NeighborhoodCover::Build(
+              *graph_, std::max<int>(1, static_cast<int>(radius)));
+          LocalEvaluator evaluator(*graph_, cover);
+          fo::Query unary;
+          unary.formula = f->child1;
+          unary.free_vars = {x};
+          const std::vector<bool> truth =
+              evaluator.MaterializeUnary(unary);
+          return std::find(truth.begin(), truth.end(), true) != truth.end();
+        }
+        return Naive(f, used_naive);
+      }
+      case NodeKind::kForall:
+        // forall x phi == !(exists x !phi); reuse the machinery.
+        return !Check(fo::Exists(f->quantified_var, fo::Not(f->child1)),
+                      used_naive);
+      default:
+        // An atom with free variables would not be a sentence.
+        NWD_CHECK(false) << "free variables in a sentence";
+        return false;
+    }
+  }
+
+ private:
+  bool Naive(const FormulaPtr& f, bool* used_naive) {
+    *used_naive = true;
+    fo::NaiveEvaluator eval(*graph_);
+    std::vector<Vertex> env(
+        static_cast<size_t>(std::max(fo::MaxVarId(f), 0)) + 1, fo::kUnbound);
+    return eval.Evaluate(f, &env);
+  }
+
+  const ColoredGraph* graph_;
+};
+
+}  // namespace
+
+SentenceResult CheckSentence(const ColoredGraph& g,
+                             const fo::FormulaPtr& sentence) {
+  NWD_CHECK(fo::FreeVars(sentence).empty()) << "sentence has free variables";
+  SentenceChecker checker(g);
+  SentenceResult result;
+  result.holds = checker.Check(sentence, &result.used_naive);
+  return result;
+}
+
+}  // namespace nwd

@@ -1,0 +1,35 @@
+// Model checking of FO+ sentences (arity-0 queries) — the boolean face of
+// the paper (the Grohe–Kreutzer–Siebertz result it builds on).
+//
+// The checker decides, without the naive quantifier loops where possible:
+//   * guarded-local existentials  exists x. phi(x)  with phi in the
+//     guarded-local fragment (local_unary.h): materialize phi per vertex
+//     (pseudo-linear) and test non-emptiness;
+//   * independence sentences  exists z_1..z_k (pairwise dist > r & psi(z_i))
+//     with quantifier-free psi (independence.h) — the xi sentences of the
+//     Rank-Preserving Normal Form;
+//   * boolean combinations of the above and of closed constants.
+// Anything else falls back to exact naive evaluation (flagged in the
+// result).
+
+#ifndef NWD_ENUMERATE_SENTENCES_H_
+#define NWD_ENUMERATE_SENTENCES_H_
+
+#include "fo/ast.h"
+#include "graph/colored_graph.h"
+
+namespace nwd {
+
+struct SentenceResult {
+  bool holds = false;
+  // True if some subsentence required the naive evaluator.
+  bool used_naive = false;
+};
+
+// Decides g |= sentence. `sentence` must have no free variables.
+SentenceResult CheckSentence(const ColoredGraph& g,
+                             const fo::FormulaPtr& sentence);
+
+}  // namespace nwd
+
+#endif  // NWD_ENUMERATE_SENTENCES_H_

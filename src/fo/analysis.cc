@@ -1,0 +1,254 @@
+#include "fo/analysis.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace nwd {
+namespace fo {
+namespace {
+
+void CollectFreeVars(const FormulaPtr& f, std::set<Var>* bound,
+                     std::set<Var>* free) {
+  switch (f->kind) {
+    case NodeKind::kTrue:
+    case NodeKind::kFalse:
+      return;
+    case NodeKind::kColor:
+      if (!bound->count(f->var1)) free->insert(f->var1);
+      return;
+    case NodeKind::kEdge:
+    case NodeKind::kEquals:
+    case NodeKind::kDistLeq:
+      if (!bound->count(f->var1)) free->insert(f->var1);
+      if (!bound->count(f->var2)) free->insert(f->var2);
+      return;
+    case NodeKind::kNot:
+      CollectFreeVars(f->child1, bound, free);
+      return;
+    case NodeKind::kAnd:
+    case NodeKind::kOr:
+      CollectFreeVars(f->child1, bound, free);
+      CollectFreeVars(f->child2, bound, free);
+      return;
+    case NodeKind::kExists:
+    case NodeKind::kForall: {
+      const bool was_bound = bound->count(f->quantified_var) > 0;
+      bound->insert(f->quantified_var);
+      CollectFreeVars(f->child1, bound, free);
+      if (!was_bound) bound->erase(f->quantified_var);
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Var> FreeVars(const FormulaPtr& f) {
+  std::set<Var> bound;
+  std::set<Var> free;
+  CollectFreeVars(f, &bound, &free);
+  return std::vector<Var>(free.begin(), free.end());
+}
+
+Var MaxVarId(const FormulaPtr& f) {
+  switch (f->kind) {
+    case NodeKind::kTrue:
+    case NodeKind::kFalse:
+      return -1;
+    case NodeKind::kColor:
+      return f->var1;
+    case NodeKind::kEdge:
+    case NodeKind::kEquals:
+    case NodeKind::kDistLeq:
+      return std::max(f->var1, f->var2);
+    case NodeKind::kNot:
+      return MaxVarId(f->child1);
+    case NodeKind::kAnd:
+    case NodeKind::kOr:
+      return std::max(MaxVarId(f->child1), MaxVarId(f->child2));
+    case NodeKind::kExists:
+    case NodeKind::kForall:
+      return std::max(f->quantified_var, MaxVarId(f->child1));
+  }
+  return -1;
+}
+
+int QuantifierRank(const FormulaPtr& f) {
+  switch (f->kind) {
+    case NodeKind::kTrue:
+    case NodeKind::kFalse:
+    case NodeKind::kColor:
+    case NodeKind::kEdge:
+    case NodeKind::kEquals:
+    case NodeKind::kDistLeq:
+      return 0;
+    case NodeKind::kNot:
+      return QuantifierRank(f->child1);
+    case NodeKind::kAnd:
+    case NodeKind::kOr:
+      return std::max(QuantifierRank(f->child1), QuantifierRank(f->child2));
+    case NodeKind::kExists:
+    case NodeKind::kForall:
+      return 1 + QuantifierRank(f->child1);
+  }
+  return 0;
+}
+
+int64_t MaxDistBound(const FormulaPtr& f) {
+  switch (f->kind) {
+    case NodeKind::kDistLeq:
+      return f->dist_bound;
+    case NodeKind::kNot:
+      return MaxDistBound(f->child1);
+    case NodeKind::kAnd:
+    case NodeKind::kOr:
+      return std::max(MaxDistBound(f->child1), MaxDistBound(f->child2));
+    case NodeKind::kExists:
+    case NodeKind::kForall:
+      return MaxDistBound(f->child1);
+    default:
+      return 0;
+  }
+}
+
+int64_t LocalityRadius(int q, int l) {
+  NWD_CHECK_GE(q, 0);
+  NWD_CHECK_GE(l, 0);
+  // (4q)^{q+l}, saturating to avoid overflow (bounds beyond ~1e15 exceed any
+  // graph diameter we could process anyway).
+  constexpr int64_t kCap = int64_t{1} << 50;
+  const int64_t base = 4 * std::max(q, 1);
+  int64_t result = 1;
+  for (int i = 0; i < q + l; ++i) {
+    if (result > kCap / base) return kCap;
+    result *= base;
+  }
+  return result;
+}
+
+namespace {
+
+bool QRankCheck(const FormulaPtr& f, int q, int remaining_depth) {
+  switch (f->kind) {
+    case NodeKind::kTrue:
+    case NodeKind::kFalse:
+    case NodeKind::kColor:
+    case NodeKind::kEdge:
+    case NodeKind::kEquals:
+      return true;
+    case NodeKind::kDistLeq:
+      // Under i quantifiers with overall bound l, remaining_depth = l - i;
+      // the atom must satisfy d <= (4q)^{q + remaining_depth}.
+      return f->dist_bound <= LocalityRadius(q, remaining_depth);
+    case NodeKind::kNot:
+      return QRankCheck(f->child1, q, remaining_depth);
+    case NodeKind::kAnd:
+    case NodeKind::kOr:
+      return QRankCheck(f->child1, q, remaining_depth) &&
+             QRankCheck(f->child2, q, remaining_depth);
+    case NodeKind::kExists:
+    case NodeKind::kForall:
+      if (remaining_depth == 0) return false;  // quantifier rank exceeded
+      return QRankCheck(f->child1, q, remaining_depth - 1);
+  }
+  return false;
+}
+
+}  // namespace
+
+bool HasQRankAtMost(const FormulaPtr& f, int q, int l) {
+  return QRankCheck(f, q, l);
+}
+
+FormulaPtr RenameFreeVar(const FormulaPtr& f, Var from, Var to) {
+  if (from == to) return f;
+  switch (f->kind) {
+    case NodeKind::kTrue:
+    case NodeKind::kFalse:
+      return f;
+    case NodeKind::kColor:
+      return f->var1 == from ? Color(f->color, to) : f;
+    case NodeKind::kEdge: {
+      const Var x = f->var1 == from ? to : f->var1;
+      const Var y = f->var2 == from ? to : f->var2;
+      return (x == f->var1 && y == f->var2) ? f : Edge(x, y);
+    }
+    case NodeKind::kEquals: {
+      const Var x = f->var1 == from ? to : f->var1;
+      const Var y = f->var2 == from ? to : f->var2;
+      return (x == f->var1 && y == f->var2) ? f : Equals(x, y);
+    }
+    case NodeKind::kDistLeq: {
+      const Var x = f->var1 == from ? to : f->var1;
+      const Var y = f->var2 == from ? to : f->var2;
+      return (x == f->var1 && y == f->var2) ? f
+                                            : DistLeq(x, y, f->dist_bound);
+    }
+    case NodeKind::kNot:
+      return Not(RenameFreeVar(f->child1, from, to));
+    case NodeKind::kAnd:
+      return And(RenameFreeVar(f->child1, from, to),
+                 RenameFreeVar(f->child2, from, to));
+    case NodeKind::kOr:
+      return Or(RenameFreeVar(f->child1, from, to),
+                RenameFreeVar(f->child2, from, to));
+    case NodeKind::kExists:
+    case NodeKind::kForall: {
+      if (f->quantified_var == from) return f;  // `from` is bound inside
+      NWD_CHECK_NE(f->quantified_var, to)
+          << "variable capture in RenameFreeVar; pass a fresh id";
+      FormulaPtr body = RenameFreeVar(f->child1, from, to);
+      return f->kind == NodeKind::kExists ? Exists(f->quantified_var, body)
+                                          : Forall(f->quantified_var, body);
+    }
+  }
+  return f;
+}
+
+bool StructurallyEqual(const FormulaPtr& a, const FormulaPtr& b) {
+  if (a == b) return true;
+  if (a->kind != b->kind) return false;
+  switch (a->kind) {
+    case NodeKind::kTrue:
+    case NodeKind::kFalse:
+      return true;
+    case NodeKind::kColor:
+      return a->var1 == b->var1 && a->color == b->color;
+    case NodeKind::kEdge:
+    case NodeKind::kEquals:
+      return a->var1 == b->var1 && a->var2 == b->var2;
+    case NodeKind::kDistLeq:
+      return a->var1 == b->var1 && a->var2 == b->var2 &&
+             a->dist_bound == b->dist_bound;
+    case NodeKind::kNot:
+      return StructurallyEqual(a->child1, b->child1);
+    case NodeKind::kAnd:
+    case NodeKind::kOr:
+      return StructurallyEqual(a->child1, b->child1) &&
+             StructurallyEqual(a->child2, b->child2);
+    case NodeKind::kExists:
+    case NodeKind::kForall:
+      return a->quantified_var == b->quantified_var &&
+             StructurallyEqual(a->child1, b->child1);
+  }
+  return false;
+}
+
+bool IsQuantifierFree(const FormulaPtr& f) {
+  switch (f->kind) {
+    case NodeKind::kExists:
+    case NodeKind::kForall:
+      return false;
+    case NodeKind::kNot:
+      return IsQuantifierFree(f->child1);
+    case NodeKind::kAnd:
+    case NodeKind::kOr:
+      return IsQuantifierFree(f->child1) && IsQuantifierFree(f->child2);
+    default:
+      return true;
+  }
+}
+
+}  // namespace fo
+}  // namespace nwd

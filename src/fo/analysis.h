@@ -1,0 +1,51 @@
+// Static analysis and syntactic transformations on FO+ formulas:
+// free variables, quantifier rank, q-rank (Section 5.1.2), renaming.
+
+#ifndef NWD_FO_ANALYSIS_H_
+#define NWD_FO_ANALYSIS_H_
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "fo/ast.h"
+
+namespace nwd {
+namespace fo {
+
+// The set of free variables of f (sorted).
+std::vector<Var> FreeVars(const FormulaPtr& f);
+
+// Largest variable id occurring in f (free or bound), or -1 if none.
+Var MaxVarId(const FormulaPtr& f);
+
+// Quantifier rank: maximum nesting depth of quantifiers.
+int QuantifierRank(const FormulaPtr& f);
+
+// Largest d over all dist(x,y) <= d atoms, or 0 if none. Together with
+// QuantifierRank this determines the locality radius the engine uses.
+int64_t MaxDistBound(const FormulaPtr& f);
+
+// f_q(l) = (4q)^{q+l}, the locality-radius function of Section 5.1.2.
+// Saturates at a large value instead of overflowing.
+int64_t LocalityRadius(int q, int l);
+
+// Whether f has q-rank at most l: quantifier rank <= l and every distance
+// atom under i quantifiers has bound <= (4q)^{q+l-i} (Section 5.1.2).
+bool HasQRankAtMost(const FormulaPtr& f, int q, int l);
+
+// Replaces every *free* occurrence of variable `from` by `to`.
+// `to` must not be captured: callers pass fresh ids (use MaxVarId+1).
+FormulaPtr RenameFreeVar(const FormulaPtr& f, Var from, Var to);
+
+// Structural equality of formulas (same tree, same atoms).
+bool StructurallyEqual(const FormulaPtr& a, const FormulaPtr& b);
+
+// Whether f contains a quantifier at all (quantifier-free formulas get the
+// exact distance-type decomposition in the LNF compiler).
+bool IsQuantifierFree(const FormulaPtr& f);
+
+}  // namespace fo
+}  // namespace nwd
+
+#endif  // NWD_FO_ANALYSIS_H_

@@ -1,0 +1,120 @@
+#include "fo/ast.h"
+
+#include "util/check.h"
+
+namespace nwd {
+namespace fo {
+namespace {
+
+FormulaPtr Make(Formula node) {
+  return std::make_shared<const Formula>(std::move(node));
+}
+
+bool IsTrue(const FormulaPtr& f) { return f->kind == NodeKind::kTrue; }
+bool IsFalse(const FormulaPtr& f) { return f->kind == NodeKind::kFalse; }
+
+}  // namespace
+
+FormulaPtr True() {
+  static const FormulaPtr instance = Make({.kind = NodeKind::kTrue});
+  return instance;
+}
+
+FormulaPtr False() {
+  static const FormulaPtr instance = Make({.kind = NodeKind::kFalse});
+  return instance;
+}
+
+FormulaPtr Edge(Var x, Var y) {
+  NWD_CHECK_GE(x, 0);
+  NWD_CHECK_GE(y, 0);
+  if (x == y) return False();  // no self-loops in colored graphs
+  return Make({.kind = NodeKind::kEdge, .var1 = x, .var2 = y});
+}
+
+FormulaPtr Color(int color, Var x) {
+  NWD_CHECK_GE(color, 0);
+  NWD_CHECK_GE(x, 0);
+  return Make({.kind = NodeKind::kColor, .var1 = x, .color = color});
+}
+
+FormulaPtr Equals(Var x, Var y) {
+  NWD_CHECK_GE(x, 0);
+  NWD_CHECK_GE(y, 0);
+  if (x == y) return True();
+  return Make({.kind = NodeKind::kEquals, .var1 = x, .var2 = y});
+}
+
+FormulaPtr DistLeq(Var x, Var y, int64_t bound) {
+  NWD_CHECK_GE(x, 0);
+  NWD_CHECK_GE(y, 0);
+  if (bound < 0) return False();
+  if (x == y) return True();
+  if (bound == 0) return Equals(x, y);  // distance 0 means equality
+  return Make(
+      {.kind = NodeKind::kDistLeq, .var1 = x, .var2 = y, .dist_bound = bound});
+}
+
+FormulaPtr Not(FormulaPtr f) {
+  if (IsTrue(f)) return False();
+  if (IsFalse(f)) return True();
+  if (f->kind == NodeKind::kNot) return f->child1;  // double negation
+  return Make({.kind = NodeKind::kNot, .child1 = std::move(f)});
+}
+
+FormulaPtr And(FormulaPtr a, FormulaPtr b) {
+  if (IsFalse(a) || IsFalse(b)) return False();
+  if (IsTrue(a)) return b;
+  if (IsTrue(b)) return a;
+  return Make(
+      {.kind = NodeKind::kAnd, .child1 = std::move(a), .child2 = std::move(b)});
+}
+
+FormulaPtr Or(FormulaPtr a, FormulaPtr b) {
+  if (IsTrue(a) || IsTrue(b)) return True();
+  if (IsFalse(a)) return b;
+  if (IsFalse(b)) return a;
+  return Make(
+      {.kind = NodeKind::kOr, .child1 = std::move(a), .child2 = std::move(b)});
+}
+
+FormulaPtr Implies(FormulaPtr a, FormulaPtr b) {
+  return Or(Not(std::move(a)), std::move(b));
+}
+
+FormulaPtr Iff(FormulaPtr a, FormulaPtr b) {
+  return And(Implies(a, b), Implies(b, a));
+}
+
+FormulaPtr Exists(Var v, FormulaPtr f) {
+  NWD_CHECK_GE(v, 0);
+  // Only the empty-domain-safe fold: exists v. false  ==  false.
+  // (exists v. true is NOT folded: it is false on an empty domain, which
+  // the removal recursion can produce from one-vertex bags.)
+  if (IsFalse(f)) return False();
+  return Make(
+      {.kind = NodeKind::kExists, .quantified_var = v, .child1 = std::move(f)});
+}
+
+FormulaPtr Forall(Var v, FormulaPtr f) {
+  NWD_CHECK_GE(v, 0);
+  // Only the empty-domain-safe fold: forall v. true  ==  true.
+  if (IsTrue(f)) return True();
+  return Make(
+      {.kind = NodeKind::kForall, .quantified_var = v, .child1 = std::move(f)});
+}
+
+FormulaPtr AndAll(const std::vector<FormulaPtr>& fs) {
+  FormulaPtr result = True();
+  for (const FormulaPtr& f : fs) result = And(result, f);
+  return result;
+}
+
+FormulaPtr OrAll(const std::vector<FormulaPtr>& fs) {
+  FormulaPtr result = False();
+  for (const FormulaPtr& f : fs) result = Or(result, f);
+  return result;
+}
+
+}  // namespace fo
+}  // namespace nwd

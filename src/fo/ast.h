@@ -1,0 +1,94 @@
+// Abstract syntax for FO+ formulas over colored graphs.
+//
+// FO+ (Section 5 of the paper) is first-order logic over the schema
+// sigma_c = {E, C_1, ..., C_c} extended with distance atoms
+// "dist(x,y) <= d" for constants d, interpreted in the Gaifman graph.
+// Distance atoms do not add expressive power (Definition 4.1 unfolds them
+// into plain FO) but they are what makes the Rank-Preserving Normal Form's
+// q-rank bookkeeping possible.
+//
+// Formulas are immutable DAG nodes shared via shared_ptr; all construction
+// goes through the factory functions below, which perform lightweight
+// simplification (constant folding) so that rewrites stay readable.
+
+#ifndef NWD_FO_AST_H_
+#define NWD_FO_AST_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace nwd {
+namespace fo {
+
+// Variables are dense non-negative integers. Queries carry the display
+// names; the ids are what the evaluators index environments with.
+using Var = int;
+
+enum class NodeKind {
+  kTrue,
+  kFalse,
+  kEdge,     // E(var1, var2)
+  kColor,    // C_color(var1)
+  kEquals,   // var1 = var2
+  kDistLeq,  // dist(var1, var2) <= dist_bound
+  kNot,      // !child1
+  kAnd,      // child1 & child2
+  kOr,       // child1 | child2
+  kExists,   // exists quantified_var . child1
+  kForall,   // forall quantified_var . child1
+};
+
+struct Formula;
+using FormulaPtr = std::shared_ptr<const Formula>;
+
+// One immutable AST node. Fields not applicable to `kind` hold defaults.
+struct Formula {
+  NodeKind kind;
+  Var var1 = -1;
+  Var var2 = -1;
+  int color = -1;
+  int64_t dist_bound = 0;
+  Var quantified_var = -1;
+  FormulaPtr child1;
+  FormulaPtr child2;
+};
+
+// ---- Factory functions (with constant folding) ----
+
+FormulaPtr True();
+FormulaPtr False();
+FormulaPtr Edge(Var x, Var y);
+FormulaPtr Color(int color, Var x);
+FormulaPtr Equals(Var x, Var y);
+FormulaPtr DistLeq(Var x, Var y, int64_t bound);
+FormulaPtr Not(FormulaPtr f);
+FormulaPtr And(FormulaPtr a, FormulaPtr b);
+FormulaPtr Or(FormulaPtr a, FormulaPtr b);
+FormulaPtr Implies(FormulaPtr a, FormulaPtr b);
+FormulaPtr Iff(FormulaPtr a, FormulaPtr b);
+FormulaPtr Exists(Var v, FormulaPtr f);
+FormulaPtr Forall(Var v, FormulaPtr f);
+
+// Conjunction/disjunction over a list; empty list yields True()/False().
+FormulaPtr AndAll(const std::vector<FormulaPtr>& fs);
+FormulaPtr OrAll(const std::vector<FormulaPtr>& fs);
+
+// A k-ary query: a formula together with the ordered tuple of its free
+// variables (the order defines solution-tuple component order, hence the
+// lexicographic order the engine enumerates in).
+struct Query {
+  FormulaPtr formula;
+  std::vector<Var> free_vars;
+  // Display names: var_names[v] names variable id v (may have gaps for
+  // internally generated variables).
+  std::vector<std::string> var_names;
+
+  int arity() const { return static_cast<int>(free_vars.size()); }
+};
+
+}  // namespace fo
+}  // namespace nwd
+
+#endif  // NWD_FO_AST_H_

@@ -1,0 +1,58 @@
+#include "fo/builders.h"
+
+#include "util/check.h"
+
+namespace nwd {
+namespace fo {
+namespace {
+
+Query MakeQuery(FormulaPtr formula, std::vector<Var> free_vars,
+                std::vector<std::string> names) {
+  Query q;
+  q.formula = std::move(formula);
+  q.free_vars = std::move(free_vars);
+  q.var_names = std::move(names);
+  return q;
+}
+
+}  // namespace
+
+FormulaPtr UnfoldedDistLeq(Var x, Var y, int64_t r, Var first_fresh_var) {
+  NWD_CHECK_GT(first_fresh_var, x);
+  NWD_CHECK_GT(first_fresh_var, y);
+  if (r <= 0) return Equals(x, y);
+  const Var z = first_fresh_var;
+  return Or(Exists(z, And(Edge(x, z),
+                          UnfoldedDistLeq(z, y, r - 1, first_fresh_var + 1))),
+            UnfoldedDistLeq(x, y, r - 1, first_fresh_var + 1));
+}
+
+Query DistanceQuery(int64_t r) {
+  return MakeQuery(DistLeq(0, 1, r), {0, 1}, {"x", "y"});
+}
+
+Query FarColorQuery(int64_t r, int color) {
+  return MakeQuery(And(Not(DistLeq(0, 1, r)), Color(color, 1)), {0, 1},
+                   {"x", "y"});
+}
+
+Query TwoFarOneColorQuery(int64_t r, int color) {
+  return MakeQuery(
+      And(And(Not(DistLeq(0, 2, r)), Not(DistLeq(1, 2, r))), Color(color, 2)),
+      {0, 1, 2}, {"x", "y", "z"});
+}
+
+Query ColoredPairQuery(int color_a, int color_b, int64_t r) {
+  return MakeQuery(
+      And(And(Color(color_a, 0), Color(color_b, 1)), DistLeq(0, 1, r)),
+      {0, 1}, {"x", "y"});
+}
+
+Query HasNeighborOfColorQuery(int color_a, int color_b) {
+  return MakeQuery(
+      And(Color(color_a, 0), Exists(1, And(Edge(0, 1), Color(color_b, 1)))),
+      {0}, {"x", "y"});
+}
+
+}  // namespace fo
+}  // namespace nwd

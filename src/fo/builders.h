@@ -1,0 +1,38 @@
+// Ready-made queries used throughout the tests, benchmarks and examples —
+// including the worked examples of the paper.
+
+#ifndef NWD_FO_BUILDERS_H_
+#define NWD_FO_BUILDERS_H_
+
+#include <cstdint>
+
+#include "fo/ast.h"
+
+namespace nwd {
+namespace fo {
+
+// dist_{<= r}(x, y) unfolded into pure FO per Definition 4.1:
+//   dist_{<=0}(x,y) := x = y
+//   dist_{<=r}(x,y) := exists z (E(x,z) & dist_{<=r-1}(z,y)) | dist_{<=r-1}(x,y)
+// Fresh bound variables start at `first_fresh_var` (must exceed x and y).
+FormulaPtr UnfoldedDistLeq(Var x, Var y, int64_t r, Var first_fresh_var);
+
+// Example 1-A: q(x,y) := dist(x,y) <= r (as an FO+ atom).
+Query DistanceQuery(int64_t r);
+
+// Example 2: q(x,y) := dist(x,y) > r & C_color(y).
+Query FarColorQuery(int64_t r, int color);
+
+// Example 2': q(x,y,z) := dist(x,z) > r & dist(y,z) > r & C_color(z).
+Query TwoFarOneColorQuery(int64_t r, int color);
+
+// "Colored path": q(x,y) := C_a(x) & C_b(y) & dist(x,y) <= r.
+Query ColoredPairQuery(int color_a, int color_b, int64_t r);
+
+// Unary: q(x) := C_a(x) & exists y (E(x,y) & C_b(y)).
+Query HasNeighborOfColorQuery(int color_a, int color_b);
+
+}  // namespace fo
+}  // namespace nwd
+
+#endif  // NWD_FO_BUILDERS_H_

@@ -1,0 +1,476 @@
+#include "fo/parser.h"
+
+#include <cctype>
+#include <cstdint>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "fo/analysis.h"
+
+namespace nwd {
+namespace fo {
+namespace {
+
+enum class TokenKind {
+  kIdent,
+  kNumber,
+  kLParen,
+  kRParen,
+  kComma,
+  kDot,
+  kAmp,
+  kPipe,
+  kBang,
+  kEq,
+  kNeq,
+  kLeq,
+  kGt,
+  kAssign,  // :=
+  kEnd,
+  kError,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  int64_t number = 0;
+  size_t pos = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  Token Next() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(
+                                      text_[pos_]))) {
+      ++pos_;
+    }
+    const size_t start = pos_;
+    if (pos_ >= text_.size()) return {TokenKind::kEnd, "", 0, start};
+    const char c = text_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t end = pos_;
+      while (end < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[end])) ||
+              text_[end] == '_')) {
+        ++end;
+      }
+      Token t{TokenKind::kIdent, std::string(text_.substr(pos_, end - pos_)),
+              0, start};
+      pos_ = end;
+      return t;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t end = pos_;
+      int64_t value = 0;
+      while (end < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[end]))) {
+        value = value * 10 + (text_[end] - '0');
+        ++end;
+      }
+      Token t{TokenKind::kNumber, std::string(text_.substr(pos_, end - pos_)),
+              value, start};
+      pos_ = end;
+      return t;
+    }
+    ++pos_;
+    switch (c) {
+      case '(':
+        return {TokenKind::kLParen, "(", 0, start};
+      case ')':
+        return {TokenKind::kRParen, ")", 0, start};
+      case ',':
+        return {TokenKind::kComma, ",", 0, start};
+      case '.':
+        return {TokenKind::kDot, ".", 0, start};
+      case '&':
+        return {TokenKind::kAmp, "&", 0, start};
+      case '|':
+        return {TokenKind::kPipe, "|", 0, start};
+      case '~':
+        return {TokenKind::kBang, "~", 0, start};
+      case '!':
+        if (pos_ < text_.size() && text_[pos_] == '=') {
+          ++pos_;
+          return {TokenKind::kNeq, "!=", 0, start};
+        }
+        return {TokenKind::kBang, "!", 0, start};
+      case '=':
+        return {TokenKind::kEq, "=", 0, start};
+      case '<':
+        if (pos_ < text_.size() && text_[pos_] == '=') {
+          ++pos_;
+          return {TokenKind::kLeq, "<=", 0, start};
+        }
+        return {TokenKind::kError, "<", 0, start};
+      case '>':
+        return {TokenKind::kGt, ">", 0, start};
+      case ':':
+        if (pos_ < text_.size() && text_[pos_] == '=') {
+          ++pos_;
+          return {TokenKind::kAssign, ":=", 0, start};
+        }
+        return {TokenKind::kError, ":", 0, start};
+      default:
+        return {TokenKind::kError, std::string(1, c), 0, start};
+    }
+  }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+class Parser {
+ public:
+  Parser(std::string_view text, const std::map<std::string, int>& color_names)
+      : lexer_(text), color_names_(color_names) {
+    Advance();
+  }
+
+  // Returns the variable id for a name, creating it if new.
+  Var GetVar(const std::string& name) {
+    for (size_t i = 0; i < var_names_.size(); ++i) {
+      if (var_names_[i] == name) return static_cast<Var>(i);
+    }
+    var_names_.push_back(name);
+    return static_cast<Var>(var_names_.size() - 1);
+  }
+
+  std::optional<Var> LookupVar(const std::string& name) const {
+    for (size_t i = 0; i < var_names_.size(); ++i) {
+      if (var_names_[i] == name) return static_cast<Var>(i);
+    }
+    return std::nullopt;
+  }
+
+  bool AtEnd() const { return current_.kind == TokenKind::kEnd; }
+
+  void Fail(const std::string& message) {
+    if (error_.empty()) {
+      std::ostringstream out;
+      out << "parse error at position " << current_.pos << ": " << message;
+      if (!current_.text.empty()) out << " (near '" << current_.text << "')";
+      error_ = out.str();
+    }
+  }
+
+  bool ok() const { return error_.empty(); }
+  const std::string& error() const { return error_; }
+  const std::vector<std::string>& var_names() const { return var_names_; }
+  std::vector<Var> appearance_order() const { return appearance_order_; }
+
+  // query := '(' varlist ')' ':=' formula
+  std::optional<Query> ParseQueryHeaderAndBody() {
+    if (!Consume(TokenKind::kLParen, "expected '(' starting the header")) {
+      return std::nullopt;
+    }
+    std::vector<Var> free_vars;
+    if (current_.kind != TokenKind::kRParen) {
+      for (;;) {
+        if (current_.kind != TokenKind::kIdent) {
+          Fail("expected variable name in header");
+          return std::nullopt;
+        }
+        const Var declared = GetVar(current_.text);
+        for (Var existing : free_vars) {
+          if (existing == declared) {
+            Fail("variable '" + current_.text +
+                 "' declared twice in the header");
+            return std::nullopt;
+          }
+        }
+        free_vars.push_back(declared);
+        Advance();
+        if (current_.kind == TokenKind::kComma) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+    }
+    if (!Consume(TokenKind::kRParen, "expected ')' ending the header") ||
+        !Consume(TokenKind::kAssign, "expected ':=' after header")) {
+      return std::nullopt;
+    }
+    FormulaPtr body = ParseOr();
+    if (!ok()) return std::nullopt;
+    if (!AtEnd()) {
+      Fail("unexpected trailing input");
+      return std::nullopt;
+    }
+    // Every free variable of the body must be declared in the header.
+    for (Var v : FreeVars(body)) {
+      bool declared = false;
+      for (Var f : free_vars) declared |= (f == v);
+      if (!declared) {
+        Fail("variable '" + var_names_[v] + "' is free in the body but not "
+             "declared in the header");
+        return std::nullopt;
+      }
+    }
+    Query q;
+    q.formula = std::move(body);
+    q.free_vars = std::move(free_vars);
+    q.var_names = var_names_;
+    return q;
+  }
+
+  FormulaPtr ParseOr() {
+    FormulaPtr lhs = ParseAnd();
+    while (ok() && current_.kind == TokenKind::kPipe) {
+      Advance();
+      lhs = Or(lhs, ParseAnd());
+    }
+    return ok() ? lhs : False();
+  }
+
+ private:
+  void Advance() { current_ = lexer_.Next(); }
+
+  bool Consume(TokenKind kind, const std::string& message) {
+    if (current_.kind != kind) {
+      Fail(message);
+      return false;
+    }
+    Advance();
+    return true;
+  }
+
+  FormulaPtr ParseAnd() {
+    FormulaPtr lhs = ParseUnary();
+    while (ok() && current_.kind == TokenKind::kAmp) {
+      Advance();
+      lhs = And(lhs, ParseUnary());
+    }
+    return ok() ? lhs : False();
+  }
+
+  FormulaPtr ParseUnary() {
+    if (!ok()) return False();
+    if (current_.kind == TokenKind::kBang) {
+      Advance();
+      return Not(ParseUnary());
+    }
+    if (current_.kind == TokenKind::kIdent &&
+        (current_.text == "exists" || current_.text == "forall")) {
+      const bool is_exists = current_.text == "exists";
+      Advance();
+      std::vector<Var> vars;
+      while (current_.kind == TokenKind::kIdent) {
+        vars.push_back(GetVar(current_.text));
+        NoteAppearance(vars.back());
+        Advance();
+        if (current_.kind == TokenKind::kComma) Advance();
+      }
+      if (vars.empty()) {
+        Fail("expected variable(s) after quantifier");
+        return False();
+      }
+      if (!Consume(TokenKind::kDot, "expected '.' after quantified variables")) {
+        return False();
+      }
+      FormulaPtr body = ParseOr();  // quantifier scope extends to the end
+      if (!ok()) return False();
+      for (size_t i = vars.size(); i-- > 0;) {
+        body = is_exists ? Exists(vars[i], body) : Forall(vars[i], body);
+      }
+      return body;
+    }
+    if (current_.kind == TokenKind::kLParen) {
+      Advance();
+      FormulaPtr inner = ParseOr();
+      if (!Consume(TokenKind::kRParen, "expected ')'")) return False();
+      return inner;
+    }
+    return ParseAtom();
+  }
+
+  FormulaPtr ParseAtom() {
+    if (current_.kind == TokenKind::kIdent && current_.text == "true") {
+      Advance();
+      return True();
+    }
+    if (current_.kind == TokenKind::kIdent && current_.text == "false") {
+      Advance();
+      return False();
+    }
+    if (current_.kind != TokenKind::kIdent) {
+      Fail("expected an atom");
+      return False();
+    }
+    const std::string head = current_.text;
+    Advance();
+
+    if (current_.kind == TokenKind::kLParen) {
+      // E(x,y), dist(x,y) <= d, C<i>(x), or named color.
+      Advance();
+      if (head == "E") {
+        const Var x = ParseVarToken();
+        if (!ok() || !Consume(TokenKind::kComma, "expected ','")) {
+          return False();
+        }
+        const Var y = ParseVarToken();
+        if (!ok() || !Consume(TokenKind::kRParen, "expected ')'")) {
+          return False();
+        }
+        return Edge(x, y);
+      }
+      if (head == "dist") {
+        const Var x = ParseVarToken();
+        if (!ok() || !Consume(TokenKind::kComma, "expected ','")) {
+          return False();
+        }
+        const Var y = ParseVarToken();
+        if (!ok() || !Consume(TokenKind::kRParen, "expected ')'")) {
+          return False();
+        }
+        const bool greater = current_.kind == TokenKind::kGt;
+        if (current_.kind != TokenKind::kLeq &&
+            current_.kind != TokenKind::kGt) {
+          Fail("expected '<=' or '>' after dist(...)");
+          return False();
+        }
+        Advance();
+        if (current_.kind != TokenKind::kNumber) {
+          Fail("expected a distance bound");
+          return False();
+        }
+        const int64_t bound = current_.number;
+        Advance();
+        FormulaPtr atom = DistLeq(x, y, bound);
+        return greater ? Not(atom) : atom;
+      }
+      // Color atom: C<i> or a registered name.
+      int color = -1;
+      if (head.size() >= 2 && head[0] == 'C' &&
+          std::isdigit(static_cast<unsigned char>(head[1]))) {
+        color = 0;
+        for (size_t i = 1; i < head.size(); ++i) {
+          if (!std::isdigit(static_cast<unsigned char>(head[i]))) {
+            color = -1;
+            break;
+          }
+          color = color * 10 + (head[i] - '0');
+        }
+      }
+      if (color < 0) {
+        const auto it = color_names_.find(head);
+        if (it == color_names_.end()) {
+          Fail("unknown color '" + head + "'");
+          return False();
+        }
+        color = it->second;
+      }
+      const Var x = ParseVarToken();
+      if (!ok() || !Consume(TokenKind::kRParen, "expected ')'")) {
+        return False();
+      }
+      return Color(color, x);
+    }
+
+    // Otherwise: var = var or var != var.
+    const Var x = GetVar(head);
+    NoteAppearance(x);
+    if (current_.kind == TokenKind::kEq) {
+      Advance();
+      const Var y = ParseVarToken();
+      return ok() ? Equals(x, y) : False();
+    }
+    if (current_.kind == TokenKind::kNeq) {
+      Advance();
+      const Var y = ParseVarToken();
+      return ok() ? Not(Equals(x, y)) : False();
+    }
+    Fail("expected '=', '!=' or an atom");
+    return False();
+  }
+
+  Var ParseVarToken() {
+    if (current_.kind != TokenKind::kIdent) {
+      Fail("expected a variable");
+      return 0;
+    }
+    const Var v = GetVar(current_.text);
+    NoteAppearance(v);
+    Advance();
+    return v;
+  }
+
+  void NoteAppearance(Var v) {
+    for (Var seen : appearance_order_) {
+      if (seen == v) return;
+    }
+    appearance_order_.push_back(v);
+  }
+
+  Lexer lexer_;
+  Token current_;
+  std::map<std::string, int> color_names_;
+  std::vector<std::string> var_names_;
+  std::vector<Var> appearance_order_;
+  std::string error_;
+};
+
+}  // namespace
+
+ParseResult ParseQuery(std::string_view text,
+                       const std::map<std::string, int>& color_names) {
+  Parser parser(text, color_names);
+  std::optional<Query> query = parser.ParseQueryHeaderAndBody();
+  ParseResult result;
+  if (!query.has_value()) {
+    result.error = parser.error().empty() ? "parse failed" : parser.error();
+    return result;
+  }
+  result.ok = true;
+  result.query = std::move(*query);
+  return result;
+}
+
+ParseResult ParseFormula(std::string_view text,
+                         const std::map<std::string, int>& color_names) {
+  Parser parser(text, color_names);
+  FormulaPtr body = parser.ParseOr();
+  ParseResult result;
+  if (!parser.ok()) {
+    result.error = parser.error();
+    return result;
+  }
+  if (!parser.AtEnd()) {
+    result.error = "unexpected trailing input";
+    return result;
+  }
+  Query q;
+  q.formula = std::move(body);
+  q.var_names = parser.var_names();
+  // Free variables ordered by first textual occurrence.
+  const std::vector<Var> free_set = FreeVars(q.formula);
+  for (Var v : parser.appearance_order()) {
+    for (Var f : free_set) {
+      if (f == v) {
+        q.free_vars.push_back(v);
+        break;
+      }
+    }
+  }
+  result.ok = true;
+  result.query = std::move(q);
+  return result;
+}
+
+ParseResult ParseSentence(std::string_view text,
+                          const std::map<std::string, int>& color_names) {
+  ParseResult result = ParseFormula(text, color_names);
+  if (result.ok && !result.query.free_vars.empty()) {
+    ParseResult bad;
+    bad.error = "sentence has free variables";
+    return bad;
+  }
+  return result;
+}
+
+}  // namespace fo
+}  // namespace nwd

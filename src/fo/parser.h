@@ -1,0 +1,66 @@
+// A recursive-descent parser for FO+ queries over colored graphs.
+//
+// Grammar (whitespace-insensitive):
+//
+//   query    := '(' var (',' var)* ')' ':=' formula       -- explicit header
+//   formula  := or
+//   or       := and ('|' and)*
+//   and      := unary ('&' unary)*
+//   unary    := '!' unary
+//             | ('exists' | 'forall') var+ '.' formula    -- binds to the end
+//             | '(' formula ')'
+//             | atom
+//   atom     := 'E' '(' var ',' var ')'
+//             | 'dist' '(' var ',' var ')' '<=' nat
+//             | 'dist' '(' var ',' var ')' '>' nat        -- sugar for !(<=)
+//             | 'C' nat '(' var ')'                       -- color by index
+//             | ident '(' var ')'                         -- color by name
+//             | var '=' var | var '!=' var
+//             | 'true' | 'false'
+//
+// Examples (from the paper):
+//   "(x, y) := dist(x, y) <= 2"                            Example 1-A
+//   "(x, y) := dist(x, y) > 2 & Blue(y)"                   Example 2
+//   "(x, y, z) := dist(x,z) > 2 & dist(y,z) > 2 & Blue(z)" Example 2'
+//
+// The parser never throws: failures return an error message with position.
+
+#ifndef NWD_FO_PARSER_H_
+#define NWD_FO_PARSER_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "fo/ast.h"
+
+namespace nwd {
+namespace fo {
+
+struct ParseResult {
+  bool ok = false;
+  Query query;         // valid iff ok
+  std::string error;   // valid iff !ok
+
+  explicit operator bool() const { return ok; }
+};
+
+// Parses a full query with an explicit free-variable header. Named colors
+// ("Blue") are resolved via `color_names`; "C<i>" always resolves to color
+// index i.
+ParseResult ParseQuery(std::string_view text,
+                       const std::map<std::string, int>& color_names = {});
+
+// Parses a bare formula; the resulting query's free variables are in order
+// of first occurrence in the text.
+ParseResult ParseFormula(std::string_view text,
+                         const std::map<std::string, int>& color_names = {});
+
+// Parses a sentence (arity 0); it is an error if free variables remain.
+ParseResult ParseSentence(std::string_view text,
+                          const std::map<std::string, int>& color_names = {});
+
+}  // namespace fo
+}  // namespace nwd
+
+#endif  // NWD_FO_PARSER_H_

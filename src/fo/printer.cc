@@ -1,0 +1,111 @@
+#include "fo/printer.h"
+
+#include <sstream>
+
+namespace nwd {
+namespace fo {
+namespace {
+
+// Precedence levels for minimal parenthesization:
+// atoms/quantifiers/not bind tightest, then and, then or.
+enum Precedence { kPrecOr = 0, kPrecAnd = 1, kPrecUnary = 2 };
+
+std::string VarName(Var v, const std::vector<std::string>& names) {
+  if (v >= 0 && static_cast<size_t>(v) < names.size() && !names[v].empty()) {
+    return names[v];
+  }
+  return "v" + std::to_string(v);
+}
+
+void Print(const FormulaPtr& f, const std::vector<std::string>& names,
+           int parent_prec, std::ostringstream* out) {
+  switch (f->kind) {
+    case NodeKind::kTrue:
+      *out << "true";
+      return;
+    case NodeKind::kFalse:
+      *out << "false";
+      return;
+    case NodeKind::kEdge:
+      *out << "E(" << VarName(f->var1, names) << ", "
+           << VarName(f->var2, names) << ")";
+      return;
+    case NodeKind::kColor:
+      *out << "C" << f->color << "(" << VarName(f->var1, names) << ")";
+      return;
+    case NodeKind::kEquals:
+      *out << VarName(f->var1, names) << " = " << VarName(f->var2, names);
+      return;
+    case NodeKind::kDistLeq:
+      *out << "dist(" << VarName(f->var1, names) << ", "
+           << VarName(f->var2, names) << ") <= " << f->dist_bound;
+      return;
+    case NodeKind::kNot:
+      *out << "!";
+      // The operand of ! must be atomic-looking; parenthesize non-atoms.
+      if (f->child1->kind == NodeKind::kAnd ||
+          f->child1->kind == NodeKind::kOr ||
+          f->child1->kind == NodeKind::kEquals ||
+          f->child1->kind == NodeKind::kDistLeq ||
+          f->child1->kind == NodeKind::kExists ||
+          f->child1->kind == NodeKind::kForall) {
+        *out << "(";
+        Print(f->child1, names, kPrecOr, out);
+        *out << ")";
+      } else {
+        Print(f->child1, names, kPrecUnary, out);
+      }
+      return;
+    case NodeKind::kAnd: {
+      const bool parens = parent_prec > kPrecAnd;
+      if (parens) *out << "(";
+      Print(f->child1, names, kPrecAnd, out);
+      *out << " & ";
+      Print(f->child2, names, kPrecAnd, out);
+      if (parens) *out << ")";
+      return;
+    }
+    case NodeKind::kOr: {
+      const bool parens = parent_prec > kPrecOr;
+      if (parens) *out << "(";
+      Print(f->child1, names, kPrecOr, out);
+      *out << " | ";
+      Print(f->child2, names, kPrecOr, out);
+      if (parens) *out << ")";
+      return;
+    }
+    case NodeKind::kExists:
+    case NodeKind::kForall: {
+      const bool parens = parent_prec > kPrecOr;
+      if (parens) *out << "(";
+      *out << (f->kind == NodeKind::kExists ? "exists " : "forall ")
+           << VarName(f->quantified_var, names) << ". ";
+      Print(f->child1, names, kPrecOr, out);
+      if (parens) *out << ")";
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::string ToString(const FormulaPtr& f,
+                     const std::vector<std::string>& var_names) {
+  std::ostringstream out;
+  Print(f, var_names, kPrecOr, &out);
+  return out.str();
+}
+
+std::string ToString(const Query& query) {
+  std::ostringstream out;
+  out << "(";
+  for (size_t i = 0; i < query.free_vars.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << VarName(query.free_vars[i], query.var_names);
+  }
+  out << ") := " << ToString(query.formula, query.var_names);
+  return out.str();
+}
+
+}  // namespace fo
+}  // namespace nwd

@@ -1,0 +1,25 @@
+// Pretty-printing of FO+ formulas and queries.
+
+#ifndef NWD_FO_PRINTER_H_
+#define NWD_FO_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+#include "fo/ast.h"
+
+namespace nwd {
+namespace fo {
+
+// Renders f with variables named via `var_names` (falls back to "v<i>" for
+// ids without a name). Output parses back with ParseFormula.
+std::string ToString(const FormulaPtr& f,
+                     const std::vector<std::string>& var_names = {});
+
+// Renders a query as "(x, y) := <formula>".
+std::string ToString(const Query& query);
+
+}  // namespace fo
+}  // namespace nwd
+
+#endif  // NWD_FO_PRINTER_H_

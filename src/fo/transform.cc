@@ -1,0 +1,61 @@
+#include "fo/transform.h"
+
+namespace nwd {
+namespace fo {
+namespace {
+
+FormulaPtr Nnf(const FormulaPtr& f, bool negated);
+
+FormulaPtr NnfAtom(const FormulaPtr& f, bool negated) {
+  return negated ? Not(f) : f;
+}
+
+FormulaPtr Nnf(const FormulaPtr& f, bool negated) {
+  switch (f->kind) {
+    case NodeKind::kTrue:
+      return negated ? False() : True();
+    case NodeKind::kFalse:
+      return negated ? True() : False();
+    case NodeKind::kEdge:
+    case NodeKind::kColor:
+    case NodeKind::kEquals:
+    case NodeKind::kDistLeq:
+      return NnfAtom(f, negated);
+    case NodeKind::kNot:
+      return Nnf(f->child1, !negated);
+    case NodeKind::kAnd:
+      return negated ? Or(Nnf(f->child1, true), Nnf(f->child2, true))
+                     : And(Nnf(f->child1, false), Nnf(f->child2, false));
+    case NodeKind::kOr:
+      return negated ? And(Nnf(f->child1, true), Nnf(f->child2, true))
+                     : Or(Nnf(f->child1, false), Nnf(f->child2, false));
+    case NodeKind::kExists:
+      return negated ? Forall(f->quantified_var, Nnf(f->child1, true))
+                     : Exists(f->quantified_var, Nnf(f->child1, false));
+    case NodeKind::kForall:
+      return negated ? Exists(f->quantified_var, Nnf(f->child1, true))
+                     : Forall(f->quantified_var, Nnf(f->child1, false));
+  }
+  return f;
+}
+
+}  // namespace
+
+FormulaPtr ToNnf(const FormulaPtr& f) { return Nnf(f, false); }
+
+int64_t FormulaSize(const FormulaPtr& f) {
+  switch (f->kind) {
+    case NodeKind::kNot:
+    case NodeKind::kExists:
+    case NodeKind::kForall:
+      return 1 + FormulaSize(f->child1);
+    case NodeKind::kAnd:
+    case NodeKind::kOr:
+      return 1 + FormulaSize(f->child1) + FormulaSize(f->child2);
+    default:
+      return 1;
+  }
+}
+
+}  // namespace fo
+}  // namespace nwd

@@ -1,0 +1,27 @@
+// Structural formula transformations: negation normal form and size
+// accounting. NNF is what makes hand-written queries match the engine's
+// folding-friendly shapes, and |phi| is the "size of the query" every
+// complexity statement in the paper is parameterized by.
+
+#ifndef NWD_FO_TRANSFORM_H_
+#define NWD_FO_TRANSFORM_H_
+
+#include <cstdint>
+
+#include "fo/ast.h"
+
+namespace nwd {
+namespace fo {
+
+// Negation normal form: negations pushed to the atoms, double negations
+// cancelled, quantifiers dualized. Semantics-preserving on every structure
+// (including the empty one).
+FormulaPtr ToNnf(const FormulaPtr& f);
+
+// Number of AST nodes (the |q| of the paper's f(|q|, epsilon) constants).
+int64_t FormulaSize(const FormulaPtr& f);
+
+}  // namespace fo
+}  // namespace nwd
+
+#endif  // NWD_FO_TRANSFORM_H_

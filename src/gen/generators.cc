@@ -1,0 +1,223 @@
+#include "gen/generators.h"
+
+#include <algorithm>
+
+#include "graph/builder.h"
+#include "util/check.h"
+
+namespace nwd {
+namespace gen {
+namespace {
+
+void ApplyColors(GraphBuilder* builder, const ColorOptions& colors,
+                 Rng* rng) {
+  for (Vertex v = 0; v < builder->num_vertices(); ++v) {
+    for (int c = 0; c < colors.num_colors; ++c) {
+      if (rng->NextBool(colors.color_density)) builder->SetColor(v, c);
+    }
+  }
+}
+
+}  // namespace
+
+ColoredGraph RandomTree(int64_t n, int64_t attach_window, ColorOptions colors,
+                        Rng* rng) {
+  NWD_CHECK_GE(n, 1);
+  GraphBuilder builder(n, colors.num_colors);
+  for (Vertex v = 1; v < n; ++v) {
+    const int64_t lo =
+        attach_window > 0 ? std::max<int64_t>(0, v - attach_window) : 0;
+    const Vertex parent =
+        lo + static_cast<Vertex>(rng->NextBounded(
+                 static_cast<uint64_t>(v - lo)));
+    builder.AddEdge(parent, v);
+  }
+  ApplyColors(&builder, colors, rng);
+  return std::move(builder).Build();
+}
+
+ColoredGraph RandomForest(int64_t n, int64_t num_trees, ColorOptions colors,
+                          Rng* rng) {
+  NWD_CHECK_GE(n, 1);
+  NWD_CHECK_GE(num_trees, 1);
+  GraphBuilder builder(n, colors.num_colors);
+  // Vertex v joins the tree with index v % num_trees; its parent is a
+  // uniformly random earlier vertex of the same tree.
+  for (Vertex v = num_trees; v < n; ++v) {
+    const int64_t tree = v % num_trees;
+    const int64_t earlier_in_tree = (v - tree) / num_trees;  // count before v
+    const int64_t pick = static_cast<int64_t>(
+        rng->NextBounded(static_cast<uint64_t>(earlier_in_tree)));
+    builder.AddEdge(tree + pick * num_trees, v);
+  }
+  ApplyColors(&builder, colors, rng);
+  return std::move(builder).Build();
+}
+
+ColoredGraph BoundedDegreeGraph(int64_t n, int64_t max_degree,
+                                double avg_degree, ColorOptions colors,
+                                Rng* rng) {
+  NWD_CHECK_GE(n, 1);
+  NWD_CHECK_GE(max_degree, 1);
+  GraphBuilder builder(n, colors.num_colors);
+  std::vector<int64_t> degree(static_cast<size_t>(n), 0);
+  const int64_t target_edges =
+      static_cast<int64_t>(avg_degree * static_cast<double>(n) / 2.0);
+  int64_t added = 0;
+  int64_t attempts = 0;
+  const int64_t max_attempts = 20 * target_edges + 100;
+  while (added < target_edges && attempts < max_attempts) {
+    ++attempts;
+    const Vertex u = static_cast<Vertex>(rng->NextBounded(
+        static_cast<uint64_t>(n)));
+    const Vertex v = static_cast<Vertex>(rng->NextBounded(
+        static_cast<uint64_t>(n)));
+    if (u == v || degree[u] >= max_degree || degree[v] >= max_degree) {
+      continue;
+    }
+    builder.AddEdge(u, v);
+    ++degree[u];
+    ++degree[v];
+    ++added;
+  }
+  ApplyColors(&builder, colors, rng);
+  return std::move(builder).Build();
+}
+
+ColoredGraph Grid(int64_t rows, int64_t cols, ColorOptions colors, Rng* rng) {
+  NWD_CHECK_GE(rows, 1);
+  NWD_CHECK_GE(cols, 1);
+  GraphBuilder builder(rows * cols, colors.num_colors);
+  for (int64_t i = 0; i < rows; ++i) {
+    for (int64_t j = 0; j < cols; ++j) {
+      const Vertex v = i * cols + j;
+      if (j + 1 < cols) builder.AddEdge(v, v + 1);
+      if (i + 1 < rows) builder.AddEdge(v, v + cols);
+    }
+  }
+  ApplyColors(&builder, colors, rng);
+  return std::move(builder).Build();
+}
+
+ColoredGraph Caterpillar(int64_t spine, int64_t legs_per_spine,
+                         ColorOptions colors, Rng* rng) {
+  NWD_CHECK_GE(spine, 1);
+  NWD_CHECK_GE(legs_per_spine, 0);
+  const int64_t n = spine * (1 + legs_per_spine);
+  GraphBuilder builder(n, colors.num_colors);
+  for (int64_t s = 0; s + 1 < spine; ++s) builder.AddEdge(s, s + 1);
+  int64_t next_leg = spine;
+  for (int64_t s = 0; s < spine; ++s) {
+    for (int64_t l = 0; l < legs_per_spine; ++l) {
+      builder.AddEdge(s, next_leg++);
+    }
+  }
+  ApplyColors(&builder, colors, rng);
+  return std::move(builder).Build();
+}
+
+ColoredGraph StarForest(int64_t num_stars, int64_t star_size,
+                        ColorOptions colors, Rng* rng) {
+  NWD_CHECK_GE(num_stars, 1);
+  NWD_CHECK_GE(star_size, 0);
+  const int64_t n = num_stars * (1 + star_size);
+  GraphBuilder builder(n, colors.num_colors);
+  for (int64_t s = 0; s < num_stars; ++s) {
+    const Vertex center = s * (1 + star_size);
+    for (int64_t l = 1; l <= star_size; ++l) {
+      builder.AddEdge(center, center + l);
+    }
+  }
+  ApplyColors(&builder, colors, rng);
+  return std::move(builder).Build();
+}
+
+ColoredGraph SubdividedClique(int clique_size, int64_t subdivisions,
+                              ColorOptions colors, Rng* rng) {
+  NWD_CHECK_GE(clique_size, 2);
+  NWD_CHECK_GE(subdivisions, 1);
+  const int64_t num_pairs =
+      static_cast<int64_t>(clique_size) * (clique_size - 1) / 2;
+  const int64_t n = clique_size + num_pairs * subdivisions;
+  GraphBuilder builder(n, colors.num_colors);
+  int64_t next_inner = clique_size;
+  for (int i = 0; i < clique_size; ++i) {
+    for (int j = i + 1; j < clique_size; ++j) {
+      Vertex prev = i;
+      for (int64_t s = 0; s < subdivisions; ++s) {
+        builder.AddEdge(prev, next_inner);
+        prev = next_inner++;
+      }
+      builder.AddEdge(prev, j);
+    }
+  }
+  ApplyColors(&builder, colors, rng);
+  return std::move(builder).Build();
+}
+
+ColoredGraph ErdosRenyi(int64_t n, double avg_degree, ColorOptions colors,
+                        Rng* rng) {
+  NWD_CHECK_GE(n, 1);
+  GraphBuilder builder(n, colors.num_colors);
+  const int64_t target_edges =
+      static_cast<int64_t>(avg_degree * static_cast<double>(n) / 2.0);
+  for (int64_t e = 0; e < target_edges; ++e) {
+    const Vertex u =
+        static_cast<Vertex>(rng->NextBounded(static_cast<uint64_t>(n)));
+    const Vertex v =
+        static_cast<Vertex>(rng->NextBounded(static_cast<uint64_t>(n)));
+    if (u != v) builder.AddEdge(u, v);
+  }
+  ApplyColors(&builder, colors, rng);
+  return std::move(builder).Build();
+}
+
+ColoredGraph Clique(int64_t n, ColorOptions colors, Rng* rng) {
+  NWD_CHECK_GE(n, 1);
+  GraphBuilder builder(n, colors.num_colors);
+  for (Vertex u = 0; u < n; ++u) {
+    for (Vertex v = u + 1; v < n; ++v) builder.AddEdge(u, v);
+  }
+  ApplyColors(&builder, colors, rng);
+  return std::move(builder).Build();
+}
+
+ColoredGraph PartialKTree(int64_t n, int k, double edge_keep,
+                          ColorOptions colors, Rng* rng) {
+  NWD_CHECK_GE(n, 1);
+  NWD_CHECK_GE(k, 1);
+  NWD_CHECK(edge_keep >= 0.0 && edge_keep <= 1.0);
+  GraphBuilder builder(n, colors.num_colors);
+  // Track the k-cliques available for attachment: each entry is a clique
+  // of k vertices (for n < k the base is just a smaller clique).
+  const int64_t base = std::min<int64_t>(n, k);
+  std::vector<std::vector<Vertex>> cliques;
+  std::vector<Vertex> base_clique;
+  for (Vertex u = 0; u < base; ++u) {
+    for (Vertex v = u + 1; v < base; ++v) {
+      if (rng->NextBool(edge_keep)) builder.AddEdge(u, v);
+    }
+    base_clique.push_back(u);
+  }
+  cliques.push_back(base_clique);
+  for (Vertex v = base; v < n; ++v) {
+    const std::vector<Vertex>& host =
+        cliques[rng->NextBounded(cliques.size())];
+    for (Vertex u : host) {
+      if (rng->NextBool(edge_keep)) builder.AddEdge(u, v);
+    }
+    // New k-cliques: host with one member replaced by v.
+    for (size_t drop = 0; drop < host.size(); ++drop) {
+      std::vector<Vertex> fresh = host;
+      fresh[drop] = v;
+      std::sort(fresh.begin(), fresh.end());
+      cliques.push_back(std::move(fresh));
+      if (cliques.size() > 4096) break;  // bound the attachment pool
+    }
+  }
+  ApplyColors(&builder, colors, rng);
+  return std::move(builder).Build();
+}
+
+}  // namespace gen
+}  // namespace nwd

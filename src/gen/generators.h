@@ -1,0 +1,84 @@
+// Workload generators: concrete (effectively) nowhere dense graph classes
+// plus dense contrast classes for the sparsity-boundary experiments.
+//
+// Classes and why they matter to the paper:
+//  * forests / trees            — nowhere dense, the cleanest case; the
+//                                 forest splitter strategy is provably good
+//  * bounded-degree graphs      — the classic constant-delay class [DG07]
+//  * grids                     — planar, excluded-minor, nowhere dense
+//  * caterpillars / star forests — low treedepth corner cases
+//  * subdivided cliques         — sparse but with large hidden balls
+//  * Erdos-Renyi / cliques      — NOT nowhere dense at higher densities;
+//                                 used to show cover degree / splitter
+//                                 depth blowing up (experiments E6/E7)
+//
+// All generators take an explicit Rng and color their vertices with
+// `num_colors` colors, each independently with probability `color_density`.
+
+#ifndef NWD_GEN_GENERATORS_H_
+#define NWD_GEN_GENERATORS_H_
+
+#include <cstdint>
+
+#include "graph/colored_graph.h"
+#include "util/rng.h"
+
+namespace nwd {
+namespace gen {
+
+struct ColorOptions {
+  int num_colors = 2;
+  double color_density = 0.3;
+};
+
+// A uniform random recursive tree: vertex i attaches to a uniform parent
+// among the previous `attach_window` vertices (0 = all previous vertices).
+// Small windows produce path-like trees; window 0 gives O(log n) depth.
+ColoredGraph RandomTree(int64_t n, int64_t attach_window, ColorOptions colors,
+                        Rng* rng);
+
+// A forest of `num_trees` random trees of roughly equal size.
+ColoredGraph RandomForest(int64_t n, int64_t num_trees, ColorOptions colors,
+                          Rng* rng);
+
+// A random graph with maximum degree at most `max_degree` and ~avg_degree
+// average degree (rejection sampling of edges).
+ColoredGraph BoundedDegreeGraph(int64_t n, int64_t max_degree,
+                                double avg_degree, ColorOptions colors,
+                                Rng* rng);
+
+// A rows x cols 4-neighbor grid (planar).
+ColoredGraph Grid(int64_t rows, int64_t cols, ColorOptions colors, Rng* rng);
+
+// A caterpillar: a spine path with `legs_per_spine` pendant leaves each.
+ColoredGraph Caterpillar(int64_t spine, int64_t legs_per_spine,
+                         ColorOptions colors, Rng* rng);
+
+// A disjoint union of stars with `star_size` leaves each.
+ColoredGraph StarForest(int64_t num_stars, int64_t star_size,
+                        ColorOptions colors, Rng* rng);
+
+// The `subdivisions`-subdivision of K_q blown up to ~n vertices (each edge
+// replaced by a path with `subdivisions` inner vertices). Nowhere dense for
+// any fixed q; exercises long-path neighborhoods.
+ColoredGraph SubdividedClique(int clique_size, int64_t subdivisions,
+                              ColorOptions colors, Rng* rng);
+
+// Erdos-Renyi G(n, p) with p = avg_degree / (n-1). Not nowhere dense when
+// avg_degree grows.
+ColoredGraph ErdosRenyi(int64_t n, double avg_degree, ColorOptions colors,
+                        Rng* rng);
+
+// The complete graph K_n (the anti-sparse extreme).
+ColoredGraph Clique(int64_t n, ColorOptions colors, Rng* rng);
+
+// A random partial k-tree: build a k-tree (each new vertex joined to a
+// random existing k-clique), then keep each edge with probability
+// `edge_keep`. Treewidth <= k, hence nowhere dense for fixed k.
+ColoredGraph PartialKTree(int64_t n, int k, double edge_keep,
+                          ColorOptions colors, Rng* rng);
+
+}  // namespace gen
+}  // namespace nwd
+
+#endif  // NWD_GEN_GENERATORS_H_

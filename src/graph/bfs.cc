@@ -1,0 +1,94 @@
+#include "graph/bfs.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace nwd {
+
+BfsScratch::BfsScratch(int64_t num_vertices)
+    : stamp_(static_cast<size_t>(num_vertices), 0),
+      dist_(static_cast<size_t>(num_vertices), 0) {}
+
+void BfsScratch::Start() {
+  ++version_;
+  queue_.clear();
+  if (version_ == 0) {  // stamp wrap-around: hard reset
+    std::fill(stamp_.begin(), stamp_.end(), 0);
+    version_ = 1;
+  }
+}
+
+void BfsScratch::Push(Vertex v, int64_t d) {
+  NWD_DCHECK(v >= 0 && static_cast<size_t>(v) < stamp_.size());
+  if (stamp_[v] == version_) return;
+  stamp_[v] = version_;
+  dist_[v] = d;
+  queue_.push_back(v);
+}
+
+std::vector<Vertex> BfsScratch::Run(const ColoredGraph& g, int radius) {
+  for (size_t head = 0; head < queue_.size(); ++head) {
+    const Vertex v = queue_[head];
+    const int64_t d = dist_[v];
+    if (d >= radius) continue;
+    for (Vertex u : g.Neighbors(v)) Push(u, d + 1);
+  }
+  std::vector<Vertex> out(queue_.begin(), queue_.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<Vertex> BfsScratch::Neighborhood(const ColoredGraph& g,
+                                             Vertex source, int radius) {
+  Start();
+  Push(source, 0);
+  return Run(g, radius);
+}
+
+std::vector<Vertex> BfsScratch::Neighborhood(
+    const ColoredGraph& g, const std::vector<Vertex>& sources, int radius) {
+  Start();
+  for (Vertex s : sources) Push(s, 0);
+  return Run(g, radius);
+}
+
+std::vector<Vertex> NeighborhoodVertices(const ColoredGraph& g, Vertex v,
+                                         int radius) {
+  BfsScratch scratch(g.NumVertices());
+  return scratch.Neighborhood(g, v, radius);
+}
+
+int64_t BoundedDistance(const ColoredGraph& g, Vertex u, Vertex v,
+                        int64_t max_dist) {
+  if (u == v) return 0;
+  BfsScratch scratch(g.NumVertices());
+  scratch.Neighborhood(g, u, static_cast<int>(max_dist));
+  return scratch.DistanceTo(v);
+}
+
+std::vector<int64_t> ConnectedComponents(const ColoredGraph& g) {
+  const int64_t n = g.NumVertices();
+  std::vector<int64_t> comp(static_cast<size_t>(n), -1);
+  std::vector<Vertex> stack;
+  int64_t next_id = 0;
+  for (Vertex root = 0; root < n; ++root) {
+    if (comp[root] != -1) continue;
+    comp[root] = next_id;
+    stack.push_back(root);
+    while (!stack.empty()) {
+      const Vertex v = stack.back();
+      stack.pop_back();
+      for (Vertex u : g.Neighbors(v)) {
+        if (comp[u] == -1) {
+          comp[u] = next_id;
+          stack.push_back(u);
+        }
+      }
+    }
+    ++next_id;
+  }
+  return comp;
+}
+
+}  // namespace nwd

@@ -1,0 +1,71 @@
+// Breadth-first search utilities: bounded-radius neighborhoods and
+// distances in the (Gaifman) graph.
+//
+// Distances and r-neighborhoods N_r(v) are defined in Section 2 of the
+// paper. All cover / splitter / removal machinery is built on bounded-radius
+// BFS, so these helpers use a reusable scratch buffer with version stamps to
+// avoid O(n) clearing per call.
+
+#ifndef NWD_GRAPH_BFS_H_
+#define NWD_GRAPH_BFS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/colored_graph.h"
+
+namespace nwd {
+
+// Reusable BFS workspace for one graph size. Not thread-safe.
+class BfsScratch {
+ public:
+  // Workspace for graphs with up to `num_vertices` vertices.
+  explicit BfsScratch(int64_t num_vertices);
+
+  // Runs BFS from `source` up to distance `radius` (inclusive) and returns
+  // the visited vertices sorted ascending (this is N_radius(source),
+  // including the source). Per-vertex distances from this run are available
+  // through DistanceTo() until the next call.
+  std::vector<Vertex> Neighborhood(const ColoredGraph& g, Vertex source,
+                                   int radius);
+
+  // Multi-source variant: N_radius(\bar a) = union of the balls.
+  std::vector<Vertex> Neighborhood(const ColoredGraph& g,
+                                   const std::vector<Vertex>& sources,
+                                   int radius);
+
+  // Distance from the most recent BFS's source set to v, or -1 if v was not
+  // reached within the radius. Valid until the next call on this scratch.
+  int64_t DistanceTo(Vertex v) const {
+    return stamp_[v] == version_ ? dist_[v] : -1;
+  }
+
+ private:
+  void Start();
+  void Push(Vertex v, int64_t d);
+  std::vector<Vertex> Run(const ColoredGraph& g, int radius);
+
+  uint32_t version_ = 0;
+  std::vector<uint32_t> stamp_;
+  std::vector<int64_t> dist_;
+  std::vector<Vertex> queue_;
+};
+
+// One-shot convenience wrappers (allocate their own scratch).
+
+// Sorted N_r(v), including v itself.
+std::vector<Vertex> NeighborhoodVertices(const ColoredGraph& g, Vertex v,
+                                         int radius);
+
+// Distance between u and v in g, or -1 if they are in different components
+// or further apart than `max_dist`.
+int64_t BoundedDistance(const ColoredGraph& g, Vertex u, Vertex v,
+                        int64_t max_dist);
+
+// Connected components: returns a vector mapping each vertex to a component
+// id in [0, #components).
+std::vector<int64_t> ConnectedComponents(const ColoredGraph& g);
+
+}  // namespace nwd
+
+#endif  // NWD_GRAPH_BFS_H_

@@ -1,0 +1,90 @@
+#include "graph/builder.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace nwd {
+
+GraphBuilder::GraphBuilder(int64_t num_vertices, int num_colors)
+    : num_vertices_(num_vertices), num_colors_(num_colors) {
+  NWD_CHECK_GE(num_vertices, 0);
+  NWD_CHECK_GE(num_colors, 0);
+}
+
+GraphBuilder GraphBuilder::FromGraph(const ColoredGraph& graph,
+                                     int extra_colors) {
+  GraphBuilder builder(graph.NumVertices(),
+                       graph.NumColors() + extra_colors);
+  for (Vertex v = 0; v < graph.NumVertices(); ++v) {
+    for (Vertex u : graph.Neighbors(v)) {
+      if (u > v) builder.AddEdge(v, u);
+    }
+  }
+  for (int c = 0; c < graph.NumColors(); ++c) {
+    for (Vertex v : graph.ColorMembers(c)) builder.SetColor(v, c);
+  }
+  return builder;
+}
+
+void GraphBuilder::AddEdge(Vertex u, Vertex v) {
+  NWD_CHECK(u >= 0 && u < num_vertices_) << "edge endpoint " << u;
+  NWD_CHECK(v >= 0 && v < num_vertices_) << "edge endpoint " << v;
+  if (u == v) return;  // Gaifman graphs have no self-loops.
+  if (u > v) std::swap(u, v);
+  edges_.emplace_back(u, v);
+}
+
+void GraphBuilder::SetColor(Vertex v, int color) {
+  NWD_CHECK(v >= 0 && v < num_vertices_) << "vertex " << v;
+  NWD_CHECK(color >= 0 && color < num_colors_) << "color " << color;
+  colors_.emplace_back(v, color);
+}
+
+ColoredGraph GraphBuilder::Build() && {
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+
+  ColoredGraph g;
+  g.num_vertices_ = num_vertices_;
+  g.num_colors_ = num_colors_;
+
+  // Degree counting, then prefix sums, then fill.
+  std::vector<int64_t> degree(static_cast<size_t>(num_vertices_), 0);
+  for (const auto& [u, v] : edges_) {
+    ++degree[u];
+    ++degree[v];
+  }
+  g.offsets_.assign(static_cast<size_t>(num_vertices_) + 1, 0);
+  for (int64_t v = 0; v < num_vertices_; ++v) {
+    g.offsets_[v + 1] = g.offsets_[v] + degree[v];
+  }
+  g.adj_.resize(static_cast<size_t>(g.offsets_[num_vertices_]));
+  std::vector<int64_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const auto& [u, v] : edges_) {
+    g.adj_[cursor[u]++] = v;
+    g.adj_[cursor[v]++] = u;
+  }
+  // Edges were inserted in sorted order per endpoint for the smaller id but
+  // not the larger; sort each adjacency row (rows are short in practice).
+  for (int64_t v = 0; v < num_vertices_; ++v) {
+    std::sort(g.adj_.begin() + g.offsets_[v], g.adj_.begin() + g.offsets_[v + 1]);
+  }
+
+  const size_t bits = static_cast<size_t>(num_vertices_) *
+                      static_cast<size_t>(num_colors_);
+  g.color_bits_.assign((bits + 63) / 64, 0);
+  g.color_members_.assign(static_cast<size_t>(num_colors_), {});
+  std::sort(colors_.begin(), colors_.end());
+  colors_.erase(std::unique(colors_.begin(), colors_.end()), colors_.end());
+  for (const auto& [v, c] : colors_) {
+    const size_t bit =
+        static_cast<size_t>(v) * static_cast<size_t>(num_colors_) + c;
+    g.color_bits_[bit >> 6] |= uint64_t{1} << (bit & 63);
+    g.color_members_[c].push_back(v);
+  }
+  // colors_ was sorted by (v, c), so each member list is already ascending.
+  return g;
+}
+
+}  // namespace nwd

@@ -1,0 +1,48 @@
+// Mutable builder producing immutable ColoredGraph instances.
+
+#ifndef NWD_GRAPH_BUILDER_H_
+#define NWD_GRAPH_BUILDER_H_
+
+#include <utility>
+#include <vector>
+
+#include "graph/colored_graph.h"
+
+namespace nwd {
+
+// Accumulates vertices, undirected edges and colors, then Build()s a CSR
+// ColoredGraph. Duplicate edges and self-loops are dropped silently (the
+// Gaifman graph of a structure has neither).
+class GraphBuilder {
+ public:
+  // A builder for a graph with `num_vertices` vertices and `num_colors`
+  // colors, initially edgeless and uncolored.
+  GraphBuilder(int64_t num_vertices, int num_colors);
+
+  // Starts from an existing graph (copies its edges and colors). Use
+  // `extra_colors` to widen the color palette, e.g. for the expansions
+  // required by the Removal Lemma (Lemma 5.5).
+  static GraphBuilder FromGraph(const ColoredGraph& graph, int extra_colors);
+
+  int64_t num_vertices() const { return num_vertices_; }
+  int num_colors() const { return num_colors_; }
+
+  // Adds the undirected edge {u, v}.
+  void AddEdge(Vertex u, Vertex v);
+
+  // Gives vertex v color c.
+  void SetColor(Vertex v, int color);
+
+  // Finalizes into an immutable graph. The builder is consumed.
+  ColoredGraph Build() &&;
+
+ private:
+  int64_t num_vertices_;
+  int num_colors_;
+  std::vector<std::pair<Vertex, Vertex>> edges_;
+  std::vector<std::pair<Vertex, int>> colors_;
+};
+
+}  // namespace nwd
+
+#endif  // NWD_GRAPH_BUILDER_H_

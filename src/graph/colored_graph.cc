@@ -1,0 +1,22 @@
+#include "graph/colored_graph.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace nwd {
+
+bool ColoredGraph::HasEdge(Vertex u, Vertex v) const {
+  if (u == v) return false;
+  if (Degree(u) > Degree(v)) std::swap(u, v);
+  const auto nbrs = Neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+std::string ColoredGraph::DebugString() const {
+  std::ostringstream out;
+  out << "graph(n=" << NumVertices() << ", m=" << NumEdges()
+      << ", c=" << NumColors() << ")";
+  return out.str();
+}
+
+}  // namespace nwd

@@ -1,0 +1,90 @@
+// Colored graphs: the structures all algorithms in this library run on.
+//
+// The paper (Section 2, "From databases to colored graphs") reduces FO query
+// evaluation over arbitrary relational structures to evaluation over
+// c-colored graphs: undirected graphs whose schema is one symmetric binary
+// relation E plus c unary relations ("colors") C_1, ..., C_c. This module
+// implements that structure with a compact CSR adjacency representation.
+//
+// Vertices are dense integers in [0, NumVertices()). The natural integer
+// order on vertex ids is the linear order on the domain required by the
+// paper (it induces the lexicographic order on tuples that the enumeration
+// engine outputs in).
+
+#ifndef NWD_GRAPH_COLORED_GRAPH_H_
+#define NWD_GRAPH_COLORED_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace nwd {
+
+// A vertex id. Dense in [0, n).
+using Vertex = int64_t;
+
+// An immutable colored graph in CSR form. Build with GraphBuilder.
+class ColoredGraph {
+ public:
+  // An empty graph (0 vertices, 0 colors).
+  ColoredGraph() = default;
+
+  ColoredGraph(const ColoredGraph&) = default;
+  ColoredGraph& operator=(const ColoredGraph&) = default;
+  ColoredGraph(ColoredGraph&&) = default;
+  ColoredGraph& operator=(ColoredGraph&&) = default;
+
+  int64_t NumVertices() const { return num_vertices_; }
+
+  // Number of undirected edges.
+  int64_t NumEdges() const { return static_cast<int64_t>(adj_.size()) / 2; }
+
+  // ||G|| = |V| + |E|, the encoding size used in all complexity statements.
+  int64_t SizeNorm() const { return NumVertices() + NumEdges(); }
+
+  int NumColors() const { return num_colors_; }
+
+  // Neighbors of v, sorted ascending. No self-loops, no duplicates.
+  std::span<const Vertex> Neighbors(Vertex v) const {
+    return std::span<const Vertex>(adj_.data() + offsets_[v],
+                                   adj_.data() + offsets_[v + 1]);
+  }
+
+  int64_t Degree(Vertex v) const { return offsets_[v + 1] - offsets_[v]; }
+
+  // Edge test by binary search in the (sorted) adjacency of the lower-degree
+  // endpoint: O(log deg).
+  bool HasEdge(Vertex u, Vertex v) const;
+
+  // Whether vertex v carries color c (0 <= c < NumColors()).
+  bool HasColor(Vertex v, int color) const {
+    const size_t bit = static_cast<size_t>(v) * num_colors_ + color;
+    return (color_bits_[bit >> 6] >> (bit & 63)) & 1;
+  }
+
+  // All vertices carrying color c, sorted ascending.
+  const std::vector<Vertex>& ColorMembers(int color) const {
+    return color_members_[color];
+  }
+
+  // Human-readable one-line summary, e.g. "graph(n=10, m=9, c=2)".
+  std::string DebugString() const;
+
+ private:
+  friend class GraphBuilder;
+
+  int64_t num_vertices_ = 0;
+  int num_colors_ = 0;
+  // CSR adjacency: neighbors of v are adj_[offsets_[v] .. offsets_[v+1]).
+  std::vector<int64_t> offsets_{0};
+  std::vector<Vertex> adj_;
+  // Row-major bit matrix: bit (v * num_colors_ + c) set iff v has color c.
+  std::vector<uint64_t> color_bits_;
+  // Per-color sorted member lists.
+  std::vector<std::vector<Vertex>> color_members_;
+};
+
+}  // namespace nwd
+
+#endif  // NWD_GRAPH_COLORED_GRAPH_H_

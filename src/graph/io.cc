@@ -1,0 +1,126 @@
+#include "graph/io.h"
+
+#include <fstream>
+#include <optional>
+#include <sstream>
+
+#include "graph/builder.h"
+
+namespace nwd {
+namespace {
+
+GraphParseResult Fail(int line, const std::string& message) {
+  GraphParseResult result;
+  std::ostringstream out;
+  out << "line " << line << ": " << message;
+  result.error = out.str();
+  return result;
+}
+
+}  // namespace
+
+GraphParseResult ReadGraph(std::istream& in) {
+  std::optional<GraphBuilder> builder;
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    // Strip comments.
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream fields(line);
+    std::string tag;
+    if (!(fields >> tag)) continue;  // blank line
+
+    if (tag == "graph") {
+      int64_t n = -1;
+      int c = -1;
+      if (!(fields >> n >> c) || n < 0 || c < 0) {
+        return Fail(line_number, "expected 'graph <n> <colors>'");
+      }
+      if (builder.has_value()) {
+        return Fail(line_number, "duplicate 'graph' header");
+      }
+      builder.emplace(n, c);
+      continue;
+    }
+    if (!builder.has_value()) {
+      return Fail(line_number, "missing 'graph' header before data");
+    }
+    if (tag == "e") {
+      int64_t u = -1;
+      int64_t v = -1;
+      if (!(fields >> u >> v)) {
+        return Fail(line_number, "expected 'e <u> <v>'");
+      }
+      if (u < 0 || v < 0 || u >= builder->num_vertices() ||
+          v >= builder->num_vertices()) {
+        return Fail(line_number, "edge endpoint out of range");
+      }
+      builder->AddEdge(u, v);
+      continue;
+    }
+    if (tag == "c") {
+      int64_t v = -1;
+      int color = -1;
+      if (!(fields >> v >> color)) {
+        return Fail(line_number, "expected 'c <v> <color>'");
+      }
+      if (v < 0 || v >= builder->num_vertices() || color < 0 ||
+          color >= builder->num_colors()) {
+        return Fail(line_number, "color assignment out of range");
+      }
+      builder->SetColor(v, color);
+      continue;
+    }
+    return Fail(line_number, "unknown record '" + tag + "'");
+  }
+  if (!builder.has_value()) {
+    return Fail(line_number, "empty input (no 'graph' header)");
+  }
+  GraphParseResult result;
+  result.ok = true;
+  result.graph = std::move(*builder).Build();
+  return result;
+}
+
+GraphParseResult ReadGraphFromString(const std::string& text) {
+  std::istringstream in(text);
+  return ReadGraph(in);
+}
+
+GraphParseResult ReadGraphFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    GraphParseResult result;
+    result.error = "cannot open '" + path + "'";
+    return result;
+  }
+  GraphParseResult result = ReadGraph(in);
+  if (!result.ok) result.error = path + ": " + result.error;
+  return result;
+}
+
+bool WriteGraph(const ColoredGraph& g, std::ostream& out) {
+  out << "# nwd colored graph\n";
+  out << "graph " << g.NumVertices() << " " << g.NumColors() << "\n";
+  for (Vertex v = 0; v < g.NumVertices(); ++v) {
+    for (Vertex u : g.Neighbors(v)) {
+      if (u > v) out << "e " << v << " " << u << "\n";
+    }
+  }
+  for (int c = 0; c < g.NumColors(); ++c) {
+    for (Vertex v : g.ColorMembers(c)) {
+      out << "c " << v << " " << c << "\n";
+    }
+  }
+  return static_cast<bool>(out);
+}
+
+bool WriteGraphToFile(const ColoredGraph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  return WriteGraph(g, out);
+}
+
+}  // namespace nwd

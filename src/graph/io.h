@@ -1,0 +1,43 @@
+// Plain-text serialization of colored graphs.
+//
+// Format (whitespace/line oriented, '#' comments):
+//   graph <num_vertices> <num_colors>
+//   e <u> <v>          an undirected edge
+//   c <v> <color>      vertex v carries color
+//
+// Vertices are 0-based ids. The loader is forgiving about ordering and
+// duplicate lines (the builder dedupes) but strict about ranges.
+
+#ifndef NWD_GRAPH_IO_H_
+#define NWD_GRAPH_IO_H_
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "graph/colored_graph.h"
+
+namespace nwd {
+
+struct GraphParseResult {
+  bool ok = false;
+  ColoredGraph graph;  // valid iff ok
+  std::string error;   // valid iff !ok
+
+  explicit operator bool() const { return ok; }
+};
+
+// Parses the text format from a stream / string.
+GraphParseResult ReadGraph(std::istream& in);
+GraphParseResult ReadGraphFromString(const std::string& text);
+
+// Loads from a file path; errors mention the path.
+GraphParseResult ReadGraphFromFile(const std::string& path);
+
+// Writes g in the text format. Returns false on I/O failure.
+bool WriteGraph(const ColoredGraph& g, std::ostream& out);
+bool WriteGraphToFile(const ColoredGraph& g, const std::string& path);
+
+}  // namespace nwd
+
+#endif  // NWD_GRAPH_IO_H_

@@ -1,0 +1,79 @@
+#include "graph/stats.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace nwd {
+
+DegeneracyResult DegeneracyOrder(const ColoredGraph& g) {
+  const int64_t n = g.NumVertices();
+  DegeneracyResult result;
+  result.order.reserve(static_cast<size_t>(n));
+  result.position.assign(static_cast<size_t>(n), -1);
+  if (n == 0) return result;
+
+  // Bucket queue over current degrees.
+  std::vector<int64_t> degree(static_cast<size_t>(n));
+  int64_t max_deg = 0;
+  for (Vertex v = 0; v < n; ++v) {
+    degree[v] = g.Degree(v);
+    max_deg = std::max(max_deg, degree[v]);
+  }
+  std::vector<std::vector<Vertex>> buckets(static_cast<size_t>(max_deg) + 1);
+  for (Vertex v = 0; v < n; ++v) buckets[degree[v]].push_back(v);
+  std::vector<bool> removed(static_cast<size_t>(n), false);
+
+  int64_t cursor = 0;
+  for (int64_t step = 0; step < n; ++step) {
+    // Find the non-empty bucket with the smallest degree. `cursor` only
+    // needs to back up by one per removal, keeping the loop O(n + m).
+    while (cursor > 0 && !buckets[cursor - 1].empty()) --cursor;
+    while (static_cast<size_t>(cursor) < buckets.size() &&
+           buckets[cursor].empty()) {
+      ++cursor;
+    }
+    NWD_CHECK(static_cast<size_t>(cursor) < buckets.size());
+    Vertex v = -1;
+    // Pop entries until we find one that is current (lazy deletion).
+    while (!buckets[cursor].empty()) {
+      const Vertex candidate = buckets[cursor].back();
+      buckets[cursor].pop_back();
+      if (!removed[candidate] && degree[candidate] == cursor) {
+        v = candidate;
+        break;
+      }
+    }
+    if (v == -1) {  // bucket was all stale; retry this step
+      --step;
+      continue;
+    }
+    removed[v] = true;
+    result.degeneracy = std::max(result.degeneracy, degree[v]);
+    result.position[v] = static_cast<int64_t>(result.order.size());
+    result.order.push_back(v);
+    for (Vertex u : g.Neighbors(v)) {
+      if (!removed[u]) {
+        --degree[u];
+        buckets[degree[u]].push_back(u);
+      }
+    }
+  }
+  return result;
+}
+
+double AverageDegree(const ColoredGraph& g) {
+  if (g.NumVertices() == 0) return 0.0;
+  return 2.0 * static_cast<double>(g.NumEdges()) /
+         static_cast<double>(g.NumVertices());
+}
+
+int64_t MaxDegree(const ColoredGraph& g) {
+  int64_t max_deg = 0;
+  for (Vertex v = 0; v < g.NumVertices(); ++v) {
+    max_deg = std::max(max_deg, g.Degree(v));
+  }
+  return max_deg;
+}
+
+}  // namespace nwd

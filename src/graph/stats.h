@@ -1,0 +1,39 @@
+// Graph statistics used by the sparsity experiments (E6/E7) and by the
+// cover construction: degeneracy orders and basic density measures.
+
+#ifndef NWD_GRAPH_STATS_H_
+#define NWD_GRAPH_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/colored_graph.h"
+
+namespace nwd {
+
+// Result of a degeneracy (smallest-last) ordering computation.
+struct DegeneracyResult {
+  // The degeneracy d: every subgraph has a vertex of degree <= d.
+  int64_t degeneracy = 0;
+  // order[i] = i-th vertex removed (each had <= degeneracy neighbors among
+  // the not-yet-removed when removed).
+  std::vector<Vertex> order;
+  // position[v] = index of v in `order`.
+  std::vector<int64_t> position;
+};
+
+// Computes a smallest-last ordering in O(n + m). Nowhere dense classes have
+// (for every fixed radius) low generalized coloring numbers; plain
+// degeneracy is the radius-1 case and a good practical proxy for choosing
+// cover centers.
+DegeneracyResult DegeneracyOrder(const ColoredGraph& g);
+
+// Average degree 2m/n (0 for empty graphs).
+double AverageDegree(const ColoredGraph& g);
+
+// Maximum degree.
+int64_t MaxDegree(const ColoredGraph& g);
+
+}  // namespace nwd
+
+#endif  // NWD_GRAPH_STATS_H_

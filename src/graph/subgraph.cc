@@ -1,0 +1,50 @@
+#include "graph/subgraph.h"
+
+#include <algorithm>
+
+#include "graph/builder.h"
+#include "util/check.h"
+
+namespace nwd {
+
+Vertex SubgraphView::ToLocal(Vertex global) const {
+  const auto it =
+      std::lower_bound(to_global.begin(), to_global.end(), global);
+  if (it == to_global.end() || *it != global) return -1;
+  return static_cast<Vertex>(it - to_global.begin());
+}
+
+SubgraphView InduceSubgraph(const ColoredGraph& g,
+                            const std::vector<Vertex>& vertices) {
+  NWD_DCHECK(std::is_sorted(vertices.begin(), vertices.end()));
+  SubgraphView view;
+  view.to_global = vertices;
+
+  GraphBuilder builder(static_cast<int64_t>(vertices.size()), g.NumColors());
+  for (size_t local = 0; local < vertices.size(); ++local) {
+    const Vertex global = vertices[local];
+    for (Vertex u : g.Neighbors(global)) {
+      if (u <= global) continue;  // each edge once
+      const Vertex u_local = view.ToLocal(u);
+      if (u_local >= 0) builder.AddEdge(static_cast<Vertex>(local), u_local);
+    }
+    for (int c = 0; c < g.NumColors(); ++c) {
+      if (g.HasColor(global, c)) builder.SetColor(static_cast<Vertex>(local), c);
+    }
+  }
+  view.graph = std::move(builder).Build();
+  return view;
+}
+
+SubgraphView InduceSubgraphExcluding(const ColoredGraph& g,
+                                     const std::vector<Vertex>& vertices,
+                                     Vertex excluded) {
+  std::vector<Vertex> remaining;
+  remaining.reserve(vertices.size());
+  for (Vertex v : vertices) {
+    if (v != excluded) remaining.push_back(v);
+  }
+  return InduceSubgraph(g, remaining);
+}
+
+}  // namespace nwd

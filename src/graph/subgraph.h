@@ -1,0 +1,45 @@
+// Induced subgraphs with id maps.
+//
+// The enumeration algorithm constantly dives into induced subgraphs G[X]
+// (bags of a neighborhood cover) and G[X \ {s_X}] (after a Splitter move).
+// A SubgraphView packages the induced ColoredGraph together with the
+// local-id <-> global-id maps. Local ids are assigned in ascending global
+// order, so the local linear order agrees with the restriction of the global
+// one — which is what keeps lexicographic "smallest solution" computations
+// meaningful across recursion levels.
+
+#ifndef NWD_GRAPH_SUBGRAPH_H_
+#define NWD_GRAPH_SUBGRAPH_H_
+
+#include <vector>
+
+#include "graph/colored_graph.h"
+
+namespace nwd {
+
+// An induced subgraph with order-preserving id translation.
+struct SubgraphView {
+  ColoredGraph graph;
+  // to_global[local] = global vertex id; strictly increasing.
+  std::vector<Vertex> to_global;
+
+  // Global -> local translation by binary search; -1 if absent.
+  Vertex ToLocal(Vertex global) const;
+
+  Vertex ToGlobal(Vertex local) const { return to_global[local]; }
+};
+
+// The substructure of `g` induced by `vertices` (must be sorted, unique,
+// in range). Colors are restricted accordingly.
+SubgraphView InduceSubgraph(const ColoredGraph& g,
+                            const std::vector<Vertex>& vertices);
+
+// Convenience: induce on `vertices` minus one excluded vertex (used for
+// bags after a Splitter move: G[X \ {s_X}]).
+SubgraphView InduceSubgraphExcluding(const ColoredGraph& g,
+                                     const std::vector<Vertex>& vertices,
+                                     Vertex excluded);
+
+}  // namespace nwd
+
+#endif  // NWD_GRAPH_SUBGRAPH_H_

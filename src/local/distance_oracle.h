@@ -1,0 +1,116 @@
+// The constant-time bounded-distance oracle of Proposition 4.2.
+//
+// After a preprocessing of the shape the paper prescribes —
+//   1. compute an (r, 2r)-neighborhood cover,
+//   2. per bag X: Splitter's reply s_X to the bag center,
+//      the distances-to-s_X inside G[X] (the R_i recoloring of Step 4),
+//      and a recursive structure on X' = G[X \ {s_X}] (the lambda-induction)
+// — the oracle answers "dist_G(a, b) <= r'?" for any r' <= r in constant
+// time: locate a's canonical bag, check membership of b, then either the
+// distance survives in X' (recursion) or the witnessing path went through
+// s_X (the precomputed distances to s_X certify it):
+//   dist(a,b) <= r'   iff   dist_{X'}(a,b) <= r'  or  d_s(a) + d_s(b) <= r'.
+//
+// Practical knobs replacing the paper's existential constants: recursion
+// stops at bags of at most `small_cutoff` vertices (answered by a bounded
+// BFS — constant work) or at depth `max_lambda` (the measured stand-in for
+// lambda(2r) of Theorem 4.6; experiment E7). Correctness holds for every
+// input graph; nowhere-density only governs how big bags/depths get.
+
+#ifndef NWD_LOCAL_DISTANCE_ORACLE_H_
+#define NWD_LOCAL_DISTANCE_ORACLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cover/neighborhood_cover.h"
+#include "graph/colored_graph.h"
+#include "graph/subgraph.h"
+#include "splitter/strategy.h"
+
+namespace nwd {
+
+// Practical knobs for the oracle's recursion (see class comment).
+struct DistanceOracleOptions {
+  // Bags of at most this many vertices answer queries by direct BFS.
+  int64_t small_cutoff = 64;
+  // Hard cap on the splitter recursion depth (levels beyond it answer by
+  // direct BFS within their graph). The measured analogue of lambda(2r).
+  int max_lambda = 12;
+  // Total-work guard: once the sum of level sizes exceeds
+  // work_budget_multiplier * |G| + 4096, further levels become BFS leaves.
+  // On classes where the heuristic splitter strategy makes slow progress
+  // (one vertex per round on grids), the recursion would otherwise
+  // multiply — the concrete face of the paper's tower-of-exponentials
+  // constants. Leaves stay correct; only their per-query cost grows to the
+  // leaf's size.
+  int64_t work_budget_multiplier = 8;
+};
+
+class DistanceOracle {
+ public:
+  using Options = DistanceOracleOptions;
+
+  struct Stats {
+    int64_t levels = 0;            // recursion nodes built
+    int64_t total_bags = 0;        // bags across all levels
+    int max_depth = 0;             // deepest recursion level reached
+    int64_t cover_degree = 0;      // max cover degree seen on any level
+    int64_t vertices_built = 0;    // sum of level sizes (work certificate)
+    bool budget_exhausted = false; // the work guard fired
+  };
+
+  // Preprocesses g for distance queries up to `radius` (>= 1). `strategy`
+  // provides Splitter's replies; it must speak g's vertex ids.
+  DistanceOracle(const ColoredGraph& g, int radius,
+                 const SplitterStrategy& strategy, Options options = Options());
+
+  // Whether dist_G(a, b) <= r_query. Requires 0 <= r_query <= radius().
+  bool WithinDistance(Vertex a, Vertex b, int r_query) const;
+
+  int radius() const { return radius_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Bag;
+
+  // One node of the lambda-recursion: a graph (induced from the parent)
+  // plus its cover and per-bag data. `leaf` levels answer by BFS.
+  struct Level {
+    ColoredGraph graph;
+    std::vector<Vertex> to_root;  // local id -> original graph id
+    bool leaf = false;
+    NeighborhoodCover cover;  // only if !leaf
+    std::vector<Bag> bags;    // aligned with cover bags
+  };
+
+  struct Bag {
+    Vertex splitter = -1;  // s_X, local id in the level's graph
+    // dist_{G[X]}(v, s_X) for v in X, aligned with cover.Bag(bag);
+    // kFar if > radius.
+    std::vector<int16_t> dist_to_splitter;
+    // Recursive structure on X \ {s_X}; child->to_root identifies members.
+    std::unique_ptr<Level> child;
+    // child_local[i] = local id, in child->graph, of the i-th member of
+    // cover.Bag(bag) (-1 for s_X).
+    std::vector<Vertex> child_local;
+  };
+
+  static constexpr int16_t kFar = INT16_MAX;
+
+  std::unique_ptr<Level> BuildLevel(ColoredGraph graph,
+                                    std::vector<Vertex> to_root, int depth);
+  bool TestAtLevel(const Level& level, Vertex a, Vertex b, int r_query) const;
+
+  int radius_;
+  Options options_;
+  int64_t work_budget_ = 0;
+  const SplitterStrategy* strategy_;
+  Stats stats_;
+  std::unique_ptr<Level> root_;
+};
+
+}  // namespace nwd
+
+#endif  // NWD_LOCAL_DISTANCE_ORACLE_H_

@@ -1,0 +1,140 @@
+#include "local/edgeless_eval.h"
+
+#include <algorithm>
+
+#include "fo/analysis.h"
+#include "fo/naive_eval.h"
+#include "util/check.h"
+
+namespace nwd {
+
+EdgelessEvaluator::EdgelessEvaluator(const ColoredGraph& g) : graph_(&g) {
+  NWD_CHECK_EQ(g.NumEdges(), 0) << "EdgelessEvaluator requires no edges";
+  // Group vertices by color profile.
+  std::map<std::vector<bool>, int64_t> profile_to_class;
+  class_of_vertex_.assign(static_cast<size_t>(g.NumVertices()), -1);
+  for (Vertex v = 0; v < g.NumVertices(); ++v) {
+    std::vector<bool> profile(static_cast<size_t>(g.NumColors()));
+    for (int c = 0; c < g.NumColors(); ++c) profile[c] = g.HasColor(v, c);
+    const auto [it, inserted] = profile_to_class.try_emplace(
+        std::move(profile), static_cast<int64_t>(classes_.size()));
+    if (inserted) classes_.push_back({v, 0});
+    ++classes_[it->second].count;
+    class_of_vertex_[v] = it->second;
+  }
+}
+
+bool EdgelessEvaluator::Evaluate(const fo::FormulaPtr& f,
+                                 std::vector<Vertex>* env) {
+  using fo::NodeKind;
+  switch (f->kind) {
+    case NodeKind::kTrue:
+      return true;
+    case NodeKind::kFalse:
+      return false;
+    case NodeKind::kEdge:
+      return false;  // edgeless
+    case NodeKind::kColor:
+      return graph_->HasColor((*env)[f->var1], f->color);
+    case NodeKind::kEquals:
+      return (*env)[f->var1] == (*env)[f->var2];
+    case NodeKind::kDistLeq:
+      // Distinct vertices are at infinite distance in an edgeless graph.
+      return (*env)[f->var1] == (*env)[f->var2];
+    case NodeKind::kNot:
+      return !Evaluate(f->child1, env);
+    case NodeKind::kAnd:
+      return Evaluate(f->child1, env) && Evaluate(f->child2, env);
+    case NodeKind::kOr:
+      return Evaluate(f->child1, env) || Evaluate(f->child2, env);
+    case NodeKind::kExists:
+    case NodeKind::kForall: {
+      const fo::Var qv = f->quantified_var;
+      if (static_cast<size_t>(qv) >= env->size()) {
+        env->resize(static_cast<size_t>(qv) + 1, fo::kUnbound);
+      }
+      const Vertex saved = (*env)[qv];
+      const bool is_exists = f->kind == NodeKind::kExists;
+      bool result = !is_exists;
+      bool decided = false;
+
+      // Candidate 1: every vertex already mentioned in env (equalities with
+      // assigned vertices matter individually).
+      std::vector<Vertex> mentioned;
+      for (Vertex v : *env) {
+        if (v != fo::kUnbound) mentioned.push_back(v);
+      }
+      std::sort(mentioned.begin(), mentioned.end());
+      mentioned.erase(std::unique(mentioned.begin(), mentioned.end()),
+                      mentioned.end());
+      for (Vertex v : mentioned) {
+        (*env)[qv] = v;
+        const bool sub = Evaluate(f->child1, env);
+        if (is_exists && sub) {
+          result = true;
+          decided = true;
+          break;
+        }
+        if (!is_exists && !sub) {
+          result = false;
+          decided = true;
+          break;
+        }
+      }
+
+      // Candidate 2: one *fresh* vertex per color-profile class that still
+      // has an unmentioned member. Any two fresh vertices of the same class
+      // are related by an automorphism fixing `mentioned` pointwise.
+      if (!decided) {
+        for (size_t cls = 0; cls < classes_.size(); ++cls) {
+          // Count how many mentioned vertices this class already supplies.
+          int64_t used = 0;
+          for (Vertex v : mentioned) {
+            if (class_of_vertex_[v] == static_cast<int64_t>(cls)) ++used;
+          }
+          if (used >= classes_[cls].count) continue;  // class exhausted
+          // Pick a representative distinct from all mentioned vertices.
+          Vertex fresh = -1;
+          if (std::find(mentioned.begin(), mentioned.end(),
+                        classes_[cls].representative) == mentioned.end()) {
+            fresh = classes_[cls].representative;
+          } else {
+            for (Vertex v = 0; v < graph_->NumVertices(); ++v) {
+              if (class_of_vertex_[v] == static_cast<int64_t>(cls) &&
+                  std::find(mentioned.begin(), mentioned.end(), v) ==
+                      mentioned.end()) {
+                fresh = v;
+                break;
+              }
+            }
+          }
+          NWD_CHECK_GE(fresh, 0);
+          (*env)[qv] = fresh;
+          const bool sub = Evaluate(f->child1, env);
+          if (is_exists && sub) {
+            result = true;
+            break;
+          }
+          if (!is_exists && !sub) {
+            result = false;
+            break;
+          }
+        }
+      }
+      (*env)[qv] = saved;
+      return result;
+    }
+  }
+  return false;
+}
+
+bool EdgelessEvaluator::TestTuple(const fo::Query& query, const Tuple& tuple) {
+  NWD_CHECK_EQ(tuple.size(), query.free_vars.size());
+  fo::Var max_var = std::max(fo::MaxVarId(query.formula), 0);
+  for (fo::Var v : query.free_vars) max_var = std::max(max_var, v);
+  std::vector<Vertex> env(static_cast<size_t>(max_var) + 1, fo::kUnbound);
+  for (size_t i = 0; i < tuple.size(); ++i) env[query.free_vars[i]] = tuple[i];
+  return Evaluate(query.formula, &env);
+}
+
+}  // namespace nwd

@@ -1,0 +1,65 @@
+#include "local/local_evaluator.h"
+
+#include "fo/analysis.h"
+#include "util/check.h"
+
+namespace nwd {
+
+LocalEvaluator::LocalEvaluator(const ColoredGraph& g,
+                               const NeighborhoodCover& cover)
+    : graph_(&g), cover_(&cover) {
+  bag_graphs_.resize(static_cast<size_t>(cover.NumBags()));
+}
+
+const SubgraphView& LocalEvaluator::BagGraph(int64_t bag) {
+  NWD_CHECK(bag >= 0 && bag < cover_->NumBags());
+  auto& slot = bag_graphs_[static_cast<size_t>(bag)];
+  if (slot == nullptr) {
+    slot = std::make_unique<SubgraphView>(
+        InduceSubgraph(*graph_, cover_->Bag(bag)));
+  }
+  return *slot;
+}
+
+bool LocalEvaluator::TestInBag(int64_t bag, const fo::FormulaPtr& f,
+                               const std::vector<fo::Var>& vars,
+                               const std::vector<Vertex>& tuple) {
+  NWD_CHECK_EQ(vars.size(), tuple.size());
+  const SubgraphView& view = BagGraph(bag);
+  fo::NaiveEvaluator eval(view.graph);
+  fo::Var max_var = std::max(fo::MaxVarId(f), 0);
+  for (fo::Var v : vars) max_var = std::max(max_var, v);
+  std::vector<Vertex> env(static_cast<size_t>(max_var) + 1, fo::kUnbound);
+  for (size_t i = 0; i < vars.size(); ++i) {
+    const Vertex local = view.ToLocal(tuple[i]);
+    NWD_CHECK_GE(local, 0) << "tuple vertex " << tuple[i]
+                           << " is not in bag " << bag;
+    env[vars[i]] = local;
+  }
+  return eval.Evaluate(f, &env);
+}
+
+std::vector<bool> LocalEvaluator::MaterializeUnary(const fo::Query& q) {
+  NWD_CHECK_EQ(q.arity(), 1);
+  std::vector<bool> result(static_cast<size_t>(graph_->NumVertices()), false);
+  // Group by canonical bag: all vertices assigned to a bag share its
+  // induced subgraph (and its evaluator).
+  for (int64_t bag = 0; bag < cover_->NumBags(); ++bag) {
+    const std::vector<Vertex>& assigned = cover_->AssignedVertices(bag);
+    if (assigned.empty()) continue;
+    const SubgraphView& view = BagGraph(bag);
+    fo::NaiveEvaluator eval(view.graph);
+    const fo::Var max_var =
+        std::max(std::max(fo::MaxVarId(q.formula), 0), q.free_vars[0]);
+    std::vector<Vertex> env(static_cast<size_t>(max_var) + 1, fo::kUnbound);
+    for (Vertex v : assigned) {
+      const Vertex local = view.ToLocal(v);
+      NWD_DCHECK(local >= 0);
+      env[q.free_vars[0]] = local;
+      result[v] = eval.Evaluate(q.formula, &env);
+    }
+  }
+  return result;
+}
+
+}  // namespace nwd

@@ -1,0 +1,53 @@
+// Bag-local evaluation of FO+ formulas: the "evaluate psi on G*[X]"
+// primitive of the paper's preprocessing (Steps 5, 6 and 12 of Section
+// 5.2.1).
+//
+// For r-local formulas, G |= psi(a) iff G[X(a)] |= psi(a) whenever the
+// cover radius is at least r; this class evaluates the right-hand side.
+// Induced bag subgraphs are built lazily and cached so that materializing
+// a unary query over all vertices costs one induction per bag (plus the
+// per-vertex evaluation).
+
+#ifndef NWD_LOCAL_LOCAL_EVALUATOR_H_
+#define NWD_LOCAL_LOCAL_EVALUATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "cover/neighborhood_cover.h"
+#include "fo/ast.h"
+#include "fo/naive_eval.h"
+#include "graph/colored_graph.h"
+#include "graph/subgraph.h"
+
+namespace nwd {
+
+class LocalEvaluator {
+ public:
+  // Borrows both; they must outlive the evaluator.
+  LocalEvaluator(const ColoredGraph& g, const NeighborhoodCover& cover);
+
+  // Whether G[X(bag)] |= f(tuple): `vars[i]` is assigned `tuple[i]` (global
+  // vertex ids, all of which must lie in the bag).
+  bool TestInBag(int64_t bag, const fo::FormulaPtr& f,
+                 const std::vector<fo::Var>& vars,
+                 const std::vector<Vertex>& tuple);
+
+  // Materializes the r-local unary query q (arity 1) over all vertices:
+  // result[v] = 1 iff G[X(v)] |= q(v). This is the stand-in for the Unary
+  // Theorem 5.3 (see DESIGN.md): exact whenever q is local with radius at
+  // most the cover's, which the LNF compiler guarantees before calling.
+  std::vector<bool> MaterializeUnary(const fo::Query& q);
+
+  // The cached induced subgraph of a bag (exposed for the engine).
+  const SubgraphView& BagGraph(int64_t bag);
+
+ private:
+  const ColoredGraph* graph_;
+  const NeighborhoodCover* cover_;
+  std::vector<std::unique_ptr<SubgraphView>> bag_graphs_;
+};
+
+}  // namespace nwd
+
+#endif  // NWD_LOCAL_LOCAL_EVALUATOR_H_

@@ -1,0 +1,53 @@
+#include "relational/adjacency_graph.h"
+
+#include "graph/builder.h"
+#include "util/check.h"
+
+namespace nwd {
+namespace relational {
+
+AdjacencyGraph BuildAdjacencyGraph(const Database& db) {
+  AdjacencyGraph result;
+  const Schema& schema = db.schema();
+  result.num_elements = db.domain_size();
+  result.max_arity = schema.MaxArity();
+  result.element_color = 0;
+  result.position_color_base = 1;
+  result.relation_color_base = 1 + result.max_arity;
+  const int num_colors = 1 + result.max_arity + schema.NumRelations();
+
+  // Count vertices: elements + facts + one node per fact component.
+  int64_t num_facts = 0;
+  int64_t num_components = 0;
+  for (int rel = 0; rel < schema.NumRelations(); ++rel) {
+    num_facts += static_cast<int64_t>(db.Facts(rel).size());
+    num_components +=
+        static_cast<int64_t>(db.Facts(rel).size()) * schema.Arity(rel);
+  }
+  const int64_t n = result.num_elements + num_facts + num_components;
+  GraphBuilder builder(n, num_colors);
+
+  for (Vertex e = 0; e < result.num_elements; ++e) {
+    builder.SetColor(e, result.element_color);
+  }
+  int64_t next = result.num_elements;
+  for (int rel = 0; rel < schema.NumRelations(); ++rel) {
+    for (const Tuple& fact : db.Facts(rel)) {
+      const Vertex fact_node = next++;
+      builder.SetColor(fact_node, result.relation_color_base + rel);
+      for (size_t i = 0; i < fact.size(); ++i) {
+        const Vertex position_node = next++;
+        builder.SetColor(position_node,
+                         result.position_color_base + static_cast<int>(i));
+        builder.AddEdge(fact[i], position_node);
+        builder.AddEdge(position_node, fact_node);
+      }
+    }
+  }
+  NWD_CHECK_EQ(next, n);
+  result.graph = std::move(builder).Build();
+  return result;
+}
+
+}  // namespace relational
+}  // namespace nwd

@@ -1,0 +1,41 @@
+// The colored adjacency graph A'(D) of a database (Section 2, "From
+// databases to colored graphs").
+//
+// A'(D)'s vertices are: the database's domain elements, one node per fact,
+// and one "position" node per (fact, position) pair (the 1-subdivision that
+// keeps the class nowhere dense regardless of arities). Colors:
+//   * kElementColor marks domain elements (used to relativize rewritten
+//     queries — variables of a database query range over elements only),
+//   * C_i (position colors) mark position nodes,
+//   * P_R (relation colors) mark fact nodes of relation R.
+// Edges: element <-> position node <-> fact node.
+
+#ifndef NWD_RELATIONAL_ADJACENCY_GRAPH_H_
+#define NWD_RELATIONAL_ADJACENCY_GRAPH_H_
+
+#include <cstdint>
+
+#include "graph/colored_graph.h"
+#include "relational/database.h"
+
+namespace nwd {
+namespace relational {
+
+struct AdjacencyGraph {
+  ColoredGraph graph;
+  // Vertices [0, num_elements) of `graph` are exactly the database's domain
+  // elements, in order — so solution tuples over D and over A'(D) coincide.
+  int64_t num_elements = 0;
+  // Color indices in `graph`:
+  int element_color = 0;        // marks domain elements
+  int position_color_base = 0;  // C_i = position_color_base + (i - 1)
+  int relation_color_base = 0;  // P_R = relation_color_base + relation index
+  int max_arity = 0;
+};
+
+AdjacencyGraph BuildAdjacencyGraph(const Database& db);
+
+}  // namespace relational
+}  // namespace nwd
+
+#endif  // NWD_RELATIONAL_ADJACENCY_GRAPH_H_

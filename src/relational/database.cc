@@ -1,0 +1,81 @@
+#include "relational/database.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace nwd {
+namespace relational {
+
+int Schema::AddRelation(const std::string& name, int arity) {
+  NWD_CHECK_GE(arity, 1);
+  NWD_CHECK_EQ(IndexOf(name), -1) << "duplicate relation name " << name;
+  relations_.push_back({name, arity});
+  return static_cast<int>(relations_.size()) - 1;
+}
+
+int Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < relations_.size(); ++i) {
+    if (relations_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int Schema::MaxArity() const {
+  int max_arity = 0;
+  for (const Relation& r : relations_) max_arity = std::max(max_arity, r.arity);
+  return max_arity;
+}
+
+Database::Database(Schema schema, int64_t domain_size)
+    : schema_(std::move(schema)), domain_size_(domain_size) {
+  NWD_CHECK_GE(domain_size, 0);
+  facts_.resize(static_cast<size_t>(schema_.NumRelations()));
+  sorted_.resize(static_cast<size_t>(schema_.NumRelations()), true);
+}
+
+void Database::AddFact(const std::string& relation, const Tuple& tuple) {
+  const int index = schema_.IndexOf(relation);
+  NWD_CHECK_GE(index, 0) << "unknown relation " << relation;
+  AddFact(index, tuple);
+}
+
+void Database::AddFact(int relation_index, const Tuple& tuple) {
+  NWD_CHECK_EQ(static_cast<int>(tuple.size()),
+               schema_.Arity(relation_index));
+  for (int64_t v : tuple) {
+    NWD_CHECK(v >= 0 && v < domain_size_) << "fact component " << v;
+  }
+  facts_[relation_index].push_back(tuple);
+  sorted_[relation_index] = false;
+}
+
+void Database::EnsureSorted(int relation_index) const {
+  if (sorted_[relation_index]) return;
+  auto& table = facts_[relation_index];
+  std::sort(table.begin(), table.end());
+  table.erase(std::unique(table.begin(), table.end()), table.end());
+  sorted_[relation_index] = true;
+}
+
+const std::vector<Tuple>& Database::Facts(int relation_index) const {
+  EnsureSorted(relation_index);
+  return facts_[relation_index];
+}
+
+bool Database::HasFact(int relation_index, const Tuple& tuple) const {
+  EnsureSorted(relation_index);
+  const auto& table = facts_[relation_index];
+  return std::binary_search(table.begin(), table.end(), tuple);
+}
+
+int64_t Database::SizeNorm() const {
+  int64_t size = domain_size_;
+  for (int rel = 0; rel < schema_.NumRelations(); ++rel) {
+    size += static_cast<int64_t>(Facts(rel).size()) * schema_.Arity(rel);
+  }
+  return size;
+}
+
+}  // namespace relational
+}  // namespace nwd

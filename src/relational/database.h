@@ -1,0 +1,77 @@
+// Relational structures: schemas and databases (Section 2).
+//
+// The paper's algorithms run on colored graphs; arbitrary relational
+// databases reduce to them through the adjacency-graph transform of
+// Lemma 2.2 (see adjacency_graph.h). This module supplies the relational
+// side: schemas, fact tables, and direct evaluation used as ground truth
+// by the Lemma 2.2 equivalence tests.
+
+#ifndef NWD_RELATIONAL_DATABASE_H_
+#define NWD_RELATIONAL_DATABASE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/lex.h"
+
+namespace nwd {
+namespace relational {
+
+// A relational schema: named relation symbols with arities.
+class Schema {
+ public:
+  Schema() = default;
+
+  // Adds a relation; returns its index. Names must be unique.
+  int AddRelation(const std::string& name, int arity);
+
+  int NumRelations() const { return static_cast<int>(relations_.size()); }
+  const std::string& Name(int index) const { return relations_[index].name; }
+  int Arity(int index) const { return relations_[index].arity; }
+  // Index of a relation by name; -1 if absent.
+  int IndexOf(const std::string& name) const;
+  // The maximal arity over all relations (the k of Lemma 2.2).
+  int MaxArity() const;
+
+ private:
+  struct Relation {
+    std::string name;
+    int arity;
+  };
+  std::vector<Relation> relations_;
+};
+
+// A finite database over a schema: a domain [0, domain_size) plus fact
+// tables. Duplicate facts are stored once.
+class Database {
+ public:
+  Database(Schema schema, int64_t domain_size);
+
+  const Schema& schema() const { return schema_; }
+  int64_t domain_size() const { return domain_size_; }
+
+  // Adds the fact relation(t). Components must be in [0, domain_size).
+  void AddFact(const std::string& relation, const Tuple& tuple);
+  void AddFact(int relation_index, const Tuple& tuple);
+
+  // Sorted, deduplicated facts of a relation.
+  const std::vector<Tuple>& Facts(int relation_index) const;
+
+  bool HasFact(int relation_index, const Tuple& tuple) const;
+
+  // ||D||: domain size plus total number of fact components.
+  int64_t SizeNorm() const;
+
+ private:
+  Schema schema_;
+  int64_t domain_size_;
+  mutable std::vector<std::vector<Tuple>> facts_;  // sorted lazily
+  mutable std::vector<bool> sorted_;
+  void EnsureSorted(int relation_index) const;
+};
+
+}  // namespace relational
+}  // namespace nwd
+
+#endif  // NWD_RELATIONAL_DATABASE_H_

@@ -1,0 +1,41 @@
+#include "relational/rewrite.h"
+
+#include "util/check.h"
+
+namespace nwd {
+namespace relational {
+
+fo::FormulaPtr RelationAtom(const AdjacencyGraph& meta, const Schema& schema,
+                            const std::string& relation,
+                            const std::vector<fo::Var>& vars,
+                            fo::Var first_fresh_var) {
+  const int rel = schema.IndexOf(relation);
+  NWD_CHECK_GE(rel, 0) << "unknown relation " << relation;
+  NWD_CHECK_EQ(static_cast<int>(vars.size()), schema.Arity(rel));
+  for (fo::Var v : vars) NWD_CHECK_LT(v, first_fresh_var);
+
+  const fo::Var t = first_fresh_var;
+  fo::FormulaPtr body = fo::Color(meta.relation_color_base + rel, t);
+  for (size_t i = 0; i < vars.size(); ++i) {
+    const fo::Var z = first_fresh_var + 1 + static_cast<fo::Var>(i);
+    body = fo::And(
+        body,
+        fo::Exists(z, fo::And(fo::Color(meta.position_color_base +
+                                            static_cast<int>(i),
+                                        z),
+                              fo::And(fo::Edge(vars[i], z),
+                                      fo::Edge(z, t)))));
+  }
+  return fo::Exists(t, body);
+}
+
+fo::FormulaPtr Relativize(const AdjacencyGraph& meta, fo::FormulaPtr f,
+                          const std::vector<fo::Var>& vars) {
+  for (fo::Var v : vars) {
+    f = fo::And(fo::Color(meta.element_color, v), f);
+  }
+  return f;
+}
+
+}  // namespace relational
+}  // namespace nwd

@@ -1,0 +1,40 @@
+// Lemma 2.2: translating relational atoms into colored-graph formulas.
+//
+//   D |= R(a_1..a_j)   iff
+//   A'(D) |= exists t ( P_R(t) & AND_i exists z (C_i(z) & E(a_i,z) & E(z,t)) )
+//
+// Because A'(D)'s domain also contains fact and position nodes, rewritten
+// queries must relativize their variables to element nodes; Relativize()
+// below conjoins the element color to the free variables, and RelationAtom
+// produces the membership formula. Together they realize Lemma 2.2 for
+// queries built from relational atoms with FO connectives/quantifiers.
+
+#ifndef NWD_RELATIONAL_REWRITE_H_
+#define NWD_RELATIONAL_REWRITE_H_
+
+#include <string>
+#include <vector>
+
+#include "fo/ast.h"
+#include "relational/adjacency_graph.h"
+#include "relational/database.h"
+
+namespace nwd {
+namespace relational {
+
+// The colored-graph formula for R(vars...). Bound variables are allocated
+// from `first_fresh_var` upward (must exceed every var in `vars`).
+fo::FormulaPtr RelationAtom(const AdjacencyGraph& meta, const Schema& schema,
+                            const std::string& relation,
+                            const std::vector<fo::Var>& vars,
+                            fo::Var first_fresh_var);
+
+// Conjoins the element color to each of `vars` (relativization of free
+// variables to the database's domain).
+fo::FormulaPtr Relativize(const AdjacencyGraph& meta, fo::FormulaPtr f,
+                          const std::vector<fo::Var>& vars);
+
+}  // namespace relational
+}  // namespace nwd
+
+#endif  // NWD_RELATIONAL_REWRITE_H_

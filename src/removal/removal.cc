@@ -1,0 +1,150 @@
+#include "removal/removal.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "fo/analysis.h"
+#include "graph/bfs.h"
+#include "graph/builder.h"
+#include "util/check.h"
+
+namespace nwd {
+
+int64_t RemovalDistanceBudget(const fo::FormulaPtr& phi) {
+  return std::max<int64_t>(1, fo::MaxDistBound(phi));
+}
+
+SubgraphView BuildRemovalGraph(const ColoredGraph& g, Vertex s,
+                               int64_t max_dist, int* first_dist_color) {
+  NWD_CHECK(s >= 0 && s < g.NumVertices());
+  NWD_CHECK_GE(max_dist, 1);
+  *first_dist_color = g.NumColors();
+
+  // Distances from s in G, bounded by max_dist.
+  BfsScratch scratch(g.NumVertices());
+  scratch.Neighborhood(g, s, static_cast<int>(max_dist));
+
+  // Induce G \ {s} and append R_1..R_max_dist.
+  std::vector<Vertex> keep;
+  keep.reserve(static_cast<size_t>(g.NumVertices()) - 1);
+  for (Vertex v = 0; v < g.NumVertices(); ++v) {
+    if (v != s) keep.push_back(v);
+  }
+  SubgraphView base = InduceSubgraph(g, keep);
+
+  GraphBuilder builder = GraphBuilder::FromGraph(
+      base.graph, static_cast<int>(max_dist));
+  for (size_t local = 0; local < base.to_global.size(); ++local) {
+    const int64_t dist = scratch.DistanceTo(base.to_global[local]);
+    if (dist < 0) continue;  // unreachable from s within max_dist
+    // v gets R_i for every i >= dist (the colors are monotone).
+    for (int64_t i = std::max<int64_t>(dist, 1); i <= max_dist; ++i) {
+      builder.SetColor(static_cast<Vertex>(local),
+                       *first_dist_color + static_cast<int>(i - 1));
+    }
+  }
+  base.graph = std::move(builder).Build();
+  return base;
+}
+
+namespace {
+
+using fo::FormulaPtr;
+using fo::NodeKind;
+using fo::Var;
+
+class RemovalRewriter {
+ public:
+  RemovalRewriter(const ColoredGraph& g, Vertex s, int first_dist_color)
+      : graph_(&g), s_(s), first_dist_color_(first_dist_color) {}
+
+  // R_i(x) as a color atom; i >= 1.
+  FormulaPtr DistColor(int64_t i, Var x) const {
+    NWD_CHECK_GE(i, 1);
+    return fo::Color(first_dist_color_ + static_cast<int>(i - 1), x);
+  }
+
+  FormulaPtr Rewrite(const FormulaPtr& f, std::set<Var>* s_vars) const {
+    switch (f->kind) {
+      case NodeKind::kTrue:
+      case NodeKind::kFalse:
+        return f;
+      case NodeKind::kEdge: {
+        const bool s1 = s_vars->count(f->var1) > 0;
+        const bool s2 = s_vars->count(f->var2) > 0;
+        if (s1 && s2) return fo::False();  // E(s, s) never holds
+        if (s1) return DistColor(1, f->var2);
+        if (s2) return DistColor(1, f->var1);
+        return f;
+      }
+      case NodeKind::kColor: {
+        if (!s_vars->count(f->var1)) return f;
+        return graph_->HasColor(s_, f->color) ? fo::True() : fo::False();
+      }
+      case NodeKind::kEquals: {
+        const bool s1 = s_vars->count(f->var1) > 0;
+        const bool s2 = s_vars->count(f->var2) > 0;
+        if (s1 && s2) return fo::True();
+        if (s1 || s2) return fo::False();  // the other side ranges over H
+        return f;
+      }
+      case NodeKind::kDistLeq: {
+        const bool s1 = s_vars->count(f->var1) > 0;
+        const bool s2 = s_vars->count(f->var2) > 0;
+        const int64_t d = f->dist_bound;
+        if (s1 && s2) return fo::True();  // dist(s, s) = 0
+        if (s1) return DistColor(d, f->var2);
+        if (s2) return DistColor(d, f->var1);
+        // Both live: either the distance survives in H, or the witnessing
+        // path went through s.
+        FormulaPtr result = f;
+        for (int64_t i = 1; i <= d - 1; ++i) {
+          result = fo::Or(result, fo::And(DistColor(i, f->var1),
+                                          DistColor(d - i, f->var2)));
+        }
+        return result;
+      }
+      case NodeKind::kNot:
+        return fo::Not(Rewrite(f->child1, s_vars));
+      case NodeKind::kAnd:
+        return fo::And(Rewrite(f->child1, s_vars),
+                       Rewrite(f->child2, s_vars));
+      case NodeKind::kOr:
+        return fo::Or(Rewrite(f->child1, s_vars), Rewrite(f->child2, s_vars));
+      case NodeKind::kExists:
+      case NodeKind::kForall: {
+        const Var v = f->quantified_var;
+        // Branch 1: v ranges over H (v is not s).
+        const bool was_in = s_vars->erase(v) > 0;
+        FormulaPtr live = Rewrite(f->child1, s_vars);
+        // Branch 2: v denotes the deleted s.
+        s_vars->insert(v);
+        FormulaPtr at_s = Rewrite(f->child1, s_vars);
+        if (!was_in) s_vars->erase(v);
+        if (f->kind == NodeKind::kExists) {
+          return fo::Or(fo::Exists(v, live), at_s);
+        }
+        return fo::And(fo::Forall(v, live), at_s);
+      }
+    }
+    return f;
+  }
+
+ private:
+  const ColoredGraph* graph_;
+  Vertex s_;
+  int first_dist_color_;
+};
+
+}  // namespace
+
+fo::FormulaPtr RewriteForRemoval(const fo::FormulaPtr& phi,
+                                 const std::set<fo::Var>& s_vars,
+                                 const ColoredGraph& g, Vertex s,
+                                 int first_dist_color) {
+  RemovalRewriter rewriter(g, s, first_dist_color);
+  std::set<fo::Var> working = s_vars;
+  return rewriter.Rewrite(phi, &working);
+}
+
+}  // namespace nwd

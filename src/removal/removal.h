@@ -1,0 +1,65 @@
+// The Removal Lemma (Lemma 5.5): rewriting a query to survive the deletion
+// of one vertex.
+//
+// Given a colored graph G, a vertex s, and an FO+ query phi(z), the lemma
+// produces a recoloring H of G \ {s} and a query phi' over the widened
+// schema such that for tuples b over G assigning exactly the variables in
+// y-bar to s:   G |= phi(b)  <=>  H |= phi'(b without the s-components).
+//
+// The construction (generalizing Example 1-C / preprocessing Step 4 of
+// Proposition 4.2):
+//  * H carries new colors R_1..R_D (D = max distance bound in phi, at least
+//    1) with R_i = { w != s : dist_G(w, s) <= i } — one BFS from s.
+//  * Atoms are rewritten against the set S of variables currently known to
+//    denote s:
+//      E(x, y)        -> unchanged                        (x, y not in S)
+//      E(x, y_s)      -> R_1(x)                           (adjacency to s)
+//      x = y_s        -> false   (x ranges over H, which excludes s)
+//      y_s = y_s'     -> true
+//      C(y_s)         -> truth of C(s) in G (a constant)
+//      dist(x,y) <= d -> dist(x,y) <= d  |  OR_{i=1}^{d-1} R_i(x) & R_{d-i}(y)
+//                        (paths through the deleted s re-expressed via the
+//                         distance colors; distances in H can only grow)
+//      dist(x,y_s)<=d -> R_d(x)
+//      dist(y_s,y_s') -> true
+//      exists v psi   -> exists v psi'_{S \ {v}}  |  psi'_{S + {v}}
+//      forall v psi   -> forall v psi'_{S \ {v}}  &  psi'_{S + {v}}
+//    (the second disjunct/conjunct covers the quantified variable taking
+//     the deleted value s).
+//
+// The rewrite preserves q-rank: no quantifiers are added and distance
+// bounds never increase — the property the paper's lambda-induction needs.
+
+#ifndef NWD_REMOVAL_REMOVAL_H_
+#define NWD_REMOVAL_REMOVAL_H_
+
+#include <cstdint>
+#include <set>
+
+#include "fo/ast.h"
+#include "graph/colored_graph.h"
+#include "graph/subgraph.h"
+
+namespace nwd {
+
+// The recolored graph H = G \ {s} with distance colors R_1..R_max_dist
+// appended after G's own colors. Returns the view (local ids are
+// order-preserving) and sets *first_dist_color to the index of R_1.
+SubgraphView BuildRemovalGraph(const ColoredGraph& g, Vertex s,
+                               int64_t max_dist, int* first_dist_color);
+
+// Rewrites phi for the deletion of s, with `s_vars` the variables that
+// denote s. `first_dist_color` must match BuildRemovalGraph's output and
+// the graph must have been built with max_dist >= MaxDistBound(phi)
+// (and >= 1 if phi contains edge atoms).
+fo::FormulaPtr RewriteForRemoval(const fo::FormulaPtr& phi,
+                                 const std::set<fo::Var>& s_vars,
+                                 const ColoredGraph& g, Vertex s,
+                                 int first_dist_color);
+
+// Convenience: the distance-color budget a formula needs (>= 1).
+int64_t RemovalDistanceBudget(const fo::FormulaPtr& phi);
+
+}  // namespace nwd
+
+#endif  // NWD_REMOVAL_REMOVAL_H_

@@ -1,0 +1,113 @@
+#include "skip/skip_pointers.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/check.h"
+
+namespace nwd {
+
+SkipPointers::SkipPointers(int64_t num_vertices,
+                           const std::vector<std::vector<Vertex>>& kernels,
+                           std::vector<Vertex> target_list, int max_set_size)
+    : num_vertices_(num_vertices),
+      max_set_size_(max_set_size),
+      list_(std::move(target_list)) {
+  NWD_CHECK_GE(max_set_size, 1);
+  NWD_DCHECK(std::is_sorted(list_.begin(), list_.end()));
+
+  kernels_containing_.assign(static_cast<size_t>(num_vertices), {});
+  for (size_t x = 0; x < kernels.size(); ++x) {
+    for (Vertex v : kernels[x]) {
+      kernels_containing_[v].push_back(static_cast<int64_t>(x));
+    }
+  }
+
+  // Materialize SKIP(b, S) for S in SC(b), processing b from largest to
+  // smallest so that Resolve() can consult already-stored larger vertices
+  // (Claim 5.10's downward sweep).
+  sc_.assign(static_cast<size_t>(num_vertices), {});
+  std::set<std::vector<int64_t>> seen;  // per-vertex dedupe, reused
+  for (Vertex b = num_vertices - 1; b >= 0; --b) {
+    std::vector<Entry>& entries = sc_[b];
+    seen.clear();
+    // Seed: singletons {X} for the kernels containing b.
+    for (int64_t x : kernels_containing_[b]) {
+      entries.push_back(Entry{{x}, -1});
+      seen.insert(entries.back().bags);
+    }
+    // Grow: S + {X} whenever SKIP(b, S) lands in K_r(X). Entries are
+    // processed in insertion order; new ones are appended, so this is a
+    // BFS over the SC(b) closure.
+    for (size_t e = 0; e < entries.size(); ++e) {
+      entries[e].skip = Resolve(b, entries[e].bags);
+      const Vertex skip = entries[e].skip;
+      if (skip < 0) continue;
+      if (static_cast<int>(entries[e].bags.size()) >= max_set_size_) continue;
+      for (int64_t x : kernels_containing_[skip]) {
+        if (std::binary_search(entries[e].bags.begin(), entries[e].bags.end(),
+                               x)) {
+          continue;
+        }
+        std::vector<int64_t> grown = entries[e].bags;
+        grown.insert(std::lower_bound(grown.begin(), grown.end(), x), x);
+        if (seen.insert(grown).second) {
+          entries.push_back(Entry{std::move(grown), -1});
+        }
+      }
+    }
+    total_entries_ += static_cast<int64_t>(entries.size());
+  }
+}
+
+bool SkipPointers::InAnyKernel(Vertex v,
+                               const std::vector<int64_t>& bags) const {
+  for (int64_t x : kernels_containing_[v]) {
+    for (int64_t y : bags) {
+      if (x == y) return true;
+    }
+  }
+  return false;
+}
+
+Vertex SkipPointers::NextInList(Vertex b) const {
+  const auto it = std::upper_bound(list_.begin(), list_.end(), b);
+  return it == list_.end() ? -1 : *it;
+}
+
+Vertex SkipPointers::Resolve(Vertex b, const std::vector<int64_t>& bags) const {
+  // Case 1: b itself qualifies.
+  const bool b_in_list = std::binary_search(list_.begin(), list_.end(), b);
+  if (b_in_list && !InAnyKernel(b, bags)) return b;
+
+  // Case 2: hop to the next list element.
+  const Vertex c = NextInList(b);
+  if (c < 0) return -1;
+  if (!InAnyKernel(c, bags)) return c;
+
+  // c is blocked by some kernel of `bags`, so SC(c) contains at least the
+  // singleton of that kernel; chase the maximal stored subset.
+  const Entry* best = nullptr;
+  for (const Entry& entry : sc_[c]) {
+    if (!std::includes(bags.begin(), bags.end(), entry.bags.begin(),
+                       entry.bags.end())) {
+      continue;
+    }
+    if (best == nullptr || entry.bags.size() > best->bags.size()) {
+      best = &entry;
+    }
+  }
+  NWD_CHECK(best != nullptr)
+      << "SC(c) must contain a singleton for a blocked next-list element";
+  return best->skip;
+}
+
+Vertex SkipPointers::Skip(Vertex b, const std::vector<int64_t>& bags) const {
+  NWD_CHECK_LE(static_cast<int>(bags.size()), max_set_size_);
+  NWD_DCHECK(std::is_sorted(bags.begin(), bags.end()));
+  if (b < 0) b = 0;
+  if (b >= num_vertices_) return -1;
+  return Resolve(b, bags);
+}
+
+}  // namespace nwd

@@ -1,0 +1,75 @@
+// Skip pointers (Lemma 5.8, after [Segoufin-Vigny'17]).
+//
+// Fix a target list L of vertices and the r-kernels K_r(X) of a cover's
+// bags. After an O(n^{1+k*eps})-size preprocessing we can, given a vertex b
+// and a set S of at most k bags, return in constant time
+//
+//   SKIP(b, S) = min { b' in L : b' >= b  and  b' not in K_r(X) for X in S }.
+//
+// The trick (Claims 5.9/5.10): the full domain of SKIP is too large, so we
+// only materialize SKIP(b, S) for S in the inductively defined family
+// SC(b) — singletons {X} with b in K_r(X), plus S + {X} whenever
+// SKIP(b, S) lands in K_r(X). A query walks to the next list element c > b
+// and chases the *maximal stored subset* of S at c, which Claim 5.9 shows
+// gives the exact answer.
+//
+// This structure is what makes the "witness far from every query vertex"
+// candidate of the answering phase (Case I, the b'_0 candidate) constant
+// time.
+
+#ifndef NWD_SKIP_SKIP_POINTERS_H_
+#define NWD_SKIP_SKIP_POINTERS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/colored_graph.h"
+
+namespace nwd {
+
+class SkipPointers {
+ public:
+  // `kernels[x]` is the sorted r-kernel of bag x; `target_list` is L
+  // (sorted ascending); `max_set_size` is the k of Lemma 5.8.
+  SkipPointers(int64_t num_vertices,
+               const std::vector<std::vector<Vertex>>& kernels,
+               std::vector<Vertex> target_list, int max_set_size);
+
+  // SKIP(b, bags): smallest element of L that is >= b and avoids the
+  // kernels of all `bags` (|bags| <= max_set_size). Returns -1 if none.
+  Vertex Skip(Vertex b, const std::vector<int64_t>& bags) const;
+
+  // Total number of (b, S) pairs materialized (the space certificate of
+  // Claim 5.10; experiment E8 tracks this).
+  int64_t TotalEntries() const { return total_entries_; }
+
+  int max_set_size() const { return max_set_size_; }
+
+ private:
+  struct Entry {
+    std::vector<int64_t> bags;  // sorted, 1 <= size <= max_set_size
+    Vertex skip;                // SKIP(b, bags); -1 if none
+  };
+
+  // Whether v lies in the kernel of any bag in `bags` (scan of the
+  // per-vertex kernel list — both sides are tiny).
+  bool InAnyKernel(Vertex v, const std::vector<int64_t>& bags) const;
+
+  // Smallest element of L strictly greater than b, or -1.
+  Vertex NextInList(Vertex b) const;
+
+  // Core of Claim 5.9; `entries below b must already be computed` during
+  // preprocessing, and all entries exist at query time.
+  Vertex Resolve(Vertex b, const std::vector<int64_t>& bags) const;
+
+  int64_t num_vertices_;
+  int max_set_size_;
+  std::vector<Vertex> list_;                            // L, sorted
+  std::vector<std::vector<int64_t>> kernels_containing_;  // per vertex
+  std::vector<std::vector<Entry>> sc_;                  // per vertex
+  int64_t total_entries_ = 0;
+};
+
+}  // namespace nwd
+
+#endif  // NWD_SKIP_SKIP_POINTERS_H_

@@ -1,0 +1,77 @@
+#include "splitter/game.h"
+
+#include <algorithm>
+
+#include "graph/bfs.h"
+#include "graph/subgraph.h"
+#include "util/check.h"
+
+namespace nwd {
+
+SplitterGameResult PlaySplitterGame(const ColoredGraph& g, int radius,
+                                    const SplitterStrategy& strategy,
+                                    int max_rounds, int connector_samples,
+                                    Rng* rng) {
+  NWD_CHECK_GE(radius, 1);
+  NWD_CHECK_GE(connector_samples, 1);
+  SplitterGameResult result;
+
+  // The arena: an induced subgraph of g, tracked with global id maps so
+  // the strategy sees original vertices.
+  ColoredGraph arena = g;
+  std::vector<Vertex> to_global(static_cast<size_t>(g.NumVertices()));
+  for (Vertex v = 0; v < g.NumVertices(); ++v) to_global[v] = v;
+
+  for (int round = 0; round < max_rounds; ++round) {
+    if (arena.NumVertices() == 0) {
+      result.splitter_won = true;
+      return result;
+    }
+    ++result.rounds;
+    result.max_arena = std::max(result.max_arena, arena.NumVertices());
+
+    // Connector: greedy over sampled candidates — largest r-ball wins.
+    BfsScratch scratch(arena.NumVertices());
+    Vertex connector_local = 0;
+    size_t best_ball = 0;
+    const int64_t n = arena.NumVertices();
+    for (int s = 0; s < connector_samples; ++s) {
+      const Vertex candidate =
+          n <= connector_samples ? (s < n ? s : 0)
+                                 : static_cast<Vertex>(rng->NextBounded(
+                                       static_cast<uint64_t>(n)));
+      const size_t ball_size =
+          scratch.Neighborhood(arena, candidate, radius).size();
+      if (ball_size > best_ball) {
+        best_ball = ball_size;
+        connector_local = candidate;
+      }
+    }
+
+    // Splitter replies within the ball.
+    const std::vector<Vertex> ball_local =
+        scratch.Neighborhood(arena, connector_local, radius);
+    std::vector<Vertex> ball_global;
+    ball_global.reserve(ball_local.size());
+    for (Vertex v : ball_local) ball_global.push_back(to_global[v]);
+    const Vertex split_global =
+        strategy.ChooseSplit(ball_global, to_global[connector_local]);
+
+    // Next arena: the ball minus Splitter's vertex.
+    std::vector<Vertex> next_local;
+    next_local.reserve(ball_local.size());
+    for (size_t i = 0; i < ball_local.size(); ++i) {
+      if (ball_global[i] != split_global) next_local.push_back(ball_local[i]);
+    }
+    SubgraphView view = InduceSubgraph(arena, next_local);
+    std::vector<Vertex> next_global;
+    next_global.reserve(view.to_global.size());
+    for (Vertex local : view.to_global) next_global.push_back(to_global[local]);
+    arena = std::move(view.graph);
+    to_global = std::move(next_global);
+  }
+  result.splitter_won = arena.NumVertices() == 0;
+  return result;
+}
+
+}  // namespace nwd

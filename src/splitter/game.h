@@ -1,0 +1,37 @@
+// A simulator for the (lambda, r)-splitter game (Definition 4.5).
+//
+// Used by experiment E7 to *measure* lambda(r) per graph class (the paper
+// only proves it finite for nowhere dense classes), and by tests to verify
+// strategies make progress. Connector is played adversarially-greedily:
+// among sampled candidates it picks the vertex whose r-ball in the current
+// arena is largest.
+
+#ifndef NWD_SPLITTER_GAME_H_
+#define NWD_SPLITTER_GAME_H_
+
+#include "graph/colored_graph.h"
+#include "splitter/strategy.h"
+#include "util/rng.h"
+
+namespace nwd {
+
+struct SplitterGameResult {
+  // Rounds played until the arena became empty (Splitter's win), or
+  // max_rounds if it never did within the budget.
+  int rounds = 0;
+  bool splitter_won = false;
+  // Largest arena ever handed to Splitter (diagnostics).
+  int64_t max_arena = 0;
+};
+
+// Plays one game on g with the given radius and strategy. Connector
+// samples `connector_samples` candidate vertices per round (all vertices if
+// the arena is smaller). The game is cut off after `max_rounds` rounds.
+SplitterGameResult PlaySplitterGame(const ColoredGraph& g, int radius,
+                                    const SplitterStrategy& strategy,
+                                    int max_rounds, int connector_samples,
+                                    Rng* rng);
+
+}  // namespace nwd
+
+#endif  // NWD_SPLITTER_GAME_H_

@@ -1,0 +1,130 @@
+#include "splitter/strategy.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace nwd {
+namespace {
+
+class CenterSplitterStrategy : public SplitterStrategy {
+ public:
+  Vertex ChooseSplit(const std::vector<Vertex>& ball,
+                     Vertex connector) const override {
+    NWD_DCHECK(std::binary_search(ball.begin(), ball.end(), connector));
+    return connector;
+  }
+};
+
+class MaxDegreeSplitterStrategy : public SplitterStrategy {
+ public:
+  explicit MaxDegreeSplitterStrategy(const ColoredGraph& g) : graph_(&g) {}
+
+  Vertex ChooseSplit(const std::vector<Vertex>& ball,
+                     Vertex connector) const override {
+    NWD_CHECK(!ball.empty());
+    Vertex best = connector;
+    int64_t best_degree = -1;
+    for (Vertex v : ball) {
+      const int64_t degree = graph_->Degree(v);
+      if (degree > best_degree) {
+        best_degree = degree;
+        best = v;
+      }
+    }
+    return best;
+  }
+
+ private:
+  const ColoredGraph* graph_;
+};
+
+class ForestSplitterStrategy : public SplitterStrategy {
+ public:
+  explicit ForestSplitterStrategy(const ColoredGraph& g) {
+    // Root every component at its smallest vertex and record depths; the
+    // "top" (minimum-depth) vertex of any connected subgraph is then
+    // well-defined and unique.
+    const int64_t n = g.NumVertices();
+    depth_.assign(static_cast<size_t>(n), -1);
+    std::vector<Vertex> stack;
+    for (Vertex root = 0; root < n; ++root) {
+      if (depth_[root] != -1) continue;
+      depth_[root] = 0;
+      stack.push_back(root);
+      while (!stack.empty()) {
+        const Vertex v = stack.back();
+        stack.pop_back();
+        for (Vertex u : g.Neighbors(v)) {
+          if (depth_[u] == -1) {
+            depth_[u] = depth_[v] + 1;
+            stack.push_back(u);
+          }
+        }
+      }
+    }
+  }
+
+  Vertex ChooseSplit(const std::vector<Vertex>& ball,
+                     Vertex connector) const override {
+    NWD_CHECK(!ball.empty());
+    Vertex best = connector;
+    int64_t best_depth = depth_[connector];
+    for (Vertex v : ball) {
+      if (depth_[v] < best_depth) {
+        best_depth = depth_[v];
+        best = v;
+      }
+    }
+    return best;
+  }
+
+ private:
+  std::vector<int64_t> depth_;
+};
+
+}  // namespace
+
+bool IsForest(const ColoredGraph& g) {
+  // Acyclic iff every component has |E| = |V| - 1; equivalently a BFS never
+  // meets a visited vertex through a non-tree edge.
+  const int64_t n = g.NumVertices();
+  std::vector<Vertex> parent(static_cast<size_t>(n), -2);
+  std::vector<Vertex> queue;
+  for (Vertex root = 0; root < n; ++root) {
+    if (parent[root] != -2) continue;
+    parent[root] = -1;
+    queue.clear();
+    queue.push_back(root);
+    for (size_t head = 0; head < queue.size(); ++head) {
+      const Vertex v = queue[head];
+      for (Vertex u : g.Neighbors(v)) {
+        if (u == parent[v]) continue;
+        if (parent[u] != -2) return false;  // cross edge: cycle
+        parent[u] = v;
+        queue.push_back(u);
+      }
+    }
+  }
+  return true;
+}
+
+std::unique_ptr<SplitterStrategy> MakeForestStrategy(const ColoredGraph& g) {
+  return std::make_unique<ForestSplitterStrategy>(g);
+}
+
+std::unique_ptr<SplitterStrategy> MakeCenterStrategy() {
+  return std::make_unique<CenterSplitterStrategy>();
+}
+
+std::unique_ptr<SplitterStrategy> MakeMaxDegreeStrategy(
+    const ColoredGraph& g) {
+  return std::make_unique<MaxDegreeSplitterStrategy>(g);
+}
+
+std::unique_ptr<SplitterStrategy> MakeAutoStrategy(const ColoredGraph& g) {
+  if (IsForest(g)) return MakeForestStrategy(g);
+  return MakeMaxDegreeStrategy(g);
+}
+
+}  // namespace nwd

@@ -1,0 +1,54 @@
+// Splitter strategies for the splitter game (Definition 4.5, Theorem 4.6).
+//
+// A class is nowhere dense iff for every radius r Splitter wins the
+// (lambda(r), r)-splitter game for some finite lambda(r). The enumeration
+// engine only needs, per cover bag X with center c_X, *some* vertex s_X
+// (Splitter's reply to Connector playing c_X); correctness never depends on
+// the choice, only the recursion depth does. Strategies:
+//
+//  * ForestSplitterStrategy — on forests, picks the minimum-depth ("top")
+//    vertex of the ball w.r.t. a fixed rooting. A potential argument (see
+//    splitter_test.cc) shows the game then ends within 2r+1 rounds.
+//  * CenterSplitterStrategy — replies with the connector's own vertex;
+//    optimal on stars and other low-treedepth graphs.
+//  * MaxDegreeSplitterStrategy — removes the highest-degree hub in the
+//    ball; a good heuristic on bounded-degree and planar-like inputs.
+//  * MakeAutoStrategy — forest strategy when the input is a forest, else
+//    max-degree.
+//
+// All strategies speak *global* vertex ids; the recursion hands them the
+// ball's member list.
+
+#ifndef NWD_SPLITTER_STRATEGY_H_
+#define NWD_SPLITTER_STRATEGY_H_
+
+#include <memory>
+#include <vector>
+
+#include "graph/colored_graph.h"
+
+namespace nwd {
+
+class SplitterStrategy {
+ public:
+  virtual ~SplitterStrategy() = default;
+
+  // Splitter's reply when Connector plays `connector` and the current ball
+  // is `ball` (sorted global ids, containing `connector`). Must return a
+  // member of `ball`.
+  virtual Vertex ChooseSplit(const std::vector<Vertex>& ball,
+                             Vertex connector) const = 0;
+};
+
+// True iff g is acyclic (every component a tree).
+bool IsForest(const ColoredGraph& g);
+
+std::unique_ptr<SplitterStrategy> MakeForestStrategy(const ColoredGraph& g);
+std::unique_ptr<SplitterStrategy> MakeCenterStrategy();
+std::unique_ptr<SplitterStrategy> MakeMaxDegreeStrategy(
+    const ColoredGraph& g);
+std::unique_ptr<SplitterStrategy> MakeAutoStrategy(const ColoredGraph& g);
+
+}  // namespace nwd
+
+#endif  // NWD_SPLITTER_STRATEGY_H_

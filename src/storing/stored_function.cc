@@ -1,0 +1,3 @@
+// StoredFunction is header-only; this translation unit exists so the build
+// graph has a home for future out-of-line additions.
+#include "storing/stored_function.h"

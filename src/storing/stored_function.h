@@ -1,0 +1,41 @@
+// A typed facade over StoringTrie for the partial functions the paper's
+// preprocessing phases materialize (bag membership, skip pointers, ...).
+
+#ifndef NWD_STORING_STORED_FUNCTION_H_
+#define NWD_STORING_STORED_FUNCTION_H_
+
+#include <optional>
+#include <utility>
+
+#include "storing/trie.h"
+
+namespace nwd {
+
+// A partial map Tuple -> int64 over [0, n)^k with Theorem 3.1 cost bounds.
+class StoredFunction {
+ public:
+  // Default epsilon of 0.5 gives d ~ sqrt(n), h = 2 per coordinate.
+  StoredFunction(int arity, int64_t n, double epsilon = 0.5)
+      : trie_(arity, n, epsilon) {}
+
+  void Set(const Tuple& key, int64_t value) { trie_.Insert(key, value); }
+  void Erase(const Tuple& key) { trie_.Erase(key); }
+
+  std::optional<int64_t> Get(const Tuple& key) const { return trie_.Get(key); }
+  bool Contains(const Tuple& key) const { return trie_.Contains(key); }
+
+  // min{x in Dom : x >= key} with its value (Theorem 3.1 lookup semantics).
+  std::optional<std::pair<Tuple, int64_t>> Seek(const Tuple& key) const {
+    return trie_.Seek(key);
+  }
+
+  int64_t size() const { return trie_.size(); }
+  const StoringTrie& trie() const { return trie_; }
+
+ private:
+  StoringTrie trie_;
+};
+
+}  // namespace nwd
+
+#endif  // NWD_STORING_STORED_FUNCTION_H_

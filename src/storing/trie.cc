@@ -1,0 +1,434 @@
+#include "storing/trie.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace nwd {
+namespace {
+
+// Integer power with saturation at 2^62.
+int64_t SaturatingPow(int64_t base, int exp) {
+  constexpr int64_t kCap = int64_t{1} << 62;
+  int64_t result = 1;
+  for (int i = 0; i < exp; ++i) {
+    if (base != 0 && result > kCap / base) return kCap;
+    result *= base;
+  }
+  return result;
+}
+
+}  // namespace
+
+StoringTrie::StoringTrie(int arity, int64_t n, double epsilon)
+    : arity_(arity), n_(n) {
+  NWD_CHECK_GE(arity, 1);
+  NWD_CHECK_GE(n, 1);
+  NWD_CHECK_GT(epsilon, 0.0);
+  NWD_CHECK(SaturatingPow(n, arity) < (int64_t{1} << 62))
+      << "n^k must fit in 62 bits for rank encoding";
+
+  // d = ceil(n^eps) (at least 2 so the digit alphabet is non-trivial),
+  // h = ceil(1/eps), then bumped until d^h >= n to absorb floating-point
+  // slack.
+  d_ = static_cast<int>(
+      std::max<double>(2.0, std::ceil(std::pow(static_cast<double>(n),
+                                               epsilon))));
+  NWD_CHECK_LT(d_, 1 << 30);
+  h_ = static_cast<int>(std::ceil(1.0 / epsilon));
+  while (SaturatingPow(d_, h_) < n_) ++h_;
+
+  // Register 0 = allocation frontier; root node at registers 1..d+1.
+  r0_ = d_ + 2;
+  regs_.assign(static_cast<size_t>(r0_), Register{});
+  regs_[0] = {0, r0_};
+  for (int j = 0; j < d_; ++j) regs_[1 + j] = {0, kNullPayload};
+  regs_[1 + d_] = {-1, kNullPayload};
+}
+
+int64_t StoringTrie::RankOf(const Tuple& key) const {
+  NWD_CHECK_EQ(static_cast<int>(key.size()), arity_);
+  int64_t rank = 0;
+  for (int i = 0; i < arity_; ++i) {
+    NWD_CHECK(key[i] >= 0 && key[i] < n_) << "key component " << key[i];
+    rank = rank * n_ + key[i];
+  }
+  return rank;
+}
+
+Tuple StoringTrie::TupleOf(int64_t rank) const {
+  Tuple key(static_cast<size_t>(arity_));
+  for (int i = arity_; i-- > 0;) {
+    key[i] = rank % n_;
+    rank /= n_;
+  }
+  return key;
+}
+
+void StoringTrie::Digits(const Tuple& key, std::vector<int>* out) const {
+  out->clear();
+  out->reserve(static_cast<size_t>(PathLength()));
+  for (int i = 0; i < arity_; ++i) {
+    // MSB-first base-d digits of key[i], exactly h_ of them.
+    int64_t value = key[i];
+    const size_t base_index = out->size();
+    out->resize(base_index + static_cast<size_t>(h_));
+    for (int j = h_; j-- > 0;) {
+      (*out)[base_index + j] = static_cast<int>(value % d_);
+      value /= d_;
+    }
+  }
+}
+
+void StoringTrie::DigitsOfRank(int64_t rank, std::vector<int>* out) const {
+  const Tuple key = TupleOf(rank);
+  Digits(key, out);
+}
+
+StoringTrie::LookupResult StoringTrie::Lookup(const Tuple& key) const {
+  Digits(key, &digit_scratch_);
+  const int kh = PathLength();
+  int64_t node = 1;
+  for (int level = 0; level < kh; ++level) {
+    const Register cell = regs_[node + digit_scratch_[level]];
+    if (cell.delta == 0) {
+      LookupResult result;
+      if (cell.payload == kNullPayload) {
+        result.kind = LookupResult::Kind::kNull;
+      } else {
+        result.kind = LookupResult::Kind::kSuccessor;
+        result.successor = TupleOf(cell.payload);
+      }
+      return result;
+    }
+    NWD_DCHECK(cell.delta == 1);
+    if (level == kh - 1) {
+      LookupResult result;
+      result.kind = LookupResult::Kind::kFound;
+      result.value = cell.payload;
+      return result;
+    }
+    node = cell.payload;
+  }
+  NWD_CHECK(false) << "unreachable";
+  return {};
+}
+
+bool StoringTrie::Contains(const Tuple& key) const {
+  return Lookup(key).kind == LookupResult::Kind::kFound;
+}
+
+std::optional<int64_t> StoringTrie::Get(const Tuple& key) const {
+  const LookupResult result = Lookup(key);
+  if (result.kind != LookupResult::Kind::kFound) return std::nullopt;
+  return result.value;
+}
+
+std::optional<std::pair<Tuple, int64_t>> StoringTrie::Seek(
+    const Tuple& key) const {
+  const LookupResult result = Lookup(key);
+  switch (result.kind) {
+    case LookupResult::Kind::kFound:
+      return std::make_pair(key, result.value);
+    case LookupResult::Kind::kSuccessor: {
+      const LookupResult at = Lookup(result.successor);
+      NWD_DCHECK(at.kind == LookupResult::Kind::kFound);
+      return std::make_pair(result.successor, at.value);
+    }
+    case LookupResult::Kind::kNull:
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::pair<Tuple, int64_t>> StoringTrie::First() const {
+  return Seek(LexMin(arity_));
+}
+
+int StoringTrie::DescendPath(const std::vector<int>& digits,
+                             std::vector<int64_t>* nodes) const {
+  nodes->clear();
+  const int kh = PathLength();
+  int64_t node = 1;
+  for (int level = 0; level < kh; ++level) {
+    nodes->push_back(node);
+    const Register cell = regs_[node + digits[level]];
+    if (cell.delta == 0) return level;
+    if (level == kh - 1) return kh;
+    node = cell.payload;
+  }
+  return kh;
+}
+
+std::optional<Tuple> StoringTrie::Predecessor(const Tuple& key) const {
+  Digits(key, &digit_scratch_);
+  const int kh = PathLength();
+  std::vector<int64_t> nodes;
+  const int stop = DescendPath(digit_scratch_, &nodes);
+  // Walk back up looking for a non-empty cell strictly before the path.
+  for (int level = std::min(stop, kh - 1); level >= 0; --level) {
+    const int64_t node = nodes[level];
+    for (int digit = digit_scratch_[level] - 1; digit >= 0; --digit) {
+      const Register cell = regs_[node + digit];
+      if (cell.delta == 0) continue;
+      // Reconstruct the prefix, then descend to the maximum below.
+      std::vector<int> path(digit_scratch_.begin(),
+                            digit_scratch_.begin() + level);
+      path.push_back(digit);
+      if (level == kh - 1) {
+        // The cell itself is a key's leaf.
+      } else {
+        int64_t cur = cell.payload;
+        for (int depth = level + 1; depth < kh; ++depth) {
+          int chosen = -1;
+          for (int dd = d_ - 1; dd >= 0; --dd) {
+            if (regs_[cur + dd].delta != 0) {
+              chosen = dd;
+              break;
+            }
+          }
+          NWD_CHECK_GE(chosen, 0) << "allocated node with no key below";
+          path.push_back(chosen);
+          if (depth < kh - 1) cur = regs_[cur + chosen].payload;
+        }
+      }
+      // Convert digit path back to a tuple.
+      Tuple result(static_cast<size_t>(arity_));
+      size_t index = 0;
+      for (int i = 0; i < arity_; ++i) {
+        int64_t value = 0;
+        for (int j = 0; j < h_; ++j) value = value * d_ + path[index++];
+        result[i] = value;
+      }
+      return result;
+    }
+  }
+  return std::nullopt;
+}
+
+int64_t StoringTrie::AllocateNode(int64_t parent_cell) {
+  const int64_t start = r0_;
+  const size_t needed = static_cast<size_t>(start + d_ + 1);
+  if (regs_.size() < needed) regs_.resize(needed);
+  for (int j = 0; j < d_; ++j) regs_[start + j] = {0, 0};
+  regs_[start + d_] = {-1, parent_cell};
+  r0_ += d_ + 1;
+  regs_[0].payload = r0_;
+  return start;
+}
+
+void StoringTrie::FillRight(int64_t node, int level,
+                            const std::vector<int>& digits,
+                            int64_t succ_rank) {
+  const int kh = PathLength();
+  for (;;) {
+    for (int digit = digits[level] + 1; digit < d_; ++digit) {
+      NWD_DCHECK(regs_[node + digit].delta == 0)
+          << "FillRight crossing a non-empty cell";
+      regs_[node + digit] = {0, succ_rank};
+    }
+    if (level >= kh - 1) return;
+    const Register cell = regs_[node + digits[level]];
+    NWD_DCHECK(cell.delta == 1);
+    node = cell.payload;
+    ++level;
+  }
+}
+
+void StoringTrie::FillLeft(int64_t node, int level,
+                           const std::vector<int>& digits, int64_t succ_rank) {
+  const int kh = PathLength();
+  for (;;) {
+    for (int digit = 0; digit < digits[level]; ++digit) {
+      NWD_DCHECK(regs_[node + digit].delta == 0)
+          << "FillLeft crossing a non-empty cell";
+      regs_[node + digit] = {0, succ_rank};
+    }
+    if (level >= kh - 1) return;
+    const Register cell = regs_[node + digits[level]];
+    NWD_DCHECK(cell.delta == 1);
+    node = cell.payload;
+    ++level;
+  }
+}
+
+void StoringTrie::Clean(int64_t rank1, int64_t rank2) {
+  if (rank1 == kNullPayload && rank2 == kNullPayload) {
+    // Domain is empty: only the root remains; everything points nowhere.
+    for (int j = 0; j < d_; ++j) regs_[1 + j] = {0, kNullPayload};
+    return;
+  }
+  std::vector<int> digits1;
+  std::vector<int> digits2;
+  if (rank1 == kNullPayload) {
+    DigitsOfRank(rank2, &digits2);
+    FillLeft(1, 0, digits2, rank2);
+    return;
+  }
+  if (rank2 == kNullPayload) {
+    DigitsOfRank(rank1, &digits1);
+    FillRight(1, 0, digits1, kNullPayload);
+    return;
+  }
+  NWD_DCHECK(rank1 < rank2);
+  DigitsOfRank(rank1, &digits1);
+  DigitsOfRank(rank2, &digits2);
+  const int kh = PathLength();
+  int64_t node = 1;
+  int level = 0;
+  while (digits1[level] == digits2[level]) {
+    const Register cell = regs_[node + digits1[level]];
+    NWD_DCHECK(cell.delta == 1);
+    node = cell.payload;
+    ++level;
+    NWD_DCHECK(level < kh);
+  }
+  for (int digit = digits1[level] + 1; digit < digits2[level]; ++digit) {
+    NWD_DCHECK(regs_[node + digit].delta == 0);
+    regs_[node + digit] = {0, rank2};
+  }
+  if (level < kh - 1) {
+    FillRight(regs_[node + digits1[level]].payload, level + 1, digits1, rank2);
+    FillLeft(regs_[node + digits2[level]].payload, level + 1, digits2, rank2);
+  }
+}
+
+void StoringTrie::Insert(const Tuple& key, int64_t value) {
+  const LookupResult existing = Lookup(key);
+  Digits(key, &digit_scratch_);
+  const int kh = PathLength();
+
+  if (existing.kind == LookupResult::Kind::kFound) {
+    // Overwrite in place; no structural change.
+    int64_t node = 1;
+    for (int level = 0; level < kh - 1; ++level) {
+      node = regs_[node + digit_scratch_[level]].payload;
+    }
+    regs_[node + digit_scratch_[kh - 1]] = {1, value};
+    return;
+  }
+
+  const int64_t rank = RankOf(key);
+  const int64_t succ_rank =
+      existing.kind == LookupResult::Kind::kSuccessor
+          ? RankOf(existing.successor)
+          : kNullPayload;
+  const std::optional<Tuple> pred = Predecessor(key);
+  const int64_t pred_rank = pred.has_value() ? RankOf(*pred) : kNullPayload;
+
+  // Build the path top-down, allocating nodes as needed (paper's Insert).
+  // Note: Digits() above used digit_scratch_, which Predecessor() also
+  // touched; recompute to be safe.
+  Digits(key, &digit_scratch_);
+  int64_t node = 1;
+  for (int level = 0; level < kh; ++level) {
+    const int64_t cell_index = node + digit_scratch_[level];
+    if (level == kh - 1) {
+      regs_[cell_index] = {1, value};
+      break;
+    }
+    if (regs_[cell_index].delta == 0) {
+      const int64_t child = AllocateNode(cell_index);
+      regs_[cell_index] = {1, child};
+      node = child;
+    } else {
+      node = regs_[cell_index].payload;
+    }
+  }
+  ++size_;
+
+  // Repoint empty cells: those between pred and key now lead to key; the
+  // freshly allocated placeholder cells after key's path lead to succ.
+  Clean(pred_rank, rank);
+  Clean(rank, succ_rank);
+}
+
+int StoringTrie::DepthOf(int64_t node) const {
+  int depth = 0;
+  int64_t cur = node;
+  while (cur != 1) {
+    const int64_t parent_cell = regs_[cur + d_].payload;
+    NWD_DCHECK(parent_cell != kNullPayload);
+    cur = NodeStartOf(parent_cell);
+    ++depth;
+  }
+  return depth;
+}
+
+int64_t StoringTrie::NodeStartOf(int64_t cell) const {
+  int64_t i = cell;
+  while (regs_[i].delta != -1) ++i;
+  return i - d_;
+}
+
+void StoringTrie::Cut(int64_t node) {
+  const int kh = PathLength();
+  while (node != 1) {  // the root is never removed
+    for (int j = 0; j < d_; ++j) {
+      if (regs_[node + j].delta != 0) return;  // still holds a key
+    }
+    // Detach from the parent (payload fixed by the caller's final Clean).
+    const int64_t parent_cell = regs_[node + d_].payload;
+    regs_[parent_cell] = {0, 0};
+    int64_t parent_node = NodeStartOf(parent_cell);
+
+    // Compact: relocate the last allocated node into the hole.
+    const int64_t moved = r0_ - (d_ + 1);
+    if (moved != node) {
+      const int moved_depth = DepthOf(moved);
+      for (int j = 0; j <= d_; ++j) regs_[node + j] = regs_[moved + j];
+      // Fix the parent's downward pointer to the relocated node.
+      const int64_t moved_parent_cell = regs_[node + d_].payload;
+      NWD_DCHECK(moved_parent_cell != kNullPayload);
+      regs_[moved_parent_cell] = {1, node};
+      // Fix the children's upward pointers (their parent-cell indices moved)
+      // unless the relocated node is at the last level, where (1, x) cells
+      // carry values, not child pointers.
+      if (moved_depth < kh - 1) {
+        for (int j = 0; j < d_; ++j) {
+          if (regs_[node + j].delta == 1) {
+            regs_[regs_[node + j].payload + d_].payload = node + j;
+          }
+        }
+      }
+      if (parent_node == moved) parent_node = node;
+    }
+    r0_ -= d_ + 1;
+    regs_[0].payload = r0_;
+    regs_.resize(static_cast<size_t>(r0_));
+
+    node = parent_node;
+  }
+}
+
+void StoringTrie::Erase(const Tuple& key) {
+  if (!Contains(key)) return;
+  const int64_t rank = RankOf(key);
+
+  const std::optional<Tuple> pred = Predecessor(key);
+  const int64_t pred_rank = pred.has_value() ? RankOf(*pred) : kNullPayload;
+
+  int64_t succ_rank = kNullPayload;
+  if (rank + 1 < SaturatingPow(n_, arity_)) {
+    const LookupResult next = Lookup(TupleOf(rank + 1));
+    if (next.kind == LookupResult::Kind::kFound) {
+      succ_rank = rank + 1;
+    } else if (next.kind == LookupResult::Kind::kSuccessor) {
+      succ_rank = RankOf(next.successor);
+    }
+  }
+
+  Digits(key, &digit_scratch_);
+  std::vector<int64_t> nodes;
+  const int stop = DescendPath(digit_scratch_, &nodes);
+  NWD_CHECK_EQ(stop, PathLength());
+  const int64_t leaf_node = nodes[static_cast<size_t>(PathLength() - 1)];
+  regs_[leaf_node + digit_scratch_[PathLength() - 1]] = {0, 0};
+  --size_;
+
+  Cut(leaf_node);
+  Clean(pred_rank, succ_rank);
+}
+
+}  // namespace nwd

@@ -1,0 +1,168 @@
+// The Storing Theorem data structure (Theorem 3.1, Section 3 + Appendix 7).
+//
+// Stores a partial k-ary function f : Dom(f) -> int64 with Dom(f) a subset
+// of [n]^k, such that
+//   * initialization costs O(|Dom(f)| * n^eps),
+//   * adding/removing a pair costs O(n^eps),
+//   * lookup costs O(1) (for fixed eps: O(k * h * 1) with h = ceil(1/eps)),
+//     and a failed lookup returns the smallest key *larger* than the probe
+//     (the feature the whole enumeration machinery rests on),
+//   * space is O(|Dom(f)| * n^eps) at all times (removal compacts).
+//
+// The implementation follows the paper's register-level description: the
+// structure is one flat array of "registers", each holding a pair
+// (delta, payload) with delta in {-1, 0, +1}:
+//   * an inner node of the depth-(k*h) degree-d trie occupies d+1
+//     consecutive registers: d child cells plus one parent-pointer cell;
+//   * child cell (1, r): subtree rooted at register r (or, at the last
+//     level, (1, v) meaning the key is present with value v);
+//   * child cell (0, s): no key below this position; s is the rank of the
+//     smallest key in Dom(f) lexicographically larger than every key below
+//     this position (or kNullPayload if none) — this cell is what makes
+//     failed lookups return the successor in constant time;
+//   * last cell (-1, p): p is the index of the register in the parent node
+//     that points here (kNullPayload for the root);
+//   * register 0 holds the bump-allocation frontier R0.
+//
+// Keys in payloads are stored by *rank*: rank(a) = sum a_i * n^(k-1-i).
+// This requires n^k < 2^62 (checked at construction).
+//
+// Deviation from the paper: the paper obtains predecessors via a second,
+// mirrored structure; we instead walk the (single) trie upward in
+// O(d * k * h) = O(n^eps), which predecessors are only needed for (inside
+// Insert/Erase, whose budget is O(n^eps) anyway). This halves memory and
+// preserves every stated bound.
+
+#ifndef NWD_STORING_TRIE_H_
+#define NWD_STORING_TRIE_H_
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "util/lex.h"
+
+namespace nwd {
+
+class StoringTrie {
+ public:
+  // Sentinel payload meaning "no successor" / "no parent".
+  static constexpr int64_t kNullPayload = -1;
+
+  struct Register {
+    int8_t delta = 0;
+    int64_t payload = kNullPayload;
+  };
+
+  struct LookupResult {
+    enum class Kind {
+      kFound,      // key present; `value` holds f(key)
+      kSuccessor,  // key absent; `successor` is min{x in Dom : x > key}
+      kNull,       // key absent and nothing larger in Dom
+    };
+    Kind kind;
+    int64_t value = 0;
+    Tuple successor;
+  };
+
+  // A structure for k-ary keys over [0, n). `epsilon` controls the
+  // degree/height trade-off: d = ceil(n^eps), h = ceil(1/eps).
+  StoringTrie(int arity, int64_t n, double epsilon);
+
+  int arity() const { return arity_; }
+  int64_t universe() const { return n_; }
+  int degree() const { return d_; }
+  int height_per_coordinate() const { return h_; }
+
+  // Number of stored pairs.
+  int64_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  // Registers currently in use (the space bound of Theorem 3.1).
+  int64_t RegistersUsed() const { return r0_; }
+
+  // The paper's lookup: constant time, successor-returning on miss.
+  LookupResult Lookup(const Tuple& key) const;
+
+  // Convenience wrappers over Lookup.
+  bool Contains(const Tuple& key) const;
+  std::optional<int64_t> Get(const Tuple& key) const;
+
+  // min{x in Dom : x >= key} together with its value.
+  std::optional<std::pair<Tuple, int64_t>> Seek(const Tuple& key) const;
+
+  // Smallest key in Dom, with value.
+  std::optional<std::pair<Tuple, int64_t>> First() const;
+
+  // max{x in Dom : x < key}. O(n^eps) trie walk (see header comment).
+  std::optional<Tuple> Predecessor(const Tuple& key) const;
+
+  // Inserts f(key) = value, overwriting any existing value. O(n^eps).
+  void Insert(const Tuple& key, int64_t value);
+
+  // Removes key from Dom(f); no-op if absent. O(n^eps), compacting.
+  void Erase(const Tuple& key);
+
+  // --- introspection (Figure 1 reproduction & white-box tests) ---
+  Register DebugRegister(int64_t index) const { return regs_[index]; }
+  int64_t DebugRankOf(const Tuple& key) const { return RankOf(key); }
+  Tuple DebugTupleOf(int64_t rank) const { return TupleOf(rank); }
+
+ private:
+  // Total digit-string length of a key.
+  int PathLength() const { return arity_ * h_; }
+
+  int64_t RankOf(const Tuple& key) const;
+  Tuple TupleOf(int64_t rank) const;
+  // MSB-first digits of `key`, length arity_*h_, each in [0, d).
+  void Digits(const Tuple& key, std::vector<int>* out) const;
+  void DigitsOfRank(int64_t rank, std::vector<int>* out) const;
+
+  // Allocates a fresh node (d+1 registers); children (0, placeholder),
+  // parent cell (-1, parent_cell). Returns its first register index.
+  int64_t AllocateNode(int64_t parent_cell);
+
+  // Walks down `digits`; returns per-level node start registers in
+  // `nodes` (nodes[i] = start of node at depth i) for as far as the path
+  // exists. Returns the depth at which descent stopped (== PathLength()
+  // when the full path exists, i.e. key present).
+  int DescendPath(const std::vector<int>& digits,
+                  std::vector<int64_t>* nodes) const;
+
+  // Sets, along the path `digits` starting at (node, level), every empty
+  // child cell strictly *after* the path to (0, succ_rank), descending to
+  // the bottom. Requires the path to exist below (node, level).
+  void FillRight(int64_t node, int level, const std::vector<int>& digits,
+                 int64_t succ_rank);
+  // Dual: every empty child cell strictly *before* the path.
+  void FillLeft(int64_t node, int level, const std::vector<int>& digits,
+                int64_t succ_rank);
+  // The paper's Clean(a1, a2): repoints all empty cells strictly between
+  // the paths of a1 and a2 to a2's rank. a1/a2 given as ranks, either may
+  // be kNullPayload. Both paths must exist (when non-null).
+  void Clean(int64_t rank1, int64_t rank2);
+
+  // Depth of the node starting at `node` (root = 0), via parent pointers.
+  int DepthOf(int64_t node) const;
+  // Node start register containing cell index `cell`.
+  int64_t NodeStartOf(int64_t cell) const;
+
+  // Bottom-up removal of empty nodes starting from `node`; compacts freed
+  // registers by relocating the last allocated node into each hole.
+  void Cut(int64_t node);
+
+  int arity_;
+  int64_t n_;
+  int d_;
+  int h_;
+  int64_t size_ = 0;
+  int64_t r0_;  // bump-allocation frontier (mirrors register 0)
+  std::vector<Register> regs_;
+  // Scratch buffers to keep per-op allocations out of the hot path.
+  mutable std::vector<int> digit_scratch_;
+};
+
+}  // namespace nwd
+
+#endif  // NWD_STORING_TRIE_H_

@@ -1,0 +1,65 @@
+// Lightweight runtime assertion macros for the nwd library.
+//
+// The library does not use exceptions (Google style). Invariant violations
+// are programming errors and abort with a diagnostic. NWD_CHECK is always
+// on; NWD_DCHECK compiles out in NDEBUG builds.
+
+#ifndef NWD_UTIL_CHECK_H_
+#define NWD_UTIL_CHECK_H_
+
+#include <sstream>
+#include <string>
+
+namespace nwd {
+namespace internal_check {
+
+// Aborts the process after printing `message` with source location info.
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& message);
+
+// Stream collector used by the macros below to build failure messages.
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+
+  [[noreturn]] ~CheckMessageBuilder() {
+    CheckFailed(file_, line_, expr_, stream_.str());
+  }
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_check
+}  // namespace nwd
+
+// Always-on invariant check. Usage: NWD_CHECK(x > 0) << "x was " << x;
+#define NWD_CHECK(condition)                                             \
+  while (!(condition))                                                   \
+  ::nwd::internal_check::CheckMessageBuilder(__FILE__, __LINE__,         \
+                                             #condition)
+
+#define NWD_CHECK_EQ(a, b) NWD_CHECK((a) == (b))
+#define NWD_CHECK_NE(a, b) NWD_CHECK((a) != (b))
+#define NWD_CHECK_LT(a, b) NWD_CHECK((a) < (b))
+#define NWD_CHECK_LE(a, b) NWD_CHECK((a) <= (b))
+#define NWD_CHECK_GT(a, b) NWD_CHECK((a) > (b))
+#define NWD_CHECK_GE(a, b) NWD_CHECK((a) >= (b))
+
+#ifdef NDEBUG
+#define NWD_DCHECK(condition) NWD_CHECK(true || (condition))
+#else
+#define NWD_DCHECK(condition) NWD_CHECK(condition)
+#endif
+
+#endif  // NWD_UTIL_CHECK_H_

@@ -1,0 +1,38 @@
+// Deterministic pseudo-random number generation for generators and tests.
+
+#ifndef NWD_UTIL_RNG_H_
+#define NWD_UTIL_RNG_H_
+
+#include <cstdint>
+
+namespace nwd {
+
+// SplitMix64-seeded xoshiro256** generator. Deterministic across platforms
+// (unlike std::mt19937 distributions), cheap, and good enough for workload
+// generation and property tests.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Uniform in [0, 2^64).
+  uint64_t NextU64();
+
+  // Uniform in [0, bound). Requires bound > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Bernoulli trial with success probability p.
+  bool NextBool(double p);
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace nwd
+
+#endif  // NWD_UTIL_RNG_H_

@@ -1,0 +1,19 @@
+#include "util/timer.h"
+
+namespace nwd {
+
+Timer::Timer() { Restart(); }
+
+void Timer::Restart() { start_ = std::chrono::steady_clock::now(); }
+
+int64_t Timer::ElapsedNanos() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - start_)
+      .count();
+}
+
+double Timer::ElapsedSeconds() const {
+  return static_cast<double>(ElapsedNanos()) * 1e-9;
+}
+
+}  // namespace nwd

@@ -1,0 +1,29 @@
+// Wall-clock timing helper used by the benchmark harnesses.
+
+#ifndef NWD_UTIL_TIMER_H_
+#define NWD_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace nwd {
+
+// Monotonic stopwatch. Started on construction; Restart() resets.
+class Timer {
+ public:
+  Timer();
+
+  void Restart();
+
+  // Elapsed time since construction/Restart, in nanoseconds.
+  int64_t ElapsedNanos() const;
+
+  double ElapsedSeconds() const;
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace nwd
+
+#endif  // NWD_UTIL_TIMER_H_

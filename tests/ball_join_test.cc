@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include "baseline/ball_join.h"
+#include "fo/builders.h"
+#include "fo/naive_eval.h"
+#include "fo/parser.h"
+#include "gen/generators.h"
+#include "util/rng.h"
+
+namespace nwd {
+namespace {
+
+TEST(BallJoin, MatchesNaiveOnDistanceQuery) {
+  Rng rng(1);
+  const ColoredGraph g = gen::RandomTree(60, 0, {1, 0.4}, &rng);
+  BallJoinEnumerator joiner(g, 2);
+  const std::vector<Tuple> got =
+      joiner.AllSolutions([](Vertex, Vertex, int64_t) { return true; });
+  fo::NaiveEvaluator naive(g);
+  EXPECT_EQ(got, naive.AllSolutions(fo::DistanceQuery(2)));
+}
+
+TEST(BallJoin, FiltersByDistanceAndColor) {
+  Rng rng(2);
+  const ColoredGraph g = gen::Grid(7, 8, {1, 0.4}, &rng);
+  BallJoinEnumerator joiner(g, 3);
+  // dist(x, y) <= 3 & C0(y) & dist(x, y) > 1.
+  const std::vector<Tuple> got = joiner.AllSolutions(
+      [&g](Vertex, Vertex b, int64_t dist) {
+        return dist > 1 && g.HasColor(b, 0);
+      });
+  const fo::ParseResult r =
+      fo::ParseFormula("dist(x,y) <= 3 & !(dist(x,y) <= 1) & C0(y)");
+  ASSERT_TRUE(r.ok);
+  fo::NaiveEvaluator naive(g);
+  EXPECT_EQ(got, naive.AllSolutions(r.query));
+}
+
+TEST(BallJoin, EarlyStop) {
+  Rng rng(3);
+  const ColoredGraph g = gen::RandomTree(40, 0, {0, 0.0}, &rng);
+  BallJoinEnumerator joiner(g, 2);
+  int64_t seen = 0;
+  joiner.Enumerate([](Vertex, Vertex, int64_t) { return true; },
+                   [&seen](const Tuple&) {
+                     ++seen;
+                     return seen < 5;
+                   });
+  EXPECT_EQ(seen, 5);
+}
+
+TEST(BallJoin, OutputIsLexicographic) {
+  Rng rng(4);
+  const ColoredGraph g = gen::BoundedDegreeGraph(50, 4, 2.0, {0, 0.0}, &rng);
+  BallJoinEnumerator joiner(g, 2);
+  const std::vector<Tuple> got =
+      joiner.AllSolutions([](Vertex, Vertex, int64_t) { return true; });
+  for (size_t i = 1; i < got.size(); ++i) {
+    EXPECT_LT(LexCompare(got[i - 1], got[i]), 0);
+  }
+}
+
+}  // namespace
+}  // namespace nwd

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "baseline/naive_enum.h"
+#include "fo/builders.h"
+#include "fo/naive_eval.h"
+#include "fo/parser.h"
+#include "gen/generators.h"
+#include "util/rng.h"
+
+namespace nwd {
+namespace {
+
+class BaselineTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BaselineTest, AllSolutionsMatchesExhaustiveEvaluation) {
+  Rng rng(GetParam());
+  const ColoredGraph g = gen::BoundedDegreeGraph(25, 4, 2.0, {2, 0.4}, &rng);
+  fo::NaiveEvaluator naive(g);
+  std::vector<fo::Query> queries = {
+      fo::DistanceQuery(2),
+      fo::FarColorQuery(1, 0),
+      fo::HasNeighborOfColorQuery(0, 1),
+  };
+  const fo::ParseResult quantified =
+      fo::ParseFormula("exists z. E(x, z) & E(z, y) & C0(z)");
+  ASSERT_TRUE(quantified.ok);
+  queries.push_back(quantified.query);
+
+  for (const fo::Query& q : queries) {
+    BacktrackingEnumerator backtracking(g, q);
+    EXPECT_EQ(backtracking.AllSolutions(), naive.AllSolutions(q));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BaselineTest, ::testing::Range(0, 5));
+
+TEST(Baseline, EnumerateEarlyStop) {
+  Rng rng(50);
+  const ColoredGraph g = gen::RandomTree(40, 0, {1, 0.5}, &rng);
+  BacktrackingEnumerator enumerator(g, fo::DistanceQuery(2));
+  int64_t count = 0;
+  enumerator.Enumerate([&count](const Tuple&) {
+    ++count;
+    return count < 7;
+  });
+  EXPECT_EQ(count, 7);
+}
+
+TEST(Baseline, NextMatchesLowerBound) {
+  Rng rng(51);
+  const ColoredGraph g = gen::RandomTree(30, 0, {1, 0.4}, &rng);
+  const fo::Query q = fo::FarColorQuery(2, 0);
+  BacktrackingEnumerator enumerator(g, q);
+  const std::vector<Tuple> all = enumerator.AllSolutions();
+  for (int trial = 0; trial < 50; ++trial) {
+    Tuple from{static_cast<Vertex>(rng.NextBounded(30)),
+               static_cast<Vertex>(rng.NextBounded(30))};
+    const auto got = enumerator.Next(from);
+    const auto it = std::lower_bound(
+        all.begin(), all.end(), from,
+        [](const Tuple& a, const Tuple& b) { return LexCompare(a, b) < 0; });
+    if (it == all.end()) {
+      EXPECT_FALSE(got.has_value());
+    } else {
+      ASSERT_TRUE(got.has_value());
+      EXPECT_EQ(*got, *it);
+    }
+  }
+}
+
+TEST(Baseline, SentenceEnumeration) {
+  Rng rng(52);
+  const ColoredGraph g = gen::RandomTree(10, 0, {1, 0.9}, &rng);
+  const fo::ParseResult r = fo::ParseSentence("exists x. C0(x)");
+  ASSERT_TRUE(r.ok);
+  BacktrackingEnumerator enumerator(g, r.query);
+  EXPECT_EQ(enumerator.AllSolutions().size(), 1u);
+}
+
+TEST(Baseline, PruningStillComplete) {
+  // A query whose prefix constraints prune aggressively: C0(x) first.
+  Rng rng(53);
+  const ColoredGraph g = gen::RandomTree(35, 0, {1, 0.15}, &rng);
+  const fo::ParseResult r = fo::ParseFormula("C0(x) & dist(x, y) <= 2");
+  ASSERT_TRUE(r.ok);
+  BacktrackingEnumerator backtracking(g, r.query);
+  fo::NaiveEvaluator naive(g);
+  EXPECT_EQ(backtracking.AllSolutions(), naive.AllSolutions(r.query));
+}
+
+}  // namespace
+}  // namespace nwd

@@ -1,0 +1,96 @@
+// API-contract properties of Theorem 2.3's Next(): monotonicity,
+// idempotence, and agreement with Test() — plus parser robustness against
+// arbitrary input.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "enumerate/engine.h"
+#include "fo/builders.h"
+#include "fo/parser.h"
+#include "gen/generators.h"
+#include "util/rng.h"
+
+namespace nwd {
+namespace {
+
+class NextContractTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(NextContractTest, MonotoneIdempotentAndAgreesWithTest) {
+  Rng rng(GetParam());
+  const ColoredGraph g =
+      gen::BoundedDegreeGraph(70, 4, 2.3, {2, 0.35}, &rng);
+  EngineOptions options;
+  options.naive_cutoff = 10;
+  const std::vector<fo::Query> queries = {
+      fo::DistanceQuery(2),
+      fo::FarColorQuery(2, 0),
+      fo::ColoredPairQuery(0, 1, 2),
+  };
+  for (const fo::Query& q : queries) {
+    const EnumerationEngine engine(g, q, options);
+    for (int trial = 0; trial < 100; ++trial) {
+      Tuple from{static_cast<Vertex>(rng.NextBounded(70)),
+                 static_cast<Vertex>(rng.NextBounded(70))};
+      const auto next = engine.Next(from);
+      if (!next.has_value()) {
+        // Nothing >= from: in particular `from` itself is not a solution.
+        EXPECT_FALSE(engine.Test(from));
+        continue;
+      }
+      // Monotone: Next(from) >= from.
+      EXPECT_GE(LexCompare(*next, from), 0);
+      // Sound: the result is a solution.
+      EXPECT_TRUE(engine.Test(*next));
+      // Idempotent: Next of a solution is itself.
+      const auto again = engine.Next(*next);
+      ASSERT_TRUE(again.has_value());
+      EXPECT_EQ(*again, *next);
+      // Agreement: Test(from) iff Next(from) == from.
+      EXPECT_EQ(engine.Test(from), *next == from);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NextContractTest, ::testing::Range(0, 5));
+
+TEST(ParserFuzz, ArbitraryInputNeverCrashes) {
+  Rng rng(99);
+  const std::string alphabet =
+      "xyzEC01()&|!=<>. distexistsforalltrue,";
+  for (int trial = 0; trial < 3000; ++trial) {
+    const int length = static_cast<int>(rng.NextBounded(40));
+    std::string text;
+    for (int i = 0; i < length; ++i) {
+      text.push_back(alphabet[rng.NextBounded(alphabet.size())]);
+    }
+    // Must either parse or produce an error message — never crash, never
+    // return an inconsistent result.
+    const fo::ParseResult formula = fo::ParseFormula(text);
+    if (!formula.ok) {
+      EXPECT_FALSE(formula.error.empty()) << text;
+    }
+    const fo::ParseResult query = fo::ParseQuery(text);
+    if (!query.ok) {
+      EXPECT_FALSE(query.error.empty()) << text;
+    }
+  }
+}
+
+TEST(ParserFuzz, ValidQueriesSurviveMutation) {
+  // Mutate a valid query by deleting one character at a time; the parser
+  // must handle every mutant gracefully.
+  const std::string base = "(x, y) := dist(x, y) <= 2 & !(C0(y)) | x = y";
+  for (size_t drop = 0; drop < base.size(); ++drop) {
+    std::string mutant = base;
+    mutant.erase(drop, 1);
+    const fo::ParseResult r = fo::ParseQuery(mutant);
+    if (!r.ok) {
+      EXPECT_FALSE(r.error.empty()) << mutant;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nwd

@@ -1,0 +1,141 @@
+// Register-level reproduction of Figure 1 (and the removal walk-through of
+// Appendix 7.3) of the paper.
+//
+// Setup: n = 27, eps = 1/3, so d = 3, h = 3; f is the identity on
+// {2, 4, 5, 19, 24, 25}, inserted in ascending order.
+//
+// Our allocation then places (root at R_1..R_4, nodes of d+1 = 4 registers):
+//   prefix "0"  -> R_5..R_8      prefix "00" -> R_9..R_12
+//   prefix "01" -> R_13..R_16    prefix "2"  -> R_17..R_20
+//   prefix "20" -> R_21..R_24    prefix "22" -> R_25..R_28
+//
+// The caption's spot checks that are layout-independent all hold: R_1 is
+// (1, 5) because the first child of the root starts at R_5; R_2 is (0, 19)
+// because no key starts with digit 1 and 19 is the next key; R_8 holds
+// (-1, 1) pointing back at the parent cell R_1. (The caption also places
+// key 5's leaf at R_19 — under insertion in ascending order the "01" node
+// lands at R_13..R_16 instead, so that leaf is R_15; the caption's register
+// arithmetic is inconsistent with any single insertion order, see
+// EXPERIMENTS.md F1.)
+
+#include <gtest/gtest.h>
+
+#include "storing/trie.h"
+
+namespace nwd {
+namespace {
+
+StoringTrie BuildFigure1() {
+  StoringTrie trie(1, 27, 1.0 / 3.0);
+  for (int64_t v : {2, 4, 5, 19, 24, 25}) trie.Insert({v}, v);
+  return trie;
+}
+
+TEST(Figure1, Parameters) {
+  const StoringTrie trie = BuildFigure1();
+  EXPECT_EQ(trie.degree(), 3);                  // d = 27^(1/3)
+  EXPECT_EQ(trie.height_per_coordinate(), 3);   // h = 1/eps
+  EXPECT_EQ(trie.size(), 6);
+  // Root (4 registers) + 6 inner nodes + register 0 = 29 registers.
+  EXPECT_EQ(trie.RegistersUsed(), 29);
+}
+
+TEST(Figure1, CaptionSpotChecks) {
+  const StoringTrie trie = BuildFigure1();
+  // "R_1 ... content (1, 5) because the first child of the root is not a
+  //  leaf and the first register representing it is R_5."
+  EXPECT_EQ(trie.DebugRegister(1).delta, 1);
+  EXPECT_EQ(trie.DebugRegister(1).payload, 5);
+  // "The second register representing the root is R_2 whose content is
+  //  (0, 19)": no stored key has first digit 1; the next key is 19.
+  EXPECT_EQ(trie.DebugRegister(2).delta, 0);
+  EXPECT_EQ(trie.DebugRegister(2).payload, trie.DebugRankOf({19}));
+  // "(-1, 1) because R_1 is the first register encoding [its parent cell]".
+  EXPECT_EQ(trie.DebugRegister(8).delta, -1);
+  EXPECT_EQ(trie.DebugRegister(8).payload, 1);
+}
+
+TEST(Figure1, FullRegisterLayout) {
+  const StoringTrie trie = BuildFigure1();
+  const auto reg = [&trie](int64_t i) { return trie.DebugRegister(i); };
+  // Register 0: allocation frontier.
+  EXPECT_EQ(reg(0).payload, 29);
+  // Root: children "0" (node), digit-1 empty -> 19, "2" (node).
+  EXPECT_EQ(reg(3).delta, 1);
+  EXPECT_EQ(reg(3).payload, 17);
+  EXPECT_EQ(reg(4).delta, -1);  // root has no parent
+  // Node "0" at R_5..R_8: "00" node, "01" node, "02" empty -> 19.
+  EXPECT_EQ(reg(5).delta, 1);
+  EXPECT_EQ(reg(5).payload, 9);
+  EXPECT_EQ(reg(6).delta, 1);
+  EXPECT_EQ(reg(6).payload, 13);
+  EXPECT_EQ(reg(7).delta, 0);
+  EXPECT_EQ(reg(7).payload, 19);
+  // Node "00" at R_9..R_12: 000 -> 2, 001 -> 2, 002 = key 2.
+  EXPECT_EQ(reg(9).delta, 0);
+  EXPECT_EQ(reg(9).payload, 2);
+  EXPECT_EQ(reg(10).delta, 0);
+  EXPECT_EQ(reg(10).payload, 2);
+  EXPECT_EQ(reg(11).delta, 1);
+  EXPECT_EQ(reg(11).payload, 2);  // f(2) = 2
+  EXPECT_EQ(reg(12).delta, -1);
+  EXPECT_EQ(reg(12).payload, 5);
+  // Node "01" at R_13..R_16: 010 -> 4, 011 = key 4, 012 = key 5.
+  EXPECT_EQ(reg(13).delta, 0);
+  EXPECT_EQ(reg(13).payload, 4);
+  EXPECT_EQ(reg(14).delta, 1);
+  EXPECT_EQ(reg(14).payload, 4);  // f(4) = 4
+  EXPECT_EQ(reg(15).delta, 1);
+  EXPECT_EQ(reg(15).payload, 5);  // f(5) = 5 — the caption's "(1, f(5))"
+  EXPECT_EQ(reg(16).delta, -1);
+  EXPECT_EQ(reg(16).payload, 6);
+  // Node "2" at R_17..R_20: "20" node, digit-1 empty -> 24, "22" node.
+  EXPECT_EQ(reg(17).delta, 1);
+  EXPECT_EQ(reg(17).payload, 21);
+  EXPECT_EQ(reg(18).delta, 0);
+  EXPECT_EQ(reg(18).payload, 24);
+  EXPECT_EQ(reg(19).delta, 1);
+  EXPECT_EQ(reg(19).payload, 25);
+  // Node "20" at R_21..R_24: 200 -> 19, 201 = key 19, 202 -> 24.
+  EXPECT_EQ(reg(21).payload, 19);
+  EXPECT_EQ(reg(22).delta, 1);
+  EXPECT_EQ(reg(22).payload, 19);  // f(19) = 19
+  EXPECT_EQ(reg(23).delta, 0);
+  EXPECT_EQ(reg(23).payload, 24);
+  // Node "22" at R_25..R_28: 220 = key 24, 221 = key 25, 222 empty -> Null.
+  EXPECT_EQ(reg(25).delta, 1);
+  EXPECT_EQ(reg(25).payload, 24);
+  EXPECT_EQ(reg(26).delta, 1);
+  EXPECT_EQ(reg(26).payload, 25);
+  EXPECT_EQ(reg(27).delta, 0);
+  EXPECT_EQ(reg(27).payload, StoringTrie::kNullPayload);
+}
+
+TEST(Figure1, RemovalWalkthrough) {
+  // Appendix 7.3: "consider the case where 19 must be removed ... We first
+  // compute the surrounding elements of 19: 5 and 24 ... conclude that the
+  // array stored in cells [of node "20"] is now irrelevant ... move the
+  // content of the [last] array in its place ... and replace the value
+  // (0, 19) by (0, 24)."
+  StoringTrie trie(1, 27, 1.0 / 3.0);
+  for (int64_t v : {2, 4, 5, 19, 24, 25}) trie.Insert({v}, v);
+  trie.Erase({19});
+  // One node (4 registers) was reclaimed.
+  EXPECT_EQ(trie.RegistersUsed(), 25);
+  // Every cell that previously pointed at 19 now points at 24:
+  EXPECT_EQ(trie.DebugRegister(2).payload, 24);  // root digit 1
+  EXPECT_EQ(trie.DebugRegister(7).payload, 24);  // "02"
+  // The "22" node was relocated into the hole left by "20" (R_21..R_24);
+  // node "2"'s digit-0 cell is empty now and its digit-2 cell points there.
+  EXPECT_EQ(trie.DebugRegister(17).delta, 0);
+  EXPECT_EQ(trie.DebugRegister(17).payload, 24);
+  EXPECT_EQ(trie.DebugRegister(19).delta, 1);
+  EXPECT_EQ(trie.DebugRegister(19).payload, 21);
+  // Semantics after the removal.
+  EXPECT_FALSE(trie.Contains({19}));
+  EXPECT_EQ(trie.Lookup({6}).successor, Tuple{24});
+  EXPECT_EQ(trie.Predecessor({24}), std::optional<Tuple>(Tuple{5}));
+}
+
+}  // namespace
+}  // namespace nwd

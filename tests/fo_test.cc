@@ -1,0 +1,252 @@
+#include <gtest/gtest.h>
+
+#include "fo/analysis.h"
+#include "fo/ast.h"
+#include "fo/builders.h"
+#include "fo/naive_eval.h"
+#include "fo/parser.h"
+#include "fo/printer.h"
+#include "gen/generators.h"
+#include "graph/builder.h"
+#include "util/rng.h"
+
+namespace nwd {
+namespace fo {
+namespace {
+
+TEST(Ast, ConstantFolding) {
+  EXPECT_EQ(Edge(3, 3)->kind, NodeKind::kFalse);
+  EXPECT_EQ(Equals(2, 2)->kind, NodeKind::kTrue);
+  EXPECT_EQ(DistLeq(1, 1, 5)->kind, NodeKind::kTrue);
+  EXPECT_EQ(DistLeq(0, 1, 0)->kind, NodeKind::kEquals);
+  EXPECT_EQ(DistLeq(0, 1, -1)->kind, NodeKind::kFalse);
+  EXPECT_EQ(Not(True())->kind, NodeKind::kFalse);
+  EXPECT_EQ(Not(Not(Edge(0, 1)))->kind, NodeKind::kEdge);
+  EXPECT_EQ(And(True(), Edge(0, 1))->kind, NodeKind::kEdge);
+  EXPECT_EQ(And(False(), Edge(0, 1))->kind, NodeKind::kFalse);
+  EXPECT_EQ(Or(True(), Edge(0, 1))->kind, NodeKind::kTrue);
+  EXPECT_EQ(Or(False(), Edge(0, 1))->kind, NodeKind::kEdge);
+}
+
+TEST(Ast, EmptyDomainSafeQuantifierFolds) {
+  // exists v. true must NOT fold (false on the empty domain)...
+  EXPECT_EQ(Exists(0, True())->kind, NodeKind::kExists);
+  // ...while exists v. false is safely false everywhere.
+  EXPECT_EQ(Exists(0, False())->kind, NodeKind::kFalse);
+  EXPECT_EQ(Forall(0, True())->kind, NodeKind::kTrue);
+  EXPECT_EQ(Forall(0, False())->kind, NodeKind::kForall);
+}
+
+TEST(Analysis, FreeVars) {
+  // exists v2 (E(v0, v2)) & C0(v1)
+  const FormulaPtr f = And(Exists(2, Edge(0, 2)), Color(0, 1));
+  EXPECT_EQ(FreeVars(f), (std::vector<Var>{0, 1}));
+  EXPECT_EQ(MaxVarId(f), 2);
+}
+
+TEST(Analysis, ShadowedQuantifierKeepsFreeOccurrence) {
+  // E(v0, v1) & exists v1 . C0(v1): v1 is free (first conjunct).
+  const FormulaPtr f = And(Edge(0, 1), Exists(1, Color(0, 1)));
+  EXPECT_EQ(FreeVars(f), (std::vector<Var>{0, 1}));
+}
+
+TEST(Analysis, QuantifierRank) {
+  EXPECT_EQ(QuantifierRank(Edge(0, 1)), 0);
+  EXPECT_EQ(QuantifierRank(Exists(2, Edge(0, 2))), 1);
+  EXPECT_EQ(QuantifierRank(And(Exists(2, Forall(3, Edge(2, 3))),
+                               Exists(4, Edge(0, 4)))),
+            2);
+}
+
+TEST(Analysis, MaxDistBound) {
+  const FormulaPtr f = Or(DistLeq(0, 1, 3), Not(DistLeq(1, 2, 7)));
+  EXPECT_EQ(MaxDistBound(f), 7);
+  EXPECT_EQ(MaxDistBound(Edge(0, 1)), 0);
+}
+
+TEST(Analysis, LocalityRadius) {
+  EXPECT_EQ(LocalityRadius(1, 0), 4);     // (4*1)^1
+  EXPECT_EQ(LocalityRadius(2, 1), 512);   // 8^3
+  EXPECT_GT(LocalityRadius(5, 40), 0);    // saturates, no overflow
+}
+
+TEST(Analysis, QRank) {
+  // dist bound 4 at top level with q=1, l=0: limit (4*1)^(1+0) = 4.
+  EXPECT_TRUE(HasQRankAtMost(DistLeq(0, 1, 4), 1, 0));
+  EXPECT_FALSE(HasQRankAtMost(DistLeq(0, 1, 5), 1, 0));
+  // Quantifier rank enforcement.
+  EXPECT_FALSE(HasQRankAtMost(Exists(2, Edge(0, 2)), 1, 0));
+  EXPECT_TRUE(HasQRankAtMost(Exists(2, Edge(0, 2)), 1, 1));
+}
+
+TEST(Analysis, RenameFreeVar) {
+  const FormulaPtr f = And(Edge(0, 1), Exists(2, DistLeq(1, 2, 3)));
+  const FormulaPtr g = RenameFreeVar(f, 1, 7);
+  EXPECT_EQ(FreeVars(g), (std::vector<Var>{0, 7}));
+  // Renaming a bound variable's id leaves the formula unchanged.
+  const FormulaPtr h = RenameFreeVar(f, 2, 9);
+  EXPECT_TRUE(StructurallyEqual(f, h));
+}
+
+TEST(Analysis, IsQuantifierFree) {
+  EXPECT_TRUE(IsQuantifierFree(And(Edge(0, 1), Not(Color(0, 1)))));
+  EXPECT_FALSE(IsQuantifierFree(Not(Exists(2, Edge(0, 2)))));
+}
+
+TEST(Parser, ExampleQueriesFromThePaper) {
+  // Example 1-A.
+  const ParseResult q1 = ParseQuery("(x, y) := dist(x, y) <= 2");
+  ASSERT_TRUE(q1.ok) << q1.error;
+  EXPECT_EQ(q1.query.arity(), 2);
+  EXPECT_EQ(q1.query.formula->kind, NodeKind::kDistLeq);
+  EXPECT_EQ(q1.query.formula->dist_bound, 2);
+
+  // Example 2, with a named color.
+  const ParseResult q2 =
+      ParseQuery("(x, y) := dist(x, y) > 2 & Blue(y)", {{"Blue", 1}});
+  ASSERT_TRUE(q2.ok) << q2.error;
+  EXPECT_EQ(q2.query.arity(), 2);
+  EXPECT_EQ(q2.query.formula->kind, NodeKind::kAnd);
+}
+
+TEST(Parser, QuantifiersAndPrecedence) {
+  const ParseResult r =
+      ParseFormula("exists z. E(x, z) & E(z, y) | E(x, y) | x = y");
+  ASSERT_TRUE(r.ok) << r.error;
+  // The quantifier binds to the end of the formula.
+  EXPECT_EQ(r.query.formula->kind, NodeKind::kExists);
+  EXPECT_EQ(r.query.free_vars.size(), 2u);
+}
+
+TEST(Parser, ColorByIndex) {
+  const ParseResult r = ParseFormula("C3(x) & !C0(x)");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.query.arity(), 1);
+}
+
+TEST(Parser, NotEquals) {
+  const ParseResult r = ParseFormula("x != y");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.query.formula->kind, NodeKind::kNot);
+}
+
+TEST(Parser, Errors) {
+  EXPECT_FALSE(ParseQuery("(x := E(x, x)").ok);
+  EXPECT_FALSE(ParseQuery("(x, x) := E(x, x)").ok);  // duplicate header var
+  EXPECT_FALSE(ParseQuery("(x) := E(x, y)").ok);  // undeclared free var
+  EXPECT_FALSE(ParseFormula("dist(x, y) < 2").ok);
+  EXPECT_FALSE(ParseFormula("Unknown(x)").ok);
+  EXPECT_FALSE(ParseFormula("E(x, y) &").ok);
+  EXPECT_FALSE(ParseFormula("exists . E(x, y)").ok);
+  EXPECT_FALSE(ParseFormula("E(x, y) trailing").ok);
+  EXPECT_FALSE(ParseSentence("E(x, y)").ok);  // free variables in a sentence
+}
+
+TEST(Parser, SentenceOk) {
+  const ParseResult r = ParseSentence("exists x, y. E(x, y)");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.query.arity(), 0);
+}
+
+TEST(Printer, RoundTrip) {
+  const char* inputs[] = {
+      "(x, y) := dist(x, y) <= 2",
+      "(x, y) := !(dist(x, y) <= 2) & C1(y)",
+      "(x) := C0(x) & (exists y. E(x, y) & C1(y))",
+      "(x, y, z) := E(x, y) | E(y, z) & x = z",
+  };
+  for (const char* input : inputs) {
+    const ParseResult first = ParseQuery(input);
+    ASSERT_TRUE(first.ok) << first.error;
+    const std::string printed = fo::ToString(first.query);
+    const ParseResult second = ParseQuery(printed);
+    ASSERT_TRUE(second.ok) << printed << " -> " << second.error;
+    EXPECT_TRUE(StructurallyEqual(first.query.formula, second.query.formula))
+        << input << " vs " << printed;
+  }
+}
+
+TEST(NaiveEval, PathDistancesAndColors) {
+  GraphBuilder builder(4, 1);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(2, 3);
+  builder.SetColor(3, 0);
+  const ColoredGraph g = std::move(builder).Build();
+  NaiveEvaluator eval(g);
+
+  const Query dist2 = DistanceQuery(2);
+  EXPECT_TRUE(eval.TestTuple(dist2, {0, 2}));
+  EXPECT_FALSE(eval.TestTuple(dist2, {0, 3}));
+  EXPECT_TRUE(eval.TestTuple(dist2, {1, 1}));
+
+  const Query far = FarColorQuery(1, 0);
+  EXPECT_TRUE(eval.TestTuple(far, {0, 3}));
+  EXPECT_FALSE(eval.TestTuple(far, {2, 3}));  // adjacent
+  EXPECT_FALSE(eval.TestTuple(far, {0, 1}));  // not colored
+}
+
+TEST(NaiveEval, Quantifiers) {
+  GraphBuilder builder(3, 1);
+  builder.AddEdge(0, 1);
+  builder.SetColor(1, 0);
+  const ColoredGraph g = std::move(builder).Build();
+  NaiveEvaluator eval(g);
+  const Query q = HasNeighborOfColorQuery(0, 0);
+  // q(x) := C0(x) & exists y (E(x,y) & C0(y)): no vertex qualifies (only
+  // vertex 1 is colored and its neighbor 0 is not).
+  EXPECT_EQ(eval.AllSolutions(q).size(), 0u);
+
+  const ParseResult sentence = ParseSentence("exists x, y. E(x, y)");
+  ASSERT_TRUE(sentence.ok);
+  EXPECT_EQ(eval.AllSolutions(sentence.query).size(), 1u);
+}
+
+TEST(NaiveEval, AllSolutionsSortedUniqueAndComplete) {
+  Rng rng(13);
+  const ColoredGraph g = gen::RandomTree(12, 0, {1, 0.4}, &rng);
+  NaiveEvaluator eval(g);
+  const Query q = FarColorQuery(2, 0);
+  const std::vector<Tuple> solutions = eval.AllSolutions(q);
+  for (size_t i = 1; i < solutions.size(); ++i) {
+    EXPECT_LT(LexCompare(solutions[i - 1], solutions[i]), 0);
+  }
+  // Cross-check against per-tuple testing.
+  Tuple t = LexMin(2);
+  size_t count = 0;
+  do {
+    if (eval.TestTuple(q, t)) ++count;
+  } while (LexIncrement(&t, g.NumVertices()));
+  EXPECT_EQ(count, solutions.size());
+}
+
+// Property: the FO+ distance atom agrees with its pure-FO unfolding
+// (Definition 4.1).
+class DistUnfoldTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DistUnfoldTest, AtomMatchesUnfolding) {
+  Rng rng(100 + GetParam());
+  const ColoredGraph g = gen::ErdosRenyi(14, 2.0, {0, 0.0}, &rng);
+  NaiveEvaluator eval(g);
+  for (int64_t r = 0; r <= 3; ++r) {
+    Query atom;
+    atom.formula = DistLeq(0, 1, r);
+    atom.free_vars = {0, 1};
+    Query unfolded;
+    unfolded.formula = UnfoldedDistLeq(0, 1, r, 2);
+    unfolded.free_vars = {0, 1};
+    for (Vertex a = 0; a < g.NumVertices(); ++a) {
+      for (Vertex b = 0; b < g.NumVertices(); ++b) {
+        EXPECT_EQ(eval.TestTuple(atom, {a, b}),
+                  eval.TestTuple(unfolded, {a, b}))
+            << "r=" << r << " a=" << a << " b=" << b;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DistUnfoldTest, ::testing::Range(0, 4));
+
+}  // namespace
+}  // namespace fo
+}  // namespace nwd

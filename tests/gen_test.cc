@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "graph/bfs.h"
+#include "graph/stats.h"
+#include "splitter/strategy.h"
+#include "util/rng.h"
+
+namespace nwd {
+namespace {
+
+TEST(Generators, RandomTreeIsConnectedAcyclic) {
+  Rng rng(1);
+  const ColoredGraph g = gen::RandomTree(500, 0, {2, 0.3}, &rng);
+  EXPECT_EQ(g.NumVertices(), 500);
+  EXPECT_EQ(g.NumEdges(), 499);
+  EXPECT_TRUE(IsForest(g));
+  const auto comp = ConnectedComponents(g);
+  for (int64_t c : comp) EXPECT_EQ(c, 0);
+}
+
+TEST(Generators, WindowedTreeIsPathLike) {
+  Rng rng(2);
+  const ColoredGraph g = gen::RandomTree(200, 1, {0, 0.0}, &rng);
+  // attach_window = 1 forces parent = v-1: an actual path.
+  EXPECT_EQ(MaxDegree(g), 2);
+  EXPECT_TRUE(IsForest(g));
+}
+
+TEST(Generators, RandomForestHasRequestedComponents) {
+  Rng rng(3);
+  const ColoredGraph g = gen::RandomForest(300, 7, {1, 0.2}, &rng);
+  EXPECT_TRUE(IsForest(g));
+  const auto comp = ConnectedComponents(g);
+  int64_t max_comp = 0;
+  for (int64_t c : comp) max_comp = std::max(max_comp, c);
+  EXPECT_EQ(max_comp + 1, 7);
+}
+
+TEST(Generators, BoundedDegreeRespectsCap) {
+  Rng rng(4);
+  const ColoredGraph g =
+      gen::BoundedDegreeGraph(400, 5, 3.0, {1, 0.3}, &rng);
+  EXPECT_LE(MaxDegree(g), 5);
+  EXPECT_GT(g.NumEdges(), 400);  // roughly 600 expected
+}
+
+TEST(Generators, GridShape) {
+  Rng rng(5);
+  const ColoredGraph g = gen::Grid(6, 9, {0, 0.0}, &rng);
+  EXPECT_EQ(g.NumVertices(), 54);
+  EXPECT_EQ(g.NumEdges(), 6 * 8 + 5 * 9);  // rows*(cols-1) + (rows-1)*cols
+  EXPECT_LE(MaxDegree(g), 4);
+}
+
+TEST(Generators, CaterpillarShape) {
+  Rng rng(6);
+  const ColoredGraph g = gen::Caterpillar(10, 3, {0, 0.0}, &rng);
+  EXPECT_EQ(g.NumVertices(), 40);
+  EXPECT_EQ(g.NumEdges(), 9 + 30);
+  EXPECT_TRUE(IsForest(g));
+}
+
+TEST(Generators, StarForestShape) {
+  Rng rng(7);
+  const ColoredGraph g = gen::StarForest(4, 6, {0, 0.0}, &rng);
+  EXPECT_EQ(g.NumVertices(), 28);
+  EXPECT_EQ(g.NumEdges(), 24);
+  EXPECT_EQ(MaxDegree(g), 6);
+}
+
+TEST(Generators, SubdividedCliqueShape) {
+  Rng rng(8);
+  const ColoredGraph g = gen::SubdividedClique(5, 3, {0, 0.0}, &rng);
+  // 5 + C(5,2)*3 inner vertices; each edge path has 4 segments.
+  EXPECT_EQ(g.NumVertices(), 5 + 10 * 3);
+  EXPECT_EQ(g.NumEdges(), 10 * 4);
+  // Inner vertices have degree 2; originals degree 4.
+  EXPECT_EQ(MaxDegree(g), 4);
+  // Distance between two original vertices is subdivisions + 1.
+  EXPECT_EQ(BoundedDistance(g, 0, 1, 10), 4);
+}
+
+TEST(Generators, CliqueIsComplete) {
+  Rng rng(9);
+  const ColoredGraph g = gen::Clique(7, {0, 0.0}, &rng);
+  EXPECT_EQ(g.NumEdges(), 21);
+}
+
+TEST(Generators, ColorDensityIsPlausible) {
+  Rng rng(10);
+  const ColoredGraph g = gen::RandomTree(2000, 0, {1, 0.25}, &rng);
+  const double fraction =
+      static_cast<double>(g.ColorMembers(0).size()) / 2000.0;
+  EXPECT_NEAR(fraction, 0.25, 0.05);
+}
+
+TEST(Generators, DeterministicGivenSeed) {
+  Rng rng_a(11);
+  Rng rng_b(11);
+  const ColoredGraph a = gen::ErdosRenyi(100, 3.0, {2, 0.4}, &rng_a);
+  const ColoredGraph b = gen::ErdosRenyi(100, 3.0, {2, 0.4}, &rng_b);
+  ASSERT_EQ(a.NumEdges(), b.NumEdges());
+  for (Vertex v = 0; v < 100; ++v) {
+    ASSERT_EQ(a.Degree(v), b.Degree(v));
+    for (int c = 0; c < 2; ++c) ASSERT_EQ(a.HasColor(v, c), b.HasColor(v, c));
+  }
+}
+
+}  // namespace
+}  // namespace nwd

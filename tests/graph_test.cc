@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "gen/generators.h"
+#include "graph/bfs.h"
+#include "graph/builder.h"
+#include "graph/colored_graph.h"
+#include "graph/stats.h"
+#include "graph/subgraph.h"
+#include "util/rng.h"
+
+namespace nwd {
+namespace {
+
+ColoredGraph PathGraph(int64_t n, int num_colors = 0) {
+  GraphBuilder builder(n, num_colors);
+  for (Vertex v = 0; v + 1 < n; ++v) builder.AddEdge(v, v + 1);
+  return std::move(builder).Build();
+}
+
+TEST(Builder, DeduplicatesEdgesAndDropsSelfLoops) {
+  GraphBuilder builder(3, 0);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 0);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(2, 2);
+  const ColoredGraph g = std::move(builder).Build();
+  EXPECT_EQ(g.NumEdges(), 1);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_FALSE(g.HasEdge(2, 2));
+  EXPECT_FALSE(g.HasEdge(0, 2));
+}
+
+TEST(Builder, NeighborsSortedAndSymmetric) {
+  GraphBuilder builder(5, 0);
+  builder.AddEdge(3, 1);
+  builder.AddEdge(3, 0);
+  builder.AddEdge(3, 4);
+  const ColoredGraph g = std::move(builder).Build();
+  const auto nbrs = g.Neighbors(3);
+  EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+  EXPECT_EQ(g.Degree(3), 3);
+  EXPECT_EQ(g.Degree(0), 1);
+  EXPECT_EQ(*g.Neighbors(0).begin(), 3);
+}
+
+TEST(Builder, ColorsAndMembers) {
+  GraphBuilder builder(4, 2);
+  builder.SetColor(1, 0);
+  builder.SetColor(3, 0);
+  builder.SetColor(3, 1);
+  builder.SetColor(3, 1);  // duplicate
+  const ColoredGraph g = std::move(builder).Build();
+  EXPECT_TRUE(g.HasColor(1, 0));
+  EXPECT_FALSE(g.HasColor(1, 1));
+  EXPECT_TRUE(g.HasColor(3, 1));
+  EXPECT_EQ(g.ColorMembers(0), (std::vector<Vertex>{1, 3}));
+  EXPECT_EQ(g.ColorMembers(1), (std::vector<Vertex>{3}));
+}
+
+TEST(Builder, FromGraphPreservesAndWidens) {
+  GraphBuilder builder(3, 1);
+  builder.AddEdge(0, 1);
+  builder.SetColor(2, 0);
+  const ColoredGraph g = std::move(builder).Build();
+  GraphBuilder widened = GraphBuilder::FromGraph(g, 2);
+  widened.SetColor(0, 2);
+  const ColoredGraph h = std::move(widened).Build();
+  EXPECT_EQ(h.NumColors(), 3);
+  EXPECT_TRUE(h.HasEdge(0, 1));
+  EXPECT_TRUE(h.HasColor(2, 0));
+  EXPECT_TRUE(h.HasColor(0, 2));
+}
+
+TEST(Graph, SizeNorm) {
+  const ColoredGraph g = PathGraph(5);
+  EXPECT_EQ(g.NumVertices(), 5);
+  EXPECT_EQ(g.NumEdges(), 4);
+  EXPECT_EQ(g.SizeNorm(), 9);
+}
+
+TEST(Bfs, NeighborhoodOnPath) {
+  const ColoredGraph g = PathGraph(10);
+  BfsScratch scratch(g.NumVertices());
+  EXPECT_EQ(scratch.Neighborhood(g, 5, 2),
+            (std::vector<Vertex>{3, 4, 5, 6, 7}));
+  EXPECT_EQ(scratch.DistanceTo(3), 2);
+  EXPECT_EQ(scratch.DistanceTo(5), 0);
+  EXPECT_EQ(scratch.DistanceTo(8), -1);
+  EXPECT_EQ(scratch.Neighborhood(g, 0, 1), (std::vector<Vertex>{0, 1}));
+}
+
+TEST(Bfs, MultiSource) {
+  const ColoredGraph g = PathGraph(10);
+  BfsScratch scratch(g.NumVertices());
+  const auto ball = scratch.Neighborhood(g, std::vector<Vertex>{0, 9}, 1);
+  EXPECT_EQ(ball, (std::vector<Vertex>{0, 1, 8, 9}));
+}
+
+TEST(Bfs, BoundedDistance) {
+  const ColoredGraph g = PathGraph(8);
+  EXPECT_EQ(BoundedDistance(g, 0, 5, 10), 5);
+  EXPECT_EQ(BoundedDistance(g, 0, 5, 4), -1);
+  EXPECT_EQ(BoundedDistance(g, 3, 3, 0), 0);
+}
+
+TEST(Bfs, ScratchReuseIsClean) {
+  const ColoredGraph g = PathGraph(6);
+  BfsScratch scratch(g.NumVertices());
+  scratch.Neighborhood(g, 0, 5);
+  EXPECT_EQ(scratch.DistanceTo(5), 5);
+  scratch.Neighborhood(g, 5, 1);
+  EXPECT_EQ(scratch.DistanceTo(0), -1);  // stale state must not leak
+  EXPECT_EQ(scratch.DistanceTo(4), 1);
+}
+
+TEST(Bfs, ConnectedComponents) {
+  GraphBuilder builder(6, 0);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(4, 5);
+  const ColoredGraph g = std::move(builder).Build();
+  const auto comp = ConnectedComponents(g);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[1], comp[2]);
+  EXPECT_NE(comp[0], comp[3]);
+  EXPECT_EQ(comp[4], comp[5]);
+  EXPECT_NE(comp[3], comp[4]);
+}
+
+TEST(Subgraph, InduceKeepsOrderAndEdges) {
+  const ColoredGraph g = PathGraph(6);
+  const SubgraphView view = InduceSubgraph(g, {1, 2, 4});
+  EXPECT_EQ(view.graph.NumVertices(), 3);
+  EXPECT_EQ(view.graph.NumEdges(), 1);  // only {1,2} survives
+  EXPECT_TRUE(view.graph.HasEdge(0, 1));
+  EXPECT_EQ(view.ToGlobal(0), 1);
+  EXPECT_EQ(view.ToGlobal(2), 4);
+  EXPECT_EQ(view.ToLocal(4), 2);
+  EXPECT_EQ(view.ToLocal(3), -1);
+}
+
+TEST(Subgraph, InduceKeepsColors) {
+  GraphBuilder builder(4, 1);
+  builder.AddEdge(0, 1);
+  builder.SetColor(1, 0);
+  const ColoredGraph g = std::move(builder).Build();
+  const SubgraphView view = InduceSubgraph(g, {1, 3});
+  EXPECT_TRUE(view.graph.HasColor(0, 0));
+  EXPECT_FALSE(view.graph.HasColor(1, 0));
+}
+
+TEST(Subgraph, ExcludingVertex) {
+  const ColoredGraph g = PathGraph(5);
+  const SubgraphView view = InduceSubgraphExcluding(g, {0, 1, 2, 3, 4}, 2);
+  EXPECT_EQ(view.graph.NumVertices(), 4);
+  EXPECT_EQ(view.graph.NumEdges(), 2);  // {0,1} and {3,4}
+  EXPECT_EQ(view.ToLocal(2), -1);
+}
+
+TEST(Stats, DegeneracyOfForestIsOne) {
+  Rng rng(1);
+  const ColoredGraph g = gen::RandomTree(200, 0, {0, 0.0}, &rng);
+  const DegeneracyResult result = DegeneracyOrder(g);
+  EXPECT_EQ(result.degeneracy, 1);
+  EXPECT_EQ(result.order.size(), 200u);
+}
+
+TEST(Stats, DegeneracyOfCliqueIsNMinusOne) {
+  Rng rng(1);
+  const ColoredGraph g = gen::Clique(6, {0, 0.0}, &rng);
+  EXPECT_EQ(DegeneracyOrder(g).degeneracy, 5);
+}
+
+TEST(Stats, DegeneracyOrderIsPermutation) {
+  Rng rng(9);
+  const ColoredGraph g = gen::ErdosRenyi(100, 4.0, {0, 0.0}, &rng);
+  const DegeneracyResult result = DegeneracyOrder(g);
+  std::vector<Vertex> sorted = result.order;
+  std::sort(sorted.begin(), sorted.end());
+  for (Vertex v = 0; v < 100; ++v) {
+    EXPECT_EQ(sorted[v], v);
+    EXPECT_EQ(result.order[result.position[v]], v);
+  }
+}
+
+TEST(Stats, Degrees) {
+  const ColoredGraph g = PathGraph(4);
+  EXPECT_DOUBLE_EQ(AverageDegree(g), 1.5);
+  EXPECT_EQ(MaxDegree(g), 2);
+  EXPECT_DOUBLE_EQ(AverageDegree(ColoredGraph()), 0.0);
+}
+
+// Property: BFS neighborhood equals brute-force distance filter.
+class BfsPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BfsPropertyTest, NeighborhoodMatchesBruteForce) {
+  Rng rng(GetParam());
+  const ColoredGraph g = gen::ErdosRenyi(60, 3.0, {0, 0.0}, &rng);
+  BfsScratch scratch(g.NumVertices());
+  for (int trial = 0; trial < 10; ++trial) {
+    const Vertex source = static_cast<Vertex>(rng.NextBounded(60));
+    const int radius = 1 + static_cast<int>(rng.NextBounded(4));
+    const auto ball = scratch.Neighborhood(g, source, radius);
+    for (Vertex v = 0; v < g.NumVertices(); ++v) {
+      const int64_t dist = BoundedDistance(g, source, v, radius);
+      const bool in_ball = std::binary_search(ball.begin(), ball.end(), v);
+      EXPECT_EQ(in_ball, dist >= 0 && dist <= radius)
+          << "source=" << source << " v=" << v << " radius=" << radius;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BfsPropertyTest, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace nwd

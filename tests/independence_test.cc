@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "enumerate/independence.h"
+#include "fo/ast.h"
+#include "gen/generators.h"
+#include "graph/bfs.h"
+#include "graph/builder.h"
+#include "util/rng.h"
+
+namespace nwd {
+namespace {
+
+// Brute force: does any k-subset of candidates have pairwise distance
+// > separation?
+bool BruteScattered(const ColoredGraph& g,
+                    const std::vector<Vertex>& candidates, int k,
+                    int separation, size_t start = 0,
+                    std::vector<Vertex>* chosen = nullptr) {
+  std::vector<Vertex> local;
+  if (chosen == nullptr) chosen = &local;
+  if (static_cast<int>(chosen->size()) == k) return true;
+  for (size_t i = start; i < candidates.size(); ++i) {
+    bool ok = true;
+    for (Vertex c : *chosen) {
+      const int64_t d = BoundedDistance(g, c, candidates[i], separation);
+      if (d >= 0 && d <= separation) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+    chosen->push_back(candidates[i]);
+    if (BruteScattered(g, candidates, k, separation, i + 1, chosen)) {
+      return true;
+    }
+    chosen->pop_back();
+  }
+  return false;
+}
+
+void VerifyWitnesses(const ColoredGraph& g, const IndependenceResult& result,
+                     int k, int separation) {
+  ASSERT_EQ(static_cast<int>(result.witnesses.size()), k);
+  for (size_t i = 0; i < result.witnesses.size(); ++i) {
+    for (size_t j = i + 1; j < result.witnesses.size(); ++j) {
+      const int64_t d = BoundedDistance(g, result.witnesses[i],
+                                        result.witnesses[j], separation);
+      EXPECT_TRUE(d < 0 || d > separation)
+          << result.witnesses[i] << " and " << result.witnesses[j]
+          << " too close";
+    }
+  }
+}
+
+TEST(Independence, PathExamples) {
+  GraphBuilder builder(10, 0);
+  for (Vertex v = 0; v + 1 < 10; ++v) builder.AddEdge(v, v + 1);
+  const ColoredGraph g = std::move(builder).Build();
+  std::vector<Vertex> all(10);
+  for (Vertex v = 0; v < 10; ++v) all[v] = v;
+
+  // Distance > 2 on a 10-path: {0, 3, 6, 9} works, so k = 4 holds...
+  auto r4 = FindScatteredSet(g, all, 4, 2);
+  EXPECT_TRUE(r4.holds);
+  VerifyWitnesses(g, r4, 4, 2);
+  // ...but k = 5 cannot (needs span >= 12).
+  EXPECT_FALSE(FindScatteredSet(g, all, 5, 2).holds);
+}
+
+TEST(Independence, TrivialCases) {
+  GraphBuilder builder(3, 0);
+  const ColoredGraph g = std::move(builder).Build();
+  EXPECT_TRUE(FindScatteredSet(g, {}, 0, 2).holds);
+  EXPECT_FALSE(FindScatteredSet(g, {}, 1, 2).holds);
+  // Separation 0: distinctness only.
+  EXPECT_TRUE(FindScatteredSet(g, {0, 1}, 2, 0).holds);
+  EXPECT_FALSE(FindScatteredSet(g, {0, 1}, 3, 0).holds);
+}
+
+TEST(Independence, CliqueForcesDfsAndFails) {
+  Rng rng(1);
+  const ColoredGraph g = gen::Clique(12, {0, 0.0}, &rng);
+  std::vector<Vertex> all(12);
+  for (Vertex v = 0; v < 12; ++v) all[v] = v;
+  // Everything is at distance 1: no two vertices are > 1 apart.
+  const auto result = FindScatteredSet(g, all, 2, 1);
+  EXPECT_FALSE(result.holds);
+}
+
+class IndependenceFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(IndependenceFuzz, MatchesBruteForce) {
+  Rng rng(100 + GetParam());
+  const ColoredGraph g =
+      gen::BoundedDegreeGraph(40, 4, 2.5, {1, 0.4}, &rng);
+  const std::vector<Vertex>& candidates = g.ColorMembers(0);
+  for (int k = 1; k <= 4; ++k) {
+    for (int separation : {1, 2, 3}) {
+      const IndependenceResult result =
+          FindScatteredSet(g, candidates, k, separation);
+      EXPECT_EQ(result.holds,
+                BruteScattered(g, candidates, k, separation))
+          << "k=" << k << " sep=" << separation;
+      if (result.holds) VerifyWitnesses(g, result, k, separation);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IndependenceFuzz, ::testing::Range(0, 8));
+
+TEST(Independence, SentenceInterface) {
+  Rng rng(9);
+  const ColoredGraph g = gen::RandomTree(200, 0, {1, 0.2}, &rng);
+  // "exists 3 pairwise-far (dist > 4) blue vertices".
+  const IndependenceResult result =
+      CheckIndependenceSentence(g, fo::Color(0, 0), 0, 3, 4);
+  // Verify against brute force over the blue set.
+  EXPECT_EQ(result.holds, BruteScattered(g, g.ColorMembers(0), 3, 4));
+}
+
+TEST(Independence, GreedyFastPathOnSparseInputs) {
+  Rng rng(10);
+  const ColoredGraph g = gen::RandomTree(2000, 0, {1, 0.5}, &rng);
+  const IndependenceResult result =
+      FindScatteredSet(g, g.ColorMembers(0), 5, 2);
+  EXPECT_TRUE(result.holds);
+  EXPECT_TRUE(result.greedy_decided);  // plenty of room on a big tree
+  VerifyWitnesses(g, result, 5, 2);
+}
+
+}  // namespace
+}  // namespace nwd

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "gen/generators.h"
+#include "graph/io.h"
+#include "util/rng.h"
+
+namespace nwd {
+namespace {
+
+TEST(GraphIo, ParseBasic) {
+  const GraphParseResult result = ReadGraphFromString(R"(
+# a comment
+graph 4 2
+e 0 1
+e 1 2
+c 3 0
+c 3 1
+)");
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.graph.NumVertices(), 4);
+  EXPECT_EQ(result.graph.NumEdges(), 2);
+  EXPECT_TRUE(result.graph.HasEdge(0, 1));
+  EXPECT_TRUE(result.graph.HasColor(3, 0));
+  EXPECT_TRUE(result.graph.HasColor(3, 1));
+  EXPECT_FALSE(result.graph.HasColor(0, 0));
+}
+
+TEST(GraphIo, InlineCommentsAndDuplicates) {
+  const GraphParseResult result = ReadGraphFromString(
+      "graph 3 1 # header\n"
+      "e 0 1 # an edge\n"
+      "e 1 0\n"
+      "c 2 0\n"
+      "c 2 0\n");
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.graph.NumEdges(), 1);
+  EXPECT_EQ(result.graph.ColorMembers(0).size(), 1u);
+}
+
+TEST(GraphIo, Errors) {
+  EXPECT_FALSE(ReadGraphFromString("").ok);
+  EXPECT_FALSE(ReadGraphFromString("e 0 1\n").ok);  // data before header
+  EXPECT_FALSE(ReadGraphFromString("graph 2 0\ngraph 2 0\n").ok);
+  EXPECT_FALSE(ReadGraphFromString("graph 2 0\ne 0 5\n").ok);
+  EXPECT_FALSE(ReadGraphFromString("graph 2 1\nc 0 3\n").ok);
+  EXPECT_FALSE(ReadGraphFromString("graph 2 0\nx 1 2\n").ok);
+  EXPECT_FALSE(ReadGraphFromString("graph -1 0\n").ok);
+  EXPECT_FALSE(ReadGraphFromString("graph 2 0\ne 0\n").ok);
+  EXPECT_FALSE(ReadGraphFromFile("/nonexistent/path.g").ok);
+}
+
+TEST(GraphIo, RoundTripRandomGraph) {
+  Rng rng(42);
+  const ColoredGraph original =
+      gen::BoundedDegreeGraph(200, 5, 3.0, {3, 0.3}, &rng);
+  std::ostringstream out;
+  ASSERT_TRUE(WriteGraph(original, out));
+  const GraphParseResult parsed = ReadGraphFromString(out.str());
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  const ColoredGraph& copy = parsed.graph;
+  ASSERT_EQ(copy.NumVertices(), original.NumVertices());
+  ASSERT_EQ(copy.NumEdges(), original.NumEdges());
+  ASSERT_EQ(copy.NumColors(), original.NumColors());
+  for (Vertex v = 0; v < original.NumVertices(); ++v) {
+    ASSERT_EQ(copy.Degree(v), original.Degree(v));
+    for (int c = 0; c < original.NumColors(); ++c) {
+      ASSERT_EQ(copy.HasColor(v, c), original.HasColor(v, c));
+    }
+  }
+}
+
+TEST(GraphIo, FileRoundTrip) {
+  Rng rng(7);
+  const ColoredGraph original = gen::RandomTree(50, 0, {1, 0.5}, &rng);
+  const std::string path = ::testing::TempDir() + "/nwd_io_test.g";
+  ASSERT_TRUE(WriteGraphToFile(original, path));
+  const GraphParseResult parsed = ReadGraphFromFile(path);
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  EXPECT_EQ(parsed.graph.NumEdges(), original.NumEdges());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace nwd

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "enumerate/lnf.h"
+#include "fo/builders.h"
+#include "fo/parser.h"
+
+namespace nwd {
+namespace {
+
+TEST(Lnf, DistanceQueryCompiles) {
+  const Lnf lnf = CompileToLnf(fo::DistanceQuery(2));
+  ASSERT_TRUE(lnf.supported);
+  EXPECT_EQ(lnf.arity, 2);
+  EXPECT_EQ(lnf.radius, 2);
+  // Two distance types (near / far); only "near" satisfies the query, and
+  // under "near" the atom dist <= 2 is decided true: exactly one case with
+  // no residual literals.
+  ASSERT_EQ(lnf.cases.size(), 1u);
+  EXPECT_TRUE(lnf.cases[0].tau[0][1]);
+  EXPECT_TRUE(lnf.cases[0].literals.empty());
+  EXPECT_EQ(lnf.cases[0].components.size(), 1u);
+}
+
+TEST(Lnf, FarColorQueryCompiles) {
+  // q(x,y) := dist(x,y) > 2 & C0(y): radius 2; the only satisfying tau is
+  // "far" (no edge), with the color literal on position 1.
+  const Lnf lnf = CompileToLnf(fo::FarColorQuery(2, 0));
+  ASSERT_TRUE(lnf.supported);
+  ASSERT_EQ(lnf.cases.size(), 1u);
+  const LnfCase& c = lnf.cases[0];
+  EXPECT_FALSE(c.tau[0][1]);
+  EXPECT_EQ(c.components.size(), 2u);
+  ASSERT_EQ(c.unary_literals[1].size(), 1u);
+  EXPECT_TRUE(c.unary_literals[1][0].positive);
+  EXPECT_EQ(c.unary_literals[1][0].atom.color, 0);
+}
+
+TEST(Lnf, MixedBoundsSplitIntoLiterals) {
+  // dist(x,y) <= 1 | (dist(x,y) <= 3 & C0(x)): radius 3. Under the near
+  // tau the dist <= 3 atom is decided, dist <= 1 stays live.
+  const fo::ParseResult r =
+      fo::ParseFormula("dist(x,y) <= 1 | (dist(x,y) <= 3 & C0(x))");
+  ASSERT_TRUE(r.ok) << r.error;
+  const Lnf lnf = CompileToLnf(r.query);
+  ASSERT_TRUE(lnf.supported);
+  EXPECT_EQ(lnf.radius, 3);
+  // Near tau: assignments over {dist<=1, C0(x)}: (T,T),(T,F),(F,T) satisfy.
+  // Far tau: everything false -> unsatisfied. So 3 cases.
+  EXPECT_EQ(lnf.cases.size(), 3u);
+  for (const LnfCase& c : lnf.cases) {
+    EXPECT_TRUE(c.tau[0][1]);
+  }
+}
+
+TEST(Lnf, CasesAreMutuallyExclusiveByConstruction) {
+  const fo::ParseResult r =
+      fo::ParseFormula("E(x,y) | (C0(x) & dist(x,y) <= 2)");
+  ASSERT_TRUE(r.ok);
+  const Lnf lnf = CompileToLnf(r.query);
+  ASSERT_TRUE(lnf.supported);
+  // Within one tau, any two cases must differ on some literal's sign.
+  for (size_t i = 0; i < lnf.cases.size(); ++i) {
+    for (size_t j = i + 1; j < lnf.cases.size(); ++j) {
+      if (lnf.cases[i].tau != lnf.cases[j].tau) continue;
+      bool differ = false;
+      for (const LnfLiteral& a : lnf.cases[i].literals) {
+        for (const LnfLiteral& b : lnf.cases[j].literals) {
+          if (a.atom == b.atom && a.positive != b.positive) differ = true;
+        }
+      }
+      EXPECT_TRUE(differ) << "cases " << i << " and " << j
+                          << " share tau but no opposing literal";
+    }
+  }
+}
+
+TEST(Lnf, CrossComponentAtomsAreDecided) {
+  const Lnf lnf = CompileToLnf(fo::TwoFarOneColorQuery(2, 0));
+  ASSERT_TRUE(lnf.supported);
+  for (const LnfCase& c : lnf.cases) {
+    for (const LnfLiteral& lit : c.literals) {
+      if (lit.atom.kind == LnfAtom::Kind::kColor) continue;
+      // Binary literals never straddle components.
+      EXPECT_EQ(c.component_of[lit.atom.pos1],
+                c.component_of[lit.atom.pos2]);
+    }
+  }
+}
+
+TEST(Lnf, QuantifiedQueriesAreUnsupported) {
+  const fo::ParseResult r = fo::ParseFormula("exists z. E(x, z) & E(z, y)");
+  ASSERT_TRUE(r.ok);
+  const Lnf lnf = CompileToLnf(r.query);
+  EXPECT_FALSE(lnf.supported);
+  EXPECT_FALSE(lnf.unsupported_reason.empty());
+}
+
+TEST(Lnf, SentencesAreUnsupported) {
+  const fo::ParseResult r = fo::ParseSentence("exists x, y. E(x, y)");
+  ASSERT_TRUE(r.ok);
+  EXPECT_FALSE(CompileToLnf(r.query).supported);
+}
+
+TEST(Lnf, EqualityQuery) {
+  const fo::ParseResult r = fo::ParseFormula("x = y | E(x, y)");
+  ASSERT_TRUE(r.ok);
+  const Lnf lnf = CompileToLnf(r.query);
+  ASSERT_TRUE(lnf.supported);
+  EXPECT_EQ(lnf.radius, 1);
+  // Only the near tau can satisfy either disjunct.
+  for (const LnfCase& c : lnf.cases) {
+    EXPECT_TRUE(c.tau[0][1]);
+  }
+}
+
+TEST(Lnf, DescribeIsInformative) {
+  const Lnf lnf = CompileToLnf(fo::FarColorQuery(2, 0));
+  const std::string description = DescribeLnf(lnf);
+  EXPECT_NE(description.find("arity 2"), std::string::npos);
+  EXPECT_NE(description.find("radius 2"), std::string::npos);
+  EXPECT_NE(description.find("C0(#1)"), std::string::npos);
+  EXPECT_NE(description.find("components={{0} {1}}"), std::string::npos);
+
+  const fo::ParseResult quantified =
+      fo::ParseFormula("exists z. E(x, z) & E(z, y)");
+  ASSERT_TRUE(quantified.ok);
+  const std::string unsupported =
+      DescribeLnf(CompileToLnf(quantified.query));
+  EXPECT_NE(unsupported.find("unsupported"), std::string::npos);
+}
+
+TEST(Lnf, TernaryComponentsOrderedByMinimum) {
+  const Lnf lnf = CompileToLnf(fo::TwoFarOneColorQuery(2, 0));
+  ASSERT_TRUE(lnf.supported);
+  for (const LnfCase& c : lnf.cases) {
+    for (size_t i = 1; i < c.components.size(); ++i) {
+      EXPECT_LT(c.components[i - 1][0], c.components[i][0]);
+    }
+    // binary_literals_at groups by max position.
+    for (int pos = 0; pos < lnf.arity; ++pos) {
+      for (const LnfLiteral& lit : c.binary_literals_at[pos]) {
+        EXPECT_EQ(std::max(lit.atom.pos1, lit.atom.pos2), pos);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nwd

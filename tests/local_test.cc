@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include "cover/neighborhood_cover.h"
+#include "fo/ast.h"
+#include "fo/builders.h"
+#include "fo/naive_eval.h"
+#include "gen/generators.h"
+#include "graph/bfs.h"
+#include "graph/builder.h"
+#include "local/distance_oracle.h"
+#include "local/edgeless_eval.h"
+#include "local/local_evaluator.h"
+#include "splitter/strategy.h"
+#include "util/rng.h"
+
+namespace nwd {
+namespace {
+
+// ---- EdgelessEvaluator: the lambda = 1 base case ----
+
+class EdgelessTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EdgelessTest, AgreesWithNaiveOnRandomFormulas) {
+  Rng rng(GetParam());
+  GraphBuilder builder(20, 2);
+  for (Vertex v = 0; v < 20; ++v) {
+    for (int c = 0; c < 2; ++c) {
+      if (rng.NextBool(0.4)) builder.SetColor(v, c);
+    }
+  }
+  const ColoredGraph g = std::move(builder).Build();
+  fo::NaiveEvaluator naive(g);
+  EdgelessEvaluator fast(g);
+
+  using namespace fo;  // NOLINT
+  const std::vector<FormulaPtr> formulas = {
+      Exists(2, And(Color(0, 2), Color(1, 2))),
+      Forall(2, Or(Color(0, 2), Color(1, 2))),
+      Exists(2, And(Not(Equals(0, 2)), Color(0, 2))),
+      Exists(2, Exists(3, And(Not(Equals(2, 3)),
+                              And(Color(0, 2), Color(0, 3))))),
+      // Three pairwise-distinct C0 vertices.
+      Exists(2,
+             Exists(3,
+                    Exists(4, AndAll({Not(Equals(2, 3)), Not(Equals(2, 4)),
+                                      Not(Equals(3, 4)), Color(0, 2),
+                                      Color(0, 3), Color(0, 4)})))),
+      Exists(2, Edge(0, 2)),            // always false on edgeless graphs
+      Exists(2, DistLeq(0, 2, 3)),      // only x itself
+      Forall(2, Not(Edge(0, 2))),
+  };
+  for (size_t fi = 0; fi < formulas.size(); ++fi) {
+    for (Vertex a = 0; a < g.NumVertices(); ++a) {
+      std::vector<Vertex> env_a(8, kUnbound);
+      env_a[0] = a;
+      std::vector<Vertex> env_b = env_a;
+      EXPECT_EQ(naive.Evaluate(formulas[fi], &env_a),
+                fast.Evaluate(formulas[fi], &env_b))
+          << "formula " << fi << " a=" << a;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EdgelessTest, ::testing::Range(0, 6));
+
+TEST(Edgeless, CountingDistinguishesMultiplicities) {
+  // One blue vertex vs two: "exists two distinct blues" must differ.
+  GraphBuilder one(3, 1);
+  one.SetColor(0, 0);
+  GraphBuilder two(3, 1);
+  two.SetColor(0, 0);
+  two.SetColor(1, 0);
+  const ColoredGraph g1 = std::move(one).Build();
+  const ColoredGraph g2 = std::move(two).Build();
+  using namespace fo;  // NOLINT
+  const FormulaPtr phi = Exists(
+      0, Exists(1, AndAll({Not(Equals(0, 1)), Color(0, 0), Color(0, 1)})));
+  std::vector<Vertex> env(2, kUnbound);
+  EXPECT_FALSE(EdgelessEvaluator(g1).Evaluate(phi, &env));
+  env.assign(2, kUnbound);
+  EXPECT_TRUE(EdgelessEvaluator(g2).Evaluate(phi, &env));
+}
+
+// ---- DistanceOracle: Proposition 4.2 ----
+
+struct OracleParams {
+  int graph_kind;  // 0 tree, 1 bounded-degree, 2 grid, 3 star forest
+  int radius;
+  uint64_t seed;
+};
+
+ColoredGraph MakeGraph(int kind, Rng* rng) {
+  switch (kind) {
+    case 0:
+      return gen::RandomTree(250, 0, {1, 0.3}, rng);
+    case 1:
+      return gen::BoundedDegreeGraph(250, 4, 2.0, {1, 0.3}, rng);
+    case 2:
+      return gen::Grid(14, 18, {1, 0.3}, rng);
+    default:
+      return gen::StarForest(25, 9, {1, 0.3}, rng);
+  }
+}
+
+class OracleTest : public ::testing::TestWithParam<OracleParams> {};
+
+TEST_P(OracleTest, MatchesBfsForAllQueryRadii) {
+  const OracleParams params = GetParam();
+  Rng rng(params.seed);
+  const ColoredGraph g = MakeGraph(params.graph_kind, &rng);
+  const auto strategy = MakeAutoStrategy(g);
+  // Force the recursion to actually exercise the cover/splitter machinery
+  // by keeping the small-case cutoff tiny.
+  DistanceOracle::Options options;
+  options.small_cutoff = 8;
+  const DistanceOracle oracle(g, params.radius, *strategy, options);
+
+  BfsScratch scratch(g.NumVertices());
+  for (int trial = 0; trial < 150; ++trial) {
+    const Vertex a =
+        static_cast<Vertex>(rng.NextBounded(
+            static_cast<uint64_t>(g.NumVertices())));
+    const Vertex b =
+        static_cast<Vertex>(rng.NextBounded(
+            static_cast<uint64_t>(g.NumVertices())));
+    scratch.Neighborhood(g, a, params.radius);
+    const int64_t dist = scratch.DistanceTo(b);
+    for (int r = 0; r <= params.radius; ++r) {
+      EXPECT_EQ(oracle.WithinDistance(a, b, r), dist >= 0 && dist <= r)
+          << "a=" << a << " b=" << b << " r=" << r;
+    }
+  }
+}
+
+TEST_P(OracleTest, NearPairsAreExhaustivelyCorrect) {
+  const OracleParams params = GetParam();
+  Rng rng(params.seed + 1000);
+  const ColoredGraph g = MakeGraph(params.graph_kind, &rng);
+  const auto strategy = MakeAutoStrategy(g);
+  DistanceOracle::Options options;
+  options.small_cutoff = 8;
+  const DistanceOracle oracle(g, params.radius, *strategy, options);
+
+  // Dense check: for sampled a, compare against the whole ball (near
+  // pairs are the hard, recursive case).
+  BfsScratch scratch(g.NumVertices());
+  for (int trial = 0; trial < 25; ++trial) {
+    const Vertex a = static_cast<Vertex>(
+        rng.NextBounded(static_cast<uint64_t>(g.NumVertices())));
+    const auto ball = scratch.Neighborhood(g, a, params.radius);
+    for (Vertex b : ball) {
+      const int64_t dist = scratch.DistanceTo(b);
+      EXPECT_TRUE(oracle.WithinDistance(a, b, static_cast<int>(dist)));
+      if (dist > 0) {
+        EXPECT_FALSE(
+            oracle.WithinDistance(a, b, static_cast<int>(dist) - 1))
+            << "a=" << a << " b=" << b << " dist=" << dist;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, OracleTest,
+    ::testing::Values(OracleParams{0, 2, 1}, OracleParams{0, 4, 2},
+                      OracleParams{1, 2, 3}, OracleParams{1, 3, 4},
+                      OracleParams{2, 3, 5}, OracleParams{3, 2, 6}));
+
+TEST(Oracle, RecursionActuallyDeepens) {
+  Rng rng(77);
+  const ColoredGraph g = gen::Grid(20, 20, {0, 0.0}, &rng);
+  const auto strategy = MakeAutoStrategy(g);
+  DistanceOracle::Options options;
+  options.small_cutoff = 4;
+  const DistanceOracle oracle(g, 2, *strategy, options);
+  EXPECT_GT(oracle.stats().max_depth, 0);
+  EXPECT_GT(oracle.stats().total_bags, 0);
+}
+
+TEST(Oracle, SymmetricAnswers) {
+  Rng rng(78);
+  const ColoredGraph g = gen::RandomTree(200, 0, {0, 0.0}, &rng);
+  const auto strategy = MakeAutoStrategy(g);
+  const DistanceOracle oracle(g, 3, *strategy);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Vertex a = static_cast<Vertex>(rng.NextBounded(200));
+    const Vertex b = static_cast<Vertex>(rng.NextBounded(200));
+    for (int r = 0; r <= 3; ++r) {
+      EXPECT_EQ(oracle.WithinDistance(a, b, r),
+                oracle.WithinDistance(b, a, r));
+    }
+  }
+}
+
+// ---- LocalEvaluator ----
+
+TEST(LocalEvaluator, BagRestrictedEvaluation) {
+  Rng rng(21);
+  const ColoredGraph g = gen::RandomTree(100, 0, {2, 0.4}, &rng);
+  const NeighborhoodCover cover = NeighborhoodCover::Build(g, 2);
+  LocalEvaluator local(g, cover);
+
+  // Unary, 1-local query: "x has a C0 neighbor".
+  const fo::Query q = fo::HasNeighborOfColorQuery(1, 0);
+  fo::Query relaxed = q;  // same query without the C1(x) guard
+  relaxed.formula = fo::Exists(1, fo::And(fo::Edge(0, 1), fo::Color(0, 1)));
+
+  const std::vector<bool> materialized = local.MaterializeUnary(relaxed);
+  fo::NaiveEvaluator naive(g);
+  for (Vertex v = 0; v < g.NumVertices(); ++v) {
+    EXPECT_EQ(materialized[v], naive.TestTuple(relaxed, {v})) << "v=" << v;
+  }
+}
+
+TEST(LocalEvaluator, TestInBagMatchesInducedEvaluation) {
+  Rng rng(22);
+  const ColoredGraph g = gen::Grid(8, 8, {1, 0.5}, &rng);
+  const NeighborhoodCover cover = NeighborhoodCover::Build(g, 2);
+  LocalEvaluator local(g, cover);
+  const fo::FormulaPtr phi =
+      fo::Exists(1, fo::And(fo::Edge(0, 1), fo::Color(0, 1)));
+  for (Vertex v = 0; v < g.NumVertices(); v += 5) {
+    const int64_t bag = cover.AssignedBag(v);
+    const SubgraphView induced = InduceSubgraph(g, cover.Bag(bag));
+    fo::NaiveEvaluator naive(induced.graph);
+    std::vector<Vertex> env(2, fo::kUnbound);
+    env[0] = induced.ToLocal(v);
+    EXPECT_EQ(local.TestInBag(bag, phi, {0}, {v}),
+              naive.Evaluate(phi, &env));
+  }
+}
+
+}  // namespace
+}  // namespace nwd

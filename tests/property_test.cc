@@ -1,0 +1,158 @@
+// Cross-module, randomized end-to-end fuzzing: random quantifier-free FO+
+// queries over random graphs from every generator class, engine vs the
+// naive semantics. This is the test that pins the whole pipeline
+// (LNF -> cover -> kernels -> oracle -> skip pointers -> descent) to the
+// paper's Theorem 2.3 contract.
+
+#include <gtest/gtest.h>
+
+#include "enumerate/engine.h"
+#include "enumerate/enumerator.h"
+#include "fo/ast.h"
+#include "fo/naive_eval.h"
+#include "fo/printer.h"
+#include "gen/generators.h"
+#include "util/rng.h"
+
+namespace nwd {
+namespace {
+
+// A random quantifier-free FO+ formula over `arity` free variables.
+fo::FormulaPtr RandomFormula(int arity, int num_colors, int depth, Rng* rng) {
+  if (depth == 0 || rng->NextBool(0.35)) {
+    // Random atom.
+    const int kind = static_cast<int>(rng->NextBounded(4));
+    const fo::Var x = static_cast<fo::Var>(rng->NextBounded(arity));
+    fo::Var y = static_cast<fo::Var>(rng->NextBounded(arity));
+    switch (kind) {
+      case 0:
+        return fo::Color(static_cast<int>(rng->NextBounded(num_colors)), x);
+      case 1:
+        return x == y ? fo::Color(0, x) : fo::Edge(x, y);
+      case 2:
+        return fo::Equals(x, y);
+      default:
+        return fo::DistLeq(x, y, 1 + static_cast<int64_t>(rng->NextBounded(3)));
+    }
+  }
+  const int op = static_cast<int>(rng->NextBounded(3));
+  if (op == 0) return fo::Not(RandomFormula(arity, num_colors, depth - 1, rng));
+  fo::FormulaPtr a = RandomFormula(arity, num_colors, depth - 1, rng);
+  fo::FormulaPtr b = RandomFormula(arity, num_colors, depth - 1, rng);
+  return op == 1 ? fo::And(a, b) : fo::Or(a, b);
+}
+
+fo::Query RandomQuery(int arity, int num_colors, Rng* rng) {
+  fo::Query q;
+  q.formula = RandomFormula(arity, num_colors, 3, rng);
+  for (int i = 0; i < arity; ++i) q.free_vars.push_back(i);
+  q.var_names = {"x", "y", "z", "w"};
+  q.var_names.resize(static_cast<size_t>(arity));
+  return q;
+}
+
+ColoredGraph RandomGraph(int kind, int64_t n, Rng* rng) {
+  switch (kind % 5) {
+    case 0:
+      return gen::RandomTree(n, 0, {2, 0.35}, rng);
+    case 1:
+      return gen::BoundedDegreeGraph(n, 4, 2.2, {2, 0.35}, rng);
+    case 2:
+      return gen::Grid(std::max<int64_t>(2, n / 8), 8, {2, 0.35}, rng);
+    case 3:
+      return gen::RandomForest(n, 4, {2, 0.35}, rng);
+    default:
+      return gen::SubdividedClique(6, std::max<int64_t>(1, n / 15),
+                                   {2, 0.35}, rng);
+  }
+}
+
+class EndToEndFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(EndToEndFuzz, BinaryQueriesAgainstNaive) {
+  Rng rng(1000 + GetParam());
+  EngineOptions options;
+  options.naive_cutoff = 10;
+  options.oracle.small_cutoff = 8;
+  for (int round = 0; round < 4; ++round) {
+    const ColoredGraph g = RandomGraph(round + GetParam(), 45, &rng);
+    const fo::Query q = RandomQuery(2, 2, &rng);
+    const EnumerationEngine engine(g, q, options);
+    fo::NaiveEvaluator naive(g);
+    const std::vector<Tuple> expected = naive.AllSolutions(q);
+
+    ConstantDelayEnumerator enumerator(engine);
+    std::vector<Tuple> produced;
+    for (auto t = enumerator.NextSolution(); t.has_value();
+         t = enumerator.NextSolution()) {
+      produced.push_back(*t);
+    }
+    ASSERT_EQ(produced, expected)
+        << "query: " << fo::ToString(q) << " on " << g.DebugString();
+
+    // Random Test() probes.
+    for (int trial = 0; trial < 40; ++trial) {
+      Tuple t{static_cast<Vertex>(
+                  rng.NextBounded(static_cast<uint64_t>(g.NumVertices()))),
+              static_cast<Vertex>(rng.NextBounded(
+                  static_cast<uint64_t>(g.NumVertices())))};
+      ASSERT_EQ(engine.Test(t), naive.TestTuple(q, t))
+          << "query: " << fo::ToString(q);
+    }
+  }
+}
+
+TEST_P(EndToEndFuzz, TernaryQueriesAgainstNaive) {
+  Rng rng(5000 + GetParam());
+  EngineOptions options;
+  options.naive_cutoff = 8;
+  options.oracle.small_cutoff = 8;
+  for (int round = 0; round < 2; ++round) {
+    const ColoredGraph g = RandomGraph(round + GetParam(), 20, &rng);
+    const fo::Query q = RandomQuery(3, 2, &rng);
+    const EnumerationEngine engine(g, q, options);
+    fo::NaiveEvaluator naive(g);
+    const std::vector<Tuple> expected = naive.AllSolutions(q);
+
+    ConstantDelayEnumerator enumerator(engine);
+    std::vector<Tuple> produced;
+    for (auto t = enumerator.NextSolution(); t.has_value();
+         t = enumerator.NextSolution()) {
+      produced.push_back(*t);
+    }
+    ASSERT_EQ(produced, expected) << "query: " << fo::ToString(q);
+  }
+}
+
+TEST_P(EndToEndFuzz, NextFromRandomProbes) {
+  Rng rng(9000 + GetParam());
+  EngineOptions options;
+  options.naive_cutoff = 10;
+  options.oracle.small_cutoff = 8;
+  const ColoredGraph g = RandomGraph(GetParam(), 40, &rng);
+  const fo::Query q = RandomQuery(2, 2, &rng);
+  const EnumerationEngine engine(g, q, options);
+  fo::NaiveEvaluator naive(g);
+  const std::vector<Tuple> all = naive.AllSolutions(q);
+  for (int trial = 0; trial < 80; ++trial) {
+    Tuple from{static_cast<Vertex>(
+                   rng.NextBounded(static_cast<uint64_t>(g.NumVertices()))),
+               static_cast<Vertex>(rng.NextBounded(
+                   static_cast<uint64_t>(g.NumVertices())))};
+    const auto got = engine.Next(from);
+    const auto it = std::lower_bound(
+        all.begin(), all.end(), from,
+        [](const Tuple& a, const Tuple& b) { return LexCompare(a, b) < 0; });
+    if (it == all.end()) {
+      ASSERT_FALSE(got.has_value()) << fo::ToString(q);
+    } else {
+      ASSERT_TRUE(got.has_value()) << fo::ToString(q);
+      ASSERT_EQ(*got, *it) << fo::ToString(q);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EndToEndFuzz, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace nwd

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "fo/naive_eval.h"
+#include "relational/adjacency_graph.h"
+#include "relational/database.h"
+#include "relational/rewrite.h"
+#include "util/rng.h"
+
+namespace nwd {
+namespace relational {
+namespace {
+
+Database SampleDatabase() {
+  Schema schema;
+  schema.AddRelation("R", 2);
+  schema.AddRelation("S", 3);
+  Database db(schema, 6);
+  db.AddFact("R", {0, 1});
+  db.AddFact("R", {1, 2});
+  db.AddFact("R", {1, 2});  // duplicate
+  db.AddFact("S", {0, 3, 5});
+  return db;
+}
+
+TEST(Schema, Lookup) {
+  Schema schema;
+  EXPECT_EQ(schema.AddRelation("R", 2), 0);
+  EXPECT_EQ(schema.AddRelation("S", 3), 1);
+  EXPECT_EQ(schema.IndexOf("S"), 1);
+  EXPECT_EQ(schema.IndexOf("T"), -1);
+  EXPECT_EQ(schema.MaxArity(), 3);
+  EXPECT_EQ(schema.Arity(0), 2);
+}
+
+TEST(Database, FactsAreSortedAndDeduped) {
+  const Database db = SampleDatabase();
+  EXPECT_EQ(db.Facts(0).size(), 2u);
+  EXPECT_TRUE(db.HasFact(0, {0, 1}));
+  EXPECT_FALSE(db.HasFact(0, {2, 1}));
+  EXPECT_EQ(db.SizeNorm(), 6 + 2 * 2 + 1 * 3);
+}
+
+TEST(AdjacencyGraph, StructureCounts) {
+  const Database db = SampleDatabase();
+  const AdjacencyGraph a = BuildAdjacencyGraph(db);
+  // 6 elements + 3 facts + (2+2+3) position nodes.
+  EXPECT_EQ(a.graph.NumVertices(), 6 + 3 + 7);
+  // Each position node contributes two edges.
+  EXPECT_EQ(a.graph.NumEdges(), 14);
+  EXPECT_EQ(a.num_elements, 6);
+  // Element color marks exactly the domain.
+  EXPECT_EQ(a.graph.ColorMembers(a.element_color).size(), 6u);
+  // Degrees of fact nodes equal arities.
+  EXPECT_EQ(a.max_arity, 3);
+}
+
+TEST(AdjacencyGraph, IsDegenerateSparse) {
+  // A'(D) is a 1-subdivision: it is always 2-degenerate regardless of how
+  // dense the relational data is — the point of the transform.
+  Schema schema;
+  schema.AddRelation("R", 2);
+  Database db(schema, 12);
+  for (int64_t i = 0; i < 12; ++i) {
+    for (int64_t j = 0; j < 12; ++j) {
+      if (i != j) db.AddFact("R", {i, j});
+    }
+  }
+  const AdjacencyGraph a = BuildAdjacencyGraph(db);
+  // Position nodes have degree exactly 2.
+  for (Vertex v = a.num_elements; v < a.graph.NumVertices(); ++v) {
+    if (a.graph.HasColor(v, a.position_color_base) ||
+        a.graph.HasColor(v, a.position_color_base + 1)) {
+      EXPECT_EQ(a.graph.Degree(v), 2);
+    }
+  }
+}
+
+// Lemma 2.2: D |= R(a, b) iff A'(D) |= psi(a, b).
+TEST(Rewrite, RelationAtomEquivalence) {
+  const Database db = SampleDatabase();
+  const AdjacencyGraph a = BuildAdjacencyGraph(db);
+  const fo::FormulaPtr psi = Relativize(
+      a, RelationAtom(a, db.schema(), "R", {0, 1}, /*first_fresh_var=*/2),
+      {0, 1});
+  fo::NaiveEvaluator eval(a.graph);
+  fo::Query query;
+  query.formula = psi;
+  query.free_vars = {0, 1};
+  for (int64_t x = 0; x < db.domain_size(); ++x) {
+    for (int64_t y = 0; y < db.domain_size(); ++y) {
+      EXPECT_EQ(eval.TestTuple(query, {x, y}), db.HasFact(0, {x, y}))
+          << "(" << x << "," << y << ")";
+    }
+  }
+}
+
+TEST(Rewrite, TernaryRelationAtomEquivalence) {
+  const Database db = SampleDatabase();
+  const AdjacencyGraph a = BuildAdjacencyGraph(db);
+  const fo::FormulaPtr psi = Relativize(
+      a, RelationAtom(a, db.schema(), "S", {0, 1, 2}, 3), {0, 1, 2});
+  fo::NaiveEvaluator eval(a.graph);
+  fo::Query query;
+  query.formula = psi;
+  query.free_vars = {0, 1, 2};
+  EXPECT_TRUE(eval.TestTuple(query, {0, 3, 5}));
+  EXPECT_FALSE(eval.TestTuple(query, {3, 0, 5}));
+  EXPECT_FALSE(eval.TestTuple(query, {0, 3, 4}));
+}
+
+// A join query: q(x, z) := exists y (R(x, y) & R(y, z)).
+TEST(Rewrite, JoinQueryEquivalence) {
+  const Database db = SampleDatabase();
+  const AdjacencyGraph a = BuildAdjacencyGraph(db);
+  // Variables: x=0, z=1, y=2; fresh from 3 (each atom uses 3 fresh vars).
+  const fo::FormulaPtr r_xy =
+      RelationAtom(a, db.schema(), "R", {0, 2}, 3);
+  const fo::FormulaPtr r_yz =
+      RelationAtom(a, db.schema(), "R", {2, 1}, 6);
+  const fo::FormulaPtr psi = Relativize(
+      a,
+      fo::Exists(2, fo::And(fo::Color(a.element_color, 2),
+                            fo::And(r_xy, r_yz))),
+      {0, 1});
+  fo::NaiveEvaluator eval(a.graph);
+  fo::Query query;
+  query.formula = psi;
+  query.free_vars = {0, 1};
+
+  // Direct relational evaluation as ground truth.
+  for (int64_t x = 0; x < db.domain_size(); ++x) {
+    for (int64_t z = 0; z < db.domain_size(); ++z) {
+      bool expected = false;
+      for (int64_t y = 0; y < db.domain_size(); ++y) {
+        expected = expected ||
+                   (db.HasFact(0, {x, y}) && db.HasFact(0, {y, z}));
+      }
+      EXPECT_EQ(eval.TestTuple(query, {x, z}), expected)
+          << "(" << x << "," << z << ")";
+    }
+  }
+}
+
+TEST(Rewrite, RandomizedLemma22) {
+  Rng rng(99);
+  Schema schema;
+  schema.AddRelation("E2", 2);
+  Database db(schema, 8);
+  for (int f = 0; f < 10; ++f) {
+    db.AddFact("E2", {rng.NextInt(0, 7), rng.NextInt(0, 7)});
+  }
+  const AdjacencyGraph a = BuildAdjacencyGraph(db);
+  const fo::FormulaPtr psi = Relativize(
+      a, RelationAtom(a, db.schema(), "E2", {0, 1}, 2), {0, 1});
+  fo::NaiveEvaluator eval(a.graph);
+  fo::Query query;
+  query.formula = psi;
+  query.free_vars = {0, 1};
+  for (int64_t x = 0; x < 8; ++x) {
+    for (int64_t y = 0; y < 8; ++y) {
+      EXPECT_EQ(eval.TestTuple(query, {x, y}), db.HasFact(0, {x, y}));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace relational
+}  // namespace nwd

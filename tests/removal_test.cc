@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "fo/analysis.h"
+#include "fo/ast.h"
+#include "fo/naive_eval.h"
+#include "gen/generators.h"
+#include "graph/builder.h"
+#include "removal/removal.h"
+#include "util/rng.h"
+
+namespace nwd {
+namespace {
+
+using fo::FormulaPtr;
+
+// Test formulas over free variables {0, 1}; bound variables start at 2.
+std::vector<std::pair<const char*, FormulaPtr>> TestFormulas() {
+  using namespace fo;  // NOLINT
+  std::vector<std::pair<const char*, FormulaPtr>> formulas;
+  formulas.emplace_back("dist2", DistLeq(0, 1, 2));
+  formulas.emplace_back("dist3_neg", Not(DistLeq(0, 1, 3)));
+  formulas.emplace_back("edge_color", And(Edge(0, 1), Color(0, 0)));
+  formulas.emplace_back("equality", Or(Equals(0, 1), Edge(0, 1)));
+  formulas.emplace_back("exists_nbr", Exists(2, And(Edge(0, 2), Color(0, 2))));
+  formulas.emplace_back(
+      "forall_ball",
+      Forall(2, Or(Not(DistLeq(0, 2, 1)), Color(0, 2))));
+  formulas.emplace_back(
+      "nested",
+      Exists(2, Exists(3, And(Edge(2, 3), DistLeq(0, 3, 2)))));
+  formulas.emplace_back(
+      "mixed",
+      And(DistLeq(0, 1, 2), Exists(2, And(Edge(1, 2), Not(Color(0, 2))))));
+  formulas.emplace_back(
+      "exists_eq", Exists(2, And(Equals(0, 2), Color(0, 2))));
+  return formulas;
+}
+
+// Exhaustively verifies Lemma 5.5's equivalence for every tuple pattern.
+void CheckRemovalEquivalence(const ColoredGraph& g, Vertex s,
+                             const FormulaPtr& phi, const char* label) {
+  const int64_t budget = RemovalDistanceBudget(phi);
+  int first_dist_color = -1;
+  const SubgraphView h = BuildRemovalGraph(g, s, budget, &first_dist_color);
+  ASSERT_EQ(first_dist_color, g.NumColors());
+  ASSERT_EQ(h.graph.NumVertices(), g.NumVertices() - 1);
+
+  fo::NaiveEvaluator eval_g(g);
+  fo::NaiveEvaluator eval_h(h.graph);
+
+  // Every subset of {0, 1} as the s-variables.
+  for (int mask = 0; mask < 4; ++mask) {
+    std::set<fo::Var> s_vars;
+    if (mask & 1) s_vars.insert(0);
+    if (mask & 2) s_vars.insert(1);
+    const FormulaPtr rewritten =
+        RewriteForRemoval(phi, s_vars, g, s, first_dist_color);
+    // The s-variables disappear from the rewritten formula.
+    for (fo::Var v : fo::FreeVars(rewritten)) {
+      EXPECT_EQ(s_vars.count(v), 0u) << label;
+    }
+
+    for (Vertex a = 0; a < g.NumVertices(); ++a) {
+      for (Vertex b = 0; b < g.NumVertices(); ++b) {
+        // The tuple must assign s exactly to the s-variables.
+        if (((mask & 1) != 0) != (a == s)) continue;
+        if (((mask & 2) != 0) != (b == s)) continue;
+
+        std::vector<Vertex> env_g(8, fo::kUnbound);
+        env_g[0] = a;
+        env_g[1] = b;
+        const bool lhs = eval_g.Evaluate(phi, &env_g);
+
+        std::vector<Vertex> env_h(8, fo::kUnbound);
+        if (a != s) env_h[0] = h.ToLocal(a);
+        if (b != s) env_h[1] = h.ToLocal(b);
+        const bool rhs = eval_h.Evaluate(rewritten, &env_h);
+
+        EXPECT_EQ(lhs, rhs) << label << " s=" << s << " a=" << a
+                            << " b=" << b << " mask=" << mask;
+      }
+    }
+  }
+}
+
+class RemovalPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RemovalPropertyTest, LemmaHoldsOnRandomGraphs) {
+  Rng rng(GetParam());
+  const ColoredGraph g = gen::ErdosRenyi(9, 2.2, {1, 0.4}, &rng);
+  const Vertex s = static_cast<Vertex>(rng.NextBounded(9));
+  for (const auto& [label, phi] : TestFormulas()) {
+    CheckRemovalEquivalence(g, s, phi, label);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RemovalPropertyTest, ::testing::Range(0, 8));
+
+TEST(RemovalGraph, DistanceColorsAreCorrectAndMonotone) {
+  Rng rng(99);
+  const ColoredGraph g = gen::RandomTree(30, 0, {1, 0.3}, &rng);
+  const Vertex s = 7;
+  int first = -1;
+  const SubgraphView h = BuildRemovalGraph(g, s, 3, &first);
+  EXPECT_EQ(h.graph.NumColors(), g.NumColors() + 3);
+  fo::NaiveEvaluator eval(g);
+  for (Vertex local = 0; local < h.graph.NumVertices(); ++local) {
+    const Vertex global = h.ToGlobal(local);
+    for (int64_t i = 1; i <= 3; ++i) {
+      std::vector<Vertex> env{global, s};
+      const bool within = eval.Evaluate(fo::DistLeq(0, 1, i), &env);
+      EXPECT_EQ(h.graph.HasColor(local, first + static_cast<int>(i - 1)),
+                within)
+          << "v=" << global << " i=" << i;
+    }
+  }
+  // Monotonicity R_i implies R_{i+1}.
+  for (Vertex local = 0; local < h.graph.NumVertices(); ++local) {
+    for (int i = 0; i + 1 < 3; ++i) {
+      if (h.graph.HasColor(local, first + i)) {
+        EXPECT_TRUE(h.graph.HasColor(local, first + i + 1));
+      }
+    }
+  }
+}
+
+TEST(RemovalRewrite, PreservesQuantifierRankAndDistBounds) {
+  using namespace fo;  // NOLINT
+  Rng rng(3);
+  const ColoredGraph g = gen::RandomTree(12, 0, {1, 0.5}, &rng);
+  const FormulaPtr phi =
+      Exists(2, And(DistLeq(0, 2, 3), Exists(3, Edge(2, 3))));
+  const FormulaPtr rewritten =
+      RewriteForRemoval(phi, {}, g, 5, g.NumColors());
+  // Lemma 5.5 promises q-rank preservation: no new quantifiers, no larger
+  // distance bounds.
+  EXPECT_LE(QuantifierRank(rewritten), QuantifierRank(phi));
+  EXPECT_LE(MaxDistBound(rewritten), MaxDistBound(phi));
+}
+
+TEST(RemovalRewrite, SVariableAtomsResolve) {
+  using namespace fo;  // NOLINT
+  Rng rng(4);
+  const ColoredGraph g = gen::RandomTree(10, 0, {1, 0.5}, &rng);
+  const Vertex s = 3;
+  const int fdc = g.NumColors();
+  // E(x, y) with y = s becomes the adjacency color R_1(x).
+  const FormulaPtr e = RewriteForRemoval(Edge(0, 1), {1}, g, s, fdc);
+  EXPECT_EQ(e->kind, NodeKind::kColor);
+  EXPECT_EQ(e->color, fdc);
+  // x = y with y = s is false; with both s it is true.
+  EXPECT_EQ(RewriteForRemoval(Equals(0, 1), {1}, g, s, fdc)->kind,
+            NodeKind::kFalse);
+  EXPECT_EQ(RewriteForRemoval(Equals(0, 1), {0, 1}, g, s, fdc)->kind,
+            NodeKind::kTrue);
+  // dist(x, y) <= d with y = s becomes R_d(x).
+  const FormulaPtr d = RewriteForRemoval(DistLeq(0, 1, 2), {1}, g, s, fdc);
+  EXPECT_EQ(d->kind, NodeKind::kColor);
+  EXPECT_EQ(d->color, fdc + 1);
+  // C(y) with y = s becomes a constant matching s's color.
+  const FormulaPtr c = RewriteForRemoval(Color(0, 1), {1}, g, s, fdc);
+  EXPECT_EQ(c->kind,
+            g.HasColor(s, 0) ? NodeKind::kTrue : NodeKind::kFalse);
+}
+
+TEST(RemovalGraph, OneVertexGraphYieldsEmpty) {
+  GraphBuilder builder(1, 1);
+  const ColoredGraph g = std::move(builder).Build();
+  int first = -1;
+  const SubgraphView h = BuildRemovalGraph(g, 0, 1, &first);
+  EXPECT_EQ(h.graph.NumVertices(), 0);
+}
+
+}  // namespace
+}  // namespace nwd

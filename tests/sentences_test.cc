@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "enumerate/sentences.h"
+#include "fo/naive_eval.h"
+#include "fo/parser.h"
+#include "gen/generators.h"
+#include "graph/builder.h"
+#include "util/rng.h"
+
+namespace nwd {
+namespace {
+
+SentenceResult Check(const ColoredGraph& g, const char* text) {
+  const fo::ParseResult r = fo::ParseSentence(text);
+  EXPECT_TRUE(r.ok) << text << ": " << r.error;
+  return CheckSentence(g, r.query.formula);
+}
+
+bool NaiveCheck(const ColoredGraph& g, const char* text) {
+  const fo::ParseResult r = fo::ParseSentence(text);
+  EXPECT_TRUE(r.ok) << text << ": " << r.error;
+  fo::NaiveEvaluator eval(g);
+  return !eval.AllSolutions(r.query).empty();
+}
+
+TEST(Sentences, GuardedLocalExistentials) {
+  Rng rng(1);
+  const ColoredGraph g = gen::RandomTree(300, 0, {2, 0.3}, &rng);
+  const char* sentences[] = {
+      "exists x. C0(x)",  // trivially guarded (no quantifier below)
+      "exists x. C0(x) & (exists z. E(x, z) & C1(z))",
+      "exists x. !(exists z. E(x, z))",  // an isolated vertex?
+  };
+  for (const char* text : sentences) {
+    const SentenceResult result = Check(g, text);
+    EXPECT_EQ(result.holds, NaiveCheck(g, text)) << text;
+    EXPECT_FALSE(result.used_naive) << text;
+  }
+}
+
+TEST(Sentences, IndependenceSentences) {
+  Rng rng(2);
+  const ColoredGraph g = gen::RandomTree(400, 0, {1, 0.3}, &rng);
+  // Three scattered blue vertices — should exist on a 400-tree...
+  const char* three =
+      "exists a, b, c. !(dist(a,b) <= 4) & !(dist(a,c) <= 4) & "
+      "!(dist(b,c) <= 4) & C0(a) & C0(b) & C0(c)";
+  const SentenceResult result = Check(g, three);
+  EXPECT_EQ(result.holds, NaiveCheck(g, three));
+  EXPECT_TRUE(result.holds);
+  EXPECT_FALSE(result.used_naive);
+}
+
+TEST(Sentences, IndependenceSentenceFailsOnSmallClique) {
+  Rng rng(3);
+  const ColoredGraph g = gen::Clique(8, {1, 1.0}, &rng);
+  const char* two =
+      "exists a, b. !(dist(a,b) <= 1) & C0(a) & C0(b)";
+  const SentenceResult result = Check(g, two);
+  EXPECT_FALSE(result.holds);
+  EXPECT_EQ(result.holds, NaiveCheck(g, two));
+}
+
+TEST(Sentences, BooleanCombinations) {
+  Rng rng(4);
+  const ColoredGraph g = gen::Grid(10, 10, {2, 0.4}, &rng);
+  const char* sentences[] = {
+      "(exists x. C0(x)) & !(exists y. C1(y) & (exists z. E(y,z) & C0(z)))",
+      "(exists x. C0(x)) | false",
+      "!(exists x. C0(x) & C1(x)) | (exists x. C0(x))",
+      "true & !(false)",
+  };
+  for (const char* text : sentences) {
+    EXPECT_EQ(Check(g, text).holds, NaiveCheck(g, text)) << text;
+  }
+}
+
+TEST(Sentences, ForallViaDualization) {
+  GraphBuilder builder(5, 1);
+  for (Vertex v = 0; v + 1 < 5; ++v) builder.AddEdge(v, v + 1);
+  for (Vertex v = 0; v < 5; ++v) builder.SetColor(v, 0);
+  const ColoredGraph g = std::move(builder).Build();
+  // Every vertex is C0: holds.
+  EXPECT_TRUE(Check(g, "forall x. C0(x)").holds);
+  // Every vertex has a neighbor: holds on a path of length >= 1.
+  EXPECT_TRUE(Check(g, "forall x. exists z. E(x, z)").holds);
+}
+
+TEST(Sentences, UnguardedFallsBackToNaiveButIsCorrect) {
+  Rng rng(5);
+  const ColoredGraph g = gen::RandomTree(30, 0, {2, 0.4}, &rng);
+  // "exists two adjacent-colored vertices anywhere" — binary inner
+  // quantifier, not unary-local, not a scatter pattern.
+  const char* text = "exists x. exists y. E(x, y) & C0(x) & C1(y)";
+  const SentenceResult result = Check(g, text);
+  EXPECT_EQ(result.holds, NaiveCheck(g, text));
+}
+
+class SentenceFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(SentenceFuzz, ScatterSentencesMatchNaive) {
+  Rng rng(50 + GetParam());
+  const ColoredGraph g =
+      gen::BoundedDegreeGraph(35, 4, 2.0, {1, 0.3}, &rng);
+  for (int k = 2; k <= 3; ++k) {
+    for (int sep : {1, 2}) {
+      std::string text = "exists";
+      for (int i = 0; i < k; ++i) {
+        text += (i ? ", v" : " v") + std::to_string(i);
+      }
+      text += ".";
+      bool first = true;
+      for (int i = 0; i < k; ++i) {
+        for (int j = i + 1; j < k; ++j) {
+          text += std::string(first ? " " : " & ") + "!(dist(v" +
+                  std::to_string(i) + ", v" + std::to_string(j) +
+                  ") <= " + std::to_string(sep) + ")";
+          first = false;
+        }
+      }
+      for (int i = 0; i < k; ++i) {
+        text += " & C0(v" + std::to_string(i) + ")";
+      }
+      const SentenceResult result = Check(g, text.c_str());
+      EXPECT_EQ(result.holds, NaiveCheck(g, text.c_str())) << text;
+      EXPECT_FALSE(result.used_naive) << text;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SentenceFuzz, ::testing::Range(0, 5));
+
+}  // namespace
+}  // namespace nwd

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "graph/bfs.h"
+#include "graph/builder.h"
+#include "splitter/game.h"
+#include "splitter/strategy.h"
+#include "util/rng.h"
+
+namespace nwd {
+namespace {
+
+TEST(IsForest, Classification) {
+  Rng rng(1);
+  EXPECT_TRUE(IsForest(gen::RandomTree(100, 0, {0, 0.0}, &rng)));
+  EXPECT_TRUE(IsForest(gen::RandomForest(100, 5, {0, 0.0}, &rng)));
+  EXPECT_TRUE(IsForest(gen::StarForest(5, 8, {0, 0.0}, &rng)));
+  EXPECT_FALSE(IsForest(gen::Grid(4, 4, {0, 0.0}, &rng)));
+  EXPECT_FALSE(IsForest(gen::Clique(4, {0, 0.0}, &rng)));
+
+  GraphBuilder builder(3, 0);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(2, 0);
+  EXPECT_FALSE(IsForest(std::move(builder).Build()));
+}
+
+TEST(Strategies, ReplyIsInBall) {
+  Rng rng(7);
+  const ColoredGraph g = gen::BoundedDegreeGraph(120, 4, 2.5, {0, 0.0}, &rng);
+  BfsScratch scratch(g.NumVertices());
+  const auto center = MakeCenterStrategy();
+  const auto degree = MakeMaxDegreeStrategy(g);
+  const auto automatic = MakeAutoStrategy(g);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Vertex c = static_cast<Vertex>(rng.NextBounded(120));
+    const auto ball = scratch.Neighborhood(g, c, 2);
+    for (const SplitterStrategy* strategy :
+         {center.get(), degree.get(), automatic.get()}) {
+      const Vertex reply = strategy->ChooseSplit(ball, c);
+      EXPECT_TRUE(std::binary_search(ball.begin(), ball.end(), reply));
+    }
+  }
+}
+
+TEST(Strategies, CenterStrategyReturnsConnector) {
+  const auto strategy = MakeCenterStrategy();
+  EXPECT_EQ(strategy->ChooseSplit({3, 5, 9}, 5), 5);
+}
+
+TEST(Game, EdgelessGraphEndsInOneRound) {
+  GraphBuilder builder(10, 0);
+  const ColoredGraph g = std::move(builder).Build();
+  Rng rng(2);
+  const auto strategy = MakeCenterStrategy();
+  const SplitterGameResult result =
+      PlaySplitterGame(g, 2, *strategy, 10, 3, &rng);
+  EXPECT_TRUE(result.splitter_won);
+  EXPECT_EQ(result.rounds, 1);
+}
+
+TEST(Game, StarEndsInTwoRounds) {
+  Rng rng(3);
+  const ColoredGraph g = gen::StarForest(1, 50, {0, 0.0}, &rng);
+  const auto strategy = MakeMaxDegreeStrategy(g);
+  const SplitterGameResult result =
+      PlaySplitterGame(g, 2, *strategy, 10, 5, &rng);
+  EXPECT_TRUE(result.splitter_won);
+  // Removing the hub leaves isolated leaves; one more round finishes.
+  EXPECT_LE(result.rounds, 2);
+}
+
+// The potential argument of strategy.h: on forests the top-of-ball
+// strategy wins the (2r+1, r)-game.
+class ForestGameTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ForestGameTest, ForestStrategyWinsWithinTwoRPlusOne) {
+  Rng rng(50 + GetParam());
+  const ColoredGraph g = gen::RandomTree(400, 6, {0, 0.0}, &rng);
+  const auto strategy = MakeForestStrategy(g);
+  for (int r : {1, 2, 3}) {
+    Rng game_rng(GetParam());
+    const SplitterGameResult result =
+        PlaySplitterGame(g, r, *strategy, 2 * r + 1, 5, &game_rng);
+    EXPECT_TRUE(result.splitter_won) << "r=" << r;
+    EXPECT_LE(result.rounds, 2 * r + 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ForestGameTest, ::testing::Range(0, 5));
+
+TEST(Game, CliqueResistsLongerThanTree) {
+  Rng rng(5);
+  const ColoredGraph clique = gen::Clique(40, {0, 0.0}, &rng);
+  const ColoredGraph tree = gen::RandomTree(40, 0, {0, 0.0}, &rng);
+  const auto clique_strategy = MakeMaxDegreeStrategy(clique);
+  const auto tree_strategy = MakeForestStrategy(tree);
+  Rng rng_a(6);
+  Rng rng_b(6);
+  const SplitterGameResult on_clique =
+      PlaySplitterGame(clique, 2, *clique_strategy, 100, 5, &rng_a);
+  const SplitterGameResult on_tree =
+      PlaySplitterGame(tree, 2, *tree_strategy, 100, 5, &rng_b);
+  ASSERT_TRUE(on_clique.splitter_won);
+  ASSERT_TRUE(on_tree.splitter_won);
+  // On K_n every ball is everything: the game needs ~n rounds; on a tree it
+  // ends in <= 2r+1. This is Theorem 4.6's dichotomy made measurable.
+  EXPECT_GE(on_clique.rounds, 39);
+  EXPECT_LE(on_tree.rounds, 5);
+}
+
+TEST(Game, GridGameIsShallow) {
+  Rng rng(8);
+  const ColoredGraph g = gen::Grid(20, 20, {0, 0.0}, &rng);
+  const auto strategy = MakeMaxDegreeStrategy(g);
+  const SplitterGameResult result =
+      PlaySplitterGame(g, 2, *strategy, 60, 5, &rng);
+  EXPECT_TRUE(result.splitter_won);
+  // A radius-2 grid ball has ~13 vertices; the game cannot run longer.
+  EXPECT_LE(result.rounds, 14);
+}
+
+}  // namespace
+}  // namespace nwd

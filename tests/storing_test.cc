@@ -1,0 +1,243 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+
+#include "storing/stored_function.h"
+#include "storing/trie.h"
+#include "util/rng.h"
+
+namespace nwd {
+namespace {
+
+using Kind = StoringTrie::LookupResult::Kind;
+
+TEST(StoringTrie, EmptyLookups) {
+  StoringTrie trie(2, 10, 0.5);
+  EXPECT_EQ(trie.size(), 0);
+  EXPECT_TRUE(trie.empty());
+  EXPECT_EQ(trie.Lookup({3, 4}).kind, Kind::kNull);
+  EXPECT_FALSE(trie.First().has_value());
+  EXPECT_FALSE(trie.Predecessor({9, 9}).has_value());
+}
+
+TEST(StoringTrie, SingleElement) {
+  StoringTrie trie(1, 27, 1.0 / 3.0);
+  trie.Insert({5}, 50);
+  EXPECT_EQ(trie.size(), 1);
+  EXPECT_EQ(trie.Get({5}), std::optional<int64_t>(50));
+  const auto below = trie.Lookup({2});
+  ASSERT_EQ(below.kind, Kind::kSuccessor);
+  EXPECT_EQ(below.successor, Tuple{5});
+  EXPECT_EQ(trie.Lookup({6}).kind, Kind::kNull);
+  EXPECT_EQ(trie.Predecessor({6}), std::optional<Tuple>(Tuple{5}));
+  EXPECT_FALSE(trie.Predecessor({5}).has_value());
+}
+
+TEST(StoringTrie, OverwriteValue) {
+  StoringTrie trie(1, 100, 0.5);
+  trie.Insert({7}, 1);
+  trie.Insert({7}, 2);
+  EXPECT_EQ(trie.size(), 1);
+  EXPECT_EQ(trie.Get({7}), std::optional<int64_t>(2));
+}
+
+TEST(StoringTrie, PaperExampleDomain) {
+  // The domain of Figure 1: identity on {2, 4, 5, 19, 24, 25} in [27].
+  StoringTrie trie(1, 27, 1.0 / 3.0);
+  for (int64_t v : {2, 4, 5, 19, 24, 25}) trie.Insert({v}, v);
+  EXPECT_EQ(trie.degree(), 3);
+  EXPECT_EQ(trie.size(), 6);
+  for (int64_t v : {2, 4, 5, 19, 24, 25}) {
+    EXPECT_EQ(trie.Get({v}), std::optional<int64_t>(v));
+  }
+  // Successor probes.
+  EXPECT_EQ(trie.Lookup({0}).successor, Tuple{2});
+  EXPECT_EQ(trie.Lookup({3}).successor, Tuple{4});
+  EXPECT_EQ(trie.Lookup({6}).successor, Tuple{19});
+  EXPECT_EQ(trie.Lookup({20}).successor, Tuple{24});
+  EXPECT_EQ(trie.Lookup({26}).kind, Kind::kNull);
+}
+
+TEST(StoringTrie, EraseUpdatesSuccessors) {
+  StoringTrie trie(1, 27, 1.0 / 3.0);
+  for (int64_t v : {2, 4, 5, 19, 24, 25}) trie.Insert({v}, v);
+  trie.Erase({19});  // the removal walked through in the appendix
+  EXPECT_EQ(trie.size(), 5);
+  EXPECT_FALSE(trie.Contains({19}));
+  EXPECT_EQ(trie.Lookup({6}).successor, Tuple{24});
+  EXPECT_EQ(trie.Lookup({19}).successor, Tuple{24});
+  EXPECT_EQ(trie.Predecessor({24}), std::optional<Tuple>(Tuple{5}));
+}
+
+TEST(StoringTrie, EraseToEmptyAndReuse) {
+  StoringTrie trie(1, 27, 1.0 / 3.0);
+  const int64_t base_registers = trie.RegistersUsed();
+  for (int64_t v : {2, 4, 5, 19, 24, 25}) trie.Insert({v}, v);
+  for (int64_t v : {2, 4, 5, 19, 24, 25}) trie.Erase({v});
+  EXPECT_EQ(trie.size(), 0);
+  // Compaction must return all node memory (only the root remains).
+  EXPECT_EQ(trie.RegistersUsed(), base_registers);
+  EXPECT_EQ(trie.Lookup({0}).kind, Kind::kNull);
+  // The structure stays usable after total erasure.
+  trie.Insert({13}, 1);
+  EXPECT_EQ(trie.Lookup({0}).successor, Tuple{13});
+}
+
+TEST(StoringTrie, EraseAbsentIsNoop) {
+  StoringTrie trie(1, 27, 1.0 / 3.0);
+  trie.Insert({5}, 5);
+  trie.Erase({6});
+  EXPECT_EQ(trie.size(), 1);
+  EXPECT_TRUE(trie.Contains({5}));
+}
+
+TEST(StoringTrie, BinaryKeysSeek) {
+  StoringTrie trie(2, 8, 0.5);
+  trie.Insert({1, 7}, 17);
+  trie.Insert({3, 0}, 30);
+  trie.Insert({3, 5}, 35);
+  const auto seek = trie.Seek({2, 0});
+  ASSERT_TRUE(seek.has_value());
+  EXPECT_EQ(seek->first, (Tuple{3, 0}));
+  EXPECT_EQ(seek->second, 30);
+  const auto exact = trie.Seek({3, 5});
+  ASSERT_TRUE(exact.has_value());
+  EXPECT_EQ(exact->second, 35);
+  EXPECT_FALSE(trie.Seek({3, 6}).has_value());
+  EXPECT_EQ(trie.First()->first, (Tuple{1, 7}));
+}
+
+TEST(StoringTrie, SpaceIsProportionalToDomain) {
+  // Theorem 3.1: space c * |Dom(f)| * n^eps. With eps = 0.5 and n = 1024,
+  // each key adds at most k*h = 4 nodes of d+1 = 33 registers.
+  StoringTrie trie(2, 1024, 0.5);
+  Rng rng(5);
+  const int64_t inserts = 200;
+  for (int64_t i = 0; i < inserts; ++i) {
+    trie.Insert({rng.NextInt(0, 1023), rng.NextInt(0, 1023)}, i);
+  }
+  const int64_t per_key_cap =
+      4 * (static_cast<int64_t>(trie.degree()) + 1);
+  EXPECT_LE(trie.RegistersUsed(), (inserts + 1) * per_key_cap + 64);
+}
+
+// ---- Reference-model fuzzing across (arity, n, eps) ----
+
+struct FuzzParams {
+  int arity;
+  int64_t n;
+  double eps;
+  uint64_t seed;
+};
+
+class StoringFuzzTest : public ::testing::TestWithParam<FuzzParams> {};
+
+Tuple RandomKey(int arity, int64_t n, Rng* rng) {
+  Tuple key(static_cast<size_t>(arity));
+  for (auto& component : key) {
+    component = static_cast<int64_t>(rng->NextBounded(
+        static_cast<uint64_t>(n)));
+  }
+  return key;
+}
+
+TEST_P(StoringFuzzTest, MatchesStdMapUnderRandomOps) {
+  const FuzzParams params = GetParam();
+  StoringTrie trie(params.arity, params.n, params.eps);
+  std::map<Tuple, int64_t> reference;
+  Rng rng(params.seed);
+
+  for (int op = 0; op < 600; ++op) {
+    const double dice = rng.NextDouble();
+    const Tuple key = RandomKey(params.arity, params.n, &rng);
+    if (dice < 0.55) {
+      const int64_t value = static_cast<int64_t>(rng.NextBounded(1000));
+      trie.Insert(key, value);
+      reference[key] = value;
+    } else if (dice < 0.75) {
+      trie.Erase(key);
+      reference.erase(key);
+    } else {
+      // Probe: lookup semantics against the reference.
+      const auto it = reference.find(key);
+      const auto result = trie.Lookup(key);
+      if (it != reference.end()) {
+        ASSERT_EQ(result.kind, Kind::kFound);
+        EXPECT_EQ(result.value, it->second);
+      } else {
+        const auto above = reference.upper_bound(key);
+        if (above == reference.end()) {
+          EXPECT_EQ(result.kind, Kind::kNull);
+        } else {
+          ASSERT_EQ(result.kind, Kind::kSuccessor);
+          EXPECT_EQ(result.successor, above->first);
+        }
+      }
+      // Predecessor semantics.
+      const auto pred = trie.Predecessor(key);
+      auto below = reference.lower_bound(key);
+      if (below == reference.begin()) {
+        EXPECT_FALSE(pred.has_value());
+      } else {
+        --below;
+        ASSERT_TRUE(pred.has_value());
+        EXPECT_EQ(*pred, below->first);
+      }
+    }
+    ASSERT_EQ(trie.size(), static_cast<int64_t>(reference.size()));
+  }
+
+  // Full sweep at the end: enumerate via Seek and compare.
+  std::optional<std::pair<Tuple, int64_t>> cursor = trie.First();
+  auto it = reference.begin();
+  while (cursor.has_value()) {
+    ASSERT_NE(it, reference.end());
+    EXPECT_EQ(cursor->first, it->first);
+    EXPECT_EQ(cursor->second, it->second);
+    ++it;
+    // Advance: successor of cursor + 1 in rank order.
+    Tuple next = cursor->first;
+    bool carried = false;
+    for (size_t i = next.size(); i-- > 0;) {
+      if (next[i] + 1 < params.n) {
+        ++next[i];
+        for (size_t j = i + 1; j < next.size(); ++j) next[j] = 0;
+        carried = true;
+        break;
+      }
+    }
+    if (!carried) break;
+    cursor = trie.Seek(next);
+  }
+  EXPECT_EQ(it, reference.end());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, StoringFuzzTest,
+    ::testing::Values(FuzzParams{1, 27, 1.0 / 3.0, 1},
+                      FuzzParams{1, 100, 0.5, 2},
+                      FuzzParams{1, 1000, 0.25, 3},
+                      FuzzParams{2, 27, 1.0 / 3.0, 4},
+                      FuzzParams{2, 64, 0.5, 5},
+                      FuzzParams{3, 16, 0.5, 6},
+                      FuzzParams{3, 10, 0.34, 7},
+                      FuzzParams{1, 2, 0.9, 8},
+                      FuzzParams{4, 5, 0.5, 9}));
+
+TEST(StoredFunction, FacadeBasics) {
+  StoredFunction f(2, 50);
+  f.Set({10, 20}, 7);
+  f.Set({10, 30}, 8);
+  EXPECT_EQ(f.size(), 2);
+  EXPECT_EQ(f.Get({10, 20}), std::optional<int64_t>(7));
+  EXPECT_FALSE(f.Get({10, 21}).has_value());
+  const auto seek = f.Seek({10, 21});
+  ASSERT_TRUE(seek.has_value());
+  EXPECT_EQ(seek->first, (Tuple{10, 30}));
+  f.Erase({10, 20});
+  EXPECT_FALSE(f.Contains({10, 20}));
+}
+
+}  // namespace
+}  // namespace nwd

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "fo/analysis.h"
+#include "fo/naive_eval.h"
+#include "fo/parser.h"
+#include "fo/transform.h"
+#include "gen/generators.h"
+#include "util/rng.h"
+
+namespace nwd {
+namespace fo {
+namespace {
+
+// No kNot node may sit above a non-atom in NNF.
+bool IsNnf(const FormulaPtr& f) {
+  switch (f->kind) {
+    case NodeKind::kNot:
+      switch (f->child1->kind) {
+        case NodeKind::kEdge:
+        case NodeKind::kColor:
+        case NodeKind::kEquals:
+        case NodeKind::kDistLeq:
+          return true;
+        default:
+          return false;
+      }
+    case NodeKind::kAnd:
+    case NodeKind::kOr:
+      return IsNnf(f->child1) && IsNnf(f->child2);
+    case NodeKind::kExists:
+    case NodeKind::kForall:
+      return IsNnf(f->child1);
+    default:
+      return true;
+  }
+}
+
+TEST(Nnf, PushesNegationsToAtoms) {
+  const char* inputs[] = {
+      "!(E(x, y) & C0(x))",
+      "!(!(E(x, y)) | x = y)",
+      "!(exists z. E(x, z) & E(z, y))",
+      "!(forall z. dist(x, z) <= 2 | C0(z))",
+      "!(!(!(C0(x))))",
+  };
+  for (const char* input : inputs) {
+    const ParseResult r = ParseFormula(input);
+    ASSERT_TRUE(r.ok) << input;
+    const FormulaPtr nnf = ToNnf(r.query.formula);
+    EXPECT_TRUE(IsNnf(nnf)) << input;
+  }
+}
+
+TEST(Nnf, DualizesQuantifiers) {
+  const ParseResult r = ParseFormula("!(exists z. E(x, z))");
+  ASSERT_TRUE(r.ok);
+  const FormulaPtr nnf = ToNnf(r.query.formula);
+  EXPECT_EQ(nnf->kind, NodeKind::kForall);
+  EXPECT_EQ(nnf->child1->kind, NodeKind::kNot);
+}
+
+class NnfSemanticsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(NnfSemanticsTest, PreservesSemantics) {
+  Rng rng(GetParam());
+  const ColoredGraph g = gen::ErdosRenyi(12, 2.0, {2, 0.4}, &rng);
+  NaiveEvaluator eval(g);
+  const char* inputs[] = {
+      "!(E(x, y) & (exists z. E(y, z) & !(C0(z))))",
+      "!(forall z. dist(x, z) <= 1 | !(dist(y, z) <= 1))",
+      "!(x = y | !(E(x, y)))",
+  };
+  for (const char* input : inputs) {
+    const ParseResult r = ParseFormula(input);
+    ASSERT_TRUE(r.ok) << input;
+    Query nnf_query = r.query;
+    nnf_query.formula = ToNnf(r.query.formula);
+    for (Vertex a = 0; a < g.NumVertices(); ++a) {
+      for (Vertex b = 0; b < g.NumVertices(); ++b) {
+        EXPECT_EQ(eval.TestTuple(r.query, {a, b}),
+                  eval.TestTuple(nnf_query, {a, b}))
+            << input << " (" << a << "," << b << ")";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NnfSemanticsTest, ::testing::Range(0, 4));
+
+TEST(FormulaSize, CountsNodes) {
+  EXPECT_EQ(FormulaSize(Edge(0, 1)), 1);
+  EXPECT_EQ(FormulaSize(Not(Edge(0, 1))), 2);
+  EXPECT_EQ(FormulaSize(And(Edge(0, 1), Color(0, 1))), 3);
+  EXPECT_EQ(FormulaSize(Exists(2, And(Edge(0, 2), Edge(2, 1)))), 4);
+}
+
+TEST(Nnf, IdempotentOnNnfInput) {
+  const ParseResult r = ParseFormula("!(E(x,y)) & (C0(x) | !(C1(y)))");
+  ASSERT_TRUE(r.ok);
+  const FormulaPtr once = ToNnf(r.query.formula);
+  const FormulaPtr twice = ToNnf(once);
+  EXPECT_TRUE(StructurallyEqual(once, twice));
+}
+
+}  // namespace
+}  // namespace fo
+}  // namespace nwd

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/lex.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace nwd {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int differences = 0;
+  for (int i = 0; i < 16; ++i) {
+    if (a.NextU64() != b.NextU64()) ++differences;
+  }
+  EXPECT_GT(differences, 0);
+}
+
+TEST(Rng, BoundedStaysInRange) {
+  Rng rng(7);
+  for (uint64_t bound : {1ull, 2ull, 3ull, 17ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, BoundedCoversRange) {
+  Rng rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.NextBounded(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, NextIntInclusive) {
+  Rng rng(3);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const int64_t v = rng.NextInt(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Lex, CompareBasics) {
+  EXPECT_EQ(LexCompare({1, 2}, {1, 2}), 0);
+  EXPECT_LT(LexCompare({1, 2}, {1, 3}), 0);
+  EXPECT_GT(LexCompare({2, 0}, {1, 9}), 0);
+  EXPECT_LT(LexCompare({0, 9, 9}, {1, 0, 0}), 0);
+}
+
+TEST(Lex, IncrementEnumeratesAllTuples) {
+  Tuple t = LexMin(3);
+  int count = 1;
+  std::set<Tuple> seen{t};
+  while (LexIncrement(&t, 3)) {
+    ++count;
+    EXPECT_TRUE(seen.insert(t).second) << "duplicate tuple";
+  }
+  EXPECT_EQ(count, 27);
+  EXPECT_EQ(t, (Tuple{2, 2, 2}));
+}
+
+TEST(Lex, IncrementCarries) {
+  Tuple t{0, 4};
+  ASSERT_TRUE(LexIncrement(&t, 5));
+  EXPECT_EQ(t, (Tuple{1, 0}));
+}
+
+TEST(Lex, IncrementAtMaxFails) {
+  Tuple t = LexMax(2, 4);
+  EXPECT_FALSE(LexIncrement(&t, 4));
+}
+
+TEST(Lex, MinMax) {
+  EXPECT_EQ(LexMin(2), (Tuple{0, 0}));
+  EXPECT_EQ(LexMax(2, 7), (Tuple{6, 6}));
+}
+
+TEST(Timer, ElapsedIsNonNegativeAndMonotonic) {
+  Timer timer;
+  const int64_t first = timer.ElapsedNanos();
+  EXPECT_GE(first, 0);
+  volatile int64_t sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  EXPECT_GE(timer.ElapsedNanos(), first);
+  EXPECT_GE(timer.ElapsedSeconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace nwd
