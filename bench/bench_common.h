@@ -26,6 +26,7 @@ enum GraphKind : int {
   kSubdividedClique = 4,
   kErdosRenyi = 5,  // dense contrast
   kClique = 6,      // anti-sparse extreme
+  kForest = 7,      // multi-tree forest (the parallel-preprocessing sweep)
 };
 
 inline const char* GraphKindName(int kind) {
@@ -37,6 +38,7 @@ inline const char* GraphKindName(int kind) {
     case kSubdividedClique: return "subdiv";
     case kErdosRenyi: return "erdos";
     case kClique: return "clique";
+    case kForest: return "forest";
     default: return "?";
   }
 }
@@ -62,6 +64,8 @@ inline ColoredGraph MakeGraph(int kind, int64_t n, uint64_t seed = 12345) {
                                    &rng);
     case kErdosRenyi:
       return gen::ErdosRenyi(n, 16.0, colors, &rng);
+    case kForest:
+      return gen::RandomForest(n, 16, colors, &rng);
     default:
       return gen::Clique(n, colors, &rng);
   }

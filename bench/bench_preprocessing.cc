@@ -2,6 +2,11 @@
 // pseudo-linear. Sweep n per graph class and query; the reported time
 // should grow ~linearly in ||G|| on the nowhere dense classes (fit the
 // exponent offline from the n-sweep; EXPERIMENTS.md records it).
+//
+// BM_EnginePreprocessThreads additionally sweeps
+// EngineOptions::num_threads on the n=2^16 forest workload and reports
+// the per-phase wall times (cover/kernels/skips/extendable), giving the
+// preprocessing speedup curve of the parallel engine.
 
 #include <benchmark/benchmark.h>
 
@@ -56,6 +61,48 @@ BENCHMARK(BM_EnginePreprocess)
     ->Apply(PreprocessArgs)
     ->Unit(benchmark::kMillisecond)
     ->MeasureProcessCPUTime()
+    ->Iterations(1);
+
+// The speedup curve: identical work at every thread count (results are
+// bit-identical by the parallel_engine_test property), so wall time is
+// the only thing that moves. Real time, not CPU time — the whole point
+// is spending more cores per wall second.
+void BM_EnginePreprocessThreads(benchmark::State& state) {
+  const int num_threads = static_cast<int>(state.range(0));
+  const int query_id = static_cast<int>(state.range(1));
+  const int64_t n = int64_t{1} << 16;
+  const ColoredGraph g = bench::MakeGraph(bench::kForest, n);
+  // Query 0 builds a single candidate list (skip construction stays
+  // serial); query 1's color literals produce several lists, so the skip
+  // phase fans out too.
+  const fo::Query query =
+      query_id == 0 ? fo::DistanceQuery(2) : fo::ColoredPairQuery(0, 1, 3);
+  EngineOptions options;
+  options.num_threads = num_threads;
+  EnumerationEngine::Stats stats;
+  for (auto _ : state) {
+    const EnumerationEngine engine(g, query, options);
+    benchmark::DoNotOptimize(&engine);
+    stats = engine.stats();
+  }
+  state.counters["threads"] = static_cast<double>(num_threads);
+  state.counters["cover_ms"] = stats.cover_ms;
+  state.counters["kernels_ms"] = stats.kernels_ms;
+  state.counters["skips_ms"] = stats.skips_ms;
+  state.counters["extendable_ms"] = stats.extendable_ms;
+  state.SetLabel(bench::GraphKindName(bench::kForest));
+}
+
+void PreprocessThreadArgs(benchmark::internal::Benchmark* b) {
+  for (int query = 0; query < 2; ++query) {
+    for (int threads : {1, 2, 4, 8}) b->Args({threads, query});
+  }
+}
+
+BENCHMARK(BM_EnginePreprocessThreads)
+    ->Apply(PreprocessThreadArgs)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
     ->Iterations(1);
 
 }  // namespace

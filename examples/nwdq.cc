@@ -44,6 +44,23 @@ bool ParseTuple(const char* text, int arity, nwd::Tuple* out) {
   return static_cast<int>(out->size()) == arity;
 }
 
+// The engine contract requires probe components in [0, n); report bad
+// user input as an error instead of tripping the engine's NWD_CHECK.
+bool TupleInRange(const nwd::Tuple& t, int64_t num_vertices,
+                  const char* flag) {
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (t[i] < 0 || t[i] >= num_vertices) {
+      std::fprintf(stderr,
+                   "error: %s tuple component %zu is %lld, outside the "
+                   "graph's vertex range [0, %lld)\n",
+                   flag, i, static_cast<long long>(t[i]),
+                   static_cast<long long>(num_vertices));
+      return false;
+    }
+  }
+  return true;
+}
+
 void PrintTuple(const nwd::Tuple& t) {
   std::printf("(");
   for (size_t i = 0; i < t.size(); ++i) {
@@ -134,6 +151,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "bad --test tuple\n");
       return 1;
     }
+    if (!TupleInRange(t, graph.graph.NumVertices(), "--test")) return 1;
     std::printf("test ");
     PrintTuple(t);
     std::printf(" = %s\n", engine.Test(t) ? "solution" : "not a solution");
@@ -145,6 +163,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "bad --next tuple\n");
       return 1;
     }
+    if (!TupleInRange(t, graph.graph.NumVertices(), "--next")) return 1;
     const auto next = engine.Next(t);
     std::printf("next ");
     PrintTuple(t);

@@ -1,6 +1,7 @@
 #include "cover/kernel.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "util/check.h"
 
@@ -89,6 +90,32 @@ std::vector<std::vector<Vertex>> ComputeAllKernels(
   for (int64_t bag = 0; bag < cover.NumBags(); ++bag) {
     kernels.push_back(computer.Kernel(g, cover.Bag(bag), p));
   }
+  return kernels;
+}
+
+std::vector<std::vector<Vertex>> ComputeAllKernels(
+    const ColoredGraph& g, const NeighborhoodCover& cover, int p,
+    ThreadPool* pool) {
+  if (pool == nullptr || pool->num_threads() == 1) {
+    return ComputeAllKernels(g, cover, p);
+  }
+  const int64_t num_bags = cover.NumBags();
+  std::vector<std::vector<Vertex>> kernels(static_cast<size_t>(num_bags));
+  // One O(n) scratch per worker, created lazily so idle workers cost
+  // nothing; per-bag results are independent, so each worker writes only
+  // its claimed slots.
+  std::vector<std::unique_ptr<KernelComputer>> scratch(
+      static_cast<size_t>(pool->num_threads()));
+  pool->ParallelFor(0, num_bags, /*grain=*/1,
+                    [&](int64_t bag, int worker) {
+                      auto& computer = scratch[static_cast<size_t>(worker)];
+                      if (computer == nullptr) {
+                        computer =
+                            std::make_unique<KernelComputer>(g.NumVertices());
+                      }
+                      kernels[static_cast<size_t>(bag)] =
+                          computer->Kernel(g, cover.Bag(bag), p);
+                    });
   return kernels;
 }
 

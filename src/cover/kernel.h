@@ -13,6 +13,7 @@
 
 #include "cover/neighborhood_cover.h"
 #include "graph/colored_graph.h"
+#include "util/thread_pool.h"
 
 namespace nwd {
 
@@ -24,6 +25,13 @@ std::vector<Vertex> ComputeKernel(const ColoredGraph& g,
 // All kernels of a cover at once (shares scratch buffers across bags).
 std::vector<std::vector<Vertex>> ComputeAllKernels(
     const ColoredGraph& g, const NeighborhoodCover& cover, int p);
+
+// Parallel variant: bags are independent per-bag BFS runs, so they shard
+// over `pool` with one scratch buffer per worker. Output is identical to
+// the serial variant (slot `bag` holds K_p of `cover.Bag(bag)`).
+std::vector<std::vector<Vertex>> ComputeAllKernels(
+    const ColoredGraph& g, const NeighborhoodCover& cover, int p,
+    ThreadPool* pool);
 
 }  // namespace nwd
 

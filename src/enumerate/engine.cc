@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <map>
+#include <utility>
 
 #include "baseline/naive_enum.h"
 #include "cover/kernel.h"
 #include "enumerate/sentences.h"
 #include "fo/analysis.h"
 #include "util/check.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
 
 namespace nwd {
 
@@ -86,11 +89,24 @@ void EnumerationEngine::PrepareLnfMode() {
   const int r = static_cast<int>(lnf_.radius);
   const int64_t n = graph_->NumVertices();
 
+  // Preprocessing is where Theorem 2.3's f(q,eps)*n^{1+eps} cost lives, and
+  // its heavy stages — per-bag kernel BFS, candidate-list color scans,
+  // per-list skip pointers, per-base-vertex extendable descents — are all
+  // independent work items. They shard over this pool; every stage collects
+  // its results in index order, so the built engine is bit-identical to the
+  // num_threads == 1 path.
+  ThreadPool pool(options_.num_threads);
+  Timer phase_timer;
+
   strategy_ = MakeAutoStrategy(*graph_);
-  bfs_ = std::make_unique<BfsScratch>(n);
   cover_ = std::make_unique<NeighborhoodCover>(
       NeighborhoodCover::Build(*graph_, k * r));
-  kernels_ = ComputeAllKernels(*graph_, *cover_, r);
+  stats_.cover_ms = phase_timer.ElapsedSeconds() * 1e3;
+
+  phase_timer.Restart();
+  kernels_ = ComputeAllKernels(*graph_, *cover_, r, &pool);
+  stats_.kernels_ms = phase_timer.ElapsedSeconds() * 1e3;
+
   oracle_ = std::make_unique<DistanceOracle>(*graph_, r, *strategy_,
                                              options_.oracle);
   stats_.cover_bags = cover_->NumBags();
@@ -99,8 +115,13 @@ void EnumerationEngine::PrepareLnfMode() {
   stats_.preprocessing_edge_work = cover_->TotalBagSize();
 
   // Candidate lists, deduplicated by unary-literal signature across cases
-  // and positions (Step 12's L sets).
+  // and positions (Step 12's L sets). Three sub-phases: collect the
+  // distinct signatures (serial — order defines list indices), materialize
+  // each list by a color scan sharded over vertex ranges, then fan the
+  // independent skip-pointer constructions out across lists.
+  phase_timer.Restart();
   std::map<std::vector<std::pair<int, bool>>, int> signature_to_list;
+  std::vector<std::vector<std::pair<int, bool>>> signatures;
   const int skip_set_size = std::max(1, k - 1);
   case_data_.resize(lnf_.cases.size());
   for (size_t ci = 0; ci < lnf_.cases.size(); ++ci) {
@@ -118,44 +139,93 @@ void EnumerationEngine::PrepareLnfMode() {
       signature.erase(std::unique(signature.begin(), signature.end()),
                       signature.end());
       const auto [it, inserted] = signature_to_list.try_emplace(
-          signature, static_cast<int>(lists_.size()));
-      if (inserted) {
-        std::vector<Vertex> list;
-        for (Vertex v = 0; v < n; ++v) {
-          bool ok = true;
-          for (const auto& [color, positive] : signature) {
-            if (graph_->HasColor(v, color) != positive) {
-              ok = false;
-              break;
-            }
-          }
-          if (ok) list.push_back(v);
-        }
-        skips_.push_back(std::make_unique<SkipPointers>(n, kernels_, list,
-                                                        skip_set_size));
-        stats_.skip_entries += skips_.back()->TotalEntries();
-        lists_.push_back(std::move(list));
-      }
+          signature, static_cast<int>(signatures.size()));
+      if (inserted) signatures.push_back(std::move(signature));
       data.list_index[pos] = it->second;
     }
   }
 
+  lists_.resize(signatures.size());
+  const int64_t chunk =
+      std::max<int64_t>(1024, n / (8 * pool.num_threads()));
+  const int64_t num_chunks = (n + chunk - 1) / chunk;
+  for (size_t li = 0; li < signatures.size(); ++li) {
+    const std::vector<std::pair<int, bool>>& signature = signatures[li];
+    std::vector<std::vector<Vertex>> parts(static_cast<size_t>(num_chunks));
+    pool.ParallelFor(0, num_chunks, /*grain=*/1, [&](int64_t part, int) {
+      const Vertex lo = static_cast<Vertex>(part * chunk);
+      const Vertex hi = std::min<Vertex>(n, lo + chunk);
+      std::vector<Vertex>& out = parts[static_cast<size_t>(part)];
+      for (Vertex v = lo; v < hi; ++v) {
+        bool ok = true;
+        for (const auto& [color, positive] : signature) {
+          if (graph_->HasColor(v, color) != positive) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok) out.push_back(v);
+      }
+    });
+    size_t total = 0;
+    for (const auto& part : parts) total += part.size();
+    std::vector<Vertex>& list = lists_[li];
+    list.reserve(total);
+    for (const auto& part : parts) {
+      list.insert(list.end(), part.begin(), part.end());
+    }
+  }
+
+  skips_.resize(lists_.size());
+  pool.ParallelFor(0, static_cast<int64_t>(lists_.size()), /*grain=*/1,
+                   [&](int64_t li, int) {
+                     skips_[static_cast<size_t>(li)] =
+                         std::make_unique<SkipPointers>(
+                             n, kernels_, lists_[static_cast<size_t>(li)],
+                             skip_set_size);
+                   });
+  for (const auto& skip : skips_) stats_.skip_entries += skip->TotalEntries();
+  stats_.skips_ms = phase_timer.ElapsedSeconds() * 1e3;
+
   // Materialize the extendable first coordinates per case (the Unary
   // Theorem stand-in): position 0 is always the minimum of its component,
-  // so its base list exists; keep only values with a full completion.
+  // so its base list exists; keep only values with a full completion. Each
+  // descent is read-only on the shared structures, so base vertices shard
+  // over the pool with one ProbeContext per worker; the keep/drop flags
+  // land in index order.
+  phase_timer.Restart();
+  std::vector<std::unique_ptr<ProbeContext>> contexts(
+      static_cast<size_t>(pool.num_threads()));
   const Tuple dummy_from = LexMin(k);
   for (size_t ci = 0; ci < lnf_.cases.size(); ++ci) {
     CaseData& data = case_data_[ci];
     const std::vector<Vertex>& base =
         lists_[static_cast<size_t>(data.list_index[0])];
-    Tuple assignment(static_cast<size_t>(k), 0);
-    for (Vertex a : base) {
-      assignment[0] = a;
-      if (Descend(ci, 1, dummy_from, /*tight=*/false, &assignment)) {
-        data.extendable0.push_back(a);
-      }
+    std::vector<uint8_t> extendable(base.size(), 0);
+    pool.ParallelFor(
+        0, static_cast<int64_t>(base.size()), /*grain=*/64,
+        [&](int64_t i, int worker) {
+          auto& ctx = contexts[static_cast<size_t>(worker)];
+          if (ctx == nullptr) ctx = std::make_unique<ProbeContext>(n);
+          ctx->ResetBallCache();
+          ctx->assignment.assign(static_cast<size_t>(k), 0);
+          ctx->assignment[0] = base[static_cast<size_t>(i)];
+          extendable[static_cast<size_t>(i)] =
+              Descend(ci, 1, dummy_from, /*tight=*/false, &ctx->assignment,
+                      ctx.get())
+                  ? 1
+                  : 0;
+        });
+    for (size_t i = 0; i < base.size(); ++i) {
+      if (extendable[i]) data.extendable0.push_back(base[i]);
     }
   }
+  for (const auto& ctx : contexts) {
+    if (ctx != nullptr) stats_.ball_cache_hits += ctx->ball_cache_hits;
+  }
+  stats_.extendable_ms = phase_timer.ElapsedSeconds() * 1e3;
+
+  probe_ctx_ = std::make_unique<ProbeContext>(n);
 }
 
 bool EnumerationEngine::UnaryOk(const LnfCase& c, int position,
@@ -199,8 +269,8 @@ bool EnumerationEngine::ConsistentWithEarlier(const LnfCase& c, int pos,
 }
 
 std::optional<Vertex> EnumerationEngine::SmallestCandidate(
-    size_t case_index, int pos, const Tuple& assignment,
-    Vertex min_val) const {
+    size_t case_index, int pos, const Tuple& assignment, Vertex min_val,
+    ProbeContext* ctx) const {
   const int64_t n = graph_->NumVertices();
   if (min_val >= n) return std::nullopt;
   if (min_val < 0) min_val = 0;
@@ -225,8 +295,16 @@ std::optional<Vertex> EnumerationEngine::SmallestCandidate(
     // is 2*k*r around a possibly high-degree center.
     const Vertex anchor = assignment[anchor_pos];
     const int radius = static_cast<int>((lnf_.arity - 1) * lnf_.radius);
-    const std::vector<Vertex> ball =
-        bfs_->Neighborhood(*graph_, anchor, radius);
+    // One probe (Next() call / preprocessing descent) re-scans the same
+    // anchor on every backtrack and at every later same-component
+    // position; the radius is fixed, so the ball is cached per anchor.
+    const auto [ball_it, inserted] = ctx->balls.try_emplace(anchor);
+    if (inserted) {
+      ball_it->second = ctx->scratch.Neighborhood(*graph_, anchor, radius);
+    } else {
+      ++ctx->ball_cache_hits;
+    }
+    const std::vector<Vertex>& ball = ball_it->second;
     for (auto it = std::lower_bound(ball.begin(), ball.end(), min_val);
          it != ball.end(); ++it) {
       if (UnaryOk(c, pos, *it) &&
@@ -274,18 +352,19 @@ std::optional<Vertex> EnumerationEngine::SmallestCandidate(
 }
 
 bool EnumerationEngine::Descend(size_t case_index, int pos, const Tuple& from,
-                                bool tight, Tuple* assignment) const {
+                                bool tight, Tuple* assignment,
+                                ProbeContext* ctx) const {
   const int k = lnf_.arity;
   if (pos == k) return true;
   Vertex min_val = tight ? from[static_cast<size_t>(pos)] : 0;
   for (;;) {
     const std::optional<Vertex> cand =
-        SmallestCandidate(case_index, pos, *assignment, min_val);
+        SmallestCandidate(case_index, pos, *assignment, min_val, ctx);
     if (!cand.has_value()) return false;
     (*assignment)[static_cast<size_t>(pos)] = *cand;
     const bool child_tight =
         tight && *cand == from[static_cast<size_t>(pos)];
-    if (Descend(case_index, pos + 1, from, child_tight, assignment)) {
+    if (Descend(case_index, pos + 1, from, child_tight, assignment, ctx)) {
       return true;
     }
     min_val = *cand + 1;
@@ -293,9 +372,10 @@ bool EnumerationEngine::Descend(size_t case_index, int pos, const Tuple& from,
 }
 
 std::optional<Tuple> EnumerationEngine::NextForCase(size_t case_index,
-                                                    const Tuple& from) const {
+                                                    const Tuple& from,
+                                                    ProbeContext* ctx) const {
   Tuple assignment(static_cast<size_t>(lnf_.arity), 0);
-  if (Descend(case_index, 0, from, /*tight=*/true, &assignment)) {
+  if (Descend(case_index, 0, from, /*tight=*/true, &assignment, ctx)) {
     return assignment;
   }
   return std::nullopt;
@@ -314,14 +394,20 @@ std::optional<Tuple> EnumerationEngine::Next(const Tuple& from) const {
     if (it == materialized_.end()) return std::nullopt;
     return *it;
   }
+  // The ball cache spans exactly this call: the same anchors recur across
+  // backtracks and across cases, but later calls see fresh state.
+  ProbeContext* ctx = probe_ctx_.get();
+  ctx->ResetBallCache();
   std::optional<Tuple> best;
   for (size_t ci = 0; ci < lnf_.cases.size(); ++ci) {
-    const std::optional<Tuple> cand = NextForCase(ci, from);
+    const std::optional<Tuple> cand = NextForCase(ci, from, ctx);
     if (cand.has_value() &&
         (!best.has_value() || LexCompare(*cand, *best) < 0)) {
       best = cand;
     }
   }
+  stats_.ball_cache_hits += ctx->ball_cache_hits;
+  ctx->ball_cache_hits = 0;
   return best;
 }
 

@@ -14,6 +14,10 @@
 //     and their skip pointers (Lemma 5.8, Step 13),
 //   * materialize the extendable first coordinates (the Unary Theorem 5.3
 //     stand-in) so enumeration never dead-ends at position 0.
+// The independent prepare stages (kernels, candidate-list scans, skip
+// pointers, extendable descents) shard over a worker pool
+// (EngineOptions::num_threads) with results collected in index order, so
+// the built engine is bit-identical at any thread count.
 //
 // Answer-time:
 //   * Test(tuple): locate the unique matching (tau, i) case — distance-type
@@ -48,6 +52,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "cover/neighborhood_cover.h"
@@ -68,6 +73,13 @@ struct EngineOptions {
   // the full (sorted) solution set — the "naive algorithm" of preprocessing
   // Step 1.
   int64_t naive_cutoff = 48;
+  // Worker threads for the preprocessing phase (kernels, candidate-list
+  // scans, skip pointers, extendable-coordinate materialization): 0 picks
+  // hardware_concurrency, 1 (the default) is the fully serial path. Every
+  // parallel stage collects results in index order, so the built engine —
+  // and therefore every Next/Test/Enumerate answer — is bit-identical
+  // across thread counts. Answering is always single-threaded.
+  int num_threads = 1;
   DistanceOracle::Options oracle;
 };
 
@@ -85,6 +97,15 @@ class EnumerationEngine {
     // Guarded-local unary subformulas materialized as virtual colors (the
     // Unary Theorem 5.3 stand-in widening the fast fragment).
     int64_t local_unaries = 0;
+    // Wall time per preprocessing phase (LNF mode only); the speedup
+    // curves of bench_preprocessing read these.
+    double cover_ms = 0.0;       // cover construction (+ splitter strategy)
+    double kernels_ms = 0.0;     // per-bag r-kernels
+    double skips_ms = 0.0;       // candidate-list scans + skip pointers
+    double extendable_ms = 0.0;  // extendable first-coordinate descents
+    // Case II anchor balls served from the per-probe cache instead of a
+    // fresh BFS (preprocessing descents + answering combined).
+    int64_t ball_cache_hits = 0;
   };
 
   // Performs the full preprocessing phase. Borrows `g`; it must outlive
@@ -123,6 +144,21 @@ class EnumerationEngine {
     std::vector<Vertex> extendable0;
   };
 
+  // Per-thread descent state: a BFS scratch plus the Case II ball cache
+  // (anchor -> its sorted (k-1)*r ball). The cache is valid for one probe
+  // — a single Next() call, or one extendable0 descent during
+  // preprocessing — because within a probe the same anchor is re-scanned
+  // on every backtrack and at every later same-component position.
+  struct ProbeContext {
+    explicit ProbeContext(int64_t num_vertices) : scratch(num_vertices) {}
+    void ResetBallCache() { balls.clear(); }
+
+    BfsScratch scratch;
+    std::unordered_map<Vertex, std::vector<Vertex>> balls;
+    int64_t ball_cache_hits = 0;  // drained into stats_ by the owner
+    Tuple assignment;             // reusable descent buffer
+  };
+
   void PrepareLnfMode();
 
   // Whether vertex v satisfies the unary literals of `position` in `c`.
@@ -133,17 +169,21 @@ class EnumerationEngine {
                              const Tuple& assignment) const;
 
   // Smallest valid candidate >= min_val for position `pos`, given the
-  // earlier assignment. `case_index` selects the case.
+  // earlier assignment. `case_index` selects the case; `ctx` supplies the
+  // caller's BFS scratch and ball cache (one per thread in the parallel
+  // preprocessing phase).
   std::optional<Vertex> SmallestCandidate(size_t case_index, int pos,
                                           const Tuple& assignment,
-                                          Vertex min_val) const;
+                                          Vertex min_val,
+                                          ProbeContext* ctx) const;
 
   // Lexicographic descent: complete `assignment` from position `pos` with
   // the suffix >= from's when `tight`.
   bool Descend(size_t case_index, int pos, const Tuple& from, bool tight,
-               Tuple* assignment) const;
+               Tuple* assignment, ProbeContext* ctx) const;
 
-  std::optional<Tuple> NextForCase(size_t case_index, const Tuple& from) const;
+  std::optional<Tuple> NextForCase(size_t case_index, const Tuple& from,
+                                   ProbeContext* ctx) const;
 
   const ColoredGraph* graph_;
   // When guarded-local unaries are materialized, the engine operates on
@@ -152,7 +192,9 @@ class EnumerationEngine {
   fo::Query query_;
   EngineOptions options_;
   Lnf lnf_;
-  Stats stats_;
+  // Mutable so the (logically const, single-threaded) answering path can
+  // account ball-cache hits.
+  mutable Stats stats_;
 
   // Fallback mode: the sorted solution set.
   std::vector<Tuple> materialized_;
@@ -167,9 +209,10 @@ class EnumerationEngine {
   std::vector<std::vector<Vertex>> lists_;
   std::vector<std::unique_ptr<SkipPointers>> skips_;
   std::vector<CaseData> case_data_;
-  // Scratch for the anchored-candidate ball scans (answer-time only;
-  // makes Next() non-reentrant but keeps it allocation-free).
-  mutable std::unique_ptr<BfsScratch> bfs_;
+  // Probe state for the answer-time anchored-candidate ball scans (makes
+  // Next() non-reentrant but keeps it allocation-light; preprocessing uses
+  // its own per-thread contexts).
+  mutable std::unique_ptr<ProbeContext> probe_ctx_;
 };
 
 }  // namespace nwd

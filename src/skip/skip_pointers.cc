@@ -56,6 +56,18 @@ SkipPointers::SkipPointers(int64_t num_vertices,
         }
       }
     }
+    // Resolve() chases the maximal stored subset; keeping entries sorted
+    // by descending set size lets it stop at the first subset match
+    // instead of scanning all of SC(b). Ties break lexicographically so
+    // the layout (and every downstream scan) is deterministic. Entries of
+    // vertices > b are already sorted when Resolve() consults them above.
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry& a, const Entry& b) {
+                if (a.bags.size() != b.bags.size()) {
+                  return a.bags.size() > b.bags.size();
+                }
+                return a.bags < b.bags;
+              });
     total_entries_ += static_cast<int64_t>(entries.size());
   }
 }
@@ -86,15 +98,32 @@ Vertex SkipPointers::Resolve(Vertex b, const std::vector<int64_t>& bags) const {
   if (!InAnyKernel(c, bags)) return c;
 
   // c is blocked by some kernel of `bags`, so SC(c) contains at least the
-  // singleton of that kernel; chase the maximal stored subset.
+  // singleton of that kernel; chase the maximal stored subset. Entries are
+  // sorted by descending set size, so the first subset match is a
+  // maximum-size (hence inclusion-maximal) stored subset and the scan
+  // stops there.
+  const std::vector<Entry>& entries = sc_[c];
   const Entry* best = nullptr;
-  for (const Entry& entry : sc_[c]) {
-    if (!std::includes(bags.begin(), bags.end(), entry.bags.begin(),
-                       entry.bags.end())) {
-      continue;
-    }
-    if (best == nullptr || entry.bags.size() > best->bags.size()) {
-      best = &entry;
+  for (size_t e = 0; e < entries.size(); ++e) {
+    if (std::includes(bags.begin(), bags.end(), entries[e].bags.begin(),
+                      entries[e].bags.end())) {
+      best = &entries[e];
+#if !defined(NDEBUG)
+      // Claim 5.10's closure invariant: if SKIP(c, S') landed in a kernel
+      // of some X in S \ S', the grow step would have stored S' + {X}, so
+      // every inclusion-maximal stored subset of `bags` yields the same
+      // skip target. Cross-check the remaining same-size subsets.
+      for (size_t f = e + 1;
+           f < entries.size() && entries[f].bags.size() == best->bags.size();
+           ++f) {
+        if (std::includes(bags.begin(), bags.end(), entries[f].bags.begin(),
+                          entries[f].bags.end())) {
+          NWD_DCHECK(entries[f].skip == best->skip)
+              << "maximal stored subsets disagree at vertex " << c;
+        }
+      }
+#endif
+      break;
     }
   }
   NWD_CHECK(best != nullptr)

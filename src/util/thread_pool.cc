@@ -1,0 +1,89 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace nwd {
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads <= 0) {
+    num_threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (num_threads <= 0) num_threads = 1;
+  }
+  num_threads_ = num_threads;
+  threads_.reserve(static_cast<size_t>(num_threads_ - 1));
+  for (int w = 1; w < num_threads_; ++w) {
+    threads_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::RunChunks(Job* job, int worker) {
+  for (;;) {
+    const int64_t start =
+        job->next.fetch_add(job->grain, std::memory_order_relaxed);
+    if (start >= job->end) break;
+    const int64_t stop = std::min(job->end, start + job->grain);
+    for (int64_t i = start; i < stop; ++i) (*job->fn)(i, worker);
+  }
+}
+
+void ThreadPool::WorkerLoop(int worker) {
+  uint64_t seen = 0;
+  for (;;) {
+    Job* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock,
+                    [this, seen] { return shutdown_ || generation_ != seen; });
+      if (shutdown_) return;
+      seen = generation_;
+      job = job_;
+    }
+    RunChunks(job, worker);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--workers_active_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                             const std::function<void(int64_t, int)>& fn) {
+  NWD_CHECK_GE(grain, 1);
+  if (end <= begin) return;
+  if (num_threads_ == 1 || end - begin <= grain) {
+    for (int64_t i = begin; i < end; ++i) fn(i, 0);
+    return;
+  }
+  Job job;
+  job.end = end;
+  job.grain = grain;
+  job.fn = &fn;
+  job.next.store(begin, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    NWD_CHECK(job_ == nullptr) << "ParallelFor is not reentrant";
+    job_ = &job;
+    workers_active_ = num_threads_ - 1;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  RunChunks(&job, /*worker=*/0);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [this] { return workers_active_ == 0; });
+    job_ = nullptr;
+  }
+}
+
+}  // namespace nwd
