@@ -1,0 +1,127 @@
+// Experiment E12 — budgeted preprocessing with graceful degradation.
+// Theorem 2.3's preprocessing is pseudo-linear only on nowhere dense
+// inputs; on dense graphs Lemma 5.8's skip construction blows up. The
+// sweep measures (a) where a wall-clock budget lands the trip per graph
+// class, (b) the total build time of the degraded path versus the budget
+// (the degradation overhead must be bounded), and (c) that degraded
+// Test probes stay usable.
+//
+// BM_BudgetedPreprocess sweeps graph class x budget; BM_EdgeWorkTrip
+// sweeps the deterministic edge-work cap so the trip stage is
+// reproducible (wall-clock trips move with machine load).
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "bench/bench_common.h"
+#include "enumerate/engine.h"
+#include "fo/builders.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace nwd {
+namespace {
+
+// Stage names indexed for the `trip_stage` counter; 0 = no trip.
+double StageIndex(const std::string& stage) {
+  const char* stages[] = {"engine/density", "engine/cover", "engine/kernels",
+                          "engine/oracle",  "engine/lists", "engine/skips",
+                          "engine/extendable"};
+  for (size_t i = 0; i < sizeof(stages) / sizeof(stages[0]); ++i) {
+    if (stage == stages[i]) return static_cast<double>(i + 1);
+  }
+  return 0.0;
+}
+
+void BM_BudgetedPreprocess(benchmark::State& state) {
+  const int kind = static_cast<int>(state.range(0));
+  const int64_t n = state.range(1);
+  const int64_t budget_ms = state.range(2);
+  const ColoredGraph g = bench::MakeGraph(kind, n);
+  const fo::Query query = fo::DistanceQuery(2);
+  EngineOptions options;
+  options.budget.deadline_ms = budget_ms;  // 0 = unlimited
+  EnumerationEngine::Stats stats;
+  double build_ms = 0.0;
+  double probe_us = 0.0;
+  for (auto _ : state) {
+    Timer build;
+    const EnumerationEngine engine(g, query, options);
+    build_ms = build.ElapsedSeconds() * 1e3;
+    stats = engine.stats();
+    // A handful of degraded-or-not Test probes: the engine must stay
+    // answerable either way.
+    Rng rng(7);
+    Timer probes;
+    constexpr int kProbes = 32;
+    for (int i = 0; i < kProbes; ++i) {
+      const Tuple t{static_cast<Vertex>(rng.NextBounded(n)),
+                    static_cast<Vertex>(rng.NextBounded(n))};
+      benchmark::DoNotOptimize(engine.Test(t));
+    }
+    probe_us = probes.ElapsedSeconds() * 1e6 / kProbes;
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["budget_ms"] = static_cast<double>(budget_ms);
+  state.counters["build_ms"] = build_ms;
+  state.counters["degraded"] = stats.degraded ? 1.0 : 0.0;
+  state.counters["trip_stage"] = StageIndex(stats.tripped_stage);
+  state.counters["edge_work"] = static_cast<double>(stats.budget_edge_work);
+  state.counters["test_us"] = probe_us;
+  state.SetLabel(std::string(bench::GraphKindName(kind)) +
+                 (stats.degraded ? "/" + stats.tripped_stage : "/full"));
+}
+
+void BudgetArgs(benchmark::internal::Benchmark* b) {
+  for (int kind : {bench::kForest, bench::kErdosRenyi, bench::kClique}) {
+    const int64_t n = kind == bench::kClique ? 1 << 11 : 1 << 14;
+    for (int64_t budget_ms : {0, 400, 100, 25}) b->Args({kind, n, budget_ms});
+  }
+}
+
+BENCHMARK(BM_BudgetedPreprocess)
+    ->Apply(BudgetArgs)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->Iterations(1);
+
+// Deterministic trips: the edge-work cap is machine-independent, so the
+// stage the trip lands in is a stable function of (graph, cap).
+void BM_EdgeWorkTrip(benchmark::State& state) {
+  const int64_t cap = state.range(0);
+  const int64_t n = 1 << 13;
+  const ColoredGraph g = bench::MakeGraph(bench::kErdosRenyi, n);
+  const fo::Query query = fo::DistanceQuery(2);
+  EngineOptions options;
+  options.budget.max_edge_work = cap;
+  EnumerationEngine::Stats stats;
+  double build_ms = 0.0;
+  for (auto _ : state) {
+    Timer build;
+    const EnumerationEngine engine(g, query, options);
+    build_ms = build.ElapsedSeconds() * 1e3;
+    stats = engine.stats();
+  }
+  state.counters["cap"] = static_cast<double>(cap);
+  state.counters["build_ms"] = build_ms;
+  state.counters["degraded"] = stats.degraded ? 1.0 : 0.0;
+  state.counters["trip_stage"] = StageIndex(stats.tripped_stage);
+  state.counters["edge_work"] = static_cast<double>(stats.budget_edge_work);
+  state.SetLabel(stats.degraded ? stats.tripped_stage : "full");
+}
+
+BENCHMARK(BM_EdgeWorkTrip)
+    ->Arg(1 << 10)
+    ->Arg(1 << 14)
+    ->Arg(1 << 18)
+    ->Arg(1 << 22)
+    ->Arg(int64_t{1} << 30)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace nwd
+
+BENCHMARK_MAIN();

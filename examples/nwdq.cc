@@ -3,16 +3,26 @@
 // Usage:
 //   nwdq <graph-file> '<query>' [--limit N] [--count] [--test a,b,...]
 //        [--next a,b,...] [--explain] [--color Name=idx]...
+//        [--budget-ms N] [--max-edge-work N] [--max-avg-degree X]
 //
 // Examples:
 //   nwdq city.g '(x, y) := dist(x, y) <= 4 & C0(y)' --limit 10
 //   nwdq net.g  '(x, y) := Blue(y) & dist(x,y) > 2' --color Blue=0 --count
 //   nwdq net.g  '(x, y) := E(x, y)' --test 3,7
+//   nwdq web.g  '(x, y) := E(x, y)' --budget-ms 100   # degrade, don't hang
 //
 // Demonstrates downstream-tool usage of the full public API: graph I/O,
-// the parser, the engine, counting, testing, next-solution and
-// constant-delay enumeration.
+// the parser, the engine (including budgeted preprocessing with graceful
+// degradation), counting, testing, next-solution and constant-delay
+// enumeration.
+//
+// Error contract: exit 0 on success (including degraded runs — answers
+// stay correct), 1 on bad data (unreadable/malformed graph, bad query,
+// out-of-range tuples), 2 on usage errors (unknown or malformed flags).
+// Every failure prints a one-line diagnostic to stderr; no input aborts
+// the process.
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -24,12 +34,42 @@
 #include "enumerate/engine.h"
 #include "enumerate/lnf.h"
 #include "enumerate/enumerator.h"
+#include "fo/analysis.h"
 #include "fo/parser.h"
 #include "fo/printer.h"
 #include "graph/io.h"
 #include "util/timer.h"
 
 namespace {
+
+// Strict numeric flag parsing: the whole argument must be one number
+// (atoll-style silent truncation turns "--limit 1x0" into 1).
+bool ParseInt64Flag(const char* flag, const char* text, int64_t min_value,
+                    int64_t* out) {
+  char* end = nullptr;
+  errno = 0;
+  const long long value = std::strtoll(text, &end, 10);
+  if (end == text || *end != '\0' || errno == ERANGE || value < min_value) {
+    std::fprintf(stderr, "error: %s expects an integer >= %lld, got '%s'\n",
+                 flag, static_cast<long long>(min_value), text);
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
+bool ParseDoubleFlag(const char* flag, const char* text, double* out) {
+  char* end = nullptr;
+  errno = 0;
+  const double value = std::strtod(text, &end);
+  if (end == text || *end != '\0' || errno == ERANGE || value < 0.0) {
+    std::fprintf(stderr, "error: %s expects a number >= 0, got '%s'\n", flag,
+                 text);
+    return false;
+  }
+  *out = value;
+  return true;
+}
 
 bool ParseTuple(const char* text, int arity, nwd::Tuple* out) {
   out->clear();
@@ -73,7 +113,9 @@ int Usage() {
   std::fprintf(stderr,
                "usage: nwdq <graph-file> '<query>' [--limit N] [--count]\n"
                "            [--test a,b,..] [--next a,b,..] "
-               "[--color Name=idx]...\n");
+               "[--color Name=idx]...\n"
+               "            [--budget-ms N] [--max-edge-work N] "
+               "[--max-avg-degree X]\n");
   return 2;
 }
 
@@ -90,10 +132,11 @@ int main(int argc, char** argv) {
   const char* test_tuple = nullptr;
   const char* next_tuple = nullptr;
   std::map<std::string, int> color_names;
+  nwd::EngineOptions engine_options;
   for (int i = 3; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--limit" && i + 1 < argc) {
-      limit = std::atoll(argv[++i]);
+      if (!ParseInt64Flag("--limit", argv[++i], 0, &limit)) return 2;
     } else if (arg == "--count") {
       count = true;
     } else if (arg == "--explain") {
@@ -102,12 +145,31 @@ int main(int argc, char** argv) {
       test_tuple = argv[++i];
     } else if (arg == "--next" && i + 1 < argc) {
       next_tuple = argv[++i];
+    } else if (arg == "--budget-ms" && i + 1 < argc) {
+      if (!ParseInt64Flag("--budget-ms", argv[++i], 1,
+                          &engine_options.budget.deadline_ms)) {
+        return 2;
+      }
+    } else if (arg == "--max-edge-work" && i + 1 < argc) {
+      if (!ParseInt64Flag("--max-edge-work", argv[++i], 1,
+                          &engine_options.budget.max_edge_work)) {
+        return 2;
+      }
+    } else if (arg == "--max-avg-degree" && i + 1 < argc) {
+      if (!ParseDoubleFlag("--max-avg-degree", argv[++i],
+                           &engine_options.budget.max_avg_degree)) {
+        return 2;
+      }
     } else if (arg == "--color" && i + 1 < argc) {
       const std::string binding = argv[++i];
       const size_t eq = binding.find('=');
       if (eq == std::string::npos) return Usage();
-      color_names[binding.substr(0, eq)] =
-          std::atoi(binding.c_str() + eq + 1);
+      int64_t color_id = -1;
+      if (!ParseInt64Flag("--color", binding.c_str() + eq + 1, 0,
+                          &color_id)) {
+        return 2;
+      }
+      color_names[binding.substr(0, eq)] = static_cast<int>(color_id);
     } else {
       return Usage();
     }
@@ -132,6 +194,17 @@ int main(int argc, char** argv) {
   }
   std::printf("query: %s\n", nwd::fo::ToString(parsed.query).c_str());
 
+  // The evaluators index colors without range checks; reject a query that
+  // references colors the graph does not carry.
+  const int max_color = nwd::fo::MaxColorId(parsed.query.formula);
+  if (max_color >= graph.graph.NumColors()) {
+    std::fprintf(stderr,
+                 "query error: color C%d out of range (graph has %d "
+                 "colors)\n",
+                 max_color, graph.graph.NumColors());
+    return 1;
+  }
+
   if (explain) {
     const nwd::Lnf lnf = nwd::CompileToLnf(parsed.query);
     std::printf("%s", nwd::DescribeLnf(lnf).c_str());
@@ -139,11 +212,20 @@ int main(int argc, char** argv) {
   }
 
   nwd::Timer prep;
-  const nwd::EnumerationEngine engine(graph.graph, parsed.query);
+  const nwd::EnumerationEngine engine(graph.graph, parsed.query,
+                                      engine_options);
   std::printf("preprocessing: %.3fs (%s)\n", prep.ElapsedSeconds(),
               engine.used_fallback()
                   ? engine.stats().fallback_reason.c_str()
                   : "LNF engine");
+  if (engine.stats().degraded) {
+    std::printf("degraded: stage %s after %.1f ms / %lld work units\n",
+                engine.stats().tripped_stage.empty()
+                    ? "(unattributed)"
+                    : engine.stats().tripped_stage.c_str(),
+                engine.stats().budget_elapsed_ms,
+                static_cast<long long>(engine.stats().budget_edge_work));
+  }
 
   if (test_tuple != nullptr) {
     nwd::Tuple t;

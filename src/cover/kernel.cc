@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "util/budget.h"
 #include "util/check.h"
 
 namespace nwd {
@@ -83,21 +84,26 @@ std::vector<Vertex> ComputeKernel(const ColoredGraph& g,
 }
 
 std::vector<std::vector<Vertex>> ComputeAllKernels(
-    const ColoredGraph& g, const NeighborhoodCover& cover, int p) {
+    const ColoredGraph& g, const NeighborhoodCover& cover, int p,
+    const ResourceBudget* budget) {
   KernelComputer computer(g.NumVertices());
-  std::vector<std::vector<Vertex>> kernels;
-  kernels.reserve(static_cast<size_t>(cover.NumBags()));
+  std::vector<std::vector<Vertex>> kernels(
+      static_cast<size_t>(cover.NumBags()));
   for (int64_t bag = 0; bag < cover.NumBags(); ++bag) {
-    kernels.push_back(computer.Kernel(g, cover.Bag(bag), p));
+    if (budget != nullptr &&
+        !budget->ChargeWork(static_cast<int64_t>(cover.Bag(bag).size()))) {
+      break;
+    }
+    kernels[static_cast<size_t>(bag)] = computer.Kernel(g, cover.Bag(bag), p);
   }
   return kernels;
 }
 
 std::vector<std::vector<Vertex>> ComputeAllKernels(
     const ColoredGraph& g, const NeighborhoodCover& cover, int p,
-    ThreadPool* pool) {
+    ThreadPool* pool, const ResourceBudget* budget) {
   if (pool == nullptr || pool->num_threads() == 1) {
-    return ComputeAllKernels(g, cover, p);
+    return ComputeAllKernels(g, cover, p, budget);
   }
   const int64_t num_bags = cover.NumBags();
   std::vector<std::vector<Vertex>> kernels(static_cast<size_t>(num_bags));
@@ -106,16 +112,22 @@ std::vector<std::vector<Vertex>> ComputeAllKernels(
   // its claimed slots.
   std::vector<std::unique_ptr<KernelComputer>> scratch(
       static_cast<size_t>(pool->num_threads()));
-  pool->ParallelFor(0, num_bags, /*grain=*/1,
-                    [&](int64_t bag, int worker) {
-                      auto& computer = scratch[static_cast<size_t>(worker)];
-                      if (computer == nullptr) {
-                        computer =
-                            std::make_unique<KernelComputer>(g.NumVertices());
-                      }
-                      kernels[static_cast<size_t>(bag)] =
-                          computer->Kernel(g, cover.Bag(bag), p);
-                    });
+  pool->ParallelFor(
+      0, num_bags, /*grain=*/1,
+      [&](int64_t bag, int worker) {
+        if (budget != nullptr &&
+            !budget->ChargeWork(
+                static_cast<int64_t>(cover.Bag(bag).size()))) {
+          return;
+        }
+        auto& computer = scratch[static_cast<size_t>(worker)];
+        if (computer == nullptr) {
+          computer = std::make_unique<KernelComputer>(g.NumVertices());
+        }
+        kernels[static_cast<size_t>(bag)] =
+            computer->Kernel(g, cover.Bag(bag), p);
+      },
+      budget);
   return kernels;
 }
 

@@ -23,15 +23,19 @@ std::vector<Vertex> ComputeKernel(const ColoredGraph& g,
                                   int p);
 
 // All kernels of a cover at once (shares scratch buffers across bags).
+// A non-null `budget` is charged per bag; once it trips, the remaining
+// kernels stay empty and the result must be discarded by the caller.
 std::vector<std::vector<Vertex>> ComputeAllKernels(
-    const ColoredGraph& g, const NeighborhoodCover& cover, int p);
+    const ColoredGraph& g, const NeighborhoodCover& cover, int p,
+    const ResourceBudget* budget = nullptr);
 
 // Parallel variant: bags are independent per-bag BFS runs, so they shard
 // over `pool` with one scratch buffer per worker. Output is identical to
-// the serial variant (slot `bag` holds K_p of `cover.Bag(bag)`).
+// the serial variant (slot `bag` holds K_p of `cover.Bag(bag)`); a budget
+// trip stops dispatching bags (same discard contract as above).
 std::vector<std::vector<Vertex>> ComputeAllKernels(
     const ColoredGraph& g, const NeighborhoodCover& cover, int p,
-    ThreadPool* pool);
+    ThreadPool* pool, const ResourceBudget* budget = nullptr);
 
 }  // namespace nwd
 

@@ -4,12 +4,13 @@
 
 #include "graph/bfs.h"
 #include "graph/stats.h"
+#include "util/budget.h"
 #include "util/check.h"
 
 namespace nwd {
 
-NeighborhoodCover NeighborhoodCover::Build(const ColoredGraph& g,
-                                           int radius) {
+NeighborhoodCover NeighborhoodCover::Build(const ColoredGraph& g, int radius,
+                                           const ResourceBudget* budget) {
   NWD_CHECK_GE(radius, 1);
   const int64_t n = g.NumVertices();
   NeighborhoodCover cover;
@@ -42,9 +43,14 @@ NeighborhoodCover NeighborhoodCover::Build(const ColoredGraph& g,
     NWD_CHECK(!assigned.empty());  // at least `center` itself
     for (Vertex u : members) cover.bags_containing_[u].push_back(bag_id);
     cover.total_bag_size_ += static_cast<int64_t>(members.size());
+    const int64_t bag_size = static_cast<int64_t>(members.size());
     cover.bags_.push_back(std::move(members));
     cover.centers_.push_back(center);
     cover.assigned_vertices_.push_back(std::move(assigned));
+    // On dense inputs every 2r-ball can be Theta(n); the budget caps the
+    // damage. A tripped build returns the partial cover immediately (it
+    // would fail the completeness check below) — callers must discard it.
+    if (budget != nullptr && !budget->ChargeWork(bag_size)) return cover;
   }
 
   for (Vertex v = 0; v < n; ++v) {

@@ -24,10 +24,18 @@
 
 namespace nwd {
 
+class ResourceBudget;
+
 class NeighborhoodCover {
  public:
   // Builds an (radius, 2*radius)-cover of g. radius >= 1.
-  static NeighborhoodCover Build(const ColoredGraph& g, int radius);
+  //
+  // When `budget` is non-null, each opened bag charges its size as edge
+  // work and construction stops as soon as the budget trips; the returned
+  // cover is then INCOMPLETE (some vertices unassigned) and must be
+  // discarded — callers detect this via budget->Exceeded().
+  static NeighborhoodCover Build(const ColoredGraph& g, int radius,
+                                 const ResourceBudget* budget = nullptr);
 
   int radius() const { return radius_; }
   int64_t NumBags() const { return static_cast<int64_t>(bags_.size()); }

@@ -1,6 +1,7 @@
 #include "enumerate/engine.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <map>
 #include <utility>
 
@@ -8,16 +9,22 @@
 #include "cover/kernel.h"
 #include "enumerate/sentences.h"
 #include "fo/analysis.h"
+#include "fo/naive_eval.h"
+#include "graph/stats.h"
 #include "util/check.h"
+#include "util/fault_injection.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace nwd {
 
+EnumerationEngine::~EnumerationEngine() = default;
+
 EnumerationEngine::EnumerationEngine(const ColoredGraph& g,
                                      const fo::Query& query,
                                      EngineOptions options)
-    : graph_(&g), query_(query), options_(options) {
+    : graph_(&g), query_(query), options_(options),
+      budget_(options_.budget) {
   for (size_t i = 0; i < query_.free_vars.size(); ++i) {
     for (size_t j = i + 1; j < query_.free_vars.size(); ++j) {
       NWD_CHECK_NE(query_.free_vars[i], query_.free_vars[j])
@@ -37,6 +44,7 @@ EnumerationEngine::EnumerationEngine(const ColoredGraph& g,
     if (decided.holds) materialized_.push_back({});
     stats_.materialized_solutions =
         static_cast<int64_t>(materialized_.size());
+    FinalizeBudgetStats();
     return;
   }
 
@@ -75,19 +83,95 @@ EnumerationEngine::EnumerationEngine(const ColoredGraph& g,
     } else {
       stats_.fallback_reason = "small graph (preprocessing Step 1)";
     }
-    BacktrackingEnumerator baseline(g, query_);
-    materialized_ = baseline.AllSolutions();
-    stats_.materialized_solutions =
-        static_cast<int64_t>(materialized_.size());
+    if (options_.budget.HasLimits() && n > options_.naive_cutoff) {
+      // Materializing all solutions is itself O(n^k) work a budgeted
+      // caller never signed up for; answer lazily instead.
+      UseLazyBaseline();
+    } else {
+      BacktrackingEnumerator baseline(*graph_, query_);
+      materialized_ = baseline.AllSolutions();
+      stats_.materialized_solutions =
+          static_cast<int64_t>(materialized_.size());
+    }
+    FinalizeBudgetStats();
     return;
   }
-  PrepareLnfMode();
+  if (!PrepareLnfMode()) DegradeAfterTrip();
+  FinalizeBudgetStats();
 }
 
-void EnumerationEngine::PrepareLnfMode() {
+bool EnumerationEngine::StageTripped(const char* stage) {
+  if (NWD_FAULT_POINT(stage)) budget_.Trip(stage, "fault injection");
+  if (!budget_.Exceeded()) return false;
+  budget_.AttributeStage(stage);
+  return true;
+}
+
+void EnumerationEngine::DegradeAfterTrip() {
+  strategy_.reset();
+  cover_.reset();
+  kernels_.clear();
+  kernels_.shrink_to_fit();
+  oracle_.reset();
+  lists_.clear();
+  lists_.shrink_to_fit();
+  skips_.clear();
+  skips_.shrink_to_fit();
+  case_data_.clear();
+  case_data_.shrink_to_fit();
+  probe_ctx_.reset();
+  stats_.fallback = true;
+  stats_.degraded = true;
+  stats_.tripped_stage = budget_.tripped_stage();
+  const std::string reason = budget_.trip_reason();
+  stats_.fallback_reason =
+      "degraded: " + (reason.empty() ? std::string("budget exceeded") : reason);
+  UseLazyBaseline();
+}
+
+void EnumerationEngine::UseLazyBaseline() {
+  stats_.fallback = true;
+  stats_.lazy_fallback = true;
+  lazy_eval_ = std::make_unique<fo::NaiveEvaluator>(*graph_);
+  lazy_next_ = std::make_unique<BacktrackingEnumerator>(*graph_, query_);
+}
+
+void EnumerationEngine::FinalizeBudgetStats() {
+  stats_.budget_edge_work = budget_.work_charged();
+  stats_.budget_peak_alloc_bytes = budget_.peak_alloc_bytes();
+  stats_.budget_elapsed_ms = budget_.ElapsedMs();
+}
+
+bool EnumerationEngine::PrepareLnfMode() {
   const int k = lnf_.arity;
   const int r = static_cast<int>(lnf_.radius);
   const int64_t n = graph_->NumVertices();
+
+  // Density pre-check: the LNF construction is pseudo-linear only on
+  // sparse inputs, and an O(n + m) summary is enough to reject a graph
+  // that is obviously outside that regime before any expensive stage runs.
+  const ResourceBudgetOptions& bopts = options_.budget;
+  if (bopts.max_avg_degree > 0.0 || bopts.max_degeneracy > 0) {
+    const DensitySummary density = SummarizeDensity(*graph_);
+    if (bopts.max_avg_degree > 0.0 &&
+        density.avg_degree > bopts.max_avg_degree) {
+      char reason[96];
+      std::snprintf(reason, sizeof(reason),
+                    "density guard: average degree %.1f > %.1f",
+                    density.avg_degree, bopts.max_avg_degree);
+      budget_.Trip("engine/density", reason);
+      return false;
+    }
+    if (bopts.max_degeneracy > 0 &&
+        density.degeneracy > bopts.max_degeneracy) {
+      budget_.Trip("engine/density",
+                   "density guard: degeneracy " +
+                       std::to_string(density.degeneracy) + " > " +
+                       std::to_string(bopts.max_degeneracy));
+      return false;
+    }
+  }
+  if (StageTripped("engine/density")) return false;
 
   // Preprocessing is where Theorem 2.3's f(q,eps)*n^{1+eps} cost lives, and
   // its heavy stages — per-bag kernel BFS, candidate-list color scans,
@@ -100,15 +184,29 @@ void EnumerationEngine::PrepareLnfMode() {
 
   strategy_ = MakeAutoStrategy(*graph_);
   cover_ = std::make_unique<NeighborhoodCover>(
-      NeighborhoodCover::Build(*graph_, k * r));
+      NeighborhoodCover::Build(*graph_, k * r, &budget_));
   stats_.cover_ms = phase_timer.ElapsedSeconds() * 1e3;
+  if (StageTripped("engine/cover")) return false;
+  budget_.ChargeAllocation(cover_->TotalBagSize() *
+                           static_cast<int64_t>(sizeof(Vertex)));
 
   phase_timer.Restart();
-  kernels_ = ComputeAllKernels(*graph_, *cover_, r, &pool);
+  kernels_ = ComputeAllKernels(*graph_, *cover_, r, &pool, &budget_);
   stats_.kernels_ms = phase_timer.ElapsedSeconds() * 1e3;
+  if (StageTripped("engine/kernels")) return false;
+  {
+    int64_t kernel_bytes = 0;
+    for (const auto& kernel : kernels_) {
+      kernel_bytes += static_cast<int64_t>(kernel.size() * sizeof(Vertex));
+    }
+    budget_.ChargeAllocation(kernel_bytes);
+  }
 
+  DistanceOracle::Options oracle_options = options_.oracle;
+  oracle_options.budget = &budget_;
   oracle_ = std::make_unique<DistanceOracle>(*graph_, r, *strategy_,
-                                             options_.oracle);
+                                             oracle_options);
+  if (StageTripped("engine/oracle")) return false;
   stats_.cover_bags = cover_->NumBags();
   stats_.cover_degree = cover_->Degree();
   stats_.oracle_depth = oracle_->stats().max_depth;
@@ -152,21 +250,25 @@ void EnumerationEngine::PrepareLnfMode() {
   for (size_t li = 0; li < signatures.size(); ++li) {
     const std::vector<std::pair<int, bool>>& signature = signatures[li];
     std::vector<std::vector<Vertex>> parts(static_cast<size_t>(num_chunks));
-    pool.ParallelFor(0, num_chunks, /*grain=*/1, [&](int64_t part, int) {
-      const Vertex lo = static_cast<Vertex>(part * chunk);
-      const Vertex hi = std::min<Vertex>(n, lo + chunk);
-      std::vector<Vertex>& out = parts[static_cast<size_t>(part)];
-      for (Vertex v = lo; v < hi; ++v) {
-        bool ok = true;
-        for (const auto& [color, positive] : signature) {
-          if (graph_->HasColor(v, color) != positive) {
-            ok = false;
-            break;
+    pool.ParallelFor(
+        0, num_chunks, /*grain=*/1,
+        [&](int64_t part, int) {
+          const Vertex lo = static_cast<Vertex>(part * chunk);
+          const Vertex hi = std::min<Vertex>(n, lo + chunk);
+          if (!budget_.ChargeWork(hi - lo)) return;
+          std::vector<Vertex>& out = parts[static_cast<size_t>(part)];
+          for (Vertex v = lo; v < hi; ++v) {
+            bool ok = true;
+            for (const auto& [color, positive] : signature) {
+              if (graph_->HasColor(v, color) != positive) {
+                ok = false;
+                break;
+              }
+            }
+            if (ok) out.push_back(v);
           }
-        }
-        if (ok) out.push_back(v);
-      }
-    });
+        },
+        &budget_);
     size_t total = 0;
     for (const auto& part : parts) total += part.size();
     std::vector<Vertex>& list = lists_[li];
@@ -174,17 +276,26 @@ void EnumerationEngine::PrepareLnfMode() {
     for (const auto& part : parts) {
       list.insert(list.end(), part.begin(), part.end());
     }
+    budget_.ChargeAllocation(static_cast<int64_t>(total * sizeof(Vertex)));
+    if (budget_.Exceeded()) break;  // lists are partial; stage check below
   }
+  if (StageTripped("engine/lists")) return false;
 
   skips_.resize(lists_.size());
-  pool.ParallelFor(0, static_cast<int64_t>(lists_.size()), /*grain=*/1,
-                   [&](int64_t li, int) {
-                     skips_[static_cast<size_t>(li)] =
-                         std::make_unique<SkipPointers>(
-                             n, kernels_, lists_[static_cast<size_t>(li)],
-                             skip_set_size);
-                   });
+  pool.ParallelFor(
+      0, static_cast<int64_t>(lists_.size()), /*grain=*/1,
+      [&](int64_t li, int) {
+        skips_[static_cast<size_t>(li)] = std::make_unique<SkipPointers>(
+            n, kernels_, lists_[static_cast<size_t>(li)], skip_set_size,
+            &budget_);
+      },
+      &budget_);
+  if (StageTripped("engine/skips")) return false;
+  // Only totalled after the stage check: a canceled ParallelFor leaves
+  // null slots, and a tripped sweep leaves partial counts.
   for (const auto& skip : skips_) stats_.skip_entries += skip->TotalEntries();
+  budget_.ChargeAllocation(stats_.skip_entries *
+                           static_cast<int64_t>(sizeof(Vertex) + 24));
   stats_.skips_ms = phase_timer.ElapsedSeconds() * 1e3;
 
   // Materialize the extendable first coordinates per case (the Unary
@@ -206,7 +317,11 @@ void EnumerationEngine::PrepareLnfMode() {
         0, static_cast<int64_t>(base.size()), /*grain=*/64,
         [&](int64_t i, int worker) {
           auto& ctx = contexts[static_cast<size_t>(worker)];
-          if (ctx == nullptr) ctx = std::make_unique<ProbeContext>(n);
+          if (ctx == nullptr) {
+            ctx = std::make_unique<ProbeContext>(n);
+            ctx->budget = &budget_;
+          }
+          if (budget_.Exceeded()) return;
           ctx->ResetBallCache();
           ctx->assignment.assign(static_cast<size_t>(k), 0);
           ctx->assignment[0] = base[static_cast<size_t>(i)];
@@ -215,17 +330,21 @@ void EnumerationEngine::PrepareLnfMode() {
                       ctx.get())
                   ? 1
                   : 0;
-        });
+        },
+        &budget_);
+    if (budget_.Exceeded()) break;  // flags are partial; stage check below
     for (size_t i = 0; i < base.size(); ++i) {
       if (extendable[i]) data.extendable0.push_back(base[i]);
     }
   }
+  if (StageTripped("engine/extendable")) return false;
   for (const auto& ctx : contexts) {
     if (ctx != nullptr) stats_.ball_cache_hits += ctx->ball_cache_hits;
   }
   stats_.extendable_ms = phase_timer.ElapsedSeconds() * 1e3;
 
   probe_ctx_ = std::make_unique<ProbeContext>(n);
+  return true;
 }
 
 bool EnumerationEngine::UnaryOk(const LnfCase& c, int position,
@@ -301,6 +420,11 @@ std::optional<Vertex> EnumerationEngine::SmallestCandidate(
     const auto [ball_it, inserted] = ctx->balls.try_emplace(anchor);
     if (inserted) {
       ball_it->second = ctx->scratch.Neighborhood(*graph_, anchor, radius);
+      if (ctx->budget != nullptr &&
+          !ctx->budget->ChargeWork(
+              static_cast<int64_t>(ball_it->second.size()))) {
+        return std::nullopt;  // preprocessing descent, result discarded
+      }
     } else {
       ++ctx->ball_cache_hits;
     }
@@ -358,6 +482,10 @@ bool EnumerationEngine::Descend(size_t case_index, int pos, const Tuple& from,
   if (pos == k) return true;
   Vertex min_val = tight ? from[static_cast<size_t>(pos)] : 0;
   for (;;) {
+    // Extendable-phase descents can backtrack heavily on adversarial
+    // inputs; a tripped budget abandons the probe (its result is
+    // discarded along with the rest of the LNF structures).
+    if (ctx->budget != nullptr && ctx->budget->Exceeded()) return false;
     const std::optional<Vertex> cand =
         SmallestCandidate(case_index, pos, *assignment, min_val, ctx);
     if (!cand.has_value()) return false;
@@ -387,6 +515,7 @@ std::optional<Tuple> EnumerationEngine::Next(const Tuple& from) const {
     NWD_CHECK(v >= 0 && v < graph_->NumVertices())
         << "Next() probe component " << v << " out of range";
   }
+  if (lazy_next_ != nullptr) return lazy_next_->Next(from);
   if (stats_.fallback) {
     const auto it = std::lower_bound(
         materialized_.begin(), materialized_.end(), from,
@@ -413,6 +542,7 @@ std::optional<Tuple> EnumerationEngine::Next(const Tuple& from) const {
 
 bool EnumerationEngine::Test(const Tuple& tuple) const {
   NWD_CHECK_EQ(static_cast<int>(tuple.size()), arity());
+  if (lazy_eval_ != nullptr) return lazy_eval_->TestTuple(query_, tuple);
   if (stats_.fallback) {
     return std::binary_search(
         materialized_.begin(), materialized_.end(), tuple,

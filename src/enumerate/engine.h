@@ -64,9 +64,15 @@
 #include "local/distance_oracle.h"
 #include "skip/skip_pointers.h"
 #include "splitter/strategy.h"
+#include "util/budget.h"
 #include "util/lex.h"
 
 namespace nwd {
+
+class BacktrackingEnumerator;
+namespace fo {
+class NaiveEvaluator;
+}  // namespace fo
 
 struct EngineOptions {
   // Graphs with at most this many vertices are handled by materializing
@@ -81,6 +87,15 @@ struct EngineOptions {
   // across thread counts. Answering is always single-threaded.
   int num_threads = 1;
   DistanceOracle::Options oracle;
+  // Resource budget + density guards for the preprocessing phase.
+  // Preprocessing is pseudo-linear only on (effectively) nowhere dense
+  // inputs; with any limit set here, a trip — wall-clock deadline,
+  // edge-work cap, allocation cap, or the cheap density pre-check saying
+  // the input is far outside the sparse regime — makes the engine abandon
+  // the LNF construction and degrade to a correct lazy baseline answer
+  // path instead of hanging or crashing (Stats records the tripped stage
+  // and reason). Default: unlimited, behavior unchanged.
+  ResourceBudgetOptions budget;
 };
 
 class EnumerationEngine {
@@ -106,6 +121,21 @@ class EnumerationEngine {
     // Case II anchor balls served from the per-probe cache instead of a
     // fresh BFS (preprocessing descents + answering combined).
     int64_t ball_cache_hits = 0;
+    // Graceful degradation (see EngineOptions::budget). `degraded` means a
+    // budget / density-guard / fault-injection trip aborted the LNF
+    // construction; answers then come from the baseline path and stay
+    // correct. `tripped_stage` names the prepare stage charged with the
+    // trip ("engine/cover", "engine/kernels", "engine/oracle",
+    // "engine/lists", "engine/skips", "engine/extendable",
+    // "engine/density"). `lazy_fallback` means the fallback answers
+    // lazily through the naive evaluator instead of materializing (graphs
+    // too big to materialize under a budget).
+    bool degraded = false;
+    std::string tripped_stage;
+    bool lazy_fallback = false;
+    int64_t budget_edge_work = 0;        // work units charged while preparing
+    int64_t budget_peak_alloc_bytes = 0;
+    double budget_elapsed_ms = 0.0;
   };
 
   // Performs the full preprocessing phase. Borrows `g`; it must outlive
@@ -116,6 +146,7 @@ class EnumerationEngine {
   // The engine holds internal self-references; pin it in place.
   EnumerationEngine(const EnumerationEngine&) = delete;
   EnumerationEngine& operator=(const EnumerationEngine&) = delete;
+  ~EnumerationEngine();
 
   int arity() const { return query_.arity(); }
   // Domain size of the underlying graph.
@@ -157,9 +188,29 @@ class EnumerationEngine {
     std::unordered_map<Vertex, std::vector<Vertex>> balls;
     int64_t ball_cache_hits = 0;  // drained into stats_ by the owner
     Tuple assignment;             // reusable descent buffer
+    // Borrowed preprocessing budget; descents poll it so a trip cancels
+    // in-flight extendable probes. Null at answer time (answers are O(1)
+    // per case and never budgeted).
+    const ResourceBudget* budget = nullptr;
   };
 
-  void PrepareLnfMode();
+  // Runs the LNF preprocessing stages. Returns false when the budget
+  // tripped (deadline / work cap / allocation cap / fault injection) or a
+  // density guard rejected the input; the partially built structures are
+  // then garbage and the caller must invoke DegradeAfterTrip().
+  bool PrepareLnfMode();
+  // Stage boundary check: fires the stage's fault point (tripping the
+  // budget), attributes an anonymous trip to `stage`, and reports whether
+  // preprocessing must stop.
+  bool StageTripped(const char* stage);
+  // Discards every (partial) LNF structure, records the degradation in
+  // stats_, and installs the lazy baseline answer path.
+  void DegradeAfterTrip();
+  // Answer Test() through the naive evaluator and Next() through a fresh
+  // backtracking search — correct on any graph, no materialization.
+  void UseLazyBaseline();
+  // Copies the budget's counters into stats_ (end of construction).
+  void FinalizeBudgetStats();
 
   // Whether vertex v satisfies the unary literals of `position` in `c`.
   bool UnaryOk(const LnfCase& c, int position, Vertex v) const;
@@ -191,6 +242,10 @@ class EnumerationEngine {
   ColoredGraph owned_graph_;
   fo::Query query_;
   EngineOptions options_;
+  // The preprocessing budget (unlimited when no limits are configured;
+  // fault injection can still trip it). Declared after options_ so the
+  // member-init list can read options_.budget.
+  ResourceBudget budget_;
   Lnf lnf_;
   // Mutable so the (logically const, single-threaded) answering path can
   // account ball-cache hits.
@@ -198,6 +253,11 @@ class EnumerationEngine {
 
   // Fallback mode: the sorted solution set.
   std::vector<Tuple> materialized_;
+  // Lazy fallback mode (degraded engines, and budgeted graphs too big to
+  // materialize): mutable because answering is logically const but both
+  // evaluators keep internal scratch. Answering stays single-threaded.
+  mutable std::unique_ptr<fo::NaiveEvaluator> lazy_eval_;
+  mutable std::unique_ptr<BacktrackingEnumerator> lazy_next_;
 
   // LNF mode.
   std::unique_ptr<SplitterStrategy> strategy_;

@@ -74,6 +74,28 @@ Var MaxVarId(const FormulaPtr& f) {
   return -1;
 }
 
+int MaxColorId(const FormulaPtr& f) {
+  switch (f->kind) {
+    case NodeKind::kTrue:
+    case NodeKind::kFalse:
+    case NodeKind::kEdge:
+    case NodeKind::kEquals:
+    case NodeKind::kDistLeq:
+      return -1;
+    case NodeKind::kColor:
+      return f->color;
+    case NodeKind::kNot:
+      return MaxColorId(f->child1);
+    case NodeKind::kAnd:
+    case NodeKind::kOr:
+      return std::max(MaxColorId(f->child1), MaxColorId(f->child2));
+    case NodeKind::kExists:
+    case NodeKind::kForall:
+      return MaxColorId(f->child1);
+  }
+  return -1;
+}
+
 int QuantifierRank(const FormulaPtr& f) {
   switch (f->kind) {
     case NodeKind::kTrue:

@@ -19,6 +19,11 @@ std::vector<Var> FreeVars(const FormulaPtr& f);
 // Largest variable id occurring in f (free or bound), or -1 if none.
 Var MaxVarId(const FormulaPtr& f);
 
+// Largest color id referenced by a color atom, or -1 if none. Tools use
+// this to reject queries referencing colors a graph does not have before
+// evaluation (ColoredGraph::HasColor does not range-check).
+int MaxColorId(const FormulaPtr& f);
+
 // Quantifier rank: maximum nesting depth of quantifiers.
 int QuantifierRank(const FormulaPtr& f);
 

@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cstdint>
+#include <limits>
 #include <optional>
 #include <sstream>
 #include <vector>
@@ -65,9 +66,18 @@ class Lexer {
     if (std::isdigit(static_cast<unsigned char>(c))) {
       size_t end = pos_;
       int64_t value = 0;
+      // Saturate instead of overflowing: a 30-digit literal in a garbled
+      // query must produce a clean "bound out of range"-style parse error
+      // downstream, not signed-overflow UB here.
+      constexpr int64_t kMax = std::numeric_limits<int64_t>::max();
       while (end < text_.size() &&
              std::isdigit(static_cast<unsigned char>(text_[end]))) {
-        value = value * 10 + (text_[end] - '0');
+        const int64_t digit = text_[end] - '0';
+        if (value > (kMax - digit) / 10) {
+          value = kMax;
+        } else {
+          value = value * 10 + digit;
+        }
         ++end;
       }
       Token t{TokenKind::kNumber, std::string(text_.substr(pos_, end - pos_)),
@@ -353,7 +363,13 @@ class Parser {
             color = -1;
             break;
           }
-          color = color * 10 + (head[i] - '0');
+          // Saturate: "C99999999999" must fail the range check cleanly,
+          // not overflow int.
+          if (color > (std::numeric_limits<int>::max() - 9) / 10) {
+            color = std::numeric_limits<int>::max();
+          } else {
+            color = color * 10 + (head[i] - '0');
+          }
         }
       }
       if (color < 0) {
@@ -440,7 +456,8 @@ ParseResult ParseFormula(std::string_view text,
     return result;
   }
   if (!parser.AtEnd()) {
-    result.error = "unexpected trailing input";
+    parser.Fail("unexpected trailing input");
+    result.error = parser.error();
     return result;
   }
   Query q;

@@ -17,9 +17,17 @@ GraphParseResult Fail(int line, const std::string& message) {
   return result;
 }
 
+// A record line must be fully consumed: trailing junk after the expected
+// fields ("e 0 1 2") is almost always a malformed or truncated file and
+// silently dropping it would mask the corruption.
+bool FullyConsumed(std::istringstream& fields) {
+  std::string rest;
+  return !(fields >> rest);
+}
+
 }  // namespace
 
-GraphParseResult ReadGraph(std::istream& in) {
+GraphParseResult ReadGraph(std::istream& in, const GraphParseLimits& limits) {
   std::optional<GraphBuilder> builder;
   std::string line;
   int line_number = 0;
@@ -33,15 +41,32 @@ GraphParseResult ReadGraph(std::istream& in) {
     if (!(fields >> tag)) continue;  // blank line
 
     if (tag == "graph") {
+      // Overflowing literals set failbit on extraction, so they land in
+      // the same error as any other malformed header.
       int64_t n = -1;
-      int c = -1;
-      if (!(fields >> n >> c) || n < 0 || c < 0) {
+      int64_t c = -1;
+      if (!(fields >> n >> c) || n < 0 || c < 0 || !FullyConsumed(fields)) {
         return Fail(line_number, "expected 'graph <n> <colors>'");
       }
       if (builder.has_value()) {
         return Fail(line_number, "duplicate 'graph' header");
       }
-      builder.emplace(n, c);
+      if (n > limits.max_vertices) {
+        return Fail(line_number, "vertex count " + std::to_string(n) +
+                                     " exceeds the loader limit " +
+                                     std::to_string(limits.max_vertices));
+      }
+      if (c > limits.max_colors) {
+        return Fail(line_number, "color count " + std::to_string(c) +
+                                     " exceeds the loader limit " +
+                                     std::to_string(limits.max_colors));
+      }
+      if (c > 0 && n > limits.max_color_cells / c) {
+        return Fail(line_number,
+                    "vertex x color table exceeds the loader limit " +
+                        std::to_string(limits.max_color_cells));
+      }
+      builder.emplace(n, static_cast<int>(c));
       continue;
     }
     if (!builder.has_value()) {
@@ -50,7 +75,7 @@ GraphParseResult ReadGraph(std::istream& in) {
     if (tag == "e") {
       int64_t u = -1;
       int64_t v = -1;
-      if (!(fields >> u >> v)) {
+      if (!(fields >> u >> v) || !FullyConsumed(fields)) {
         return Fail(line_number, "expected 'e <u> <v>'");
       }
       if (u < 0 || v < 0 || u >= builder->num_vertices() ||
@@ -62,15 +87,15 @@ GraphParseResult ReadGraph(std::istream& in) {
     }
     if (tag == "c") {
       int64_t v = -1;
-      int color = -1;
-      if (!(fields >> v >> color)) {
+      int64_t color = -1;
+      if (!(fields >> v >> color) || !FullyConsumed(fields)) {
         return Fail(line_number, "expected 'c <v> <color>'");
       }
       if (v < 0 || v >= builder->num_vertices() || color < 0 ||
           color >= builder->num_colors()) {
         return Fail(line_number, "color assignment out of range");
       }
-      builder->SetColor(v, color);
+      builder->SetColor(v, static_cast<int>(color));
       continue;
     }
     return Fail(line_number, "unknown record '" + tag + "'");
@@ -84,19 +109,21 @@ GraphParseResult ReadGraph(std::istream& in) {
   return result;
 }
 
-GraphParseResult ReadGraphFromString(const std::string& text) {
+GraphParseResult ReadGraphFromString(const std::string& text,
+                                     const GraphParseLimits& limits) {
   std::istringstream in(text);
-  return ReadGraph(in);
+  return ReadGraph(in, limits);
 }
 
-GraphParseResult ReadGraphFromFile(const std::string& path) {
+GraphParseResult ReadGraphFromFile(const std::string& path,
+                                   const GraphParseLimits& limits) {
   std::ifstream in(path);
   if (!in) {
     GraphParseResult result;
     result.error = "cannot open '" + path + "'";
     return result;
   }
-  GraphParseResult result = ReadGraph(in);
+  GraphParseResult result = ReadGraph(in, limits);
   if (!result.ok) result.error = path + ": " + result.error;
   return result;
 }

@@ -27,12 +27,33 @@ struct GraphParseResult {
   explicit operator bool() const { return ok; }
 };
 
-// Parses the text format from a stream / string.
-GraphParseResult ReadGraph(std::istream& in);
-GraphParseResult ReadGraphFromString(const std::string& text);
+// Caps on what a 'graph <n> <colors>' header may declare. A header line
+// like 'graph 99999999999 9999' parses as valid integers but would make
+// the builder attempt enormous allocations before a single data line is
+// read; the loader rejects such files with a parse error instead. The
+// defaults are far above anything the library is benchmarked on while
+// keeping the implied allocations well under memory-exhaustion territory.
+struct GraphParseLimits {
+  int64_t max_vertices = int64_t{1} << 31;
+  int64_t max_colors = int64_t{1} << 20;
+  // Cap on num_vertices * num_colors (the color-bitmap cells the builder
+  // allocates up front).
+  int64_t max_color_cells = int64_t{1} << 33;
+};
+
+// Parses the text format from a stream / string. Malformed input of any
+// kind — unknown records, out-of-range ids, truncated or overflowing
+// numbers, trailing junk after a record, headers beyond `limits` — is
+// reported through GraphParseResult::error; the loader never aborts and
+// never hands out-of-range values to the builder.
+GraphParseResult ReadGraph(std::istream& in,
+                           const GraphParseLimits& limits = {});
+GraphParseResult ReadGraphFromString(const std::string& text,
+                                     const GraphParseLimits& limits = {});
 
 // Loads from a file path; errors mention the path.
-GraphParseResult ReadGraphFromFile(const std::string& path);
+GraphParseResult ReadGraphFromFile(const std::string& path,
+                                   const GraphParseLimits& limits = {});
 
 // Writes g in the text format. Returns false on I/O failure.
 bool WriteGraph(const ColoredGraph& g, std::ostream& out);

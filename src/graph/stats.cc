@@ -76,4 +76,12 @@ int64_t MaxDegree(const ColoredGraph& g) {
   return max_deg;
 }
 
+DensitySummary SummarizeDensity(const ColoredGraph& g) {
+  DensitySummary summary;
+  summary.avg_degree = AverageDegree(g);
+  summary.max_degree = MaxDegree(g);
+  summary.degeneracy = DegeneracyOrder(g).degeneracy;
+  return summary;
+}
+
 }  // namespace nwd

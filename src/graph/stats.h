@@ -34,6 +34,21 @@ double AverageDegree(const ColoredGraph& g);
 // Maximum degree.
 int64_t MaxDegree(const ColoredGraph& g);
 
+// One-pass density summary for the engine's "is this input anywhere near
+// the sparse regime?" pre-check (graceful degradation: inputs far outside
+// the promised class skip the LNF construction instead of blowing up in
+// it). Costs O(n + m) — one degeneracy ordering plus degree scans.
+struct DensitySummary {
+  double avg_degree = 0.0;
+  int64_t max_degree = 0;
+  // Degeneracy is the radius-1 generalized coloring number: the practical
+  // sparsity certificate (low on every nowhere dense generator class,
+  // ~avg_degree/2 on dense Erdos-Renyi, n-1 on cliques).
+  int64_t degeneracy = 0;
+};
+
+DensitySummary SummarizeDensity(const ColoredGraph& g);
+
 }  // namespace nwd
 
 #endif  // NWD_GRAPH_STATS_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "graph/bfs.h"
+#include "util/budget.h"
 #include "util/check.h"
 
 namespace nwd {
@@ -62,13 +63,26 @@ std::unique_ptr<DistanceOracle::Level> DistanceOracle::BuildLevel(
   stats_.vertices_built += level->graph.NumVertices();
 
   if (stats_.vertices_built > work_budget_) stats_.budget_exhausted = true;
+  // The external engine budget cuts construction short the same way the
+  // internal work guard does (leaves are still correct BFS answerers),
+  // but its trip additionally tells the engine to discard the oracle.
+  if (options_.budget != nullptr &&
+      !options_.budget->ChargeWork(level->graph.NumVertices())) {
+    stats_.budget_exhausted = true;
+  }
   if (level->graph.NumVertices() <= options_.small_cutoff ||
       depth >= options_.max_lambda || stats_.budget_exhausted) {
     level->leaf = true;
     return level;
   }
 
-  level->cover = NeighborhoodCover::Build(level->graph, radius_);
+  level->cover =
+      NeighborhoodCover::Build(level->graph, radius_, options_.budget);
+  if (options_.budget != nullptr && options_.budget->Exceeded()) {
+    // The cover may be incomplete; do not hang bag structures off it.
+    level->leaf = true;
+    return level;
+  }
   stats_.total_bags += level->cover.NumBags();
   stats_.cover_degree = std::max(stats_.cover_degree, level->cover.Degree());
   level->bags.resize(static_cast<size_t>(level->cover.NumBags()));

@@ -31,6 +31,8 @@
 
 namespace nwd {
 
+class ResourceBudget;
+
 // Practical knobs for the oracle's recursion (see class comment).
 struct DistanceOracleOptions {
   // Bags of at most this many vertices answer queries by direct BFS.
@@ -46,6 +48,11 @@ struct DistanceOracleOptions {
   // constants. Leaves stay correct; only their per-query cost grows to the
   // leaf's size.
   int64_t work_budget_multiplier = 8;
+  // Optional engine-wide preprocessing budget (borrowed, may be null).
+  // Unlike the internal work guard above — whose BFS leaves stay usable —
+  // a tripped external budget stops construction eagerly and the caller
+  // is expected to discard the oracle and degrade.
+  const ResourceBudget* budget = nullptr;
 };
 
 class DistanceOracle {

@@ -3,13 +3,15 @@
 #include <algorithm>
 #include <set>
 
+#include "util/budget.h"
 #include "util/check.h"
 
 namespace nwd {
 
 SkipPointers::SkipPointers(int64_t num_vertices,
                            const std::vector<std::vector<Vertex>>& kernels,
-                           std::vector<Vertex> target_list, int max_set_size)
+                           std::vector<Vertex> target_list, int max_set_size,
+                           const ResourceBudget* budget)
     : num_vertices_(num_vertices),
       max_set_size_(max_set_size),
       list_(std::move(target_list)) {
@@ -29,6 +31,11 @@ SkipPointers::SkipPointers(int64_t num_vertices,
   sc_.assign(static_cast<size_t>(num_vertices), {});
   std::set<std::vector<int64_t>> seen;  // per-vertex dedupe, reused
   for (Vertex b = num_vertices - 1; b >= 0; --b) {
+    // The SC closure is the O(n^{1+k*eps}) space of Lemma 5.8 — on dense
+    // inputs (kernels covering everything) it is the stage most likely to
+    // blow up, so the sweep is budget-cancelable. A canceled structure is
+    // partial and must be discarded by the caller.
+    if (budget != nullptr && (b & 255) == 0 && budget->Exceeded()) return;
     std::vector<Entry>& entries = sc_[b];
     seen.clear();
     // Seed: singletons {X} for the kernels containing b.
@@ -69,6 +76,10 @@ SkipPointers::SkipPointers(int64_t num_vertices,
                 return a.bags < b.bags;
               });
     total_entries_ += static_cast<int64_t>(entries.size());
+    if (budget != nullptr &&
+        !budget->ChargeWork(static_cast<int64_t>(entries.size()))) {
+      return;
+    }
   }
 }
 

@@ -27,13 +27,21 @@
 
 namespace nwd {
 
+class ResourceBudget;
+
 class SkipPointers {
  public:
   // `kernels[x]` is the sorted r-kernel of bag x; `target_list` is L
   // (sorted ascending); `max_set_size` is the k of Lemma 5.8.
+  //
+  // A non-null `budget` is charged per materialized SC entry during the
+  // downward sweep; once it trips the sweep stops, leaving the structure
+  // partially built — callers must discard it (detected via
+  // budget->Exceeded()), since Skip() on a partial structure is wrong.
   SkipPointers(int64_t num_vertices,
                const std::vector<std::vector<Vertex>>& kernels,
-               std::vector<Vertex> target_list, int max_set_size);
+               std::vector<Vertex> target_list, int max_set_size,
+               const ResourceBudget* budget = nullptr);
 
   // SKIP(b, bags): smallest element of L that is >= b and avoids the
   // kernels of all `bags` (|bags| <= max_set_size). Returns -1 if none.

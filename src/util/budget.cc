@@ -1,0 +1,88 @@
+#include "util/budget.h"
+
+#include <algorithm>
+
+namespace nwd {
+
+ResourceBudget::ResourceBudget(const Options& options)
+    : options_(options), start_(std::chrono::steady_clock::now()) {}
+
+bool ResourceBudget::Exceeded() const {
+  if (tripped_.load(std::memory_order_relaxed)) return true;
+  if (options_.deadline_ms > 0) {
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    if (std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+            .count() >= options_.deadline_ms) {
+      Trip("", "wall-clock deadline (" + std::to_string(options_.deadline_ms) +
+                   " ms) exceeded");
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ResourceBudget::ChargeWork(int64_t units) const {
+  const int64_t total =
+      work_.fetch_add(units, std::memory_order_relaxed) + units;
+  if (options_.max_edge_work > 0 && total > options_.max_edge_work) {
+    Trip("", "edge-work cap (" + std::to_string(options_.max_edge_work) +
+                 " units) exceeded");
+    return false;
+  }
+  return !Exceeded();
+}
+
+void ResourceBudget::ChargeAllocation(int64_t bytes) const {
+  const int64_t total =
+      alloc_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  int64_t peak = peak_alloc_.load(std::memory_order_relaxed);
+  while (total > peak &&
+         !peak_alloc_.compare_exchange_weak(peak, total,
+                                            std::memory_order_relaxed)) {
+  }
+  if (options_.max_alloc_bytes > 0 && total > options_.max_alloc_bytes) {
+    Trip("", "allocation cap (" + std::to_string(options_.max_alloc_bytes) +
+                 " bytes) exceeded");
+  }
+}
+
+void ResourceBudget::ReleaseAllocation(int64_t bytes) const {
+  alloc_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+void ResourceBudget::Trip(const std::string& stage,
+                          const std::string& reason) const {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!recorded_) {
+      recorded_ = true;
+      stage_ = stage;
+      reason_ = reason;
+    }
+  }
+  tripped_.store(true, std::memory_order_release);
+}
+
+void ResourceBudget::AttributeStage(const std::string& stage) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (recorded_ && stage_.empty()) stage_ = stage;
+}
+
+std::string ResourceBudget::tripped_stage() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stage_;
+}
+
+std::string ResourceBudget::trip_reason() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reason_;
+}
+
+double ResourceBudget::ElapsedMs() const {
+  const auto elapsed = std::chrono::steady_clock::now() - start_;
+  return std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+             elapsed)
+      .count();
+}
+
+}  // namespace nwd

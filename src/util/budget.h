@@ -1,0 +1,120 @@
+// Resource budgets for the preprocessing phase (graceful degradation).
+//
+// Theorem 2.3's preprocessing is pseudo-linear only on nowhere dense
+// inputs; on a dense or adversarial graph the cover / kernel / skip
+// construction (the O(n^{1+k*eps}) stage of Lemma 5.8) can blow up without
+// bound. A ResourceBudget is the engine's damage cap: a wall-clock
+// deadline, an edge-work cap, and peak tracked-allocation accounting,
+// shared by every preprocessing stage (and by the in-flight workers of
+// ThreadPool::ParallelFor, which stop dispatching grains once tripped).
+//
+// The contract is cooperative: stages call ChargeWork() at natural work
+// boundaries (per cover bag, per kernel BFS, per candidate-list chunk, per
+// descent ball) and poll Exceeded() between items. Once any limit trips the
+// budget stays tripped; the engine then abandons the LNF machinery and
+// degrades to a correct baseline answer path (see engine.h). All counters
+// are atomics, so charging from parallel stages is safe; the tripped
+// stage/reason strings are written once under a mutex and meant to be read
+// after the parallel phase has joined.
+
+#ifndef NWD_UTIL_BUDGET_H_
+#define NWD_UTIL_BUDGET_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace nwd {
+
+struct ResourceBudgetOptions {
+  // Wall-clock deadline for the whole preprocessing phase, in
+  // milliseconds. 0 means unlimited.
+  int64_t deadline_ms = 0;
+  // Cap on cooperative edge-work units (vertices/edges touched by the
+  // prepare stages). 0 means unlimited.
+  int64_t max_edge_work = 0;
+  // Cap on the peak tracked allocation of the preprocessing structures,
+  // in bytes. 0 means unlimited.
+  int64_t max_alloc_bytes = 0;
+  // Density guards: if the input's average degree / degeneracy exceeds
+  // these, the engine skips the LNF construction outright (the input is
+  // far outside the sparse regime the paper promises). 0 disables.
+  double max_avg_degree = 0.0;
+  int64_t max_degeneracy = 0;
+
+  bool HasLimits() const {
+    return deadline_ms > 0 || max_edge_work > 0 || max_alloc_bytes > 0 ||
+           max_avg_degree > 0.0 || max_degeneracy > 0;
+  }
+};
+
+class ResourceBudget {
+ public:
+  using Options = ResourceBudgetOptions;
+
+  // An unlimited budget never trips on its own (Trip() still works, which
+  // is what the fault-injection harness uses).
+  ResourceBudget() : ResourceBudget(Options{}) {}
+  explicit ResourceBudget(const Options& options);
+
+  ResourceBudget(const ResourceBudget&) = delete;
+  ResourceBudget& operator=(const ResourceBudget&) = delete;
+
+  const Options& options() const { return options_; }
+
+  // Cheap cooperative check: a relaxed flag load, plus a deadline re-check
+  // when a deadline is configured (one steady_clock read). Safe to call
+  // concurrently.
+  bool Exceeded() const;
+
+  // Adds `units` of edge work; trips when the cap is crossed. Returns
+  // false iff the budget is (now) exceeded, so hot loops can
+  // `if (!budget->ChargeWork(ball.size())) break;`.
+  bool ChargeWork(int64_t units) const;
+
+  // Tracked-allocation accounting (peak is recorded; the cap trips on the
+  // current outstanding total).
+  void ChargeAllocation(int64_t bytes) const;
+  void ReleaseAllocation(int64_t bytes) const;
+
+  // Trips the budget explicitly (density guard, fault injection). The
+  // first trip wins; later calls are no-ops.
+  void Trip(const std::string& stage, const std::string& reason) const;
+
+  // Attributes an already-tripped budget to `stage` if no stage was
+  // recorded yet (deadline / work-cap trips fire inside shared helpers
+  // that don't know which engine stage invoked them).
+  void AttributeStage(const std::string& stage) const;
+
+  bool tripped() const { return tripped_.load(std::memory_order_acquire); }
+  // Stage / reason of the first trip; empty when not tripped. Call only
+  // after parallel stages have joined.
+  std::string tripped_stage() const;
+  std::string trip_reason() const;
+
+  int64_t work_charged() const {
+    return work_.load(std::memory_order_relaxed);
+  }
+  int64_t peak_alloc_bytes() const {
+    return peak_alloc_.load(std::memory_order_relaxed);
+  }
+  double ElapsedMs() const;
+
+ private:
+  Options options_;
+  std::chrono::steady_clock::time_point start_;
+  mutable std::atomic<bool> tripped_{false};
+  mutable std::atomic<int64_t> work_{0};
+  mutable std::atomic<int64_t> alloc_{0};
+  mutable std::atomic<int64_t> peak_alloc_{0};
+  mutable std::mutex mu_;        // guards the fields below
+  mutable bool recorded_ = false;  // a trip already wrote stage_/reason_
+  mutable std::string stage_;    // first trip's stage ("" if unknown)
+  mutable std::string reason_;   // first trip's reason
+};
+
+}  // namespace nwd
+
+#endif  // NWD_UTIL_BUDGET_H_

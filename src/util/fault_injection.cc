@@ -1,0 +1,50 @@
+#include "util/fault_injection.h"
+
+#include <atomic>
+#include <mutex>
+
+namespace nwd {
+namespace fault_injection {
+namespace {
+
+std::atomic<bool> g_armed{false};
+std::atomic<int64_t> g_fire_count{0};
+std::mutex g_mu;            // guards the fields below
+std::string g_point;        // armed point name
+Mode g_mode = Mode::kOnce;  // armed mode
+bool g_spent = false;       // a kOnce point already fired
+
+}  // namespace
+
+void Arm(std::string_view point, Mode mode) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  g_point = std::string(point);
+  g_mode = mode;
+  g_spent = false;
+  g_fire_count.store(0, std::memory_order_relaxed);
+  g_armed.store(true, std::memory_order_release);
+}
+
+void Disarm() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  g_armed.store(false, std::memory_order_release);
+  g_point.clear();
+}
+
+int64_t FireCount() { return g_fire_count.load(std::memory_order_relaxed); }
+
+bool ShouldFail(std::string_view point) {
+  if (!g_armed.load(std::memory_order_acquire)) return false;
+  std::lock_guard<std::mutex> lock(g_mu);
+  if (!g_armed.load(std::memory_order_relaxed)) return false;
+  if (g_point != point) return false;
+  if (g_mode == Mode::kOnce) {
+    if (g_spent) return false;
+    g_spent = true;
+  }
+  g_fire_count.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+}  // namespace fault_injection
+}  // namespace nwd

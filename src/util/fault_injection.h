@@ -1,0 +1,61 @@
+// Fault-injection points for the robustness test harness.
+//
+// Production code marks recoverable failure sites with
+//
+//   if (NWD_FAULT_POINT("engine/kernels")) { ...degrade... }
+//
+// which is a single relaxed atomic load when no fault is armed (the
+// always-compiled cost). Tests arm one point by name via
+// fault_injection::ScopedFault; the next time execution reaches that point
+// the macro returns true (once per Arm by default, or on every hit with
+// kEveryHit), letting tests force the engine through each degradation path
+// and assert the degraded answers still match the naive evaluator.
+//
+// Arming is process-global and meant for single-threaded test setup; the
+// points themselves may be polled from parallel stages (atomic fast path).
+
+#ifndef NWD_UTIL_FAULT_INJECTION_H_
+#define NWD_UTIL_FAULT_INJECTION_H_
+
+#include <string>
+#include <string_view>
+
+namespace nwd {
+namespace fault_injection {
+
+enum class Mode {
+  kOnce,      // fire on the first hit, then disarm
+  kEveryHit,  // fire on every hit until Disarm()
+};
+
+// Arms `point`; replaces any previously armed point.
+void Arm(std::string_view point, Mode mode = Mode::kOnce);
+
+// Disarms whatever is armed (no-op if nothing is).
+void Disarm();
+
+// Number of times the armed point fired since the last Arm().
+int64_t FireCount();
+
+// Implementation of NWD_FAULT_POINT: true iff `point` is armed and due to
+// fire. Cheap when nothing is armed.
+bool ShouldFail(std::string_view point);
+
+// RAII arming for tests.
+class ScopedFault {
+ public:
+  explicit ScopedFault(std::string_view point, Mode mode = Mode::kOnce) {
+    Arm(point, mode);
+  }
+  ~ScopedFault() { Disarm(); }
+
+  ScopedFault(const ScopedFault&) = delete;
+  ScopedFault& operator=(const ScopedFault&) = delete;
+};
+
+}  // namespace fault_injection
+}  // namespace nwd
+
+#define NWD_FAULT_POINT(point) (::nwd::fault_injection::ShouldFail(point))
+
+#endif  // NWD_UTIL_FAULT_INJECTION_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/budget.h"
 #include "util/check.h"
 
 namespace nwd {
@@ -29,6 +30,9 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::RunChunks(Job* job, int worker) {
   for (;;) {
+    // Budget-canceled loops stop claiming chunks; indices already claimed
+    // by a worker still run to the end of their grain.
+    if (job->budget != nullptr && job->budget->Exceeded()) break;
     const int64_t start =
         job->next.fetch_add(job->grain, std::memory_order_relaxed);
     if (start >= job->end) break;
@@ -58,17 +62,25 @@ void ThreadPool::WorkerLoop(int worker) {
 }
 
 void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
-                             const std::function<void(int64_t, int)>& fn) {
+                             const std::function<void(int64_t, int)>& fn,
+                             const ResourceBudget* budget) {
   NWD_CHECK_GE(grain, 1);
   if (end <= begin) return;
   if (num_threads_ == 1 || end - begin <= grain) {
-    for (int64_t i = begin; i < end; ++i) fn(i, 0);
+    for (int64_t i = begin; i < end; ++i) {
+      if (budget != nullptr && (i - begin) % grain == 0 &&
+          budget->Exceeded()) {
+        return;
+      }
+      fn(i, 0);
+    }
     return;
   }
   Job job;
   job.end = end;
   job.grain = grain;
   job.fn = &fn;
+  job.budget = budget;
   job.next.store(begin, std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(mu_);

@@ -27,6 +27,8 @@
 
 namespace nwd {
 
+class ResourceBudget;
+
 class ThreadPool {
  public:
   // `num_threads` <= 0 resolves to std::thread::hardware_concurrency()
@@ -47,15 +49,24 @@ class ThreadPool {
   // `worker` is a stable id in [0, num_threads()); use it to index
   // per-thread scratch. Blocks until every index is processed. Not
   // reentrant: fn must not call ParallelFor on the same pool.
+  //
+  // When `budget` is non-null the loop is cancelable: workers re-check
+  // budget->Exceeded() before claiming each chunk and stop dispatching
+  // once it trips, so a budget trip ends an in-flight parallel stage after
+  // at most one grain per worker. A canceled loop leaves the tail indices
+  // unprocessed — callers must treat the stage's output as discardable
+  // whenever the budget reports Exceeded() afterwards.
   void ParallelFor(int64_t begin, int64_t end, int64_t grain,
-                   const std::function<void(int64_t, int)>& fn);
+                   const std::function<void(int64_t, int)>& fn,
+                   const ResourceBudget* budget = nullptr);
 
  private:
   struct Job {
     int64_t end = 0;
     int64_t grain = 1;
     const std::function<void(int64_t, int)>* fn = nullptr;
-    std::atomic<int64_t> next{0};  // first unclaimed index
+    const ResourceBudget* budget = nullptr;  // optional cancellation
+    std::atomic<int64_t> next{0};            // first unclaimed index
   };
 
   void WorkerLoop(int worker);

@@ -1,0 +1,180 @@
+#include "util/budget.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "util/fault_injection.h"
+#include "util/thread_pool.h"
+
+namespace nwd {
+namespace {
+
+TEST(ResourceBudget, UnlimitedNeverTrips) {
+  ResourceBudget budget;
+  EXPECT_FALSE(budget.Exceeded());
+  EXPECT_TRUE(budget.ChargeWork(1'000'000'000));
+  budget.ChargeAllocation(int64_t{1} << 40);
+  EXPECT_FALSE(budget.Exceeded());
+  EXPECT_FALSE(budget.tripped());
+  EXPECT_EQ(budget.tripped_stage(), "");
+  EXPECT_EQ(budget.work_charged(), 1'000'000'000);
+}
+
+TEST(ResourceBudget, WorkCapTrips) {
+  ResourceBudgetOptions options;
+  options.max_edge_work = 100;
+  ResourceBudget budget(options);
+  EXPECT_TRUE(budget.ChargeWork(60));
+  EXPECT_FALSE(budget.Exceeded());
+  EXPECT_FALSE(budget.ChargeWork(60));  // 120 > 100
+  EXPECT_TRUE(budget.Exceeded());
+  EXPECT_TRUE(budget.tripped());
+  EXPECT_NE(budget.trip_reason().find("edge-work"), std::string::npos);
+  // Further charges keep failing but never crash.
+  EXPECT_FALSE(budget.ChargeWork(1));
+}
+
+TEST(ResourceBudget, DeadlineTrips) {
+  ResourceBudgetOptions options;
+  options.deadline_ms = 1;
+  ResourceBudget budget(options);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_TRUE(budget.Exceeded());
+  EXPECT_NE(budget.trip_reason().find("deadline"), std::string::npos);
+  EXPECT_GE(budget.ElapsedMs(), 1.0);
+}
+
+TEST(ResourceBudget, AllocationCapAndPeak) {
+  ResourceBudgetOptions options;
+  options.max_alloc_bytes = 1000;
+  ResourceBudget budget(options);
+  budget.ChargeAllocation(600);
+  EXPECT_FALSE(budget.Exceeded());
+  budget.ReleaseAllocation(600);
+  budget.ChargeAllocation(700);
+  EXPECT_FALSE(budget.Exceeded());  // outstanding 700, peak 700
+  EXPECT_EQ(budget.peak_alloc_bytes(), 700);
+  budget.ChargeAllocation(400);  // outstanding 1100 > 1000
+  EXPECT_TRUE(budget.Exceeded());
+  EXPECT_EQ(budget.peak_alloc_bytes(), 1100);
+}
+
+TEST(ResourceBudget, ExplicitTripFirstWins) {
+  ResourceBudget budget;
+  budget.Trip("stage/a", "first");
+  budget.Trip("stage/b", "second");
+  EXPECT_TRUE(budget.Exceeded());
+  EXPECT_EQ(budget.tripped_stage(), "stage/a");
+  EXPECT_EQ(budget.trip_reason(), "first");
+}
+
+TEST(ResourceBudget, AttributeStageFillsOnlyUnknown) {
+  ResourceBudgetOptions options;
+  options.max_edge_work = 1;
+  ResourceBudget budget(options);
+  ASSERT_FALSE(budget.ChargeWork(10));  // anonymous trip (shared helper)
+  EXPECT_EQ(budget.tripped_stage(), "");
+  budget.AttributeStage("engine/cover");
+  EXPECT_EQ(budget.tripped_stage(), "engine/cover");
+  budget.AttributeStage("engine/kernels");  // no-op: already attributed
+  EXPECT_EQ(budget.tripped_stage(), "engine/cover");
+}
+
+TEST(ResourceBudget, ConcurrentChargesAreSafe) {
+  ResourceBudgetOptions options;
+  options.max_edge_work = 10'000;
+  ResourceBudget budget(options);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&budget] {
+      for (int i = 0; i < 5'000; ++i) budget.ChargeWork(1);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_TRUE(budget.Exceeded());
+  EXPECT_EQ(budget.work_charged(), 40'000);
+}
+
+// A tripped budget cancels an in-flight ParallelFor: workers stop claiming
+// chunks, so the tail of the range stays unprocessed.
+TEST(ThreadPoolBudget, ParallelForCancels) {
+  ResourceBudgetOptions options;
+  options.max_edge_work = 1;
+  ResourceBudget budget(options);
+  ThreadPool pool(4);
+  std::atomic<int64_t> processed{0};
+  pool.ParallelFor(
+      0, 1'000'000, /*grain=*/16,
+      [&](int64_t, int) {
+        processed.fetch_add(1, std::memory_order_relaxed);
+        budget.ChargeWork(1);  // trips on the very first item
+      },
+      &budget);
+  EXPECT_TRUE(budget.Exceeded());
+  // At most one grain per worker runs after the trip.
+  EXPECT_LE(processed.load(), 16 * 4 + 16);
+  EXPECT_GE(processed.load(), 1);
+}
+
+// The serial inline path (num_threads == 1) checks at grain boundaries.
+TEST(ThreadPoolBudget, SerialParallelForCancels) {
+  ResourceBudgetOptions options;
+  options.max_edge_work = 10;
+  ResourceBudget budget(options);
+  ThreadPool pool(1);
+  int64_t processed = 0;
+  pool.ParallelFor(
+      0, 1'000'000, /*grain=*/8,
+      [&](int64_t, int) {
+        ++processed;
+        budget.ChargeWork(1);
+      },
+      &budget);
+  EXPECT_TRUE(budget.Exceeded());
+  EXPECT_LT(processed, 100);
+}
+
+// A null budget (the default) leaves ParallelFor exhaustive.
+TEST(ThreadPoolBudget, NullBudgetProcessesEverything) {
+  ThreadPool pool(4);
+  std::atomic<int64_t> processed{0};
+  pool.ParallelFor(0, 10'000, /*grain=*/7, [&](int64_t, int) {
+    processed.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(processed.load(), 10'000);
+}
+
+TEST(FaultInjection, UnarmedIsFree) {
+  EXPECT_FALSE(NWD_FAULT_POINT("any/point"));
+  EXPECT_EQ(fault_injection::FireCount(), 0);
+}
+
+TEST(FaultInjection, FiresOnceByDefault) {
+  fault_injection::ScopedFault fault("engine/kernels");
+  EXPECT_FALSE(NWD_FAULT_POINT("engine/cover"));  // different point
+  EXPECT_TRUE(NWD_FAULT_POINT("engine/kernels"));
+  EXPECT_FALSE(NWD_FAULT_POINT("engine/kernels"));  // spent
+  EXPECT_EQ(fault_injection::FireCount(), 1);
+}
+
+TEST(FaultInjection, EveryHitMode) {
+  fault_injection::ScopedFault fault("engine/skips",
+                                     fault_injection::Mode::kEveryHit);
+  EXPECT_TRUE(NWD_FAULT_POINT("engine/skips"));
+  EXPECT_TRUE(NWD_FAULT_POINT("engine/skips"));
+  EXPECT_EQ(fault_injection::FireCount(), 2);
+}
+
+TEST(FaultInjection, DisarmStopsFiring) {
+  fault_injection::Arm("engine/lists", fault_injection::Mode::kEveryHit);
+  EXPECT_TRUE(NWD_FAULT_POINT("engine/lists"));
+  fault_injection::Disarm();
+  EXPECT_FALSE(NWD_FAULT_POINT("engine/lists"));
+}
+
+}  // namespace
+}  // namespace nwd

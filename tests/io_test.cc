@@ -52,6 +52,60 @@ TEST(GraphIo, Errors) {
   EXPECT_FALSE(ReadGraphFromFile("/nonexistent/path.g").ok);
 }
 
+// Malformed inputs must come back as GraphParseResult errors — never as
+// aborts inside the builder's NWD_CHECKs and never as silently accepted
+// garbage. Each row is (input, substring the error must contain).
+TEST(GraphIo, MalformedInputTable) {
+  struct Row {
+    const char* input;
+    const char* error_substring;
+  };
+  const Row rows[] = {
+      // Header abuse.
+      {"graph 99999999999999999999 2\n", "expected 'graph"},  // overflows
+      {"graph 9999999999 2\n", "exceeds the loader limit"},   // huge n
+      {"graph 10 99999999\n", "exceeds the loader limit"},    // huge colors
+      {"graph 100000000 1000000\n", "exceeds the loader limit"},  // n*c
+      {"graph 3\n", "expected 'graph"},                    // truncated
+      {"graph 3 1 7\n", "expected 'graph"},                // trailing junk
+      {"graph three 1\n", "expected 'graph"},              // non-numeric
+      {"graph -3 1\n", "expected 'graph"},                 // negative
+      {"graph 3 -1\n", "expected 'graph"},                 // negative colors
+      // Record abuse (after a valid header).
+      {"graph 3 1\ne 0\n", "expected 'e"},                 // truncated edge
+      {"graph 3 1\ne 0 1 2\n", "expected 'e"},             // trailing junk
+      {"graph 3 1\ne 0 x\n", "expected 'e"},               // non-numeric
+      {"graph 3 1\ne -1 0\n", "out of range"},             // negative id
+      {"graph 3 1\ne 0 99999999999999999999\n", "expected 'e"},  // overflow
+      {"graph 3 1\nc 0\n", "expected 'c"},                 // truncated color
+      {"graph 3 1\nc 0 0 junk\n", "expected 'c"},          // trailing junk
+      {"graph 3 1\nc -1 0\n", "out of range"},             // negative id
+      {"graph 3 1\nc 0 -2\n", "out of range"},             // negative color
+      {"graph 3 1\nc 0 1\n", "out of range"},              // color too big
+      {"graph 3 1\nv 0\n", "unknown record"},              // unknown tag
+  };
+  for (const Row& row : rows) {
+    const GraphParseResult result = ReadGraphFromString(row.input);
+    EXPECT_FALSE(result.ok) << "accepted: " << row.input;
+    EXPECT_NE(result.error.find(row.error_substring), std::string::npos)
+        << "input: " << row.input << "\nerror: " << result.error;
+  }
+}
+
+// The caps are tunable: tighter limits reject a file the defaults accept,
+// and the boundary value still loads.
+TEST(GraphIo, ParseLimitsAreTunable) {
+  GraphParseLimits tight;
+  tight.max_vertices = 10;
+  const GraphParseResult rejected =
+      ReadGraphFromString("graph 100 1\n", tight);
+  EXPECT_FALSE(rejected.ok);
+  EXPECT_NE(rejected.error.find("exceeds the loader limit"),
+            std::string::npos);
+  EXPECT_TRUE(ReadGraphFromString("graph 10 1\n", tight).ok);
+  EXPECT_TRUE(ReadGraphFromString("graph 100 1\n").ok);  // defaults accept
+}
+
 TEST(GraphIo, RoundTripRandomGraph) {
   Rng rng(42);
   const ColoredGraph original =

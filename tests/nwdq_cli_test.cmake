@@ -1,0 +1,157 @@
+# Error-contract test for the nwdq binary, run as a CTest script:
+#   cmake -DNWDQ=<path-to-nwdq> -DWORK_DIR=<scratch dir> -P nwdq_cli_test.cmake
+#
+# Contract under test: exit 0 on success (including budget-degraded runs),
+# 1 on bad data, 2 on usage errors; every failure is a one-line stderr
+# diagnostic and no input makes the binary abort (exit codes >= 128 would
+# reveal a signal death).
+
+if(NOT DEFINED NWDQ OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR "usage: cmake -DNWDQ=... -DWORK_DIR=... -P nwdq_cli_test.cmake")
+endif()
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+set(FAILURES 0)
+
+# run(<name> <expected-exit> <stderr-substring-or-empty> <args...>)
+function(run name expected_exit stderr_substring)
+  execute_process(
+    COMMAND ${NWDQ} ${ARGN}
+    RESULT_VARIABLE exit_code
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err
+    TIMEOUT 60)
+  if(NOT exit_code STREQUAL "${expected_exit}")
+    message(SEND_ERROR
+      "${name}: expected exit ${expected_exit}, got '${exit_code}'\n"
+      "stderr: ${err}")
+  endif()
+  if(NOT stderr_substring STREQUAL "")
+    if(NOT err MATCHES "${stderr_substring}")
+      message(SEND_ERROR
+        "${name}: stderr missing '${stderr_substring}'\nstderr: ${err}")
+    endif()
+    # One-line contract for data errors (exit 1). Usage errors (exit 2)
+    # may print the multi-line usage synopsis.
+    if(expected_exit STREQUAL "1")
+      string(REGEX REPLACE "\n$" "" err_trimmed "${err}")
+      string(REGEX MATCHALL "\n" newlines "${err_trimmed}")
+      list(LENGTH newlines newline_count)
+      if(newline_count GREATER 0)
+        message(SEND_ERROR
+          "${name}: expected a one-line stderr diagnostic, got:\n${err}")
+      endif()
+    endif()
+  endif()
+  set(LAST_STDOUT "${out}" PARENT_SCOPE)
+endfunction()
+
+# --- Fixtures -------------------------------------------------------------
+
+set(GOOD_GRAPH "${WORK_DIR}/good.g")
+file(WRITE "${GOOD_GRAPH}" "graph 4 2\ne 0 1\ne 1 2\nc 0 0\nc 3 1\n")
+
+set(BAD_RANGE_GRAPH "${WORK_DIR}/bad_range.g")
+file(WRITE "${BAD_RANGE_GRAPH}" "graph 4 1\ne 0 9\n")
+
+set(HUGE_HEADER_GRAPH "${WORK_DIR}/huge.g")
+file(WRITE "${HUGE_HEADER_GRAPH}" "graph 99999999999999999999 2\n")
+
+set(TRUNCATED_GRAPH "${WORK_DIR}/truncated.g")
+file(WRITE "${TRUNCATED_GRAPH}" "graph 4 1\ne 0\n")
+
+# A 60-vertex clique: big enough to bypass the naive cutoff, dense enough
+# that a one-unit work cap trips deterministically at the cover stage.
+set(CLIQUE_GRAPH "${WORK_DIR}/clique60.g")
+set(clique_lines "graph 60 1\n")
+foreach(u RANGE 0 59)
+  foreach(v RANGE 0 59)
+    if(u LESS v)
+      string(APPEND clique_lines "e ${u} ${v}\n")
+    endif()
+  endforeach()
+endforeach()
+file(WRITE "${CLIQUE_GRAPH}" "${clique_lines}")
+
+# --- Usage errors: exit 2 -------------------------------------------------
+
+run(no_args 2 "usage:")
+run(one_arg 2 "usage:" "${GOOD_GRAPH}")
+run(unknown_flag 2 "usage:" "${GOOD_GRAPH}" "(x, y) := E(x, y)" --frobnicate)
+run(bad_limit 2 "expects an integer" "${GOOD_GRAPH}" "(x, y) := E(x, y)"
+    --limit 1x0)
+run(negative_limit 2 "expects an integer" "${GOOD_GRAPH}"
+    "(x, y) := E(x, y)" --limit -5)
+run(bad_budget_ms 2 "expects an integer" "${GOOD_GRAPH}"
+    "(x, y) := E(x, y)" --budget-ms zero)
+run(zero_budget_ms 2 "expects an integer" "${GOOD_GRAPH}"
+    "(x, y) := E(x, y)" --budget-ms 0)
+run(bad_edge_work 2 "expects an integer" "${GOOD_GRAPH}"
+    "(x, y) := E(x, y)" --max-edge-work 10kk)
+run(bad_avg_degree 2 "expects a number" "${GOOD_GRAPH}"
+    "(x, y) := E(x, y)" --max-avg-degree dense)
+run(bad_color_binding 2 "expects an integer" "${GOOD_GRAPH}"
+    "(x, y) := E(x, y)" --color Blue=x)
+
+# --- Data errors: exit 1, one-line stderr ---------------------------------
+
+run(missing_graph 1 "error:" "${WORK_DIR}/nonexistent.g" "(x, y) := E(x, y)")
+run(edge_out_of_range 1 "out of range" "${BAD_RANGE_GRAPH}"
+    "(x, y) := E(x, y)")
+run(huge_header 1 "error:" "${HUGE_HEADER_GRAPH}" "(x, y) := E(x, y)")
+run(truncated_record 1 "expected" "${TRUNCATED_GRAPH}" "(x, y) := E(x, y)")
+run(bad_query 1 "query error" "${GOOD_GRAPH}" "(x, y) := E(x, &&& y)")
+run(query_color_out_of_range 1 "out of range" "${GOOD_GRAPH}"
+    "(x, y) := C7(x) & E(x, y)")
+run(bad_test_tuple 1 "bad --test" "${GOOD_GRAPH}" "(x, y) := E(x, y)"
+    --test 1,2,3)
+run(test_tuple_out_of_range 1 "outside the graph" "${GOOD_GRAPH}"
+    "(x, y) := E(x, y)" --test 1,99)
+run(next_tuple_out_of_range 1 "outside the graph" "${GOOD_GRAPH}"
+    "(x, y) := E(x, y)" --next -3,0)
+
+# --- Success paths: exit 0 ------------------------------------------------
+
+run(plain_success 0 "" "${GOOD_GRAPH}" "(x, y) := E(x, y)" --limit 3)
+if(NOT LAST_STDOUT MATCHES "\\(0, 1\\)")
+  message(SEND_ERROR "plain_success: expected solution (0, 1); got:\n${LAST_STDOUT}")
+endif()
+
+# Deterministic degraded run: a one-unit edge-work cap trips at the first
+# preprocessing stage; the binary must still exit 0 and produce correct
+# solutions through the lazy baseline.
+run(degraded_edge_work 0 "" "${CLIQUE_GRAPH}" "(x, y) := E(x, y)"
+    --max-edge-work 1 --limit 3)
+if(NOT LAST_STDOUT MATCHES "degraded: stage engine/")
+  message(SEND_ERROR "degraded_edge_work: no degraded banner:\n${LAST_STDOUT}")
+endif()
+if(NOT LAST_STDOUT MATCHES "\\(0, 1\\)")
+  message(SEND_ERROR "degraded_edge_work: wrong solutions:\n${LAST_STDOUT}")
+endif()
+
+# Density guard: same degraded contract, attributed to the density stage.
+run(degraded_density 0 "" "${CLIQUE_GRAPH}" "(x, y) := E(x, y)"
+    --max-avg-degree 5 --limit 3)
+if(NOT LAST_STDOUT MATCHES "degraded: stage engine/density")
+  message(SEND_ERROR "degraded_density: no density banner:\n${LAST_STDOUT}")
+endif()
+
+# Wall-clock budget on the clique: must exit 0 promptly with correct
+# output whether or not the deadline tripped before completion.
+run(budget_ms_success 0 "" "${CLIQUE_GRAPH}" "(x, y) := E(x, y)"
+    --budget-ms 50 --limit 3)
+if(NOT LAST_STDOUT MATCHES "\\(0, 1\\)")
+  message(SEND_ERROR "budget_ms_success: wrong solutions:\n${LAST_STDOUT}")
+endif()
+
+# --test / --next still work on a degraded engine.
+run(degraded_test 0 "" "${CLIQUE_GRAPH}" "(x, y) := E(x, y)"
+    --max-edge-work 1 --test 3,7)
+if(NOT LAST_STDOUT MATCHES "= solution")
+  message(SEND_ERROR "degraded_test: wrong --test output:\n${LAST_STDOUT}")
+endif()
+run(degraded_next 0 "" "${CLIQUE_GRAPH}" "(x, y) := E(x, y)"
+    --max-edge-work 1 --next 59,59)
+if(NOT LAST_STDOUT MATCHES "= none")
+  message(SEND_ERROR "degraded_next: wrong --next output:\n${LAST_STDOUT}")
+endif()
