@@ -1,0 +1,165 @@
+// Experiment E13 — concurrent answering throughput. One engine, many
+// probes: TestBatch/NextBatch at 1/2/4/8 worker threads (probes/sec), the
+// serial one-at-a-time loop as the no-batch reference, and the sharded
+// EnumerateParallel against the serial enumerator. On a multi-core host
+// the curves should scale with threads; on a single-core container they
+// stay flat (precedent: E1b), which still certifies that concurrency adds
+// no overhead or divergence.
+//
+// Custom main: `--quick` (stripped before benchmark::Initialize) shrinks
+// the graph and batch sizes so the binary doubles as a ctest smoke test
+// (label bench_smoke) — it certifies the harness runs, not the numbers.
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "enumerate/engine.h"
+#include "enumerate/enumerator.h"
+#include "fo/builders.h"
+#include "util/rng.h"
+
+namespace nwd {
+namespace {
+
+bool g_quick = false;
+
+int64_t GraphSize() { return g_quick ? (1 << 10) : (1 << 13); }
+int TestBatchSize() { return g_quick ? 256 : 4096; }
+int NextBatchSize() { return g_quick ? 64 : 512; }
+
+struct Prepared {
+  std::unique_ptr<ColoredGraph> graph;  // stable address for the engine
+  std::unique_ptr<EnumerationEngine> engine;
+};
+
+Prepared& SharedEngine(int kind) {
+  static bench::ArgCache<Prepared> cache;
+  return cache.Get(kind, GraphSize(), [&] {
+    Prepared p;
+    p.graph =
+        std::make_unique<ColoredGraph>(bench::MakeGraph(kind, GraphSize()));
+    p.engine = std::make_unique<EnumerationEngine>(*p.graph,
+                                                   fo::FarColorQuery(2, 0));
+    return p;
+  });
+}
+
+std::vector<Tuple> MakeProbes(const ColoredGraph& g, int count) {
+  Rng rng(4242);
+  std::vector<Tuple> probes;
+  probes.reserve(static_cast<size_t>(count));
+  const auto domain = static_cast<uint64_t>(g.NumVertices());
+  for (int i = 0; i < count; ++i) {
+    probes.push_back(Tuple{static_cast<Vertex>(rng.NextBounded(domain)),
+                           static_cast<Vertex>(rng.NextBounded(domain))});
+  }
+  return probes;
+}
+
+// The no-batch reference: one probe at a time through the public API.
+void BM_SerialTestLoop(benchmark::State& state) {
+  Prepared& prepared = SharedEngine(bench::kTree);
+  const std::vector<Tuple> probes =
+      MakeProbes(*prepared.graph, TestBatchSize());
+  for (auto _ : state) {
+    for (const Tuple& probe : probes) {
+      benchmark::DoNotOptimize(prepared.engine->Test(probe));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(probes.size()));
+}
+
+void BM_TestBatch(benchmark::State& state) {
+  Prepared& prepared = SharedEngine(bench::kTree);
+  const int threads = static_cast<int>(state.range(0));
+  const std::vector<Tuple> probes =
+      MakeProbes(*prepared.graph, TestBatchSize());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(prepared.engine->TestBatch(probes, threads));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(probes.size()));
+  state.counters["threads"] = threads;
+}
+
+void BM_NextBatch(benchmark::State& state) {
+  Prepared& prepared = SharedEngine(bench::kTree);
+  const int threads = static_cast<int>(state.range(0));
+  const std::vector<Tuple> probes =
+      MakeProbes(*prepared.graph, NextBatchSize());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(prepared.engine->NextBatch(probes, threads));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(probes.size()));
+  state.counters["threads"] = threads;
+}
+
+void BM_EnumerateSerial(benchmark::State& state) {
+  Prepared& prepared = SharedEngine(bench::kTree);
+  const int64_t limit = g_quick ? 512 : 8192;
+  int64_t produced = 0;
+  for (auto _ : state) {
+    ConstantDelayEnumerator enumerator(*prepared.engine);
+    produced = 0;
+    for (auto t = enumerator.NextSolution();
+         t.has_value() && produced < limit;
+         t = enumerator.NextSolution()) {
+      ++produced;
+    }
+    benchmark::DoNotOptimize(produced);
+  }
+  state.SetItemsProcessed(state.iterations() * produced);
+}
+
+void BM_EnumerateParallel(benchmark::State& state) {
+  Prepared& prepared = SharedEngine(bench::kTree);
+  const int threads = static_cast<int>(state.range(0));
+  const int64_t limit = g_quick ? 512 : 8192;
+  int64_t produced = 0;
+  for (auto _ : state) {
+    const std::vector<Tuple> solutions =
+        prepared.engine->EnumerateParallel(threads, limit);
+    produced = static_cast<int64_t>(solutions.size());
+    benchmark::DoNotOptimize(solutions);
+  }
+  state.SetItemsProcessed(state.iterations() * produced);
+  state.counters["threads"] = threads;
+}
+
+void ThreadArgs(benchmark::internal::Benchmark* b) {
+  for (int threads : {1, 2, 4, 8}) b->Arg(threads);
+}
+
+BENCHMARK(BM_SerialTestLoop);
+BENCHMARK(BM_TestBatch)->Apply(ThreadArgs);
+BENCHMARK(BM_NextBatch)->Apply(ThreadArgs);
+BENCHMARK(BM_EnumerateSerial);
+BENCHMARK(BM_EnumerateParallel)->Apply(ThreadArgs);
+
+}  // namespace
+}  // namespace nwd
+
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      nwd::g_quick = true;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int pruned_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&pruned_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(pruned_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

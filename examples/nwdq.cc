@@ -4,12 +4,22 @@
 //   nwdq <graph-file> '<query>' [--limit N] [--count] [--test a,b,...]
 //        [--next a,b,...] [--explain] [--color Name=idx]...
 //        [--budget-ms N] [--max-edge-work N] [--max-avg-degree X]
+//        [--probe-file FILE] [--answer-threads N]
 //
 // Examples:
 //   nwdq city.g '(x, y) := dist(x, y) <= 4 & C0(y)' --limit 10
 //   nwdq net.g  '(x, y) := Blue(y) & dist(x,y) > 2' --color Blue=0 --count
 //   nwdq net.g  '(x, y) := E(x, y)' --test 3,7
 //   nwdq web.g  '(x, y) := E(x, y)' --budget-ms 100   # degrade, don't hang
+//   nwdq net.g  '(x, y) := E(x, y)' --probe-file probes.txt
+//               --answer-threads 8                    # batched serving
+//
+// A probe file holds one probe per line: `test a,b,...`, `next a,b,...`,
+// or a bare tuple `a,b,...` (treated as test). Blank lines and lines
+// starting with '#' are skipped. Answers print in input order; with
+// --answer-threads N the probes are served by N concurrent workers
+// (answers are bit-identical to serial). --answer-threads also switches
+// plain enumeration to the sharded parallel enumerator.
 //
 // Demonstrates downstream-tool usage of the full public API: graph I/O,
 // the parser, the engine (including budgeted preprocessing with graceful
@@ -26,7 +36,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -115,8 +127,97 @@ int Usage() {
                "            [--test a,b,..] [--next a,b,..] "
                "[--color Name=idx]...\n"
                "            [--budget-ms N] [--max-edge-work N] "
-               "[--max-avg-degree X]\n");
+               "[--max-avg-degree X]\n"
+               "            [--probe-file FILE] [--answer-threads N]\n");
   return 2;
+}
+
+// One parsed probe-file line.
+struct Probe {
+  bool is_next = false;  // false = test
+  nwd::Tuple tuple;
+};
+
+// Parses `path` into probes. Returns false (with a diagnostic) on any
+// malformed or out-of-range line — bad batch input is all-or-nothing.
+bool ReadProbeFile(const std::string& path, int arity, int64_t num_vertices,
+                   std::vector<Probe>* out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot read probe file '%s'\n", path.c_str());
+    return false;
+  }
+  std::string line;
+  int64_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    size_t begin = line.find_first_not_of(" \t\r");
+    if (begin == std::string::npos || line[begin] == '#') continue;
+    Probe probe;
+    const char* rest = line.c_str() + begin;
+    if (std::strncmp(rest, "test", 4) == 0 &&
+        (rest[4] == ' ' || rest[4] == '\t')) {
+      rest += 5;
+    } else if (std::strncmp(rest, "next", 4) == 0 &&
+               (rest[4] == ' ' || rest[4] == '\t')) {
+      probe.is_next = true;
+      rest += 5;
+    }
+    while (*rest == ' ' || *rest == '\t') ++rest;
+    if (!ParseTuple(rest, arity, &probe.tuple)) {
+      std::fprintf(stderr, "error: %s:%lld: expected %d comma-separated "
+                   "vertices, got '%s'\n",
+                   path.c_str(), static_cast<long long>(line_no), arity,
+                   rest);
+      return false;
+    }
+    const std::string where =
+        path + ":" + std::to_string(line_no) + ": probe";
+    if (!TupleInRange(probe.tuple, num_vertices, where.c_str())) {
+      return false;
+    }
+    out->push_back(std::move(probe));
+  }
+  return true;
+}
+
+// Serves a probe file through the batch APIs and prints one answer line
+// per probe, in input order.
+int ServeProbeFile(const nwd::EnumerationEngine& engine,
+                   const std::vector<Probe>& probes, int answer_threads) {
+  std::vector<nwd::Tuple> tests;
+  std::vector<nwd::Tuple> nexts;
+  for (const Probe& probe : probes) {
+    (probe.is_next ? nexts : tests).push_back(probe.tuple);
+  }
+  nwd::Timer timer;
+  const std::vector<uint8_t> test_answers =
+      engine.TestBatch(tests, answer_threads);
+  const std::vector<std::optional<nwd::Tuple>> next_answers =
+      engine.NextBatch(nexts, answer_threads);
+  const double elapsed = timer.ElapsedSeconds();
+  size_t ti = 0;
+  size_t ni = 0;
+  for (const Probe& probe : probes) {
+    std::printf("%s ", probe.is_next ? "next" : "test");
+    PrintTuple(probe.tuple);
+    if (probe.is_next) {
+      const std::optional<nwd::Tuple>& next = next_answers[ni++];
+      if (next.has_value()) {
+        std::printf(" = ");
+        PrintTuple(*next);
+        std::printf("\n");
+      } else {
+        std::printf(" = none\n");
+      }
+    } else {
+      std::printf(" = %s\n",
+                  test_answers[ti++] ? "solution" : "not a solution");
+    }
+  }
+  std::printf("served %zu probes with %d thread%s in %.3fs\n", probes.size(),
+              answer_threads, answer_threads == 1 ? "" : "s", elapsed);
+  return 0;
 }
 
 }  // namespace
@@ -131,6 +232,8 @@ int main(int argc, char** argv) {
   bool explain = false;
   const char* test_tuple = nullptr;
   const char* next_tuple = nullptr;
+  const char* probe_file = nullptr;
+  int64_t answer_threads = 1;
   std::map<std::string, int> color_names;
   nwd::EngineOptions engine_options;
   for (int i = 3; i < argc; ++i) {
@@ -145,6 +248,13 @@ int main(int argc, char** argv) {
       test_tuple = argv[++i];
     } else if (arg == "--next" && i + 1 < argc) {
       next_tuple = argv[++i];
+    } else if (arg == "--probe-file" && i + 1 < argc) {
+      probe_file = argv[++i];
+    } else if (arg == "--answer-threads" && i + 1 < argc) {
+      if (!ParseInt64Flag("--answer-threads", argv[++i], 1,
+                          &answer_threads)) {
+        return 2;
+      }
     } else if (arg == "--budget-ms" && i + 1 < argc) {
       if (!ParseInt64Flag("--budget-ms", argv[++i], 1,
                           &engine_options.budget.deadline_ms)) {
@@ -227,6 +337,15 @@ int main(int argc, char** argv) {
                 static_cast<long long>(engine.stats().budget_edge_work));
   }
 
+  if (probe_file != nullptr) {
+    std::vector<Probe> probes;
+    if (!ReadProbeFile(probe_file, engine.arity(),
+                       graph.graph.NumVertices(), &probes)) {
+      return 1;
+    }
+    return ServeProbeFile(engine, probes,
+                          static_cast<int>(answer_threads));
+  }
   if (test_tuple != nullptr) {
     nwd::Tuple t;
     if (!ParseTuple(test_tuple, engine.arity(), &t)) {
@@ -269,13 +388,25 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  nwd::ConstantDelayEnumerator enumerator(engine);
   int64_t produced = 0;
-  for (auto t = enumerator.NextSolution();
-       t.has_value() && produced < limit; t = enumerator.NextSolution()) {
-    PrintTuple(*t);
-    std::printf("\n");
-    ++produced;
+  if (answer_threads > 1) {
+    // Sharded parallel enumeration; the stream is identical to the serial
+    // enumerator's.
+    const std::vector<nwd::Tuple> solutions =
+        engine.EnumerateParallel(static_cast<int>(answer_threads), limit);
+    for (const nwd::Tuple& t : solutions) {
+      PrintTuple(t);
+      std::printf("\n");
+      ++produced;
+    }
+  } else {
+    nwd::ConstantDelayEnumerator enumerator(engine);
+    for (auto t = enumerator.NextSolution();
+         t.has_value() && produced < limit; t = enumerator.NextSolution()) {
+      PrintTuple(*t);
+      std::printf("\n");
+      ++produced;
+    }
   }
   if (produced == limit && limit > 0) {
     std::printf("... (limit %lld reached)\n", static_cast<long long>(limit));

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 #include <map>
+#include <span>
+#include <thread>
 #include <utility>
 
 #include "baseline/naive_enum.h"
@@ -33,6 +35,11 @@ EnumerationEngine::EnumerationEngine(const ColoredGraph& g,
   }
   lnf_ = CompileToLnf(query_);
   const int64_t n = g.NumVertices();
+  // The probe-context pool serves every answer mode (LNF descents need the
+  // full context; fallback probes still draw one for the counters), so it
+  // exists before any early return. Materializing local unaries below adds
+  // colors, never vertices, so sizing contexts off `g` is final.
+  probe_pool_ = std::make_unique<ProbeContextPool>(n);
 
   // Sentences go through the dedicated model checker (guarded-local
   // existentials, independence sentences, boolean combinations — naive
@@ -110,8 +117,7 @@ bool EnumerationEngine::StageTripped(const char* stage) {
 void EnumerationEngine::DegradeAfterTrip() {
   strategy_.reset();
   cover_.reset();
-  kernels_.clear();
-  kernels_.shrink_to_fit();
+  kernels_.Clear();
   oracle_.reset();
   lists_.clear();
   lists_.shrink_to_fit();
@@ -119,7 +125,6 @@ void EnumerationEngine::DegradeAfterTrip() {
   skips_.shrink_to_fit();
   case_data_.clear();
   case_data_.shrink_to_fit();
-  probe_ctx_.reset();
   stats_.fallback = true;
   stats_.degraded = true;
   stats_.tripped_stage = budget_.tripped_stage();
@@ -191,16 +196,15 @@ bool EnumerationEngine::PrepareLnfMode() {
                            static_cast<int64_t>(sizeof(Vertex)));
 
   phase_timer.Restart();
-  kernels_ = ComputeAllKernels(*graph_, *cover_, r, &pool, &budget_);
+  {
+    const std::vector<std::vector<Vertex>> kernel_rows =
+        ComputeAllKernels(*graph_, *cover_, r, &pool, &budget_);
+    kernels_ = FlatRows<Vertex>(kernel_rows);
+  }
   stats_.kernels_ms = phase_timer.ElapsedSeconds() * 1e3;
   if (StageTripped("engine/kernels")) return false;
-  {
-    int64_t kernel_bytes = 0;
-    for (const auto& kernel : kernels_) {
-      kernel_bytes += static_cast<int64_t>(kernel.size() * sizeof(Vertex));
-    }
-    budget_.ChargeAllocation(kernel_bytes);
-  }
+  budget_.ChargeAllocation(kernels_.TotalValues() *
+                           static_cast<int64_t>(sizeof(Vertex)));
 
   DistanceOracle::Options oracle_options = options_.oracle;
   oracle_options.budget = &budget_;
@@ -281,13 +285,22 @@ bool EnumerationEngine::PrepareLnfMode() {
   }
   if (StageTripped("engine/lists")) return false;
 
+  // The vertex -> containing-kernels index is shared by every per-list
+  // skip structure (the seed rebuilt it once per list); one counting-sort
+  // pass over the flattened kernels.
+  auto kernels_containing = std::make_shared<const FlatRows<int64_t>>(
+      SkipPointers::IndexKernels(n, kernels_));
+  budget_.ChargeWork(kernels_.TotalValues());
+  budget_.ChargeAllocation(kernels_containing->TotalValues() *
+                           static_cast<int64_t>(sizeof(int64_t)));
+
   skips_.resize(lists_.size());
   pool.ParallelFor(
       0, static_cast<int64_t>(lists_.size()), /*grain=*/1,
       [&](int64_t li, int) {
         skips_[static_cast<size_t>(li)] = std::make_unique<SkipPointers>(
-            n, kernels_, lists_[static_cast<size_t>(li)], skip_set_size,
-            &budget_);
+            n, kernels_containing, lists_[static_cast<size_t>(li)],
+            skip_set_size, &budget_);
       },
       &budget_);
   if (StageTripped("engine/skips")) return false;
@@ -338,12 +351,15 @@ bool EnumerationEngine::PrepareLnfMode() {
     }
   }
   if (StageTripped("engine/extendable")) return false;
+  // The preprocessing descents' cache traffic lands in stats_; answer-time
+  // traffic stays per-context until DrainAnswerStats().
   for (const auto& ctx : contexts) {
-    if (ctx != nullptr) stats_.ball_cache_hits += ctx->ball_cache_hits;
+    if (ctx != nullptr) {
+      stats_.ball_cache_hits +=
+          ctx->ball_cache_hits.load(std::memory_order_relaxed);
+    }
   }
   stats_.extendable_ms = phase_timer.ElapsedSeconds() * 1e3;
-
-  probe_ctx_ = std::make_unique<ProbeContext>(n);
   return true;
 }
 
@@ -417,18 +433,22 @@ std::optional<Vertex> EnumerationEngine::SmallestCandidate(
     // One probe (Next() call / preprocessing descent) re-scans the same
     // anchor on every backtrack and at every later same-component
     // position; the radius is fixed, so the ball is cached per anchor.
-    const auto [ball_it, inserted] = ctx->balls.try_emplace(anchor);
-    if (inserted) {
-      ball_it->second = ctx->scratch.Neighborhood(*graph_, anchor, radius);
+    // The cache arena keeps its capacity across probes, so a steady-state
+    // miss costs one BFS into a warm buffer and one arena append — no
+    // heap allocation.
+    std::span<const Vertex> ball;
+    if (ctx->balls.Lookup(anchor, &ball)) {
+      ctx->ball_cache_hits.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      ctx->ball_cache_misses.fetch_add(1, std::memory_order_relaxed);
+      ctx->scratch.NeighborhoodInto(*graph_, anchor, radius,
+                                    &ctx->ball_scratch);
+      ball = ctx->balls.Insert(anchor, ctx->ball_scratch);
       if (ctx->budget != nullptr &&
-          !ctx->budget->ChargeWork(
-              static_cast<int64_t>(ball_it->second.size()))) {
+          !ctx->budget->ChargeWork(static_cast<int64_t>(ball.size()))) {
         return std::nullopt;  // preprocessing descent, result discarded
       }
-    } else {
-      ++ctx->ball_cache_hits;
     }
-    const std::vector<Vertex>& ball = ball_it->second;
     for (auto it = std::lower_bound(ball.begin(), ball.end(), min_val);
          it != ball.end(); ++it) {
       if (UnaryOk(c, pos, *it) &&
@@ -441,9 +461,9 @@ std::optional<Vertex> EnumerationEngine::SmallestCandidate(
 
   // Case I: `pos` starts a fresh component; every earlier variable is in
   // another component, so the candidate must be at distance > r from all
-  // of them.
-  std::vector<int64_t> bags;
-  bags.reserve(static_cast<size_t>(pos));
+  // of them. The bag set lives in context scratch (at most pos entries).
+  std::vector<int64_t>& bags = ctx->case1_bags;
+  bags.clear();
   for (int e = 0; e < pos; ++e) {
     bags.push_back(cover_->AssignedBag(assignment[e]));
   }
@@ -455,7 +475,8 @@ std::optional<Vertex> EnumerationEngine::SmallestCandidate(
   // automatically far from every earlier vertex (kernel argument).
   const int li = data.list_index[pos];
   NWD_DCHECK(li >= 0);
-  const Vertex from_skip = skips_[static_cast<size_t>(li)]->Skip(min_val, bags);
+  const Vertex from_skip = skips_[static_cast<size_t>(li)]->Skip(
+      min_val, std::span<const int64_t>(bags));
   if (from_skip >= 0) best = from_skip;
 
   // The b'_kappa candidates: inside one of the earlier bags (covers valid
@@ -499,14 +520,28 @@ bool EnumerationEngine::Descend(size_t case_index, int pos, const Tuple& from,
   }
 }
 
-std::optional<Tuple> EnumerationEngine::NextForCase(size_t case_index,
-                                                    const Tuple& from,
-                                                    ProbeContext* ctx) const {
-  Tuple assignment(static_cast<size_t>(lnf_.arity), 0);
-  if (Descend(case_index, 0, from, /*tight=*/true, &assignment, ctx)) {
-    return assignment;
+bool EnumerationEngine::NextForCase(size_t case_index, const Tuple& from,
+                                    ProbeContext* ctx) const {
+  ctx->descents.fetch_add(1, std::memory_order_relaxed);
+  ctx->assignment.assign(static_cast<size_t>(lnf_.arity), 0);
+  return Descend(case_index, 0, from, /*tight=*/true, &ctx->assignment, ctx);
+}
+
+std::optional<Tuple> EnumerationEngine::NextLnf(const Tuple& from,
+                                                ProbeContext* ctx) const {
+  // The ball cache spans exactly this probe: the same anchors recur across
+  // backtracks and across cases, but later probes see fresh state.
+  ctx->ResetBallCache();
+  bool have_best = false;
+  for (size_t ci = 0; ci < lnf_.cases.size(); ++ci) {
+    if (!NextForCase(ci, from, ctx)) continue;
+    if (!have_best || LexCompare(ctx->assignment, ctx->best) < 0) {
+      ctx->best = ctx->assignment;  // capacity-reusing copy
+      have_best = true;
+    }
   }
-  return std::nullopt;
+  if (!have_best) return std::nullopt;
+  return ctx->best;
 }
 
 std::optional<Tuple> EnumerationEngine::Next(const Tuple& from) const {
@@ -515,7 +550,13 @@ std::optional<Tuple> EnumerationEngine::Next(const Tuple& from) const {
     NWD_CHECK(v >= 0 && v < graph_->NumVertices())
         << "Next() probe component " << v << " out of range";
   }
-  if (lazy_next_ != nullptr) return lazy_next_->Next(from);
+  ScopedProbeContext ctx(probe_pool_.get());
+  ctx->probes_served.fetch_add(1, std::memory_order_relaxed);
+  if (lazy_next_ != nullptr) {
+    // The lazy evaluators keep internal scratch; serialize.
+    std::lock_guard<std::mutex> lock(lazy_mu_);
+    return lazy_next_->Next(from);
+  }
   if (stats_.fallback) {
     const auto it = std::lower_bound(
         materialized_.begin(), materialized_.end(), from,
@@ -523,26 +564,17 @@ std::optional<Tuple> EnumerationEngine::Next(const Tuple& from) const {
     if (it == materialized_.end()) return std::nullopt;
     return *it;
   }
-  // The ball cache spans exactly this call: the same anchors recur across
-  // backtracks and across cases, but later calls see fresh state.
-  ProbeContext* ctx = probe_ctx_.get();
-  ctx->ResetBallCache();
-  std::optional<Tuple> best;
-  for (size_t ci = 0; ci < lnf_.cases.size(); ++ci) {
-    const std::optional<Tuple> cand = NextForCase(ci, from, ctx);
-    if (cand.has_value() &&
-        (!best.has_value() || LexCompare(*cand, *best) < 0)) {
-      best = cand;
-    }
-  }
-  stats_.ball_cache_hits += ctx->ball_cache_hits;
-  ctx->ball_cache_hits = 0;
-  return best;
+  return NextLnf(from, ctx.get());
 }
 
 bool EnumerationEngine::Test(const Tuple& tuple) const {
   NWD_CHECK_EQ(static_cast<int>(tuple.size()), arity());
-  if (lazy_eval_ != nullptr) return lazy_eval_->TestTuple(query_, tuple);
+  ScopedProbeContext ctx(probe_pool_.get());
+  ctx->probes_served.fetch_add(1, std::memory_order_relaxed);
+  if (lazy_eval_ != nullptr) {
+    std::lock_guard<std::mutex> lock(lazy_mu_);
+    return lazy_eval_->TestTuple(query_, tuple);
+  }
   if (stats_.fallback) {
     return std::binary_search(
         materialized_.begin(), materialized_.end(), tuple,
@@ -598,6 +630,124 @@ std::optional<Tuple> EnumerationEngine::First() const {
   }
   if (graph_->NumVertices() == 0) return std::nullopt;
   return Next(LexMin(arity()));
+}
+
+int EnumerationEngine::ResolveAnswerThreads(int num_threads) {
+  if (num_threads > 0) return num_threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+std::vector<uint8_t> EnumerationEngine::TestBatch(
+    const std::vector<Tuple>& probes, int num_threads) const {
+  std::vector<uint8_t> out(probes.size(), 0);
+  ThreadPool pool(ResolveAnswerThreads(num_threads));
+  pool.ParallelFor(0, static_cast<int64_t>(probes.size()), /*grain=*/8,
+                   [&](int64_t i, int) {
+                     out[static_cast<size_t>(i)] =
+                         Test(probes[static_cast<size_t>(i)]) ? 1 : 0;
+                   });
+  return out;
+}
+
+std::vector<std::optional<Tuple>> EnumerationEngine::NextBatch(
+    const std::vector<Tuple>& froms, int num_threads) const {
+  std::vector<std::optional<Tuple>> out(froms.size());
+  ThreadPool pool(ResolveAnswerThreads(num_threads));
+  pool.ParallelFor(0, static_cast<int64_t>(froms.size()), /*grain=*/8,
+                   [&](int64_t i, int) {
+                     out[static_cast<size_t>(i)] =
+                         Next(froms[static_cast<size_t>(i)]);
+                   });
+  return out;
+}
+
+std::vector<Tuple> EnumerationEngine::EnumerateParallel(int num_threads,
+                                                        int64_t limit) const {
+  if (limit == 0) return {};
+  const int k = arity();
+  const int64_t n = graph_->NumVertices();
+  if (stats_.fallback) {
+    if (lazy_next_ == nullptr) {
+      // Materialized mode already holds the sorted stream; slice it.
+      int64_t count = static_cast<int64_t>(materialized_.size());
+      if (limit >= 0) count = std::min(count, limit);
+      return std::vector<Tuple>(materialized_.begin(),
+                                materialized_.begin() + count);
+    }
+    // Lazy mode answers through a stateful evaluator; enumerate serially
+    // (exactly the ConstantDelayEnumerator loop).
+    std::vector<Tuple> out;
+    if (k == 0 || n == 0) return out;
+    Tuple cursor = LexMin(k);
+    for (;;) {
+      if (limit >= 0 && static_cast<int64_t>(out.size()) >= limit) break;
+      std::optional<Tuple> sol = Next(cursor);
+      if (!sol.has_value()) break;
+      out.push_back(std::move(*sol));
+      cursor = out.back();
+      if (!LexIncrement(&cursor, n)) break;
+    }
+    return out;
+  }
+
+  // LNF mode: every solution's first coordinate is an extendable value of
+  // some case, so the union of the extendable0 lists partitions the
+  // solution space into contiguous first-coordinate ranges. Shards are
+  // disjoint (distinct first coordinates) and internally ordered, so
+  // concatenating them in range order reproduces the serial stream
+  // exactly — no merge, no dedup.
+  std::vector<Vertex> firsts;
+  for (const CaseData& data : case_data_) {
+    firsts.insert(firsts.end(), data.extendable0.begin(),
+                  data.extendable0.end());
+  }
+  std::sort(firsts.begin(), firsts.end());
+  firsts.erase(std::unique(firsts.begin(), firsts.end()), firsts.end());
+  if (firsts.empty()) return {};
+
+  const int threads = ResolveAnswerThreads(num_threads);
+  const int64_t num_shards =
+      std::min<int64_t>(threads, static_cast<int64_t>(firsts.size()));
+  const int64_t per_shard =
+      (static_cast<int64_t>(firsts.size()) + num_shards - 1) / num_shards;
+  std::vector<std::vector<Tuple>> parts(static_cast<size_t>(num_shards));
+  ThreadPool pool(threads);
+  pool.ParallelFor(
+      0, num_shards, /*grain=*/1, [&](int64_t s, int) {
+        const int64_t lo_idx = s * per_shard;
+        const int64_t hi_idx = std::min<int64_t>(
+            static_cast<int64_t>(firsts.size()), lo_idx + per_shard);
+        if (lo_idx >= hi_idx) return;
+        const Vertex last_first = firsts[static_cast<size_t>(hi_idx - 1)];
+        ScopedProbeContext ctx(probe_pool_.get());
+        std::vector<Tuple>& out = parts[static_cast<size_t>(s)];
+        Tuple cursor = LexMin(k);
+        cursor[0] = firsts[static_cast<size_t>(lo_idx)];
+        for (;;) {
+          // A global limit needs at most `limit` answers from any shard
+          // (the kept prefix of the concatenation).
+          if (limit >= 0 && static_cast<int64_t>(out.size()) >= limit) break;
+          ctx->probes_served.fetch_add(1, std::memory_order_relaxed);
+          std::optional<Tuple> sol = NextLnf(cursor, ctx.get());
+          if (!sol.has_value() || (*sol)[0] > last_first) break;
+          out.push_back(std::move(*sol));
+          cursor = out.back();
+          if (!LexIncrement(&cursor, n)) break;
+        }
+      });
+  std::vector<Tuple> out;
+  for (std::vector<Tuple>& part : parts) {
+    for (Tuple& t : part) {
+      if (limit >= 0 && static_cast<int64_t>(out.size()) >= limit) return out;
+      out.push_back(std::move(t));
+    }
+  }
+  return out;
+}
+
+AnswerCounters EnumerationEngine::DrainAnswerStats() const {
+  return probe_pool_->Drain();
 }
 
 }  // namespace nwd

@@ -32,6 +32,17 @@
 //         b'_kappa candidates);
 //     the smallest case answer wins (Theorem 2.3 / 5.1).
 //
+// Concurrency contract: after construction the engine is logically
+// immutable, and Test/Next/First (and the batch wrappers below) are safe
+// to call from any number of threads at once. Every per-probe mutable
+// datum lives in a ProbeContext drawn from a lock-free pool (one context
+// per in-flight probe; see probe_context.h); answer-time statistics
+// accumulate in per-context counters drained on demand through
+// DrainAnswerStats(). Answers are bit-identical regardless of the number
+// of concurrent callers. The degraded/lazy fallback paths keep internal
+// scratch and serialize behind a mutex — correct under concurrency,
+// faster single-threaded.
+//
 // Deviations from the paper, both documented in DESIGN.md:
 //   * within-component "smallest valid member" is found by scanning the
 //     (k-1)*r-ball of the component anchor (complete by the component-
@@ -50,14 +61,15 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "cover/neighborhood_cover.h"
 #include "enumerate/lnf.h"
 #include "enumerate/local_unary.h"
+#include "enumerate/probe_context.h"
 #include "fo/ast.h"
 #include "graph/bfs.h"
 #include "graph/colored_graph.h"
@@ -65,6 +77,7 @@
 #include "skip/skip_pointers.h"
 #include "splitter/strategy.h"
 #include "util/budget.h"
+#include "util/flat_rows.h"
 #include "util/lex.h"
 
 namespace nwd {
@@ -84,7 +97,9 @@ struct EngineOptions {
   // hardware_concurrency, 1 (the default) is the fully serial path. Every
   // parallel stage collects results in index order, so the built engine —
   // and therefore every Next/Test/Enumerate answer — is bit-identical
-  // across thread counts. Answering is always single-threaded.
+  // across thread counts. Answer-time parallelism is the caller's choice:
+  // Test/Next are thread-safe, and TestBatch/NextBatch/EnumerateParallel
+  // take their own thread count.
   int num_threads = 1;
   DistanceOracle::Options oracle;
   // Resource budget + density guards for the preprocessing phase.
@@ -94,7 +109,9 @@ struct EngineOptions {
   // the input is far outside the sparse regime — makes the engine abandon
   // the LNF construction and degrade to a correct lazy baseline answer
   // path instead of hanging or crashing (Stats records the tripped stage
-  // and reason). Default: unlimited, behavior unchanged.
+  // and reason). Default: unlimited, behavior unchanged. Answering is
+  // never budgeted: per-probe work is bounded by the (budgeted)
+  // preprocessing structures.
   ResourceBudgetOptions budget;
 };
 
@@ -119,7 +136,8 @@ class EnumerationEngine {
     double skips_ms = 0.0;       // candidate-list scans + skip pointers
     double extendable_ms = 0.0;  // extendable first-coordinate descents
     // Case II anchor balls served from the per-probe cache instead of a
-    // fresh BFS (preprocessing descents + answering combined).
+    // fresh BFS during the preprocessing descents. (Answer-time cache
+    // traffic is per-context; drain it via DrainAnswerStats().)
     int64_t ball_cache_hits = 0;
     // Graceful degradation (see EngineOptions::budget). `degraded` means a
     // budget / density-guard / fault-injection trip aborted the LNF
@@ -156,13 +174,36 @@ class EnumerationEngine {
 
   // Theorem 2.3: the smallest solution >= from (lexicographically), or
   // nullopt. `from` must have the query's arity with components in [0, n).
+  // Thread-safe; callable concurrently with any other answer method.
   std::optional<Tuple> Next(const Tuple& from) const;
 
-  // Corollary 2.4: constant-time solution test.
+  // Corollary 2.4: constant-time solution test. Thread-safe.
   bool Test(const Tuple& tuple) const;
 
-  // The smallest solution overall.
+  // The smallest solution overall. Thread-safe.
   std::optional<Tuple> First() const;
+
+  // Batched probe serving: answers probes[i] into slot i, fanning the
+  // probes across `num_threads` workers (0 = hardware concurrency, 1 =
+  // inline). Results are exactly what a Test()/Next() loop would produce.
+  std::vector<uint8_t> TestBatch(const std::vector<Tuple>& probes,
+                                 int num_threads = 1) const;
+  std::vector<std::optional<Tuple>> NextBatch(const std::vector<Tuple>& froms,
+                                              int num_threads = 1) const;
+
+  // All solutions (up to `limit`; limit < 0 = unbounded) in lexicographic
+  // order, produced by sharding the solution space over the extendable
+  // first-coordinate ranges and enumerating the shards concurrently.
+  // Exactly the ConstantDelayEnumerator stream, num_threads-invariant.
+  std::vector<Tuple> EnumerateParallel(int num_threads,
+                                       int64_t limit = -1) const;
+
+  // Aggregates and resets the answer-time counters accumulated by every
+  // probe context since the last drain (construction's extendable-descent
+  // probes excluded — those land in stats().ball_cache_hits). Thread-safe;
+  // may run concurrently with probes, which keep counting into the next
+  // drain.
+  AnswerCounters DrainAnswerStats() const;
 
  private:
   struct CaseData {
@@ -173,25 +214,6 @@ class EnumerationEngine {
     // Sorted, case-specific extendable values for position 0 (the
     // materialized projection).
     std::vector<Vertex> extendable0;
-  };
-
-  // Per-thread descent state: a BFS scratch plus the Case II ball cache
-  // (anchor -> its sorted (k-1)*r ball). The cache is valid for one probe
-  // — a single Next() call, or one extendable0 descent during
-  // preprocessing — because within a probe the same anchor is re-scanned
-  // on every backtrack and at every later same-component position.
-  struct ProbeContext {
-    explicit ProbeContext(int64_t num_vertices) : scratch(num_vertices) {}
-    void ResetBallCache() { balls.clear(); }
-
-    BfsScratch scratch;
-    std::unordered_map<Vertex, std::vector<Vertex>> balls;
-    int64_t ball_cache_hits = 0;  // drained into stats_ by the owner
-    Tuple assignment;             // reusable descent buffer
-    // Borrowed preprocessing budget; descents poll it so a trip cancels
-    // in-flight extendable probes. Null at answer time (answers are O(1)
-    // per case and never budgeted).
-    const ResourceBudget* budget = nullptr;
   };
 
   // Runs the LNF preprocessing stages. Returns false when the budget
@@ -221,8 +243,7 @@ class EnumerationEngine {
 
   // Smallest valid candidate >= min_val for position `pos`, given the
   // earlier assignment. `case_index` selects the case; `ctx` supplies the
-  // caller's BFS scratch and ball cache (one per thread in the parallel
-  // preprocessing phase).
+  // caller's BFS scratch and ball cache (one per in-flight probe).
   std::optional<Vertex> SmallestCandidate(size_t case_index, int pos,
                                           const Tuple& assignment,
                                           Vertex min_val,
@@ -233,8 +254,16 @@ class EnumerationEngine {
   bool Descend(size_t case_index, int pos, const Tuple& from, bool tight,
                Tuple* assignment, ProbeContext* ctx) const;
 
-  std::optional<Tuple> NextForCase(size_t case_index, const Tuple& from,
-                                   ProbeContext* ctx) const;
+  // Runs the full descent for one case; on success the solution is left in
+  // ctx->assignment.
+  bool NextForCase(size_t case_index, const Tuple& from,
+                   ProbeContext* ctx) const;
+
+  // LNF-mode Next() body running against the caller's context.
+  std::optional<Tuple> NextLnf(const Tuple& from, ProbeContext* ctx) const;
+
+  // num_threads semantics shared by the batch APIs (0 = hardware).
+  static int ResolveAnswerThreads(int num_threads);
 
   const ColoredGraph* graph_;
   // When guarded-local unaries are materialized, the engine operates on
@@ -247,32 +276,31 @@ class EnumerationEngine {
   // member-init list can read options_.budget.
   ResourceBudget budget_;
   Lnf lnf_;
-  // Mutable so the (logically const, single-threaded) answering path can
-  // account ball-cache hits.
-  mutable Stats stats_;
+  Stats stats_;
 
   // Fallback mode: the sorted solution set.
   std::vector<Tuple> materialized_;
   // Lazy fallback mode (degraded engines, and budgeted graphs too big to
-  // materialize): mutable because answering is logically const but both
-  // evaluators keep internal scratch. Answering stays single-threaded.
+  // materialize): both evaluators keep internal scratch, so concurrent
+  // answer calls serialize behind lazy_mu_.
+  mutable std::mutex lazy_mu_;
   mutable std::unique_ptr<fo::NaiveEvaluator> lazy_eval_;
   mutable std::unique_ptr<BacktrackingEnumerator> lazy_next_;
 
   // LNF mode.
   std::unique_ptr<SplitterStrategy> strategy_;
   std::unique_ptr<NeighborhoodCover> cover_;
-  std::vector<std::vector<Vertex>> kernels_;  // r-kernels per bag
+  FlatRows<Vertex> kernels_;  // r-kernels per bag, CSR layout
   std::unique_ptr<DistanceOracle> oracle_;
   // Deduplicated candidate lists (by unary-literal signature) and their
   // skip-pointer structures.
   std::vector<std::vector<Vertex>> lists_;
   std::vector<std::unique_ptr<SkipPointers>> skips_;
   std::vector<CaseData> case_data_;
-  // Probe state for the answer-time anchored-candidate ball scans (makes
-  // Next() non-reentrant but keeps it allocation-light; preprocessing uses
-  // its own per-thread contexts).
-  mutable std::unique_ptr<ProbeContext> probe_ctx_;
+  // Per-probe contexts for the answer-time descents: a lock-free pool
+  // handing one context to each in-flight Test/Next, which makes the
+  // answer path reentrant and allocation-free in steady state.
+  mutable std::unique_ptr<ProbeContextPool> probe_pool_;
 };
 
 }  // namespace nwd

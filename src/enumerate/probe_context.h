@@ -1,0 +1,254 @@
+// Per-caller answer-phase state: scratch buffers, the Case II anchor-ball
+// cache, and answer-time statistics counters.
+//
+// The paper's answering phase (Theorem 2.3 / Corollary 2.4) is the cheap,
+// replicable part of the algorithm — Test is O(1) and Next is
+// constant-delay after preprocessing — so the engine must be able to serve
+// many concurrent probe streams over one immutable set of preprocessed
+// structures. Everything a probe mutates lives here:
+//
+//   * ProbeContext — one caller's scratch: a BFS workspace, the per-probe
+//     anchor-ball cache, reusable descent buffers, and relaxed atomic
+//     answer counters (atomic only so a concurrent DrainAnswerStats() can
+//     read them race-free; each counter is written by one thread at a
+//     time).
+//   * FlatBallCache — an open-addressing Vertex -> ball map backed by a
+//     bump arena, so a steady-state probe performs zero heap allocations
+//     (the unordered_map<Vertex, vector<Vertex>> it replaces allocated a
+//     node plus a vector per fresh anchor).
+//   * ProbeContextPool — a lock-free free-list handing one context to each
+//     in-flight probe. Pop takes the whole list with one atomic exchange
+//     (no ABA window), push is a plain CAS; a miss allocates a new context,
+//     so the pool grows to the caller's actual concurrency and no further.
+//
+// Answering needs no budget: every per-probe datum is bounded by the
+// preprocessing-time structures (ball radii, list sizes), which were
+// themselves budgeted. The `budget` pointer below is only set by the
+// preprocessing phase's extendable-coordinate descents.
+
+#ifndef NWD_ENUMERATE_PROBE_CONTEXT_H_
+#define NWD_ENUMERATE_PROBE_CONTEXT_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "graph/bfs.h"
+#include "graph/colored_graph.h"
+#include "util/lex.h"
+
+namespace nwd {
+
+class ResourceBudget;
+
+// Answer-time counters, aggregated across contexts by
+// EnumerationEngine::DrainAnswerStats().
+struct AnswerCounters {
+  int64_t probes_served = 0;      // Test() + Next() calls answered
+  int64_t descents = 0;           // per-case lexicographic descents run
+  int64_t ball_cache_hits = 0;    // Case II anchor balls served from cache
+  int64_t ball_cache_misses = 0;  // Case II anchor balls BFS'd fresh
+  int64_t contexts = 0;           // pool size (peak probe concurrency)
+};
+
+// Open-addressing map Vertex -> sorted vertex ball, all storage in two
+// flat arrays that keep their capacity across Clear(): after the first few
+// probes warm the arena, a probe allocates nothing.
+class FlatBallCache {
+ public:
+  // Returns true and sets *ball if `key` is cached.
+  bool Lookup(Vertex key, std::span<const Vertex>* ball) const {
+    if (entries_.empty()) return false;
+    const size_t mask = slots_.size() - 1;
+    for (size_t s = Hash(key) & mask;; s = (s + 1) & mask) {
+      const Slot& slot = slots_[s];
+      if (slot.entry < 0) return false;
+      if (slot.key == key) {
+        const Entry& e = entries_[static_cast<size_t>(slot.entry)];
+        *ball = std::span<const Vertex>(arena_.data() + e.begin, e.len);
+        return true;
+      }
+    }
+  }
+
+  // Copies `ball` into the arena and maps `key` to it. `key` must not be
+  // present. Returns the arena-backed span (stable until Clear()).
+  std::span<const Vertex> Insert(Vertex key, std::span<const Vertex> ball) {
+    if (slots_.empty() || entries_.size() + 1 > slots_.size() / 2) Grow();
+    const size_t begin = arena_.size();
+    arena_.insert(arena_.end(), ball.begin(), ball.end());
+    const size_t mask = slots_.size() - 1;
+    size_t s = Hash(key) & mask;
+    while (slots_[s].entry >= 0) s = (s + 1) & mask;
+    slots_[s] = Slot{key, static_cast<int32_t>(entries_.size())};
+    used_slots_.push_back(static_cast<uint32_t>(s));
+    entries_.push_back(Entry{begin, ball.size()});
+    keys_.push_back(key);
+    return std::span<const Vertex>(arena_.data() + begin, ball.size());
+  }
+
+  // Forgets every mapping; keeps all capacity.
+  void Clear() {
+    for (const uint32_t s : used_slots_) slots_[s].entry = -1;
+    used_slots_.clear();
+    entries_.clear();
+    keys_.clear();
+    arena_.clear();
+  }
+
+  size_t size() const { return entries_.size(); }
+
+ private:
+  struct Slot {
+    Vertex key = -1;
+    int32_t entry = -1;  // -1 = empty
+  };
+  struct Entry {
+    size_t begin = 0;
+    size_t len = 0;
+  };
+
+  static size_t Hash(Vertex key) {
+    // Fibonacci multiplicative hash; anchors are dense small integers.
+    return static_cast<size_t>(static_cast<uint64_t>(key) *
+                               0x9E3779B97F4A7C15ull >>
+                               32);
+  }
+
+  void Grow() {
+    const size_t capacity = slots_.empty() ? 64 : slots_.size() * 2;
+    slots_.assign(capacity, Slot{});
+    used_slots_.clear();
+    const size_t mask = capacity - 1;
+    for (size_t e = 0; e < entries_.size(); ++e) {
+      // Rebuild the index; keys are recovered lazily below.
+      size_t s = Hash(keys_[e]) & mask;
+      while (slots_[s].entry >= 0) s = (s + 1) & mask;
+      slots_[s] = Slot{keys_[e], static_cast<int32_t>(e)};
+      used_slots_.push_back(static_cast<uint32_t>(s));
+    }
+  }
+
+  std::vector<Slot> slots_;           // power-of-two open addressing
+  std::vector<uint32_t> used_slots_;  // occupied slot indices (O(used) Clear)
+  std::vector<Entry> entries_;
+  std::vector<Vertex> keys_;   // entry index -> key (rehash support)
+  std::vector<Vertex> arena_;  // concatenated balls
+};
+
+// One caller's mutable probe state. Exactly one thread uses a context at a
+// time; the counters are atomics only so a concurrent drain reads a
+// coherent value.
+struct ProbeContext {
+  explicit ProbeContext(int64_t num_vertices) : scratch(num_vertices) {}
+
+  void ResetBallCache() { balls.Clear(); }
+
+  BfsScratch scratch;
+  FlatBallCache balls;
+  std::vector<Vertex> ball_scratch;  // BFS output before the arena copy
+  std::vector<int64_t> case1_bags;   // Case I earlier-bag set
+  Tuple assignment;                  // reusable descent buffer
+  Tuple best;                        // best-across-cases buffer
+
+  std::atomic<int64_t> probes_served{0};
+  std::atomic<int64_t> descents{0};
+  std::atomic<int64_t> ball_cache_hits{0};
+  std::atomic<int64_t> ball_cache_misses{0};
+
+  // Borrowed preprocessing budget; descents poll it so a trip cancels
+  // in-flight extendable probes. Always null at answer time (answers are
+  // O(1) per case and never budgeted).
+  const ResourceBudget* budget = nullptr;
+
+  ProbeContext* next_free = nullptr;  // intrusive pool free-list link
+};
+
+// Lock-free LIFO free-list of contexts, one per in-flight probe. Acquire
+// pops by exchanging the whole list head (immune to the classic
+// compare-and-swap ABA hazard because no other thread can observe an
+// intermediate head), Release pushes with a CAS loop. Contexts live until
+// the pool dies, so Drain() can walk them at any time.
+class ProbeContextPool {
+ public:
+  explicit ProbeContextPool(int64_t num_vertices)
+      : num_vertices_(num_vertices) {}
+
+  ProbeContext* Acquire() {
+    ProbeContext* head =
+        free_head_.exchange(nullptr, std::memory_order_acquire);
+    if (head != nullptr) {
+      ProbeContext* rest = head->next_free;
+      head->next_free = nullptr;
+      if (rest != nullptr) PushChain(rest);
+      return head;
+    }
+    auto created = std::make_unique<ProbeContext>(num_vertices_);
+    ProbeContext* ctx = created.get();
+    std::lock_guard<std::mutex> lock(mu_);
+    all_.push_back(std::move(created));
+    return ctx;
+  }
+
+  void Release(ProbeContext* ctx) { PushChain(ctx); }
+
+  // Sums and resets the per-context counters. Safe concurrently with
+  // probes; in-flight probes keep counting into the next drain.
+  AnswerCounters Drain() {
+    AnswerCounters out;
+    std::lock_guard<std::mutex> lock(mu_);
+    out.contexts = static_cast<int64_t>(all_.size());
+    for (const auto& ctx : all_) {
+      out.probes_served +=
+          ctx->probes_served.exchange(0, std::memory_order_relaxed);
+      out.descents += ctx->descents.exchange(0, std::memory_order_relaxed);
+      out.ball_cache_hits +=
+          ctx->ball_cache_hits.exchange(0, std::memory_order_relaxed);
+      out.ball_cache_misses +=
+          ctx->ball_cache_misses.exchange(0, std::memory_order_relaxed);
+    }
+    return out;
+  }
+
+ private:
+  void PushChain(ProbeContext* chain) {
+    ProbeContext* tail = chain;
+    while (tail->next_free != nullptr) tail = tail->next_free;
+    ProbeContext* old_head = free_head_.load(std::memory_order_relaxed);
+    do {
+      tail->next_free = old_head;
+    } while (!free_head_.compare_exchange_weak(old_head, chain,
+                                               std::memory_order_release,
+                                               std::memory_order_relaxed));
+  }
+
+  const int64_t num_vertices_;
+  std::atomic<ProbeContext*> free_head_{nullptr};
+  std::mutex mu_;  // guards all_ (touched on create and drain only)
+  std::vector<std::unique_ptr<ProbeContext>> all_;
+};
+
+// RAII acquire/release.
+class ScopedProbeContext {
+ public:
+  explicit ScopedProbeContext(ProbeContextPool* pool)
+      : pool_(pool), ctx_(pool->Acquire()) {}
+  ~ScopedProbeContext() { pool_->Release(ctx_); }
+  ScopedProbeContext(const ScopedProbeContext&) = delete;
+  ScopedProbeContext& operator=(const ScopedProbeContext&) = delete;
+
+  ProbeContext* operator->() const { return ctx_; }
+  ProbeContext* get() const { return ctx_; }
+
+ private:
+  ProbeContextPool* pool_;
+  ProbeContext* ctx_;
+};
+
+}  // namespace nwd
+
+#endif  // NWD_ENUMERATE_PROBE_CONTEXT_H_

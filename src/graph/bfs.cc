@@ -46,6 +46,20 @@ std::vector<Vertex> BfsScratch::Neighborhood(const ColoredGraph& g,
   return Run(g, radius);
 }
 
+void BfsScratch::NeighborhoodInto(const ColoredGraph& g, Vertex source,
+                                  int radius, std::vector<Vertex>* out) {
+  Start();
+  Push(source, 0);
+  for (size_t head = 0; head < queue_.size(); ++head) {
+    const Vertex v = queue_[head];
+    const int64_t d = dist_[v];
+    if (d >= radius) continue;
+    for (Vertex u : g.Neighbors(v)) Push(u, d + 1);
+  }
+  out->assign(queue_.begin(), queue_.end());
+  std::sort(out->begin(), out->end());
+}
+
 std::vector<Vertex> BfsScratch::Neighborhood(
     const ColoredGraph& g, const std::vector<Vertex>& sources, int radius) {
   Start();

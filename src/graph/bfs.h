@@ -29,6 +29,12 @@ class BfsScratch {
   std::vector<Vertex> Neighborhood(const ColoredGraph& g, Vertex source,
                                    int radius);
 
+  // Allocation-free variant for answer-path callers: fills `out` (cleared
+  // first) instead of returning a fresh vector, so a reused buffer makes
+  // repeated calls heap-quiet once its capacity is warm.
+  void NeighborhoodInto(const ColoredGraph& g, Vertex source, int radius,
+                        std::vector<Vertex>* out);
+
   // Multi-source variant: N_radius(\bar a) = union of the balls.
   std::vector<Vertex> Neighborhood(const ColoredGraph& g,
                                    const std::vector<Vertex>& sources,

@@ -7,8 +7,18 @@ namespace nwd {
 
 bool ColoredGraph::HasEdge(Vertex u, Vertex v) const {
   if (u == v) return false;
+  // Probe the lower-degree endpoint, so a hub's adjacency list is never
+  // searched when the other side is near-leaf (the common shape on the
+  // sparse inputs this library targets).
   if (Degree(u) > Degree(v)) std::swap(u, v);
   const auto nbrs = Neighbors(u);
+  if (nbrs.size() <= 8) {
+    // Sorted-scan with early exit; beats binary search on tiny lists.
+    for (const Vertex w : nbrs) {
+      if (w >= v) return w == v;
+    }
+    return false;
+  }
   return std::binary_search(nbrs.begin(), nbrs.end(), v);
 }
 

@@ -2,64 +2,107 @@
 
 #include <algorithm>
 #include <set>
+#include <utility>
 
 #include "util/budget.h"
 #include "util/check.h"
 
 namespace nwd {
 
+FlatRows<int64_t> SkipPointers::IndexKernels(int64_t num_vertices,
+                                             const FlatRows<Vertex>& kernels) {
+  // Counting sort into CSR: pass 1 sizes the rows, pass 2 fills them. Bag
+  // ids are appended in ascending x order, so each row comes out sorted.
+  std::vector<int64_t> counts(static_cast<size_t>(num_vertices) + 1, 0);
+  for (int64_t x = 0; x < kernels.NumRows(); ++x) {
+    for (const Vertex v : kernels.Row(x)) ++counts[static_cast<size_t>(v)];
+  }
+  std::vector<int64_t> offsets(static_cast<size_t>(num_vertices) + 1, 0);
+  for (int64_t v = 0; v < num_vertices; ++v) {
+    offsets[static_cast<size_t>(v) + 1] =
+        offsets[static_cast<size_t>(v)] + counts[static_cast<size_t>(v)];
+  }
+  std::vector<int64_t> values(static_cast<size_t>(offsets[num_vertices]));
+  std::vector<int64_t> cursor = offsets;
+  for (int64_t x = 0; x < kernels.NumRows(); ++x) {
+    for (const Vertex v : kernels.Row(x)) {
+      values[static_cast<size_t>(cursor[static_cast<size_t>(v)]++)] = x;
+    }
+  }
+  FlatRows<int64_t> rows;
+  for (int64_t v = 0; v < num_vertices; ++v) {
+    rows.PushRow(std::span<const int64_t>(
+        values.data() + offsets[static_cast<size_t>(v)],
+        values.data() + offsets[static_cast<size_t>(v) + 1]));
+  }
+  return rows;
+}
+
 SkipPointers::SkipPointers(int64_t num_vertices,
                            const std::vector<std::vector<Vertex>>& kernels,
                            std::vector<Vertex> target_list, int max_set_size,
                            const ResourceBudget* budget)
+    : SkipPointers(num_vertices,
+                   std::make_shared<const FlatRows<int64_t>>(
+                       IndexKernels(num_vertices, FlatRows<Vertex>(kernels))),
+                   std::move(target_list), max_set_size, budget) {}
+
+SkipPointers::SkipPointers(
+    int64_t num_vertices,
+    std::shared_ptr<const FlatRows<int64_t>> kernels_containing,
+    std::vector<Vertex> target_list, int max_set_size,
+    const ResourceBudget* budget)
     : num_vertices_(num_vertices),
       max_set_size_(max_set_size),
-      list_(std::move(target_list)) {
+      list_(std::move(target_list)),
+      kernels_containing_(std::move(kernels_containing)) {
   NWD_CHECK_GE(max_set_size, 1);
   NWD_DCHECK(std::is_sorted(list_.begin(), list_.end()));
-
-  kernels_containing_.assign(static_cast<size_t>(num_vertices), {});
-  for (size_t x = 0; x < kernels.size(); ++x) {
-    for (Vertex v : kernels[x]) {
-      kernels_containing_[v].push_back(static_cast<int64_t>(x));
-    }
-  }
+  NWD_CHECK_EQ(kernels_containing_->NumRows(), num_vertices);
 
   // Materialize SKIP(b, S) for S in SC(b), processing b from largest to
   // smallest so that Resolve() can consult already-stored larger vertices
-  // (Claim 5.10's downward sweep).
-  sc_.assign(static_cast<size_t>(num_vertices), {});
-  std::set<std::vector<int64_t>> seen;  // per-vertex dedupe, reused
+  // (Claim 5.10's downward sweep). Finished vertices append their entries
+  // to the flat arrays immediately; only the vertex being grown lives in
+  // the scratch vectors below.
+  entry_begin_.assign(static_cast<size_t>(num_vertices), 0);
+  entry_count_.assign(static_cast<size_t>(num_vertices), 0);
+  struct ScratchEntry {
+    std::vector<int64_t> bags;  // sorted, 1 <= size <= max_set_size
+    Vertex skip = -1;
+  };
+  std::vector<ScratchEntry> scratch;         // reused across vertices
+  std::set<std::vector<int64_t>> seen;       // per-vertex dedupe, reused
   for (Vertex b = num_vertices - 1; b >= 0; --b) {
     // The SC closure is the O(n^{1+k*eps}) space of Lemma 5.8 — on dense
     // inputs (kernels covering everything) it is the stage most likely to
     // blow up, so the sweep is budget-cancelable. A canceled structure is
     // partial and must be discarded by the caller.
     if (budget != nullptr && (b & 255) == 0 && budget->Exceeded()) return;
-    std::vector<Entry>& entries = sc_[b];
+    scratch.clear();
     seen.clear();
     // Seed: singletons {X} for the kernels containing b.
-    for (int64_t x : kernels_containing_[b]) {
-      entries.push_back(Entry{{x}, -1});
-      seen.insert(entries.back().bags);
+    for (const int64_t x : kernels_containing_->Row(b)) {
+      scratch.push_back(ScratchEntry{{x}, -1});
+      seen.insert(scratch.back().bags);
     }
     // Grow: S + {X} whenever SKIP(b, S) lands in K_r(X). Entries are
     // processed in insertion order; new ones are appended, so this is a
     // BFS over the SC(b) closure.
-    for (size_t e = 0; e < entries.size(); ++e) {
-      entries[e].skip = Resolve(b, entries[e].bags);
-      const Vertex skip = entries[e].skip;
+    for (size_t e = 0; e < scratch.size(); ++e) {
+      scratch[e].skip = Resolve(b, scratch[e].bags);
+      const Vertex skip = scratch[e].skip;
       if (skip < 0) continue;
-      if (static_cast<int>(entries[e].bags.size()) >= max_set_size_) continue;
-      for (int64_t x : kernels_containing_[skip]) {
-        if (std::binary_search(entries[e].bags.begin(), entries[e].bags.end(),
+      if (static_cast<int>(scratch[e].bags.size()) >= max_set_size_) continue;
+      for (const int64_t x : kernels_containing_->Row(skip)) {
+        if (std::binary_search(scratch[e].bags.begin(), scratch[e].bags.end(),
                                x)) {
           continue;
         }
-        std::vector<int64_t> grown = entries[e].bags;
+        std::vector<int64_t> grown = scratch[e].bags;
         grown.insert(std::lower_bound(grown.begin(), grown.end(), x), x);
         if (seen.insert(grown).second) {
-          entries.push_back(Entry{std::move(grown), -1});
+          scratch.push_back(ScratchEntry{std::move(grown), -1});
         }
       }
     }
@@ -67,26 +110,37 @@ SkipPointers::SkipPointers(int64_t num_vertices,
     // by descending set size lets it stop at the first subset match
     // instead of scanning all of SC(b). Ties break lexicographically so
     // the layout (and every downstream scan) is deterministic. Entries of
-    // vertices > b are already sorted when Resolve() consults them above.
-    std::sort(entries.begin(), entries.end(),
-              [](const Entry& a, const Entry& b) {
+    // vertices > b are already flattened when Resolve() consults them
+    // above.
+    std::sort(scratch.begin(), scratch.end(),
+              [](const ScratchEntry& a, const ScratchEntry& b) {
                 if (a.bags.size() != b.bags.size()) {
                   return a.bags.size() > b.bags.size();
                 }
                 return a.bags < b.bags;
               });
-    total_entries_ += static_cast<int64_t>(entries.size());
+    entry_begin_[static_cast<size_t>(b)] =
+        static_cast<int64_t>(entries_.size());
+    entry_count_[static_cast<size_t>(b)] =
+        static_cast<int32_t>(scratch.size());
+    for (const ScratchEntry& e : scratch) {
+      entries_.push_back(EntryRef{static_cast<int64_t>(bag_pool_.size()),
+                                  static_cast<int32_t>(e.bags.size()),
+                                  e.skip});
+      bag_pool_.insert(bag_pool_.end(), e.bags.begin(), e.bags.end());
+    }
+    total_entries_ += static_cast<int64_t>(scratch.size());
     if (budget != nullptr &&
-        !budget->ChargeWork(static_cast<int64_t>(entries.size()))) {
+        !budget->ChargeWork(static_cast<int64_t>(scratch.size()))) {
       return;
     }
   }
 }
 
 bool SkipPointers::InAnyKernel(Vertex v,
-                               const std::vector<int64_t>& bags) const {
-  for (int64_t x : kernels_containing_[v]) {
-    for (int64_t y : bags) {
+                               std::span<const int64_t> bags) const {
+  for (const int64_t x : kernels_containing_->Row(v)) {
+    for (const int64_t y : bags) {
       if (x == y) return true;
     }
   }
@@ -98,7 +152,7 @@ Vertex SkipPointers::NextInList(Vertex b) const {
   return it == list_.end() ? -1 : *it;
 }
 
-Vertex SkipPointers::Resolve(Vertex b, const std::vector<int64_t>& bags) const {
+Vertex SkipPointers::Resolve(Vertex b, std::span<const int64_t> bags) const {
   // Case 1: b itself qualifies.
   const bool b_in_list = std::binary_search(list_.begin(), list_.end(), b);
   if (b_in_list && !InAnyKernel(b, bags)) return b;
@@ -113,23 +167,29 @@ Vertex SkipPointers::Resolve(Vertex b, const std::vector<int64_t>& bags) const {
   // sorted by descending set size, so the first subset match is a
   // maximum-size (hence inclusion-maximal) stored subset and the scan
   // stops there.
-  const std::vector<Entry>& entries = sc_[c];
-  const Entry* best = nullptr;
-  for (size_t e = 0; e < entries.size(); ++e) {
-    if (std::includes(bags.begin(), bags.end(), entries[e].bags.begin(),
-                      entries[e].bags.end())) {
-      best = &entries[e];
+  const int64_t begin = entry_begin_[static_cast<size_t>(c)];
+  const int64_t end = begin + entry_count_[static_cast<size_t>(c)];
+  const EntryRef* best = nullptr;
+  for (int64_t e = begin; e < end; ++e) {
+    const std::span<const int64_t> entry_bags =
+        BagsOf(entries_[static_cast<size_t>(e)]);
+    if (std::includes(bags.begin(), bags.end(), entry_bags.begin(),
+                      entry_bags.end())) {
+      best = &entries_[static_cast<size_t>(e)];
 #if !defined(NDEBUG)
       // Claim 5.10's closure invariant: if SKIP(c, S') landed in a kernel
       // of some X in S \ S', the grow step would have stored S' + {X}, so
       // every inclusion-maximal stored subset of `bags` yields the same
       // skip target. Cross-check the remaining same-size subsets.
-      for (size_t f = e + 1;
-           f < entries.size() && entries[f].bags.size() == best->bags.size();
+      for (int64_t f = e + 1;
+           f < end &&
+           entries_[static_cast<size_t>(f)].bags_len == best->bags_len;
            ++f) {
-        if (std::includes(bags.begin(), bags.end(), entries[f].bags.begin(),
-                          entries[f].bags.end())) {
-          NWD_DCHECK(entries[f].skip == best->skip)
+        const std::span<const int64_t> other =
+            BagsOf(entries_[static_cast<size_t>(f)]);
+        if (std::includes(bags.begin(), bags.end(), other.begin(),
+                          other.end())) {
+          NWD_DCHECK(entries_[static_cast<size_t>(f)].skip == best->skip)
               << "maximal stored subsets disagree at vertex " << c;
         }
       }
@@ -142,7 +202,7 @@ Vertex SkipPointers::Resolve(Vertex b, const std::vector<int64_t>& bags) const {
   return best->skip;
 }
 
-Vertex SkipPointers::Skip(Vertex b, const std::vector<int64_t>& bags) const {
+Vertex SkipPointers::Skip(Vertex b, std::span<const int64_t> bags) const {
   NWD_CHECK_LE(static_cast<int>(bags.size()), max_set_size_);
   NWD_DCHECK(std::is_sorted(bags.begin(), bags.end()));
   if (b < 0) b = 0;

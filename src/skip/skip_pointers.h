@@ -16,14 +16,24 @@
 // This structure is what makes the "witness far from every query vertex"
 // candidate of the answering phase (Case I, the b'_0 candidate) constant
 // time.
+//
+// Layout: the per-vertex entry bags and the vertex -> containing-kernels
+// index are stored flat (CSR offsets into shared pools) rather than as
+// vector<vector<...>>, so the Skip() hot path walks contiguous memory; the
+// kernel index is built once per engine and shared by every per-list
+// structure instead of being rebuilt per list.
 
 #ifndef NWD_SKIP_SKIP_POINTERS_H_
 #define NWD_SKIP_SKIP_POINTERS_H_
 
 #include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "graph/colored_graph.h"
+#include "util/flat_rows.h"
 
 namespace nwd {
 
@@ -31,21 +41,41 @@ class ResourceBudget;
 
 class SkipPointers {
  public:
-  // `kernels[x]` is the sorted r-kernel of bag x; `target_list` is L
-  // (sorted ascending); `max_set_size` is the k of Lemma 5.8.
+  // Inverts `kernels` (kernels.Row(x) = sorted r-kernel of bag x) into the
+  // per-vertex index row v = { x : v in K_r(X_x) }, ascending. Build it
+  // once and share it across every SkipPointers of the same engine.
+  static FlatRows<int64_t> IndexKernels(int64_t num_vertices,
+                                        const FlatRows<Vertex>& kernels);
+
+  // `kernels_containing` is the shared IndexKernels() result; `target_list`
+  // is L (sorted ascending); `max_set_size` is the k of Lemma 5.8.
   //
   // A non-null `budget` is charged per materialized SC entry during the
   // downward sweep; once it trips the sweep stops, leaving the structure
   // partially built — callers must discard it (detected via
   // budget->Exceeded()), since Skip() on a partial structure is wrong.
   SkipPointers(int64_t num_vertices,
+               std::shared_ptr<const FlatRows<int64_t>> kernels_containing,
+               std::vector<Vertex> target_list, int max_set_size,
+               const ResourceBudget* budget = nullptr);
+
+  // Convenience for tests and benchmarks: builds the kernel index from the
+  // nested kernel lists internally.
+  SkipPointers(int64_t num_vertices,
                const std::vector<std::vector<Vertex>>& kernels,
                std::vector<Vertex> target_list, int max_set_size,
                const ResourceBudget* budget = nullptr);
 
   // SKIP(b, bags): smallest element of L that is >= b and avoids the
-  // kernels of all `bags` (|bags| <= max_set_size). Returns -1 if none.
-  Vertex Skip(Vertex b, const std::vector<int64_t>& bags) const;
+  // kernels of all `bags` (|bags| <= max_set_size, sorted ascending).
+  // Returns -1 if none.
+  Vertex Skip(Vertex b, std::span<const int64_t> bags) const;
+  Vertex Skip(Vertex b, const std::vector<int64_t>& bags) const {
+    return Skip(b, std::span<const int64_t>(bags));
+  }
+  Vertex Skip(Vertex b, std::initializer_list<int64_t> bags) const {
+    return Skip(b, std::span<const int64_t>(bags.begin(), bags.size()));
+  }
 
   // Total number of (b, S) pairs materialized (the space certificate of
   // Claim 5.10; experiment E8 tracks this).
@@ -54,27 +84,41 @@ class SkipPointers {
   int max_set_size() const { return max_set_size_; }
 
  private:
-  struct Entry {
-    std::vector<int64_t> bags;  // sorted, 1 <= size <= max_set_size
-    Vertex skip;                // SKIP(b, bags); -1 if none
+  // One materialized SC entry: its bag set is a sorted slice of bag_pool_.
+  struct EntryRef {
+    int64_t bags_begin;
+    int32_t bags_len;
+    Vertex skip;  // SKIP(b, bags); -1 if none
   };
 
+  std::span<const int64_t> BagsOf(const EntryRef& e) const {
+    return std::span<const int64_t>(bag_pool_.data() + e.bags_begin,
+                                    static_cast<size_t>(e.bags_len));
+  }
+
   // Whether v lies in the kernel of any bag in `bags` (scan of the
-  // per-vertex kernel list — both sides are tiny).
-  bool InAnyKernel(Vertex v, const std::vector<int64_t>& bags) const;
+  // per-vertex kernel row — both sides are tiny).
+  bool InAnyKernel(Vertex v, std::span<const int64_t> bags) const;
 
   // Smallest element of L strictly greater than b, or -1.
   Vertex NextInList(Vertex b) const;
 
-  // Core of Claim 5.9; `entries below b must already be computed` during
-  // preprocessing, and all entries exist at query time.
-  Vertex Resolve(Vertex b, const std::vector<int64_t>& bags) const;
+  // Core of Claim 5.9; entries of vertices above b must already be stored
+  // during preprocessing, and all entries exist at query time.
+  Vertex Resolve(Vertex b, std::span<const int64_t> bags) const;
 
   int64_t num_vertices_;
   int max_set_size_;
-  std::vector<Vertex> list_;                            // L, sorted
-  std::vector<std::vector<int64_t>> kernels_containing_;  // per vertex
-  std::vector<std::vector<Entry>> sc_;                  // per vertex
+  std::vector<Vertex> list_;  // L, sorted
+  // Shared per-vertex index: row v = kernels whose r-kernel contains v.
+  std::shared_ptr<const FlatRows<int64_t>> kernels_containing_;
+  // Flat SC storage: entries of vertex b are
+  // entries_[entry_begin_[b] .. entry_begin_[b] + entry_count_[b]),
+  // sorted by descending bag-set size (lexicographic tiebreak).
+  std::vector<int64_t> entry_begin_;
+  std::vector<int32_t> entry_count_;
+  std::vector<EntryRef> entries_;
+  std::vector<int64_t> bag_pool_;
   int64_t total_entries_ = 0;
 };
 

@@ -59,11 +59,16 @@ int64_t StoringTrie::RankOf(const Tuple& key) const {
 
 Tuple StoringTrie::TupleOf(int64_t rank) const {
   Tuple key(static_cast<size_t>(arity_));
+  TupleOfInto(rank, &key);
+  return key;
+}
+
+void StoringTrie::TupleOfInto(int64_t rank, Tuple* out) const {
+  out->resize(static_cast<size_t>(arity_));
   for (int i = arity_; i-- > 0;) {
-    key[i] = rank % n_;
+    (*out)[i] = rank % n_;
     rank /= n_;
   }
-  return key;
 }
 
 void StoringTrie::Digits(const Tuple& key, std::vector<int>* out) const {
@@ -82,8 +87,8 @@ void StoringTrie::Digits(const Tuple& key, std::vector<int>* out) const {
 }
 
 void StoringTrie::DigitsOfRank(int64_t rank, std::vector<int>* out) const {
-  const Tuple key = TupleOf(rank);
-  Digits(key, out);
+  TupleOfInto(rank, &tuple_scratch_);
+  Digits(tuple_scratch_, out);
 }
 
 StoringTrie::LookupResult StoringTrie::Lookup(const Tuple& key) const {
@@ -164,17 +169,16 @@ int StoringTrie::DescendPath(const std::vector<int>& digits,
 std::optional<Tuple> StoringTrie::Predecessor(const Tuple& key) const {
   Digits(key, &digit_scratch_);
   const int kh = PathLength();
-  std::vector<int64_t> nodes;
-  const int stop = DescendPath(digit_scratch_, &nodes);
+  const int stop = DescendPath(digit_scratch_, &node_scratch_);
   // Walk back up looking for a non-empty cell strictly before the path.
   for (int level = std::min(stop, kh - 1); level >= 0; --level) {
-    const int64_t node = nodes[level];
+    const int64_t node = node_scratch_[level];
     for (int digit = digit_scratch_[level] - 1; digit >= 0; --digit) {
       const Register cell = regs_[node + digit];
       if (cell.delta == 0) continue;
       // Reconstruct the prefix, then descend to the maximum below.
-      std::vector<int> path(digit_scratch_.begin(),
-                            digit_scratch_.begin() + level);
+      std::vector<int>& path = path_scratch_;
+      path.assign(digit_scratch_.begin(), digit_scratch_.begin() + level);
       path.push_back(digit);
       if (level == kh - 1) {
         // The cell itself is a key's leaf.
@@ -259,8 +263,8 @@ void StoringTrie::Clean(int64_t rank1, int64_t rank2) {
     for (int j = 0; j < d_; ++j) regs_[1 + j] = {0, kNullPayload};
     return;
   }
-  std::vector<int> digits1;
-  std::vector<int> digits2;
+  std::vector<int>& digits1 = digits1_scratch_;
+  std::vector<int>& digits2 = digits2_scratch_;
   if (rank1 == kNullPayload) {
     DigitsOfRank(rank2, &digits2);
     FillLeft(1, 0, digits2, rank2);
@@ -420,10 +424,10 @@ void StoringTrie::Erase(const Tuple& key) {
   }
 
   Digits(key, &digit_scratch_);
-  std::vector<int64_t> nodes;
-  const int stop = DescendPath(digit_scratch_, &nodes);
+  const int stop = DescendPath(digit_scratch_, &node_scratch_);
   NWD_CHECK_EQ(stop, PathLength());
-  const int64_t leaf_node = nodes[static_cast<size_t>(PathLength() - 1)];
+  const int64_t leaf_node =
+      node_scratch_[static_cast<size_t>(PathLength() - 1)];
   regs_[leaf_node + digit_scratch_[PathLength() - 1]] = {0, 0};
   --size_;
 

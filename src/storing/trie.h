@@ -115,6 +115,8 @@ class StoringTrie {
 
   int64_t RankOf(const Tuple& key) const;
   Tuple TupleOf(int64_t rank) const;
+  // Allocation-free variant writing into a reused buffer.
+  void TupleOfInto(int64_t rank, Tuple* out) const;
   // MSB-first digits of `key`, length arity_*h_, each in [0, d).
   void Digits(const Tuple& key, std::vector<int>* out) const;
   void DigitsOfRank(int64_t rank, std::vector<int>* out) const;
@@ -159,8 +161,17 @@ class StoringTrie {
   int64_t size_ = 0;
   int64_t r0_;  // bump-allocation frontier (mirrors register 0)
   std::vector<Register> regs_;
-  // Scratch buffers to keep per-op allocations out of the hot path.
+  // Scratch buffers to keep per-op allocations out of the hot path. The
+  // structure is single-caller (like every mutable container); buffers are
+  // disjoint per call chain: Predecessor uses digit/path/node, Clean uses
+  // digits1/digits2 (+ tuple via DigitsOfRank), Erase reuses node after
+  // its Predecessor call returns.
   mutable std::vector<int> digit_scratch_;
+  mutable std::vector<int> digits1_scratch_;
+  mutable std::vector<int> digits2_scratch_;
+  mutable std::vector<int> path_scratch_;
+  mutable std::vector<int64_t> node_scratch_;
+  mutable Tuple tuple_scratch_;
 };
 
 }  // namespace nwd

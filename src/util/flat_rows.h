@@ -1,0 +1,76 @@
+// A CSR-style jagged array: N rows of values stored contiguously with an
+// offsets table, replacing vector<vector<T>> in answer-path hot structures.
+//
+// The enumeration engine's per-probe work walks many tiny rows (per-bag
+// kernels, per-vertex "kernels containing" lists, SC entry bag sets). With
+// vector<vector<T>> every row is its own heap block, so a probe chases one
+// pointer per row and the rows of one structure are scattered across the
+// heap. FlatRows keeps all values in a single allocation — row access is
+// two loads from the same cache-resident offsets table, and scanning
+// consecutive rows is a linear walk.
+
+#ifndef NWD_UTIL_FLAT_ROWS_H_
+#define NWD_UTIL_FLAT_ROWS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/check.h"
+
+namespace nwd {
+
+template <typename T>
+class FlatRows {
+ public:
+  FlatRows() : offsets_{0} {}
+
+  // Flattens a nested vector (one copy; the nested storage can then be
+  // freed by the caller).
+  explicit FlatRows(const std::vector<std::vector<T>>& rows) : offsets_{0} {
+    size_t total = 0;
+    for (const auto& row : rows) total += row.size();
+    values_.reserve(total);
+    offsets_.reserve(rows.size() + 1);
+    for (const auto& row : rows) {
+      values_.insert(values_.end(), row.begin(), row.end());
+      offsets_.push_back(static_cast<int64_t>(values_.size()));
+    }
+  }
+
+  // Builder-style append; rows are immutable once the next row starts.
+  void PushRow(std::span<const T> row) {
+    values_.insert(values_.end(), row.begin(), row.end());
+    offsets_.push_back(static_cast<int64_t>(values_.size()));
+  }
+
+  int64_t NumRows() const {
+    return static_cast<int64_t>(offsets_.size()) - 1;
+  }
+
+  std::span<const T> Row(int64_t i) const {
+    NWD_DCHECK(i >= 0 && i < NumRows());
+    return std::span<const T>(values_.data() + offsets_[i],
+                              values_.data() + offsets_[i + 1]);
+  }
+
+  int64_t RowSize(int64_t i) const { return offsets_[i + 1] - offsets_[i]; }
+
+  // Total values across all rows (allocation accounting).
+  int64_t TotalValues() const { return static_cast<int64_t>(values_.size()); }
+
+  void Clear() {
+    offsets_.assign(1, 0);
+    values_.clear();
+    offsets_.shrink_to_fit();
+    values_.shrink_to_fit();
+  }
+
+ private:
+  std::vector<int64_t> offsets_;
+  std::vector<T> values_;
+};
+
+}  // namespace nwd
+
+#endif  // NWD_UTIL_FLAT_ROWS_H_

@@ -1,0 +1,272 @@
+// The answering phase is concurrently callable (see probe_context.h): N
+// threads firing Test/Next at one engine must produce bit-identical
+// answers to a serial probe loop, in LNF mode and in the degraded/lazy
+// fallback mode; the batch APIs must equal their serial loops; and the
+// sharded parallel enumerator must reproduce the serial stream exactly
+// (order, no duplicates) on several graph classes. The TSan twin of this
+// binary (label: tsan) runs the same tests under ThreadSanitizer, which
+// is what actually certifies the probe-context pool and the per-context
+// counters as race-free.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "enumerate/engine.h"
+#include "enumerate/enumerator.h"
+#include "fo/ast.h"
+#include "fo/builders.h"
+#include "fo/printer.h"
+#include "gen/generators.h"
+#include "tests/property_common.h"
+#include "util/fault_injection.h"
+#include "util/rng.h"
+
+namespace nwd {
+namespace {
+
+using testing_common::RandomGraph;
+using testing_common::RandomQuery;
+
+std::vector<Tuple> EnumerateAll(const EnumerationEngine& engine) {
+  ConstantDelayEnumerator enumerator(engine);
+  std::vector<Tuple> out;
+  for (auto t = enumerator.NextSolution(); t.has_value();
+       t = enumerator.NextSolution()) {
+    out.push_back(*t);
+  }
+  return out;
+}
+
+std::vector<Tuple> RandomProbes(const ColoredGraph& g, int arity, int count,
+                                uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Tuple> probes;
+  probes.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    Tuple t(static_cast<size_t>(arity));
+    for (auto& v : t) {
+      v = static_cast<Vertex>(
+          rng.NextBounded(static_cast<uint64_t>(g.NumVertices())));
+    }
+    probes.push_back(std::move(t));
+  }
+  return probes;
+}
+
+// Serial reference answers, then the same probes fired from `threads`
+// OS threads at once (each thread walks the whole probe list, so every
+// probe is answered concurrently with itself and with all others).
+void ExpectConcurrentAnswersMatchSerial(const EnumerationEngine& engine,
+                                        const std::vector<Tuple>& probes,
+                                        int threads) {
+  std::vector<std::optional<Tuple>> expected_next(probes.size());
+  std::vector<bool> expected_test(probes.size());
+  for (size_t i = 0; i < probes.size(); ++i) {
+    expected_next[i] = engine.Next(probes[i]);
+    expected_test[i] = engine.Test(probes[i]);
+  }
+
+  std::vector<int> mismatches(static_cast<size_t>(threads), 0);
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(threads));
+  for (int w = 0; w < threads; ++w) {
+    workers.emplace_back([&, w] {
+      // Stagger the start index so threads collide on different probes.
+      for (size_t step = 0; step < probes.size(); ++step) {
+        const size_t i =
+            (step + static_cast<size_t>(w) * 7) % probes.size();
+        if (engine.Next(probes[i]) != expected_next[i]) ++mismatches[w];
+        if (engine.Test(probes[i]) != expected_test[i]) ++mismatches[w];
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  for (int w = 0; w < threads; ++w) {
+    EXPECT_EQ(mismatches[w], 0) << "thread " << w << " saw diverging answers";
+  }
+}
+
+TEST(ConcurrentAnswerTest, LnfModeBitIdenticalAcrossThreads) {
+  Rng rng(2024);
+  const ColoredGraph g = gen::RandomTree(140, 0, {2, 0.3}, &rng);
+  fo::Query q;
+  q.formula = fo::And(fo::DistLeq(0, 1, 2), fo::DistLeq(1, 2, 2));
+  q.free_vars = {0, 1, 2};
+  q.var_names = {"x", "y", "z"};
+  EngineOptions options;
+  options.naive_cutoff = 10;
+  options.oracle.small_cutoff = 8;
+  const EnumerationEngine engine(g, q, options);
+  ASSERT_FALSE(engine.used_fallback());
+  const std::vector<Tuple> probes = RandomProbes(g, 3, 40, 99);
+  ExpectConcurrentAnswersMatchSerial(engine, probes, 4);
+}
+
+TEST(ConcurrentAnswerTest, RandomQueriesBitIdenticalAcrossThreads) {
+  Rng rng(7);
+  EngineOptions options;
+  options.naive_cutoff = 10;
+  options.oracle.small_cutoff = 8;
+  for (int round = 0; round < 4; ++round) {
+    const ColoredGraph g = RandomGraph(round, 45, &rng);
+    const fo::Query q = RandomQuery(2, 2, &rng);
+    const EnumerationEngine engine(g, q, options);
+    const std::vector<Tuple> probes =
+        RandomProbes(g, 2, 30, 1000 + static_cast<uint64_t>(round));
+    ExpectConcurrentAnswersMatchSerial(engine, probes, 3);
+  }
+}
+
+TEST(ConcurrentAnswerTest, DegradedModeBitIdenticalAcrossThreads) {
+  // A fault-injected trip degrades the engine to the lazy baseline, whose
+  // evaluators keep scratch; concurrent probes must serialize correctly.
+  Rng rng(11);
+  const ColoredGraph g = gen::RandomTree(90, 0, {2, 0.3}, &rng);
+  fo::Query q;
+  q.formula = fo::DistLeq(0, 1, 2);
+  q.free_vars = {0, 1};
+  q.var_names = {"x", "y"};
+  EngineOptions options;
+  options.naive_cutoff = 10;
+  options.oracle.small_cutoff = 8;
+  fault_injection::ScopedFault fault("engine/skips");
+  const EnumerationEngine engine(g, q, options);
+  ASSERT_TRUE(engine.stats().degraded);
+  const std::vector<Tuple> probes = RandomProbes(g, 2, 25, 77);
+  ExpectConcurrentAnswersMatchSerial(engine, probes, 4);
+}
+
+TEST(BatchAnswerTest, BatchesEqualSerialLoops) {
+  Rng rng(31);
+  EngineOptions options;
+  options.naive_cutoff = 10;
+  options.oracle.small_cutoff = 8;
+  for (int round = 0; round < 4; ++round) {
+    const ColoredGraph g = RandomGraph(round, 40, &rng);
+    const fo::Query q = RandomQuery(2, 2, &rng);
+    const EnumerationEngine engine(g, q, options);
+    const std::vector<Tuple> probes =
+        RandomProbes(g, 2, 37, 500 + static_cast<uint64_t>(round));
+    std::vector<uint8_t> expected_test;
+    std::vector<std::optional<Tuple>> expected_next;
+    for (const Tuple& probe : probes) {
+      expected_test.push_back(engine.Test(probe) ? 1 : 0);
+      expected_next.push_back(engine.Next(probe));
+    }
+    for (const int threads : {1, 2, 4}) {
+      EXPECT_EQ(engine.TestBatch(probes, threads), expected_test)
+          << "threads=" << threads << " query: " << fo::ToString(q);
+      EXPECT_EQ(engine.NextBatch(probes, threads), expected_next)
+          << "threads=" << threads << " query: " << fo::ToString(q);
+    }
+  }
+}
+
+TEST(EnumerateParallelTest, MatchesSerialStreamOnThreeGraphClasses) {
+  Rng rng(63);
+  fo::Query q;
+  q.formula = fo::And(fo::Not(fo::DistLeq(0, 1, 1)), fo::DistLeq(0, 1, 3));
+  q.free_vars = {0, 1};
+  q.var_names = {"x", "y"};
+  EngineOptions options;
+  options.naive_cutoff = 10;
+  options.oracle.small_cutoff = 8;
+  const std::vector<ColoredGraph> graphs = []() {
+    Rng graph_rng(64);
+    std::vector<ColoredGraph> out;
+    out.push_back(gen::RandomTree(130, 0, {2, 0.3}, &graph_rng));
+    out.push_back(gen::Grid(9, 13, {2, 0.3}, &graph_rng));
+    out.push_back(gen::Caterpillar(40, 2, {2, 0.3}, &graph_rng));
+    return out;
+  }();
+  for (const ColoredGraph& g : graphs) {
+    const EnumerationEngine engine(g, q, options);
+    ASSERT_FALSE(engine.used_fallback()) << g.DebugString();
+    const std::vector<Tuple> expected = EnumerateAll(engine);
+    for (const int threads : {1, 2, 4, 8}) {
+      const std::vector<Tuple> got = engine.EnumerateParallel(threads);
+      EXPECT_EQ(got, expected)
+          << "threads=" << threads << " on " << g.DebugString();
+    }
+    // Limits slice the same prefix (and a sorted stream has no dupes).
+    const int64_t limit =
+        std::min<int64_t>(17, static_cast<int64_t>(expected.size()));
+    const std::vector<Tuple> limited = engine.EnumerateParallel(4, limit);
+    EXPECT_EQ(limited,
+              std::vector<Tuple>(expected.begin(), expected.begin() + limit));
+    EXPECT_TRUE(std::is_sorted(
+        expected.begin(), expected.end(),
+        [](const Tuple& a, const Tuple& b) { return LexCompare(a, b) < 0; }));
+  }
+}
+
+TEST(EnumerateParallelTest, FallbackModesMatchSerialToo) {
+  Rng rng(81);
+  // Materialized fallback (small graph) and lazy fallback (degraded).
+  const ColoredGraph small = RandomGraph(1, 30, &rng);
+  const fo::Query q = RandomQuery(2, 2, &rng);
+  EngineOptions options;
+  options.naive_cutoff = 64;  // force materialization
+  const EnumerationEngine materialized(small, q, options);
+  ASSERT_TRUE(materialized.used_fallback());
+  EXPECT_EQ(materialized.EnumerateParallel(4), EnumerateAll(materialized));
+
+  EngineOptions lnf_options;
+  lnf_options.naive_cutoff = 10;
+  lnf_options.oracle.small_cutoff = 8;
+  fo::Query dist_q;
+  dist_q.formula = fo::DistLeq(0, 1, 2);
+  dist_q.free_vars = {0, 1};
+  dist_q.var_names = {"x", "y"};
+  Rng tree_rng(82);
+  const ColoredGraph tree = gen::RandomTree(80, 0, {2, 0.3}, &tree_rng);
+  fault_injection::ScopedFault fault("engine/cover");
+  const EnumerationEngine degraded(tree, dist_q, lnf_options);
+  ASSERT_TRUE(degraded.stats().degraded);
+  EXPECT_EQ(degraded.EnumerateParallel(4), EnumerateAll(degraded));
+  EXPECT_EQ(degraded.EnumerateParallel(2, 5).size(), size_t{5});
+}
+
+TEST(ConcurrentAnswerTest, DrainAnswerStatsCountsProbes) {
+  Rng rng(404);
+  const ColoredGraph g = gen::RandomTree(120, 0, {2, 0.3}, &rng);
+  fo::Query q;
+  q.formula = fo::And(fo::DistLeq(0, 1, 2), fo::DistLeq(1, 2, 2));
+  q.free_vars = {0, 1, 2};
+  q.var_names = {"x", "y", "z"};
+  EngineOptions options;
+  options.naive_cutoff = 10;
+  options.oracle.small_cutoff = 8;
+  const EnumerationEngine engine(g, q, options);
+  ASSERT_FALSE(engine.used_fallback());
+  engine.DrainAnswerStats();  // discard construction-time noise (none)
+
+  const std::vector<Tuple> probes = RandomProbes(g, 3, 20, 5);
+  for (const Tuple& probe : probes) {
+    engine.Next(probe);
+    engine.Test(probe);
+  }
+  AnswerCounters counters = engine.DrainAnswerStats();
+  EXPECT_EQ(counters.probes_served, 40);
+  EXPECT_GT(counters.descents, 0);
+  EXPECT_GT(counters.ball_cache_misses, 0);  // ternary query hits Case II
+  EXPECT_GE(counters.contexts, 1);
+
+  // Drained means drained: a second drain starts from zero.
+  counters = engine.DrainAnswerStats();
+  EXPECT_EQ(counters.probes_served, 0);
+  EXPECT_EQ(counters.descents, 0);
+
+  // The pool grows to actual concurrency, not per probe.
+  ExpectConcurrentAnswersMatchSerial(engine, probes, 4);
+  counters = engine.DrainAnswerStats();
+  EXPECT_GT(counters.probes_served, 0);
+  EXPECT_LE(counters.contexts, 1 + 4 + 1);  // serial ref + 4 workers + slack
+}
+
+}  // namespace
+}  // namespace nwd

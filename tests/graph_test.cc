@@ -33,6 +33,39 @@ TEST(Builder, DeduplicatesEdgesAndDropsSelfLoops) {
   EXPECT_FALSE(g.HasEdge(0, 2));
 }
 
+TEST(Graph, HasEdgeProbesLowerDegreeEndpointSymmetrically) {
+  // A star with one long tail: the hub has high degree, the tail vertices
+  // degree <= 2. HasEdge must answer identically in both argument orders
+  // (it probes the lower-degree endpoint's adjacency either way), across
+  // both the tiny-list linear scan and the binary-search path.
+  const int64_t spokes = 40;
+  GraphBuilder builder(spokes + 3, 0);
+  for (Vertex v = 1; v <= spokes; ++v) builder.AddEdge(0, v);
+  builder.AddEdge(1, spokes + 1);
+  builder.AddEdge(spokes + 1, spokes + 2);
+  const ColoredGraph g = std::move(builder).Build();
+  for (Vertex v = 0; v < g.NumVertices(); ++v) {
+    for (Vertex u = 0; u < g.NumVertices(); ++u) {
+      EXPECT_EQ(g.HasEdge(v, u), g.HasEdge(u, v)) << v << "," << u;
+    }
+  }
+  EXPECT_TRUE(g.HasEdge(spokes, 0));   // hub edge, asked from the leaf
+  EXPECT_TRUE(g.HasEdge(0, spokes));   // hub edge, asked from the hub
+  EXPECT_FALSE(g.HasEdge(2, spokes + 2));
+  EXPECT_FALSE(g.HasEdge(spokes + 2, 2));
+
+  // Randomized cross-check on a denser graph (both endpoints above the
+  // linear-scan cutoff).
+  Rng rng(17);
+  const ColoredGraph dense = gen::ErdosRenyi(80, 12.0, {0, 0.0}, &rng);
+  for (Vertex v = 0; v < dense.NumVertices(); ++v) {
+    for (const Vertex u : dense.Neighbors(v)) {
+      EXPECT_TRUE(dense.HasEdge(v, u));
+      EXPECT_TRUE(dense.HasEdge(u, v));
+    }
+  }
+}
+
 TEST(Builder, NeighborsSortedAndSymmetric) {
   GraphBuilder builder(5, 0);
   builder.AddEdge(3, 1);

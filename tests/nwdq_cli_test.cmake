@@ -73,6 +73,21 @@ foreach(u RANGE 0 59)
 endforeach()
 file(WRITE "${CLIQUE_GRAPH}" "${clique_lines}")
 
+set(GOOD_PROBES "${WORK_DIR}/good.probes")
+file(WRITE "${GOOD_PROBES}"
+  "# mixed probe kinds; blank lines and comments are skipped\n"
+  "\n"
+  "test 0,1\n"
+  "next 0,0\n"
+  "1,2\n"
+  "  next 3,3\n")
+
+set(BAD_PARSE_PROBES "${WORK_DIR}/bad_parse.probes")
+file(WRITE "${BAD_PARSE_PROBES}" "test 0,1\nnext 1,2,3\n")
+
+set(BAD_RANGE_PROBES "${WORK_DIR}/bad_range.probes")
+file(WRITE "${BAD_RANGE_PROBES}" "test 0,1\ntest 0,99\n")
+
 # --- Usage errors: exit 2 -------------------------------------------------
 
 run(no_args 2 "usage:")
@@ -92,6 +107,8 @@ run(bad_avg_degree 2 "expects a number" "${GOOD_GRAPH}"
     "(x, y) := E(x, y)" --max-avg-degree dense)
 run(bad_color_binding 2 "expects an integer" "${GOOD_GRAPH}"
     "(x, y) := E(x, y)" --color Blue=x)
+run(bad_answer_threads 2 "expects an integer" "${GOOD_GRAPH}"
+    "(x, y) := E(x, y)" --answer-threads 0)
 
 # --- Data errors: exit 1, one-line stderr ---------------------------------
 
@@ -109,6 +126,12 @@ run(test_tuple_out_of_range 1 "outside the graph" "${GOOD_GRAPH}"
     "(x, y) := E(x, y)" --test 1,99)
 run(next_tuple_out_of_range 1 "outside the graph" "${GOOD_GRAPH}"
     "(x, y) := E(x, y)" --next -3,0)
+run(missing_probe_file 1 "cannot read probe file" "${GOOD_GRAPH}"
+    "(x, y) := E(x, y)" --probe-file "${WORK_DIR}/nonexistent.probes")
+run(probe_file_bad_line 1 "comma-separated" "${GOOD_GRAPH}"
+    "(x, y) := E(x, y)" --probe-file "${BAD_PARSE_PROBES}")
+run(probe_file_out_of_range 1 "outside the graph" "${GOOD_GRAPH}"
+    "(x, y) := E(x, y)" --probe-file "${BAD_RANGE_PROBES}")
 
 # --- Success paths: exit 0 ------------------------------------------------
 
@@ -143,6 +166,18 @@ run(budget_ms_success 0 "" "${CLIQUE_GRAPH}" "(x, y) := E(x, y)"
 if(NOT LAST_STDOUT MATCHES "\\(0, 1\\)")
   message(SEND_ERROR "budget_ms_success: wrong solutions:\n${LAST_STDOUT}")
 endif()
+
+# Batched probe serving: answers come back in input order, one line per
+# probe, with the summary trailer; --answer-threads must not change them.
+foreach(threads 1 2)
+  run(probe_file_threads_${threads} 0 "" "${GOOD_GRAPH}" "(x, y) := E(x, y)"
+      --probe-file "${GOOD_PROBES}" --answer-threads ${threads})
+  if(NOT LAST_STDOUT MATCHES
+     "test \\(0, 1\\) = solution.*next \\(0, 0\\) = \\(0, 1\\).*test \\(1, 2\\) = solution.*next \\(3, 3\\) = none.*served 4 probes")
+    message(SEND_ERROR
+      "probe_file_threads_${threads}: wrong probe answers:\n${LAST_STDOUT}")
+  endif()
+endforeach()
 
 # --test / --next still work on a degraded engine.
 run(degraded_test 0 "" "${CLIQUE_GRAPH}" "(x, y) := E(x, y)"
