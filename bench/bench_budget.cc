@@ -15,6 +15,7 @@
 #include <string>
 
 #include "bench/bench_common.h"
+#include "bench/bench_json.h"
 #include "enumerate/engine.h"
 #include "fo/builders.h"
 #include "util/rng.h"
@@ -124,4 +125,6 @@ BENCHMARK(BM_EdgeWorkTrip)
 }  // namespace
 }  // namespace nwd
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return nwd::bench::BenchMain(argc, argv, "bench_budget");
+}

@@ -6,6 +6,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_common.h"
+#include "bench/bench_json.h"
 #include "enumerate/counting.h"
 #include "enumerate/engine.h"
 #include "enumerate/enumerator.h"
@@ -75,4 +76,6 @@ BENCHMARK(BM_CountByEnumeration)
 }  // namespace
 }  // namespace nwd
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return nwd::bench::BenchMain(argc, argv, "bench_counting");
+}

@@ -6,6 +6,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_common.h"
+#include "bench/bench_json.h"
 #include "cover/neighborhood_cover.h"
 
 namespace nwd {
@@ -60,4 +61,6 @@ BENCHMARK(BM_CoverBuild)
 }  // namespace
 }  // namespace nwd
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return nwd::bench::BenchMain(argc, argv, "bench_cover");
+}

@@ -9,6 +9,7 @@
 
 #include "baseline/naive_enum.h"
 #include "bench/bench_common.h"
+#include "bench/bench_json.h"
 #include "enumerate/engine.h"
 #include "enumerate/enumerator.h"
 #include "fo/builders.h"
@@ -74,4 +75,6 @@ BENCHMARK(BM_BaselineTimeToFirstM)
 }  // namespace
 }  // namespace nwd
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return nwd::bench::BenchMain(argc, argv, "bench_crossover");
+}

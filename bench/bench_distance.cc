@@ -7,6 +7,7 @@
 #include <memory>
 
 #include "bench/bench_common.h"
+#include "bench/bench_json.h"
 #include "graph/bfs.h"
 #include "local/distance_oracle.h"
 #include "splitter/strategy.h"
@@ -113,4 +114,6 @@ BENCHMARK(BM_BfsBaseline)->Apply(OracleQueryArgs);
 }  // namespace
 }  // namespace nwd
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return nwd::bench::BenchMain(argc, argv, "bench_distance");
+}

@@ -1,0 +1,176 @@
+// Machine-readable bench output: every bench_* binary accepts
+// `--json FILE` and writes one nwd-bench-json/1 document next to its
+// normal console output, so perf runs leave a diffable BENCH_*.json
+// artifact instead of numbers hand-copied out of free text.
+//
+//   {"schema":"nwd-bench-json/1","benchmark":"bench_delay",
+//    "runs":[{"name":"BM_EnumerationDelay/0/1024","graph_class":"tree",
+//             "n":1024,"iterations":1,"real_ms":..,"cpu_ms":..,
+//             "counters":{"max_delay_ns":..,...}},...]}
+//
+// `graph_class` is the run's SetLabel (empty if the bench sets none),
+// `n` mirrors the "n" user counter when present (-1 otherwise), and
+// real_ms / cpu_ms are per-iteration milliseconds. Only measurement runs
+// are captured (aggregates and errored runs are skipped); all numbers are
+// finite. Used via BenchMain() below, which replaces BENCHMARK_MAIN().
+
+#ifndef NWD_BENCH_BENCH_JSON_H_
+#define NWD_BENCH_BENCH_JSON_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace nwd {
+namespace bench {
+
+// Forwards everything to the normal console output while keeping a copy
+// of each measurement run for the JSON emitter.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Capture {
+    std::string name;
+    std::string label;
+    int64_t iterations = 0;
+    double real_ms = 0.0;
+    double cpu_ms = 0.0;
+    std::map<std::string, double> counters;
+  };
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      Capture c;
+      c.name = run.benchmark_name();
+      c.label = run.report_label;
+      c.iterations = static_cast<int64_t>(run.iterations);
+      const double iters =
+          run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+      // Accumulated times are seconds across all iterations regardless of
+      // the run's display unit; normalize to per-iteration milliseconds.
+      c.real_ms = run.real_accumulated_time / iters * 1e3;
+      c.cpu_ms = run.cpu_accumulated_time / iters * 1e3;
+      for (const auto& [name, counter] : run.counters) {
+        c.counters[name] = counter.value;
+      }
+      captures.push_back(std::move(c));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  std::vector<Capture> captures;
+};
+
+namespace json_detail {
+
+inline void WriteString(std::ostream& out, const std::string& s) {
+  out << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+inline void WriteDouble(std::ostream& out, double v) {
+  if (!std::isfinite(v)) v = 0.0;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  out << buf;
+}
+
+}  // namespace json_detail
+
+inline void WriteBenchJson(std::ostream& out, const std::string& benchmark,
+                           const std::vector<CapturingReporter::Capture>& runs) {
+  out << "{\"schema\":\"nwd-bench-json/1\",\"benchmark\":";
+  json_detail::WriteString(out, benchmark);
+  out << ",\"runs\":[";
+  bool first_run = true;
+  for (const auto& run : runs) {
+    if (!first_run) out << ',';
+    first_run = false;
+    out << "{\"name\":";
+    json_detail::WriteString(out, run.name);
+    out << ",\"graph_class\":";
+    json_detail::WriteString(out, run.label);
+    const auto n_it = run.counters.find("n");
+    out << ",\"n\":"
+        << (n_it != run.counters.end()
+                ? static_cast<int64_t>(n_it->second)
+                : int64_t{-1});
+    out << ",\"iterations\":" << run.iterations;
+    out << ",\"real_ms\":";
+    json_detail::WriteDouble(out, run.real_ms);
+    out << ",\"cpu_ms\":";
+    json_detail::WriteDouble(out, run.cpu_ms);
+    out << ",\"counters\":{";
+    bool first_counter = true;
+    for (const auto& [name, value] : run.counters) {
+      if (!first_counter) out << ',';
+      first_counter = false;
+      json_detail::WriteString(out, name);
+      out << ':';
+      json_detail::WriteDouble(out, value);
+    }
+    out << "}}";
+  }
+  out << "]}\n";
+}
+
+// Drop-in replacement for BENCHMARK_MAIN()'s body: strips `--json FILE`
+// (google-benchmark would reject the unknown flag), runs the benchmarks
+// through a CapturingReporter, and writes the artifact last — so a crash
+// mid-run leaves no half-written JSON.
+inline int BenchMain(int argc, char** argv, const char* benchmark_name) {
+  std::string json_path;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int pruned_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&pruned_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(pruned_argc, args.data())) {
+    return 1;
+  }
+  CapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (!json_path.empty()) {
+    std::ofstream out(json_path, std::ios::trunc);
+    if (!out.is_open()) {
+      std::fprintf(stderr, "error: cannot write --json file '%s'\n",
+                   json_path.c_str());
+      return 1;
+    }
+    WriteBenchJson(out, benchmark_name, reporter.captures);
+  }
+  return 0;
+}
+
+}  // namespace bench
+}  // namespace nwd
+
+#endif  // NWD_BENCH_BENCH_JSON_H_

@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "bench/bench_common.h"
+#include "bench/bench_json.h"
 #include "enumerate/engine.h"
 #include "fo/builders.h"
 #include "util/rng.h"
@@ -57,4 +58,6 @@ BENCHMARK(BM_NextSolution)->Apply(NextArgs);
 }  // namespace
 }  // namespace nwd
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return nwd::bench::BenchMain(argc, argv, "bench_next_solution");
+}

@@ -11,6 +11,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_common.h"
+#include "bench/bench_json.h"
 #include "enumerate/engine.h"
 #include "fo/builders.h"
 
@@ -108,4 +109,6 @@ BENCHMARK(BM_EnginePreprocessThreads)
 }  // namespace
 }  // namespace nwd
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return nwd::bench::BenchMain(argc, argv, "bench_preprocessing");
+}

@@ -7,6 +7,7 @@
 #include <memory>
 
 #include "bench/bench_common.h"
+#include "bench/bench_json.h"
 #include "cover/kernel.h"
 #include "cover/neighborhood_cover.h"
 #include "skip/skip_pointers.h"
@@ -98,4 +99,6 @@ BENCHMARK(BM_SkipQuery)->Arg(1 << 12)->Arg(1 << 14)->Arg(1 << 16);
 }  // namespace
 }  // namespace nwd
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return nwd::bench::BenchMain(argc, argv, "bench_skip");
+}

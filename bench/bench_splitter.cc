@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_common.h"
+#include "bench/bench_json.h"
 #include "splitter/game.h"
 #include "splitter/strategy.h"
 #include "util/rng.h"
@@ -60,4 +61,6 @@ BENCHMARK(BM_SplitterGame)
 }  // namespace
 }  // namespace nwd
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return nwd::bench::BenchMain(argc, argv, "bench_splitter");
+}

@@ -8,6 +8,7 @@
 #include <map>
 #include <unordered_map>
 
+#include "bench/bench_json.h"
 #include "storing/trie.h"
 #include "util/rng.h"
 
@@ -137,4 +138,6 @@ BENCHMARK(BM_TrieBinaryKeys);
 }  // namespace
 }  // namespace nwd
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return nwd::bench::BenchMain(argc, argv, "bench_storing");
+}

@@ -7,6 +7,7 @@
 #include <memory>
 
 #include "bench/bench_common.h"
+#include "bench/bench_json.h"
 #include "enumerate/engine.h"
 #include "fo/builders.h"
 #include "util/rng.h"
@@ -53,4 +54,6 @@ BENCHMARK(BM_Testing)->Apply(TestingArgs);
 }  // namespace
 }  // namespace nwd
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return nwd::bench::BenchMain(argc, argv, "bench_testing");
+}

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "bench/bench_json.h"
 #include "enumerate/engine.h"
 #include "enumerate/enumerator.h"
 #include "fo/builders.h"
@@ -155,11 +156,5 @@ int main(int argc, char** argv) {
     args.push_back(argv[i]);
   }
   int pruned_argc = static_cast<int>(args.size());
-  benchmark::Initialize(&pruned_argc, args.data());
-  if (benchmark::ReportUnrecognizedArguments(pruned_argc, args.data())) {
-    return 1;
-  }
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return nwd::bench::BenchMain(pruned_argc, args.data(), "bench_throughput");
 }

@@ -1,0 +1,83 @@
+# Runs one bench binary with --json and validates the emitted artifact,
+# as a CTest script:
+#   cmake -DBENCH=<path-to-bench-binary> -DWORK_DIR=<scratch>
+#         -DBENCH_ARGS=<;-list of extra args> -P validate_bench_json.cmake
+#
+# Contract under test (the nwd-bench-json/1 schema of bench_json.h):
+#   * the binary exits 0 and leaves a parseable JSON document,
+#   * schema/benchmark keys are present and correct,
+#   * at least one run was captured, and every run carries name /
+#     graph_class / n / iterations / real_ms / cpu_ms / counters,
+#   * every number is finite (no nan/inf ever reaches the artifact).
+# Malformed output fails the test — the artifact is only useful if CI can
+# trust it blindly.
+
+if(NOT DEFINED BENCH OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR
+    "usage: cmake -DBENCH=... -DWORK_DIR=... [-DBENCH_ARGS=...] "
+    "-P validate_bench_json.cmake")
+endif()
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(JSON_FILE "${WORK_DIR}/bench.json")
+file(REMOVE "${JSON_FILE}")
+
+execute_process(
+  COMMAND ${BENCH} ${BENCH_ARGS} --json "${JSON_FILE}"
+  RESULT_VARIABLE exit_code
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err
+  TIMEOUT 240)
+if(NOT exit_code STREQUAL "0")
+  message(FATAL_ERROR "bench exited ${exit_code}\nstderr: ${err}")
+endif()
+if(NOT EXISTS "${JSON_FILE}")
+  message(FATAL_ERROR "bench did not write ${JSON_FILE}")
+endif()
+file(READ "${JSON_FILE}" doc)
+
+# Non-finite numbers are not JSON; string(JSON) below would accept bare
+# words inside numbers contexts inconsistently across generators, so scan
+# the raw text first.
+string(TOLOWER "${doc}" doc_lower)
+if(doc_lower MATCHES "nan|infinity|[^a-z]inf[^a-z]")
+  message(FATAL_ERROR "artifact contains a non-finite number:\n${doc}")
+endif()
+
+string(JSON schema ERROR_VARIABLE json_err GET "${doc}" schema)
+if(NOT json_err STREQUAL "NOTFOUND")
+  message(FATAL_ERROR "unparseable JSON (${json_err}):\n${doc}")
+endif()
+if(NOT schema STREQUAL "nwd-bench-json/1")
+  message(FATAL_ERROR "wrong schema '${schema}'")
+endif()
+string(JSON benchmark GET "${doc}" benchmark)
+if(benchmark STREQUAL "")
+  message(FATAL_ERROR "empty benchmark name")
+endif()
+string(JSON run_count LENGTH "${doc}" runs)
+if(run_count LESS 1)
+  message(FATAL_ERROR "no runs captured:\n${doc}")
+endif()
+
+math(EXPR last_run "${run_count} - 1")
+foreach(i RANGE 0 ${last_run})
+  foreach(key name graph_class n iterations real_ms cpu_ms counters)
+    string(JSON value ERROR_VARIABLE json_err GET "${doc}" runs ${i} ${key})
+    if(NOT json_err STREQUAL "NOTFOUND")
+      message(FATAL_ERROR "run ${i} missing key '${key}':\n${doc}")
+    endif()
+  endforeach()
+  string(JSON name GET "${doc}" runs ${i} name)
+  if(name STREQUAL "")
+    message(FATAL_ERROR "run ${i} has an empty name")
+  endif()
+  foreach(key iterations real_ms cpu_ms)
+    string(JSON value GET "${doc}" runs ${i} ${key})
+    if(NOT value MATCHES "^-?[0-9]+(\\.[0-9]+)?([eE][-+]?[0-9]+)?$")
+      message(FATAL_ERROR "run ${i} ${key}='${value}' is not a number")
+    endif()
+  endforeach()
+endforeach()
+
+message(STATUS
+  "validated ${run_count} runs of '${benchmark}' in ${JSON_FILE}")

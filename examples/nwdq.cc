@@ -5,6 +5,7 @@
 //        [--next a,b,...] [--explain] [--color Name=idx]...
 //        [--budget-ms N] [--max-edge-work N] [--max-avg-degree X]
 //        [--probe-file FILE] [--answer-threads N]
+//        [--metrics-json FILE] [--trace-json FILE]
 //
 // Examples:
 //   nwdq city.g '(x, y) := dist(x, y) <= 4 & C0(y)' --limit 10
@@ -14,9 +15,15 @@
 //   nwdq net.g  '(x, y) := E(x, y)' --probe-file probes.txt
 //               --answer-threads 8                    # batched serving
 //
+// --metrics-json / --trace-json enable the observability layer and write
+// its artifacts when the run finishes: a metrics snapshot (nwd-metrics/1
+// schema) and a chrome://tracing-compatible span timeline covering every
+// prepare stage and answer call.
+//
 // A probe file holds one probe per line: `test a,b,...`, `next a,b,...`,
 // or a bare tuple `a,b,...` (treated as test). Blank lines and lines
-// starting with '#' are skipped. Answers print in input order; with
+// starting with '#' are skipped; CRLF line endings and a missing final
+// newline are tolerated. Answers print in input order; with
 // --answer-threads N the probes are served by N concurrent workers
 // (answers are bit-identical to serial). --answer-threads also switches
 // plain enumeration to the sharded parallel enumerator.
@@ -50,6 +57,8 @@
 #include "fo/parser.h"
 #include "fo/printer.h"
 #include "graph/io.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/timer.h"
 
 namespace {
@@ -90,8 +99,13 @@ bool ParseTuple(const char* text, int arity, nwd::Tuple* out) {
     char* end = nullptr;
     out->push_back(std::strtoll(p, &end, 10));
     if (end == p) return false;
-    p = (*end == ',') ? end + 1 : end;
-    if (*end != ',' && *end != '\0') return false;
+    if (*end == ',') {
+      p = end + 1;
+      if (*p == '\0') return false;  // trailing comma: "3,7," is malformed
+    } else {
+      p = end;
+      if (*p != '\0') return false;
+    }
   }
   return static_cast<int>(out->size()) == arity;
 }
@@ -128,9 +142,24 @@ int Usage() {
                "[--color Name=idx]...\n"
                "            [--budget-ms N] [--max-edge-work N] "
                "[--max-avg-degree X]\n"
-               "            [--probe-file FILE] [--answer-threads N]\n");
+               "            [--probe-file FILE] [--answer-threads N]\n"
+               "            [--metrics-json FILE] [--trace-json FILE]\n");
   return 2;
 }
+
+// Scrapes the observability artifacts at scope exit, so every exit path
+// after flag parsing (success, degraded, bad probe file) leaves them
+// behind — a failed run's trace is exactly the one worth reading.
+struct ObsExport {
+  std::ofstream metrics;
+  std::ofstream trace;
+  ~ObsExport() {
+    if (metrics.is_open()) {
+      nwd::obs::MetricsRegistry::Global().WriteJson(metrics);
+    }
+    if (trace.is_open()) nwd::obs::Tracer::Global().WriteJson(trace);
+  }
+};
 
 // One parsed probe-file line.
 struct Probe {
@@ -151,7 +180,11 @@ bool ReadProbeFile(const std::string& path, int arity, int64_t num_vertices,
   int64_t line_no = 0;
   while (std::getline(in, line)) {
     ++line_no;
-    size_t begin = line.find_first_not_of(" \t\r");
+    // getline strips '\n' but keeps a CRLF file's '\r'; drop it (plus any
+    // trailing blanks) so ParseTuple sees a clean terminator.
+    const size_t last = line.find_last_not_of(" \t\r");
+    line.resize(last == std::string::npos ? 0 : last + 1);
+    size_t begin = line.find_first_not_of(" \t");
     if (begin == std::string::npos || line[begin] == '#') continue;
     Probe probe;
     const char* rest = line.c_str() + begin;
@@ -236,6 +269,7 @@ int main(int argc, char** argv) {
   int64_t answer_threads = 1;
   std::map<std::string, int> color_names;
   nwd::EngineOptions engine_options;
+  ObsExport obs_export;
   for (int i = 3; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--limit" && i + 1 < argc) {
@@ -250,6 +284,22 @@ int main(int argc, char** argv) {
       next_tuple = argv[++i];
     } else if (arg == "--probe-file" && i + 1 < argc) {
       probe_file = argv[++i];
+    } else if (arg == "--metrics-json" && i + 1 < argc) {
+      const char* path = argv[++i];
+      obs_export.metrics.open(path, std::ios::trunc);
+      if (!obs_export.metrics.is_open()) {
+        std::fprintf(stderr, "error: cannot write metrics file '%s'\n", path);
+        return 1;
+      }
+      nwd::obs::SetMetricsEnabled(true);
+    } else if (arg == "--trace-json" && i + 1 < argc) {
+      const char* path = argv[++i];
+      obs_export.trace.open(path, std::ios::trunc);
+      if (!obs_export.trace.is_open()) {
+        std::fprintf(stderr, "error: cannot write trace file '%s'\n", path);
+        return 1;
+      }
+      nwd::obs::SetTraceEnabled(true);
     } else if (arg == "--answer-threads" && i + 1 < argc) {
       if (!ParseInt64Flag("--answer-threads", argv[++i], 1,
                           &answer_threads)) {

@@ -13,20 +13,83 @@
 #include "fo/analysis.h"
 #include "fo/naive_eval.h"
 #include "graph/stats.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/fault_injection.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace nwd {
+namespace {
 
-EnumerationEngine::~EnumerationEngine() = default;
+// Registry lookups take a mutex; the engine resolves its instruments once
+// per process and mutates through cached pointers (relaxed atomics).
+struct EngineInstruments {
+  obs::Counter* engines_built;
+  obs::Counter* engines_fallback;
+  obs::Counter* engines_degraded;
+  obs::Counter* probes_served;
+  obs::Counter* descents;
+  obs::Counter* ball_cache_hits;
+  obs::Counter* ball_cache_misses;
+  obs::Counter* budget_edge_work;
+  obs::Gauge* cover_bags;
+  obs::Gauge* cover_degree;
+  obs::Gauge* kernel_values;
+  obs::Gauge* skip_entries;
+  obs::Gauge* oracle_depth;
+  obs::Gauge* budget_peak_alloc;
+  obs::Gauge* answer_contexts;
+  obs::Histogram* cover_us;
+  obs::Histogram* kernels_us;
+  obs::Histogram* skips_us;
+  obs::Histogram* extendable_us;
+};
+
+EngineInstruments& Instruments() {
+  static EngineInstruments* instruments = [] {
+    auto& reg = obs::MetricsRegistry::Global();
+    auto* m = new EngineInstruments();
+    m->engines_built = reg.GetCounter("engine.built");
+    m->engines_fallback = reg.GetCounter("engine.fallback");
+    m->engines_degraded = reg.GetCounter("engine.degraded");
+    m->probes_served = reg.GetCounter("answer.probes_served");
+    m->descents = reg.GetCounter("answer.descents");
+    m->ball_cache_hits = reg.GetCounter("answer.ball_cache_hits");
+    m->ball_cache_misses = reg.GetCounter("answer.ball_cache_misses");
+    m->budget_edge_work = reg.GetCounter("budget.edge_work_charged");
+    m->cover_bags = reg.GetGauge("engine.cover.bags");
+    m->cover_degree = reg.GetGauge("engine.cover.degree");
+    m->kernel_values = reg.GetGauge("engine.kernels.values");
+    m->skip_entries = reg.GetGauge("engine.skips.entries");
+    m->oracle_depth = reg.GetGauge("engine.oracle.depth");
+    m->budget_peak_alloc = reg.GetGauge("budget.peak_alloc_bytes");
+    m->answer_contexts = reg.GetGauge("answer.contexts");
+    m->cover_us = reg.GetHistogram("engine.phase.cover_us");
+    m->kernels_us = reg.GetHistogram("engine.phase.kernels_us");
+    m->skips_us = reg.GetHistogram("engine.phase.skips_us");
+    m->extendable_us = reg.GetHistogram("engine.phase.extendable_us");
+    return m;
+  }();
+  return *instruments;
+}
+
+}  // namespace
+
+EnumerationEngine::~EnumerationEngine() {
+  // Absorb any still-pooled answer counters into the process-wide registry
+  // so metrics scraped after teardown don't lose the tail between the last
+  // explicit DrainAnswerStats() and destruction.
+  if (probe_pool_ != nullptr) DrainAnswerStats();
+}
 
 EnumerationEngine::EnumerationEngine(const ColoredGraph& g,
                                      const fo::Query& query,
                                      EngineOptions options)
     : graph_(&g), query_(query), options_(options),
       budget_(options_.budget) {
+  obs::ScopedSpan prepare_span("engine/prepare");
   for (size_t i = 0; i < query_.free_vars.size(); ++i) {
     for (size_t j = i + 1; j < query_.free_vars.size(); ++j) {
       NWD_CHECK_NE(query_.free_vars[i], query_.free_vars[j])
@@ -145,6 +208,28 @@ void EnumerationEngine::FinalizeBudgetStats() {
   stats_.budget_edge_work = budget_.work_charged();
   stats_.budget_peak_alloc_bytes = budget_.peak_alloc_bytes();
   stats_.budget_elapsed_ms = budget_.ElapsedMs();
+
+  // Every constructor exit path funnels through here exactly once, so this
+  // is where the one-shot preprocessing results land in the process-wide
+  // registry: counts by outcome, structure-size high-water gauges, and the
+  // per-phase wall-time distributions across engine builds.
+  EngineInstruments& m = Instruments();
+  m.engines_built->Increment();
+  if (stats_.fallback) m.engines_fallback->Increment();
+  if (stats_.degraded) m.engines_degraded->Increment();
+  m.budget_edge_work->Add(stats_.budget_edge_work);
+  m.budget_peak_alloc->SetMax(stats_.budget_peak_alloc_bytes);
+  if (!stats_.fallback) {
+    m.cover_bags->SetMax(stats_.cover_bags);
+    m.cover_degree->SetMax(stats_.cover_degree);
+    m.kernel_values->SetMax(kernels_.TotalValues());
+    m.skip_entries->SetMax(stats_.skip_entries);
+    m.oracle_depth->SetMax(stats_.oracle_depth);
+    m.cover_us->Record(static_cast<int64_t>(stats_.cover_ms * 1e3));
+    m.kernels_us->Record(static_cast<int64_t>(stats_.kernels_ms * 1e3));
+    m.skips_us->Record(static_cast<int64_t>(stats_.skips_ms * 1e3));
+    m.extendable_us->Record(static_cast<int64_t>(stats_.extendable_ms * 1e3));
+  }
 }
 
 bool EnumerationEngine::PrepareLnfMode() {
@@ -187,9 +272,12 @@ bool EnumerationEngine::PrepareLnfMode() {
   ThreadPool pool(options_.num_threads);
   Timer phase_timer;
 
-  strategy_ = MakeAutoStrategy(*graph_);
-  cover_ = std::make_unique<NeighborhoodCover>(
-      NeighborhoodCover::Build(*graph_, k * r, &budget_));
+  {
+    obs::ScopedSpan span("engine/cover");
+    strategy_ = MakeAutoStrategy(*graph_);
+    cover_ = std::make_unique<NeighborhoodCover>(
+        NeighborhoodCover::Build(*graph_, k * r, &budget_));
+  }
   stats_.cover_ms = phase_timer.ElapsedSeconds() * 1e3;
   if (StageTripped("engine/cover")) return false;
   budget_.ChargeAllocation(cover_->TotalBagSize() *
@@ -197,6 +285,7 @@ bool EnumerationEngine::PrepareLnfMode() {
 
   phase_timer.Restart();
   {
+    obs::ScopedSpan span("engine/kernels");
     const std::vector<std::vector<Vertex>> kernel_rows =
         ComputeAllKernels(*graph_, *cover_, r, &pool, &budget_);
     kernels_ = FlatRows<Vertex>(kernel_rows);
@@ -208,8 +297,11 @@ bool EnumerationEngine::PrepareLnfMode() {
 
   DistanceOracle::Options oracle_options = options_.oracle;
   oracle_options.budget = &budget_;
-  oracle_ = std::make_unique<DistanceOracle>(*graph_, r, *strategy_,
-                                             oracle_options);
+  {
+    obs::ScopedSpan span("engine/oracle");
+    oracle_ = std::make_unique<DistanceOracle>(*graph_, r, *strategy_,
+                                               oracle_options);
+  }
   if (StageTripped("engine/oracle")) return false;
   stats_.cover_bags = cover_->NumBags();
   stats_.cover_degree = cover_->Degree();
@@ -222,6 +314,7 @@ bool EnumerationEngine::PrepareLnfMode() {
   // each list by a color scan sharded over vertex ranges, then fan the
   // independent skip-pointer constructions out across lists.
   phase_timer.Restart();
+  obs::ScopedSpan lists_span("engine/lists");
   std::map<std::vector<std::pair<int, bool>>, int> signature_to_list;
   std::vector<std::vector<std::pair<int, bool>>> signatures;
   const int skip_set_size = std::max(1, k - 1);
@@ -283,6 +376,7 @@ bool EnumerationEngine::PrepareLnfMode() {
     budget_.ChargeAllocation(static_cast<int64_t>(total * sizeof(Vertex)));
     if (budget_.Exceeded()) break;  // lists are partial; stage check below
   }
+  lists_span.End();
   if (StageTripped("engine/lists")) return false;
 
   // The vertex -> containing-kernels index is shared by every per-list
@@ -294,6 +388,7 @@ bool EnumerationEngine::PrepareLnfMode() {
   budget_.ChargeAllocation(kernels_containing->TotalValues() *
                            static_cast<int64_t>(sizeof(int64_t)));
 
+  obs::ScopedSpan skips_span("engine/skips");
   skips_.resize(lists_.size());
   pool.ParallelFor(
       0, static_cast<int64_t>(lists_.size()), /*grain=*/1,
@@ -303,6 +398,7 @@ bool EnumerationEngine::PrepareLnfMode() {
             skip_set_size, &budget_);
       },
       &budget_);
+  skips_span.End();
   if (StageTripped("engine/skips")) return false;
   // Only totalled after the stage check: a canceled ParallelFor leaves
   // null slots, and a tripped sweep leaves partial counts.
@@ -318,6 +414,7 @@ bool EnumerationEngine::PrepareLnfMode() {
   // over the pool with one ProbeContext per worker; the keep/drop flags
   // land in index order.
   phase_timer.Restart();
+  obs::ScopedSpan extendable_span("engine/extendable");
   std::vector<std::unique_ptr<ProbeContext>> contexts(
       static_cast<size_t>(pool.num_threads()));
   const Tuple dummy_from = LexMin(k);
@@ -350,6 +447,7 @@ bool EnumerationEngine::PrepareLnfMode() {
       if (extendable[i]) data.extendable0.push_back(base[i]);
     }
   }
+  extendable_span.End();
   if (StageTripped("engine/extendable")) return false;
   // The preprocessing descents' cache traffic lands in stats_; answer-time
   // traffic stays per-context until DrainAnswerStats().
@@ -550,9 +648,13 @@ std::optional<Tuple> EnumerationEngine::Next(const Tuple& from) const {
     NWD_CHECK(v >= 0 && v < graph_->NumVertices())
         << "Next() probe component " << v << " out of range";
   }
+  obs::ScopedSpan span("answer/next");
   ScopedProbeContext ctx(probe_pool_.get());
   ctx->probes_served.fetch_add(1, std::memory_order_relaxed);
   if (lazy_next_ != nullptr) {
+    // One backtracking search per probe: the lazy twin of an LNF descent,
+    // so degraded-mode drains report comparable work.
+    ctx->descents.fetch_add(1, std::memory_order_relaxed);
     // The lazy evaluators keep internal scratch; serialize.
     std::lock_guard<std::mutex> lock(lazy_mu_);
     return lazy_next_->Next(from);
@@ -569,6 +671,7 @@ std::optional<Tuple> EnumerationEngine::Next(const Tuple& from) const {
 
 bool EnumerationEngine::Test(const Tuple& tuple) const {
   NWD_CHECK_EQ(static_cast<int>(tuple.size()), arity());
+  obs::ScopedSpan span("answer/test");
   ScopedProbeContext ctx(probe_pool_.get());
   ctx->probes_served.fetch_add(1, std::memory_order_relaxed);
   if (lazy_eval_ != nullptr) {
@@ -640,6 +743,7 @@ int EnumerationEngine::ResolveAnswerThreads(int num_threads) {
 
 std::vector<uint8_t> EnumerationEngine::TestBatch(
     const std::vector<Tuple>& probes, int num_threads) const {
+  obs::ScopedSpan span("answer/test_batch");
   std::vector<uint8_t> out(probes.size(), 0);
   ThreadPool pool(ResolveAnswerThreads(num_threads));
   pool.ParallelFor(0, static_cast<int64_t>(probes.size()), /*grain=*/8,
@@ -652,6 +756,7 @@ std::vector<uint8_t> EnumerationEngine::TestBatch(
 
 std::vector<std::optional<Tuple>> EnumerationEngine::NextBatch(
     const std::vector<Tuple>& froms, int num_threads) const {
+  obs::ScopedSpan span("answer/next_batch");
   std::vector<std::optional<Tuple>> out(froms.size());
   ThreadPool pool(ResolveAnswerThreads(num_threads));
   pool.ParallelFor(0, static_cast<int64_t>(froms.size()), /*grain=*/8,
@@ -665,6 +770,7 @@ std::vector<std::optional<Tuple>> EnumerationEngine::NextBatch(
 std::vector<Tuple> EnumerationEngine::EnumerateParallel(int num_threads,
                                                         int64_t limit) const {
   if (limit == 0) return {};
+  obs::ScopedSpan span("answer/enumerate");
   const int k = arity();
   const int64_t n = graph_->NumVertices();
   if (stats_.fallback) {
@@ -747,7 +853,16 @@ std::vector<Tuple> EnumerationEngine::EnumerateParallel(int num_threads,
 }
 
 AnswerCounters EnumerationEngine::DrainAnswerStats() const {
-  return probe_pool_->Drain();
+  const AnswerCounters drained = probe_pool_->Drain();
+  // Drained per-context counters feed the process-wide registry here, the
+  // one place answer-time traffic leaves the pool.
+  EngineInstruments& m = Instruments();
+  m.probes_served->Add(drained.probes_served);
+  m.descents->Add(drained.descents);
+  m.ball_cache_hits->Add(drained.ball_cache_hits);
+  m.ball_cache_misses->Add(drained.ball_cache_misses);
+  m.answer_contexts->SetMax(drained.contexts);
+  return drained;
 }
 
 }  // namespace nwd

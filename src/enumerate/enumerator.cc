@@ -1,8 +1,19 @@
 #include "enumerate/enumerator.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace nwd {
+namespace {
+
+obs::Histogram* DelayHistogram() {
+  static obs::Histogram* histogram =
+      obs::MetricsRegistry::Global().GetHistogram("enumerate.delay_ns");
+  return histogram;
+}
+
+}  // namespace
 
 ConstantDelayEnumerator::ConstantDelayEnumerator(
     const EnumerationEngine& engine)
@@ -14,6 +25,7 @@ void ConstantDelayEnumerator::Reset() {
   done_ = false;
   produced_ = 0;
   cursor_ = std::nullopt;
+  last_output_ns_ = 0;
 }
 
 std::optional<Tuple> ConstantDelayEnumerator::NextSolution() {
@@ -29,6 +41,15 @@ std::optional<Tuple> ConstantDelayEnumerator::NextSolution() {
     return std::nullopt;
   }
   ++produced_;
+  // Corollary 2.5's guarantee is about the gap between consecutive
+  // outputs; record it as a distribution (output i-1 -> output i, so the
+  // first output of a run is not a sample). Costs a clock read per
+  // solution, hence gated.
+  if (obs::MetricsEnabled()) {
+    const int64_t now_ns = obs::Tracer::NowNs();
+    if (last_output_ns_ != 0) DelayHistogram()->Record(now_ns - last_output_ns_);
+    last_output_ns_ = now_ns;
+  }
   // Advance the cursor past this solution. When the solution is the
   // lexicographic maximum (or a sentence's empty tuple), enumeration ends.
   Tuple next = *solution;

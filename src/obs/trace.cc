@@ -1,0 +1,140 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+namespace nwd {
+namespace obs {
+namespace {
+
+uint64_t CurrentTid() {
+  return std::hash<std::thread::id>{}(std::this_thread::get_id());
+}
+
+// Span names are string literals from our own call sites, but escape
+// anyway so the exporter can never emit invalid JSON.
+void WriteJsonString(std::ostream& out, const char* s) {
+  out << '"';
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\r': out << "\\r"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+}  // namespace
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+int64_t Tracer::NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void Tracer::RecordSpan(const char* name, int64_t begin_ns, int64_t end_ns) {
+  const uint64_t tid = CurrentTid();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (events_.size() >= kMaxEvents) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (events_.empty()) events_.reserve(1024);
+  events_.push_back(Event{name, begin_ns, end_ns, tid});
+}
+
+size_t Tracer::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+void Tracer::WriteJson(std::ostream& out) const {
+  std::vector<Event> events;
+  int64_t dropped = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    events = events_;
+    dropped = dropped_.load(std::memory_order_relaxed);
+  }
+  // Normalize timestamps so the trace starts near t=0 regardless of the
+  // steady_clock epoch.
+  int64_t base_ns = 0;
+  if (!events.empty()) {
+    base_ns = events[0].begin_ns;
+    for (const Event& e : events) {
+      if (e.begin_ns < base_ns) base_ns = e.begin_ns;
+    }
+  }
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  for (const Event& e : events) {
+    if (!first) out << ',';
+    first = false;
+    const double ts_us = static_cast<double>(e.begin_ns - base_ns) / 1e3;
+    const double dur_us =
+        static_cast<double>(e.end_ns >= e.begin_ns ? e.end_ns - e.begin_ns
+                                                   : 0) /
+        1e3;
+    char buf[96];
+    out << "{\"name\":";
+    WriteJsonString(out, e.name);
+    std::snprintf(buf, sizeof(buf),
+                  ",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%llu}",
+                  ts_us, dur_us, static_cast<unsigned long long>(e.tid % 100000));
+    out << buf;
+  }
+  out << "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped_events\":"
+      << dropped << "}}\n";
+}
+
+void Tracer::ResetForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+namespace {
+
+std::atomic<int>& TraceEnabledFlag() {
+  // -1 = unresolved (consult the environment on first query).
+  static std::atomic<int> flag{-1};
+  return flag;
+}
+
+}  // namespace
+
+bool TraceEnabled() {
+  int state = TraceEnabledFlag().load(std::memory_order_relaxed);
+  if (state < 0) {
+    const char* env = std::getenv("NWD_TRACE");
+    state = (env != nullptr && env[0] != '\0' && env[0] != '0') ? 1 : 0;
+    TraceEnabledFlag().store(state, std::memory_order_relaxed);
+  }
+  return state != 0;
+}
+
+void SetTraceEnabled(bool enabled) {
+  TraceEnabledFlag().store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+}  // namespace obs
+}  // namespace nwd

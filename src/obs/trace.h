@@ -1,0 +1,129 @@
+// Tracing spans (the observability layer's timeline plane).
+//
+// A span is a named interval on a thread's timeline: "engine/cover took
+// 1.8ms inside Prepare". Spans answer the question metrics cannot —
+// *where* a slow preprocessing run spent its time — and they nest, so a
+// trace of Prepare shows cover / kernels / lists / skips / extendable as
+// children of the outer span, per stage, per probe, per batch.
+//
+// Design constraints, in priority order:
+//   1. Disabled must be ~free. Every span site costs one relaxed atomic
+//      load and a branch when tracing is off (no clock read, no lock, no
+//      allocation). ScopedSpan stores a nullptr tracer and does nothing.
+//   2. Enabled must not distort what it measures. Recording a finished
+//      span is two clock reads plus one short critical section appending
+//      a POD event to a pre-reserved buffer.
+//   3. Export must be a standard format. WriteJson emits the Chrome
+//      Trace Event format ("traceEvents" with ph:"X" complete events),
+//      loadable in chrome://tracing or Perfetto as-is.
+//
+// The buffer is bounded (kMaxEvents); once full, further spans are
+// counted in dropped_events() but not stored — tracing degrades by
+// truncating the tail, never by blocking the engine.
+//
+// Toggle mirrors metrics: NWD_TRACE=1 in the environment, or
+// SetTraceEnabled(true) programmatically (the nwdq --trace-json flag).
+
+#ifndef NWD_OBS_TRACE_H_
+#define NWD_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace nwd {
+namespace obs {
+
+class Tracer {
+ public:
+  // Bounded buffer: 1 << 16 events is ~4 MB and several minutes of
+  // engine activity at realistic probe rates.
+  static constexpr size_t kMaxEvents = 1 << 16;
+
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  // The process-wide tracer the library's built-in span sites use.
+  static Tracer& Global();
+
+  // Records a completed [begin_ns, end_ns) span. `name` must be a string
+  // literal (or otherwise outlive the tracer) — events store the pointer.
+  void RecordSpan(const char* name, int64_t begin_ns, int64_t end_ns);
+
+  size_t event_count() const;
+  int64_t dropped_events() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  // Chrome Trace Event JSON:
+  //   {"traceEvents":[{"name":..,"ph":"X","ts":..,"dur":..,"pid":..,
+  //                    "tid":..},...],"displayTimeUnit":"ms"}
+  // ts/dur are microseconds (the format's unit), as decimals to keep
+  // sub-microsecond spans visible.
+  void WriteJson(std::ostream& out) const;
+
+  // Drops all buffered events and the dropped counter. Test-only.
+  void ResetForTest();
+
+  // Monotonic clock read, exposed so span sites and tests share one
+  // time base.
+  static int64_t NowNs();
+
+ private:
+  struct Event {
+    const char* name;
+    int64_t begin_ns;
+    int64_t end_ns;
+    uint64_t tid;
+  };
+
+  mutable std::mutex mu_;
+  std::vector<Event> events_;
+  std::atomic<int64_t> dropped_{0};
+};
+
+// Gate for all span sites. Default from the environment (NWD_TRACE=1
+// enables), overridable programmatically.
+bool TraceEnabled();
+void SetTraceEnabled(bool enabled);
+
+// RAII span. The common call site is two lines:
+//   obs::ScopedSpan span("engine/cover");
+//   ... work ...
+// When tracing is disabled the constructor is one relaxed load + branch
+// and the destructor one branch.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name)
+      : ScopedSpan(name, TraceEnabled() ? &Tracer::Global() : nullptr) {}
+  ScopedSpan(const char* name, Tracer* tracer)
+      : tracer_(tracer),
+        name_(name),
+        begin_ns_(tracer != nullptr ? Tracer::NowNs() : 0) {}
+  ~ScopedSpan() { End(); }
+
+  // Records the span now instead of at scope exit (for regions that do not
+  // align with a block). Idempotent; the destructor becomes a no-op.
+  void End() {
+    if (tracer_ != nullptr) {
+      tracer_->RecordSpan(name_, begin_ns_, Tracer::NowNs());
+      tracer_ = nullptr;
+    }
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  Tracer* tracer_;
+  const char* name_;
+  int64_t begin_ns_;
+};
+
+}  // namespace obs
+}  // namespace nwd
+
+#endif  // NWD_OBS_TRACE_H_

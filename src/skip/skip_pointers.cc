@@ -4,6 +4,7 @@
 #include <set>
 #include <utility>
 
+#include "obs/metrics.h"
 #include "util/budget.h"
 #include "util/check.h"
 
@@ -135,6 +136,16 @@ SkipPointers::SkipPointers(
       return;
     }
   }
+  static obs::Gauge* struct_bytes =
+      obs::MetricsRegistry::Global().GetGauge("skip.struct_bytes_max");
+  struct_bytes->SetMax(ApproxBytes());
+}
+
+int64_t SkipPointers::ApproxBytes() const {
+  return static_cast<int64_t>(
+      list_.size() * sizeof(Vertex) + entry_begin_.size() * sizeof(int64_t) +
+      entry_count_.size() * sizeof(int32_t) +
+      entries_.size() * sizeof(EntryRef) + bag_pool_.size() * sizeof(int64_t));
 }
 
 bool SkipPointers::InAnyKernel(Vertex v,

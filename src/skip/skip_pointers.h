@@ -81,6 +81,11 @@ class SkipPointers {
   // Claim 5.10; experiment E8 tracks this).
   int64_t TotalEntries() const { return total_entries_; }
 
+  // Bytes held by the flat SC storage (entries, bag pool, CSR offsets) —
+  // the concrete counterpart of the O(n^{1+k*eps}) space bound, published
+  // to the metrics registry as a per-structure high-water gauge.
+  int64_t ApproxBytes() const;
+
   int max_set_size() const { return max_set_size_; }
 
  private:

@@ -3,10 +3,31 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace nwd {
 namespace {
+
+// Registry lookups take a mutex; resolve the trie's instruments once per
+// process and mutate through cached pointers.
+struct TrieInstruments {
+  obs::Counter* inserts;
+  obs::Counter* erases;
+  obs::Gauge* registers_max;
+};
+
+TrieInstruments& Instruments() {
+  static TrieInstruments* instruments = [] {
+    auto& reg = obs::MetricsRegistry::Global();
+    auto* m = new TrieInstruments();
+    m->inserts = reg.GetCounter("storing.trie.inserts");
+    m->erases = reg.GetCounter("storing.trie.erases");
+    m->registers_max = reg.GetGauge("storing.trie.registers_max");
+    return m;
+  }();
+  return *instruments;
+}
 
 // Integer power with saturation at 2^62.
 int64_t SaturatingPow(int64_t base, int exp) {
@@ -31,11 +52,13 @@ StoringTrie::StoringTrie(int arity, int64_t n, double epsilon)
 
   // d = ceil(n^eps) (at least 2 so the digit alphabet is non-trivial),
   // h = ceil(1/eps), then bumped until d^h >= n to absorb floating-point
-  // slack.
-  d_ = static_cast<int>(
-      std::max<double>(2.0, std::ceil(std::pow(static_cast<double>(n),
-                                               epsilon))));
-  NWD_CHECK_LT(d_, 1 << 30);
+  // slack. Range-check in the double domain: casting an out-of-int-range
+  // double is undefined behavior, so the check must precede the cast.
+  const double d_real = std::max<double>(
+      2.0, std::ceil(std::pow(static_cast<double>(n), epsilon)));
+  NWD_CHECK(d_real < static_cast<double>(1 << 30))
+      << "degree d = ceil(n^eps) = " << d_real << " out of range";
+  d_ = static_cast<int>(d_real);
   h_ = static_cast<int>(std::ceil(1.0 / epsilon));
   while (SaturatingPow(d_, h_) < n_) ++h_;
 
@@ -72,9 +95,16 @@ void StoringTrie::TupleOfInto(int64_t rank, Tuple* out) const {
 }
 
 void StoringTrie::Digits(const Tuple& key, std::vector<int>* out) const {
+  NWD_CHECK_EQ(static_cast<int>(key.size()), arity_);
   out->clear();
   out->reserve(static_cast<size_t>(PathLength()));
   for (int i = 0; i < arity_; ++i) {
+    // A component outside [0, n) would not fault here: since d^h can
+    // overshoot n, a too-large value either occupies digit strings of
+    // absent-but-addressable keys or silently drops its high digits and
+    // aliases a smaller key. Reject instead (RankOf already does).
+    NWD_CHECK(key[i] >= 0 && key[i] < n_)
+        << "key component " << key[i] << " outside [0, " << n_ << ")";
     // MSB-first base-d digits of key[i], exactly h_ of them.
     int64_t value = key[i];
     const size_t base_index = out->size();
@@ -346,6 +376,10 @@ void StoringTrie::Insert(const Tuple& key, int64_t value) {
   // freshly allocated placeholder cells after key's path lead to succ.
   Clean(pred_rank, rank);
   Clean(rank, succ_rank);
+
+  TrieInstruments& m = Instruments();
+  m.inserts->Increment();
+  m.registers_max->SetMax(r0_);
 }
 
 int StoringTrie::DepthOf(int64_t node) const {
@@ -433,6 +467,8 @@ void StoringTrie::Erase(const Tuple& key) {
 
   Cut(leaf_node);
   Clean(pred_rank, succ_rank);
+
+  Instruments().erases->Increment();
 }
 
 }  // namespace nwd

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace nwd {
 
 ResourceBudget::ResourceBudget(const Options& options)
@@ -58,6 +60,11 @@ void ResourceBudget::Trip(const std::string& stage,
       recorded_ = true;
       stage_ = stage;
       reason_ = reason;
+      // Only the winning trip is a degradation event worth counting;
+      // repeat trips of an already-dead budget are noise.
+      static obs::Counter* trips =
+          obs::MetricsRegistry::Global().GetCounter("budget.trips");
+      trips->Increment();
     }
   }
   tripped_.store(true, std::memory_order_release);

@@ -242,6 +242,46 @@ TEST(Degradation, DenseTenThousandVerticesUnderBudget) {
   EXPECT_EQ(produced, 50);
 }
 
+// Degraded probes serialize behind the lazy evaluators' mutex but still
+// draw a pooled ProbeContext; the drained counters must match serial
+// expectations exactly: one probe per Test/Next call, one descent (lazy
+// backtracking search) per Next call, none for Test.
+TEST(Degradation, DrainedCountersMatchSerialExpectations) {
+  Rng rng(41);
+  const ColoredGraph g = testing_common::RandomGraph(1, 80, &rng);
+  EngineOptions options = LnfForcingOptions();
+  options.budget.max_edge_work = 1;
+  const fo::Query query = SupportedBinaryQuery();
+  const EnumerationEngine engine(g, query, options);
+  ASSERT_TRUE(engine.stats().degraded);
+  ASSERT_TRUE(engine.stats().lazy_fallback);
+  // Construction issues no answer-phase probes; the pool starts clean.
+  const AnswerCounters at_build = engine.DrainAnswerStats();
+  EXPECT_EQ(at_build.probes_served, 0);
+  EXPECT_EQ(at_build.descents, 0);
+
+  const int64_t n = g.NumVertices();
+  constexpr int kTests = 17;
+  constexpr int kNexts = 5;
+  for (int i = 0; i < kTests; ++i) {
+    (void)engine.Test({static_cast<Vertex>(i % n),
+                       static_cast<Vertex>((i * 7) % n)});
+  }
+  for (int i = 0; i < kNexts; ++i) {
+    (void)engine.Next({static_cast<Vertex>((i * 13) % n), 0});
+  }
+  const AnswerCounters drained = engine.DrainAnswerStats();
+  EXPECT_EQ(drained.probes_served, kTests + kNexts);
+  EXPECT_EQ(drained.descents, kNexts);
+  EXPECT_GE(drained.contexts, 1);
+
+  // A second drain reports only traffic since the first.
+  (void)engine.Test({0, 0});
+  const AnswerCounters again = engine.DrainAnswerStats();
+  EXPECT_EQ(again.probes_served, 1);
+  EXPECT_EQ(again.descents, 0);
+}
+
 // Stats bookkeeping: a degraded engine reports its budget counters.
 TEST(Degradation, StatsRecordBudgetCounters) {
   Rng rng(31);

@@ -85,6 +85,18 @@ file(WRITE "${GOOD_PROBES}"
 set(BAD_PARSE_PROBES "${WORK_DIR}/bad_parse.probes")
 file(WRITE "${BAD_PARSE_PROBES}" "test 0,1\nnext 1,2,3\n")
 
+# The same probes as GOOD_PROBES minus the leading comment, but with CRLF
+# line endings and no newline after the final line — both must parse.
+set(CRLF_PROBES "${WORK_DIR}/crlf.probes")
+file(WRITE "${CRLF_PROBES}"
+  "test 0,1\r\n\r\nnext 0,0\r\n1,2\r\n  next 3,3")
+
+set(EMPTY_PROBES "${WORK_DIR}/empty.probes")
+file(WRITE "${EMPTY_PROBES}" "")
+
+set(TRAILING_COMMA_PROBES "${WORK_DIR}/trailing_comma.probes")
+file(WRITE "${TRAILING_COMMA_PROBES}" "test 0,1\ntest 1,2,\n")
+
 set(BAD_RANGE_PROBES "${WORK_DIR}/bad_range.probes")
 file(WRITE "${BAD_RANGE_PROBES}" "test 0,1\ntest 0,99\n")
 
@@ -130,8 +142,26 @@ run(missing_probe_file 1 "cannot read probe file" "${GOOD_GRAPH}"
     "(x, y) := E(x, y)" --probe-file "${WORK_DIR}/nonexistent.probes")
 run(probe_file_bad_line 1 "comma-separated" "${GOOD_GRAPH}"
     "(x, y) := E(x, y)" --probe-file "${BAD_PARSE_PROBES}")
+if(LAST_STDOUT MATCHES "test \\(0, 1\\)")
+  message(SEND_ERROR
+    "partial batch served before parse error:\n${LAST_STDOUT}")
+endif()
 run(probe_file_out_of_range 1 "outside the graph" "${GOOD_GRAPH}"
     "(x, y) := E(x, y)" --probe-file "${BAD_RANGE_PROBES}")
+run(probe_file_trailing_comma 1 "comma-separated" "${GOOD_GRAPH}"
+    "(x, y) := E(x, y)" --probe-file "${TRAILING_COMMA_PROBES}")
+# Bad batch input is all-or-nothing: the good first line of the malformed
+# file must not have been answered before the parse error.
+if(LAST_STDOUT MATCHES "test \\(0, 1\\)")
+  message(SEND_ERROR
+    "partial batch served before parse error:\n${LAST_STDOUT}")
+endif()
+run(test_trailing_comma 1 "bad --test" "${GOOD_GRAPH}" "(x, y) := E(x, y)"
+    --test 1,2,)
+run(metrics_json_unwritable 1 "cannot write metrics file" "${GOOD_GRAPH}"
+    "(x, y) := E(x, y)" --metrics-json "${WORK_DIR}/no_such_dir/m.json")
+run(trace_json_unwritable 1 "cannot write trace file" "${GOOD_GRAPH}"
+    "(x, y) := E(x, y)" --trace-json "${WORK_DIR}/no_such_dir/t.json")
 
 # --- Success paths: exit 0 ------------------------------------------------
 
@@ -178,6 +208,54 @@ foreach(threads 1 2)
       "probe_file_threads_${threads}: wrong probe answers:\n${LAST_STDOUT}")
   endif()
 endforeach()
+
+# CRLF line endings and a final line without trailing newline must serve
+# the same four probes as the POSIX-formatted file.
+run(probe_file_crlf 0 "" "${GOOD_GRAPH}" "(x, y) := E(x, y)"
+    --probe-file "${CRLF_PROBES}")
+if(NOT LAST_STDOUT MATCHES
+   "test \\(0, 1\\) = solution.*next \\(0, 0\\) = \\(0, 1\\).*test \\(1, 2\\) = solution.*next \\(3, 3\\) = none.*served 4 probes")
+  message(SEND_ERROR "probe_file_crlf: wrong probe answers:\n${LAST_STDOUT}")
+endif()
+
+# An empty probe file is a valid (if pointless) batch of zero probes.
+run(probe_file_empty 0 "" "${GOOD_GRAPH}" "(x, y) := E(x, y)"
+    --probe-file "${EMPTY_PROBES}")
+if(NOT LAST_STDOUT MATCHES "served 0 probes")
+  message(SEND_ERROR "probe_file_empty: expected zero-probe summary:\n${LAST_STDOUT}")
+endif()
+
+# Observability artifacts: both exports must be written, parse as JSON,
+# and carry their schema markers plus answer-path coverage.
+set(METRICS_JSON "${WORK_DIR}/metrics.json")
+set(TRACE_JSON "${WORK_DIR}/trace.json")
+run(obs_export 0 "" "${GOOD_GRAPH}" "(x, y) := E(x, y)"
+    --probe-file "${GOOD_PROBES}"
+    --metrics-json "${METRICS_JSON}" --trace-json "${TRACE_JSON}")
+foreach(artifact "${METRICS_JSON}" "${TRACE_JSON}")
+  if(NOT EXISTS "${artifact}")
+    message(SEND_ERROR "obs_export: missing artifact ${artifact}")
+  endif()
+endforeach()
+file(READ "${METRICS_JSON}" metrics_doc)
+string(JSON metrics_schema ERROR_VARIABLE json_err GET "${metrics_doc}" schema)
+if(NOT json_err STREQUAL "NOTFOUND" OR
+   NOT metrics_schema STREQUAL "nwd-metrics/1")
+  message(SEND_ERROR "obs_export: bad metrics JSON (${json_err}):\n${metrics_doc}")
+endif()
+string(JSON probes_served GET "${metrics_doc}" counters answer.probes_served)
+if(NOT probes_served STREQUAL "4")
+  message(SEND_ERROR
+    "obs_export: expected 4 drained probes, got '${probes_served}'")
+endif()
+file(READ "${TRACE_JSON}" trace_doc)
+string(JSON trace_events ERROR_VARIABLE json_err GET "${trace_doc}" traceEvents)
+if(NOT json_err STREQUAL "NOTFOUND")
+  message(SEND_ERROR "obs_export: bad trace JSON (${json_err}):\n${trace_doc}")
+endif()
+if(NOT trace_doc MATCHES "engine/prepare")
+  message(SEND_ERROR "obs_export: trace lacks the prepare span:\n${trace_doc}")
+endif()
 
 # --test / --next still work on a degraded engine.
 run(degraded_test 0 "" "${CLIQUE_GRAPH}" "(x, y) := E(x, y)"

@@ -1,0 +1,343 @@
+// Observability layer: instrument semantics (counter/gauge/histogram),
+// registry snapshot + JSON export, tracer buffering and bounded-drop
+// behavior, and the engine integration contract — answer-phase traffic
+// reaches the process registry by the time the engine is destroyed.
+//
+// The TSan twin (obs_test_tsan, label `tsan`) reruns the concurrency
+// tests against the instrumented library: many probe threads mutating
+// instruments while a scraper thread snapshots must be race-free — that
+// is the registry's core promise (relaxed atomics on the hot path,
+// per-instrument coherent reads on scrape).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "enumerate/engine.h"
+#include "fo/builders.h"
+#include "fo/parser.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "tests/property_common.h"
+#include "util/rng.h"
+
+namespace nwd {
+namespace {
+
+using obs::Counter;
+using obs::Gauge;
+using obs::Histogram;
+using obs::MetricsRegistry;
+using obs::Tracer;
+
+TEST(Counter, AddsAndReads) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0);
+  c.Increment();
+  c.Add(41);
+  EXPECT_EQ(c.value(), 42);
+}
+
+TEST(Gauge, SetAndSetMaxAreIndependent) {
+  Gauge g;
+  g.Set(10);
+  EXPECT_EQ(g.value(), 10);
+  g.SetMax(5);  // below current: no-op
+  EXPECT_EQ(g.value(), 10);
+  g.SetMax(99);
+  EXPECT_EQ(g.value(), 99);
+  g.Set(1);  // plain Set may move down
+  EXPECT_EQ(g.value(), 1);
+}
+
+TEST(Histogram, BucketsByBitWidthWithExactMoments) {
+  Histogram h;
+  h.Record(0);    // bucket 0
+  h.Record(1);    // bucket 1: [1, 2)
+  h.Record(2);    // bucket 2: [2, 4)
+  h.Record(3);    // bucket 2
+  h.Record(100);  // bucket 7: [64, 128)
+  const Histogram::Snapshot s = h.Read();
+  EXPECT_EQ(s.count, 5);
+  EXPECT_EQ(s.sum, 106);
+  EXPECT_EQ(s.min, 0);
+  EXPECT_EQ(s.max, 100);
+  EXPECT_DOUBLE_EQ(s.mean(), 106.0 / 5.0);
+  ASSERT_EQ(static_cast<int>(s.buckets.size()), Histogram::kBuckets);
+  EXPECT_EQ(s.buckets[0], 1);
+  EXPECT_EQ(s.buckets[1], 1);
+  EXPECT_EQ(s.buckets[2], 2);
+  EXPECT_EQ(s.buckets[7], 1);
+}
+
+TEST(Histogram, EmptySnapshotIsAllZero) {
+  Histogram h;
+  const Histogram::Snapshot s = h.Read();
+  EXPECT_EQ(s.count, 0);
+  EXPECT_EQ(s.sum, 0);
+  EXPECT_EQ(s.min, 0);
+  EXPECT_EQ(s.max, 0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(Registry, GetIsCreateOrGetWithStablePointers) {
+  MetricsRegistry reg;
+  Counter* a = reg.GetCounter("x.count");
+  Counter* b = reg.GetCounter("x.count");
+  EXPECT_EQ(a, b);
+  // Registering more instruments must not move earlier ones.
+  for (int i = 0; i < 100; ++i) {
+    reg.GetCounter("churn." + std::to_string(i));
+  }
+  EXPECT_EQ(reg.GetCounter("x.count"), a);
+  a->Add(7);
+  const auto snap = reg.Snapshot();
+  const auto it = snap.find("x.count");
+  ASSERT_NE(it, snap.end());
+  EXPECT_EQ(it->second.kind, MetricsRegistry::InstrumentValue::Kind::kCounter);
+  EXPECT_EQ(it->second.value, 7);
+}
+
+TEST(Registry, WriteJsonIsWellFormedAndSectioned) {
+  MetricsRegistry reg;
+  reg.GetCounter("c.one")->Add(5);
+  reg.GetGauge("g.one")->Set(12);
+  reg.GetHistogram("h.one")->Record(3);
+  std::ostringstream out;
+  reg.WriteJson(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"schema\":\"nwd-metrics/1\""), std::string::npos);
+  EXPECT_NE(json.find("\"c.one\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"g.one\":12"), std::string::npos);
+  EXPECT_NE(json.find("\"h.one\":{\"count\":1"), std::string::npos);
+  // Crude but effective balance check for a document with no strings
+  // containing braces.
+  int depth = 0;
+  for (const char c : json) {
+    if (c == '{') ++depth;
+    if (c == '}') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(Registry, ResetForTestZeroesEverything) {
+  MetricsRegistry reg;
+  reg.GetCounter("c")->Add(5);
+  reg.GetGauge("g")->Set(9);
+  reg.GetHistogram("h")->Record(4);
+  reg.ResetForTest();
+  const auto snap = reg.Snapshot();
+  EXPECT_EQ(snap.at("c").value, 0);
+  EXPECT_EQ(snap.at("g").value, 0);
+  EXPECT_EQ(snap.at("h").histogram.count, 0);
+}
+
+TEST(TracerTest, RecordsSpansAndExportsChromeFormat) {
+  Tracer tracer;
+  const int64_t t0 = Tracer::NowNs();
+  tracer.RecordSpan("stage/a", t0, t0 + 1500);
+  tracer.RecordSpan("stage/b", t0 + 2000, t0 + 2300);
+  EXPECT_EQ(tracer.event_count(), 2u);
+  EXPECT_EQ(tracer.dropped_events(), 0);
+  std::ostringstream out;
+  tracer.WriteJson(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"stage/a\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  // The earliest span is normalized to ts 0 and dur 1500ns = 1.5us.
+  EXPECT_NE(json.find("\"ts\":0.000,\"dur\":1.500"), std::string::npos);
+}
+
+TEST(TracerTest, BoundedBufferDropsTailAndCounts) {
+  Tracer tracer;
+  const int64_t t0 = Tracer::NowNs();
+  for (size_t i = 0; i < Tracer::kMaxEvents + 10; ++i) {
+    tracer.RecordSpan("spam", t0, t0 + 1);
+  }
+  EXPECT_EQ(tracer.event_count(), Tracer::kMaxEvents);
+  EXPECT_EQ(tracer.dropped_events(), 10);
+  std::ostringstream out;
+  tracer.WriteJson(out);
+  EXPECT_NE(out.str().find("\"dropped_events\":10"), std::string::npos);
+}
+
+TEST(TracerTest, ScopedSpanRecordsOnceEvenWithExplicitEnd) {
+  Tracer tracer;
+  {
+    obs::ScopedSpan span("explicit", &tracer);
+    span.End();
+    // Destructor must not record a second event.
+  }
+  {
+    obs::ScopedSpan span("implicit", &tracer);
+  }
+  EXPECT_EQ(tracer.event_count(), 2u);
+}
+
+TEST(TracerTest, DisabledScopedSpanRecordsNothing) {
+  obs::SetTraceEnabled(false);
+  const size_t before = Tracer::Global().event_count();
+  {
+    obs::ScopedSpan span("off");
+  }
+  EXPECT_EQ(Tracer::Global().event_count(), before);
+}
+
+// Engine integration: answer-phase probes reach the global registry by
+// the time the engine is destroyed, via the destructor's implicit
+// DrainAnswerStats(). (This is the path nwdq --metrics-json relies on.)
+TEST(EngineMetrics, DestructorDrainPublishesAnswerCounters) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  const int64_t before = reg.GetCounter("answer.probes_served")->value();
+  Rng rng(97);
+  const ColoredGraph g = testing_common::RandomGraph(1, 60, &rng);
+  const fo::ParseResult r = fo::ParseFormula("dist(x, y) <= 1");
+  ASSERT_TRUE(r.ok) << r.error;
+  {
+    EngineOptions options;
+    options.naive_cutoff = 10;
+    options.oracle.small_cutoff = 8;
+    const EnumerationEngine engine(g, r.query, options);
+    for (int i = 0; i < 9; ++i) {
+      (void)engine.Test({static_cast<Vertex>(i % g.NumVertices()), 0});
+    }
+    (void)engine.Next({0, 0});
+  }  // ~EnumerationEngine drains the pool into the registry
+  const int64_t after = reg.GetCounter("answer.probes_served")->value();
+  EXPECT_EQ(after - before, 10);
+}
+
+TEST(EngineMetrics, PrepareStagesPublishGaugesAndPhaseHistograms) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  const int64_t covers_before =
+      reg.GetHistogram("engine.phase.cover_us")->Read().count;
+  Rng rng(98);
+  const ColoredGraph g = testing_common::RandomGraph(1, 120, &rng);
+  const fo::ParseResult r = fo::ParseFormula("dist(x, y) <= 1");
+  ASSERT_TRUE(r.ok) << r.error;
+  EngineOptions options;
+  options.naive_cutoff = 10;
+  options.oracle.small_cutoff = 8;
+  const EnumerationEngine engine(g, r.query, options);
+  ASSERT_FALSE(engine.used_fallback());
+  EXPECT_GT(reg.GetGauge("engine.cover.bags")->value(), 0);
+  EXPECT_GT(reg.GetGauge("engine.kernels.values")->value(), 0);
+  EXPECT_EQ(reg.GetHistogram("engine.phase.cover_us")->Read().count,
+            covers_before + 1);
+  EXPECT_EQ(reg.GetCounter("engine.built")->value() > 0, true);
+}
+
+// --- Concurrency (the TSan twin's reason to exist) -----------------------
+
+// Many writer threads hammer one counter/gauge/histogram while a scraper
+// concurrently snapshots the registry. With relaxed atomics this must be
+// race-free and lose no counter increments.
+TEST(Concurrency, WritersAndScraperAreRaceFree) {
+  MetricsRegistry reg;
+  Counter* counter = reg.GetCounter("stress.count");
+  Gauge* gauge = reg.GetGauge("stress.peak");
+  Histogram* hist = reg.GetHistogram("stress.delay");
+  constexpr int kWriters = 4;
+  constexpr int kOpsPerWriter = 20000;
+  std::atomic<bool> stop{false};
+  std::thread scraper([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const auto snap = reg.Snapshot();
+      // Monotone counter: snapshots never exceed the final total.
+      ASSERT_LE(snap.at("stress.count").value,
+                int64_t{kWriters} * kOpsPerWriter);
+      std::ostringstream sink;
+      reg.WriteJson(sink);
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      for (int i = 0; i < kOpsPerWriter; ++i) {
+        counter->Increment();
+        gauge->SetMax(w * kOpsPerWriter + i);
+        hist->Record(i);
+      }
+    });
+  }
+  for (std::thread& t : writers) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  scraper.join();
+  EXPECT_EQ(counter->value(), int64_t{kWriters} * kOpsPerWriter);
+  EXPECT_EQ(gauge->value(), (kWriters - 1) * kOpsPerWriter + kOpsPerWriter - 1);
+  EXPECT_EQ(hist->Read().count, int64_t{kWriters} * kOpsPerWriter);
+}
+
+// Concurrent registration of fresh names races lookup of existing ones;
+// pointers must stay stable and unique per name.
+TEST(Concurrency, ConcurrentRegistrationIsSafe) {
+  MetricsRegistry reg;
+  Counter* shared = reg.GetCounter("shared");
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 500; ++i) {
+        EXPECT_EQ(reg.GetCounter("shared"), shared);
+        reg.GetCounter("own." + std::to_string(t) + "." + std::to_string(i))
+            ->Increment();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(reg.Snapshot().size(), 1u + kThreads * 500);
+}
+
+// Probe threads against one engine while a scraper drains and snapshots:
+// the end-to-end version of the registry contract. No increment may be
+// lost between the pool, DrainAnswerStats(), and the registry.
+TEST(Concurrency, ConcurrentProbesAndDrainLoseNothing) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  const int64_t before = reg.GetCounter("answer.probes_served")->value();
+  Rng rng(99);
+  const ColoredGraph g = testing_common::RandomGraph(1, 60, &rng);
+  const fo::ParseResult r = fo::ParseFormula("dist(x, y) <= 1");
+  ASSERT_TRUE(r.ok) << r.error;
+  constexpr int kThreads = 4;
+  constexpr int kProbesPerThread = 500;
+  {
+    EngineOptions options;
+    options.naive_cutoff = 10;
+    options.oracle.small_cutoff = 8;
+    const EnumerationEngine engine(g, r.query, options);
+    std::atomic<bool> stop{false};
+    std::thread scraper([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        (void)engine.DrainAnswerStats();  // publishes into the registry
+        std::ostringstream sink;
+        reg.WriteJson(sink);
+      }
+    });
+    std::vector<std::thread> probers;
+    for (int t = 0; t < kThreads; ++t) {
+      probers.emplace_back([&, t] {
+        const int64_t n = g.NumVertices();
+        for (int i = 0; i < kProbesPerThread; ++i) {
+          (void)engine.Test({static_cast<Vertex>((t * 31 + i) % n),
+                             static_cast<Vertex>(i % n)});
+        }
+      });
+    }
+    for (std::thread& t : probers) t.join();
+    stop.store(true, std::memory_order_relaxed);
+    scraper.join();
+  }  // destructor drain publishes whatever the scraper missed
+  const int64_t after = reg.GetCounter("answer.probes_served")->value();
+  EXPECT_EQ(after - before, int64_t{kThreads} * kProbesPerThread);
+}
+
+}  // namespace
+}  // namespace nwd

@@ -122,6 +122,108 @@ TEST(StoringTrie, SpaceIsProportionalToDomain) {
   EXPECT_LE(trie.RegistersUsed(), (inserts + 1) * per_key_cap + 64);
 }
 
+// ---- Index-arithmetic regressions: d^h overshoot, n = 1, n near limits --
+
+TEST(StoringTrie, DegenerateUniverseOfOne) {
+  // n = 1: d is clamped to 2, so d^h (= 2^h) always overshoots n. The
+  // only key is the all-zero tuple; every digit string must stay inside
+  // the allocated register range.
+  StoringTrie trie(3, 1, 0.5);
+  EXPECT_EQ(trie.degree(), 2);
+  EXPECT_EQ(trie.Lookup({0, 0, 0}).kind, Kind::kNull);
+  trie.Insert({0, 0, 0}, 7);
+  EXPECT_EQ(trie.size(), 1);
+  EXPECT_EQ(trie.Get({0, 0, 0}), std::optional<int64_t>(7));
+  EXPECT_FALSE(trie.Predecessor({0, 0, 0}).has_value());
+  trie.Erase({0, 0, 0});
+  EXPECT_TRUE(trie.empty());
+}
+
+TEST(StoringTrie, UniverseJustAboveDegreePower) {
+  // n = 10, eps = 0.5: d = 4, h = 2, d^h = 16 > 10 — six digit strings
+  // address keys outside the universe. The full in-range domain must
+  // round-trip and successor probes must never surface a phantom key
+  // from the overshoot region.
+  StoringTrie trie(1, 10, 0.5);
+  ASSERT_EQ(trie.degree(), 4);
+  ASSERT_EQ(trie.height_per_coordinate(), 2);
+  for (int64_t v = 0; v < 10; ++v) trie.Insert({v}, 100 + v);
+  EXPECT_EQ(trie.size(), 10);
+  for (int64_t v = 0; v < 10; ++v) {
+    EXPECT_EQ(trie.Get({v}), std::optional<int64_t>(100 + v));
+  }
+  trie.Erase({9});
+  EXPECT_EQ(trie.Lookup({9}).kind, Kind::kNull);
+  // Erase bottom-up; the successor of an always-absent probe ({0} once
+  // erased) must track the smallest surviving key, never an overshoot
+  // digit string (keys 10..15 are addressable but not in the universe).
+  for (int64_t v = 0; v < 9; ++v) {
+    trie.Erase({v});
+    const auto probe = trie.Lookup({0});
+    if (v == 8) {
+      EXPECT_EQ(probe.kind, Kind::kNull);
+    } else {
+      ASSERT_EQ(probe.kind, Kind::kSuccessor);
+      EXPECT_EQ(probe.successor, Tuple{v + 1});
+    }
+  }
+}
+
+TEST(StoringTrie, UniverseNearIntLimitUnary) {
+  // n = INT32_MAX: ranks stay well under 2^62 at arity 1, but the digit
+  // and node arithmetic must run in 64 bits throughout — truncating any
+  // intermediate to int would alias distant keys.
+  const int64_t n = 2147483647;  // 2^31 - 1
+  StoringTrie trie(1, n, 0.5);
+  const Tuple lo{0};
+  const Tuple hi{n - 1};
+  const Tuple mid{n / 2};
+  trie.Insert(hi, 1);
+  trie.Insert(mid, 2);
+  trie.Insert(lo, 3);
+  EXPECT_EQ(trie.size(), 3);
+  EXPECT_EQ(trie.Get(hi), std::optional<int64_t>(1));
+  EXPECT_EQ(trie.Get(mid), std::optional<int64_t>(2));
+  EXPECT_EQ(trie.Get(lo), std::optional<int64_t>(3));
+  const auto between = trie.Lookup({n / 2 + 1});
+  ASSERT_EQ(between.kind, Kind::kSuccessor);
+  EXPECT_EQ(between.successor, hi);
+  EXPECT_EQ(trie.Predecessor(hi), std::optional<Tuple>(mid));
+  trie.Erase(mid);
+  EXPECT_EQ(trie.Lookup({1}).successor, hi);
+}
+
+TEST(StoringTrie, UniverseNearIntLimitBinary) {
+  // Binary keys with n near 2^30: rank = a*n + b approaches 2^60 and
+  // must survive the rank <-> tuple round trip exactly.
+  const int64_t n = (int64_t{1} << 30) - 3;
+  StoringTrie trie(2, n, 0.25);
+  const Tuple top{n - 1, n - 2};
+  trie.Insert(top, 42);
+  EXPECT_EQ(trie.DebugTupleOf(trie.DebugRankOf(top)), top);
+  EXPECT_EQ(trie.Get(top), std::optional<int64_t>(42));
+  const auto seek = trie.Seek({n - 2, 0});
+  ASSERT_TRUE(seek.has_value());
+  EXPECT_EQ(seek->first, top);
+}
+
+TEST(StoringTrie, RejectsOutOfRangeComponents) {
+  // Out-of-range components must check-fail loudly: since d^h overshoots
+  // n, a too-large value would otherwise either address an absent key's
+  // digit string (wrong successor) or silently alias a smaller key.
+  StoringTrie trie(1, 10, 0.5);
+  trie.Insert({3}, 1);
+  EXPECT_DEATH(trie.Insert({10}, 2), "outside");
+  EXPECT_DEATH((void)trie.Lookup({-1}), "outside");
+  EXPECT_DEATH((void)trie.Contains({999}), "outside");
+}
+
+TEST(StoringTrie, ConstructionGuards) {
+  // n^k must fit the 62-bit rank encoding; the degree must fit an int.
+  EXPECT_DEATH(StoringTrie(3, int64_t{1} << 21, 0.5), "62 bits");
+  EXPECT_DEATH(StoringTrie(1, int64_t{1} << 40, 1.0), "out of range");
+}
+
 // ---- Reference-model fuzzing across (arity, n, eps) ----
 
 struct FuzzParams {
