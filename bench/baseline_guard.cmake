@@ -1,0 +1,56 @@
+# Regression guard: run one fresh bench point and diff it against the
+# checked-in artifact with nwd-attest --baseline, as a CTest script:
+#   cmake -DBENCH=<bench_delay> -DATTEST=<nwd-attest>
+#         -DBASELINE=<checked-in BENCH_*.json> -DWORK_DIR=<scratch>
+#         -P baseline_guard.cmake
+#
+# The tolerance is deliberately generous (25x): the point of this guard
+# is not perf tracking — CI machines vary wildly — but catching the two
+# failure classes that survive any amount of noise: a *divergence* in the
+# exact-match counters (changed solution count = correctness bug) and an
+# order-of-magnitude timing blowup (quadratic slip on the hot path).
+
+if(NOT DEFINED BENCH OR NOT DEFINED ATTEST OR NOT DEFINED BASELINE
+   OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR
+    "usage: cmake -DBENCH=... -DATTEST=... -DBASELINE=... -DWORK_DIR=... "
+    "-P baseline_guard.cmake")
+endif()
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(FRESH_JSON "${WORK_DIR}/fresh.json")
+file(REMOVE "${FRESH_JSON}")
+
+# One small point (tree, n=1024) keeps the guard under a couple seconds.
+# The trailing slash matters: registered names carry an /iterations:1
+# suffix ("BM_EnumerationDelay/0/1024/iterations:1").
+execute_process(
+  COMMAND ${BENCH} "--benchmark_filter=/0/1024/" --json "${FRESH_JSON}"
+  RESULT_VARIABLE exit_code
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err
+  TIMEOUT 240)
+if(NOT exit_code STREQUAL "0")
+  message(FATAL_ERROR "bench exited ${exit_code}\nstderr: ${err}")
+endif()
+if(NOT EXISTS "${FRESH_JSON}")
+  message(FATAL_ERROR "bench did not write ${FRESH_JSON}")
+endif()
+# An empty fresh artifact would diff vacuously (nothing matches, nothing
+# regresses): a filter typo must fail the guard, not pass it.
+file(READ "${FRESH_JSON}" fresh_doc)
+string(JSON fresh_runs ERROR_VARIABLE json_err LENGTH "${fresh_doc}" runs)
+if(NOT json_err STREQUAL "NOTFOUND" OR fresh_runs LESS 1)
+  message(FATAL_ERROR "fresh artifact captured no runs:\n${fresh_doc}")
+endif()
+
+execute_process(
+  COMMAND ${ATTEST} baseline "${BASELINE}" "${FRESH_JSON}" --rel-tol 25
+  RESULT_VARIABLE exit_code
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err
+  TIMEOUT 120)
+if(NOT exit_code STREQUAL "0")
+  message(FATAL_ERROR
+    "baseline guard failed (exit ${exit_code})\n${out}\nstderr: ${err}")
+endif()
+message(STATUS "baseline guard passed:\n${out}")

@@ -1,13 +1,19 @@
-# Runs one bench binary with --json and validates the emitted artifact,
-# as a CTest script:
-#   cmake -DBENCH=<path-to-bench-binary> -DWORK_DIR=<scratch>
-#         -DBENCH_ARGS=<;-list of extra args> -P validate_bench_json.cmake
+# Runs one artifact-emitting binary and validates the emitted JSON, as a
+# CTest script. Two modes:
 #
-# Contract under test (the nwd-bench-json/1 schema of bench_json.h):
+#   (default)      cmake -DBENCH=<bench-binary> -DWORK_DIR=<scratch>
+#                        -DBENCH_ARGS=<;-list> -P validate_bench_json.cmake
+#     runs `bench ... --json FILE` and validates the nwd-bench-json/1
+#     schema of bench_json.h.
+#
+#   -DMODE=attest  runs `nwd-attest ... --out FILE` (BENCH points at the
+#     nwd-attest binary, BENCH_ARGS at its subcommand/flags) and validates
+#     the nwd-attest-json/1 report: schema/mode, a boolean `pass` that
+#     must be true (this script is the guard), and well-formed claims.
+#
+# Contract under test, both modes:
 #   * the binary exits 0 and leaves a parseable JSON document,
-#   * schema/benchmark keys are present and correct,
-#   * at least one run was captured, and every run carries name /
-#     graph_class / n / iterations / real_ms / cpu_ms / counters,
+#   * required keys are present and correctly typed,
 #   * every number is finite (no nan/inf ever reaches the artifact).
 # Malformed output fails the test — the artifact is only useful if CI can
 # trust it blindly.
@@ -15,14 +21,22 @@
 if(NOT DEFINED BENCH OR NOT DEFINED WORK_DIR)
   message(FATAL_ERROR
     "usage: cmake -DBENCH=... -DWORK_DIR=... [-DBENCH_ARGS=...] "
-    "-P validate_bench_json.cmake")
+    "[-DMODE=attest] -P validate_bench_json.cmake")
+endif()
+if(NOT DEFINED MODE)
+  set(MODE bench)
 endif()
 file(MAKE_DIRECTORY "${WORK_DIR}")
 set(JSON_FILE "${WORK_DIR}/bench.json")
 file(REMOVE "${JSON_FILE}")
 
+if(MODE STREQUAL "attest")
+  set(out_flag --out)
+else()
+  set(out_flag --json)
+endif()
 execute_process(
-  COMMAND ${BENCH} ${BENCH_ARGS} --json "${JSON_FILE}"
+  COMMAND ${BENCH} ${BENCH_ARGS} ${out_flag} "${JSON_FILE}"
   RESULT_VARIABLE exit_code
   OUTPUT_VARIABLE out
   ERROR_VARIABLE err
@@ -46,6 +60,52 @@ endif()
 string(JSON schema ERROR_VARIABLE json_err GET "${doc}" schema)
 if(NOT json_err STREQUAL "NOTFOUND")
   message(FATAL_ERROR "unparseable JSON (${json_err}):\n${doc}")
+endif()
+
+if(MODE STREQUAL "attest")
+  if(NOT schema STREQUAL "nwd-attest-json/1")
+    message(FATAL_ERROR "wrong schema '${schema}'")
+  endif()
+  string(JSON report_mode GET "${doc}" mode)
+  if(NOT report_mode STREQUAL "attest")
+    message(FATAL_ERROR "wrong mode '${report_mode}'")
+  endif()
+  string(JSON pass_type TYPE "${doc}" pass)
+  if(NOT pass_type STREQUAL "BOOLEAN")
+    message(FATAL_ERROR "report `pass` is ${pass_type}, not a boolean")
+  endif()
+  string(JSON report_pass GET "${doc}" pass)
+  if(NOT report_pass STREQUAL "ON")
+    message(FATAL_ERROR "attestation failed (pass=false):\n${doc}")
+  endif()
+  string(JSON claim_count LENGTH "${doc}" claims)
+  if(claim_count LESS 1)
+    message(FATAL_ERROR "no claims in the report:\n${doc}")
+  endif()
+  math(EXPR last_claim "${claim_count} - 1")
+  set(gated_fits 0)
+  foreach(i RANGE 0 ${last_claim})
+    foreach(key claim graph_class metric status slope bound)
+      string(JSON value ERROR_VARIABLE json_err GET "${doc}" claims ${i} ${key})
+      if(NOT json_err STREQUAL "NOTFOUND")
+        message(FATAL_ERROR "claim ${i} missing key '${key}':\n${doc}")
+      endif()
+    endforeach()
+    string(JSON status GET "${doc}" claims ${i} status)
+    if(NOT status MATCHES "^(pass|fail|skipped|info)$")
+      message(FATAL_ERROR "claim ${i} has bad status '${status}'")
+    endif()
+    if(status STREQUAL "pass")
+      math(EXPR gated_fits "${gated_fits} + 1")
+    endif()
+  endforeach()
+  if(gated_fits LESS 1)
+    message(FATAL_ERROR "no gated claim was actually fitted:\n${doc}")
+  endif()
+  message(STATUS
+    "validated attest report: ${claim_count} claims, ${gated_fits} passing "
+    "fits in ${JSON_FILE}")
+  return()
 endif()
 if(NOT schema STREQUAL "nwd-bench-json/1")
   message(FATAL_ERROR "wrong schema '${schema}'")

@@ -13,6 +13,12 @@ obs::Histogram* DelayHistogram() {
   return histogram;
 }
 
+obs::Histogram* FirstSolutionHistogram() {
+  static obs::Histogram* histogram = obs::MetricsRegistry::Global().GetHistogram(
+      "enumerate.first_solution_ns");
+  return histogram;
+}
+
 }  // namespace
 
 ConstantDelayEnumerator::ConstantDelayEnumerator(
@@ -30,6 +36,9 @@ void ConstantDelayEnumerator::Reset() {
 
 std::optional<Tuple> ConstantDelayEnumerator::NextSolution() {
   if (done_) return std::nullopt;
+  const bool metrics = obs::MetricsEnabled();
+  const bool first_call = !cursor_.has_value() && last_output_ns_ == 0;
+  const int64_t entry_ns = (metrics && first_call) ? obs::Tracer::NowNs() : 0;
   std::optional<Tuple> solution;
   if (!cursor_.has_value()) {
     solution = engine_->First();
@@ -42,12 +51,18 @@ std::optional<Tuple> ConstantDelayEnumerator::NextSolution() {
   }
   ++produced_;
   // Corollary 2.5's guarantee is about the gap between consecutive
-  // outputs; record it as a distribution (output i-1 -> output i, so the
-  // first output of a run is not a sample). Costs a clock read per
-  // solution, hence gated.
-  if (obs::MetricsEnabled()) {
+  // outputs; record it as a distribution (output i-1 -> output i). The
+  // first output of a run is a different quantity — it absorbs First()'s
+  // lazy work (and, on a busy host, whatever preemption lands there) —
+  // so it goes to its own histogram instead of polluting the steady-state
+  // delay distribution. Costs a clock read per solution, hence gated.
+  if (metrics) {
     const int64_t now_ns = obs::Tracer::NowNs();
-    if (last_output_ns_ != 0) DelayHistogram()->Record(now_ns - last_output_ns_);
+    if (last_output_ns_ != 0) {
+      DelayHistogram()->Record(now_ns - last_output_ns_);
+    } else if (first_call) {
+      FirstSolutionHistogram()->Record(now_ns - entry_ns);
+    }
     last_output_ns_ = now_ns;
   }
   // Advance the cursor past this solution. When the solution is the

@@ -1,0 +1,204 @@
+// Claim attestation and regression guarding over observability artifacts.
+//
+// The paper's headline results are *scaling shapes* — Theorem 2.3's
+// pseudo-linear O(n^{1+eps}) preprocessing, Corollary 2.5's delay flat
+// in n, Theorem 3.1's O(|Dom| * n^eps) structure space — and PR 4's
+// data plane (nwd-bench-json/1 artifacts, nwd-metrics/1 snapshots)
+// records exactly the quantities those shapes are about. This library is
+// the enforcement plane on top: it parses the artifacts, fits log-log
+// least-squares exponents across an n-sweep, and attests each claim
+// against a configurable bound, emitting an nwd-attest-json/1 report
+// (ATTEST.json) plus a human summary. The delay claims gate on
+// interpolated p50/p99 (quantile.h) rather than the max — one OS
+// preemption in a 3M-sample run must not fail the build; the max is
+// still reported (gate it explicitly with gate_max).
+//
+// The same library powers the `--baseline` regression guard: two bench
+// artifacts diffed metric-by-metric with relative-tolerance gating, a
+// nonzero verdict on regression, and exact-match checking of the
+// answer-correctness counters (a changed solution count is a
+// correctness bug, not a perf regression). Both modes are wired into
+// CTest under the `guard` label via the nwd-attest CLI (tools/).
+
+#ifndef NWD_OBS_ATTEST_H_
+#define NWD_OBS_ATTEST_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace nwd {
+namespace obs {
+
+// ---------------------------------------------------------------------------
+// The artifact model (one nwd-bench-json/1 document).
+
+struct BenchRun {
+  std::string name;
+  std::string graph_class;
+  int64_t n = -1;  // sweep size; -1 when the run is not part of an n-sweep
+  int64_t iterations = 0;
+  double real_ms = 0.0;
+  double cpu_ms = 0.0;
+  // Insertion-ordered, mirroring the document.
+  std::vector<std::pair<std::string, double>> counters;
+
+  const double* FindCounter(std::string_view counter_name) const;
+};
+
+struct BenchArtifact {
+  std::string benchmark;
+  std::vector<BenchRun> runs;
+};
+
+struct BenchParseResult {
+  bool ok = false;
+  std::string error;
+  BenchArtifact artifact;
+};
+
+// Strict nwd-bench-json/1 readers: schema mismatch, missing required run
+// keys, or non-finite numbers are errors.
+BenchParseResult ParseBenchArtifact(std::string_view json_text);
+BenchParseResult ParseBenchArtifactFile(const std::string& path);
+
+// Emits the same format bench_json.h writes (used by the nwd-attest
+// sweep mode so its fresh artifacts are consumable by every tool that
+// reads BENCH_*.json, and by the round-trip tests).
+void WriteBenchArtifactJson(std::ostream& out, const BenchArtifact& artifact);
+
+// ---------------------------------------------------------------------------
+// Scaling-exponent fitting.
+
+struct LogLogFit {
+  int points = 0;     // points actually fitted
+  double slope = 0.0;      // fitted exponent alpha in v ~ n^alpha
+  double intercept = 0.0;  // ln(c) in v = c * n^alpha
+  double r2 = 0.0;         // goodness of fit (1 when variance is zero)
+};
+
+// Least-squares line through (ln x, ln y). Points with x <= 0 or y <= 0
+// are skipped (log-undefined); fewer than 2 usable points yields
+// points == the usable count and zeroed coefficients.
+LogLogFit FitLogLog(const std::vector<std::pair<double, double>>& points);
+
+// ---------------------------------------------------------------------------
+// Attestation (claim fitting + gating).
+
+struct AttestConfig {
+  // Theorem 2.3 / 3.1 allowance: fitted exponent must stay within
+  // 1 + epsilon (+ noise_band) for the pseudo-linear claims.
+  double epsilon = 0.25;
+  // Measurement-noise slack added on top of every superlinear bound.
+  double noise_band = 0.15;
+  // Corollary 2.5 "flat in n": largest tolerated delay-quantile slope.
+  double flat_slope = 0.35;
+  // Minimum distinct sweep sizes before a claim is fitted at all.
+  int min_points = 3;
+  // Also gate the max delay (default: report only — the max over
+  // millions of samples is dominated by scheduler noise).
+  bool gate_max = false;
+  // Treat skipped claims (metric absent, sweep too short) as failures.
+  bool strict = false;
+};
+
+struct ClaimResult {
+  enum class Status { kPass, kFail, kSkipped, kInfo };
+
+  std::string claim;        // e.g. "thm2.3.preprocessing"
+  std::string graph_class;  // sweep the fit ran over
+  std::string metric;       // counter the points came from
+  std::string note;         // skip reason / fallback-metric note
+  std::vector<std::pair<double, double>> points;  // (n, value)
+  LogLogFit fit;
+  double bound = 0.0;  // largest slope that passes
+  bool gated = true;   // false: reported, never fails the attestation
+  Status status = Status::kSkipped;
+};
+
+struct AttestReport {
+  AttestConfig config;
+  std::vector<std::string> sources;  // input paths (or synthetic labels)
+  std::vector<ClaimResult> claims;
+  bool pass = true;  // no gated claim failed (strict: none skipped either)
+};
+
+// Fits and gates every claim for every graph-class n-sweep found in the
+// artifacts. Artifacts without sweep data (n < 0 everywhere) simply
+// contribute no claims; the report then passes trivially (unless
+// strict). Claims and the metrics they fit:
+//   thm2.3.preprocessing  prep_ms         slope <= 1 + eps + band
+//   cor2.5.delay_p50      delay_p50_ns    slope <= flat_slope
+//                         (falls back to mean_delay_ns for artifacts
+//                          predating the quantile counters)
+//   cor2.5.delay_p99      delay_p99_ns    slope <= flat_slope
+//   thm3.1.space          space_entries   slope <= 1 + eps + band
+//   cor2.5.max_delay      max_delay_ns    report-only unless gate_max
+AttestReport Attest(const std::vector<BenchArtifact>& artifacts,
+                    const std::vector<std::string>& sources,
+                    const AttestConfig& config);
+
+// nwd-attest-json/1 ("mode":"attest") — the ATTEST.json artifact.
+void WriteAttestJson(std::ostream& out, const AttestReport& report);
+// One line per claim plus a verdict line, for humans.
+void WriteAttestSummary(std::ostream& out, const AttestReport& report);
+
+// ---------------------------------------------------------------------------
+// Baseline comparison (the regression guard).
+
+struct BaselineConfig {
+  // Relative tolerance for gated (time-like) metrics: current may grow
+  // to baseline * (1 + rel_tol) before it counts as a regression.
+  double rel_tol = 0.5;
+  // Gate max_*/first_* metrics too (default: report only).
+  bool gate_max = false;
+  // Fail when either artifact has runs the other lacks (default: the
+  // intersection is compared, the rest is listed).
+  bool require_all = false;
+};
+
+struct MetricDiff {
+  enum class Status { kOk, kRegressed, kImproved, kDiverged, kInfo };
+
+  std::string run;     // bench run name
+  std::string metric;  // "cpu_ms", "real_ms", or a counter name
+  double baseline = 0.0;
+  double current = 0.0;
+  double ratio = 1.0;  // current / baseline, finite (clamped)
+  Status status = Status::kInfo;
+};
+
+struct BaselineReport {
+  BaselineConfig config;
+  std::vector<MetricDiff> diffs;
+  std::vector<std::string> only_in_baseline;  // run names
+  std::vector<std::string> only_in_current;
+  int regressions = 0;
+  int improvements = 0;
+  int divergences = 0;
+  bool pass = true;
+};
+
+// Diffs `current` against `baseline` run-by-run (matched on name):
+//   * correctness counters ("n", "solutions", "threads") must match
+//     exactly — a mismatch is a divergence and always fails;
+//   * time-like metrics (cpu_ms and counters ending in _ms/_us/_ns) are
+//     gated by rel_tol, except max_*/first_* which are report-only
+//     unless gate_max (single-observation maxima are scheduler noise);
+//   * everything else (real_ms, iterations, remaining counters) is
+//     reported, never gated.
+BaselineReport CompareBaseline(const BenchArtifact& baseline,
+                               const BenchArtifact& current,
+                               const BaselineConfig& config);
+
+// nwd-attest-json/1 ("mode":"baseline").
+void WriteBaselineJson(std::ostream& out, const BaselineReport& report);
+void WriteBaselineSummary(std::ostream& out, const BaselineReport& report);
+
+}  // namespace obs
+}  // namespace nwd
+
+#endif  // NWD_OBS_ATTEST_H_

@@ -44,7 +44,10 @@ void WriteFiniteDouble(std::ostream& out, double v) {
 }  // namespace
 
 void Histogram::Record(int64_t value) {
-  if (value < 0) value = 0;
+  if (value < 0) {
+    negative_samples_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   count_.fetch_add(1, std::memory_order_relaxed);
   sum_.fetch_add(value, std::memory_order_relaxed);
   int64_t cur = min_.load(std::memory_order_relaxed);
@@ -63,6 +66,7 @@ Histogram::Snapshot Histogram::Read() const {
   Snapshot s;
   s.count = count_.load(std::memory_order_relaxed);
   s.sum = sum_.load(std::memory_order_relaxed);
+  s.negative_samples = negative_samples_.load(std::memory_order_relaxed);
   s.buckets.resize(kBuckets);
   for (int b = 0; b < kBuckets; ++b) {
     s.buckets[b] = buckets_[b].load(std::memory_order_relaxed);
@@ -170,7 +174,8 @@ void MetricsRegistry::WriteJson(std::ostream& out) const {
       } else {
         const Histogram::Snapshot& h = value.histogram;
         out << "{\"count\":" << h.count << ",\"sum\":" << h.sum
-            << ",\"min\":" << h.min << ",\"max\":" << h.max << ",\"mean\":";
+            << ",\"min\":" << h.min << ",\"max\":" << h.max
+            << ",\"negative_samples\":" << h.negative_samples << ",\"mean\":";
         WriteFiniteDouble(out, h.mean());
         // Trailing zero buckets are elided: the bucket index is the bit
         // width of the sample, so readers reconstruct ranges positionally.

@@ -72,6 +72,11 @@ class Gauge {
 // counts samples whose bit width is b, i.e. values in [2^(b-1), 2^b)
 // (bucket 0 holds zeros), so 64 buckets cover the full range and Record()
 // is a handful of relaxed atomic ops — no locks, no allocation.
+//
+// Negative samples are dropped, not clamped: a negative duration means
+// the clock went backwards (or the caller subtracted the wrong way), and
+// folding it into the zero bucket would silently drag the quantiles
+// down. The drop is visible as `negative_samples` in the snapshot.
 class Histogram {
  public:
   static constexpr int kBuckets = 64;
@@ -79,10 +84,11 @@ class Histogram {
   void Record(int64_t value);
 
   struct Snapshot {
-    int64_t count = 0;
+    int64_t count = 0;  // recorded samples (negatives excluded)
     int64_t sum = 0;
     int64_t min = 0;  // 0 when count == 0
     int64_t max = 0;
+    int64_t negative_samples = 0;  // dropped by Record(value < 0)
     std::vector<int64_t> buckets;  // kBuckets entries
     double mean() const {
       return count > 0 ? static_cast<double>(sum) / static_cast<double>(count)
@@ -96,6 +102,7 @@ class Histogram {
   std::atomic<int64_t> sum_{0};
   std::atomic<int64_t> min_{INT64_MAX};
   std::atomic<int64_t> max_{INT64_MIN};
+  std::atomic<int64_t> negative_samples_{0};
   std::atomic<int64_t> buckets_[kBuckets] = {};
 };
 
@@ -129,7 +136,8 @@ class MetricsRegistry {
   // Serializes Snapshot() as one JSON object:
   //   {"schema":"nwd-metrics/1","counters":{...},"gauges":{...},
   //    "histograms":{"name":{"count":..,"sum":..,"min":..,"max":..,
-  //                          "mean":..,"buckets":[..]}}}
+  //                          "negative_samples":..,"mean":..,
+  //                          "buckets":[..]}}}
   // Always valid JSON; all numbers finite.
   void WriteJson(std::ostream& out) const;
 

@@ -1,0 +1,37 @@
+#include "obs/quantile.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nwd {
+namespace obs {
+
+double SnapshotQuantile(const Histogram::Snapshot& snapshot, double q) {
+  if (snapshot.count <= 0) return 0.0;
+  const double lo_clamp = static_cast<double>(snapshot.min);
+  const double hi_clamp = static_cast<double>(snapshot.max);
+  if (q <= 0.0) return lo_clamp;
+  if (q >= 1.0) return hi_clamp;
+  // Continuous target rank in [0, count]; the sample at cumulative
+  // position `target` is the estimate.
+  const double target = q * static_cast<double>(snapshot.count);
+  double cumulative = 0.0;
+  for (size_t b = 0; b < snapshot.buckets.size(); ++b) {
+    const double in_bucket = static_cast<double>(snapshot.buckets[b]);
+    if (in_bucket <= 0.0) continue;
+    if (cumulative + in_bucket >= target) {
+      // Bucket 0 holds exactly the zeros; bucket b >= 1 holds values in
+      // [2^(b-1), 2^b). Interpolate the CDF linearly across that range.
+      if (b == 0) return std::clamp(0.0, lo_clamp, hi_clamp);
+      const double lo = std::ldexp(1.0, static_cast<int>(b) - 1);
+      const double hi = std::ldexp(1.0, static_cast<int>(b));
+      const double fraction = (target - cumulative) / in_bucket;
+      return std::clamp(lo + fraction * (hi - lo), lo_clamp, hi_clamp);
+    }
+    cumulative += in_bucket;
+  }
+  return hi_clamp;
+}
+
+}  // namespace obs
+}  // namespace nwd

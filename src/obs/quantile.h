@@ -1,0 +1,27 @@
+// Interpolated quantile estimation over Histogram snapshots.
+//
+// The delay histogram stores log2 buckets, so a quantile read has an
+// inherent worst case of one bucket (2x) of error; linear interpolation
+// of the CDF within the containing bucket recovers most of that in
+// practice, and the exact min/max moments clamp the tails. This is what
+// lets the attestation plane gate Corollary 2.5 on p50/p99 — statistics
+// a single OS preemption cannot move — while the max is merely reported.
+
+#ifndef NWD_OBS_QUANTILE_H_
+#define NWD_OBS_QUANTILE_H_
+
+#include "obs/metrics.h"
+
+namespace nwd {
+namespace obs {
+
+// The q-quantile (q in [0, 1]) of the sampled distribution, estimated by
+// linear interpolation inside the log2 bucket containing the target
+// rank and clamped to the snapshot's exact [min, max]. Returns 0 for an
+// empty snapshot; q <= 0 yields min, q >= 1 yields max.
+double SnapshotQuantile(const Histogram::Snapshot& snapshot, double q);
+
+}  // namespace obs
+}  // namespace nwd
+
+#endif  // NWD_OBS_QUANTILE_H_

@@ -1,0 +1,171 @@
+# Contract test for the nwd-attest binary, run as a CTest script:
+#   cmake -DATTEST=<path> -DDATA_DIR=<tests/data> -DWORK_DIR=<scratch>
+#         -P attest_cli_test.cmake
+#
+# Contract under test: exit 0 when every gated claim / guard passes, 1 when
+# a claim or the regression guard fails, 2 on usage/IO/parse errors; the
+# --out artifact is valid nwd-attest-json/1 with a `pass` boolean that
+# matches the exit code.
+
+if(NOT DEFINED ATTEST OR NOT DEFINED DATA_DIR OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR
+    "usage: cmake -DATTEST=... -DDATA_DIR=... -DWORK_DIR=... -P attest_cli_test.cmake")
+endif()
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+# run(<name> <expected-exit> <output-substring-or-empty> <args...>)
+function(run name expected_exit output_substring)
+  execute_process(
+    COMMAND ${ATTEST} ${ARGN}
+    RESULT_VARIABLE exit_code
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err
+    TIMEOUT 120)
+  if(NOT exit_code STREQUAL "${expected_exit}")
+    message(SEND_ERROR
+      "${name}: expected exit ${expected_exit}, got '${exit_code}'\n"
+      "stdout: ${out}\nstderr: ${err}")
+  endif()
+  if(NOT output_substring STREQUAL "")
+    if(NOT "${out}${err}" MATCHES "${output_substring}")
+      message(SEND_ERROR
+        "${name}: output missing '${output_substring}'\n"
+        "stdout: ${out}\nstderr: ${err}")
+    endif()
+  endif()
+  set(LAST_STDOUT "${out}" PARENT_SCOPE)
+endfunction()
+
+set(FLAT "${DATA_DIR}/attest_flat.json")
+set(SUPERLINEAR "${DATA_DIR}/attest_superlinear.json")
+
+set(MALFORMED "${WORK_DIR}/malformed.json")
+file(WRITE "${MALFORMED}" "{\"schema\":\"nwd-bench-json/1\",")
+
+set(WRONG_SCHEMA "${WORK_DIR}/wrong_schema.json")
+file(WRITE "${WRONG_SCHEMA}" "{\"schema\":\"something-else/9\",\"runs\":[]}")
+
+# A copy of the flat fixture with one solution count nudged: the baseline
+# guard must flag the exact-match divergence even though every timing is
+# identical.
+file(READ "${FLAT}" flat_doc)
+string(REPLACE "\"solutions\":212523" "\"solutions\":212524"
+       diverged_doc "${flat_doc}")
+set(DIVERGED "${WORK_DIR}/diverged.json")
+file(WRITE "${DIVERGED}" "${diverged_doc}")
+
+# --- Usage / IO / parse errors: exit 2 ------------------------------------
+
+run(no_args 2 "usage:")
+run(unknown_mode 2 "unknown mode" frobnicate)
+run(attest_no_files 2 "at least one artifact" attest)
+run(attest_missing_file 2 "cannot read" attest "${WORK_DIR}/nonexistent.json")
+run(attest_malformed 2 "" attest "${MALFORMED}")
+run(attest_wrong_schema 2 "schema" attest "${WRONG_SCHEMA}")
+run(attest_bad_flag_value 2 "bad value" attest "${FLAT}" --epsilon abc)
+run(baseline_one_file 2 "exactly two" baseline "${FLAT}")
+run(baseline_missing_file 2 "cannot read"
+    baseline "${FLAT}" "${WORK_DIR}/nonexistent.json")
+run(sweep_bad_class 2 "unknown graph class" sweep --class mobius)
+
+# --- Attestation verdicts -------------------------------------------------
+
+# Flat synthetic sweep: every gated claim fits within its bound.
+set(FLAT_REPORT "${WORK_DIR}/flat_attest.json")
+run(attest_flat 0 "attestation: PASS" attest "${FLAT}" --out "${FLAT_REPORT}")
+if(NOT EXISTS "${FLAT_REPORT}")
+  message(SEND_ERROR "attest_flat: --out artifact not written")
+else()
+  file(READ "${FLAT_REPORT}" report_doc)
+  string(JSON report_schema ERROR_VARIABLE json_err GET "${report_doc}" schema)
+  if(NOT json_err STREQUAL "NOTFOUND" OR
+     NOT report_schema STREQUAL "nwd-attest-json/1")
+    message(SEND_ERROR "attest_flat: bad report schema:\n${report_doc}")
+  endif()
+  string(JSON report_pass GET "${report_doc}" pass)
+  if(NOT report_pass STREQUAL "ON")
+    message(SEND_ERROR "attest_flat: report pass != true:\n${report_doc}")
+  endif()
+endif()
+
+# Deliberately superlinear sweep (delay ~ n, prep ~ n^2, space ~ n^2):
+# the gated claims must fail with exit 1 and "pass":false in the report.
+set(SUPER_REPORT "${WORK_DIR}/super_attest.json")
+run(attest_superlinear 1 "attestation: FAIL"
+    attest "${SUPERLINEAR}" --out "${SUPER_REPORT}")
+if(EXISTS "${SUPER_REPORT}")
+  file(READ "${SUPER_REPORT}" report_doc)
+  string(JSON report_pass GET "${report_doc}" pass)
+  if(NOT report_pass STREQUAL "OFF")
+    message(SEND_ERROR "attest_superlinear: report pass != false:\n${report_doc}")
+  endif()
+  if(NOT report_doc MATCHES "\"status\":\"fail\"")
+    message(SEND_ERROR "attest_superlinear: no failed claim in report")
+  endif()
+else()
+  message(SEND_ERROR "attest_superlinear: --out artifact not written")
+endif()
+
+# A generous flat-slope bound turns the delay failure off, but prep/space
+# still exceed 1 + eps + band: the verdict stays FAIL.
+run(attest_superlinear_loose_delay 1 "attestation: FAIL"
+    attest "${SUPERLINEAR}" --flat-slope 1.2)
+
+# With absurd slack everywhere the same artifact passes: the gates are
+# config, not hardcoded.
+run(attest_superlinear_all_loose 0 "attestation: PASS"
+    attest "${SUPERLINEAR}" --flat-slope 1.2 --epsilon 1.5)
+
+# min_points above the sweep size skips every claim (pass by default,
+# fail under --strict).
+run(attest_min_points_skip 0 "skipped" attest "${FLAT}" --min-points 4)
+run(attest_strict_skip 1 "attestation: FAIL"
+    attest "${FLAT}" --min-points 4 --strict)
+
+# --- Baseline guard -------------------------------------------------------
+
+run(baseline_self 0 "baseline: PASS" baseline "${FLAT}" "${FLAT}")
+
+# Flat -> superlinear: cpu_ms and the delay quantiles regress well past
+# the default tolerance.
+set(BASELINE_REPORT "${WORK_DIR}/baseline.json")
+run(baseline_regression 1 "regressed"
+    baseline "${FLAT}" "${SUPERLINEAR}" --out "${BASELINE_REPORT}")
+if(EXISTS "${BASELINE_REPORT}")
+  file(READ "${BASELINE_REPORT}" report_doc)
+  string(JSON report_mode GET "${report_doc}" mode)
+  if(NOT report_mode STREQUAL "baseline")
+    message(SEND_ERROR "baseline_regression: wrong mode:\n${report_doc}")
+  endif()
+  string(JSON report_pass GET "${report_doc}" pass)
+  if(NOT report_pass STREQUAL "OFF")
+    message(SEND_ERROR "baseline_regression: report pass != false")
+  endif()
+else()
+  message(SEND_ERROR "baseline_regression: --out artifact not written")
+endif()
+
+# A huge tolerance forgives the slowdown — but a changed solution count
+# never passes (correctness divergence, not perf).
+run(baseline_loose_tolerance 0 "baseline: PASS"
+    baseline "${FLAT}" "${SUPERLINEAR}" --rel-tol 100)
+run(baseline_divergence 1 "diverged" baseline "${FLAT}" "${DIVERGED}")
+run(baseline_divergence_loose 1 "diverged"
+    baseline "${FLAT}" "${DIVERGED}" --rel-tol 100)
+
+# --- Fresh sweep (tiny sizes, exercised end to end) -----------------------
+
+set(SWEEP_REPORT "${WORK_DIR}/sweep_attest.json")
+set(SWEEP_BENCH "${WORK_DIR}/sweep_bench.json")
+run(sweep_small 0 "attestation:" sweep --sizes 128,256,512
+    --out "${SWEEP_REPORT}" --bench-out "${SWEEP_BENCH}"
+    --flat-slope 2 --epsilon 2)
+foreach(artifact "${SWEEP_REPORT}" "${SWEEP_BENCH}")
+  if(NOT EXISTS "${artifact}")
+    message(SEND_ERROR "sweep_small: missing artifact ${artifact}")
+  endif()
+endforeach()
+# The emitted bench artifact must be consumable by the attest mode (the
+# round-trip that makes sweep output interchangeable with bench --json).
+run(sweep_artifact_reattests 0 "attestation:" attest "${SWEEP_BENCH}"
+    --flat-slope 2 --epsilon 2)

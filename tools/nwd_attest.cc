@@ -1,0 +1,332 @@
+// nwd-attest — the claim-attestation and regression-guard CLI.
+//
+// Three modes over nwd-bench-json/1 artifacts:
+//
+//   nwd-attest attest FILE...        fit log-log scaling exponents across
+//                                    each graph-class n-sweep and gate the
+//                                    paper claims (Thm 2.3, Cor 2.5,
+//                                    Thm 3.1); writes ATTEST.json (--out)
+//   nwd-attest baseline OLD NEW      diff two artifacts metric-by-metric
+//     (also: --baseline OLD NEW)     with relative-tolerance gating
+//   nwd-attest sweep                 run a fresh in-process n-sweep (no
+//                                    google-benchmark needed), emit the
+//                                    bench artifact, then attest it
+//
+// Exit codes (same contract as nwdq): 0 = attestation/guard passed,
+// 1 = a gated claim failed or a regression/divergence was found,
+// 2 = usage, I/O, or parse error. Diagnostics are one line on stderr.
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "enumerate/engine.h"
+#include "enumerate/enumerator.h"
+#include "fo/builders.h"
+#include "obs/attest.h"
+#include "obs/metrics.h"
+#include "obs/quantile.h"
+#include "util/timer.h"
+
+namespace nwd {
+namespace {
+
+[[noreturn]] void UsageError(const std::string& message) {
+  std::cerr << "nwd-attest: " << message << "\n"
+            << "usage: nwd-attest attest FILE... [--out F] [--epsilon E]\n"
+            << "                  [--noise-band B] [--flat-slope S]\n"
+            << "                  [--min-points N] [--strict] [--gate-max]\n"
+            << "       nwd-attest baseline OLD NEW [--rel-tol T] [--out F]\n"
+            << "                  [--gate-max] [--require-all]\n"
+            << "       nwd-attest sweep [--class tree|bdeg|grid]\n"
+            << "                  [--sizes N,N,...] [--seed S] [--out F]\n"
+            << "                  [--bench-out F] [attest gate flags]\n";
+  std::exit(2);
+}
+
+double ParseDoubleOrDie(const std::string& flag, const std::string& text) {
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end == nullptr || *end != '\0' || text.empty()) {
+    UsageError("bad value '" + text + "' for " + flag);
+  }
+  return value;
+}
+
+int64_t ParseInt64OrDie(const std::string& flag, const std::string& text) {
+  char* end = nullptr;
+  const long long value = std::strtoll(text.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || text.empty()) {
+    UsageError("bad value '" + text + "' for " + flag);
+  }
+  return static_cast<int64_t>(value);
+}
+
+// Pulls `--flag VALUE` pairs and bare `--flag` switches out of argv;
+// returns what's left (the positional arguments).
+class FlagSet {
+ public:
+  FlagSet(int argc, char** argv) {
+    for (int i = 0; i < argc; ++i) args_.emplace_back(argv[i]);
+  }
+
+  std::optional<std::string> TakeValue(const std::string& flag) {
+    for (size_t i = 0; i < args_.size(); ++i) {
+      if (args_[i] != flag) continue;
+      if (i + 1 >= args_.size()) UsageError(flag + " needs a value");
+      std::string value = args_[i + 1];
+      args_.erase(args_.begin() + static_cast<long>(i),
+                  args_.begin() + static_cast<long>(i) + 2);
+      return value;
+    }
+    return std::nullopt;
+  }
+
+  bool TakeSwitch(const std::string& flag) {
+    for (size_t i = 0; i < args_.size(); ++i) {
+      if (args_[i] != flag) continue;
+      args_.erase(args_.begin() + static_cast<long>(i));
+      return true;
+    }
+    return false;
+  }
+
+  const std::vector<std::string>& positional() const { return args_; }
+
+ private:
+  std::vector<std::string> args_;
+};
+
+obs::AttestConfig TakeAttestConfig(FlagSet& flags) {
+  obs::AttestConfig config;
+  if (auto v = flags.TakeValue("--epsilon")) {
+    config.epsilon = ParseDoubleOrDie("--epsilon", *v);
+  }
+  if (auto v = flags.TakeValue("--noise-band")) {
+    config.noise_band = ParseDoubleOrDie("--noise-band", *v);
+  }
+  if (auto v = flags.TakeValue("--flat-slope")) {
+    config.flat_slope = ParseDoubleOrDie("--flat-slope", *v);
+  }
+  if (auto v = flags.TakeValue("--min-points")) {
+    config.min_points =
+        static_cast<int>(ParseInt64OrDie("--min-points", *v));
+  }
+  config.gate_max = flags.TakeSwitch("--gate-max");
+  config.strict = flags.TakeSwitch("--strict");
+  return config;
+}
+
+void WriteFileOrDie(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::cerr << "nwd-attest: cannot write '" << path << "'\n";
+    std::exit(2);
+  }
+  out << content;
+}
+
+obs::BenchArtifact LoadArtifactOrDie(const std::string& path) {
+  obs::BenchParseResult parsed = obs::ParseBenchArtifactFile(path);
+  if (!parsed.ok) {
+    std::cerr << "nwd-attest: " << parsed.error << "\n";
+    std::exit(2);
+  }
+  return std::move(parsed.artifact);
+}
+
+int FinishAttest(const obs::AttestReport& report,
+                 const std::optional<std::string>& out_path) {
+  if (out_path.has_value()) {
+    std::ostringstream json;
+    obs::WriteAttestJson(json, report);
+    WriteFileOrDie(*out_path, json.str());
+  }
+  obs::WriteAttestSummary(std::cout, report);
+  return report.pass ? 0 : 1;
+}
+
+int RunAttest(FlagSet& flags) {
+  const obs::AttestConfig config = TakeAttestConfig(flags);
+  const std::optional<std::string> out_path = flags.TakeValue("--out");
+  const std::vector<std::string>& paths = flags.positional();
+  if (paths.empty()) UsageError("attest needs at least one artifact file");
+  std::vector<obs::BenchArtifact> artifacts;
+  for (const std::string& path : paths) {
+    artifacts.push_back(LoadArtifactOrDie(path));
+  }
+  return FinishAttest(obs::Attest(artifacts, paths, config), out_path);
+}
+
+int RunBaseline(FlagSet& flags) {
+  obs::BaselineConfig config;
+  if (auto v = flags.TakeValue("--rel-tol")) {
+    config.rel_tol = ParseDoubleOrDie("--rel-tol", *v);
+  }
+  config.gate_max = flags.TakeSwitch("--gate-max");
+  config.require_all = flags.TakeSwitch("--require-all");
+  const std::optional<std::string> out_path = flags.TakeValue("--out");
+  const std::vector<std::string>& paths = flags.positional();
+  if (paths.size() != 2) {
+    UsageError("baseline needs exactly two artifact files (OLD NEW)");
+  }
+  const obs::BenchArtifact baseline = LoadArtifactOrDie(paths[0]);
+  const obs::BenchArtifact current = LoadArtifactOrDie(paths[1]);
+  const obs::BaselineReport report =
+      obs::CompareBaseline(baseline, current, config);
+  if (out_path.has_value()) {
+    std::ostringstream json;
+    obs::WriteBaselineJson(json, report);
+    WriteFileOrDie(*out_path, json.str());
+  }
+  obs::WriteBaselineSummary(std::cout, report);
+  return report.pass ? 0 : 1;
+}
+
+int GraphKindFromName(const std::string& name) {
+  for (int kind : {bench::kTree, bench::kBoundedDegree, bench::kGrid,
+                   bench::kCaterpillar, bench::kSubdividedClique,
+                   bench::kForest}) {
+    if (name == bench::GraphKindName(kind)) return kind;
+  }
+  UsageError("unknown graph class '" + name +
+             "' (want tree, bdeg, grid, caterpillar, subdiv, or forest)");
+}
+
+std::vector<int64_t> ParseSizes(const std::string& text) {
+  std::vector<int64_t> sizes;
+  std::stringstream stream(text);
+  std::string token;
+  while (std::getline(stream, token, ',')) {
+    if (token.empty()) continue;
+    const int64_t n = ParseInt64OrDie("--sizes", token);
+    if (n <= 0) UsageError("--sizes entries must be positive");
+    sizes.push_back(n);
+  }
+  if (sizes.empty()) UsageError("--sizes needs at least one size");
+  return sizes;
+}
+
+// One fresh n-sweep, in process: build the graph, time the engine
+// construction (Thm 2.3), read the skip-structure size (Thm 3.1), then
+// enumerate everything once recording inter-output delays (Cor 2.5).
+// Emits the same artifact shape bench_delay --json writes, so the sweep
+// output feeds the attest fit, the baseline guard, and any other
+// nwd-bench-json/1 consumer interchangeably.
+obs::BenchRun SweepOne(int kind, int64_t n, uint64_t seed) {
+  obs::BenchRun run;
+  run.name = std::string("sweep/") + bench::GraphKindName(kind) + "/" +
+             std::to_string(n);
+  run.graph_class = bench::GraphKindName(kind);
+  run.n = n;
+  run.iterations = 1;
+
+  const ColoredGraph graph = bench::MakeGraph(kind, n, seed);
+  Timer prep;
+  EnumerationEngine engine(graph, fo::FarColorQuery(2, 0));
+  const double prep_ms = static_cast<double>(prep.ElapsedNanos()) / 1e6;
+
+  obs::Histogram steady;
+  int64_t first_delay = 0;
+  int64_t produced = 0;
+  Timer total;
+  ConstantDelayEnumerator enumerator(engine);
+  Timer delay;
+  for (;;) {
+    delay.Restart();
+    const auto t = enumerator.NextSolution();
+    const int64_t d = delay.ElapsedNanos();
+    if (!t.has_value()) break;
+    if (produced == 0) {
+      first_delay = d;
+    } else {
+      steady.Record(d);
+    }
+    ++produced;
+  }
+  const double total_ms = static_cast<double>(total.ElapsedNanos()) / 1e6;
+  const obs::Histogram::Snapshot snapshot = steady.Read();
+
+  run.real_ms = total_ms;
+  run.cpu_ms = total_ms;  // single-threaded sweep: wall == cpu
+  run.counters.emplace_back("n", static_cast<double>(n));
+  run.counters.emplace_back("solutions", static_cast<double>(produced));
+  run.counters.emplace_back("prep_ms", prep_ms);
+  run.counters.emplace_back(
+      "space_entries", static_cast<double>(engine.stats().skip_entries));
+  run.counters.emplace_back("first_delay_ns",
+                            static_cast<double>(first_delay));
+  run.counters.emplace_back("max_delay_ns",
+                            static_cast<double>(snapshot.max));
+  run.counters.emplace_back("mean_delay_ns", snapshot.mean());
+  run.counters.emplace_back("delay_p50_ns",
+                            obs::SnapshotQuantile(snapshot, 0.50));
+  run.counters.emplace_back("delay_p99_ns",
+                            obs::SnapshotQuantile(snapshot, 0.99));
+  return run;
+}
+
+int RunSweep(FlagSet& flags) {
+  const obs::AttestConfig config = TakeAttestConfig(flags);
+  int kind = bench::kTree;
+  if (auto v = flags.TakeValue("--class")) kind = GraphKindFromName(*v);
+  std::vector<int64_t> sizes = {512, 1024, 2048};
+  if (auto v = flags.TakeValue("--sizes")) sizes = ParseSizes(*v);
+  uint64_t seed = 12345;
+  if (auto v = flags.TakeValue("--seed")) {
+    seed = static_cast<uint64_t>(ParseInt64OrDie("--seed", *v));
+  }
+  const std::optional<std::string> out_path = flags.TakeValue("--out");
+  const std::optional<std::string> bench_out = flags.TakeValue("--bench-out");
+  if (!flags.positional().empty()) {
+    UsageError("unexpected argument '" + flags.positional()[0] + "'");
+  }
+
+  obs::BenchArtifact artifact;
+  artifact.benchmark = "nwd_attest_sweep";
+  for (const int64_t n : sizes) {
+    artifact.runs.push_back(SweepOne(kind, n, seed));
+    std::cerr << "nwd-attest: swept " << bench::GraphKindName(kind) << " n="
+              << n << "\n";
+  }
+  if (bench_out.has_value()) {
+    std::ostringstream json;
+    obs::WriteBenchArtifactJson(json, artifact);
+    WriteFileOrDie(*bench_out, json.str());
+  }
+  const std::vector<std::string> sources = {"sweep:" +
+                                            std::string(
+                                                bench::GraphKindName(kind))};
+  return FinishAttest(obs::Attest({artifact}, sources, config), out_path);
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) UsageError("missing mode");
+  const std::string mode = argv[1];
+  // `--baseline OLD NEW` is an alias for the baseline subcommand so the
+  // guard reads naturally in scripts.
+  if (mode == "--baseline" || mode == "baseline") {
+    FlagSet flags(argc - 2, argv + 2);
+    return RunBaseline(flags);
+  }
+  if (mode == "attest") {
+    FlagSet flags(argc - 2, argv + 2);
+    return RunAttest(flags);
+  }
+  if (mode == "sweep") {
+    FlagSet flags(argc - 2, argv + 2);
+    return RunSweep(flags);
+  }
+  UsageError("unknown mode '" + mode + "'");
+}
+
+}  // namespace
+}  // namespace nwd
+
+int main(int argc, char** argv) { return nwd::Main(argc, argv); }
