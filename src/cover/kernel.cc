@@ -3,44 +3,58 @@
 #include <algorithm>
 #include <memory>
 
+#include "graph/sorted_ops.h"
 #include "util/budget.h"
 #include "util/check.h"
+#include "util/fault_injection.h"
 
 namespace nwd {
 namespace {
 
-// Shared implementation: versioned membership + BFS buffers so that
-// repeated bag processing never clears O(n) state.
+// Shared implementation: versioned membership bitmap + BFS buffers so that
+// repeated bag processing never clears O(n) state. Membership is packed 64
+// vertices per word with a per-word version stamp (lazy clear), so the
+// boundary scan intersects a member's sorted adjacency against whole words
+// of the bag at once.
 class KernelComputer {
  public:
   explicit KernelComputer(int64_t n)
-      : member_stamp_(static_cast<size_t>(n), 0),
+      : member_words_(static_cast<size_t>((n + 63) / 64), 0),
+        word_version_(static_cast<size_t>((n + 63) / 64), 0),
         dist_stamp_(static_cast<size_t>(n), 0),
         dist_(static_cast<size_t>(n), 0) {}
 
   std::vector<Vertex> Kernel(const ColoredGraph& g,
-                             const std::vector<Vertex>& bag, int p) {
+                             std::span<const Vertex> bag, int p) {
     NWD_CHECK_GE(p, 0);
     ++version_;
     if (version_ == 0) {
-      std::fill(member_stamp_.begin(), member_stamp_.end(), 0);
+      std::fill(word_version_.begin(), word_version_.end(), 0);
       std::fill(dist_stamp_.begin(), dist_stamp_.end(), 0);
       version_ = 1;
     }
-    for (Vertex v : bag) member_stamp_[v] = version_;
+    for (Vertex v : bag) {
+      const size_t w = static_cast<size_t>(v) >> 6;
+      if (word_version_[w] != version_) {
+        word_version_[w] = version_;
+        member_words_[w] = 0;
+      }
+      member_words_[w] |= uint64_t{1} << (static_cast<uint64_t>(v) & 63);
+    }
 
     // Multi-source BFS inside G[bag] from boundary members. d(v) is the
     // distance (within the bag) to a member adjacent to the outside;
     // dist-to-outside(v) = d(v) + 1.
     queue_.clear();
     for (Vertex v : bag) {
-      for (Vertex u : g.Neighbors(v)) {
-        if (member_stamp_[u] != version_) {
-          dist_stamp_[v] = version_;
-          dist_[v] = 0;
-          queue_.push_back(v);
-          break;
-        }
+      const bool boundary = AnyWordGroup(
+          g.Neighbors(v), [this](int64_t word, uint64_t mask) {
+            return (mask & ~MemberWord(word)) != 0;
+          });
+      if (boundary) {
+        dist_stamp_[v] = version_;
+        dist_[v] = 0;
+        queue_.push_back(v);
       }
     }
     for (size_t head = 0; head < queue_.size(); ++head) {
@@ -48,7 +62,7 @@ class KernelComputer {
       const int64_t d = dist_[v];
       if (d + 1 >= p) continue;  // anything further is in the kernel anyway
       for (Vertex u : g.Neighbors(v)) {
-        if (member_stamp_[u] == version_ && dist_stamp_[u] != version_) {
+        if (IsMember(u) && dist_stamp_[u] != version_) {
           dist_stamp_[u] = version_;
           dist_[u] = d + 1;
           queue_.push_back(u);
@@ -67,18 +81,43 @@ class KernelComputer {
   }
 
  private:
+  uint64_t MemberWord(int64_t w) const {
+    return word_version_[static_cast<size_t>(w)] == version_
+               ? member_words_[static_cast<size_t>(w)]
+               : 0;
+  }
+
+  bool IsMember(Vertex v) const {
+    return (MemberWord(static_cast<int64_t>(static_cast<uint64_t>(v) >> 6)) >>
+            (static_cast<uint64_t>(v) & 63)) &
+           1;
+  }
+
   uint32_t version_ = 0;
-  std::vector<uint32_t> member_stamp_;
+  std::vector<uint64_t> member_words_;
+  std::vector<uint32_t> word_version_;
   std::vector<uint32_t> dist_stamp_;
   std::vector<int64_t> dist_;
   std::vector<Vertex> queue_;
 };
+
+// Unified tripped shape for both ComputeAllKernels variants: a budget trip
+// anywhere leaves every row empty, so the (discarded) result is
+// deterministic and thread-count invariant. Work-cap trips themselves are
+// deterministic (total charged work does not depend on bag order).
+void ClearAll(std::vector<std::vector<Vertex>>* kernels) {
+  for (std::vector<Vertex>& row : *kernels) {
+    row.clear();
+    row.shrink_to_fit();
+  }
+}
 
 }  // namespace
 
 std::vector<Vertex> ComputeKernel(const ColoredGraph& g,
                                   const NeighborhoodCover& cover, int64_t bag,
                                   int p) {
+  NWD_CHECK(cover.complete()) << "kernels of a budget-tripped cover";
   KernelComputer computer(g.NumVertices());
   return computer.Kernel(g, cover.Bag(bag), p);
 }
@@ -86,16 +125,24 @@ std::vector<Vertex> ComputeKernel(const ColoredGraph& g,
 std::vector<std::vector<Vertex>> ComputeAllKernels(
     const ColoredGraph& g, const NeighborhoodCover& cover, int p,
     const ResourceBudget* budget) {
+  NWD_CHECK(cover.complete()) << "kernels of a budget-tripped cover";
   KernelComputer computer(g.NumVertices());
   std::vector<std::vector<Vertex>> kernels(
       static_cast<size_t>(cover.NumBags()));
   for (int64_t bag = 0; bag < cover.NumBags(); ++bag) {
+    if (budget != nullptr && NWD_FAULT_POINT("engine/kernels/serial")) {
+      budget->Trip("engine/kernels/serial", "fault injection");
+    }
     if (budget != nullptr &&
         !budget->ChargeWork(static_cast<int64_t>(cover.Bag(bag).size()))) {
-      break;
+      ClearAll(&kernels);
+      return kernels;
     }
     kernels[static_cast<size_t>(bag)] = computer.Kernel(g, cover.Bag(bag), p);
   }
+  // A trip that raced the final bags (deadline) still collapses to the
+  // canonical all-empty shape.
+  if (budget != nullptr && budget->Exceeded()) ClearAll(&kernels);
   return kernels;
 }
 
@@ -105,6 +152,7 @@ std::vector<std::vector<Vertex>> ComputeAllKernels(
   if (pool == nullptr || pool->num_threads() == 1) {
     return ComputeAllKernels(g, cover, p, budget);
   }
+  NWD_CHECK(cover.complete()) << "kernels of a budget-tripped cover";
   const int64_t num_bags = cover.NumBags();
   std::vector<std::vector<Vertex>> kernels(static_cast<size_t>(num_bags));
   // One O(n) scratch per worker, created lazily so idle workers cost
@@ -115,6 +163,9 @@ std::vector<std::vector<Vertex>> ComputeAllKernels(
   pool->ParallelFor(
       0, num_bags, /*grain=*/1,
       [&](int64_t bag, int worker) {
+        if (budget != nullptr && NWD_FAULT_POINT("engine/kernels/parallel")) {
+          budget->Trip("engine/kernels/parallel", "fault injection");
+        }
         if (budget != nullptr &&
             !budget->ChargeWork(
                 static_cast<int64_t>(cover.Bag(bag).size()))) {
@@ -128,6 +179,9 @@ std::vector<std::vector<Vertex>> ComputeAllKernels(
             computer->Kernel(g, cover.Bag(bag), p);
       },
       budget);
+  // Workers that lost the trip race may have filled some slots; collapse
+  // to the same all-empty shape the serial path returns.
+  if (budget != nullptr && budget->Exceeded()) ClearAll(&kernels);
   return kernels;
 }
 

@@ -4,11 +4,15 @@
 // K_p(X) iff every vertex outside X is at distance > p from a. We compute
 // this with one multi-source BFS inside G[X] started from the bag's
 // boundary (members with a neighbor outside X), which costs O(||G[X]||) —
-// even better than Lemma 5.7's O(p * ||G[X]||).
+// even better than Lemma 5.7's O(p * ||G[X]||). Bag membership lives in a
+// versioned word-packed bitmap, so the boundary scan tests a member's
+// sorted adjacency 64 candidates per word instead of probing stamps one
+// neighbor at a time (see graph/sorted_ops.h).
 
 #ifndef NWD_COVER_KERNEL_H_
 #define NWD_COVER_KERNEL_H_
 
+#include <span>
 #include <vector>
 
 #include "cover/neighborhood_cover.h"
@@ -17,22 +21,25 @@
 
 namespace nwd {
 
-// The p-kernel of `cover.Bag(bag)`, sorted ascending. Requires p >= 0.
+// The p-kernel of `cover.Bag(bag)`, sorted ascending. Requires p >= 0 and
+// a complete() cover.
 std::vector<Vertex> ComputeKernel(const ColoredGraph& g,
                                   const NeighborhoodCover& cover, int64_t bag,
                                   int p);
 
 // All kernels of a cover at once (shares scratch buffers across bags).
-// A non-null `budget` is charged per bag; once it trips, the remaining
-// kernels stay empty and the result must be discarded by the caller.
+// A non-null `budget` is charged per bag; on a trip EVERY row of the
+// result is empty — the tripped shape is deterministic and identical
+// between the serial and parallel variants — and the result must be
+// discarded by the caller (who observes budget->Exceeded()).
 std::vector<std::vector<Vertex>> ComputeAllKernels(
     const ColoredGraph& g, const NeighborhoodCover& cover, int p,
     const ResourceBudget* budget = nullptr);
 
 // Parallel variant: bags are independent per-bag BFS runs, so they shard
 // over `pool` with one scratch buffer per worker. Output is identical to
-// the serial variant (slot `bag` holds K_p of `cover.Bag(bag)`); a budget
-// trip stops dispatching bags (same discard contract as above).
+// the serial variant (slot `bag` holds K_p of `cover.Bag(bag)`), including
+// the all-empty tripped shape.
 std::vector<std::vector<Vertex>> ComputeAllKernels(
     const ColoredGraph& g, const NeighborhoodCover& cover, int p,
     ThreadPool* pool, const ResourceBudget* budget = nullptr);

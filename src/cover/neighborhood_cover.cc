@@ -16,8 +16,12 @@ NeighborhoodCover NeighborhoodCover::Build(const ColoredGraph& g, int radius,
   NeighborhoodCover cover;
   cover.radius_ = radius;
   cover.assigned_bag_.assign(static_cast<size_t>(n), -1);
-  cover.bags_containing_.assign(static_cast<size_t>(n), {});
-  if (n == 0) return cover;
+  if (n == 0) {
+    cover.assigned_offsets_.assign(1, 0);
+    cover.containing_offsets_.assign(1, 0);
+    cover.complete_ = true;
+    return cover;
+  }
 
   // Reverse degeneracy order: high-core vertices open bags first, so hub
   // balls cover many leaves before the leaves are considered.
@@ -25,50 +29,98 @@ NeighborhoodCover NeighborhoodCover::Build(const ColoredGraph& g, int radius,
   std::vector<Vertex> order(degeneracy.order.rbegin(),
                             degeneracy.order.rend());
 
+  // Per-bag assigned counts, kept for the counting-sort pass below.
+  std::vector<int64_t> assigned_counts;
+
   BfsScratch scratch(n);
+  cover.bag_values_.reserve(static_cast<size_t>(n));
   for (Vertex center : order) {
     if (cover.assigned_bag_[center] != -1) continue;
-    const int64_t bag_id = static_cast<int64_t>(cover.bags_.size());
-    // Single BFS to distance 2r; members with distance <= r become the
-    // vertices this bag is canonical for.
-    std::vector<Vertex> members = scratch.Neighborhood(g, center, 2 * radius);
-    std::vector<Vertex> assigned;
+    const int64_t bag_id = static_cast<int64_t>(cover.centers_.size());
+    // Single BFS to distance 2r, appended straight into the bag arena;
+    // members with distance <= r become the vertices this bag is
+    // canonical for. The BFS charges each dequeued vertex and scanned
+    // edge, so on dense inputs the budget trips inside the ball instead
+    // of after it — a tripped build returns immediately with
+    // complete() == false and its partial ball rolled back.
+    const int64_t added = scratch.AppendNeighborhood(
+        g, center, 2 * radius, &cover.bag_values_, budget);
+    if (added < 0) return cover;
+    const std::span<const Vertex> members(
+        cover.bag_values_.data() + cover.bag_offsets_.back(),
+        static_cast<size_t>(added));
+    int64_t assigned = 0;
     for (Vertex u : members) {
-      if (scratch.DistanceTo(u) <= radius &&
-          cover.assigned_bag_[u] == -1) {
+      if (scratch.DistanceTo(u) <= radius && cover.assigned_bag_[u] == -1) {
         cover.assigned_bag_[u] = bag_id;
-        assigned.push_back(u);
+        ++assigned;
       }
     }
-    NWD_CHECK(!assigned.empty());  // at least `center` itself
-    for (Vertex u : members) cover.bags_containing_[u].push_back(bag_id);
-    cover.total_bag_size_ += static_cast<int64_t>(members.size());
-    const int64_t bag_size = static_cast<int64_t>(members.size());
-    cover.bags_.push_back(std::move(members));
+    NWD_CHECK_GT(assigned, 0);  // at least `center` itself
+    assigned_counts.push_back(assigned);
+    cover.total_bag_size_ += added;
+    cover.bag_offsets_.push_back(cover.bag_offsets_.back() + added);
     cover.centers_.push_back(center);
-    cover.assigned_vertices_.push_back(std::move(assigned));
-    // On dense inputs every 2r-ball can be Theta(n); the budget caps the
-    // damage. A tripped build returns the partial cover immediately (it
-    // would fail the completeness check below) — callers must discard it.
-    if (budget != nullptr && !budget->ChargeWork(bag_size)) return cover;
   }
 
-  for (Vertex v = 0; v < n; ++v) {
-    NWD_CHECK_NE(cover.assigned_bag_[v], -1);
-    cover.degree_ = std::max(
-        cover.degree_,
-        static_cast<int64_t>(cover.bags_containing_[v].size()));
+  const int64_t num_bags = cover.NumBags();
+
+  // assigned_vertices_ rows by counting sort: offsets from the per-bag
+  // counts, then fill in ascending vertex order so each row comes out
+  // sorted (matching the BFS assignment order, which also visited
+  // candidates ascending within a ball).
+  cover.assigned_offsets_.assign(static_cast<size_t>(num_bags) + 1, 0);
+  for (int64_t b = 0; b < num_bags; ++b) {
+    cover.assigned_offsets_[static_cast<size_t>(b) + 1] =
+        cover.assigned_offsets_[static_cast<size_t>(b)] +
+        assigned_counts[static_cast<size_t>(b)];
   }
+  NWD_CHECK_EQ(cover.assigned_offsets_[static_cast<size_t>(num_bags)], n);
+  cover.assigned_values_.resize(static_cast<size_t>(n));
+  std::vector<int64_t> cursor(cover.assigned_offsets_.begin(),
+                              cover.assigned_offsets_.end() - 1);
+  for (Vertex v = 0; v < n; ++v) {
+    const int64_t bag = cover.assigned_bag_[v];
+    NWD_CHECK_NE(bag, -1);
+    cover.assigned_values_[static_cast<size_t>(
+        cursor[static_cast<size_t>(bag)]++)] = v;
+  }
+
+  // bags_containing_ rows by the same two passes over the bag arena:
+  // count memberships per vertex, prefix-sum, then fill bag ids in
+  // ascending bag order so each row comes out sorted.
+  cover.containing_offsets_.assign(static_cast<size_t>(n) + 1, 0);
+  for (const Vertex v : cover.bag_values_) {
+    ++cover.containing_offsets_[static_cast<size_t>(v) + 1];
+  }
+  for (Vertex v = 0; v < n; ++v) {
+    cover.degree_ = std::max(
+        cover.degree_, cover.containing_offsets_[static_cast<size_t>(v) + 1]);
+    cover.containing_offsets_[static_cast<size_t>(v) + 1] +=
+        cover.containing_offsets_[static_cast<size_t>(v)];
+  }
+  cover.containing_values_.resize(
+      static_cast<size_t>(cover.containing_offsets_[static_cast<size_t>(n)]));
+  cursor.assign(cover.containing_offsets_.begin(),
+                cover.containing_offsets_.end() - 1);
+  for (int64_t b = 0; b < num_bags; ++b) {
+    for (const Vertex v : cover.Bag(b)) {
+      cover.containing_values_[static_cast<size_t>(
+          cursor[static_cast<size_t>(v)]++)] = b;
+    }
+  }
+
+  cover.complete_ = true;
   return cover;
 }
 
 bool NeighborhoodCover::InBag(int64_t bag, Vertex v) const {
-  const std::vector<Vertex>& members = bags_[bag];
+  const std::span<const Vertex> members = Bag(bag);
   return std::binary_search(members.begin(), members.end(), v);
 }
 
 Vertex NeighborhoodCover::NextInBag(int64_t bag, Vertex v) const {
-  const std::vector<Vertex>& members = bags_[bag];
+  const std::span<const Vertex> members = Bag(bag);
   const auto it = std::lower_bound(members.begin(), members.end(), v);
   return it == members.end() ? -1 : *it;
 }

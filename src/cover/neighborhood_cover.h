@@ -13,11 +13,20 @@
 // valid (r, 2r)-cover on *any* graph; on the sparse classes this library
 // targets its degree is empirically small (measured by experiment E6 and
 // reported by Degree()).
+//
+// Storage is flat CSR throughout: bags, the per-bag assigned lists, and
+// the per-vertex bags-containing lists each live in one offsets/values
+// arena pair (bags are appended by the BFS directly, the other two are
+// built by a two-pass counting sort). No per-bag or per-vertex heap
+// vectors — the pointer-chasing they cost at n = 2^16 is what pushed the
+// measured preprocessing exponent above the Theorem 2.3 band (see
+// EXPERIMENTS.md E15).
 
 #ifndef NWD_COVER_NEIGHBORHOOD_COVER_H_
 #define NWD_COVER_NEIGHBORHOOD_COVER_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "graph/colored_graph.h"
@@ -30,18 +39,27 @@ class NeighborhoodCover {
  public:
   // Builds an (radius, 2*radius)-cover of g. radius >= 1.
   //
-  // When `budget` is non-null, each opened bag charges its size as edge
-  // work and construction stops as soon as the budget trips; the returned
-  // cover is then INCOMPLETE (some vertices unassigned) and must be
-  // discarded — callers detect this via budget->Exceeded().
+  // When `budget` is non-null, every vertex dequeued and edge scanned by
+  // the ball BFS charges edge work (in BfsScratch::kChargeChunk batches,
+  // bounding the overshoot past the cap) and construction stops as soon as
+  // the budget trips; the returned cover then has complete() == false and
+  // must be discarded — consumers NWD_CHECK the flag.
   static NeighborhoodCover Build(const ColoredGraph& g, int radius,
                                  const ResourceBudget* budget = nullptr);
 
   int radius() const { return radius_; }
-  int64_t NumBags() const { return static_cast<int64_t>(bags_.size()); }
 
-  // Members of bag X, sorted ascending.
-  const std::vector<Vertex>& Bag(int64_t bag) const { return bags_[bag]; }
+  // True iff the build ran to completion (every vertex assigned, degree
+  // computed). A budget-tripped build leaves this false; such a cover
+  // carries only the bags opened before the trip and must not be consumed.
+  bool complete() const { return complete_; }
+
+  int64_t NumBags() const { return static_cast<int64_t>(centers_.size()); }
+
+  // Members of bag X, sorted ascending (a CSR row of the bag arena).
+  std::span<const Vertex> Bag(int64_t bag) const {
+    return Row(bag_offsets_, bag_values_, bag);
+  }
 
   // The center c_X with Bag(X) contained in N_2r(c_X).
   Vertex Center(int64_t bag) const { return centers_[bag]; }
@@ -51,13 +69,14 @@ class NeighborhoodCover {
 
   // {v : X(v) = bag}, sorted — the per-bag lists of [GKS'17, Lemma 6.10]
   // that Step 3 of the preprocessing phase needs.
-  const std::vector<Vertex>& AssignedVertices(int64_t bag) const {
-    return assigned_vertices_[bag];
+  std::span<const Vertex> AssignedVertices(int64_t bag) const {
+    return Row(assigned_offsets_, assigned_values_, bag);
   }
 
   // Bags containing v, ascending. |BagsContaining(v)| <= Degree().
-  const std::vector<int64_t>& BagsContaining(Vertex v) const {
-    return bags_containing_[v];
+  std::span<const int64_t> BagsContaining(Vertex v) const {
+    return Row(containing_offsets_, containing_values_,
+               static_cast<int64_t>(v));
   }
 
   // Membership test by binary search: O(log |X|).
@@ -74,12 +93,27 @@ class NeighborhoodCover {
   int64_t TotalBagSize() const { return total_bag_size_; }
 
  private:
+  template <typename T>
+  static std::span<const T> Row(const std::vector<int64_t>& offsets,
+                                const std::vector<T>& values, int64_t row) {
+    const int64_t begin = offsets[static_cast<size_t>(row)];
+    const int64_t end = offsets[static_cast<size_t>(row) + 1];
+    return std::span<const T>(values.data() + begin,
+                              static_cast<size_t>(end - begin));
+  }
+
   int radius_ = 0;
-  std::vector<std::vector<Vertex>> bags_;
+  bool complete_ = false;
   std::vector<Vertex> centers_;
   std::vector<int64_t> assigned_bag_;
-  std::vector<std::vector<Vertex>> assigned_vertices_;
-  std::vector<std::vector<int64_t>> bags_containing_;
+  // CSR arenas. bag_offsets_/assigned_offsets_ have NumBags() + 1 entries,
+  // containing_offsets_ has NumVertices() + 1.
+  std::vector<int64_t> bag_offsets_{0};
+  std::vector<Vertex> bag_values_;
+  std::vector<int64_t> assigned_offsets_;
+  std::vector<Vertex> assigned_values_;
+  std::vector<int64_t> containing_offsets_;
+  std::vector<int64_t> containing_values_;
   int64_t degree_ = 0;
   int64_t total_bag_size_ = 0;
 };

@@ -382,6 +382,7 @@ bool EnumerationEngine::PrepareLnfMode() {
   // The vertex -> containing-kernels index is shared by every per-list
   // skip structure (the seed rebuilt it once per list); one counting-sort
   // pass over the flattened kernels.
+  NWD_CHECK(cover_->complete()) << "skip build over a budget-tripped cover";
   auto kernels_containing = std::make_shared<const FlatRows<int64_t>>(
       SkipPointers::IndexKernels(n, kernels_));
   budget_.ChargeWork(kernels_.TotalValues());
@@ -580,7 +581,7 @@ std::optional<Vertex> EnumerationEngine::SmallestCandidate(
   // The b'_kappa candidates: inside one of the earlier bags (covers valid
   // candidates that sit in some kernel), individually validated.
   for (int64_t bag : bags) {
-    const std::vector<Vertex>& members = cover_->Bag(bag);
+    const std::span<const Vertex> members = cover_->Bag(bag);
     for (auto it = std::lower_bound(members.begin(), members.end(), min_val);
          it != members.end(); ++it) {
       const Vertex v = *it;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/budget.h"
 #include "util/check.h"
 
 namespace nwd {
@@ -65,6 +66,43 @@ std::vector<Vertex> BfsScratch::Neighborhood(
   Start();
   for (Vertex s : sources) Push(s, 0);
   return Run(g, radius);
+}
+
+int64_t BfsScratch::AppendNeighborhood(const ColoredGraph& g, Vertex source,
+                                       int radius, std::vector<Vertex>* arena,
+                                       const ResourceBudget* budget) {
+  const size_t base = arena->size();
+  Start();
+  Push(source, 0);
+  // One unit per dequeued vertex and per scanned edge, accumulated and
+  // flushed every kChargeChunk units *inside* the adjacency scan, so a
+  // single high-degree vertex cannot push the charged total more than
+  // kChargeChunk past the cap.
+  int64_t pending = 0;
+  for (size_t head = 0; head < queue_.size(); ++head) {
+    const Vertex v = queue_[head];
+    const int64_t d = dist_[v];
+    if (d >= radius) continue;
+    if (budget != nullptr && pending >= kChargeChunk) {
+      if (!budget->ChargeWork(pending)) return -1;
+      pending = 0;
+    }
+    ++pending;
+    for (Vertex u : g.Neighbors(v)) {
+      if (budget != nullptr && pending >= kChargeChunk) {
+        if (!budget->ChargeWork(pending)) return -1;
+        pending = 0;
+      }
+      ++pending;
+      Push(u, d + 1);
+    }
+  }
+  if (budget != nullptr && pending > 0 && !budget->ChargeWork(pending)) {
+    return -1;
+  }
+  arena->insert(arena->end(), queue_.begin(), queue_.end());
+  std::sort(arena->begin() + static_cast<ptrdiff_t>(base), arena->end());
+  return static_cast<int64_t>(arena->size() - base);
 }
 
 std::vector<Vertex> NeighborhoodVertices(const ColoredGraph& g, Vertex v,

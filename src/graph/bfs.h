@@ -16,9 +16,18 @@
 
 namespace nwd {
 
+class ResourceBudget;
+
 // Reusable BFS workspace for one graph size. Not thread-safe.
 class BfsScratch {
  public:
+  // Granularity of cooperative budget charging inside AppendNeighborhood:
+  // work units (dequeued vertices + scanned edges) accumulate locally and
+  // flush to the shared budget every kChargeChunk units, so a tripped
+  // budget can overshoot its cap by at most this constant per ball —
+  // degradation_test asserts exactly that bound.
+  static constexpr int64_t kChargeChunk = 256;
+
   // Workspace for graphs with up to `num_vertices` vertices.
   explicit BfsScratch(int64_t num_vertices);
 
@@ -39,6 +48,18 @@ class BfsScratch {
   std::vector<Vertex> Neighborhood(const ColoredGraph& g,
                                    const std::vector<Vertex>& sources,
                                    int radius);
+
+  // CSR-append variant for arena builders: runs the same bounded BFS but
+  // appends the sorted ball to the tail of `arena` (capacity-warm — no
+  // per-ball vector is allocated) and returns the number of vertices
+  // appended. When `budget` is non-null, every dequeued vertex and scanned
+  // edge is charged as one work unit in kChargeChunk batches; on a trip
+  // the partial tail is rolled back, -1 is returned, and the arena is
+  // exactly as long as it was on entry. DistanceTo() stays valid for the
+  // vertices reached before the trip.
+  int64_t AppendNeighborhood(const ColoredGraph& g, Vertex source, int radius,
+                             std::vector<Vertex>* arena,
+                             const ResourceBudget* budget = nullptr);
 
   // Distance from the most recent BFS's source set to v, or -1 if v was not
   // reached within the radius. Valid until the next call on this scratch.

@@ -1,0 +1,60 @@
+// Word-parallel primitives over sorted vertex sequences.
+//
+// The cover/kernel plane stores every set (bags, kernels, adjacency) as a
+// sorted run, so set operations reduce to merges. Two such merges sit on
+// preprocessing hot paths: the boundary scan of the kernel computation
+// (adjacency vs. bag membership) and the kernel-blocking test of the
+// skip-pointer build (kernels-containing row vs. a probe's bag set). Both
+// are served here: a branch-light two-pointer intersection test, and a
+// grouping iterator that turns a sorted run into (word, 64-bit mask) pairs
+// so callers can test 64 candidates against a packed bitmap at once.
+
+#ifndef NWD_GRAPH_SORTED_OPS_H_
+#define NWD_GRAPH_SORTED_OPS_H_
+
+#include <cstdint>
+#include <span>
+
+namespace nwd {
+
+// True iff the sorted runs `a` and `b` share an element. Linear two-pointer
+// merge; the comparison ladder compiles to conditional moves on the
+// advancing index, so mispredicts stay cheap on the short runs (cover
+// degree, bag-set size <= k) this is used for.
+template <typename T>
+inline bool SortedIntersects(std::span<const T> a, std::span<const T> b) {
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    const T x = a[i];
+    const T y = b[j];
+    if (x == y) return true;
+    i += static_cast<size_t>(x < y);
+    j += static_cast<size_t>(y < x);
+  }
+  return false;
+}
+
+// Calls fn(word_index, mask) once per 64-aligned block touched by the
+// sorted run `values`; `mask` has bit (v & 63) set for each v in the block.
+// Stops early when fn returns true and propagates that result — the shape
+// of a word-at-a-time "does any element escape this bitmap" scan.
+template <typename T, typename Fn>
+inline bool AnyWordGroup(std::span<const T> values, Fn&& fn) {
+  size_t i = 0;
+  const size_t size = values.size();
+  while (i < size) {
+    const int64_t word = static_cast<int64_t>(values[i]) >> 6;
+    uint64_t mask = 0;
+    do {
+      mask |= uint64_t{1} << (static_cast<uint64_t>(values[i]) & 63);
+      ++i;
+    } while (i < size && (static_cast<int64_t>(values[i]) >> 6) == word);
+    if (fn(word, mask)) return true;
+  }
+  return false;
+}
+
+}  // namespace nwd
+
+#endif  // NWD_GRAPH_SORTED_OPS_H_

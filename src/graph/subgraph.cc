@@ -15,10 +15,10 @@ Vertex SubgraphView::ToLocal(Vertex global) const {
 }
 
 SubgraphView InduceSubgraph(const ColoredGraph& g,
-                            const std::vector<Vertex>& vertices) {
+                            std::span<const Vertex> vertices) {
   NWD_DCHECK(std::is_sorted(vertices.begin(), vertices.end()));
   SubgraphView view;
-  view.to_global = vertices;
+  view.to_global.assign(vertices.begin(), vertices.end());
 
   GraphBuilder builder(static_cast<int64_t>(vertices.size()), g.NumColors());
   for (size_t local = 0; local < vertices.size(); ++local) {
@@ -37,14 +37,14 @@ SubgraphView InduceSubgraph(const ColoredGraph& g,
 }
 
 SubgraphView InduceSubgraphExcluding(const ColoredGraph& g,
-                                     const std::vector<Vertex>& vertices,
+                                     std::span<const Vertex> vertices,
                                      Vertex excluded) {
   std::vector<Vertex> remaining;
   remaining.reserve(vertices.size());
   for (Vertex v : vertices) {
     if (v != excluded) remaining.push_back(v);
   }
-  return InduceSubgraph(g, remaining);
+  return InduceSubgraph(g, std::span<const Vertex>(remaining));
 }
 
 }  // namespace nwd

@@ -11,6 +11,8 @@
 #ifndef NWD_GRAPH_SUBGRAPH_H_
 #define NWD_GRAPH_SUBGRAPH_H_
 
+#include <initializer_list>
+#include <span>
 #include <vector>
 
 #include "graph/colored_graph.h"
@@ -32,13 +34,28 @@ struct SubgraphView {
 // The substructure of `g` induced by `vertices` (must be sorted, unique,
 // in range). Colors are restricted accordingly.
 SubgraphView InduceSubgraph(const ColoredGraph& g,
-                            const std::vector<Vertex>& vertices);
+                            std::span<const Vertex> vertices);
 
 // Convenience: induce on `vertices` minus one excluded vertex (used for
 // bags after a Splitter move: G[X \ {s_X}]).
 SubgraphView InduceSubgraphExcluding(const ColoredGraph& g,
-                                     const std::vector<Vertex>& vertices,
+                                     std::span<const Vertex> vertices,
                                      Vertex excluded);
+
+// Braced-list conveniences (a span cannot bind to {a, b, c} directly).
+inline SubgraphView InduceSubgraph(const ColoredGraph& g,
+                                   std::initializer_list<Vertex> vertices) {
+  return InduceSubgraph(
+      g, std::span<const Vertex>(vertices.begin(), vertices.size()));
+}
+
+inline SubgraphView InduceSubgraphExcluding(
+    const ColoredGraph& g, std::initializer_list<Vertex> vertices,
+    Vertex excluded) {
+  return InduceSubgraphExcluding(
+      g, std::span<const Vertex>(vertices.begin(), vertices.size()),
+      excluded);
+}
 
 }  // namespace nwd
 

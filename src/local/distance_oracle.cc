@@ -1,6 +1,7 @@
 #include "local/distance_oracle.h"
 
 #include <algorithm>
+#include <span>
 
 #include "graph/bfs.h"
 #include "util/budget.h"
@@ -13,7 +14,7 @@ namespace {
 // `radius`. Returns distances aligned with `members` (kFar if further).
 // `members` must be sorted.
 std::vector<int16_t> RestrictedBfs(const ColoredGraph& g,
-                                   const std::vector<Vertex>& members,
+                                   std::span<const Vertex> members,
                                    Vertex source, int radius, int16_t far) {
   std::vector<int16_t> dist(members.size(), far);
   const auto index_of = [&members](Vertex v) -> int64_t {
@@ -78,8 +79,10 @@ std::unique_ptr<DistanceOracle::Level> DistanceOracle::BuildLevel(
 
   level->cover =
       NeighborhoodCover::Build(level->graph, radius_, options_.budget);
-  if (options_.budget != nullptr && options_.budget->Exceeded()) {
-    // The cover may be incomplete; do not hang bag structures off it.
+  if (!level->cover.complete()) {
+    // Budget tripped mid-build; do not hang bag structures off the
+    // incomplete cover.
+    NWD_CHECK(options_.budget != nullptr && options_.budget->Exceeded());
     level->leaf = true;
     return level;
   }
@@ -88,7 +91,7 @@ std::unique_ptr<DistanceOracle::Level> DistanceOracle::BuildLevel(
   level->bags.resize(static_cast<size_t>(level->cover.NumBags()));
 
   for (int64_t b = 0; b < level->cover.NumBags(); ++b) {
-    const std::vector<Vertex>& members = level->cover.Bag(b);
+    const std::span<const Vertex> members = level->cover.Bag(b);
     Bag& bag = level->bags[static_cast<size_t>(b)];
 
     // Splitter's reply, chosen among the bag members (global ids so the
@@ -149,7 +152,7 @@ bool DistanceOracle::TestAtLevel(const Level& level, Vertex a, Vertex b,
   }
 
   const int64_t bag_id = level.cover.AssignedBag(a);
-  const std::vector<Vertex>& members = level.cover.Bag(bag_id);
+  const std::span<const Vertex> members = level.cover.Bag(bag_id);
   const auto find_index = [&members](Vertex v) -> int64_t {
     const auto it = std::lower_bound(members.begin(), members.end(), v);
     if (it == members.end() || *it != v) return -1;

@@ -1,5 +1,7 @@
 #include "local/local_evaluator.h"
 
+#include <span>
+
 #include "fo/analysis.h"
 #include "util/check.h"
 
@@ -8,6 +10,7 @@ namespace nwd {
 LocalEvaluator::LocalEvaluator(const ColoredGraph& g,
                                const NeighborhoodCover& cover)
     : graph_(&g), cover_(&cover) {
+  NWD_CHECK(cover.complete()) << "evaluator over a budget-tripped cover";
   bag_graphs_.resize(static_cast<size_t>(cover.NumBags()));
 }
 
@@ -45,7 +48,7 @@ std::vector<bool> LocalEvaluator::MaterializeUnary(const fo::Query& q) {
   // Group by canonical bag: all vertices assigned to a bag share its
   // induced subgraph (and its evaluator).
   for (int64_t bag = 0; bag < cover_->NumBags(); ++bag) {
-    const std::vector<Vertex>& assigned = cover_->AssignedVertices(bag);
+    const std::span<const Vertex> assigned = cover_->AssignedVertices(bag);
     if (assigned.empty()) continue;
     const SubgraphView& view = BagGraph(bag);
     fo::NaiveEvaluator eval(view.graph);

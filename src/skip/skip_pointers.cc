@@ -4,6 +4,7 @@
 #include <set>
 #include <utility>
 
+#include "graph/sorted_ops.h"
 #include "obs/metrics.h"
 #include "util/budget.h"
 #include "util/check.h"
@@ -150,12 +151,10 @@ int64_t SkipPointers::ApproxBytes() const {
 
 bool SkipPointers::InAnyKernel(Vertex v,
                                std::span<const int64_t> bags) const {
-  for (const int64_t x : kernels_containing_->Row(v)) {
-    for (const int64_t y : bags) {
-      if (x == y) return true;
-    }
-  }
-  return false;
+  // Both rows are sorted (kernel ids are appended in ascending order by
+  // IndexKernels; probe bag sets are sorted by contract), so the blocking
+  // test is one sorted merge instead of a nested scan.
+  return SortedIntersects(kernels_containing_->Row(v), bags);
 }
 
 Vertex SkipPointers::NextInList(Vertex b) const {

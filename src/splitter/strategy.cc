@@ -9,7 +9,7 @@ namespace {
 
 class CenterSplitterStrategy : public SplitterStrategy {
  public:
-  Vertex ChooseSplit(const std::vector<Vertex>& ball,
+  Vertex ChooseSplit(std::span<const Vertex> ball,
                      Vertex connector) const override {
     NWD_DCHECK(std::binary_search(ball.begin(), ball.end(), connector));
     return connector;
@@ -20,7 +20,7 @@ class MaxDegreeSplitterStrategy : public SplitterStrategy {
  public:
   explicit MaxDegreeSplitterStrategy(const ColoredGraph& g) : graph_(&g) {}
 
-  Vertex ChooseSplit(const std::vector<Vertex>& ball,
+  Vertex ChooseSplit(std::span<const Vertex> ball,
                      Vertex connector) const override {
     NWD_CHECK(!ball.empty());
     Vertex best = connector;
@@ -65,7 +65,7 @@ class ForestSplitterStrategy : public SplitterStrategy {
     }
   }
 
-  Vertex ChooseSplit(const std::vector<Vertex>& ball,
+  Vertex ChooseSplit(std::span<const Vertex> ball,
                      Vertex connector) const override {
     NWD_CHECK(!ball.empty());
     Vertex best = connector;

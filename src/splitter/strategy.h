@@ -22,8 +22,9 @@
 #ifndef NWD_SPLITTER_STRATEGY_H_
 #define NWD_SPLITTER_STRATEGY_H_
 
+#include <initializer_list>
 #include <memory>
-#include <vector>
+#include <span>
 
 #include "graph/colored_graph.h"
 
@@ -36,8 +37,15 @@ class SplitterStrategy {
   // Splitter's reply when Connector plays `connector` and the current ball
   // is `ball` (sorted global ids, containing `connector`). Must return a
   // member of `ball`.
-  virtual Vertex ChooseSplit(const std::vector<Vertex>& ball,
+  virtual Vertex ChooseSplit(std::span<const Vertex> ball,
                              Vertex connector) const = 0;
+
+  // Braced-list convenience for tests and examples.
+  Vertex ChooseSplit(std::initializer_list<Vertex> ball,
+                     Vertex connector) const {
+    return ChooseSplit(std::span<const Vertex>(ball.begin(), ball.size()),
+                       connector);
+  }
 };
 
 // True iff g is acyclic (every component a tree).

@@ -172,7 +172,9 @@ TEST(Kernel, ZeroRadiusKernelIsBag) {
   const ColoredGraph g = gen::RandomTree(50, 0, {0, 0.0}, &rng);
   const NeighborhoodCover cover = NeighborhoodCover::Build(g, 2);
   for (int64_t bag = 0; bag < cover.NumBags(); ++bag) {
-    EXPECT_EQ(ComputeKernel(g, cover, bag, 0), cover.Bag(bag));
+    const auto members = cover.Bag(bag);
+    EXPECT_EQ(ComputeKernel(g, cover, bag, 0),
+              std::vector<Vertex>(members.begin(), members.end()));
   }
 }
 

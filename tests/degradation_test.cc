@@ -10,13 +10,17 @@
 #include <string>
 #include <vector>
 
+#include "cover/neighborhood_cover.h"
 #include "enumerate/engine.h"
 #include "enumerate/enumerator.h"
 #include "fo/builders.h"
 #include "fo/naive_eval.h"
 #include "fo/parser.h"
 #include "gen/generators.h"
+#include "graph/bfs.h"
+#include "graph/builder.h"
 #include "graph/stats.h"
+#include "util/budget.h"
 #include "tests/property_common.h"
 #include "util/fault_injection.h"
 #include "util/rng.h"
@@ -280,6 +284,51 @@ TEST(Degradation, DrainedCountersMatchSerialExpectations) {
   const AnswerCounters again = engine.DrainAnswerStats();
   EXPECT_EQ(again.probes_served, 1);
   EXPECT_EQ(again.descents, 0);
+}
+
+// The cover BFS charges work incrementally inside each ball (in
+// BfsScratch::kChargeChunk batches), so even a single dense hub ball can
+// overshoot the edge-work cap by at most one chunk — not by Theta(n), as
+// a charge-after-the-ball scheme would on a star.
+TEST(Degradation, CoverChargeOvershootIsBounded) {
+  constexpr int64_t kLeaves = 2000;
+  GraphBuilder builder(kLeaves + 1, 0);
+  for (Vertex leaf = 1; leaf <= kLeaves; ++leaf) builder.AddEdge(0, leaf);
+  const ColoredGraph star = std::move(builder).Build();
+
+  ResourceBudgetOptions options;
+  options.max_edge_work = 100;  // far below the hub ball's ~2n units
+  const ResourceBudget budget(options);
+  const NeighborhoodCover cover = NeighborhoodCover::Build(star, 1, &budget);
+  ASSERT_TRUE(budget.Exceeded());
+  EXPECT_FALSE(cover.complete());
+  EXPECT_LE(budget.work_charged(),
+            options.max_edge_work + BfsScratch::kChargeChunk);
+}
+
+// The kernel stage has its own fault points on both execution paths; a
+// trip inside ComputeAllKernels must surface that point as the tripped
+// stage (the engine's coarser "engine/kernels" attribution never
+// overwrites it) and leave a correct degraded engine.
+TEST(Degradation, KernelStageFaultPointsDegradeOnBothPaths) {
+  struct PathCase {
+    const char* point;
+    int num_threads;
+  };
+  const PathCase cases[] = {{"engine/kernels/serial", 1},
+                            {"engine/kernels/parallel", 4}};
+  const fo::Query query = SupportedBinaryQuery();
+  for (const PathCase& c : cases) {
+    Rng rng(1300);
+    const ColoredGraph g = testing_common::RandomGraph(1, 70, &rng);
+    EngineOptions options = LnfForcingOptions();
+    options.num_threads = c.num_threads;
+    fault_injection::ScopedFault fault(c.point);
+    const EnumerationEngine engine(g, query, options);
+    ASSERT_TRUE(engine.stats().degraded) << c.point;
+    ASSERT_EQ(engine.stats().tripped_stage, c.point);
+    ExpectAgreesWithNaive(engine, g, query);
+  }
 }
 
 // Stats bookkeeping: a degraded engine reports its budget counters.

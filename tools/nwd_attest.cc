@@ -45,6 +45,7 @@ namespace {
             << "       nwd-attest baseline OLD NEW [--rel-tol T] [--out F]\n"
             << "                  [--gate-max] [--require-all]\n"
             << "       nwd-attest sweep [--class tree|bdeg|grid]\n"
+            << "                  [--prep-only]\n"
             << "                  [--sizes N,N,...] [--seed S] [--out F]\n"
             << "                  [--bench-out F] [attest gate flags]\n";
   std::exit(2);
@@ -219,7 +220,12 @@ std::vector<int64_t> ParseSizes(const std::string& text) {
 // Emits the same artifact shape bench_delay --json writes, so the sweep
 // output feeds the attest fit, the baseline guard, and any other
 // nwd-bench-json/1 consumer interchangeably.
-obs::BenchRun SweepOne(int kind, int64_t n, uint64_t seed) {
+//
+// With `prep_only` the enumeration pass is skipped: the run carries just
+// the preprocessing-side counters (prep_ms, space_entries), the delay
+// claims skip for lack of metrics, and the sweep stays cheap enough to
+// gate Thm 2.3 at n = 2^16 in CI.
+obs::BenchRun SweepOne(int kind, int64_t n, uint64_t seed, bool prep_only) {
   obs::BenchRun run;
   run.name = std::string("sweep/") + bench::GraphKindName(kind) + "/" +
              std::to_string(n);
@@ -231,6 +237,16 @@ obs::BenchRun SweepOne(int kind, int64_t n, uint64_t seed) {
   Timer prep;
   EnumerationEngine engine(graph, fo::FarColorQuery(2, 0));
   const double prep_ms = static_cast<double>(prep.ElapsedNanos()) / 1e6;
+
+  if (prep_only) {
+    run.real_ms = prep_ms;
+    run.cpu_ms = prep_ms;
+    run.counters.emplace_back("n", static_cast<double>(n));
+    run.counters.emplace_back("prep_ms", prep_ms);
+    run.counters.emplace_back(
+        "space_entries", static_cast<double>(engine.stats().skip_entries));
+    return run;
+  }
 
   obs::Histogram steady;
   int64_t first_delay = 0;
@@ -284,6 +300,7 @@ int RunSweep(FlagSet& flags) {
   }
   const std::optional<std::string> out_path = flags.TakeValue("--out");
   const std::optional<std::string> bench_out = flags.TakeValue("--bench-out");
+  const bool prep_only = flags.TakeSwitch("--prep-only");
   if (!flags.positional().empty()) {
     UsageError("unexpected argument '" + flags.positional()[0] + "'");
   }
@@ -291,7 +308,7 @@ int RunSweep(FlagSet& flags) {
   obs::BenchArtifact artifact;
   artifact.benchmark = "nwd_attest_sweep";
   for (const int64_t n : sizes) {
-    artifact.runs.push_back(SweepOne(kind, n, seed));
+    artifact.runs.push_back(SweepOne(kind, n, seed, prep_only));
     std::cerr << "nwd-attest: swept " << bench::GraphKindName(kind) << " n="
               << n << "\n";
   }
