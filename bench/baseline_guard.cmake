@@ -9,22 +9,29 @@
 # failure classes that survive any amount of noise: a *divergence* in the
 # exact-match counters (changed solution count = correctness bug) and an
 # order-of-magnitude timing blowup (quadratic slip on the hot path).
+#
+# BENCH_FILTER selects the fresh point (default: the tree n=1024 point of
+# the delay-style benches); a guard over another artifact passes the
+# benchmark_filter regex naming its own cheap deterministic run.
 
 if(NOT DEFINED BENCH OR NOT DEFINED ATTEST OR NOT DEFINED BASELINE
    OR NOT DEFINED WORK_DIR)
   message(FATAL_ERROR
     "usage: cmake -DBENCH=... -DATTEST=... -DBASELINE=... -DWORK_DIR=... "
-    "-P baseline_guard.cmake")
+    "[-DBENCH_FILTER=...] -P baseline_guard.cmake")
+endif()
+if(NOT DEFINED BENCH_FILTER)
+  set(BENCH_FILTER "/0/1024/")
 endif()
 file(MAKE_DIRECTORY "${WORK_DIR}")
 set(FRESH_JSON "${WORK_DIR}/fresh.json")
 file(REMOVE "${FRESH_JSON}")
 
-# One small point (tree, n=1024) keeps the guard under a couple seconds.
-# The trailing slash matters: registered names carry an /iterations:1
-# suffix ("BM_EnumerationDelay/0/1024/iterations:1").
+# One small point keeps the guard under a couple seconds. The default
+# filter's trailing slash matters: registered names carry an
+# /iterations:1 suffix ("BM_EnumerationDelay/0/1024/iterations:1").
 execute_process(
-  COMMAND ${BENCH} "--benchmark_filter=/0/1024/" --json "${FRESH_JSON}"
+  COMMAND ${BENCH} "--benchmark_filter=${BENCH_FILTER}" --json "${FRESH_JSON}"
   RESULT_VARIABLE exit_code
   OUTPUT_VARIABLE out
   ERROR_VARIABLE err

@@ -40,6 +40,7 @@
 // the process.
 
 #include <cerrno>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -125,6 +126,22 @@ bool TupleInRange(const nwd::Tuple& t, int64_t num_vertices,
     }
   }
   return true;
+}
+
+// True once stdout has failed (typically EPIPE: the consumer — `head`,
+// a pager, a dying pipeline — went away). Enumeration loops poll this
+// and shut down cleanly instead of letting SIGPIPE kill the process
+// mid-stream; see main(), which ignores the signal.
+bool StdoutBroken() { return std::ferror(stdout) != 0; }
+
+// Diagnostic for the broken-pipe shutdown path: stderr still works even
+// when stdout is gone, and a truncated-by-consumer run is a success
+// (exit 0), not an error.
+void ReportOutputClosed(long long produced) {
+  std::fprintf(stderr,
+               "nwdq: output closed after %lld answers; stopping cleanly\n",
+               produced);
+  std::fflush(stderr);
 }
 
 void PrintTuple(const nwd::Tuple& t) {
@@ -231,7 +248,13 @@ int ServeProbeFile(const nwd::EnumerationEngine& engine,
   const double elapsed = timer.ElapsedSeconds();
   size_t ti = 0;
   size_t ni = 0;
+  size_t printed = 0;
   for (const Probe& probe : probes) {
+    if (StdoutBroken()) {
+      ReportOutputClosed(static_cast<long long>(printed));
+      return 0;
+    }
+    ++printed;
     std::printf("%s ", probe.is_next ? "next" : "test");
     PrintTuple(probe.tuple);
     if (probe.is_next) {
@@ -256,6 +279,11 @@ int ServeProbeFile(const nwd::EnumerationEngine& engine,
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Piping enumeration into `head` (or any consumer that exits early)
+  // must end the run with a clean exit 0, not a SIGPIPE kill: ignore the
+  // signal so writes fail with EPIPE instead, and let the output loops
+  // detect the failure via StdoutBroken().
+  std::signal(SIGPIPE, SIG_IGN);
   if (argc < 3) return Usage();
   const std::string graph_path = argv[1];
   const std::string query_text = argv[2];
@@ -448,6 +476,10 @@ int main(int argc, char** argv) {
       PrintTuple(t);
       std::printf("\n");
       ++produced;
+      if (StdoutBroken()) {
+        ReportOutputClosed(produced);
+        return 0;
+      }
     }
   } else {
     nwd::ConstantDelayEnumerator enumerator(engine);
@@ -456,6 +488,10 @@ int main(int argc, char** argv) {
       PrintTuple(*t);
       std::printf("\n");
       ++produced;
+      if (StdoutBroken()) {
+        ReportOutputClosed(produced);
+        return 0;
+      }
     }
   }
   if (produced == limit && limit > 0) {

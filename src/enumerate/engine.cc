@@ -536,13 +536,20 @@ std::optional<Vertex> EnumerationEngine::SmallestCandidate(
     // miss costs one BFS into a warm buffer and one arena append — no
     // heap allocation.
     std::span<const Vertex> ball;
-    if (ctx->balls.Lookup(anchor, &ball)) {
+    // Answer-path fault point (behavior-preserving): firing bypasses the
+    // cache entirely — lookup and insert — forcing the fresh-BFS route,
+    // so soak tests can fire it randomly while asserting bit-identical
+    // answers.
+    const bool skip_cache = NWD_FAULT_POINT("answer/ball_cache");
+    if (!skip_cache && ctx->balls.Lookup(anchor, &ball)) {
       ctx->ball_cache_hits.fetch_add(1, std::memory_order_relaxed);
     } else {
       ctx->ball_cache_misses.fetch_add(1, std::memory_order_relaxed);
       ctx->scratch.NeighborhoodInto(*graph_, anchor, radius,
                                     &ctx->ball_scratch);
-      ball = ctx->balls.Insert(anchor, ctx->ball_scratch);
+      ball = skip_cache
+                 ? std::span<const Vertex>(ctx->ball_scratch)
+                 : ctx->balls.Insert(anchor, ctx->ball_scratch);
       if (ctx->budget != nullptr &&
           !ctx->budget->ChargeWork(static_cast<int64_t>(ball.size()))) {
         return std::nullopt;  // preprocessing descent, result discarded

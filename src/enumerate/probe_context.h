@@ -39,6 +39,7 @@
 
 #include "graph/bfs.h"
 #include "graph/colored_graph.h"
+#include "util/fault_injection.h"
 #include "util/lex.h"
 
 namespace nwd {
@@ -179,8 +180,14 @@ class ProbeContextPool {
       : num_vertices_(num_vertices) {}
 
   ProbeContext* Acquire() {
+    // Answer-path fault point (behavior-preserving): firing skips the
+    // free-list reuse and allocates a fresh context, exercising the
+    // pool-growth path under soak load. The context still lands in all_,
+    // so nothing leaks and Drain() keeps seeing every counter.
     ProbeContext* head =
-        free_head_.exchange(nullptr, std::memory_order_acquire);
+        NWD_FAULT_POINT("answer/pool_miss")
+            ? nullptr
+            : free_head_.exchange(nullptr, std::memory_order_acquire);
     if (head != nullptr) {
       ProbeContext* rest = head->next_free;
       head->next_free = nullptr;

@@ -11,6 +11,25 @@ BfsScratch::BfsScratch(int64_t num_vertices)
     : stamp_(static_cast<size_t>(num_vertices), 0),
       dist_(static_cast<size_t>(num_vertices), 0) {}
 
+void BfsScratch::EnsureCapacity(int64_t num_vertices) {
+  if (static_cast<size_t>(num_vertices) <= stamp_.size()) return;
+  // New entries carry stamp 0; any live version_ is >= 1, so they read as
+  // unvisited without a reset.
+  stamp_.resize(static_cast<size_t>(num_vertices), 0);
+  dist_.resize(static_cast<size_t>(num_vertices), 0);
+}
+
+void BfsScratch::Explore(const ColoredGraph& g, Vertex source, int radius) {
+  Start();
+  Push(source, 0);
+  for (size_t head = 0; head < queue_.size(); ++head) {
+    const Vertex v = queue_[head];
+    const int64_t d = dist_[v];
+    if (d >= radius) continue;
+    for (Vertex u : g.Neighbors(v)) Push(u, d + 1);
+  }
+}
+
 void BfsScratch::Start() {
   ++version_;
   queue_.clear();
@@ -49,14 +68,7 @@ std::vector<Vertex> BfsScratch::Neighborhood(const ColoredGraph& g,
 
 void BfsScratch::NeighborhoodInto(const ColoredGraph& g, Vertex source,
                                   int radius, std::vector<Vertex>* out) {
-  Start();
-  Push(source, 0);
-  for (size_t head = 0; head < queue_.size(); ++head) {
-    const Vertex v = queue_[head];
-    const int64_t d = dist_[v];
-    if (d >= radius) continue;
-    for (Vertex u : g.Neighbors(v)) Push(u, d + 1);
-  }
+  Explore(g, source, radius);
   out->assign(queue_.begin(), queue_.end());
   std::sort(out->begin(), out->end());
 }

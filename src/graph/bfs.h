@@ -31,6 +31,15 @@ class BfsScratch {
   // Workspace for graphs with up to `num_vertices` vertices.
   explicit BfsScratch(int64_t num_vertices);
 
+  // Grows the workspace to cover `num_vertices` if it is smaller; a no-op
+  // (and allocation-free) once the capacity is warm, so one scratch can be
+  // reused across graphs of varying size on a hot probe path.
+  void EnsureCapacity(int64_t num_vertices);
+
+  // Runs the bounded BFS without materializing the ball: only DistanceTo()
+  // is populated. Allocation-free once the internal queue capacity is warm.
+  void Explore(const ColoredGraph& g, Vertex source, int radius);
+
   // Runs BFS from `source` up to distance `radius` (inclusive) and returns
   // the visited vertices sorted ascending (this is N_radius(source),
   // including the source). Per-vertex distances from this run are available

@@ -145,9 +145,12 @@ bool DistanceOracle::TestAtLevel(const Level& level, Vertex a, Vertex b,
 
   if (level.leaf) {
     // Constant work when the leaf is below small_cutoff; a correct (if
-    // slower) fallback when the depth cap was hit.
-    BfsScratch scratch(level.graph.NumVertices());
-    scratch.Neighborhood(level.graph, a, r_query);
+    // slower) fallback when the depth cap was hit. The scratch is
+    // thread-local and capacity-growing so steady-state probes never touch
+    // the heap (probe_pool_test asserts exactly that).
+    static thread_local BfsScratch scratch(0);
+    scratch.EnsureCapacity(level.graph.NumVertices());
+    scratch.Explore(level.graph, a, r_query);
     return scratch.DistanceTo(b) >= 0;
   }
 

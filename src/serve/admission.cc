@@ -1,0 +1,42 @@
+#include "serve/admission.h"
+
+#include "obs/metrics.h"
+
+namespace nwd {
+namespace serve {
+
+AdmissionGate::AdmissionGate(int max_inflight, int64_t retry_after_ms)
+    : max_inflight_(max_inflight < 1 ? 1 : max_inflight),
+      retry_after_ms_(retry_after_ms < 1 ? 1 : retry_after_ms) {}
+
+bool AdmissionGate::TryAdmit(int64_t* retry_after_ms) {
+  static obs::Gauge* inflight_gauge =
+      obs::MetricsRegistry::Global().GetGauge("serve.inflight");
+  int64_t cur = inflight_.load(std::memory_order_relaxed);
+  while (cur < max_inflight_) {
+    if (inflight_.compare_exchange_weak(cur, cur + 1,
+                                        std::memory_order_acquire,
+                                        std::memory_order_relaxed)) {
+      reject_streak_.store(0, std::memory_order_relaxed);
+      inflight_gauge->Set(cur + 1);
+      return true;
+    }
+  }
+  // Saturated: hint grows with the reject streak (capped at 32x base) so
+  // a herd of rejected clients fans out over time instead of returning in
+  // lockstep.
+  const int64_t streak =
+      reject_streak_.fetch_add(1, std::memory_order_relaxed) + 1;
+  int64_t factor = streak < 32 ? streak : 32;
+  *retry_after_ms = retry_after_ms_ * factor;
+  return false;
+}
+
+void AdmissionGate::Release() {
+  static obs::Gauge* inflight_gauge =
+      obs::MetricsRegistry::Global().GetGauge("serve.inflight");
+  inflight_gauge->Set(inflight_.fetch_sub(1, std::memory_order_release) - 1);
+}
+
+}  // namespace serve
+}  // namespace nwd

@@ -1,0 +1,74 @@
+// Admission control: bounded in-flight work, reject-don't-queue.
+//
+// The daemon's robustness contract for overload is backpressure, not
+// buffering: a request that arrives while `max_inflight` requests are
+// already being served is rejected immediately with RETRY_AFTER and a
+// backoff hint, so memory stays bounded and latency of admitted requests
+// stays flat (the constant-delay guarantee of Cor 2.5 is per admitted
+// answer; an unbounded queue would silently convert it into unbounded
+// end-to-end latency). Clients converge through jittered exponential
+// backoff (serve/client.h).
+//
+// TryAdmit is a CAS loop on one atomic — no mutex on the request hot
+// path. The retry hint scales with how overloaded the gate is so a
+// thundering herd spreads out instead of re-colliding.
+
+#ifndef NWD_SERVE_ADMISSION_H_
+#define NWD_SERVE_ADMISSION_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace nwd {
+namespace serve {
+
+class AdmissionGate {
+ public:
+  // `max_inflight` < 1 is clamped to 1. `retry_after_ms` is the base
+  // backoff hint returned to rejected clients.
+  AdmissionGate(int max_inflight, int64_t retry_after_ms);
+
+  // Tries to claim an in-flight slot. On success the caller MUST later
+  // Release() exactly once (see Ticket). On failure returns false and
+  // sets *retry_after_ms to the backoff hint.
+  bool TryAdmit(int64_t* retry_after_ms);
+  void Release();
+
+  int64_t inflight() const {
+    return inflight_.load(std::memory_order_relaxed);
+  }
+  int max_inflight() const { return max_inflight_; }
+
+  // RAII slot: admitted() tells whether the gate let the request in.
+  class Ticket {
+   public:
+    explicit Ticket(AdmissionGate* gate) : gate_(gate) {
+      admitted_ = gate_->TryAdmit(&retry_after_ms_);
+    }
+    ~Ticket() {
+      if (admitted_) gate_->Release();
+    }
+    Ticket(const Ticket&) = delete;
+    Ticket& operator=(const Ticket&) = delete;
+
+    bool admitted() const { return admitted_; }
+    int64_t retry_after_ms() const { return retry_after_ms_; }
+
+   private:
+    AdmissionGate* gate_;
+    bool admitted_ = false;
+    int64_t retry_after_ms_ = 0;
+  };
+
+ private:
+  const int max_inflight_;
+  const int64_t retry_after_ms_;
+  std::atomic<int64_t> inflight_{0};
+  // Rejections since the last successful admit; scales the backoff hint.
+  std::atomic<int64_t> reject_streak_{0};
+};
+
+}  // namespace serve
+}  // namespace nwd
+
+#endif  // NWD_SERVE_ADMISSION_H_

@@ -1,0 +1,52 @@
+#include "serve/client.h"
+
+#include <chrono>
+#include <thread>
+
+namespace nwd {
+namespace serve {
+
+Client::Client(int read_fd, int write_fd, uint64_t seed,
+               int64_t max_frame_bytes)
+    : stream_(read_fd, write_fd),
+      max_frame_bytes_(static_cast<size_t>(max_frame_bytes)),
+      rng_(seed) {}
+
+bool Client::Call(const std::string& request, Response* response) {
+  if (!WriteFrame(&stream_, request)) {
+    *response = Response{};
+    response->transport_error = true;
+    return false;
+  }
+  return ReadResponse(&stream_, max_frame_bytes_, response);
+}
+
+bool Client::CallWithRetry(const std::string& request,
+                           const BackoffPolicy& policy, Response* response) {
+  int64_t cap_ms = policy.base_ms < 1 ? 1 : policy.base_ms;
+  for (int attempt = 0;; ++attempt) {
+    if (!Call(request, response)) return false;
+    if (response->ok || response->code != ErrorCode::kRetryAfter) {
+      return true;
+    }
+    if (attempt + 1 >= policy.max_attempts) return true;  // give up, typed
+    ++retries_;
+    // Full jitter over the exponential cap, floored by the server's own
+    // hint: the server knows how overloaded it is, the jitter spreads
+    // the herd.
+    const int64_t jittered =
+        cap_ms <= 1 ? 1 : static_cast<int64_t>(rng_.NextBounded(
+                              static_cast<uint64_t>(cap_ms))) + 1;
+    int64_t sleep_ms = jittered;
+    if (response->retry_after_ms > sleep_ms) {
+      sleep_ms = response->retry_after_ms;
+    }
+    backoff_ms_ += sleep_ms;
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+    cap_ms = cap_ms * 2;
+    if (cap_ms > policy.max_ms) cap_ms = policy.max_ms;
+  }
+}
+
+}  // namespace serve
+}  // namespace nwd

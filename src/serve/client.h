@@ -1,0 +1,69 @@
+// Client side of the nwdd protocol: one connection, call/response, and
+// the retry contract.
+//
+// The daemon never queues past its admission cap — it answers RETRY_AFTER
+// with a backoff hint instead (serve/admission.h). The client half of
+// that contract lives here: CallWithRetry honors the hint, layers
+// jittered exponential backoff on top (full jitter: sleep a uniform
+// draw from [0, min(cap, base * 2^attempt)], the standard herd-dispersal
+// scheme), and gives up after `max_attempts`. Only RETRY_AFTER is
+// retried — every other error code is a permanent answer for that
+// request, and a transport error means the connection is dead (this
+// client does not reconnect; the owner decides).
+//
+// Not thread-safe: one Client per connection per thread, matching the
+// daemon's one-request-at-a-time connection lane.
+
+#ifndef NWD_SERVE_CLIENT_H_
+#define NWD_SERVE_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "serve/wire.h"
+#include "util/rng.h"
+
+namespace nwd {
+namespace serve {
+
+struct BackoffPolicy {
+  int max_attempts = 8;      // total tries (first call included)
+  int64_t base_ms = 2;       // first retry's backoff cap
+  int64_t max_ms = 250;      // backoff cap growth ceiling
+};
+
+class Client {
+ public:
+  // Borrows the fds (caller owns/closes). `seed` drives the backoff
+  // jitter — deterministic per client, so soak runs are replayable.
+  Client(int read_fd, int write_fd, uint64_t seed,
+         int64_t max_frame_bytes = int64_t{1} << 20);
+
+  // One request, one collected response. Returns false on transport
+  // failure (response.transport_error also set); protocol-level errors
+  // (err frames) return true with response.ok == false.
+  bool Call(const std::string& request, Response* response);
+
+  // Call + the retry contract: on RETRY_AFTER, sleeps
+  // max(hint, full-jitter backoff) and retries, up to
+  // policy.max_attempts. Other outcomes return immediately.
+  bool CallWithRetry(const std::string& request, const BackoffPolicy& policy,
+                     Response* response);
+
+  // RETRY_AFTER rounds absorbed by CallWithRetry since construction.
+  int64_t retries() const { return retries_; }
+  // Total milliseconds slept in backoff since construction.
+  int64_t backoff_ms() const { return backoff_ms_; }
+
+ private:
+  FdStream stream_;
+  size_t max_frame_bytes_;
+  Rng rng_;
+  int64_t retries_ = 0;
+  int64_t backoff_ms_ = 0;
+};
+
+}  // namespace serve
+}  // namespace nwd
+
+#endif  // NWD_SERVE_CLIENT_H_

@@ -1,0 +1,352 @@
+#include "serve/wire.h"
+
+#include <errno.h>
+#include <poll.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace nwd {
+namespace serve {
+namespace {
+
+// Splits `line` into whitespace-separated tokens.
+std::vector<std::string_view> Tokenize(std::string_view line) {
+  std::vector<std::string_view> tokens;
+  size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    size_t j = i;
+    while (j < line.size() && line[j] != ' ' && line[j] != '\t') ++j;
+    if (j > i) tokens.push_back(line.substr(i, j - i));
+    i = j;
+  }
+  return tokens;
+}
+
+// Strict non-negative integer parse of a whole token.
+bool ParseInt(std::string_view text, int64_t* out) {
+  if (text.empty() || text.size() > 19) return false;
+  int64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + (c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+// Consumes a `key=value` token: true (and sets *value) iff token is one.
+bool KeyValue(std::string_view token, std::string_view key,
+              std::string_view* value) {
+  if (token.size() <= key.size() + 1) return false;
+  if (token.substr(0, key.size()) != key) return false;
+  if (token[key.size()] != '=') return false;
+  *value = token.substr(key.size() + 1);
+  return true;
+}
+
+}  // namespace
+
+const char* ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kBadFrame: return "BAD_FRAME";
+    case ErrorCode::kBadRequest: return "BAD_REQUEST";
+    case ErrorCode::kOutOfRange: return "OUT_OF_RANGE";
+    case ErrorCode::kNoGraph: return "NO_GRAPH";
+    case ErrorCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case ErrorCode::kRetryAfter: return "RETRY_AFTER";
+    case ErrorCode::kShuttingDown: return "SHUTTING_DOWN";
+    case ErrorCode::kInternal: return "INTERNAL";
+  }
+  return "INTERNAL";
+}
+
+std::optional<ErrorCode> ParseErrorCode(std::string_view name) {
+  static constexpr ErrorCode kAll[] = {
+      ErrorCode::kBadFrame,         ErrorCode::kBadRequest,
+      ErrorCode::kOutOfRange,       ErrorCode::kNoGraph,
+      ErrorCode::kDeadlineExceeded, ErrorCode::kRetryAfter,
+      ErrorCode::kShuttingDown,     ErrorCode::kInternal,
+  };
+  for (const ErrorCode code : kAll) {
+    if (name == ErrorCodeName(code)) return code;
+  }
+  return std::nullopt;
+}
+
+bool FdStream::ReadAll(void* buf, size_t len) {
+  char* p = static_cast<char*>(buf);
+  while (len > 0) {
+    const ssize_t n = ::read(read_fd_, p, len);
+    if (n > 0) {
+      p += n;
+      len -= static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;  // EOF or error
+  }
+  return true;
+}
+
+bool FdStream::WriteAll(const void* buf, size_t len) {
+  const char* p = static_cast<const char*>(buf);
+  while (len > 0) {
+    if (write_timeout_ms_ > 0) {
+      struct pollfd pfd;
+      pfd.fd = write_fd_;
+      pfd.events = POLLOUT;
+      pfd.revents = 0;
+      const int rv = ::poll(&pfd, 1, static_cast<int>(write_timeout_ms_));
+      if (rv == 0) return false;  // stuck client: give up
+      if (rv < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      if ((pfd.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0 &&
+          (pfd.revents & POLLOUT) == 0) {
+        return false;
+      }
+    }
+    const ssize_t n = ::write(write_fd_, p, len);
+    if (n > 0) {
+      p += n;
+      len -= static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EINTR ||
+                  (write_timeout_ms_ > 0 && errno == EAGAIN))) {
+      continue;  // EAGAIN: poll said ready but buffer raced; retry
+    }
+    return false;  // EPIPE (client died) or hard error
+  }
+  return true;
+}
+
+FrameStatus ReadFrame(FdStream* stream, size_t max_len,
+                      std::string* payload) {
+  uint8_t header[4];
+  {
+    // Distinguish clean EOF (no bytes of the next frame) from a stream
+    // truncated mid-header.
+    char* p = reinterpret_cast<char*>(header);
+    size_t got = 0;
+    while (got < sizeof(header)) {
+      const ssize_t n = ::read(stream->read_fd(), p + got,
+                               sizeof(header) - got);
+      if (n > 0) {
+        got += static_cast<size_t>(n);
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      return got == 0 ? FrameStatus::kEof : FrameStatus::kIoError;
+    }
+  }
+  const uint64_t len = static_cast<uint64_t>(header[0]) |
+                       (static_cast<uint64_t>(header[1]) << 8) |
+                       (static_cast<uint64_t>(header[2]) << 16) |
+                       (static_cast<uint64_t>(header[3]) << 24);
+  if (len == 0 || len > max_len) return FrameStatus::kTooBig;
+  payload->resize(static_cast<size_t>(len));
+  if (!stream->ReadAll(payload->data(), payload->size())) {
+    return FrameStatus::kIoError;
+  }
+  return FrameStatus::kOk;
+}
+
+bool WriteFrame(FdStream* stream, std::string_view payload) {
+  const uint64_t len = payload.size();
+  if (len == 0 || len > 0xFFFFFFFFull) return false;
+  const uint8_t header[4] = {
+      static_cast<uint8_t>(len & 0xFF),
+      static_cast<uint8_t>((len >> 8) & 0xFF),
+      static_cast<uint8_t>((len >> 16) & 0xFF),
+      static_cast<uint8_t>((len >> 24) & 0xFF),
+  };
+  if (!stream->WriteAll(header, sizeof(header))) return false;
+  return stream->WriteAll(payload.data(), payload.size());
+}
+
+bool ParseTupleText(std::string_view text, Tuple* out) {
+  out->clear();
+  size_t i = 0;
+  while (i <= text.size()) {
+    size_t j = i;
+    while (j < text.size() && text[j] != ',') ++j;
+    int64_t value = 0;
+    if (!ParseInt(text.substr(i, j - i), &value)) return false;
+    out->push_back(value);
+    if (j == text.size()) return true;
+    i = j + 1;  // skip ','; a trailing ',' re-enters with i == size
+    if (i == text.size()) return false;  // "3,7," is malformed
+  }
+  return !out->empty();
+}
+
+std::string FormatTuple(const Tuple& t) {
+  std::string out;
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (i > 0) out += ',';
+    out += std::to_string(t[i]);
+  }
+  return out;
+}
+
+bool ParseRequest(std::string_view line, Request* out, std::string* error) {
+  *out = Request{};
+  const std::vector<std::string_view> tokens = Tokenize(line);
+  if (tokens.empty()) {
+    *error = "empty request";
+    return false;
+  }
+  const std::string_view op = tokens[0];
+  size_t next_arg = 1;
+  if (op == "ping") {
+    out->op = RequestOp::kPing;
+  } else if (op == "metrics") {
+    out->op = RequestOp::kMetrics;
+  } else if (op == "stats") {
+    out->op = RequestOp::kStats;
+  } else if (op == "shutdown") {
+    out->op = RequestOp::kShutdown;
+  } else if (op == "test" || op == "next") {
+    out->op = op == "test" ? RequestOp::kTest : RequestOp::kNext;
+    if (tokens.size() < 2 || !ParseTupleText(tokens[1], &out->tuple)) {
+      *error = std::string(op) + " needs a comma-separated tuple";
+      return false;
+    }
+    next_arg = 2;
+  } else if (op == "enumerate") {
+    out->op = RequestOp::kEnumerate;
+  } else if (op == "reload") {
+    out->op = RequestOp::kReload;
+    if (tokens.size() < 2 || tokens[1].find('=') != std::string_view::npos) {
+      *error = "reload needs a source (file:<path> or gen:<class>:<n>:<seed>)";
+      return false;
+    }
+    out->source = std::string(tokens[1]);
+    next_arg = 2;
+  } else {
+    *error = "unknown op '" + std::string(op) + "'";
+    return false;
+  }
+  for (size_t i = next_arg; i < tokens.size(); ++i) {
+    std::string_view value;
+    if (KeyValue(tokens[i], "deadline_ms", &value)) {
+      if (!ParseInt(value, &out->deadline_ms)) {
+        *error = "bad deadline_ms";
+        return false;
+      }
+    } else if (KeyValue(tokens[i], "limit", &value) &&
+               out->op == RequestOp::kEnumerate) {
+      if (!ParseInt(value, &out->limit)) {
+        *error = "bad limit";
+        return false;
+      }
+    } else if (KeyValue(tokens[i], "from", &value) &&
+               out->op == RequestOp::kEnumerate) {
+      if (!ParseTupleText(value, &out->tuple)) {
+        *error = "bad from= tuple";
+        return false;
+      }
+      out->has_from = true;
+    } else if (KeyValue(tokens[i], "budget_ms", &value) &&
+               out->op == RequestOp::kReload) {
+      if (!ParseInt(value, &out->budget_ms)) {
+        *error = "bad budget_ms";
+        return false;
+      }
+    } else if (KeyValue(tokens[i], "max_edge_work", &value) &&
+               out->op == RequestOp::kReload) {
+      if (!ParseInt(value, &out->max_edge_work)) {
+        *error = "bad max_edge_work";
+        return false;
+      }
+    } else {
+      *error = "unknown argument '" + std::string(tokens[i]) + "'";
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string FormatError(ErrorCode code, std::string_view message,
+                        int64_t retry_after_ms) {
+  std::string out = "err ";
+  out += ErrorCodeName(code);
+  if (retry_after_ms > 0) {
+    out += " retry_after_ms=" + std::to_string(retry_after_ms);
+  }
+  if (!message.empty()) {
+    out += ' ';
+    out += message;
+  }
+  return out;
+}
+
+std::optional<std::string> FindToken(std::string_view line,
+                                     std::string_view key) {
+  for (const std::string_view token : Tokenize(line)) {
+    std::string_view value;
+    if (KeyValue(token, key, &value)) return std::string(value);
+  }
+  return std::nullopt;
+}
+
+bool ReadResponse(FdStream* stream, size_t max_len, Response* out) {
+  *out = Response{};
+  std::string payload;
+  while (true) {
+    const FrameStatus status = ReadFrame(stream, max_len, &payload);
+    if (status != FrameStatus::kOk) {
+      out->transport_error = true;
+      return false;
+    }
+    // `ans` frames stream; anything else is the final frame.
+    if (payload.size() > 4 && payload.compare(0, 4, "ans ") == 0) {
+      Tuple t;
+      if (!ParseTupleText(
+              std::string_view(payload).substr(4), &t)) {
+        out->transport_error = true;  // server bug; treat as broken lane
+        return false;
+      }
+      out->answers.push_back(std::move(t));
+      continue;
+    }
+    const size_t eol = payload.find('\n');
+    out->head = payload.substr(0, eol);
+    if (eol != std::string::npos) out->body = payload.substr(eol + 1);
+    if (const auto epoch = FindToken(out->head, "epoch")) {
+      int64_t value = 0;
+      if (ParseInt(*epoch, &value)) out->epoch = value;
+    }
+    if (const auto count = FindToken(out->head, "count")) {
+      int64_t value = 0;
+      if (ParseInt(*count, &value)) out->count = value;
+    }
+    if (out->head.compare(0, 3, "ok ") == 0 ||
+        out->head.compare(0, 4, "end ") == 0 || out->head == "end") {
+      out->ok = true;
+      return true;
+    }
+    if (out->head.compare(0, 4, "err ") == 0) {
+      const std::vector<std::string_view> tokens = Tokenize(out->head);
+      if (tokens.size() >= 2) {
+        if (const auto code = ParseErrorCode(tokens[1])) out->code = *code;
+      }
+      if (const auto retry = FindToken(out->head, "retry_after_ms")) {
+        int64_t value = 0;
+        if (ParseInt(*retry, &value)) out->retry_after_ms = value;
+      }
+      return true;
+    }
+    out->transport_error = true;  // unrecognized frame: broken lane
+    return false;
+  }
+}
+
+}  // namespace serve
+}  // namespace nwd

@@ -1,32 +1,89 @@
 #include "util/fault_injection.h"
 
 #include <atomic>
+#include <cstdlib>
 #include <mutex>
+
+#include "util/rng.h"
 
 namespace nwd {
 namespace fault_injection {
 namespace {
 
 std::atomic<bool> g_armed{false};
+std::atomic<bool> g_env_checked{false};
 std::atomic<int64_t> g_fire_count{0};
 std::mutex g_mu;            // guards the fields below
-std::string g_point;        // armed point name
+std::string g_point;        // armed point name (may end in '*' = prefix)
 Mode g_mode = Mode::kOnce;  // armed mode
+double g_probability = 1.0;  // kProbabilistic fire chance
 bool g_spent = false;       // a kOnce point already fired
+Rng* g_rng = nullptr;       // probabilistic coin (lazily created)
+
+// Whether the armed name matches `point`: exact, or prefix when the armed
+// name ends in '*' ("serve/*" matches "serve/frame/corrupt").
+bool Matches(const std::string& armed, std::string_view point) {
+  if (!armed.empty() && armed.back() == '*') {
+    const std::string_view prefix(armed.data(), armed.size() - 1);
+    return point.substr(0, prefix.size()) == prefix;
+  }
+  return armed == point;
+}
+
+// One-time environment arming (NWD_FAULT_POINT / NWD_FAULT_PROB /
+// NWD_FAULT_SEED). Runs under g_mu; skipped once a programmatic Arm() has
+// happened (Arm sets g_env_checked so the env never overrides it).
+void MaybeArmFromEnvLocked() {
+  if (g_env_checked.load(std::memory_order_relaxed)) return;
+  g_env_checked.store(true, std::memory_order_relaxed);
+  const char* point = std::getenv("NWD_FAULT_POINT");
+  if (point == nullptr || point[0] == '\0') return;
+  g_point = point;
+  g_spent = false;
+  g_fire_count.store(0, std::memory_order_relaxed);
+  const char* prob = std::getenv("NWD_FAULT_PROB");
+  if (prob != nullptr && prob[0] != '\0') {
+    char* end = nullptr;
+    const double p = std::strtod(prob, &end);
+    if (end != prob && p >= 0.0 && p < 1.0) {
+      g_mode = Mode::kProbabilistic;
+      g_probability = p;
+    } else {
+      g_mode = Mode::kEveryHit;  // p >= 1 or malformed: fire always
+      g_probability = 1.0;
+    }
+  } else {
+    g_mode = Mode::kEveryHit;
+  }
+  uint64_t seed = 0x5eedf417u;
+  const char* seed_env = std::getenv("NWD_FAULT_SEED");
+  if (seed_env != nullptr && seed_env[0] != '\0') {
+    seed = std::strtoull(seed_env, nullptr, 10);
+  }
+  delete g_rng;
+  g_rng = new Rng(seed);
+  g_armed.store(true, std::memory_order_release);
+}
 
 }  // namespace
 
-void Arm(std::string_view point, Mode mode) {
+void Arm(std::string_view point, Mode mode, double probability) {
   std::lock_guard<std::mutex> lock(g_mu);
+  g_env_checked.store(true, std::memory_order_relaxed);  // Arm beats env
   g_point = std::string(point);
   g_mode = mode;
+  g_probability = probability;
   g_spent = false;
+  if (mode == Mode::kProbabilistic && g_rng == nullptr) {
+    g_rng = new Rng(0x5eedf417u);
+  }
   g_fire_count.store(0, std::memory_order_relaxed);
   g_armed.store(true, std::memory_order_release);
 }
 
 void Disarm() {
   std::lock_guard<std::mutex> lock(g_mu);
+  g_env_checked.store(true, std::memory_order_relaxed);  // env stays off
   g_armed.store(false, std::memory_order_release);
   g_point.clear();
 }
@@ -34,13 +91,23 @@ void Disarm() {
 int64_t FireCount() { return g_fire_count.load(std::memory_order_relaxed); }
 
 bool ShouldFail(std::string_view point) {
-  if (!g_armed.load(std::memory_order_acquire)) return false;
+  if (g_env_checked.load(std::memory_order_acquire)) {
+    if (!g_armed.load(std::memory_order_acquire)) return false;
+  }
   std::lock_guard<std::mutex> lock(g_mu);
+  MaybeArmFromEnvLocked();
   if (!g_armed.load(std::memory_order_relaxed)) return false;
-  if (g_point != point) return false;
-  if (g_mode == Mode::kOnce) {
-    if (g_spent) return false;
-    g_spent = true;
+  if (!Matches(g_point, point)) return false;
+  switch (g_mode) {
+    case Mode::kOnce:
+      if (g_spent) return false;
+      g_spent = true;
+      break;
+    case Mode::kEveryHit:
+      break;
+    case Mode::kProbabilistic:
+      if (g_rng == nullptr || !g_rng->NextBool(g_probability)) return false;
+      break;
   }
   g_fire_count.fetch_add(1, std::memory_order_relaxed);
   return true;

@@ -7,12 +7,43 @@
 // which is a single relaxed atomic load when no fault is armed (the
 // always-compiled cost). Tests arm one point by name via
 // fault_injection::ScopedFault; the next time execution reaches that point
-// the macro returns true (once per Arm by default, or on every hit with
-// kEveryHit), letting tests force the engine through each degradation path
-// and assert the degraded answers still match the naive evaluator.
+// the macro returns true (once per Arm by default, on every hit with
+// kEveryHit, or on a p-coin-flip per hit with kProbabilistic), letting
+// tests force the engine through each degradation path and assert the
+// degraded answers still match the naive evaluator.
+//
+// Point namespaces in the tree:
+//   engine/*  — the seven prepare stages (PR 2): density, cover, kernels,
+//               oracle, lists, skips, extendable (+ kernels/{serial,
+//               parallel} variants).
+//   answer/*  — answer-path points. Firing is behavior-preserving (the
+//               probe takes a slower but equivalent route), so soak tests
+//               can fire them randomly while asserting bit-identical
+//               answers: answer/ball_cache (skip the Case II ball cache,
+//               forcing a fresh BFS), answer/pool_miss (skip the
+//               ProbeContext free-list, forcing a fresh context).
+//   serve/*   — serving-layer points (see serve/daemon.h): admission
+//               rejects, frame corruption, mid-stream aborts, deadline
+//               trips, worker death. Firing routes the request to the
+//               corresponding typed-error path; the daemon must survive.
+//
+// Arming matches either an exact point name or, when the armed name ends
+// in '*', any point with that prefix ("serve/*" arms every serving-layer
+// point). Besides programmatic Arm(), the environment can arm a point for
+// whole-process soak runs:
+//
+//   NWD_FAULT_POINT=serve/*        point name or prefix to arm
+//   NWD_FAULT_PROB=0.01            per-hit fire probability (armed mode
+//                                  becomes kProbabilistic; default 1.0 =
+//                                  kEveryHit)
+//   NWD_FAULT_SEED=42              seed of the probabilistic coin
+//
+// The environment is read once, on first use; a later programmatic Arm()
+// or Disarm() replaces/clears the env arming.
 //
 // Arming is process-global and meant for single-threaded test setup; the
-// points themselves may be polled from parallel stages (atomic fast path).
+// points themselves may be polled from parallel stages (atomic fast path,
+// mutex-serialized slow path — the probabilistic coin is shared).
 
 #ifndef NWD_UTIL_FAULT_INJECTION_H_
 #define NWD_UTIL_FAULT_INJECTION_H_
@@ -24,14 +55,18 @@ namespace nwd {
 namespace fault_injection {
 
 enum class Mode {
-  kOnce,      // fire on the first hit, then disarm
-  kEveryHit,  // fire on every hit until Disarm()
+  kOnce,           // fire on the first hit, then disarm
+  kEveryHit,       // fire on every hit until Disarm()
+  kProbabilistic,  // fire each hit with probability `probability`
 };
 
-// Arms `point`; replaces any previously armed point.
-void Arm(std::string_view point, Mode mode = Mode::kOnce);
+// Arms `point` (exact name, or prefix when ending in '*'); replaces any
+// previously armed point. `probability` only matters for kProbabilistic.
+void Arm(std::string_view point, Mode mode = Mode::kOnce,
+         double probability = 1.0);
 
-// Disarms whatever is armed (no-op if nothing is).
+// Disarms whatever is armed (no-op if nothing is), including an
+// environment-armed point.
 void Disarm();
 
 // Number of times the armed point fired since the last Arm().
@@ -44,8 +79,9 @@ bool ShouldFail(std::string_view point);
 // RAII arming for tests.
 class ScopedFault {
  public:
-  explicit ScopedFault(std::string_view point, Mode mode = Mode::kOnce) {
-    Arm(point, mode);
+  explicit ScopedFault(std::string_view point, Mode mode = Mode::kOnce,
+                       double probability = 1.0) {
+    Arm(point, mode, probability);
   }
   ~ScopedFault() { Disarm(); }
 

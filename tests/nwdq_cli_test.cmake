@@ -257,6 +257,39 @@ if(NOT trace_doc MATCHES "engine/prepare")
   message(SEND_ERROR "obs_export: trace lacks the prepare span:\n${trace_doc}")
 endif()
 
+# --- SIGPIPE robustness ---------------------------------------------------
+# Piping a large enumeration into a consumer that exits early (head -n 2)
+# closes the pipe mid-stream. The writer must treat that as a clean end of
+# output and exit 0 — not die of SIGPIPE (exit 141) or report an error.
+# The 100-vertex clique under a one-unit work cap enumerates ~19k lines,
+# comfortably past the kernel pipe buffer, so the closed pipe is actually
+# observed.
+find_program(BASH_PROGRAM bash)
+if(BASH_PROGRAM)
+  set(BIG_CLIQUE_GRAPH "${WORK_DIR}/clique100.g")
+  set(big_clique_lines "graph 100 1\n")
+  foreach(u RANGE 0 99)
+    foreach(v RANGE 0 99)
+      if(u LESS v)
+        string(APPEND big_clique_lines "e ${u} ${v}\n")
+      endif()
+    endforeach()
+  endforeach()
+  file(WRITE "${BIG_CLIQUE_GRAPH}" "${big_clique_lines}")
+  execute_process(
+    COMMAND ${BASH_PROGRAM} -c
+      "\"$1\" \"$2\" '(x, y) := E(x, y)' --max-edge-work 1 | head -n 2 > /dev/null; exit \${PIPESTATUS[0]}"
+      bash ${NWDQ} ${BIG_CLIQUE_GRAPH}
+    RESULT_VARIABLE exit_code
+    ERROR_VARIABLE err
+    TIMEOUT 60)
+  if(NOT exit_code STREQUAL "0")
+    message(SEND_ERROR
+      "sigpipe_head: expected exit 0 when the output pipe closes early, "
+      "got '${exit_code}'\nstderr: ${err}")
+  endif()
+endif()
+
 # --test / --next still work on a degraded engine.
 run(degraded_test 0 "" "${CLIQUE_GRAPH}" "(x, y) := E(x, y)"
     --max-edge-work 1 --test 3,7)

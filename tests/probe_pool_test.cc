@@ -1,0 +1,214 @@
+// Property tests for the ProbeContext pool under churn: the pool grows to
+// peak probe concurrency and no further, leaks nothing even when the
+// answer/pool_miss fault forces every acquire down the fresh-allocation
+// path, survives probe churn across live epoch swaps (the TSan twin
+// checks the races, the ASan twin the frees), and a steady-state Test()
+// probe performs zero heap allocations.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "enumerate/engine.h"
+#include "enumerate/probe_context.h"
+#include "fo/parser.h"
+#include "serve/daemon.h"
+#include "serve/snapshot.h"
+#include "util/fault_injection.h"
+#include "util/lex.h"
+#include "util/rng.h"
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define NWD_UNDER_SANITIZER 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define NWD_UNDER_SANITIZER 1
+#endif
+#endif
+
+// Counting global allocator: every operator new in this binary bumps the
+// counter while the gate is open. The gate is only opened around a
+// single-threaded measurement window.
+namespace {
+std::atomic<bool> g_count_allocs{false};
+std::atomic<int64_t> g_alloc_count{0};
+
+void* CountedAlloc(std::size_t size) {
+  if (g_count_allocs.load(std::memory_order_relaxed)) {
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  }
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return CountedAlloc(size); }
+void* operator new[](std::size_t size) { return CountedAlloc(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace nwd {
+namespace {
+
+TEST(ProbePoolTest, PoolGrowsToPeakConcurrencyAndNoFurther) {
+  ProbeContextPool pool(/*num_vertices=*/64);
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 3000;
+  std::atomic<int64_t> concurrent{0};
+  std::atomic<int64_t> peak{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(static_cast<uint64_t>(t) + 1);
+      for (int i = 0; i < kIterations; ++i) {
+        const int64_t now = concurrent.fetch_add(1) + 1;
+        int64_t seen = peak.load(std::memory_order_relaxed);
+        while (now > seen && !peak.compare_exchange_weak(seen, now)) {
+        }
+        {
+          ScopedProbeContext ctx(&pool);
+          ctx->probes_served.fetch_add(1, std::memory_order_relaxed);
+          if (rng.NextBounded(16) == 0) {
+            std::this_thread::yield();  // widen the overlap window
+          }
+        }
+        concurrent.fetch_sub(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const AnswerCounters counters = pool.Drain();
+  EXPECT_EQ(kThreads * kIterations, counters.probes_served);
+  EXPECT_GE(counters.contexts, 1);
+  EXPECT_LE(counters.contexts, peak.load())
+      << "pool allocated beyond peak concurrency";
+}
+
+TEST(ProbePoolTest, PoolMissFaultAllocatesFreshButLeaksNothing) {
+  ProbeContextPool pool(/*num_vertices=*/32);
+  constexpr int kThreads = 4;
+  constexpr int kIterations = 200;
+  {
+    fault_injection::ScopedFault fault("answer/pool_miss",
+                                       fault_injection::Mode::kEveryHit);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&] {
+        for (int i = 0; i < kIterations; ++i) {
+          ScopedProbeContext ctx(&pool);
+          ctx->probes_served.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  // Every acquire skipped the free list, so every context is a fresh
+  // allocation — but all of them are owned by the pool (Drain sees every
+  // counter; ASan sees no leak at exit).
+  const AnswerCounters counters = pool.Drain();
+  EXPECT_EQ(kThreads * kIterations, counters.probes_served);
+  EXPECT_EQ(kThreads * kIterations, counters.contexts);
+}
+
+TEST(ProbePoolTest, ProbeChurnAcrossEpochSwaps) {
+  fo::ParseResult parsed = fo::ParseFormula("E(x, y)");
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  serve::SnapshotRegistry registry;
+  auto publish = [&](const std::string& source) {
+    auto snapshot = std::make_unique<serve::EngineSnapshot>();
+    snapshot->source = source;
+    snapshot->query = parsed.query;
+    std::string error;
+    ASSERT_TRUE(serve::BuildGraphFromSource(source, GraphParseLimits{},
+                                            &snapshot->graph, &error))
+        << error;
+    EngineOptions options;
+    options.num_threads = 1;
+    snapshot->Prepare(options);
+    registry.Publish(std::move(snapshot));
+  };
+  publish("gen:tree:120:1");
+
+  std::atomic<bool> stop{false};
+  constexpr int kProbers = 4;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kProbers; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(static_cast<uint64_t>(t) + 11);
+      while (!stop.load(std::memory_order_acquire)) {
+        // The acquired shared_ptr pins the snapshot: the engine (and its
+        // pool) must stay fully usable even if a publish retires it
+        // mid-probe, and must destruct cleanly when the last pin drops.
+        const auto snapshot = registry.Acquire();
+        const int64_t n = snapshot->engine->universe();
+        Tuple t2{static_cast<int64_t>(rng.NextBounded(n)),
+                 static_cast<int64_t>(rng.NextBounded(n))};
+        (void)snapshot->engine->Test(t2);
+        (void)snapshot->engine->Next(t2);
+      }
+    });
+  }
+  for (int swap = 0; swap < 12; ++swap) {
+    publish(swap % 2 == 0 ? "gen:tree:90:2" : "gen:caterpillar:80:3");
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : threads) t.join();
+
+  // The final snapshot's pool is bounded by the probe concurrency.
+  const auto last = registry.Acquire();
+  (void)last->engine->Test(Tuple{0, 1});
+  const AnswerCounters counters = last->engine->DrainAnswerStats();
+  EXPECT_GE(counters.contexts, 1);
+  EXPECT_LE(counters.contexts, kProbers + 1);
+}
+
+TEST(ProbePoolTest, SteadyStateTestProbeAllocatesNothing) {
+#ifdef NWD_UNDER_SANITIZER
+  GTEST_SKIP() << "allocation counting is meaningless under sanitizers";
+#else
+  fo::ParseResult parsed = fo::ParseFormula("E(x, y) | dist(x, y) <= 2");
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  ColoredGraph graph;
+  std::string error;
+  ASSERT_TRUE(serve::BuildGraphFromSource("gen:bdeg:400:3",
+                                          GraphParseLimits{}, &graph,
+                                          &error))
+      << error;
+  EngineOptions options;
+  options.num_threads = 1;  // nothing else may touch the heap mid-window
+  EnumerationEngine engine(graph, parsed.query, options);
+
+  std::vector<Tuple> tuples;
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    tuples.push_back(Tuple{static_cast<int64_t>(rng.NextBounded(400)),
+                           static_cast<int64_t>(rng.NextBounded(400))});
+  }
+  // Warm up: grow the pooled context's scratch, cache arena, and descent
+  // buffers to their steady-state capacity.
+  for (int round = 0; round < 2; ++round) {
+    for (const Tuple& t : tuples) (void)engine.Test(t);
+  }
+  // Measure: the same probes again must not allocate at all.
+  g_alloc_count.store(0);
+  g_count_allocs.store(true);
+  for (const Tuple& t : tuples) (void)engine.Test(t);
+  g_count_allocs.store(false);
+  EXPECT_EQ(0, g_alloc_count.load())
+      << "steady-state Test() touched the heap";
+#endif
+}
+
+}  // namespace
+}  // namespace nwd

@@ -1,0 +1,575 @@
+// Randomized soak of the serving daemon, the acceptance harness for the
+// robustness contract:
+//
+//   * zero hangs / crashes: every request reaches a final frame (ctest
+//     TIMEOUT is the outer net; ReadResponse never spins);
+//   * streams are single-epoch or typed-error-terminated: each recorded
+//     stream/probe is replayed against a serially rebuilt engine for its
+//     epoch (the gen:<class>:<n>:<seed> specs are bit-reproducible) and
+//     must match exactly (completed) or be an exact prefix (aborted);
+//   * the daemon's own accounting closes: once quiescent,
+//     requests + bad_frames == responses_ok + responses_err +
+//     dropped_conns + worker_deaths.
+//
+// Two soaks run: a clean one with behavior-preserving answer-path faults
+// (answer/*) armed probabilistically — answers must stay bit-identical —
+// and a hostile one with every serving-layer fault (serve/*) firing at
+// random, plus garbage frames and mid-stream client deaths from the
+// chaos clients themselves.
+//
+// NWD_SOAK_MS scales the per-soak duration (default 1500 ms, CI-sized;
+// the EXPERIMENTS.md acceptance run uses 30000 per soak).
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "enumerate/engine.h"
+#include "fo/parser.h"
+#include "obs/metrics.h"
+#include "serve/client.h"
+#include "serve/daemon.h"
+#include "serve/wire.h"
+#include "util/fault_injection.h"
+#include "util/lex.h"
+#include "util/rng.h"
+
+namespace nwd {
+namespace serve {
+namespace {
+
+// --- Fault-injection plumbing the soak relies on -----------------------
+// These run first in this binary: the env test must execute before any
+// other code in the process trips a fault point (the environment is read
+// once, on first use).
+
+TEST(FaultEnvTest, EnvironmentArmsPointsForWholeProcessSoaks) {
+  ::setenv("NWD_FAULT_POINT", "soak/env/point", 1);
+  ::setenv("NWD_FAULT_PROB", "1.0", 1);  // >= 1 means every hit
+  EXPECT_TRUE(fault_injection::ShouldFail("soak/env/point"));
+  EXPECT_TRUE(fault_injection::ShouldFail("soak/env/point"));
+  EXPECT_FALSE(fault_injection::ShouldFail("soak/env/other"));
+  EXPECT_GE(fault_injection::FireCount(), 2);
+  fault_injection::Disarm();  // also clears the env arming
+  EXPECT_FALSE(fault_injection::ShouldFail("soak/env/point"));
+  ::unsetenv("NWD_FAULT_POINT");
+  ::unsetenv("NWD_FAULT_PROB");
+}
+
+TEST(FaultEnvTest, PrefixArmingMatchesWholeNamespaces) {
+  fault_injection::Arm("serve/*", fault_injection::Mode::kEveryHit);
+  EXPECT_TRUE(fault_injection::ShouldFail("serve/stream/abort"));
+  EXPECT_TRUE(fault_injection::ShouldFail("serve/anything"));
+  EXPECT_FALSE(fault_injection::ShouldFail("answer/pool_miss"));
+  fault_injection::Disarm();
+  EXPECT_FALSE(fault_injection::ShouldFail("serve/stream/abort"));
+}
+
+TEST(FaultEnvTest, ProbabilisticModeFiresAtRoughlyTheArmedRate) {
+  fault_injection::Arm("soak/coin", fault_injection::Mode::kProbabilistic,
+                       0.5);
+  int fired = 0;
+  for (int i = 0; i < 400; ++i) {
+    if (fault_injection::ShouldFail("soak/coin")) ++fired;
+  }
+  fault_injection::Disarm();
+  // 400 fair-ish coin flips: far from 0 and far from 400.
+  EXPECT_GT(fired, 100);
+  EXPECT_LT(fired, 300);
+}
+
+// --- The soak itself ---------------------------------------------------
+
+int64_t SoakMs() {
+  const char* env = std::getenv("NWD_SOAK_MS");
+  if (env != nullptr) {
+    const long long ms = std::atoll(env);
+    if (ms > 0) return ms;
+  }
+  return 1500;
+}
+
+struct ProbeRecord {
+  bool is_test = false;
+  Tuple tuple;
+  bool test_result = false;
+  std::optional<Tuple> next_result;
+  int64_t epoch = -1;
+};
+
+struct StreamRecord {
+  std::optional<Tuple> from;
+  int64_t limit = -1;  // -1 = unbounded
+  std::vector<Tuple> answers;
+  int64_t epoch = -1;
+  bool completed = false;  // `end` (true) vs typed error with epoch (false)
+  int64_t count = -1;      // count= on `end`
+};
+
+struct ChaosResult {
+  std::vector<ProbeRecord> probes;
+  std::vector<StreamRecord> streams;
+  int64_t ops = 0;
+  int64_t reconnects = 0;
+};
+
+constexpr const char* kInitialSource = "gen:tree:300:1";
+constexpr size_t kMaxRecordsPerThread = 4000;
+
+std::string SpecForRound(int64_t i) {
+  const char* classes[] = {"tree", "bdeg", "caterpillar"};
+  const int64_t n = 80 + (i * 37) % 250;
+  return std::string("gen:") + classes[i % 3] + ":" + std::to_string(n) +
+         ":" + std::to_string(i + 1);
+}
+
+class SoakHarness {
+ public:
+  explicit SoakHarness(const fo::Query& query) : query_(query) {
+    DaemonOptions options;
+    options.max_inflight = 4;
+    options.write_timeout_ms = 20000;
+    daemon_ = std::make_unique<Daemon>(query, options);
+    std::string error;
+    if (!daemon_->LoadInitialSnapshot(kInitialSource, &error)) {
+      ADD_FAILURE() << error;
+    }
+    epoch_specs_[1] = kInitialSource;
+  }
+
+  Daemon& daemon() { return *daemon_; }
+
+  int Connect() {
+    int sv[2] = {-1, -1};
+    EXPECT_EQ(0, ::socketpair(AF_UNIX, SOCK_STREAM, 0, sv));
+    daemon_->ServeFd(sv[1], sv[1]);
+    return sv[0];
+  }
+
+  void RecordEpoch(int64_t epoch, const std::string& spec) {
+    std::lock_guard<std::mutex> lock(mu_);
+    epoch_specs_[epoch] = spec;
+  }
+
+  // The reliable reloader: cycles deterministic specs so the epoch ->
+  // graph mapping is never lost, tolerating every transient the hostile
+  // soak throws at it (rejections, corrupted frames, worker deaths).
+  void ReloaderBody(std::chrono::steady_clock::time_point deadline) {
+    int fd = Connect();
+    auto client = std::make_unique<Client>(fd, fd, /*seed=*/500);
+    int64_t round = 0;
+    BackoffPolicy policy;
+    policy.base_ms = 1;
+    policy.max_ms = 20;
+    while (std::chrono::steady_clock::now() < deadline) {
+      const std::string spec = SpecForRound(round++);
+      Response response;
+      if (!client->CallWithRetry("reload " + spec, policy, &response)) {
+        // Transport death (injected worker death / frame corruption
+        // hang-up): reconnect and move on. A reload that published
+        // always got its reply first, so no epoch is ever lost.
+        ::close(fd);
+        fd = Connect();
+        client = std::make_unique<Client>(fd, fd, /*seed=*/500 + round);
+        continue;
+      }
+      if (response.ok) {
+        RecordEpoch(response.epoch, spec);
+        ++reloads_done_;
+      } else if (response.code == ErrorCode::kBadFrame) {
+        ::close(fd);  // server hung up on an injected corrupt frame
+        fd = Connect();
+        client = std::make_unique<Client>(fd, fd, /*seed=*/500 + round);
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    }
+    ::close(fd);
+  }
+
+  ChaosResult ChaosBody(int id,
+                        std::chrono::steady_clock::time_point deadline) {
+    ChaosResult result;
+    Rng rng(1000 + static_cast<uint64_t>(id));
+    int fd = Connect();
+    auto client =
+        std::make_unique<Client>(fd, fd, /*seed=*/2000 + id);
+    auto reconnect = [&] {
+      ::close(fd);
+      fd = Connect();
+      client = std::make_unique<Client>(
+          fd, fd, /*seed=*/2000 + id + result.reconnects);
+      ++result.reconnects;
+    };
+    while (std::chrono::steady_clock::now() < deadline) {
+      ++result.ops;
+      const uint64_t die = rng.NextBounded(100);
+      Response response;
+      if (die < 8) {
+        // Malformed request text: typed BAD_REQUEST, connection lives.
+        if (!client->Call("definitely not a request", &response)) {
+          reconnect();
+          continue;
+        }
+        if (!response.ok && response.code == ErrorCode::kBadFrame) {
+          reconnect();
+        }
+        continue;
+      }
+      if (die < 13) {
+        // Garbage length prefix: BAD_FRAME and the server hangs up.
+        const uint8_t huge[4] = {0xFE, 0xFF, 0xFF, 0x7F};
+        (void)!::write(fd, huge, sizeof(huge));
+        FdStream raw(fd, fd);
+        Response last;
+        (void)ReadResponse(&raw, 1 << 20, &last);
+        reconnect();
+        continue;
+      }
+      if (die < 18) {
+        const char* op = (die % 2 == 0) ? "stats" : "metrics";
+        if (!client->Call(op, &response)) reconnect();
+        continue;
+      }
+      if (die < 23) {
+        // Start a stream, read a little, die mid-stream.
+        FdStream raw(fd, fd);
+        if (!WriteFrame(&raw, "enumerate")) {
+          reconnect();
+          continue;
+        }
+        std::string payload;
+        (void)ReadFrame(&raw, 1 << 20, &payload);
+        reconnect();
+        continue;
+      }
+      if (die < 63) {
+        // Probe. 1 in 8 is deliberately out of range or mis-aried.
+        const bool is_test = die % 2 == 0;
+        Tuple t{static_cast<int64_t>(rng.NextBounded(500)),
+                static_cast<int64_t>(rng.NextBounded(500))};
+        std::string req = std::string(is_test ? "test " : "next ");
+        if (die % 8 == 0) {
+          req += "999999,999999";
+        } else if (die % 8 == 1) {
+          req += "7";
+        } else {
+          req += FormatTuple(t);
+        }
+        if (!client->Call(req, &response)) {
+          reconnect();
+          continue;
+        }
+        if (!response.ok) {
+          if (response.code == ErrorCode::kBadFrame) reconnect();
+          continue;  // OUT_OF_RANGE / BAD_REQUEST / RETRY_AFTER / ...
+        }
+        // Verifiable success: parse the answer out of the head.
+        if (response.epoch < 0 ||
+            result.probes.size() >= kMaxRecordsPerThread) {
+          continue;
+        }
+        ProbeRecord record;
+        record.is_test = is_test;
+        record.tuple = t;
+        record.epoch = response.epoch;
+        const std::string& head = response.head;
+        if (is_test) {
+          record.test_result = head.find("ok test 1") == 0;
+        } else if (head.find("ok next none") == 0) {
+          record.next_result = std::nullopt;
+        } else {
+          Tuple parsed;
+          const size_t start = std::string("ok next ").size();
+          const size_t end = head.find(' ', start);
+          if (!ParseTupleText(
+                  std::string_view(head).substr(start, end - start),
+                  &parsed)) {
+            ADD_FAILURE() << "unparseable next reply: " << head;
+            continue;
+          }
+          record.next_result = std::move(parsed);
+        }
+        // Probes on components >= n get OUT_OF_RANGE (handled above),
+        // so a success here is in-range for its epoch's graph.
+        result.probes.push_back(std::move(record));
+        continue;
+      }
+      // Enumerate: bounded limits, optional from= and deadline_ms=.
+      std::string req = "enumerate";
+      int64_t limit = -1;
+      std::optional<Tuple> from;
+      if (rng.NextBounded(10) != 0) {
+        limit = static_cast<int64_t>(rng.NextBounded(80));
+        req += " limit=" + std::to_string(limit);
+      }
+      if (rng.NextBounded(2) == 0) {
+        from = Tuple{static_cast<int64_t>(rng.NextBounded(80)),
+                     static_cast<int64_t>(rng.NextBounded(80))};
+        req += " from=" + FormatTuple(*from);
+      }
+      if (rng.NextBounded(8) == 0) {
+        req += " deadline_ms=" + std::to_string(1 + rng.NextBounded(4));
+      }
+      if (!client->Call(req, &response)) {
+        reconnect();
+        continue;
+      }
+      if (!response.ok && response.code == ErrorCode::kBadFrame) {
+        reconnect();
+        continue;
+      }
+      if (response.epoch < 0 ||
+          result.streams.size() >= kMaxRecordsPerThread) {
+        continue;  // rejected / out-of-range / eaten by a fault
+      }
+      StreamRecord record;
+      record.from = from;
+      record.limit = limit;
+      record.answers = response.answers;
+      record.epoch = response.epoch;
+      record.completed = response.ok;
+      record.count = response.count;
+      result.streams.push_back(std::move(record));
+    }
+    ::close(fd);
+    return result;
+  }
+
+  // Serial replay: rebuilds each epoch's engine from its spec and checks
+  // every record bit-for-bit.
+  void VerifyAgainstReplay(const std::vector<ChaosResult>& results) {
+    struct Replay {
+      std::unique_ptr<ColoredGraph> graph;
+      std::unique_ptr<EnumerationEngine> engine;
+    };
+    std::map<int64_t, Replay> engines;
+    auto engine_for = [&](int64_t epoch) -> EnumerationEngine* {
+      auto it = engines.find(epoch);
+      if (it != engines.end()) return it->second.engine.get();
+      const auto spec = epoch_specs_.find(epoch);
+      if (spec == epoch_specs_.end()) {
+        ADD_FAILURE() << "answers on unknown epoch " << epoch
+                      << " (epoch mixing?)";
+        return nullptr;
+      }
+      Replay replay;
+      replay.graph = std::make_unique<ColoredGraph>();
+      std::string error;
+      EXPECT_TRUE(BuildGraphFromSource(spec->second, GraphParseLimits{},
+                                       replay.graph.get(), &error))
+          << error;
+      replay.engine = std::make_unique<EnumerationEngine>(
+          *replay.graph, query_, EngineOptions{});
+      return engines.emplace(epoch, std::move(replay))
+          .first->second.engine.get();
+    };
+
+    int64_t verified = 0;
+    for (const ChaosResult& result : results) {
+      for (const ProbeRecord& record : result.probes) {
+        EnumerationEngine* engine = engine_for(record.epoch);
+        if (engine == nullptr) continue;
+        ASSERT_TRUE(TupleInRange(record.tuple, engine->universe()))
+            << "daemon accepted an out-of-range probe";
+        if (record.is_test) {
+          EXPECT_EQ(engine->Test(record.tuple), record.test_result)
+              << "test " << FormatTuple(record.tuple) << " on epoch "
+              << record.epoch;
+        } else {
+          EXPECT_EQ(engine->Next(record.tuple), record.next_result)
+              << "next " << FormatTuple(record.tuple) << " on epoch "
+              << record.epoch;
+        }
+        ++verified;
+      }
+      for (const StreamRecord& record : result.streams) {
+        EnumerationEngine* engine = engine_for(record.epoch);
+        if (engine == nullptr) continue;
+        const std::vector<Tuple> expected =
+            ReplayStream(*engine, record.from, record.limit);
+        if (record.completed) {
+          EXPECT_EQ(expected, record.answers)
+              << "completed stream diverged on epoch " << record.epoch;
+          EXPECT_EQ(static_cast<int64_t>(record.answers.size()),
+                    record.count);
+        } else {
+          // Typed abort: what arrived must be an exact prefix.
+          ASSERT_LE(record.answers.size(), expected.size());
+          EXPECT_TRUE(std::equal(record.answers.begin(),
+                                 record.answers.end(), expected.begin()))
+              << "aborted stream not a prefix on epoch " << record.epoch;
+        }
+        ++verified;
+      }
+    }
+    EXPECT_GT(verified, 0) << "soak recorded nothing verifiable";
+  }
+
+  int64_t reloads_done() const { return reloads_done_.load(); }
+  size_t epochs_seen() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return epoch_specs_.size();
+  }
+
+ private:
+  static bool TupleInRange(const Tuple& t, int64_t n) {
+    for (const int64_t v : t) {
+      if (v < 0 || v >= n) return false;
+    }
+    return true;
+  }
+
+  // Mirrors HandleEnumerate's cursor loop.
+  static std::vector<Tuple> ReplayStream(const EnumerationEngine& engine,
+                                         const std::optional<Tuple>& from,
+                                         int64_t limit) {
+    std::vector<Tuple> out;
+    const int64_t n = engine.universe();
+    Tuple cursor = from.has_value() ? *from : LexMin(engine.arity());
+    while (limit < 0 || static_cast<int64_t>(out.size()) < limit) {
+      const std::optional<Tuple> next = engine.Next(cursor);
+      if (!next.has_value()) break;
+      out.push_back(*next);
+      cursor = *next;
+      if (!LexIncrement(&cursor, n)) break;
+    }
+    return out;
+  }
+
+  const fo::Query query_;
+  std::unique_ptr<Daemon> daemon_;
+  std::mutex mu_;
+  std::map<int64_t, std::string> epoch_specs_;
+  std::atomic<int64_t> reloads_done_{0};
+};
+
+struct CounterDeltas {
+  std::map<std::string, int64_t> before;
+  explicit CounterDeltas(const std::vector<std::string>& names) {
+    for (const std::string& name : names) {
+      before[name] =
+          obs::MetricsRegistry::Global().GetCounter(name)->value();
+    }
+  }
+  int64_t Delta(const std::string& name) const {
+    return obs::MetricsRegistry::Global().GetCounter(name)->value() -
+           before.at(name);
+  }
+};
+
+void RunSoak(bool hostile) {
+  fo::ParseResult parsed = fo::ParseFormula("E(x, y)");
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  CounterDeltas deltas({"serve.requests", "serve.bad_frames",
+                        "serve.responses_ok", "serve.responses_err",
+                        "serve.dropped_conns", "serve.worker_deaths"});
+
+  SoakHarness harness(parsed.query);
+  std::optional<fault_injection::ScopedFault> fault;
+  if (hostile) {
+    // Every serving-layer fault, firing on ~3% of hits.
+    fault.emplace("serve/*", fault_injection::Mode::kProbabilistic, 0.03);
+  } else {
+    // Behavior-preserving answer-path faults: slower equivalent routes,
+    // answers must stay bit-identical.
+    fault.emplace("answer/*", fault_injection::Mode::kProbabilistic, 0.2);
+  }
+
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(SoakMs());
+  constexpr int kChaosThreads = 4;
+  std::vector<ChaosResult> results(kChaosThreads);
+  std::vector<std::thread> threads;
+  threads.emplace_back([&] { harness.ReloaderBody(deadline); });
+  for (int i = 0; i < kChaosThreads; ++i) {
+    threads.emplace_back(
+        [&, i] { results[i] = harness.ChaosBody(i, deadline); });
+  }
+  for (std::thread& t : threads) t.join();
+
+  const int64_t fires = fault_injection::FireCount();
+  fault.reset();  // disarm before replay (the replay must be fault-free)
+
+  // The soak exercised what it claims to exercise.
+  int64_t total_ops = 0;
+  for (const ChaosResult& r : results) total_ops += r.ops;
+  EXPECT_GT(total_ops, 100) << "soak barely ran";
+  EXPECT_GT(harness.reloads_done(), 0) << "no epoch ever swapped";
+  EXPECT_GT(harness.epochs_seen(), 1u);
+  EXPECT_GT(fires, 0) << "no fault ever fired";
+
+  // The daemon survived: a fresh connection still answers.
+  {
+    const int fd = harness.Connect();
+    Client client(fd, fd, /*seed=*/9999);
+    Response response;
+    ASSERT_TRUE(client.Call("ping", &response));
+    EXPECT_TRUE(response.ok);
+    ::close(fd);
+  }
+
+  // Accounting identity, once the handlers have quiesced (all chaos fds
+  // are closed; handlers finish their last request and exit).
+  bool balanced = false;
+  for (int i = 0; i < 5000 && !balanced; ++i) {
+    balanced = deltas.Delta("serve.requests") +
+                   deltas.Delta("serve.bad_frames") ==
+               deltas.Delta("serve.responses_ok") +
+                   deltas.Delta("serve.responses_err") +
+                   deltas.Delta("serve.dropped_conns") +
+                   deltas.Delta("serve.worker_deaths");
+    if (!balanced) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(balanced) << "accounting identity never closed: requests="
+                        << deltas.Delta("serve.requests") << " bad_frames="
+                        << deltas.Delta("serve.bad_frames") << " ok="
+                        << deltas.Delta("serve.responses_ok") << " err="
+                        << deltas.Delta("serve.responses_err")
+                        << " dropped="
+                        << deltas.Delta("serve.dropped_conns") << " deaths="
+                        << deltas.Delta("serve.worker_deaths");
+
+  // Bit-identical serial replay of everything the clients kept.
+  harness.VerifyAgainstReplay(results);
+
+  // One summary line so acceptance runs (NWD_SOAK_MS=30000) leave
+  // citable numbers in the log.
+  std::printf(
+      "[soak %s] %lldms ops=%lld reloads=%lld epochs=%zu fault_fires=%lld "
+      "requests=%lld ok=%lld err=%lld dropped=%lld deaths=%lld "
+      "bad_frames=%lld\n",
+      hostile ? "hostile" : "clean", static_cast<long long>(SoakMs()),
+      static_cast<long long>(total_ops),
+      static_cast<long long>(harness.reloads_done()), harness.epochs_seen(),
+      static_cast<long long>(fires),
+      static_cast<long long>(deltas.Delta("serve.requests")),
+      static_cast<long long>(deltas.Delta("serve.responses_ok")),
+      static_cast<long long>(deltas.Delta("serve.responses_err")),
+      static_cast<long long>(deltas.Delta("serve.dropped_conns")),
+      static_cast<long long>(deltas.Delta("serve.worker_deaths")),
+      static_cast<long long>(deltas.Delta("serve.bad_frames")));
+}
+
+TEST(ServeSoakTest, CleanSoakRepliesBitIdenticalUnderAnswerFaults) {
+  RunSoak(/*hostile=*/false);
+}
+
+TEST(ServeSoakTest, HostileSoakSurvivesEveryServingFault) {
+  RunSoak(/*hostile=*/true);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace nwd
