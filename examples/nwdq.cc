@@ -2,7 +2,7 @@
 //
 // Usage:
 //   nwdq <graph-file> '<query>' [--limit N] [--count] [--test a,b,...]
-//        [--next a,b,...] [--explain] [--color Name=idx]...
+//        [--next a,b,...] [--explain] [--dump-program] [--color Name=idx]...
 //        [--budget-ms N] [--max-edge-work N] [--max-avg-degree X]
 //        [--probe-file FILE] [--answer-threads N]
 //        [--metrics-json FILE] [--trace-json FILE]
@@ -14,6 +14,10 @@
 //   nwdq web.g  '(x, y) := E(x, y)' --budget-ms 100   # degrade, don't hang
 //   nwdq net.g  '(x, y) := E(x, y)' --probe-file probes.txt
 //               --answer-threads 8                    # batched serving
+//
+// --explain prints the LNF normal form the engine enumerates from;
+// --dump-program prints the flat bytecode the engine compiled it to (or
+// the reason compilation was skipped), then exits.
 //
 // --metrics-json / --trace-json enable the observability layer and write
 // its artifacts when the run finishes: a metrics snapshot (nwd-metrics/1
@@ -50,6 +54,7 @@
 #include <string>
 #include <vector>
 
+#include "compile/program.h"
 #include "enumerate/counting.h"
 #include "enumerate/engine.h"
 #include "enumerate/lnf.h"
@@ -155,8 +160,8 @@ void PrintTuple(const nwd::Tuple& t) {
 int Usage() {
   std::fprintf(stderr,
                "usage: nwdq <graph-file> '<query>' [--limit N] [--count]\n"
-               "            [--test a,b,..] [--next a,b,..] "
-               "[--color Name=idx]...\n"
+               "            [--test a,b,..] [--next a,b,..] [--explain]\n"
+               "            [--dump-program] [--color Name=idx]...\n"
                "            [--budget-ms N] [--max-edge-work N] "
                "[--max-avg-degree X]\n"
                "            [--probe-file FILE] [--answer-threads N]\n"
@@ -291,6 +296,7 @@ int main(int argc, char** argv) {
   int64_t limit = 20;
   bool count = false;
   bool explain = false;
+  bool dump_program = false;
   const char* test_tuple = nullptr;
   const char* next_tuple = nullptr;
   const char* probe_file = nullptr;
@@ -306,6 +312,8 @@ int main(int argc, char** argv) {
       count = true;
     } else if (arg == "--explain") {
       explain = true;
+    } else if (arg == "--dump-program") {
+      dump_program = true;
     } else if (arg == "--test" && i + 1 < argc) {
       test_tuple = argv[++i];
     } else if (arg == "--next" && i + 1 < argc) {
@@ -415,6 +423,18 @@ int main(int argc, char** argv) {
                 static_cast<long long>(engine.stats().budget_edge_work));
   }
 
+  if (dump_program) {
+    if (engine.compiled_query() != nullptr) {
+      std::printf("%s", engine.compiled_query()->Disassemble().c_str());
+    } else {
+      const std::string& reason = engine.stats().not_compiled_reason;
+      std::printf("no compiled program (%s)\n",
+                  !reason.empty()          ? reason.c_str()
+                  : engine.used_fallback() ? "fallback engine has no LNF"
+                                           : "unknown");
+    }
+    return 0;
+  }
   if (probe_file != nullptr) {
     std::vector<Probe> probes;
     if (!ReadProbeFile(probe_file, engine.arity(),

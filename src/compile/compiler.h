@@ -1,0 +1,38 @@
+// Lowers an LNF decomposition into a CompiledQuery (see program.h): the
+// Test branch program, the flattened Next descent program, the fused
+// candidate-check pool, and the peephole passes over both.
+
+#ifndef NWD_COMPILE_COMPILER_H_
+#define NWD_COMPILE_COMPILER_H_
+
+#include <memory>
+#include <vector>
+
+#include "compile/program.h"
+#include "enumerate/lnf.h"
+#include "graph/colored_graph.h"
+
+namespace nwd {
+namespace compile {
+
+// Per-case inputs the lowering borrows from the engine's prepared
+// structures (both must outlive the program): the candidate-list id per
+// fresh position (-1 elsewhere) and the materialized extendable first
+// coordinates.
+struct CaseInputs {
+  const std::vector<int>* list_index = nullptr;
+  const std::vector<Vertex>* extendable0 = nullptr;
+};
+
+// Compiles the decomposition. `inputs` is parallel to lnf.cases. Requires
+// lnf.supported and lnf.arity >= 2 (the engine's LNF-mode preconditions).
+// Returns nullptr for the rare shapes the lowering declines (a negative
+// distance bound, whose oracle semantics the fusion pass must not assume);
+// the caller then stays on the interpreter.
+std::unique_ptr<CompiledQuery> Compile(const Lnf& lnf, const ColoredGraph& g,
+                                       const std::vector<CaseInputs>& inputs);
+
+}  // namespace compile
+}  // namespace nwd
+
+#endif  // NWD_COMPILE_COMPILER_H_

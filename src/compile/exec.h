@@ -1,0 +1,51 @@
+// The bytecode executors: a computed-goto dispatch loop (GCC/Clang label
+// addresses; portable switch fallback elsewhere) over the contiguous
+// CompiledQuery programs. Both entry points are thread-safe: the program
+// and the ExecEnv structures are immutable, and every mutable datum lives
+// in the caller's ProbeContext (memo registers, descent minimums, the
+// Case II ball cache and BFS scratch).
+
+#ifndef NWD_COMPILE_EXEC_H_
+#define NWD_COMPILE_EXEC_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "compile/program.h"
+#include "cover/neighborhood_cover.h"
+#include "enumerate/probe_context.h"
+#include "local/distance_oracle.h"
+#include "skip/skip_pointers.h"
+#include "util/lex.h"
+
+namespace nwd {
+namespace compile {
+
+// Borrowed views of the engine's immutable prepared structures; valid for
+// the engine's lifetime (the engine resets its program before releasing
+// any of them).
+struct ExecEnv {
+  const ColoredGraph* graph = nullptr;
+  const DistanceOracle* oracle = nullptr;
+  const NeighborhoodCover* cover = nullptr;
+  const std::vector<std::unique_ptr<SkipPointers>>* skips = nullptr;
+};
+
+// Runs the Test program on `tuple`. Equivalent to the interpreter's
+// case scan, with each distinct oracle distance test asked at most once
+// per probe (memoized in ctx->test_memo).
+bool ExecTest(const CompiledQuery& q, const ExecEnv& env, const Tuple& tuple,
+              ProbeContext* ctx);
+
+// Runs one case's Next descent from `entry` (a CompiledQuery::next_entry
+// value, >= 0). On success the solution is left in ctx->assignment (which
+// must already hold q.arity slots). Exactly the interpreter's
+// Descend(case, 0, from, tight=true) result.
+bool ExecNextCase(const CompiledQuery& q, const ExecEnv& env, int32_t entry,
+                  const Tuple& from, ProbeContext* ctx);
+
+}  // namespace compile
+}  // namespace nwd
+
+#endif  // NWD_COMPILE_EXEC_H_

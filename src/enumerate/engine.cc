@@ -1,13 +1,17 @@
 #include "enumerate/engine.h"
 
 #include <algorithm>
+#include <array>
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <span>
 #include <thread>
 #include <utility>
 
 #include "baseline/naive_enum.h"
+#include "compile/compiler.h"
+#include "compile/exec.h"
 #include "cover/kernel.h"
 #include "enumerate/sentences.h"
 #include "fo/analysis.h"
@@ -34,6 +38,15 @@ struct EngineInstruments {
   obs::Counter* ball_cache_hits;
   obs::Counter* ball_cache_misses;
   obs::Counter* budget_edge_work;
+  obs::Counter* compile_programs;
+  obs::Counter* compile_insns;
+  obs::Counter* compile_checks;
+  obs::Counter* compile_folds;
+  obs::Counter* compile_dead_cases;
+  obs::Counter* compile_specialized_finds;
+  obs::Counter* compiled_probes;
+  obs::Counter* compiled_exec_insns;
+  obs::Counter* compiled_op_hits[compile::kNumOps];
   obs::Gauge* cover_bags;
   obs::Gauge* cover_degree;
   obs::Gauge* kernel_values;
@@ -45,6 +58,7 @@ struct EngineInstruments {
   obs::Histogram* kernels_us;
   obs::Histogram* skips_us;
   obs::Histogram* extendable_us;
+  obs::Histogram* compile_us;
 };
 
 EngineInstruments& Instruments() {
@@ -59,6 +73,19 @@ EngineInstruments& Instruments() {
     m->ball_cache_hits = reg.GetCounter("answer.ball_cache_hits");
     m->ball_cache_misses = reg.GetCounter("answer.ball_cache_misses");
     m->budget_edge_work = reg.GetCounter("budget.edge_work_charged");
+    m->compile_programs = reg.GetCounter("compile.programs");
+    m->compile_insns = reg.GetCounter("compile.insns");
+    m->compile_checks = reg.GetCounter("compile.checks");
+    m->compile_folds = reg.GetCounter("compile.folds");
+    m->compile_dead_cases = reg.GetCounter("compile.dead_cases");
+    m->compile_specialized_finds = reg.GetCounter("compile.specialized_finds");
+    m->compiled_probes = reg.GetCounter("compile.exec.probes");
+    m->compiled_exec_insns = reg.GetCounter("compile.exec.insns");
+    for (int i = 0; i < compile::kNumOps; ++i) {
+      m->compiled_op_hits[i] = reg.GetCounter(
+          std::string("compile.exec.op.") +
+          compile::OpName(static_cast<compile::Op>(i)));
+    }
     m->cover_bags = reg.GetGauge("engine.cover.bags");
     m->cover_degree = reg.GetGauge("engine.cover.degree");
     m->kernel_values = reg.GetGauge("engine.kernels.values");
@@ -70,6 +97,7 @@ EngineInstruments& Instruments() {
     m->kernels_us = reg.GetHistogram("engine.phase.kernels_us");
     m->skips_us = reg.GetHistogram("engine.phase.skips_us");
     m->extendable_us = reg.GetHistogram("engine.phase.extendable_us");
+    m->compile_us = reg.GetHistogram("engine.phase.compile_us");
     return m;
   }();
   return *instruments;
@@ -178,6 +206,7 @@ bool EnumerationEngine::StageTripped(const char* stage) {
 }
 
 void EnumerationEngine::DegradeAfterTrip() {
+  compiled_.reset();  // borrows case_data_; must die first
   strategy_.reset();
   cover_.reset();
   kernels_.Clear();
@@ -229,6 +258,16 @@ void EnumerationEngine::FinalizeBudgetStats() {
     m.kernels_us->Record(static_cast<int64_t>(stats_.kernels_ms * 1e3));
     m.skips_us->Record(static_cast<int64_t>(stats_.skips_ms * 1e3));
     m.extendable_us->Record(static_cast<int64_t>(stats_.extendable_ms * 1e3));
+  }
+  if (stats_.compiled && compiled_ != nullptr) {
+    const compile::CompileStats& cs = compiled_->stats;
+    m.compile_programs->Increment();
+    m.compile_insns->Add(cs.test_insns + cs.next_insns);
+    m.compile_checks->Add(cs.checks);
+    m.compile_folds->Add(cs.color_folds + cs.dist_fusions + cs.dedup_drops);
+    m.compile_dead_cases->Add(cs.dead_cases);
+    m.compile_specialized_finds->Add(cs.specialized_finds);
+    m.compile_us->Record(static_cast<int64_t>(stats_.compile_ms * 1e3));
   }
 }
 
@@ -459,6 +498,34 @@ bool EnumerationEngine::PrepareLnfMode() {
     }
   }
   stats_.extendable_ms = phase_timer.ElapsedSeconds() * 1e3;
+
+  // Lower the LNF cases to the flat bytecode programs (src/compile/). This
+  // is the last prepare stage, so compilation is never on the answer path:
+  // the serving daemon rebuilds engines on its rebuild lane and swaps the
+  // snapshot in whole, compiled programs included. The interpreter stays
+  // available as the oracle for parity testing.
+  phase_timer.Restart();
+  if (!options_.use_compiled_queries) {
+    stats_.not_compiled_reason = "disabled by EngineOptions";
+  } else if (std::getenv("NWD_NO_COMPILE") != nullptr) {
+    stats_.not_compiled_reason = "disabled by NWD_NO_COMPILE";
+  } else {
+    obs::ScopedSpan span("engine/compile");
+    std::vector<compile::CaseInputs> inputs;
+    inputs.reserve(case_data_.size());
+    for (const CaseData& data : case_data_) {
+      inputs.push_back(
+          compile::CaseInputs{&data.list_index, &data.extendable0});
+    }
+    compiled_ = compile::Compile(lnf_, *graph_, inputs);
+    if (compiled_ != nullptr) {
+      stats_.compiled = true;
+      stats_.compile_ms = phase_timer.ElapsedSeconds() * 1e3;
+    } else {
+      stats_.not_compiled_reason =
+          "declined by the lowering (negative distance bound)";
+    }
+  }
   return true;
 }
 
@@ -630,6 +697,15 @@ bool EnumerationEngine::NextForCase(size_t case_index, const Tuple& from,
                                     ProbeContext* ctx) const {
   ctx->descents.fetch_add(1, std::memory_order_relaxed);
   ctx->assignment.assign(static_cast<size_t>(lnf_.arity), 0);
+  if (compiled_ != nullptr) {
+    const int32_t entry = compiled_->next_entry[case_index];
+    // A dead (peephole-proved contradictory) case never produces an answer
+    // in the interpreter either, so skipping it preserves the cross-case
+    // minimum.
+    if (entry < 0) return false;
+    const compile::ExecEnv env{graph_, oracle_.get(), cover_.get(), &skips_};
+    return compile::ExecNextCase(*compiled_, env, entry, from, ctx);
+  }
   return Descend(case_index, 0, from, /*tight=*/true, &ctx->assignment, ctx);
 }
 
@@ -690,6 +766,10 @@ bool EnumerationEngine::Test(const Tuple& tuple) const {
     return std::binary_search(
         materialized_.begin(), materialized_.end(), tuple,
         [](const Tuple& a, const Tuple& b) { return LexCompare(a, b) < 0; });
+  }
+  if (compiled_ != nullptr) {
+    const compile::ExecEnv env{graph_, oracle_.get(), cover_.get(), &skips_};
+    return compile::ExecTest(*compiled_, env, tuple, ctx.get());
   }
   const int k = lnf_.arity;
   const int r = static_cast<int>(lnf_.radius);
@@ -869,7 +949,21 @@ AnswerCounters EnumerationEngine::DrainAnswerStats() const {
   m.descents->Add(drained.descents);
   m.ball_cache_hits->Add(drained.ball_cache_hits);
   m.ball_cache_misses->Add(drained.ball_cache_misses);
+  m.compiled_probes->Add(drained.compiled_probes);
+  m.compiled_exec_insns->Add(drained.compiled_insns);
   m.answer_contexts->SetMax(drained.contexts);
+  if (compiled_ != nullptr) {
+    // Per-op execution counts accumulate at the program's sites; publish
+    // the delta since the last drain under compile.exec.op.*.
+    const std::array<uint64_t, compile::kNumOps> ops =
+        compiled_->DrainOpHits();
+    for (int i = 0; i < compile::kNumOps; ++i) {
+      if (ops[static_cast<size_t>(i)] != 0) {
+        m.compiled_op_hits[i]->Add(
+            static_cast<int64_t>(ops[static_cast<size_t>(i)]));
+      }
+    }
+  }
   return drained;
 }
 

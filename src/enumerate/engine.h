@@ -83,6 +83,9 @@
 namespace nwd {
 
 class BacktrackingEnumerator;
+namespace compile {
+class CompiledQuery;
+}  // namespace compile
 namespace fo {
 class NaiveEvaluator;
 }  // namespace fo
@@ -101,6 +104,14 @@ struct EngineOptions {
   // Test/Next are thread-safe, and TestBatch/NextBatch/EnumerateParallel
   // take their own thread count.
   int num_threads = 1;
+  // Compile the LNF cases to the flat bytecode programs of src/compile/
+  // and answer Test/Next through the computed-goto executor instead of the
+  // object-tree interpreter. Answers are bit-identical either way; the
+  // interpreter stays available as the oracle (set this false, or export
+  // NWD_NO_COMPILE=1, to force it). Compilation happens once at engine
+  // build — never on the answer path — and is skipped automatically in
+  // fallback/degraded modes.
+  bool use_compiled_queries = true;
   DistanceOracle::Options oracle;
   // Resource budget + density guards for the preprocessing phase.
   // Preprocessing is pseudo-linear only on (effectively) nowhere dense
@@ -135,6 +146,12 @@ class EnumerationEngine {
     double kernels_ms = 0.0;     // per-bag r-kernels
     double skips_ms = 0.0;       // candidate-list scans + skip pointers
     double extendable_ms = 0.0;  // extendable first-coordinate descents
+    // Query compilation (src/compile/): whether the engine answers through
+    // the bytecode executor, the lowering wall time, and why compilation
+    // was skipped when it was (empty when compiled).
+    bool compiled = false;
+    double compile_ms = 0.0;
+    std::string not_compiled_reason;
     // Case II anchor balls served from the per-probe cache instead of a
     // fresh BFS during the preprocessing descents. (Answer-time cache
     // traffic is per-context; drain it via DrainAnswerStats().)
@@ -204,6 +221,14 @@ class EnumerationEngine {
   // may run concurrently with probes, which keep counting into the next
   // drain.
   AnswerCounters DrainAnswerStats() const;
+
+  // The bytecode programs this engine answers through, or null when it
+  // runs the interpreter (fallback mode, use_compiled_queries=false,
+  // NWD_NO_COMPILE, or an unsupported shape). Borrowed; owned by the
+  // engine. The nwdq --dump-program view.
+  const compile::CompiledQuery* compiled_query() const {
+    return compiled_.get();
+  }
 
  private:
   struct CaseData {
@@ -297,6 +322,10 @@ class EnumerationEngine {
   std::vector<std::vector<Vertex>> lists_;
   std::vector<std::unique_ptr<SkipPointers>> skips_;
   std::vector<CaseData> case_data_;
+  // The compiled bytecode programs (null = interpreter). Borrows
+  // case_data_'s extendable0 vectors and is reset alongside them
+  // (DegradeAfterTrip).
+  std::unique_ptr<compile::CompiledQuery> compiled_;
   // Per-probe contexts for the answer-time descents: a lock-free pool
   // handing one context to each in-flight Test/Next, which makes the
   // answer path reentrant and allocation-free in steady state.

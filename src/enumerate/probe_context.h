@@ -53,6 +53,8 @@ struct AnswerCounters {
   int64_t descents = 0;           // per-case lexicographic descents run
   int64_t ball_cache_hits = 0;    // Case II anchor balls served from cache
   int64_t ball_cache_misses = 0;  // Case II anchor balls BFS'd fresh
+  int64_t compiled_probes = 0;    // bytecode program activations
+  int64_t compiled_insns = 0;     // bytecode instructions executed
   int64_t contexts = 0;           // pool size (peak probe concurrency)
 };
 
@@ -156,10 +158,20 @@ struct ProbeContext {
   Tuple assignment;                  // reusable descent buffer
   Tuple best;                        // best-across-cases buffer
 
+  // Compiled-query executor scratch (src/compile/exec.cc): the Test
+  // program's distance-memo registers and the Next program's per-position
+  // descent state (current minimum, entering/after tightness flags).
+  std::vector<uint8_t> test_memo;
+  std::vector<Vertex> next_minval;
+  std::vector<uint8_t> next_tin;
+  std::vector<uint8_t> next_ct;
+
   std::atomic<int64_t> probes_served{0};
   std::atomic<int64_t> descents{0};
   std::atomic<int64_t> ball_cache_hits{0};
   std::atomic<int64_t> ball_cache_misses{0};
+  std::atomic<int64_t> compiled_probes{0};
+  std::atomic<int64_t> compiled_insns{0};
 
   // Borrowed preprocessing budget; descents poll it so a trip cancels
   // in-flight extendable probes. Always null at answer time (answers are
@@ -217,6 +229,10 @@ class ProbeContextPool {
           ctx->ball_cache_hits.exchange(0, std::memory_order_relaxed);
       out.ball_cache_misses +=
           ctx->ball_cache_misses.exchange(0, std::memory_order_relaxed);
+      out.compiled_probes +=
+          ctx->compiled_probes.exchange(0, std::memory_order_relaxed);
+      out.compiled_insns +=
+          ctx->compiled_insns.exchange(0, std::memory_order_relaxed);
     }
     return out;
   }

@@ -8,36 +8,69 @@ namespace nwd {
 namespace fo {
 namespace {
 
+// Iterative: the parser folds `exists u0, u1, ... .` variable lists into
+// quantifier towers thousands of nodes deep, beyond what native recursion
+// survives under sanitizers. Runs on the ParseQuery/ParseFormula path.
 void CollectFreeVars(const FormulaPtr& f, std::set<Var>* bound,
                      std::set<Var>* free) {
-  switch (f->kind) {
-    case NodeKind::kTrue:
-    case NodeKind::kFalse:
-      return;
-    case NodeKind::kColor:
-      if (!bound->count(f->var1)) free->insert(f->var1);
-      return;
-    case NodeKind::kEdge:
-    case NodeKind::kEquals:
-    case NodeKind::kDistLeq:
-      if (!bound->count(f->var1)) free->insert(f->var1);
-      if (!bound->count(f->var2)) free->insert(f->var2);
-      return;
-    case NodeKind::kNot:
-      CollectFreeVars(f->child1, bound, free);
-      return;
-    case NodeKind::kAnd:
-    case NodeKind::kOr:
-      CollectFreeVars(f->child1, bound, free);
-      CollectFreeVars(f->child2, bound, free);
-      return;
-    case NodeKind::kExists:
-    case NodeKind::kForall: {
-      const bool was_bound = bound->count(f->quantified_var) > 0;
-      bound->insert(f->quantified_var);
-      CollectFreeVars(f->child1, bound, free);
-      if (!was_bound) bound->erase(f->quantified_var);
-      return;
+  struct Frame {
+    const Formula* node;
+    int stage = 0;           // children pushed so far
+    bool was_bound = false;  // quantifiers: qv already bound on entry?
+  };
+  std::vector<Frame> stack;
+  stack.push_back({f.get()});
+  while (!stack.empty()) {
+    Frame& top = stack.back();
+    const Formula* n = top.node;
+    switch (n->kind) {
+      case NodeKind::kTrue:
+      case NodeKind::kFalse:
+        stack.pop_back();
+        break;
+      case NodeKind::kColor:
+        if (!bound->count(n->var1)) free->insert(n->var1);
+        stack.pop_back();
+        break;
+      case NodeKind::kEdge:
+      case NodeKind::kEquals:
+      case NodeKind::kDistLeq:
+        if (!bound->count(n->var1)) free->insert(n->var1);
+        if (!bound->count(n->var2)) free->insert(n->var2);
+        stack.pop_back();
+        break;
+      case NodeKind::kNot:
+        if (top.stage == 0) {
+          top.stage = 1;
+          stack.push_back({n->child1.get()});
+        } else {
+          stack.pop_back();
+        }
+        break;
+      case NodeKind::kAnd:
+      case NodeKind::kOr:
+        if (top.stage == 0) {
+          top.stage = 1;
+          stack.push_back({n->child1.get()});
+        } else if (top.stage == 1) {
+          top.stage = 2;
+          stack.push_back({n->child2.get()});
+        } else {
+          stack.pop_back();
+        }
+        break;
+      case NodeKind::kExists:
+      case NodeKind::kForall:
+        if (top.stage == 0) {
+          top.was_bound = bound->count(n->quantified_var) > 0;
+          bound->insert(n->quantified_var);
+          top.stage = 1;
+          stack.push_back({n->child1.get()});
+        } else {
+          if (!top.was_bound) bound->erase(n->quantified_var);
+          stack.pop_back();
+        }
+        break;
     }
   }
 }

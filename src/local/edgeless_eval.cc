@@ -24,108 +24,192 @@ EdgelessEvaluator::EdgelessEvaluator(const ColoredGraph& g) : graph_(&g) {
   }
 }
 
+namespace {
+
+// One heap-allocated evaluation frame. The evaluator iterates over an
+// explicit stack of these instead of recursing: deeply nested formulas
+// (quantifier towers thousands deep, e.g. from the parser fuzzer) must not
+// be bounded by the C++ call stack — especially under sanitizers, whose
+// frames are several times larger.
+struct EvalFrame {
+  const fo::Formula* node;
+  // Progress through the node. Leaves never persist a frame. Connectives:
+  // 0 = evaluate first child, 1 = first child's value is on the value
+  // stack, 2 = second child's value is on the value stack (kAnd/kOr).
+  // Quantifiers: 0 = enter, 1 = try the next mentioned candidate,
+  // 2 = mentioned candidate's value ready, 3 = try the next fresh-class
+  // candidate, 4 = class candidate's value ready, 5 = finished.
+  int stage = 0;
+  // Quantifier state (mirrors the locals of the old recursive body).
+  Vertex saved = fo::kUnbound;
+  bool result = false;
+  size_t cand = 0;  // next index into `mentioned` (stage 1) / classes_ (3)
+  std::vector<Vertex> mentioned;
+};
+
+}  // namespace
+
 bool EdgelessEvaluator::Evaluate(const fo::FormulaPtr& f,
                                  std::vector<Vertex>* env) {
   using fo::NodeKind;
-  switch (f->kind) {
-    case NodeKind::kTrue:
-      return true;
-    case NodeKind::kFalse:
-      return false;
-    case NodeKind::kEdge:
-      return false;  // edgeless
-    case NodeKind::kColor:
-      return graph_->HasColor((*env)[f->var1], f->color);
-    case NodeKind::kEquals:
-      return (*env)[f->var1] == (*env)[f->var2];
-    case NodeKind::kDistLeq:
-      // Distinct vertices are at infinite distance in an edgeless graph.
-      return (*env)[f->var1] == (*env)[f->var2];
-    case NodeKind::kNot:
-      return !Evaluate(f->child1, env);
-    case NodeKind::kAnd:
-      return Evaluate(f->child1, env) && Evaluate(f->child2, env);
-    case NodeKind::kOr:
-      return Evaluate(f->child1, env) || Evaluate(f->child2, env);
-    case NodeKind::kExists:
-    case NodeKind::kForall: {
-      const fo::Var qv = f->quantified_var;
-      if (static_cast<size_t>(qv) >= env->size()) {
-        env->resize(static_cast<size_t>(qv) + 1, fo::kUnbound);
-      }
-      const Vertex saved = (*env)[qv];
-      const bool is_exists = f->kind == NodeKind::kExists;
-      bool result = !is_exists;
-      bool decided = false;
-
-      // Candidate 1: every vertex already mentioned in env (equalities with
-      // assigned vertices matter individually).
-      std::vector<Vertex> mentioned;
-      for (Vertex v : *env) {
-        if (v != fo::kUnbound) mentioned.push_back(v);
-      }
-      std::sort(mentioned.begin(), mentioned.end());
-      mentioned.erase(std::unique(mentioned.begin(), mentioned.end()),
-                      mentioned.end());
-      for (Vertex v : mentioned) {
-        (*env)[qv] = v;
-        const bool sub = Evaluate(f->child1, env);
-        if (is_exists && sub) {
-          result = true;
-          decided = true;
-          break;
+  std::vector<EvalFrame> stack;
+  std::vector<uint8_t> values;  // completed subformula results
+  stack.push_back(EvalFrame{f.get()});
+  while (!stack.empty()) {
+    const size_t fi = stack.size() - 1;
+    const fo::Formula* node = stack[fi].node;
+    switch (node->kind) {
+      case NodeKind::kTrue:
+        values.push_back(1);
+        stack.pop_back();
+        break;
+      case NodeKind::kFalse:
+        values.push_back(0);
+        stack.pop_back();
+        break;
+      case NodeKind::kEdge:
+        values.push_back(0);  // edgeless
+        stack.pop_back();
+        break;
+      case NodeKind::kColor:
+        values.push_back(
+            graph_->HasColor((*env)[node->var1], node->color) ? 1 : 0);
+        stack.pop_back();
+        break;
+      case NodeKind::kEquals:
+        values.push_back((*env)[node->var1] == (*env)[node->var2] ? 1 : 0);
+        stack.pop_back();
+        break;
+      case NodeKind::kDistLeq:
+        // Distinct vertices are at infinite distance in an edgeless graph.
+        values.push_back((*env)[node->var1] == (*env)[node->var2] ? 1 : 0);
+        stack.pop_back();
+        break;
+      case NodeKind::kNot:
+        if (stack[fi].stage == 0) {
+          stack[fi].stage = 1;
+          stack.push_back(EvalFrame{node->child1.get()});
+        } else {
+          values.back() = values.back() ? 0 : 1;
+          stack.pop_back();
         }
-        if (!is_exists && !sub) {
-          result = false;
-          decided = true;
-          break;
-        }
-      }
-
-      // Candidate 2: one *fresh* vertex per color-profile class that still
-      // has an unmentioned member. Any two fresh vertices of the same class
-      // are related by an automorphism fixing `mentioned` pointwise.
-      if (!decided) {
-        for (size_t cls = 0; cls < classes_.size(); ++cls) {
-          // Count how many mentioned vertices this class already supplies.
-          int64_t used = 0;
-          for (Vertex v : mentioned) {
-            if (class_of_vertex_[v] == static_cast<int64_t>(cls)) ++used;
-          }
-          if (used >= classes_[cls].count) continue;  // class exhausted
-          // Pick a representative distinct from all mentioned vertices.
-          Vertex fresh = -1;
-          if (std::find(mentioned.begin(), mentioned.end(),
-                        classes_[cls].representative) == mentioned.end()) {
-            fresh = classes_[cls].representative;
+        break;
+      case NodeKind::kAnd:
+      case NodeKind::kOr: {
+        const bool is_and = node->kind == NodeKind::kAnd;
+        if (stack[fi].stage == 0) {
+          stack[fi].stage = 1;
+          stack.push_back(EvalFrame{node->child1.get()});
+        } else if (stack[fi].stage == 1) {
+          // Short-circuit exactly like `&&` / `||`.
+          if (values.back() != (is_and ? 1 : 0)) {
+            stack.pop_back();
           } else {
-            for (Vertex v = 0; v < graph_->NumVertices(); ++v) {
-              if (class_of_vertex_[v] == static_cast<int64_t>(cls) &&
-                  std::find(mentioned.begin(), mentioned.end(), v) ==
-                      mentioned.end()) {
-                fresh = v;
-                break;
+            values.pop_back();
+            stack[fi].stage = 2;
+            stack.push_back(EvalFrame{node->child2.get()});
+          }
+        } else {
+          stack.pop_back();  // second child's value is the node's value
+        }
+        break;
+      }
+      case NodeKind::kExists:
+      case NodeKind::kForall: {
+        const bool is_exists = node->kind == NodeKind::kExists;
+        const fo::Var qv = node->quantified_var;
+        EvalFrame& q = stack[fi];
+        if (q.stage == 0) {
+          if (static_cast<size_t>(qv) >= env->size()) {
+            env->resize(static_cast<size_t>(qv) + 1, fo::kUnbound);
+          }
+          q.saved = (*env)[qv];
+          q.result = !is_exists;
+          // Candidate set 1: every vertex already mentioned in env
+          // (equalities with assigned vertices matter individually).
+          for (Vertex v : *env) {
+            if (v != fo::kUnbound) q.mentioned.push_back(v);
+          }
+          std::sort(q.mentioned.begin(), q.mentioned.end());
+          q.mentioned.erase(
+              std::unique(q.mentioned.begin(), q.mentioned.end()),
+              q.mentioned.end());
+          q.cand = 0;
+          q.stage = 1;
+        }
+        if (q.stage == 2 || q.stage == 4) {
+          const bool sub = values.back() != 0;
+          values.pop_back();
+          if (is_exists && sub) {
+            q.result = true;
+            q.stage = 5;
+          } else if (!is_exists && !sub) {
+            q.result = false;
+            q.stage = 5;
+          } else {
+            q.stage = (q.stage == 2) ? 1 : 3;
+          }
+        }
+        if (q.stage == 1) {
+          if (q.cand < q.mentioned.size()) {
+            (*env)[qv] = q.mentioned[q.cand++];
+            q.stage = 2;
+            stack.push_back(EvalFrame{node->child1.get()});
+            break;
+          }
+          q.stage = 3;
+          q.cand = 0;
+        }
+        if (q.stage == 3) {
+          // Candidate set 2: one *fresh* vertex per color-profile class
+          // that still has an unmentioned member. Any two fresh vertices of
+          // the same class are related by an automorphism fixing
+          // `mentioned` pointwise.
+          bool pushed = false;
+          while (q.cand < classes_.size()) {
+            const size_t cls = q.cand++;
+            // Count how many mentioned vertices this class supplies.
+            int64_t used = 0;
+            for (Vertex v : q.mentioned) {
+              if (class_of_vertex_[v] == static_cast<int64_t>(cls)) ++used;
+            }
+            if (used >= classes_[cls].count) continue;  // class exhausted
+            // Pick a representative distinct from all mentioned vertices.
+            Vertex fresh = -1;
+            if (std::find(q.mentioned.begin(), q.mentioned.end(),
+                          classes_[cls].representative) ==
+                q.mentioned.end()) {
+              fresh = classes_[cls].representative;
+            } else {
+              for (Vertex v = 0; v < graph_->NumVertices(); ++v) {
+                if (class_of_vertex_[v] == static_cast<int64_t>(cls) &&
+                    std::find(q.mentioned.begin(), q.mentioned.end(), v) ==
+                        q.mentioned.end()) {
+                  fresh = v;
+                  break;
+                }
               }
             }
-          }
-          NWD_CHECK_GE(fresh, 0);
-          (*env)[qv] = fresh;
-          const bool sub = Evaluate(f->child1, env);
-          if (is_exists && sub) {
-            result = true;
+            NWD_CHECK_GE(fresh, 0);
+            (*env)[qv] = fresh;
+            q.stage = 4;
+            stack.push_back(EvalFrame{node->child1.get()});
+            pushed = true;
             break;
           }
-          if (!is_exists && !sub) {
-            result = false;
-            break;
-          }
+          if (pushed) break;
+          q.stage = 5;
         }
+        // Stage 5: all candidates tried (or short-circuited).
+        (*env)[qv] = q.saved;
+        values.push_back(q.result ? 1 : 0);
+        stack.pop_back();
+        break;
       }
-      (*env)[qv] = saved;
-      return result;
     }
   }
-  return false;
+  NWD_CHECK_EQ(values.size(), 1u);
+  return values.back() != 0;
 }
 
 bool EdgelessEvaluator::TestTuple(const fo::Query& query, const Tuple& tuple) {

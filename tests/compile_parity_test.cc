@@ -1,0 +1,303 @@
+// Compiled-vs-interpreted parity: the bytecode executor must be
+// bit-identical to the interpreted descent on every answer surface —
+// Test, Next, serial and parallel enumeration — across random queries and
+// random graphs from every generator class, with the answer-path fault
+// armed, on budget-tripped (degraded) engines, and across live epoch
+// swaps in the serving daemon. The interpreter is the oracle; any
+// divergence is a compiler or executor bug, never a tie to break.
+//
+// Runs under the TSan and ASan twins too (ctest -L tsan / -L asan): the
+// compiled programs are shared immutably across probe threads, and the
+// per-op hit counters are the only mutation.
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "compile/program.h"
+#include "enumerate/engine.h"
+#include "enumerate/enumerator.h"
+#include "fo/parser.h"
+#include "fo/printer.h"
+#include "obs/metrics.h"
+#include "serve/client.h"
+#include "serve/daemon.h"
+#include "serve/wire.h"
+#include "tests/property_common.h"
+#include "util/fault_injection.h"
+#include "util/lex.h"
+#include "util/rng.h"
+
+namespace nwd {
+namespace {
+
+using testing_common::RandomGraph;
+using testing_common::RandomQuery;
+
+std::vector<Tuple> Enumerate(const EnumerationEngine& engine) {
+  ConstantDelayEnumerator enumerator(engine);
+  std::vector<Tuple> out;
+  for (auto t = enumerator.NextSolution(); t.has_value();
+       t = enumerator.NextSolution()) {
+    out.push_back(*t);
+  }
+  return out;
+}
+
+Tuple RandomTuple(const ColoredGraph& g, int arity, Rng* rng) {
+  Tuple t;
+  for (int i = 0; i < arity; ++i) {
+    t.push_back(static_cast<Vertex>(
+        rng->NextBounded(static_cast<uint64_t>(g.NumVertices()))));
+  }
+  return t;
+}
+
+// Asserts every answer surface of `compiled` is bit-identical to
+// `interp`'s. Returns void so ASSERT_* can bail out of the caller's round.
+void ExpectParity(const EnumerationEngine& compiled,
+                  const EnumerationEngine& interp, const ColoredGraph& g,
+                  const fo::Query& q, Rng* rng) {
+  const std::string label = fo::ToString(q) + " on " + g.DebugString();
+  ASSERT_EQ(Enumerate(compiled), Enumerate(interp)) << label;
+  ASSERT_EQ(compiled.EnumerateParallel(3), interp.EnumerateParallel(3))
+      << label;
+  const int arity = compiled.arity();
+  for (int trial = 0; trial < 60; ++trial) {
+    const Tuple t = RandomTuple(g, arity, rng);
+    ASSERT_EQ(compiled.Test(t), interp.Test(t))
+        << label << " test tuple " << serve::FormatTuple(t);
+    ASSERT_EQ(compiled.Next(t), interp.Next(t))
+        << label << " next tuple " << serve::FormatTuple(t);
+  }
+}
+
+class CompileParity : public ::testing::TestWithParam<int> {};
+
+// The core sweep: random binary/ternary queries on random graphs, the
+// compiled engine against the interpreter with identical options.
+TEST_P(CompileParity, RandomQueriesRandomGraphs) {
+  Rng rng(7000 + GetParam());
+  EngineOptions compiled_options;
+  compiled_options.naive_cutoff = 10;
+  compiled_options.oracle.small_cutoff = 8;
+  EngineOptions interp_options = compiled_options;
+  interp_options.use_compiled_queries = false;
+
+  int compiled_rounds = 0;
+  for (int round = 0; round < 4; ++round) {
+    const int arity = (round % 2 == 0) ? 2 : 3;
+    const ColoredGraph g =
+        RandomGraph(round + GetParam(), arity == 2 ? 45 : 24, &rng);
+    const fo::Query q = RandomQuery(arity, 2, &rng);
+    const EnumerationEngine compiled(g, q, compiled_options);
+    const EnumerationEngine interp(g, q, interp_options);
+    EXPECT_FALSE(interp.stats().compiled);
+    if (compiled.stats().compiled) {
+      ++compiled_rounds;
+      ASSERT_NE(compiled.compiled_query(), nullptr);
+    } else {
+      // The lowering may decline a query; it must say why.
+      EXPECT_FALSE(compiled.stats().not_compiled_reason.empty());
+    }
+    ExpectParity(compiled, interp, g, q, &rng);
+  }
+  // A sweep that never exercised the compiled path would prove nothing.
+  EXPECT_GT(compiled_rounds, 0);
+}
+
+// The answer-path fault forces the compiled executor's ball-cache bypass
+// (AnchorBall's fresh-BFS route); answers must not move.
+TEST_P(CompileParity, BallCacheFaultIsBehaviorPreserving) {
+  Rng rng(7700 + GetParam());
+  EngineOptions compiled_options;
+  compiled_options.naive_cutoff = 10;
+  compiled_options.oracle.small_cutoff = 8;
+  EngineOptions interp_options = compiled_options;
+  interp_options.use_compiled_queries = false;
+
+  const ColoredGraph g = RandomGraph(GetParam(), 45, &rng);
+  const fo::Query q = RandomQuery(2, 2, &rng);
+  const EnumerationEngine compiled(g, q, compiled_options);
+  const EnumerationEngine interp(g, q, interp_options);
+  fault_injection::ScopedFault fault("answer/ball_cache",
+                                     fault_injection::Mode::kEveryHit);
+  ExpectParity(compiled, interp, g, q, &rng);
+}
+
+// A budget trip degrades the engine to the lazy baseline and discards the
+// compiled program (it borrows the dropped case lists); the degraded
+// engine must still agree with an untripped interpreter.
+TEST_P(CompileParity, DegradedEngineDropsProgramAndStaysIdentical) {
+  Rng rng(8400 + GetParam());
+  EngineOptions tripped_options;
+  tripped_options.naive_cutoff = 10;
+  tripped_options.oracle.small_cutoff = 8;
+  tripped_options.budget.max_edge_work = 1;
+  EngineOptions clean_interp_options;
+  clean_interp_options.naive_cutoff = 10;
+  clean_interp_options.oracle.small_cutoff = 8;
+  clean_interp_options.use_compiled_queries = false;
+
+  const ColoredGraph g = RandomGraph(GetParam(), 45, &rng);
+  const fo::Query q = RandomQuery(2, 2, &rng);
+  const EnumerationEngine tripped(g, q, tripped_options);
+  const EnumerationEngine interp(g, q, clean_interp_options);
+  ASSERT_TRUE(tripped.stats().degraded) << "work cap never tripped";
+  EXPECT_FALSE(tripped.stats().compiled);
+  EXPECT_EQ(tripped.compiled_query(), nullptr);
+  ExpectParity(tripped, interp, g, q, &rng);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CompileParity, ::testing::Range(0, 4));
+
+// NWD_NO_COMPILE is the operational kill switch: it must disable
+// compilation with an attributed reason and, trivially, stay bit-identical
+// (it *is* the interpreter).
+TEST(CompileParityEnv, NoCompileEnvVarDisablesCompilation) {
+  Rng rng(9100);
+  const ColoredGraph g = RandomGraph(1, 45, &rng);
+  const fo::Query q = RandomQuery(2, 2, &rng);
+  EngineOptions options;
+  options.naive_cutoff = 10;
+  options.oracle.small_cutoff = 8;
+
+  ::setenv("NWD_NO_COMPILE", "1", /*overwrite=*/1);
+  const EnumerationEngine killed(g, q, options);
+  ::unsetenv("NWD_NO_COMPILE");
+  const EnumerationEngine compiled(g, q, options);
+
+  EXPECT_FALSE(killed.stats().compiled);
+  EXPECT_EQ(killed.compiled_query(), nullptr);
+  EXPECT_NE(killed.stats().not_compiled_reason.find("NWD_NO_COMPILE"),
+            std::string::npos)
+      << killed.stats().not_compiled_reason;
+  ExpectParity(compiled, killed, g, q, &rng);
+}
+
+}  // namespace
+
+// --- Daemon epoch swaps -------------------------------------------------
+// Two daemons serve the same query, one with compilation killed via the
+// environment (read at engine build, i.e. at snapshot load/reload). Both
+// answer streams must match before and after a live epoch swap.
+
+namespace serve {
+namespace {
+
+struct DaemonAnswers {
+  std::vector<Tuple> enumerated;
+  std::vector<std::string> probe_heads;
+};
+
+class DaemonHarness {
+ public:
+  explicit DaemonHarness(const fo::Query& query)
+      : daemon_(std::make_unique<Daemon>(query, DaemonOptions{})) {}
+
+  void Load(const std::string& source) {
+    std::string error;
+    ASSERT_TRUE(daemon_->LoadInitialSnapshot(source, &error)) << error;
+  }
+
+  void Reload(const std::string& source, int expected_epoch) {
+    Response response;
+    ASSERT_TRUE(Call("reload " + source, &response));
+    ASSERT_TRUE(response.ok) << response.head;
+    EXPECT_EQ(expected_epoch, response.epoch);
+  }
+
+  // The metrics verb's JSON body (empty on failure).
+  std::string Metrics() {
+    Response response;
+    EXPECT_TRUE(Call("metrics", &response));
+    EXPECT_TRUE(response.ok) << response.head;
+    return response.body;
+  }
+
+  // Full enumeration plus a deterministic sweep of test/next probes.
+  DaemonAnswers Collect(int64_t num_vertices, int arity) {
+    DaemonAnswers answers;
+    Response response;
+    EXPECT_TRUE(Call("enumerate", &response));
+    EXPECT_TRUE(response.ok) << response.head;
+    answers.enumerated = response.answers;
+    Rng rng(31337);
+    for (int trial = 0; trial < 40; ++trial) {
+      Tuple t;
+      for (int i = 0; i < arity; ++i) {
+        t.push_back(static_cast<Vertex>(
+            rng.NextBounded(static_cast<uint64_t>(num_vertices))));
+      }
+      for (const char* op : {"test ", "next "}) {
+        EXPECT_TRUE(Call(op + FormatTuple(t), &response));
+        EXPECT_TRUE(response.ok) << response.head;
+        answers.probe_heads.push_back(response.head);
+      }
+    }
+    return answers;
+  }
+
+ private:
+  bool Call(const std::string& request, Response* response) {
+    int sv[2] = {-1, -1};
+    EXPECT_EQ(0, ::socketpair(AF_UNIX, SOCK_STREAM, 0, sv));
+    daemon_->ServeFd(sv[1], sv[1]);
+    Client client(sv[0], sv[0], /*seed=*/7);
+    const bool ok = client.Call(request, response);
+    ::close(sv[0]);
+    return ok;
+  }
+
+  std::unique_ptr<Daemon> daemon_;
+};
+
+TEST(CompileParityDaemon, AnswersMatchAcrossEpochSwaps) {
+  const fo::ParseResult parsed = fo::ParseFormula("dist(x, y) > 1 & C0(x)");
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  constexpr const char* kFirst = "gen:tree:150:7";
+  constexpr const char* kSecond = "gen:bdeg:120:9";
+
+  // Compiled daemon: load, collect, swap, collect.
+  DaemonHarness compiled(parsed.query);
+  compiled.Load(kFirst);
+  const DaemonAnswers compiled_first = compiled.Collect(150, 2);
+  compiled.Reload(kSecond, /*expected_epoch=*/2);
+  const DaemonAnswers compiled_second = compiled.Collect(120, 2);
+
+  // Interpreted daemon: same sequence with compilation killed while every
+  // engine build (initial load and reload) happens.
+  ::setenv("NWD_NO_COMPILE", "1", /*overwrite=*/1);
+  DaemonHarness interp(parsed.query);
+  interp.Load(kFirst);
+  const DaemonAnswers interp_first = interp.Collect(150, 2);
+  interp.Reload(kSecond, /*expected_epoch=*/2);
+  const DaemonAnswers interp_second = interp.Collect(120, 2);
+  ::unsetenv("NWD_NO_COMPILE");
+
+  // The compilation plane is visible through the daemon's metrics verb
+  // (values are process-global across tests, so assert the instruments
+  // and that the program counter moved past the two builds above).
+  const std::string metrics = compiled.Metrics();
+  EXPECT_NE(metrics.find("compile.programs"), std::string::npos) << metrics;
+  EXPECT_NE(metrics.find("compile.exec.op.find_skip"), std::string::npos);
+  EXPECT_GE(
+      obs::MetricsRegistry::Global().GetCounter("compile.programs")->value(),
+      2);
+
+  EXPECT_FALSE(compiled_first.enumerated.empty());
+  EXPECT_EQ(compiled_first.enumerated, interp_first.enumerated);
+  EXPECT_EQ(compiled_first.probe_heads, interp_first.probe_heads);
+  EXPECT_EQ(compiled_second.enumerated, interp_second.enumerated);
+  EXPECT_EQ(compiled_second.probe_heads, interp_second.probe_heads);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace nwd

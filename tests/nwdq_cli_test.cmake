@@ -290,6 +290,92 @@ if(BASH_PROGRAM)
   endif()
 endif()
 
+# --- Compiled-program dump: golden output ---------------------------------
+# The bytecode listing is the debugging interface for the query compiler;
+# pin it exactly (modulo the timing line and trailing pad spaces) so any
+# lowering or peephole change shows up as a reviewable diff here.
+set(PATH_GRAPH "${WORK_DIR}/path60.g")
+set(path_lines "graph 60 2\n")
+foreach(u RANGE 0 58)
+  math(EXPR v "${u} + 1")
+  string(APPEND path_lines "e ${u} ${v}\n")
+endforeach()
+foreach(v RANGE 0 59 2)
+  string(APPEND path_lines "c ${v} 0\n")
+endforeach()
+foreach(v RANGE 0 59 3)
+  string(APPEND path_lines "c ${v} 1\n")
+endforeach()
+file(WRITE "${PATH_GRAPH}" "${path_lines}")
+
+run(dump_program 0 "" "${PATH_GRAPH}" "(x, y) := dist(x, y) > 1 & C0(x)"
+    --dump-program)
+string(REGEX REPLACE "preprocessing: [^\n]*\n" "" dump_out "${LAST_STDOUT}")
+string(REGEX REPLACE " +\n" "\n" dump_out "${dump_out}")
+set(expected_dump "loaded graph(n=60, m=59, c=2)
+query: (x, y) := !(dist(x, y) <= 1) & C0(x)
+compiled query: arity=2 radius=1 ball_radius=1
+cases: 1 live of 1 (0 dead), folds: color=0 dist=0 dedup=0, specialized finds=2
+test program (4 insns, 1 memo regs):
+  [  0] br_color  pos=0 color=0 expect=1 -> 1 else 3
+  [  1] br_dist   pos=0,1 bound=1 expect=0 reg=0 -> 2 else 3
+  [  2] accept
+  [  3] reject
+next program (7 insns):
+  case 0 entry=0
+  [  0] init      pos=0 -> 1
+  [  1] find_ext0 pos=0 ext=0 -> 2 else 6
+  [  2] init      pos=1 -> 3
+  [  3] find_skip pos=1 list=1 checks=[0+1) -> 5 else 4
+  [  4] bump      pos=0 -> 1
+  [  5] found
+  [  6] fail
+checks (1):
+  [  0] dist other=0 bound=1 expect=0
+")
+if(NOT dump_out STREQUAL expected_dump)
+  message(SEND_ERROR
+    "dump_program: bytecode listing drifted from the golden output.\n"
+    "expected:\n${expected_dump}\ngot:\n${dump_out}")
+endif()
+
+# The metrics export carries the compilation plane's counters: one program
+# compiled for this engine build, and live per-op execution counts.
+set(COMPILE_METRICS_JSON "${WORK_DIR}/compile_metrics.json")
+run(compile_metrics 0 "" "${PATH_GRAPH}" "(x, y) := dist(x, y) > 1 & C0(x)"
+    --limit 5 --metrics-json "${COMPILE_METRICS_JSON}")
+file(READ "${COMPILE_METRICS_JSON}" compile_metrics_doc)
+string(JSON compile_programs ERROR_VARIABLE json_err
+       GET "${compile_metrics_doc}" counters compile.programs)
+if(NOT json_err STREQUAL "NOTFOUND" OR NOT compile_programs STREQUAL "1")
+  message(SEND_ERROR
+    "compile_metrics: expected counters.compile.programs = 1 "
+    "(${json_err}), got '${compile_programs}'")
+endif()
+string(JSON compile_probes ERROR_VARIABLE json_err
+       GET "${compile_metrics_doc}" counters compile.exec.probes)
+if(NOT json_err STREQUAL "NOTFOUND" OR compile_probes LESS_EQUAL 0)
+  message(SEND_ERROR
+    "compile_metrics: expected counters.compile.exec.probes > 0 "
+    "(${json_err}), got '${compile_probes}'")
+endif()
+
+# A query whose only case folds dead (C0 never holds on the uncolored
+# clique) still compiles; the dump must say so rather than crash.
+run(dump_program_dead 0 "" "${CLIQUE_GRAPH}" "(x, y) := dist(x, y) > 1 & C0(x)"
+    --dump-program)
+if(NOT LAST_STDOUT MATCHES "1 dead" OR
+   NOT LAST_STDOUT MATCHES "entry=-1 \\(dead\\)")
+  message(SEND_ERROR "dump_program_dead: expected a dead case:\n${LAST_STDOUT}")
+endif()
+
+# The naive fallback engine has no LNF, hence no program to dump.
+run(dump_program_fallback 0 "" "${GOOD_GRAPH}" "(x, y) := E(x, y)"
+    --dump-program)
+if(NOT LAST_STDOUT MATCHES "no compiled program \\(fallback engine has no LNF\\)")
+  message(SEND_ERROR "dump_program_fallback: wrong output:\n${LAST_STDOUT}")
+endif()
+
 # --test / --next still work on a degraded engine.
 run(degraded_test 0 "" "${CLIQUE_GRAPH}" "(x, y) := E(x, y)"
     --max-edge-work 1 --test 3,7)

@@ -10,6 +10,8 @@
 
 #include "fo/parser.h"
 #include "fo/printer.h"
+#include "graph/builder.h"
+#include "local/edgeless_eval.h"
 #include "util/rng.h"
 
 namespace nwd {
@@ -102,6 +104,44 @@ TEST(ParserFuzz, DeepNestingParses) {
   text += "C0(x)";
   for (int i = 0; i < 200; ++i) text += ")";
   ExpectParsesOrFailsCleanly(text);
+}
+
+// A tower of ~10k nested quantifiers. The parser folds the variable list
+// in a loop (no recursion per quantifier) and the edgeless evaluator walks
+// an explicit frame stack, so neither may overflow the call stack — the
+// ASan twin, with its much larger native frames, is the canary. Variable
+// names cycle through a small set so each frame's mentioned-vertex scan
+// stays O(1) and evaluation short-circuits on the first full descent.
+TEST(ParserFuzz, DeepQuantifierTowerParsesAndEvaluates) {
+  constexpr int kDepth = 10000;
+  constexpr int kVars = 8;
+  std::string vars;
+  for (int i = 0; i < kDepth; ++i) {
+    if (i > 0) vars += ", ";
+    vars += "u" + std::to_string(i % kVars);
+  }
+
+  GraphBuilder builder(4, 1);
+  builder.SetColor(0, 0);
+  const ColoredGraph g = std::move(builder).Build();
+  EdgelessEvaluator eval(g);
+
+  // Exists tower: true via the first full descent (vertex 0 has color 0).
+  {
+    const fo::ParseResult r =
+        fo::ParseFormula("exists " + vars + ". C0(u7)");
+    ASSERT_TRUE(r.ok) << r.error;
+    std::vector<Vertex> env;
+    EXPECT_TRUE(eval.Evaluate(r.query.formula, &env));
+  }
+  // Forall tower: false via the first full descent.
+  {
+    const fo::ParseResult r =
+        fo::ParseFormula("forall " + vars + ". false");
+    ASSERT_TRUE(r.ok) << r.error;
+    std::vector<Vertex> env;
+    EXPECT_FALSE(eval.Evaluate(r.query.formula, &env));
+  }
 }
 
 TEST(ParserFuzz, EmptyAndWhitespaceInputs) {
