@@ -92,6 +92,32 @@ class NeighborhoodCover {
   // sum over bags of |X| (the pseudo-linearity certificate, see Eq. (1)).
   int64_t TotalBagSize() const { return total_bag_size_; }
 
+  // --- Dynamic-update plane: versioned row patching ---------------------
+
+  // One bag-row replacement: the bag's new 2r-ball after a graph edit.
+  // bag == -1 appends a fresh bag (center required); appended bags are
+  // addressed as NumBags() + (index among the appends, in patch order).
+  struct BagPatch {
+    int64_t bag = -1;
+    Vertex center = -1;            // used when bag == -1
+    std::vector<Vertex> members;   // sorted ascending
+  };
+
+  // Replaces the named bag rows, applies the assignment changes
+  // (vertex -> bag id, new-bag addressing as above), then rebuilds every
+  // derived plane — assigned rows, bags-containing rows, degree, total
+  // size — with the same two counting-sort passes Build() uses, but no
+  // BFS. Requires complete(); bumps version(). Unlike the freshly built
+  // cover, a patched cover may carry bags with no assigned vertices (all
+  // their members were re-assigned elsewhere); every consumer handles the
+  // empty row.
+  void ApplyPatch(const std::vector<BagPatch>& patches,
+                  const std::vector<std::pair<Vertex, int64_t>>& reassign);
+
+  // Starts at 0; ApplyPatch increments it. Consumers caching per-bag
+  // derivations key them on (bag id, version).
+  int64_t version() const { return version_; }
+
  private:
   template <typename T>
   static std::span<const T> Row(const std::vector<int64_t>& offsets,
@@ -116,6 +142,11 @@ class NeighborhoodCover {
   std::vector<int64_t> containing_values_;
   int64_t degree_ = 0;
   int64_t total_bag_size_ = 0;
+  int64_t version_ = 0;
+
+  // Rebuilds assigned_* and containing_* (plus degree_/total_bag_size_)
+  // from assigned_bag_ and the bag arena. Shared by ApplyPatch.
+  void RebuildDerivedPlanes();
 };
 
 }  // namespace nwd

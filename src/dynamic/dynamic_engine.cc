@@ -1,0 +1,237 @@
+#include "dynamic/dynamic_engine.h"
+
+#include <utility>
+
+#include "baseline/naive_enum.h"
+#include "fo/naive_eval.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace nwd {
+namespace {
+
+struct DynamicInstruments {
+  obs::Counter* edits_applied;
+  obs::Counter* edits_noop;
+  obs::Counter* batches;
+  obs::Counter* repairs;
+  obs::Counter* rebuilds;
+  obs::Counter* lazy_probes;
+  obs::Histogram* sync_us;
+};
+
+DynamicInstruments& Instruments() {
+  static DynamicInstruments* instruments = [] {
+    auto& reg = obs::MetricsRegistry::Global();
+    auto* m = new DynamicInstruments();
+    m->edits_applied = reg.GetCounter("dynamic.edits_applied");
+    m->edits_noop = reg.GetCounter("dynamic.edits_noop");
+    m->batches = reg.GetCounter("dynamic.batches");
+    m->repairs = reg.GetCounter("dynamic.repairs");
+    m->rebuilds = reg.GetCounter("dynamic.full_rebuilds");
+    m->lazy_probes = reg.GetCounter("dynamic.lazy_probes");
+    m->sync_us = reg.GetHistogram("dynamic.sync_us");
+    return m;
+  }();
+  return *instruments;
+}
+
+}  // namespace
+
+DynamicEngine::DynamicEngine(ColoredGraph graph, fo::Query query,
+                             Options options)
+    : query_(std::move(query)),
+      options_(options),
+      serving_graph_(std::move(graph)),
+      engine_graph_(serving_graph_) {
+  num_vertices_ = serving_graph_.NumVertices();
+  num_colors_ = serving_graph_.NumColors();
+  engine_ = std::make_unique<EnumerationEngine>(engine_graph_, query_,
+                                                options_.engine);
+  // The degraded pair is built once: both borrow the serving graph and
+  // keep only BFS scratch, so in-place graph mutation under the state
+  // lock never invalidates them.
+  lazy_eval_ = std::make_unique<fo::NaiveEvaluator>(serving_graph_);
+  lazy_next_ = std::make_unique<BacktrackingEnumerator>(serving_graph_,
+                                                        query_);
+  if (!options_.synchronous) {
+    repair_thread_ = std::thread(&DynamicEngine::RepairThreadBody, this);
+  }
+}
+
+DynamicEngine::DynamicEngine(ColoredGraph graph, fo::Query query)
+    : DynamicEngine(std::move(graph), std::move(query), Options()) {}
+
+DynamicEngine::~DynamicEngine() {
+  if (repair_thread_.joinable()) {
+    {
+      std::unique_lock<std::shared_mutex> lock(state_mu_);
+      stop_ = true;
+    }
+    work_cv_.notify_all();
+    repair_thread_.join();
+  }
+}
+
+int64_t DynamicEngine::Apply(std::span<const GraphEdit> edits) {
+  obs::ScopedSpan span("dynamic/apply");
+  std::vector<GraphEdit> effective;
+  effective.reserve(edits.size());
+  int64_t applied = 0;
+  {
+    std::unique_lock<std::shared_mutex> lock(state_mu_);
+    for (const GraphEdit& e : edits) {
+      NWD_CHECK(e.u >= 0 && e.u < num_vertices_) << "edit vertex out of range";
+      if (e.kind != GraphEdit::Kind::kSetColor) {
+        NWD_CHECK(e.v >= 0 && e.v < num_vertices_)
+            << "edit vertex out of range";
+      } else {
+        NWD_CHECK(e.color >= 0 && e.color < num_colors_)
+            << "edit color out of range";
+      }
+      if (serving_graph_.ApplyInPlace(e)) {
+        effective.push_back(e);
+        ++applied;
+      }
+    }
+    stats_.edits_applied += applied;
+    stats_.edits_noop += static_cast<int64_t>(edits.size()) - applied;
+    Instruments().edits_applied->Add(applied);
+    Instruments().edits_noop->Add(static_cast<int64_t>(edits.size()) -
+                                  applied);
+    if (effective.empty()) return applied;
+    in_sync_ = false;
+    stats_.in_sync = false;
+    if (!options_.synchronous) {
+      pending_.insert(pending_.end(), effective.begin(), effective.end());
+    }
+  }
+  if (options_.synchronous) {
+    SyncBatch(std::move(effective));
+  } else {
+    work_cv_.notify_one();
+  }
+  return applied;
+}
+
+void DynamicEngine::SyncBatch(std::vector<GraphEdit> batch) {
+  obs::ScopedSpan span("dynamic/sync");
+  Timer timer;
+  EnumerationEngine::RepairStats repair_stats;
+  bool repaired;
+  {
+    std::lock_guard<std::mutex> engine_lock(engine_mu_);
+    for (const GraphEdit& e : batch) engine_graph_.ApplyInPlace(e);
+    repaired = engine_->Repair(std::span<const GraphEdit>(batch),
+                               &repair_stats);
+    if (!repaired) {
+      // Repair declined (degraded engine, stale oracle past threshold,
+      // local-unary rewrite, ...): rebuild from the already-current copy.
+      engine_.reset();
+      engine_ = std::make_unique<EnumerationEngine>(engine_graph_, query_,
+                                                    options_.engine);
+    }
+  }
+  const double sync_ms = timer.ElapsedSeconds() * 1e3;
+  DynamicInstruments& m = Instruments();
+  m.batches->Increment();
+  (repaired ? m.repairs : m.rebuilds)->Increment();
+  m.sync_us->Record(static_cast<int64_t>(sync_ms * 1e3));
+
+  std::unique_lock<std::shared_mutex> lock(state_mu_);
+  ++stats_.batches;
+  if (repaired) {
+    ++stats_.repairs;
+    stats_.last_repair = repair_stats;
+  } else {
+    ++stats_.full_rebuilds;
+  }
+  stats_.last_sync_ms = sync_ms;
+  stats_.total_sync_ms += sync_ms;
+  if (pending_.empty()) {
+    in_sync_ = true;
+    stats_.in_sync = true;
+    sync_cv_.notify_all();
+  }
+}
+
+void DynamicEngine::RepairThreadBody() {
+  std::unique_lock<std::shared_mutex> lock(state_mu_);
+  for (;;) {
+    work_cv_.wait(lock, [&] { return stop_ || !pending_.empty(); });
+    if (pending_.empty()) {
+      if (stop_) return;
+      continue;
+    }
+    std::vector<GraphEdit> batch = std::move(pending_);
+    pending_.clear();
+    lock.unlock();
+    SyncBatch(std::move(batch));
+    lock.lock();
+  }
+}
+
+std::optional<Tuple> DynamicEngine::Next(const Tuple& from) const {
+  std::shared_lock<std::shared_mutex> lock(state_mu_);
+  if (in_sync_) {
+    engine_probes_.fetch_add(1, std::memory_order_relaxed);
+    return engine_->Next(from);
+  }
+  lazy_probes_.fetch_add(1, std::memory_order_relaxed);
+  Instruments().lazy_probes->Increment();
+  std::lock_guard<std::mutex> lazy_lock(lazy_mu_);
+  return lazy_next_->Next(from);
+}
+
+bool DynamicEngine::Test(const Tuple& tuple) const {
+  std::shared_lock<std::shared_mutex> lock(state_mu_);
+  if (in_sync_) {
+    engine_probes_.fetch_add(1, std::memory_order_relaxed);
+    return engine_->Test(tuple);
+  }
+  lazy_probes_.fetch_add(1, std::memory_order_relaxed);
+  Instruments().lazy_probes->Increment();
+  std::lock_guard<std::mutex> lazy_lock(lazy_mu_);
+  return lazy_eval_->TestTuple(query_, tuple);
+}
+
+std::optional<Tuple> DynamicEngine::First() const {
+  if (arity() == 0) {
+    return Test({}) ? std::make_optional(Tuple{}) : std::nullopt;
+  }
+  if (num_vertices_ == 0) return std::nullopt;
+  return Next(LexMin(arity()));
+}
+
+bool DynamicEngine::in_sync() const {
+  std::shared_lock<std::shared_mutex> lock(state_mu_);
+  return in_sync_;
+}
+
+void DynamicEngine::WaitForSync() const {
+  std::shared_lock<std::shared_mutex> lock(state_mu_);
+  sync_cv_.wait(lock, [&] { return in_sync_; });
+}
+
+DynamicEngine::UpdateStats DynamicEngine::stats() const {
+  std::shared_lock<std::shared_mutex> lock(state_mu_);
+  UpdateStats out = stats_;
+  out.in_sync = in_sync_;
+  out.engine_probes = engine_probes_.load(std::memory_order_relaxed);
+  out.lazy_probes = lazy_probes_.load(std::memory_order_relaxed);
+  return out;
+}
+
+EnumerationEngine::Stats DynamicEngine::engine_stats() const {
+  std::lock_guard<std::mutex> engine_lock(engine_mu_);
+  return engine_->stats();
+}
+
+AnswerCounters DynamicEngine::DrainAnswerStats() const {
+  std::lock_guard<std::mutex> engine_lock(engine_mu_);
+  return engine_->DrainAnswerStats();
+}
+
+}  // namespace nwd

@@ -210,9 +210,12 @@ void EnumerationEngine::DegradeAfterTrip() {
   strategy_.reset();
   cover_.reset();
   kernels_.Clear();
+  kernels_containing_.reset();
   oracle_.reset();
   lists_.clear();
   lists_.shrink_to_fit();
+  list_signatures_.clear();
+  list_signatures_.shrink_to_fit();
   skips_.clear();
   skips_.shrink_to_fit();
   case_data_.clear();
@@ -342,6 +345,10 @@ bool EnumerationEngine::PrepareLnfMode() {
                                                oracle_options);
   }
   if (StageTripped("engine/oracle")) return false;
+  // Arm the dirty overlay now (zero-cost until Repair marks something):
+  // repairs must accumulate marks monotonically, so attaching exactly once
+  // keeps earlier batches' staleness visible to later queries.
+  oracle_->AttachLiveGraph(graph_);
   stats_.cover_bags = cover_->NumBags();
   stats_.cover_degree = cover_->Degree();
   stats_.oracle_depth = oracle_->stats().max_depth;
@@ -415,6 +422,7 @@ bool EnumerationEngine::PrepareLnfMode() {
     budget_.ChargeAllocation(static_cast<int64_t>(total * sizeof(Vertex)));
     if (budget_.Exceeded()) break;  // lists are partial; stage check below
   }
+  list_signatures_ = std::move(signatures);  // kept for color-edit repair
   lists_span.End();
   if (StageTripped("engine/lists")) return false;
 
@@ -422,10 +430,10 @@ bool EnumerationEngine::PrepareLnfMode() {
   // skip structure (the seed rebuilt it once per list); one counting-sort
   // pass over the flattened kernels.
   NWD_CHECK(cover_->complete()) << "skip build over a budget-tripped cover";
-  auto kernels_containing = std::make_shared<const FlatRows<int64_t>>(
+  kernels_containing_ = std::make_shared<const FlatRows<int64_t>>(
       SkipPointers::IndexKernels(n, kernels_));
   budget_.ChargeWork(kernels_.TotalValues());
-  budget_.ChargeAllocation(kernels_containing->TotalValues() *
+  budget_.ChargeAllocation(kernels_containing_->TotalValues() *
                            static_cast<int64_t>(sizeof(int64_t)));
 
   obs::ScopedSpan skips_span("engine/skips");
@@ -434,7 +442,7 @@ bool EnumerationEngine::PrepareLnfMode() {
       0, static_cast<int64_t>(lists_.size()), /*grain=*/1,
       [&](int64_t li, int) {
         skips_[static_cast<size_t>(li)] = std::make_unique<SkipPointers>(
-            n, kernels_containing, lists_[static_cast<size_t>(li)],
+            n, kernels_containing_, lists_[static_cast<size_t>(li)],
             skip_set_size, &budget_);
       },
       &budget_);
@@ -463,6 +471,7 @@ bool EnumerationEngine::PrepareLnfMode() {
     const std::vector<Vertex>& base =
         lists_[static_cast<size_t>(data.list_index[0])];
     std::vector<uint8_t> extendable(base.size(), 0);
+    std::vector<Tuple> witnesses(base.size());
     pool.ParallelFor(
         0, static_cast<int64_t>(base.size()), /*grain=*/64,
         [&](int64_t i, int worker) {
@@ -475,16 +484,21 @@ bool EnumerationEngine::PrepareLnfMode() {
           ctx->ResetBallCache();
           ctx->assignment.assign(static_cast<size_t>(k), 0);
           ctx->assignment[0] = base[static_cast<size_t>(i)];
-          extendable[static_cast<size_t>(i)] =
-              Descend(ci, 1, dummy_from, /*tight=*/false, &ctx->assignment,
-                      ctx.get())
-                  ? 1
-                  : 0;
+          if (Descend(ci, 1, dummy_from, /*tight=*/false, &ctx->assignment,
+                      ctx.get())) {
+            extendable[static_cast<size_t>(i)] = 1;
+            // The completed assignment is this value's witness; Repair
+            // rechecks it instead of re-running the descent.
+            witnesses[static_cast<size_t>(i)] = ctx->assignment;
+          }
         },
         &budget_);
     if (budget_.Exceeded()) break;  // flags are partial; stage check below
     for (size_t i = 0; i < base.size(); ++i) {
-      if (extendable[i]) data.extendable0.push_back(base[i]);
+      if (extendable[i]) {
+        data.extendable0.push_back(base[i]);
+        data.witness0.push_back(std::move(witnesses[i]));
+      }
     }
   }
   extendable_span.End();
@@ -527,6 +541,400 @@ bool EnumerationEngine::PrepareLnfMode() {
     }
   }
   return true;
+}
+
+bool EnumerationEngine::Repair(std::span<const GraphEdit> edits,
+                               RepairStats* out) {
+  RepairStats local;
+  RepairStats* stats = out != nullptr ? out : &local;
+  *stats = RepairStats{};
+  stats->edits = static_cast<int64_t>(edits.size());
+  if (edits.empty()) return true;
+  // In-place repair only exists for the full LNF machinery. Fallback /
+  // degraded / lazy engines answer from the graph directly and need a
+  // plain rebuild; local-unary engines run on an expanded copy whose
+  // virtual colors an edit invalidates wholesale.
+  if (stats_.fallback || stats_.degraded || stats_.local_unaries > 0) {
+    return false;
+  }
+  obs::ScopedSpan span("engine/repair");
+  NWD_CHECK(cover_ != nullptr && oracle_ != nullptr);
+  Timer stage_timer;
+
+  const int k = lnf_.arity;
+  const int r = static_cast<int>(lnf_.radius);
+  const int cover_radius = cover_->radius();   // k * r
+  const int region_radius = 2 * cover_radius;  // the bag-ball radius
+  const int64_t n = graph_->NumVertices();
+  const int skip_set_size = std::max(1, k - 1);
+
+  bool have_edge_edits = false;
+  std::vector<Vertex> sites;
+  std::vector<uint8_t> color_edited(
+      static_cast<size_t>(graph_->NumColors()), 0);
+  for (const GraphEdit& e : edits) {
+    switch (e.kind) {
+      case GraphEdit::Kind::kAddEdge:
+      case GraphEdit::Kind::kRemoveEdge:
+        have_edge_edits = true;
+        sites.push_back(e.u);
+        sites.push_back(e.v);
+        break;
+      case GraphEdit::Kind::kSetColor:
+        sites.push_back(e.u);
+        color_edited[static_cast<size_t>(e.color)] = 1;
+        break;
+    }
+  }
+  std::sort(sites.begin(), sites.end());
+  sites.erase(std::unique(sites.begin(), sites.end()), sites.end());
+
+  // The damage region: everything within 2R of an edit site, with the
+  // distance to the nearest site. One multi-source BFS on the post-edit
+  // graph is exact for both add and remove — a shortest path to the site
+  // SET {u, v} never crosses the (u, v) edge itself.
+  BfsScratch scratch(n);
+  const std::vector<Vertex> region =
+      scratch.Neighborhood(*graph_, sites, region_radius);
+  std::vector<int32_t> edit_dist(static_cast<size_t>(n), -1);
+  for (const Vertex v : region) {
+    edit_dist[static_cast<size_t>(v)] =
+        static_cast<int32_t>(scratch.DistanceTo(v));
+  }
+  stats->region_size = static_cast<int64_t>(region.size());
+
+  if (have_edge_edits) {
+    // Distances may have shifted anywhere inside the region; the oracle
+    // answers those pairs from the live graph from now on. Past a quarter
+    // of the universe the stale structure stops paying for itself —
+    // decline, and the caller rebuilds (the marks below are monotone and
+    // conservative, so the declined state stays correct).
+    oracle_->MarkDirty(region);
+    stats->oracle_dirty = oracle_->NumDirty();
+    if (oracle_->NumDirty() * 4 > n) return false;
+  } else {
+    stats->oracle_dirty = oracle_->NumDirty();
+  }
+
+  // --- Cover + kernel repair (edge edits only: colors touch neither) ---
+  const int64_t old_bags = cover_->NumBags();
+  std::vector<int64_t> touched_bags;
+  if (have_edge_edits) {
+    std::vector<NeighborhoodCover::BagPatch> patches;
+    std::vector<std::pair<Vertex, int64_t>> reassign;
+    std::vector<Vertex> broken;
+    // A bag's ball changes iff its center is within 2R of a site; its
+    // assignments break iff the new center distance exceeds R (assignments
+    // to undamaged bags provably survive: all paths of length <= 2R from
+    // an untouched center avoid every edited edge).
+    for (int64_t b = 0; b < old_bags; ++b) {
+      const Vertex center = cover_->Center(b);
+      if (edit_dist[static_cast<size_t>(center)] < 0) continue;
+      ++stats->damaged_bags;
+      touched_bags.push_back(b);
+      NeighborhoodCover::BagPatch patch;
+      patch.bag = b;
+      patch.center = center;
+      scratch.NeighborhoodInto(*graph_, center, region_radius,
+                               &patch.members);
+      // DistanceTo is valid for exactly this BFS; orphan detection must
+      // happen before the next bag's ball is explored.
+      for (const Vertex v : cover_->AssignedVertices(b)) {
+        const int64_t d = scratch.DistanceTo(v);
+        if (d < 0 || d > cover_radius) broken.push_back(v);
+      }
+      patches.push_back(std::move(patch));
+    }
+    // Re-home the orphans: any center within R works (answers are
+    // semantically determined, so the choice only shapes per-probe cost);
+    // take the smallest bag id for determinism, or open a fresh bag.
+    std::vector<int64_t> center_bag(static_cast<size_t>(n), -1);
+    for (int64_t b = 0; b < old_bags; ++b) {
+      center_bag[static_cast<size_t>(cover_->Center(b))] = b;
+    }
+    int64_t appended = 0;
+    std::vector<Vertex> ball;
+    for (const Vertex v : broken) {
+      scratch.NeighborhoodInto(*graph_, v, region_radius, &ball);
+      int64_t target = -1;
+      for (const Vertex u : ball) {
+        if (scratch.DistanceTo(u) > cover_radius) continue;
+        const int64_t b = center_bag[static_cast<size_t>(u)];
+        if (b >= 0 && (target < 0 || b < target)) target = b;
+      }
+      if (target < 0) {
+        NeighborhoodCover::BagPatch patch;
+        patch.center = v;
+        patch.members = ball;  // N_2R(v), sorted
+        patches.push_back(std::move(patch));
+        target = old_bags + appended++;
+        center_bag[static_cast<size_t>(v)] = target;
+        ++stats->new_bags;
+      }
+      reassign.emplace_back(v, target);
+    }
+    stats->reassigned = static_cast<int64_t>(reassign.size());
+    cover_->ApplyPatch(patches, reassign);
+    stats_.cover_bags = cover_->NumBags();
+    stats_.cover_degree = cover_->Degree();
+
+    // Kernel rows to recompute: the damaged bags plus every bag holding a
+    // vertex whose r-ball changed (K_r membership can flip without the
+    // bag itself changing).
+    for (const Vertex v : region) {
+      if (edit_dist[static_cast<size_t>(v)] > r) continue;
+      for (const int64_t b : cover_->BagsContaining(v)) {
+        if (b < old_bags) touched_bags.push_back(b);
+      }
+    }
+    std::sort(touched_bags.begin(), touched_bags.end());
+    touched_bags.erase(
+        std::unique(touched_bags.begin(), touched_bags.end()),
+        touched_bags.end());
+    std::vector<std::pair<int64_t, std::vector<Vertex>>> kernel_rows;
+    kernel_rows.reserve(touched_bags.size());
+    for (const int64_t b : touched_bags) {
+      kernel_rows.emplace_back(b, ComputeKernel(*graph_, *cover_, b, r));
+    }
+    kernels_.ReplaceRows(kernel_rows);
+    for (int64_t b = old_bags; b < cover_->NumBags(); ++b) {
+      const std::vector<Vertex> row = ComputeKernel(*graph_, *cover_, b, r);
+      kernels_.PushRow(row);
+    }
+    stats->kernels_recomputed =
+        static_cast<int64_t>(touched_bags.size()) + stats->new_bags;
+  }
+
+  stats->cover_ms = stage_timer.ElapsedSeconds() * 1e3;
+  stage_timer.Restart();
+
+  // --- Candidate-list patching (color edits only) -----------------------
+  std::vector<uint8_t> list_changed(lists_.size(), 0);
+  for (const GraphEdit& e : edits) {
+    if (e.kind != GraphEdit::Kind::kSetColor) continue;
+    for (size_t li = 0; li < lists_.size(); ++li) {
+      bool mentions = false;
+      bool matches = true;
+      for (const auto& [color, positive] : list_signatures_[li]) {
+        if (color == e.color) mentions = true;
+        if (graph_->HasColor(e.u, color) != positive) matches = false;
+      }
+      if (!mentions) continue;
+      std::vector<Vertex>& list = lists_[li];
+      const auto it = std::lower_bound(list.begin(), list.end(), e.u);
+      const bool present = it != list.end() && *it == e.u;
+      if (matches && !present) {
+        list.insert(it, e.u);
+        list_changed[li] = 1;
+      } else if (!matches && present) {
+        list.erase(it);
+        list_changed[li] = 1;
+      }
+    }
+  }
+
+  // --- Skip repair ------------------------------------------------------
+  // Changed kernels do NOT force a full downward sweep: an SC entry whose
+  // bag set avoids every damaged bag keeps both its membership and its
+  // stored skip, so each list is patched incrementally — only closures
+  // that can mention a damaged bag are re-grown (RepairKernels). Lists
+  // whose membership itself changed (color edits) lose that invariant and
+  // rebuild from scratch against the current kernel index.
+  std::vector<int64_t> damaged_bags;
+  if (have_edge_edits) {
+    kernels_containing_ = std::make_shared<const FlatRows<int64_t>>(
+        SkipPointers::IndexKernels(n, kernels_));
+    damaged_bags = touched_bags;  // sorted; appended ids extend the order
+    for (int64_t b = old_bags; b < cover_->NumBags(); ++b) {
+      damaged_bags.push_back(b);
+    }
+  }
+  for (size_t li = 0; li < lists_.size(); ++li) {
+    if (list_changed[li]) {
+      skips_[li] = std::make_unique<SkipPointers>(
+          n, kernels_containing_, lists_[li], skip_set_size, nullptr);
+      ++stats->skips_rebuilt;
+    } else if (have_edge_edits) {
+      stats->skip_rows_recomputed +=
+          skips_[li]->RepairKernels(kernels_containing_, damaged_bags);
+      ++stats->skips_repaired;
+    }
+  }
+  stats_.skip_entries = 0;
+  for (const auto& skip : skips_) stats_.skip_entries += skip->TotalEntries();
+  stats->skips_ms = stage_timer.ElapsedSeconds() * 1e3;
+  stage_timer.Restart();
+
+  // --- Extendable projections + bytecode --------------------------------
+  RepairExtendable(edit_dist, color_edited, have_edge_edits, stats);
+  stats->extendable_ms = stage_timer.ElapsedSeconds() * 1e3;
+  stage_timer.Restart();
+  RecompileAfterRepair();
+  stats->compile_ms = stage_timer.ElapsedSeconds() * 1e3;
+
+  generation_.fetch_add(1, std::memory_order_acq_rel);
+  return true;
+}
+
+bool EnumerationEngine::CaseSatisfied(const LnfCase& c, const Tuple& t) const {
+  const int k = lnf_.arity;
+  const int r = static_cast<int>(lnf_.radius);
+  for (int i = 0; i < k; ++i) {
+    for (int j = i + 1; j < k; ++j) {
+      if (oracle_->WithinDistance(t[i], t[j], r) != c.tau[i][j]) return false;
+    }
+  }
+  for (const LnfLiteral& lit : c.literals) {
+    bool holds = false;
+    switch (lit.atom.kind) {
+      case LnfAtom::Kind::kColor:
+        holds = graph_->HasColor(t[lit.atom.pos1], lit.atom.color);
+        break;
+      case LnfAtom::Kind::kEdge:
+        holds = graph_->HasEdge(t[lit.atom.pos1], t[lit.atom.pos2]);
+        break;
+      case LnfAtom::Kind::kEquals:
+        holds = t[lit.atom.pos1] == t[lit.atom.pos2];
+        break;
+      case LnfAtom::Kind::kDist:
+        holds = oracle_->WithinDistance(t[lit.atom.pos1], t[lit.atom.pos2],
+                                        static_cast<int>(lit.atom.dist_bound));
+        break;
+    }
+    if (holds != lit.positive) return false;
+  }
+  return true;
+}
+
+void EnumerationEngine::RepairExtendable(
+    const std::vector<int32_t>& edit_dist,
+    const std::vector<uint8_t>& color_edited, bool have_edge_edits,
+    RepairStats* stats) {
+  const int k = lnf_.arity;
+  const int r = static_cast<int>(lnf_.radius);
+  // Any tuple whose truth flipped has a component within r of a site; in a
+  // single-tau-component case that pins a0 within (k-1)*r + r = k*r of it.
+  const int32_t locality = static_cast<int32_t>(cover_->radius());
+  compiled_.reset();  // borrows extendable0; re-lowered after the repair
+  ScopedProbeContext ctx(probe_pool_.get());
+  ctx->ResetBallCache();
+  const Tuple dummy_from = LexMin(k);
+
+  for (size_t ci = 0; ci < lnf_.cases.size(); ++ci) {
+    const LnfCase& c = lnf_.cases[ci];
+    CaseData& data = case_data_[ci];
+    // Color-only batches leave a case alone unless it mentions an edited
+    // color (its base list and every predicate are then untouched).
+    if (!have_edge_edits) {
+      bool mentions = false;
+      for (const LnfLiteral& lit : c.literals) {
+        if (lit.atom.kind == LnfAtom::Kind::kColor &&
+            color_edited[static_cast<size_t>(lit.atom.color)]) {
+          mentions = true;
+          break;
+        }
+      }
+      if (!mentions) continue;
+    }
+    const std::vector<Vertex>& base =
+        lists_[static_cast<size_t>(data.list_index[0])];
+    const bool single_comp = c.components.size() == 1;
+    std::vector<Vertex> new_ext;
+    std::vector<Tuple> new_wit;
+    new_ext.reserve(data.extendable0.size());
+    new_wit.reserve(data.witness0.size());
+    size_t pi = 0;  // cursor into the old (sorted) extendable0
+    for (const Vertex a0 : base) {
+      while (pi < data.extendable0.size() && data.extendable0[pi] < a0) {
+        ++pi;  // value left the base list; its entry drops
+      }
+      const bool was_positive =
+          pi < data.extendable0.size() && data.extendable0[pi] == a0;
+      bool keep = false;
+      Tuple witness;
+      bool need_descent = false;
+      if (was_positive) {
+        Tuple& w = data.witness0[pi];
+        // A witness with every component further than r from every site
+        // kept all its predicates; closer ones get the cheap semantic
+        // recheck, and only broken ones pay for a fresh descent.
+        bool near = false;
+        for (const Vertex t : w) {
+          const int32_t d = edit_dist[static_cast<size_t>(t)];
+          if (d >= 0 && d <= r) {
+            near = true;
+            break;
+          }
+        }
+        if (!near) {
+          keep = true;
+          witness = std::move(w);
+        } else {
+          ++stats->witnesses_rechecked;
+          if (CaseSatisfied(c, w)) {
+            keep = true;
+            witness = std::move(w);
+          } else {
+            ++stats->witnesses_broken;
+            need_descent = true;
+          }
+        }
+        ++pi;
+      } else {
+        // A negative flips only when some solution through it appeared:
+        // single-component cases localize that to `locality` around a
+        // site; multi-component cases can couple a0 to a far-away flip
+        // (the fresh component sits anywhere), so they re-descend.
+        const int32_t d = edit_dist[static_cast<size_t>(a0)];
+        need_descent = !single_comp || (d >= 0 && d <= locality);
+      }
+      if (need_descent) {
+        ++stats->descents_run;
+        ctx->assignment.assign(static_cast<size_t>(k), 0);
+        ctx->assignment[0] = a0;
+        if (Descend(ci, 1, dummy_from, /*tight=*/false, &ctx->assignment,
+                    ctx.get())) {
+          keep = true;
+          witness = ctx->assignment;
+        }
+      }
+      if (keep) {
+        new_ext.push_back(a0);
+        new_wit.push_back(std::move(witness));
+      }
+    }
+    data.extendable0 = std::move(new_ext);
+    data.witness0 = std::move(new_wit);
+  }
+}
+
+void EnumerationEngine::RecompileAfterRepair() {
+  compiled_.reset();
+  stats_.compiled = false;
+  if (!options_.use_compiled_queries) {
+    stats_.not_compiled_reason = "disabled by EngineOptions";
+    return;
+  }
+  if (std::getenv("NWD_NO_COMPILE") != nullptr) {
+    stats_.not_compiled_reason = "disabled by NWD_NO_COMPILE";
+    return;
+  }
+  // Re-lowering against the current graph retires every constant-folded
+  // fact the edit batch may have invalidated (color counts, empty lists).
+  Timer compile_timer;
+  std::vector<compile::CaseInputs> inputs;
+  inputs.reserve(case_data_.size());
+  for (const CaseData& data : case_data_) {
+    inputs.push_back(compile::CaseInputs{&data.list_index, &data.extendable0});
+  }
+  compiled_ = compile::Compile(lnf_, *graph_, inputs);
+  if (compiled_ != nullptr) {
+    stats_.compiled = true;
+    stats_.compile_ms = compile_timer.ElapsedSeconds() * 1e3;
+  } else {
+    stats_.not_compiled_reason =
+        "declined by the lowering (negative distance bound)";
+  }
 }
 
 bool EnumerationEngine::UnaryOk(const LnfCase& c, int position,
@@ -711,9 +1119,18 @@ bool EnumerationEngine::NextForCase(size_t case_index, const Tuple& from,
 
 std::optional<Tuple> EnumerationEngine::NextLnf(const Tuple& from,
                                                 ProbeContext* ctx) const {
-  // The ball cache spans exactly this probe: the same anchors recur across
-  // backtracks and across cases, but later probes see fresh state.
-  ctx->ResetBallCache();
+  // Anchor balls depend only on the graph (the Case II radius is fixed per
+  // engine), so the cache persists across probes and is dropped only when
+  // the dynamic-update plane patched the engine in place (generation
+  // mismatch) or the arena grew past its cap. Repeated probes against the
+  // same anchors — the enumeration loop's common shape — then skip the
+  // ball BFS entirely.
+  constexpr size_t kMaxCachedBalls = 4096;
+  const uint64_t gen = generation_.load(std::memory_order_acquire);
+  if (ctx->generation != gen || ctx->balls.size() > kMaxCachedBalls) {
+    ctx->ResetBallCache();
+    ctx->generation = gen;
+  }
   bool have_best = false;
   for (size_t ci = 0; ci < lnf_.cases.size(); ++ci) {
     if (!NextForCase(ci, from, ctx)) continue;

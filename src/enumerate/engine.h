@@ -59,11 +59,14 @@
 #ifndef NWD_ENUMERATE_ENGINE_H_
 #define NWD_ENUMERATE_ENGINE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cover/neighborhood_cover.h"
@@ -230,6 +233,55 @@ class EnumerationEngine {
     return compiled_.get();
   }
 
+  // --- Dynamic-update plane: localized in-place repair ------------------
+
+  struct RepairStats {
+    int64_t edits = 0;            // edits in the batch
+    int64_t region_size = 0;      // vertices within 2R of an edit site
+    int64_t damaged_bags = 0;     // cover bags whose 2R-ball changed
+    int64_t new_bags = 0;         // bags opened for orphaned vertices
+    int64_t reassigned = 0;       // vertices moved to another bag
+    int64_t kernels_recomputed = 0;
+    int64_t skips_rebuilt = 0;    // lists rebuilt from scratch (list changed)
+    int64_t skips_repaired = 0;   // lists patched via incremental SC repair
+    int64_t skip_rows_recomputed = 0;  // SC closures re-grown across lists
+    int64_t witnesses_rechecked = 0;
+    int64_t witnesses_broken = 0;
+    int64_t descents_run = 0;     // fresh extendable descents
+    int64_t oracle_dirty = 0;     // dirty overlay size after this repair
+    // Per-stage wall time, for the update-vs-rebuild cost breakdown
+    // (experiment E18).
+    double cover_ms = 0.0;        // region BFS + bag patching + kernels
+    double skips_ms = 0.0;        // kernel index + skip-list repair
+    double extendable_ms = 0.0;   // witness recheck + fresh descents
+    double compile_ms = 0.0;      // bytecode re-lowering
+  };
+
+  // Repairs the preprocessed structures in place after `edits` have
+  // already been applied to the underlying graph (the caller owns the
+  // graph and mutates it through ColoredGraph::ApplyInPlace). Damage is
+  // localized: only bags whose 2R-ball touches an edit are re-BFS'd,
+  // only their kernels recomputed, only affected candidate lists patched,
+  // and the extendable projections repaired through stored witnesses —
+  // the distance oracle goes stale gracefully behind a dirty overlay
+  // instead of rebuilding. Bumps generation() so pooled probe contexts
+  // drop their cached anchor balls.
+  //
+  // Returns false when in-place repair is not possible — fallback /
+  // degraded / sentence / local-unary engines, or the dirty overlay
+  // crossed its staleness threshold — in which case the engine was NOT
+  // modified beyond the (harmless, monotone) dirty marks and the caller
+  // must rebuild from scratch. Not thread-safe: the caller must exclude
+  // all concurrent probes (the dynamic engine routes probes to its lazy
+  // path while a repair is in flight).
+  bool Repair(std::span<const GraphEdit> edits, RepairStats* out = nullptr);
+
+  // Starts at 0; Repair bumps it. Probe contexts stamp their anchor-ball
+  // caches with it.
+  uint64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
+
  private:
   struct CaseData {
     // Per fresh position (minimum of its tau-component): index into
@@ -239,6 +291,11 @@ class EnumerationEngine {
     // Sorted, case-specific extendable values for position 0 (the
     // materialized projection).
     std::vector<Vertex> extendable0;
+    // witness0[i]: one full solution extending extendable0[i], captured by
+    // the preprocessing descent. Repair rechecks these semantically — a
+    // surviving witness proves the value still extendable without a new
+    // descent.
+    std::vector<Tuple> witness0;
   };
 
   // Runs the LNF preprocessing stages. Returns false when the budget
@@ -287,6 +344,19 @@ class EnumerationEngine {
   // LNF-mode Next() body running against the caller's context.
   std::optional<Tuple> NextLnf(const Tuple& from, ProbeContext* ctx) const;
 
+  // Whether `t` satisfies every predicate of case `c` on the current graph
+  // (tau distance types + literals) — the semantic witness recheck.
+  bool CaseSatisfied(const LnfCase& c, const Tuple& t) const;
+  // Repairs each case's extendable0/witness0 after a structural repair.
+  // `edit_dist[v]` is the distance from v to the nearest edit site (-1 if
+  // beyond 2R); `color_edited` flags the colors touched by the batch.
+  void RepairExtendable(const std::vector<int32_t>& edit_dist,
+                        const std::vector<uint8_t>& color_edited,
+                        bool have_edge_edits, RepairStats* stats);
+  // Re-lowers the LNF cases to bytecode against the current graph (stale
+  // constant-folded color facts die here). Mirrors the prepare-time stage.
+  void RecompileAfterRepair();
+
   // num_threads semantics shared by the batch APIs (0 = hardware).
   static int ResolveAnswerThreads(int num_threads);
 
@@ -318,10 +388,17 @@ class EnumerationEngine {
   FlatRows<Vertex> kernels_;  // r-kernels per bag, CSR layout
   std::unique_ptr<DistanceOracle> oracle_;
   // Deduplicated candidate lists (by unary-literal signature) and their
-  // skip-pointer structures.
+  // skip-pointer structures. The signatures are kept so the dynamic-update
+  // plane can patch list membership after a color edit.
   std::vector<std::vector<Vertex>> lists_;
+  std::vector<std::vector<std::pair<int, bool>>> list_signatures_;
   std::vector<std::unique_ptr<SkipPointers>> skips_;
+  // The shared vertex -> containing-kernels index behind every skip
+  // structure; rebuilt (with all skips) when any kernel row changes.
+  std::shared_ptr<const FlatRows<int64_t>> kernels_containing_;
   std::vector<CaseData> case_data_;
+  // Bumped by Repair; see generation().
+  std::atomic<uint64_t> generation_{0};
   // The compiled bytecode programs (null = interpreter). Borrows
   // case_data_'s extendable0 vectors and is reset alongside them
   // (DegradeAfterTrip).

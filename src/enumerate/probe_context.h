@@ -166,6 +166,13 @@ struct ProbeContext {
   std::vector<uint8_t> next_tin;
   std::vector<uint8_t> next_ct;
 
+  // Which engine generation the ball cache was filled under. Anchor balls
+  // depend only on the graph (the radius is fixed per engine), so the
+  // cache stays valid across probes until the dynamic-update plane patches
+  // the engine in place and bumps its generation; NextLnf compares this
+  // stamp against the engine's and clears on mismatch.
+  uint64_t generation = 0;
+
   std::atomic<int64_t> probes_served{0};
   std::atomic<int64_t> descents{0};
   std::atomic<int64_t> ball_cache_hits{0};

@@ -22,6 +22,68 @@ bool ColoredGraph::HasEdge(Vertex u, Vertex v) const {
   return std::binary_search(nbrs.begin(), nbrs.end(), v);
 }
 
+void ColoredGraph::InsertArc(Vertex src, Vertex dst) {
+  const auto row_begin = adj_.begin() + offsets_[src];
+  const auto row_end = adj_.begin() + offsets_[src + 1];
+  adj_.insert(std::lower_bound(row_begin, row_end, dst), dst);
+  for (size_t i = static_cast<size_t>(src) + 1; i < offsets_.size(); ++i) {
+    ++offsets_[i];
+  }
+}
+
+void ColoredGraph::EraseArc(Vertex src, Vertex dst) {
+  const auto row_begin = adj_.begin() + offsets_[src];
+  const auto row_end = adj_.begin() + offsets_[src + 1];
+  const auto it = std::lower_bound(row_begin, row_end, dst);
+  if (it == row_end || *it != dst) return;
+  adj_.erase(it);
+  for (size_t i = static_cast<size_t>(src) + 1; i < offsets_.size(); ++i) {
+    --offsets_[i];
+  }
+}
+
+bool ColoredGraph::AddEdgeInPlace(Vertex u, Vertex v) {
+  if (u == v || HasEdge(u, v)) return false;
+  InsertArc(u, v);
+  InsertArc(v, u);
+  return true;
+}
+
+bool ColoredGraph::RemoveEdgeInPlace(Vertex u, Vertex v) {
+  if (u == v || !HasEdge(u, v)) return false;
+  EraseArc(u, v);
+  EraseArc(v, u);
+  return true;
+}
+
+bool ColoredGraph::SetColorInPlace(Vertex v, int color, bool on) {
+  if (HasColor(v, color) == on) return false;
+  const size_t bit =
+      static_cast<size_t>(v) * static_cast<size_t>(num_colors_) +
+      static_cast<size_t>(color);
+  color_bits_[bit >> 6] ^= uint64_t{1} << (bit & 63);
+  std::vector<Vertex>& members = color_members_[static_cast<size_t>(color)];
+  const auto it = std::lower_bound(members.begin(), members.end(), v);
+  if (on) {
+    members.insert(it, v);
+  } else {
+    members.erase(it);
+  }
+  return true;
+}
+
+bool ColoredGraph::ApplyInPlace(const GraphEdit& edit) {
+  switch (edit.kind) {
+    case GraphEdit::Kind::kAddEdge:
+      return AddEdgeInPlace(edit.u, edit.v);
+    case GraphEdit::Kind::kRemoveEdge:
+      return RemoveEdgeInPlace(edit.u, edit.v);
+    case GraphEdit::Kind::kSetColor:
+      return SetColorInPlace(edit.u, edit.color, edit.color_on);
+  }
+  return false;
+}
+
 std::string ColoredGraph::DebugString() const {
   std::ostringstream out;
   out << "graph(n=" << NumVertices() << ", m=" << NumEdges()

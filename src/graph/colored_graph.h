@@ -24,7 +24,33 @@ namespace nwd {
 // A vertex id. Dense in [0, n).
 using Vertex = int64_t;
 
-// An immutable colored graph in CSR form. Build with GraphBuilder.
+// One in-place edit of a colored graph: the unit the dynamic-update plane
+// (src/dynamic/) localizes repair around. Edge edits name {u, v}; color
+// edits name vertex u, the color id, and the new truth value.
+struct GraphEdit {
+  enum class Kind { kAddEdge, kRemoveEdge, kSetColor };
+
+  static GraphEdit AddEdge(Vertex u, Vertex v) {
+    return GraphEdit{Kind::kAddEdge, u, v, -1, false};
+  }
+  static GraphEdit RemoveEdge(Vertex u, Vertex v) {
+    return GraphEdit{Kind::kRemoveEdge, u, v, -1, false};
+  }
+  static GraphEdit SetColor(Vertex v, int color, bool on) {
+    return GraphEdit{Kind::kSetColor, v, -1, color, on};
+  }
+
+  Kind kind = Kind::kAddEdge;
+  Vertex u = -1;
+  Vertex v = -1;      // second endpoint; -1 for color edits
+  int color = -1;     // color edits only
+  bool color_on = false;
+};
+
+// A colored graph in CSR form. Build with GraphBuilder. Logically immutable
+// for every consumer except the dynamic-update plane, which owns its graphs
+// exclusively and mutates them through the *InPlace methods below (the CSR
+// arenas are spliced, all sortedness invariants maintained).
 class ColoredGraph {
  public:
   // An empty graph (0 vertices, 0 colors).
@@ -71,8 +97,27 @@ class ColoredGraph {
   // Human-readable one-line summary, e.g. "graph(n=10, m=9, c=2)".
   std::string DebugString() const;
 
+  // --- In-place mutation (dynamic-update plane only) --------------------
+  //
+  // Each returns true iff the graph changed (false: the edge was already
+  // present/absent, the color already had that value, or u == v). Vertex
+  // ids and color ids must be in range. Cost is O(n + m) worst case (CSR
+  // arena splice); the callers batch whole edit streams behind one repair.
+
+  bool AddEdgeInPlace(Vertex u, Vertex v);
+  bool RemoveEdgeInPlace(Vertex u, Vertex v);
+  bool SetColorInPlace(Vertex v, int color, bool on);
+
+  // Applies one GraphEdit; returns whether the graph changed.
+  bool ApplyInPlace(const GraphEdit& edit);
+
  private:
   friend class GraphBuilder;
+
+  // Inserts/removes the arc src -> dst in src's sorted adjacency row and
+  // shifts the offsets after src.
+  void InsertArc(Vertex src, Vertex dst);
+  void EraseArc(Vertex src, Vertex dst);
 
   int64_t num_vertices_ = 0;
   int num_colors_ = 0;

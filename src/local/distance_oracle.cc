@@ -131,10 +131,39 @@ std::unique_ptr<DistanceOracle::Level> DistanceOracle::BuildLevel(
   return level;
 }
 
+void DistanceOracle::AttachLiveGraph(const ColoredGraph* live) {
+  NWD_CHECK(live != nullptr);
+  live_graph_ = live;
+  dirty_.assign(static_cast<size_t>(live->NumVertices()), 0);
+  num_dirty_ = 0;
+}
+
+void DistanceOracle::MarkDirty(std::span<const Vertex> vertices) {
+  NWD_CHECK(!dirty_.empty() || vertices.empty())
+      << "MarkDirty before AttachLiveGraph";
+  for (const Vertex v : vertices) {
+    uint8_t& flag = dirty_[static_cast<size_t>(v)];
+    num_dirty_ += flag == 0;
+    flag = 1;
+  }
+}
+
 bool DistanceOracle::WithinDistance(Vertex a, Vertex b, int r_query) const {
   NWD_CHECK(r_query >= 0 && r_query <= radius_)
       << "query radius " << r_query << " exceeds preprocessing radius "
       << radius_;
+  if (num_dirty_ > 0 && dirty_[static_cast<size_t>(a)] &&
+      dirty_[static_cast<size_t>(b)]) {
+    // Both endpoints near an edit: the stale structure can be wrong in
+    // either direction, so answer by bounded BFS on the live graph. Same
+    // thread-local scratch discipline as the leaf path below.
+    if (a == b) return true;
+    if (r_query <= 0) return false;
+    static thread_local BfsScratch scratch(0);
+    scratch.EnsureCapacity(live_graph_->NumVertices());
+    scratch.Explore(*live_graph_, a, r_query);
+    return scratch.DistanceTo(b) >= 0;
+  }
   return TestAtLevel(*root_, a, b, r_query);
 }
 

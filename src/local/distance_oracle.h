@@ -79,6 +79,29 @@ class DistanceOracle {
   int radius() const { return radius_; }
   const Stats& stats() const { return stats_; }
 
+  // --- Dynamic-update plane: dirty overlay ------------------------------
+  //
+  // Rebuilding the recursive structure after every edit would cost as much
+  // as preprocessing, so the oracle instead goes stale gracefully: the
+  // repair lane attaches the live graph and marks every vertex within
+  // distance 2R of an edit dirty. A query answers from the stale structure
+  // whenever at least one endpoint is clean — a clean vertex's
+  // radius()-ball is untouched by every edit so far, and "dist(a,b) <= r"
+  // only depends on one endpoint's r-ball — and falls back to a bounded
+  // BFS on the live graph when both endpoints are dirty.
+
+  // Attaches the current graph for the both-dirty fallback and sizes the
+  // dirty bitmap. Must be called before MarkDirty; `live` must outlive the
+  // oracle (the dynamic engine owns both).
+  void AttachLiveGraph(const ColoredGraph* live);
+
+  // Marks vertices dirty (idempotent per vertex).
+  void MarkDirty(std::span<const Vertex> vertices);
+
+  // Number of distinct dirty vertices; the repair lane compares it against
+  // a fraction of n to decide when staleness warrants a full rebuild.
+  int64_t NumDirty() const { return num_dirty_; }
+
  private:
   struct Bag;
 
@@ -116,6 +139,11 @@ class DistanceOracle {
   const SplitterStrategy* strategy_;
   Stats stats_;
   std::unique_ptr<Level> root_;
+
+  // Dirty overlay (empty bitmap until AttachLiveGraph).
+  const ColoredGraph* live_graph_ = nullptr;
+  std::vector<uint8_t> dirty_;
+  int64_t num_dirty_ = 0;
 };
 
 }  // namespace nwd

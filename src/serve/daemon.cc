@@ -43,6 +43,8 @@ struct ServeMetrics {
   obs::Counter* internal_errors;
   obs::Counter* worker_deaths;
   obs::Counter* reloads;
+  obs::Counter* updates;
+  obs::Counter* update_edits;
   obs::Counter* answers;
   obs::Gauge* connections;
   obs::Histogram* request_ns;
@@ -63,6 +65,8 @@ struct ServeMetrics {
       v.internal_errors = reg.GetCounter("serve.internal_errors");
       v.worker_deaths = reg.GetCounter("serve.worker_deaths");
       v.reloads = reg.GetCounter("serve.reloads");
+      v.updates = reg.GetCounter("serve.updates");
+      v.update_edits = reg.GetCounter("serve.update_edits");
       v.answers = reg.GetCounter("serve.answers");
       v.connections = reg.GetGauge("serve.connections");
       v.request_ns = reg.GetHistogram("serve.request_ns");
@@ -345,6 +349,9 @@ bool Daemon::HandleRequest(FdStream* stream, const Request& request) {
     case RequestOp::kReload:
       alive = HandleReload(stream, request);
       break;
+    case RequestOp::kUpdate:
+      alive = HandleUpdate(stream, request);
+      break;
     default:
       alive = SendError(stream, ErrorCode::kInternal, "unroutable op");
       break;
@@ -361,12 +368,12 @@ bool Daemon::HandleProbe(FdStream* stream, const Request& request) {
   if (snapshot == nullptr) {
     return SendError(stream, ErrorCode::kNoGraph, "no graph loaded");
   }
-  const EnumerationEngine& engine = *snapshot->engine;
+  const DynamicEngine& engine = *snapshot->dynamic;
   if (static_cast<int>(request.tuple.size()) != engine.arity()) {
     return SendError(stream, ErrorCode::kBadRequest,
                      "tuple arity != query arity");
   }
-  if (!TupleInRange(request.tuple, engine.universe())) {
+  if (!TupleInRange(request.tuple, engine.NumVertices())) {
     return SendError(stream, ErrorCode::kOutOfRange,
                      "tuple component outside [0, n)");
   }
@@ -381,7 +388,7 @@ bool Daemon::HandleProbe(FdStream* stream, const Request& request) {
     metrics.internal_errors->Increment();
     return SendError(stream, ErrorCode::kInternal, "injected answer fault");
   }
-  if (engine.stats().degraded) metrics.degraded->Increment();
+  if (engine.engine_stats().degraded) metrics.degraded->Increment();
   std::string reply;
   if (request.op == RequestOp::kTest) {
     reply = std::string("ok test ") + (engine.Test(request.tuple) ? "1" : "0");
@@ -407,8 +414,8 @@ bool Daemon::HandleEnumerate(FdStream* stream, const Request& request,
   if (snapshot == nullptr) {
     return SendError(stream, ErrorCode::kNoGraph, "no graph loaded");
   }
-  const EnumerationEngine& engine = *snapshot->engine;
-  const int64_t n = engine.universe();
+  const DynamicEngine& engine = *snapshot->dynamic;
+  const int64_t n = engine.NumVertices();
   Tuple cursor = request.has_from ? request.tuple : LexMin(engine.arity());
   if (request.has_from) {
     if (static_cast<int>(cursor.size()) != engine.arity()) {
@@ -422,7 +429,7 @@ bool Daemon::HandleEnumerate(FdStream* stream, const Request& request,
   }
   const Deadline deadline = Deadline::Resolve(
       request.deadline_ms, options_.default_deadline_ms, NowNs());
-  if (engine.stats().degraded) metrics.degraded->Increment();
+  if (engine.engine_stats().degraded) metrics.degraded->Increment();
 
   const std::string epoch_token = " epoch=" + std::to_string(snapshot->epoch);
   int64_t count = 0;
@@ -516,6 +523,59 @@ bool Daemon::HandleReload(FdStream* stream, const Request& request) {
   return true;
 }
 
+bool Daemon::HandleUpdate(FdStream* stream, const Request& request) {
+  ServeMetrics& metrics = ServeMetrics::Get();
+  if (!options_.allow_update) {
+    return SendError(stream, ErrorCode::kBadRequest, "update disabled");
+  }
+  const std::shared_ptr<const EngineSnapshot> snapshot = registry_.Acquire();
+  if (snapshot == nullptr) {
+    return SendError(stream, ErrorCode::kNoGraph, "no graph loaded");
+  }
+  const int64_t n = snapshot->dynamic->NumVertices();
+  const int num_colors = snapshot->dynamic->NumColors();
+  for (const GraphEdit& e : request.edits) {
+    if (e.u < 0 || e.u >= n ||
+        (e.kind != GraphEdit::Kind::kSetColor && (e.v < 0 || e.v >= n))) {
+      return SendError(stream, ErrorCode::kOutOfRange,
+                       "edit vertex outside [0, n)");
+    }
+    if (e.kind == GraphEdit::Kind::kSetColor &&
+        (e.color < 0 || e.color >= num_colors)) {
+      return SendError(stream, ErrorCode::kOutOfRange,
+                       "edit color outside [0, num_colors)");
+    }
+  }
+  int64_t applied = 0;
+  {
+    // Hold the rebuild lane closed while applying: a reload rebuild in
+    // flight would publish an epoch built from the pre-edit source and
+    // silently discard an edit this reply acknowledges. Same
+    // reject-don't-queue admission as reload itself.
+    std::lock_guard<std::mutex> lock(rebuild_mu_);
+    if (rebuild_busy_ || pending_job_ != nullptr) {
+      metrics.rejected->Increment();
+      return SendError(stream, ErrorCode::kRetryAfter, "rebuild in flight",
+                       options_.retry_after_ms * 4);
+    }
+    applied = snapshot->dynamic->Apply(request.edits);
+  }
+  if (request.wait_sync) snapshot->dynamic->WaitForSync();
+  metrics.updates->Increment();
+  metrics.update_edits->Add(applied);
+  const std::string reply =
+      "ok update applied=" + std::to_string(applied) +
+      " total=" + std::to_string(request.edits.size()) +
+      std::string(" insync=") + (snapshot->dynamic->in_sync() ? "1" : "0") +
+      " epoch=" + std::to_string(snapshot->epoch);
+  if (!WriteFrame(stream, reply)) {
+    metrics.dropped_conns->Increment();
+    return false;
+  }
+  metrics.responses_ok->Increment();
+  return true;
+}
+
 bool Daemon::HandleMetrics(FdStream* stream) {
   ServeMetrics& metrics = ServeMetrics::Get();
   std::ostringstream body;
@@ -536,9 +596,12 @@ bool Daemon::HandleStats(FdStream* stream) {
                       " inflight=" + std::to_string(gate_.inflight()) +
                       " max_inflight=" + std::to_string(gate_.max_inflight());
   if (snapshot != nullptr) {
-    reply += " n=" + std::to_string(snapshot->engine->universe());
+    const DynamicEngine::UpdateStats update_stats = snapshot->dynamic->stats();
+    reply += " n=" + std::to_string(snapshot->dynamic->NumVertices());
     reply += std::string(" degraded=") +
-             (snapshot->engine->stats().degraded ? "1" : "0");
+             (snapshot->dynamic->engine_stats().degraded ? "1" : "0");
+    reply += " edits=" + std::to_string(update_stats.edits_applied);
+    reply += std::string(" insync=") + (update_stats.in_sync ? "1" : "0");
     reply += " source=" + snapshot->source;
   }
   if (!WriteFrame(stream, reply)) {
@@ -588,7 +651,7 @@ void Daemon::RebuildThreadBody() {
       }
       snapshot->Prepare(engine_options);
       job->ok = true;
-      job->degraded = snapshot->engine->stats().degraded;
+      job->degraded = snapshot->dynamic->engine_stats().degraded;
       job->epoch = registry_.Publish(std::move(snapshot));
     }
     job->prep_ms = static_cast<double>(NowNs() - started_ns) / 1e6;

@@ -81,9 +81,10 @@ struct DaemonOptions {
   EngineOptions engine;
   // Loader caps for file: reload sources.
   GraphParseLimits parse_limits;
-  // Refuse reload / shutdown requests (a fleet-facing daemon may want
-  // probes only).
+  // Refuse reload / update / shutdown requests (a fleet-facing daemon
+  // may want probes only).
   bool allow_reload = true;
+  bool allow_update = true;
   bool allow_shutdown = true;
 };
 
@@ -160,6 +161,7 @@ class Daemon {
   bool HandleEnumerate(FdStream* stream, const Request& request,
                        int64_t admitted_at_ns);
   bool HandleReload(FdStream* stream, const Request& request);
+  bool HandleUpdate(FdStream* stream, const Request& request);
   bool HandleMetrics(FdStream* stream);
   bool HandleStats(FdStream* stream);
 

@@ -1,20 +1,24 @@
 // Epoch-based engine snapshots: the daemon's reload-without-downtime
 // mechanism.
 //
-// A snapshot bundles one immutable world: the graph, the query, and the
-// EnumerationEngine prepared over them (plus its ProbeContext pool). The
-// registry holds the current snapshot behind a shared_ptr; a request
-// Acquire()s it once and serves entirely against that snapshot, so a
-// concurrent Publish() (graph reload) can swap the current pointer
-// without ever blocking a probe or mixing answers across epochs — the
-// acceptance property the soak test replays for. Old epochs drain
-// naturally: the last in-flight holder dropping its reference destroys
-// the snapshot (engine first, graph after — member order below), and the
-// custom deleter timestamps that moment so swap-drain latency is a
-// histogram (`serve.swap_drain_ns`), not a guess.
+// A snapshot bundles one world: the query and a DynamicEngine prepared
+// over the graph built from `source`. The registry holds the current
+// snapshot behind a shared_ptr; a request Acquire()s it once and serves
+// entirely against that snapshot, so a concurrent Publish() (graph
+// reload) can swap the current pointer without ever blocking a probe or
+// mixing answers across epochs — the acceptance property the soak test
+// replays for. Old epochs drain naturally: the last in-flight holder
+// dropping its reference destroys the snapshot, and the custom deleter
+// timestamps that moment so swap-drain latency is a histogram
+// (`serve.swap_drain_ns`), not a guess.
 //
-// The engine borrows its graph, so EngineSnapshot pins both and must not
-// be moved after Prepare(); everything is held by unique/shared_ptr.
+// The world is no longer immutable within an epoch: the `update` verb
+// patches the live snapshot's graph in place through the DynamicEngine,
+// which repairs its engine in the background while probes keep getting
+// current answers. That works through `shared_ptr<const EngineSnapshot>`
+// because const does not propagate through the `dynamic` unique_ptr, and
+// DynamicEngine is internally synchronized. The epoch only advances on
+// reload (a wholesale world swap), never on update.
 //
 // Metrics: serve.epoch_swaps (counter), serve.epoch (gauge),
 // serve.snapshots_live (gauge), serve.swap_drain_ns (histogram, gated by
@@ -27,7 +31,9 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 
+#include "dynamic/dynamic_engine.h"
 #include "enumerate/engine.h"
 #include "fo/ast.h"
 #include "graph/colored_graph.h"
@@ -38,14 +44,17 @@ namespace serve {
 struct EngineSnapshot {
   int64_t epoch = 0;          // assigned by Publish(), 1-based
   std::string source;         // "file:<path>" / "gen:<class>:<n>:<seed>"
-  ColoredGraph graph;         // owned; must outlive engine (member order)
+  ColoredGraph graph;         // staging only: moved into `dynamic` below
   fo::Query query;
-  std::unique_ptr<EnumerationEngine> engine;  // borrows graph
+  std::unique_ptr<DynamicEngine> dynamic;  // owns the live graph
 
-  // Builds the engine over graph/query. Call exactly once, after which
-  // the snapshot must stay at a stable address.
+  // Builds the dynamic engine over graph/query, consuming `graph` (the
+  // dynamic plane must be the only mutator). Call exactly once.
   void Prepare(const EngineOptions& options) {
-    engine = std::make_unique<EnumerationEngine>(graph, query, options);
+    DynamicEngine::Options dynamic_options;
+    dynamic_options.engine = options;
+    dynamic = std::make_unique<DynamicEngine>(std::move(graph), query,
+                                              dynamic_options);
   }
 };
 

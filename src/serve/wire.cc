@@ -48,6 +48,36 @@ bool KeyValue(std::string_view token, std::string_view key,
   return true;
 }
 
+// Parses one `update` edit spec: `add:u,v` / `del:u,v` / `color:v,c,b`.
+// Range checks against the live graph happen in the daemon, not here.
+bool ParseEditSpec(std::string_view spec, GraphEdit* out,
+                   std::string* error) {
+  const size_t colon = spec.find(':');
+  if (colon == std::string_view::npos) {
+    *error = "edit spec needs add:u,v / del:u,v / color:v,c,<0|1>";
+    return false;
+  }
+  const std::string_view kind = spec.substr(0, colon);
+  Tuple fields;
+  if (!ParseTupleText(spec.substr(colon + 1), &fields)) {
+    *error = "bad edit spec '" + std::string(spec) + "'";
+    return false;
+  }
+  if ((kind == "add" || kind == "del") && fields.size() == 2) {
+    *out = kind == "add" ? GraphEdit::AddEdge(fields[0], fields[1])
+                         : GraphEdit::RemoveEdge(fields[0], fields[1]);
+    return true;
+  }
+  if (kind == "color" && fields.size() == 3 &&
+      (fields[2] == 0 || fields[2] == 1)) {
+    *out = GraphEdit::SetColor(fields[0], static_cast<int>(fields[1]),
+                               fields[2] == 1);
+    return true;
+  }
+  *error = "bad edit spec '" + std::string(spec) + "'";
+  return false;
+}
+
 }  // namespace
 
 const char* ErrorCodeName(ErrorCode code) {
@@ -229,6 +259,27 @@ bool ParseRequest(std::string_view line, Request* out, std::string* error) {
     }
     out->source = std::string(tokens[1]);
     next_arg = 2;
+  } else if (op == "update") {
+    out->op = RequestOp::kUpdate;
+    if (tokens.size() < 2 || tokens[1].find('=') != std::string_view::npos) {
+      *error = "update needs ;-separated edit specs";
+      return false;
+    }
+    std::string_view specs = tokens[1];
+    while (!specs.empty()) {
+      const size_t semi = specs.find(';');
+      const std::string_view spec = specs.substr(0, semi);
+      GraphEdit edit;
+      if (!ParseEditSpec(spec, &edit, error)) return false;
+      out->edits.push_back(edit);
+      if (semi == std::string_view::npos) break;
+      specs.remove_prefix(semi + 1);
+      if (specs.empty()) {
+        *error = "trailing ';' in update specs";
+        return false;
+      }
+    }
+    next_arg = 2;
   } else {
     *error = "unknown op '" + std::string(op) + "'";
     return false;
@@ -265,6 +316,13 @@ bool ParseRequest(std::string_view line, Request* out, std::string* error) {
         *error = "bad max_edge_work";
         return false;
       }
+    } else if (KeyValue(tokens[i], "wait", &value) &&
+               out->op == RequestOp::kUpdate) {
+      if (value != "0" && value != "1") {
+        *error = "bad wait (0|1)";
+        return false;
+      }
+      out->wait_sync = value == "1";
     } else {
       *error = "unknown argument '" + std::string(tokens[i]) + "'";
       return false;

@@ -17,9 +17,20 @@
 //   next <v,v,...> [deadline_ms=N]
 //   enumerate [from=v,v,...] [limit=N] [deadline_ms=N]
 //   reload <source> [budget_ms=N] [max_edge_work=N]
+//   update <spec>[;<spec>...] [wait=1]
 //   metrics
 //   stats
 //   shutdown
+//
+// `update` patches the live snapshot in place (no epoch swap): each
+// `<spec>` is `add:u,v` (edge insert), `del:u,v` (edge delete), or
+// `color:v,c,<0|1>` (set/clear color c on v). Every answer given after
+// the `ok update` frame reflects the edits; the engine repairs itself in
+// the background and probes ride the degraded lazy path meanwhile.
+// `wait=1` blocks the reply until the repair lane has drained (tests).
+// An update racing an in-flight reload rebuild is rejected with
+// RETRY_AFTER — the freshly built epoch would silently discard an edit
+// the daemon had already acknowledged.
 //
 // `<source>` is `file:<path>` or `gen:<class>:<n>:<seed>` with class in
 // {tree, bdeg, grid, caterpillar} — the deterministic in-repo generators,
@@ -33,8 +44,9 @@
 //   ans <v,v,...>                      (one frame per enumerated tuple)
 //   end count=N epoch=E [limit=1]      (stream completed on epoch E)
 //   ok reload epoch=E degraded=<0|1> prep_ms=<ms>
+//   ok update applied=N total=M insync=<0|1> epoch=E
 //   ok metrics\n<nwd-metrics/1 JSON>   (body after the first line)
-//   ok stats epoch=E inflight=N source=<...>
+//   ok stats epoch=E inflight=N ... edits=N insync=<0|1> source=<...>
 //   ok shutdown
 //   err <CODE> [retry_after_ms=N] <message>
 //
@@ -57,6 +69,7 @@
 #include <string_view>
 #include <vector>
 
+#include "graph/colored_graph.h"
 #include "util/lex.h"
 
 namespace nwd {
@@ -126,6 +139,7 @@ enum class RequestOp {
   kNext,
   kEnumerate,
   kReload,
+  kUpdate,
   kMetrics,
   kStats,
   kShutdown,
@@ -140,6 +154,8 @@ struct Request {
   std::string source;       // reload source spec
   int64_t budget_ms = 0;        // reload prepare budget
   int64_t max_edge_work = 0;    // reload prepare work cap
+  std::vector<GraphEdit> edits;  // update edit batch, in request order
+  bool wait_sync = false;        // update wait=1: reply after repair drains
 };
 
 // Parses one request line. On failure returns false and sets *error to a

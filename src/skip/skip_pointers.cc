@@ -69,10 +69,6 @@ SkipPointers::SkipPointers(
   // the scratch vectors below.
   entry_begin_.assign(static_cast<size_t>(num_vertices), 0);
   entry_count_.assign(static_cast<size_t>(num_vertices), 0);
-  struct ScratchEntry {
-    std::vector<int64_t> bags;  // sorted, 1 <= size <= max_set_size
-    Vertex skip = -1;
-  };
   std::vector<ScratchEntry> scratch;         // reused across vertices
   std::set<std::vector<int64_t>> seen;       // per-vertex dedupe, reused
   for (Vertex b = num_vertices - 1; b >= 0; --b) {
@@ -81,46 +77,7 @@ SkipPointers::SkipPointers(
     // blow up, so the sweep is budget-cancelable. A canceled structure is
     // partial and must be discarded by the caller.
     if (budget != nullptr && (b & 255) == 0 && budget->Exceeded()) return;
-    scratch.clear();
-    seen.clear();
-    // Seed: singletons {X} for the kernels containing b.
-    for (const int64_t x : kernels_containing_->Row(b)) {
-      scratch.push_back(ScratchEntry{{x}, -1});
-      seen.insert(scratch.back().bags);
-    }
-    // Grow: S + {X} whenever SKIP(b, S) lands in K_r(X). Entries are
-    // processed in insertion order; new ones are appended, so this is a
-    // BFS over the SC(b) closure.
-    for (size_t e = 0; e < scratch.size(); ++e) {
-      scratch[e].skip = Resolve(b, scratch[e].bags);
-      const Vertex skip = scratch[e].skip;
-      if (skip < 0) continue;
-      if (static_cast<int>(scratch[e].bags.size()) >= max_set_size_) continue;
-      for (const int64_t x : kernels_containing_->Row(skip)) {
-        if (std::binary_search(scratch[e].bags.begin(), scratch[e].bags.end(),
-                               x)) {
-          continue;
-        }
-        std::vector<int64_t> grown = scratch[e].bags;
-        grown.insert(std::lower_bound(grown.begin(), grown.end(), x), x);
-        if (seen.insert(grown).second) {
-          scratch.push_back(ScratchEntry{std::move(grown), -1});
-        }
-      }
-    }
-    // Resolve() chases the maximal stored subset; keeping entries sorted
-    // by descending set size lets it stop at the first subset match
-    // instead of scanning all of SC(b). Ties break lexicographically so
-    // the layout (and every downstream scan) is deterministic. Entries of
-    // vertices > b are already flattened when Resolve() consults them
-    // above.
-    std::sort(scratch.begin(), scratch.end(),
-              [](const ScratchEntry& a, const ScratchEntry& b) {
-                if (a.bags.size() != b.bags.size()) {
-                  return a.bags.size() > b.bags.size();
-                }
-                return a.bags < b.bags;
-              });
+    GrowClosure(b, &scratch, &seen);
     entry_begin_[static_cast<size_t>(b)] =
         static_cast<int64_t>(entries_.size());
     entry_count_[static_cast<size_t>(b)] =
@@ -140,6 +97,165 @@ SkipPointers::SkipPointers(
   static obs::Gauge* struct_bytes =
       obs::MetricsRegistry::Global().GetGauge("skip.struct_bytes_max");
   struct_bytes->SetMax(ApproxBytes());
+}
+
+void SkipPointers::GrowClosure(Vertex b, std::vector<ScratchEntry>* scratch,
+                               std::set<std::vector<int64_t>>* seen) {
+  scratch->clear();
+  seen->clear();
+  // Seed: singletons {X} for the kernels containing b.
+  for (const int64_t x : kernels_containing_->Row(b)) {
+    scratch->push_back(ScratchEntry{{x}, -1});
+    seen->insert(scratch->back().bags);
+  }
+  // Grow: S + {X} whenever SKIP(b, S) lands in K_r(X). Entries are
+  // processed in insertion order; new ones are appended, so this is a
+  // BFS over the SC(b) closure.
+  for (size_t e = 0; e < scratch->size(); ++e) {
+    (*scratch)[e].skip = Resolve(b, (*scratch)[e].bags);
+    const Vertex skip = (*scratch)[e].skip;
+    if (skip < 0) continue;
+    if (static_cast<int>((*scratch)[e].bags.size()) >= max_set_size_) continue;
+    for (const int64_t x : kernels_containing_->Row(skip)) {
+      if (std::binary_search((*scratch)[e].bags.begin(),
+                             (*scratch)[e].bags.end(), x)) {
+        continue;
+      }
+      std::vector<int64_t> grown = (*scratch)[e].bags;
+      grown.insert(std::lower_bound(grown.begin(), grown.end(), x), x);
+      if (seen->insert(grown).second) {
+        scratch->push_back(ScratchEntry{std::move(grown), -1});
+      }
+    }
+  }
+  // Resolve() chases the maximal stored subset; keeping entries sorted
+  // by descending set size lets it stop at the first subset match
+  // instead of scanning all of SC(b). Ties break lexicographically so
+  // the layout (and every downstream scan) is deterministic. Entries of
+  // vertices > b are already stored (flat or overlay) when Resolve()
+  // consults them above.
+  std::sort(scratch->begin(), scratch->end(),
+            [](const ScratchEntry& a, const ScratchEntry& b) {
+              if (a.bags.size() != b.bags.size()) {
+                return a.bags.size() > b.bags.size();
+              }
+              return a.bags < b.bags;
+            });
+}
+
+int64_t SkipPointers::RepairKernels(
+    std::shared_ptr<const FlatRows<int64_t>> new_index,
+    std::span<const int64_t> damaged) {
+  NWD_CHECK_EQ(new_index->NumRows(), num_vertices_);
+  NWD_DCHECK(std::is_sorted(damaged.begin(), damaged.end()));
+  const std::shared_ptr<const FlatRows<int64_t>> old_index =
+      std::move(kernels_containing_);
+  // Swap the index first: every Resolve() during the sweep below must see
+  // the post-edit kernels.
+  kernels_containing_ = std::move(new_index);
+  if (damaged.empty()) return 0;
+
+  std::vector<uint8_t> flag(static_cast<size_t>(damaged.back()) + 1, 0);
+  for (const int64_t x : damaged) flag[static_cast<size_t>(x)] = 1;
+  const auto hits = [&flag](std::span<const int64_t> bags) {
+    for (const int64_t x : bags) {
+      if (x < static_cast<int64_t>(flag.size()) &&
+          flag[static_cast<size_t>(x)]) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  // Detection: vertex b keeps its row verbatim unless its SC family can
+  // differ, i.e. unless (a) a damaged kernel contained or now contains b
+  // (singleton gain/loss), (b) some stored entry mentions a damaged bag
+  // (stale set or stale skip), or (c) some kept entry's skip target now
+  // lies in a damaged kernel (a new grow step fires from it). Everything
+  // here is a flag scan over rows that are tiny on sparse inputs.
+  std::vector<Vertex> touched;
+  for (Vertex b = 0; b < num_vertices_; ++b) {
+    bool redo = hits(old_index->Row(b)) || hits(kernels_containing_->Row(b));
+    const int64_t begin = entry_begin_[static_cast<size_t>(b)];
+    const int64_t end = begin + entry_count_[static_cast<size_t>(b)];
+    for (int64_t e = begin; !redo && e < end; ++e) {
+      const EntryRef& ref = entries_[static_cast<size_t>(e)];
+      redo = hits(BagsOf(ref)) ||
+             (ref.skip >= 0 && hits(kernels_containing_->Row(ref.skip)));
+    }
+    if (redo) touched.push_back(b);
+  }
+  // The index rows differ from the old ones only at vertices whose old or
+  // new row meets a damaged bag — all touched — so an empty touched set
+  // means the structure is already exact for the new kernels.
+  if (touched.empty()) return 0;
+
+  // Re-grow the touched closures top-down. Resolve() routes entry lookups
+  // through the overlay, so a lower touched vertex chasing a higher one
+  // sees the recomputed row; untouched rows are correct as stored (their
+  // sets avoid every damaged bag, so both membership and skip values are
+  // unchanged — see the header).
+  overlay_begin_.assign(static_cast<size_t>(num_vertices_), -1);
+  overlay_count_.assign(static_cast<size_t>(num_vertices_), 0);
+  std::vector<ScratchEntry> scratch;
+  std::set<std::vector<int64_t>> seen;
+  for (auto it = touched.rbegin(); it != touched.rend(); ++it) {
+    const Vertex b = *it;
+    GrowClosure(b, &scratch, &seen);
+    overlay_begin_[static_cast<size_t>(b)] =
+        static_cast<int64_t>(overlay_entries_.size());
+    overlay_count_[static_cast<size_t>(b)] =
+        static_cast<int32_t>(scratch.size());
+    for (const ScratchEntry& e : scratch) {
+      overlay_entries_.push_back(
+          EntryRef{static_cast<int64_t>(overlay_pool_.size()),
+                   static_cast<int32_t>(e.bags.size()), e.skip});
+      overlay_pool_.insert(overlay_pool_.end(), e.bags.begin(), e.bags.end());
+    }
+  }
+
+  // Splice: one linear copy merging kept rows and overlay rows back into
+  // the flat layout (same descending-vertex order the constructor emits).
+  std::vector<int64_t> new_begin(static_cast<size_t>(num_vertices_), 0);
+  std::vector<int32_t> new_count(static_cast<size_t>(num_vertices_), 0);
+  std::vector<EntryRef> new_entries;
+  new_entries.reserve(entries_.size());
+  std::vector<int64_t> new_pool;
+  new_pool.reserve(bag_pool_.size());
+  for (Vertex b = num_vertices_ - 1; b >= 0; --b) {
+    const int64_t ov = overlay_begin_[static_cast<size_t>(b)];
+    const bool redone = ov >= 0;
+    const EntryRef* refs =
+        redone ? overlay_entries_.data() + ov
+               : entries_.data() + entry_begin_[static_cast<size_t>(b)];
+    const int32_t count = redone ? overlay_count_[static_cast<size_t>(b)]
+                                 : entry_count_[static_cast<size_t>(b)];
+    const int64_t* pool = redone ? overlay_pool_.data() : bag_pool_.data();
+    new_begin[static_cast<size_t>(b)] = static_cast<int64_t>(new_entries.size());
+    new_count[static_cast<size_t>(b)] = count;
+    for (int32_t i = 0; i < count; ++i) {
+      new_entries.push_back(EntryRef{static_cast<int64_t>(new_pool.size()),
+                                     refs[i].bags_len, refs[i].skip});
+      new_pool.insert(new_pool.end(), pool + refs[i].bags_begin,
+                      pool + refs[i].bags_begin + refs[i].bags_len);
+    }
+  }
+  entry_begin_ = std::move(new_begin);
+  entry_count_ = std::move(new_count);
+  entries_ = std::move(new_entries);
+  bag_pool_ = std::move(new_pool);
+  total_entries_ = static_cast<int64_t>(entries_.size());
+  // Drop the overlay entirely (not just clear): an empty overlay_begin_
+  // is what keeps the extra branch off the steady-state query path.
+  overlay_begin_ = {};
+  overlay_count_ = {};
+  overlay_entries_ = {};
+  overlay_pool_ = {};
+
+  static obs::Gauge* struct_bytes =
+      obs::MetricsRegistry::Global().GetGauge("skip.struct_bytes_max");
+  struct_bytes->SetMax(ApproxBytes());
+  return static_cast<int64_t>(touched.size());
 }
 
 int64_t SkipPointers::ApproxBytes() const {
@@ -176,30 +292,39 @@ Vertex SkipPointers::Resolve(Vertex b, std::span<const int64_t> bags) const {
   // singleton of that kernel; chase the maximal stored subset. Entries are
   // sorted by descending set size, so the first subset match is a
   // maximum-size (hence inclusion-maximal) stored subset and the scan
-  // stops there.
-  const int64_t begin = entry_begin_[static_cast<size_t>(c)];
-  const int64_t end = begin + entry_count_[static_cast<size_t>(c)];
+  // stops there. During a RepairKernels() sweep, rows already recomputed
+  // live in the overlay and shadow the (stale) flat row.
+  const EntryRef* refs = nullptr;
+  const int64_t* pool = nullptr;
+  int64_t count = 0;
+  if (!overlay_begin_.empty() && overlay_begin_[static_cast<size_t>(c)] >= 0) {
+    refs = overlay_entries_.data() + overlay_begin_[static_cast<size_t>(c)];
+    count = overlay_count_[static_cast<size_t>(c)];
+    pool = overlay_pool_.data();
+  } else {
+    refs = entries_.data() + entry_begin_[static_cast<size_t>(c)];
+    count = entry_count_[static_cast<size_t>(c)];
+    pool = bag_pool_.data();
+  }
   const EntryRef* best = nullptr;
-  for (int64_t e = begin; e < end; ++e) {
-    const std::span<const int64_t> entry_bags =
-        BagsOf(entries_[static_cast<size_t>(e)]);
+  for (int64_t e = 0; e < count; ++e) {
+    const std::span<const int64_t> entry_bags(
+        pool + refs[e].bags_begin, static_cast<size_t>(refs[e].bags_len));
     if (std::includes(bags.begin(), bags.end(), entry_bags.begin(),
                       entry_bags.end())) {
-      best = &entries_[static_cast<size_t>(e)];
+      best = &refs[e];
 #if !defined(NDEBUG)
       // Claim 5.10's closure invariant: if SKIP(c, S') landed in a kernel
       // of some X in S \ S', the grow step would have stored S' + {X}, so
       // every inclusion-maximal stored subset of `bags` yields the same
       // skip target. Cross-check the remaining same-size subsets.
-      for (int64_t f = e + 1;
-           f < end &&
-           entries_[static_cast<size_t>(f)].bags_len == best->bags_len;
+      for (int64_t f = e + 1; f < count && refs[f].bags_len == best->bags_len;
            ++f) {
-        const std::span<const int64_t> other =
-            BagsOf(entries_[static_cast<size_t>(f)]);
+        const std::span<const int64_t> other(
+            pool + refs[f].bags_begin, static_cast<size_t>(refs[f].bags_len));
         if (std::includes(bags.begin(), bags.end(), other.begin(),
                           other.end())) {
-          NWD_DCHECK(entries_[static_cast<size_t>(f)].skip == best->skip)
+          NWD_DCHECK(refs[f].skip == best->skip)
               << "maximal stored subsets disagree at vertex " << c;
         }
       }

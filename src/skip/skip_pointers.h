@@ -29,6 +29,7 @@
 #include <cstdint>
 #include <initializer_list>
 #include <memory>
+#include <set>
 #include <span>
 #include <vector>
 
@@ -66,6 +67,25 @@ class SkipPointers {
                std::vector<Vertex> target_list, int max_set_size,
                const ResourceBudget* budget = nullptr);
 
+  // Incremental repair after the r-kernels of `damaged` bags changed
+  // (sorted ascending, including bags appended past the old count). The
+  // target list must be unchanged — callers with a patched list rebuild
+  // from scratch instead. `new_index` is the post-edit IndexKernels()
+  // result shared across the engine's lists.
+  //
+  // Only vertices whose SC family can mention a damaged bag are swept
+  // again: an entry (b, S) with S disjoint from `damaged` keeps both its
+  // membership in SC(b) and its stored skip value (SKIP(b, S) depends
+  // only on L and the kernels of S's bags, and every closure chain to a
+  // damaged-free set passes through damaged-free prefixes only). All
+  // other rows are spliced through untouched, so the per-edit cost is
+  // detection (one cheap flag scan over the rows) + closure work
+  // proportional to the damage, not a full downward sweep. Returns the
+  // number of rows recomputed.
+  int64_t RepairKernels(
+      std::shared_ptr<const FlatRows<int64_t>> new_index,
+      std::span<const int64_t> damaged);
+
   // SKIP(b, bags): smallest element of L that is >= b and avoids the
   // kernels of all `bags` (|bags| <= max_set_size, sorted ascending).
   // Returns -1 if none.
@@ -89,17 +109,29 @@ class SkipPointers {
   int max_set_size() const { return max_set_size_; }
 
  private:
-  // One materialized SC entry: its bag set is a sorted slice of bag_pool_.
+  // One materialized SC entry: its bag set is a sorted slice of bag_pool_
+  // (or of overlay_pool_ while a repair sweep is in flight).
   struct EntryRef {
     int64_t bags_begin;
     int32_t bags_len;
     Vertex skip;  // SKIP(b, bags); -1 if none
   };
 
+  struct ScratchEntry {
+    std::vector<int64_t> bags;  // sorted, 1 <= size <= max_set_size
+    Vertex skip = -1;
+  };
+
   std::span<const int64_t> BagsOf(const EntryRef& e) const {
     return std::span<const int64_t>(bag_pool_.data() + e.bags_begin,
-                                    static_cast<size_t>(e.bags_len));
+                                    std::size_t(e.bags_len));
   }
+
+  // Seeds and grows the SC(b) closure into `scratch` (sorted ready for
+  // layout), resolving skips against already-final rows of vertices > b.
+  // Shared by the construction sweep and RepairKernels.
+  void GrowClosure(Vertex b, std::vector<ScratchEntry>* scratch,
+                   std::set<std::vector<int64_t>>* seen);
 
   // Whether v lies in the kernel of any bag in `bags` (scan of the
   // per-vertex kernel row — both sides are tiny).
@@ -125,6 +157,15 @@ class SkipPointers {
   std::vector<EntryRef> entries_;
   std::vector<int64_t> bag_pool_;
   int64_t total_entries_ = 0;
+  // Repair-sweep overlay: rows already recomputed by RepairKernels() but
+  // not yet spliced into the flat arrays. Resolve() consults it so lower
+  // vertices see the updated entries of higher ones mid-sweep. All four
+  // vectors are empty outside RepairKernels(), which also deactivates the
+  // overlay branch on the query hot path.
+  std::vector<int64_t> overlay_begin_;  // per-vertex; -1 = not overlaid
+  std::vector<int32_t> overlay_count_;
+  std::vector<EntryRef> overlay_entries_;  // bags_begin -> overlay_pool_
+  std::vector<int64_t> overlay_pool_;
 };
 
 }  // namespace nwd

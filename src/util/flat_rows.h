@@ -56,6 +56,41 @@ class FlatRows {
 
   int64_t RowSize(int64_t i) const { return offsets_[i + 1] - offsets_[i]; }
 
+  // Replaces whole rows: `replacements` maps row index -> new contents,
+  // with indices strictly ascending and in range. One O(TotalValues)
+  // arena splice, no per-row allocation — the dynamic-update plane patches
+  // the damaged kernel rows with this instead of rebuilding every row.
+  void ReplaceRows(
+      const std::vector<std::pair<int64_t, std::vector<T>>>& replacements) {
+    if (replacements.empty()) return;
+    std::vector<T> new_values;
+    int64_t delta = 0;
+    for (const auto& [row, values] : replacements) {
+      NWD_DCHECK(row >= 0 && row < NumRows());
+      delta += static_cast<int64_t>(values.size()) - RowSize(row);
+    }
+    new_values.reserve(
+        static_cast<size_t>(static_cast<int64_t>(values_.size()) + delta));
+    std::vector<int64_t> new_offsets;
+    new_offsets.reserve(offsets_.size());
+    new_offsets.push_back(0);
+    size_t next = 0;
+    for (int64_t i = 0; i < NumRows(); ++i) {
+      if (next < replacements.size() && replacements[next].first == i) {
+        const std::vector<T>& row = replacements[next].second;
+        new_values.insert(new_values.end(), row.begin(), row.end());
+        ++next;
+      } else {
+        const std::span<const T> row = Row(i);
+        new_values.insert(new_values.end(), row.begin(), row.end());
+      }
+      new_offsets.push_back(static_cast<int64_t>(new_values.size()));
+    }
+    NWD_DCHECK(next == replacements.size());
+    values_ = std::move(new_values);
+    offsets_ = std::move(new_offsets);
+  }
+
   // Total values across all rows (allocation accounting).
   int64_t TotalValues() const { return static_cast<int64_t>(values_.size()); }
 

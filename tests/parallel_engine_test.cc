@@ -144,9 +144,12 @@ TEST(BallCacheTest, CaseTwoAnsweringMatchesNaiveAndHitsCache) {
   const std::vector<Tuple> expected = naive.AllSolutions(q);
   EXPECT_EQ(EnumerateAll(engine), expected);
 
-  // Answer-time counters are per-context now; flush whatever EnumerateAll
-  // accumulated so the probe loop below is measured on its own.
-  engine.DrainAnswerStats();
+  // Answer-time counters are per-context; the enumeration pass pays the
+  // cold misses (first BFS per anchor ball) and reuses within and across
+  // descents. Flush them so the probe loop below is measured on its own.
+  const AnswerCounters enum_counters = engine.DrainAnswerStats();
+  EXPECT_GT(enum_counters.ball_cache_hits, 0);
+  EXPECT_GT(enum_counters.ball_cache_misses, 0);
   for (int trial = 0; trial < 30; ++trial) {
     const Tuple probe{
         static_cast<Vertex>(rng.NextBounded(
@@ -168,11 +171,13 @@ TEST(BallCacheTest, CaseTwoAnsweringMatchesNaiveAndHitsCache) {
     ASSERT_EQ(engine.Test(probe), naive.TestTuple(q, probe));
   }
   // Answer-time descents hit the cache too (same anchor across positions
-  // 1/2 and across backtracks within a single Next call); the preprocessing
-  // counter in stats() is untouched by answering.
+  // 1/2 and across backtracks within a single Next call) — and since the
+  // ball cache is generation-stamped rather than per-call, anchors warmed
+  // by the enumeration above may never miss again here, so only hits are
+  // asserted. The preprocessing counter in stats() is untouched by
+  // answering.
   const AnswerCounters counters = engine.DrainAnswerStats();
   EXPECT_GT(counters.ball_cache_hits, 0);
-  EXPECT_GT(counters.ball_cache_misses, 0);
   EXPECT_EQ(counters.probes_served, 60);  // 30 Next + 30 Test
   EXPECT_GT(engine.stats().ball_cache_hits, 0);
 }

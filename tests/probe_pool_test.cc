@@ -150,11 +150,11 @@ TEST(ProbePoolTest, ProbeChurnAcrossEpochSwaps) {
         // pool) must stay fully usable even if a publish retires it
         // mid-probe, and must destruct cleanly when the last pin drops.
         const auto snapshot = registry.Acquire();
-        const int64_t n = snapshot->engine->universe();
+        const int64_t n = snapshot->dynamic->NumVertices();
         Tuple t2{static_cast<int64_t>(rng.NextBounded(n)),
                  static_cast<int64_t>(rng.NextBounded(n))};
-        (void)snapshot->engine->Test(t2);
-        (void)snapshot->engine->Next(t2);
+        (void)snapshot->dynamic->Test(t2);
+        (void)snapshot->dynamic->Next(t2);
       }
     });
   }
@@ -167,8 +167,8 @@ TEST(ProbePoolTest, ProbeChurnAcrossEpochSwaps) {
 
   // The final snapshot's pool is bounded by the probe concurrency.
   const auto last = registry.Acquire();
-  (void)last->engine->Test(Tuple{0, 1});
-  const AnswerCounters counters = last->engine->DrainAnswerStats();
+  (void)last->dynamic->Test(Tuple{0, 1});
+  const AnswerCounters counters = last->dynamic->DrainAnswerStats();
   EXPECT_GE(counters.contexts, 1);
   EXPECT_LE(counters.contexts, kProbers + 1);
 }

@@ -52,6 +52,19 @@ std::vector<Tuple> AllAnswers(const EnumerationEngine& engine,
   return out;
 }
 
+std::vector<Tuple> AllAnswers(const DynamicEngine& engine, Tuple cursor) {
+  std::vector<Tuple> out;
+  const int64_t n = engine.NumVertices();
+  while (true) {
+    const std::optional<Tuple> next = engine.Next(cursor);
+    if (!next.has_value()) break;
+    out.push_back(*next);
+    cursor = *next;
+    if (!LexIncrement(&cursor, n)) break;
+  }
+  return out;
+}
+
 // --- Wire-level units --------------------------------------------------
 
 TEST(WireTest, ErrorCodeNamesRoundTrip) {
@@ -148,10 +161,33 @@ TEST(WireTest, ParseRequestForms) {
   EXPECT_EQ("gen:tree:100:3", r.source);
   EXPECT_EQ(5, r.budget_ms);
   EXPECT_EQ(9, r.max_edge_work);
+  ASSERT_TRUE(
+      ParseRequest("update add:1,2;del:3,4;color:5,0,1 wait=1", &r, &error));
+  EXPECT_EQ(RequestOp::kUpdate, r.op);
+  ASSERT_EQ(3u, r.edits.size());
+  EXPECT_EQ(GraphEdit::Kind::kAddEdge, r.edits[0].kind);
+  EXPECT_EQ(1, r.edits[0].u);
+  EXPECT_EQ(2, r.edits[0].v);
+  EXPECT_EQ(GraphEdit::Kind::kRemoveEdge, r.edits[1].kind);
+  EXPECT_EQ(3, r.edits[1].u);
+  EXPECT_EQ(4, r.edits[1].v);
+  EXPECT_EQ(GraphEdit::Kind::kSetColor, r.edits[2].kind);
+  EXPECT_EQ(5, r.edits[2].u);
+  EXPECT_EQ(0, r.edits[2].color);
+  EXPECT_TRUE(r.edits[2].color_on);
+  EXPECT_TRUE(r.wait_sync);
+  ASSERT_TRUE(ParseRequest("update color:2,1,0", &r, &error));
+  EXPECT_EQ(RequestOp::kUpdate, r.op);
+  ASSERT_EQ(1u, r.edits.size());
+  EXPECT_FALSE(r.edits[0].color_on);
+  EXPECT_FALSE(r.wait_sync);
   for (const char* bad :
        {"", "frobnicate", "test", "test 1,2,", "test 1,2 limit=3",
         "enumerate limit=x", "enumerate from=1,2 bogus=3", "reload",
-        "reload budget_ms=5", "next -1"}) {
+        "reload budget_ms=5", "next -1", "update", "update add:1",
+        "update add:1,2;", "update frob:1,2", "update color:1,2",
+        "update color:1,0,2", "update add:1,2 wait=2",
+        "test 1,2 wait=1"}) {
     EXPECT_FALSE(ParseRequest(bad, &r, &error)) << bad;
     EXPECT_FALSE(error.empty()) << bad;
   }
@@ -218,14 +254,14 @@ TEST(SnapshotTest, PinnedEpochSurvivesPublish) {
   const auto pinned = registry.Acquire();
   ASSERT_NE(nullptr, pinned);
   const std::vector<Tuple> before =
-      AllAnswers(*pinned->engine, LexMin(pinned->engine->arity()));
+      AllAnswers(*pinned->dynamic, LexMin(pinned->dynamic->arity()));
 
   EXPECT_EQ(2, registry.Publish(make("gen:tree:40:2")));
   EXPECT_EQ(2, registry.current_epoch());
   // The pinned snapshot still answers, bit-identically, on its epoch.
   EXPECT_EQ(1, pinned->epoch);
   EXPECT_EQ(before,
-            AllAnswers(*pinned->engine, LexMin(pinned->engine->arity())));
+            AllAnswers(*pinned->dynamic, LexMin(pinned->dynamic->arity())));
   EXPECT_EQ(2, registry.Acquire()->epoch);
 }
 
@@ -804,6 +840,181 @@ TEST_F(DaemonTest, ShutdownCanBeDisabled) {
   ASSERT_TRUE(client.Call("ping", &response));
   EXPECT_TRUE(response.ok);
   ::close(fd);
+}
+
+TEST_F(DaemonTest, UpdatePatchesLiveSnapshotWithoutEpochSwap) {
+  Start();
+  const int64_t swaps_before = CounterValue("serve.epoch_swaps");
+  const int fd = Connect();
+  Client client(fd, fd, /*seed=*/31);
+  Response response;
+
+  // Mutate a reference copy of the served graph identically.
+  graphs_.push_back(std::make_unique<ColoredGraph>());
+  ColoredGraph& reference = *graphs_.back();
+  std::string error;
+  ASSERT_TRUE(
+      BuildGraphFromSource(kSource, GraphParseLimits{}, &reference, &error))
+      << error;
+  const std::vector<GraphEdit> edits = {GraphEdit::AddEdge(0, 9),
+                                        GraphEdit::SetColor(5, 0, true)};
+  int64_t changed = 0;
+  for (const GraphEdit& e : edits) changed += reference.ApplyInPlace(e) ? 1 : 0;
+
+  ASSERT_TRUE(client.Call("update add:0,9;color:5,0,1 wait=1", &response));
+  ASSERT_TRUE(response.ok) << response.head;
+  EXPECT_EQ(1, response.epoch) << "update must not swap the epoch";
+  EXPECT_EQ(std::to_string(changed),
+            FindToken(response.head, "applied").value_or(""));
+  EXPECT_EQ("2", FindToken(response.head, "total").value_or(""));
+  EXPECT_EQ("1", FindToken(response.head, "insync").value_or(""))
+      << "wait=1 must not reply before the repair lane drains";
+
+  // Answers now reflect the edits, still on epoch 1.
+  EnumerationEngine patched(reference, query_, EngineOptions{});
+  ASSERT_TRUE(client.Call("enumerate", &response));
+  ASSERT_TRUE(response.ok);
+  EXPECT_EQ(1, response.epoch);
+  EXPECT_EQ(AllAnswers(patched, LexMin(patched.arity())), response.answers);
+  ASSERT_TRUE(client.Call("test 0,9", &response));
+  ASSERT_TRUE(response.ok);
+  EXPECT_EQ("ok test 1 epoch=1", response.head);
+
+  // Replaying the same edits is a no-op batch.
+  ASSERT_TRUE(client.Call("update add:0,9;color:5,0,1", &response));
+  ASSERT_TRUE(response.ok);
+  EXPECT_EQ("0", FindToken(response.head, "applied").value_or(""));
+
+  // Stats surface the edit accounting on the unchanged epoch.
+  ASSERT_TRUE(client.Call("stats", &response));
+  ASSERT_TRUE(response.ok);
+  EXPECT_EQ(1, response.epoch);
+  EXPECT_EQ(std::to_string(changed),
+            FindToken(response.head, "edits").value_or(""));
+  EXPECT_EQ(swaps_before, CounterValue("serve.epoch_swaps"));
+  ::close(fd);
+}
+
+TEST_F(DaemonTest, UpdateTypedErrorsLeaveConnectionUsable) {
+  Start();
+  const int fd = Connect();
+  Client client(fd, fd, /*seed=*/32);
+  Response response;
+  ASSERT_TRUE(client.Call("update add:0,999999", &response));
+  EXPECT_FALSE(response.ok);
+  EXPECT_EQ(ErrorCode::kOutOfRange, response.code);
+  ASSERT_TRUE(client.Call("update color:0,9,1", &response));
+  EXPECT_FALSE(response.ok);
+  EXPECT_EQ(ErrorCode::kOutOfRange, response.code);
+  ASSERT_TRUE(client.Call("update frob:1,2", &response));
+  EXPECT_FALSE(response.ok);
+  EXPECT_EQ(ErrorCode::kBadRequest, response.code);
+  // A rejected batch is all-or-nothing: nothing was applied.
+  ASSERT_TRUE(client.Call("stats", &response));
+  ASSERT_TRUE(response.ok);
+  EXPECT_EQ("0", FindToken(response.head, "edits").value_or(""));
+  ASSERT_TRUE(client.Call("ping", &response));
+  EXPECT_TRUE(response.ok);
+  ::close(fd);
+}
+
+TEST_F(DaemonTest, UpdateCanBeDisabled) {
+  DaemonOptions options;
+  options.allow_update = false;
+  Start(options);
+  const int fd = Connect();
+  Client client(fd, fd, /*seed=*/33);
+  Response response;
+  ASSERT_TRUE(client.Call("update add:0,1", &response));
+  EXPECT_FALSE(response.ok);
+  EXPECT_EQ(ErrorCode::kBadRequest, response.code);
+  ASSERT_TRUE(client.Call("ping", &response));
+  EXPECT_TRUE(response.ok);
+  ::close(fd);
+}
+
+TEST_F(DaemonTest, UpdateDuringRebuildGetsRetryAfter) {
+  Start();
+  bool observed_busy = false;
+  // An update racing an in-flight reload must be rejected, not silently
+  // discarded by the epoch swap. Grow the reload until the race window
+  // is comfortably wide (same ladder as ConcurrentReloadGetsRetryAfter).
+  for (const char* spec :
+       {"gen:grid:22500:1", "gen:grid:62500:1", "gen:grid:160000:1"}) {
+    const int fd_a = Connect();
+    const int fd_b = Connect();
+    Response response_a;
+    std::thread first([&] {
+      Client client(fd_a, fd_a, /*seed=*/34);
+      ASSERT_TRUE(client.Call(std::string("reload ") + spec, &response_a));
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    Client client(fd_b, fd_b, /*seed=*/35);
+    Response response_b;
+    ASSERT_TRUE(client.Call("update add:0,1", &response_b));
+    first.join();
+    EXPECT_TRUE(response_a.ok) << response_a.head;
+    ::close(fd_a);
+    ::close(fd_b);
+    if (!response_b.ok) {
+      EXPECT_EQ(ErrorCode::kRetryAfter, response_b.code);
+      EXPECT_GE(response_b.retry_after_ms,
+                4 * DaemonOptions{}.retry_after_ms);
+      observed_busy = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(observed_busy)
+      << "never caught the rebuild lane busy, even at 160k vertices";
+}
+
+TEST_F(DaemonTest, UpdateAccountingClosesIdentity) {
+  Start();
+  const int64_t requests0 = CounterValue("serve.requests");
+  const int64_t bad_frames0 = CounterValue("serve.bad_frames");
+  const int64_t ok0 = CounterValue("serve.responses_ok");
+  const int64_t err0 = CounterValue("serve.responses_err");
+  const int64_t dropped0 = CounterValue("serve.dropped_conns");
+  const int64_t deaths0 = CounterValue("serve.worker_deaths");
+  const int64_t updates0 = CounterValue("serve.updates");
+  const int64_t update_edits0 = CounterValue("serve.update_edits");
+
+  const int fd = Connect();
+  Client client(fd, fd, /*seed=*/36);
+  Response response;
+  // A mix of successful, no-op, and rejected updates plus probes: every
+  // request must land in exactly one accounting bucket.
+  ASSERT_TRUE(client.Call("update add:0,3;add:0,4 wait=1", &response));
+  EXPECT_TRUE(response.ok);
+  const int64_t applied_first =
+      std::stoll(FindToken(response.head, "applied").value_or("-1"));
+  ASSERT_GE(applied_first, 0);
+  ASSERT_TRUE(client.Call("update add:0,3", &response));  // no-op now
+  EXPECT_TRUE(response.ok);
+  EXPECT_EQ("0", FindToken(response.head, "applied").value_or(""));
+  ASSERT_TRUE(client.Call("update add:0,999999", &response));
+  EXPECT_FALSE(response.ok);
+  ASSERT_TRUE(client.Call("update nonsense", &response));
+  EXPECT_FALSE(response.ok);
+  ASSERT_TRUE(client.Call("test 0,3", &response));
+  EXPECT_TRUE(response.ok);
+  ::close(fd);
+
+  EXPECT_EQ(updates0 + 2, CounterValue("serve.updates"))
+      << "only accepted batches count as updates";
+  EXPECT_EQ(update_edits0 + applied_first, CounterValue("serve.update_edits"));
+  bool balanced = false;
+  for (int i = 0; i < 5000 && !balanced; ++i) {
+    balanced = (CounterValue("serve.requests") - requests0) +
+                   (CounterValue("serve.bad_frames") - bad_frames0) ==
+               (CounterValue("serve.responses_ok") - ok0) +
+                   (CounterValue("serve.responses_err") - err0) +
+                   (CounterValue("serve.dropped_conns") - dropped0) +
+                   (CounterValue("serve.worker_deaths") - deaths0);
+    if (!balanced) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(balanced) << "serve.* accounting identity never closed after "
+                           "the update mix";
 }
 
 TEST_F(DaemonTest, TcpListenerServesLoopbackConnections) {

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <memory>
 
 #include "cover/kernel.h"
 #include "cover/neighborhood_cover.h"
@@ -109,6 +110,80 @@ INSTANTIATE_TEST_SUITE_P(
                       SkipFuzzParams{100, 8, 2, 3},
                       SkipFuzzParams{40, 4, 4, 4},
                       SkipFuzzParams{64, 6, 3, 5}));
+
+// RepairKernels must be indistinguishable from construction over the new
+// kernels: mutate kernel rows (rewrites, a cleared row, appended fresh
+// bags), repair one structure in place, build another from scratch, and
+// compare every probe plus the entry count (which pins the materialized
+// SC families, not just the answers).
+TEST(SkipPointers, RepairKernelsMatchesFreshBuild) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    Rng rng(seed);
+    const int64_t n = 80;
+    const int num_kernels = 6;
+    const int max_set_size = 3;
+    std::vector<std::vector<Vertex>> kernels(num_kernels);
+    for (auto& kernel : kernels) {
+      for (Vertex v = 0; v < n; ++v) {
+        if (rng.NextBool(0.2)) kernel.push_back(v);
+      }
+    }
+    std::vector<Vertex> list;
+    for (Vertex v = 0; v < n; ++v) {
+      if (rng.NextBool(0.4)) list.push_back(v);
+    }
+
+    SkipPointers repaired(n, kernels, list, max_set_size);
+
+    std::vector<int64_t> damaged;
+    for (int64_t x = 0; x < num_kernels; ++x) {
+      if (!rng.NextBool(0.5)) continue;
+      damaged.push_back(x);
+      kernels[static_cast<size_t>(x)].clear();
+      if (x == damaged.front() && rng.NextBool(0.5)) continue;  // row wiped
+      for (Vertex v = 0; v < n; ++v) {
+        if (rng.NextBool(0.2)) kernels[static_cast<size_t>(x)].push_back(v);
+      }
+    }
+    kernels.emplace_back();  // an appended bag, as cover repair produces
+    for (Vertex v = 0; v < n; ++v) {
+      if (rng.NextBool(0.15)) kernels.back().push_back(v);
+    }
+    damaged.push_back(num_kernels);
+
+    const auto new_index = std::make_shared<const FlatRows<int64_t>>(
+        SkipPointers::IndexKernels(n, FlatRows<Vertex>(kernels)));
+    const int64_t rows = repaired.RepairKernels(new_index, damaged);
+    EXPECT_GT(rows, 0) << "seed=" << seed;
+    SkipPointers fresh(n, new_index, list, max_set_size);
+
+    EXPECT_EQ(repaired.TotalEntries(), fresh.TotalEntries())
+        << "seed=" << seed;
+    for (int trial = 0; trial < 400; ++trial) {
+      const Vertex b =
+          static_cast<Vertex>(rng.NextBounded(static_cast<uint64_t>(n)));
+      const int set_size = static_cast<int>(
+          rng.NextBounded(static_cast<uint64_t>(max_set_size) + 1));
+      std::vector<int64_t> bags;
+      while (static_cast<int>(bags.size()) < set_size) {
+        const int64_t x = static_cast<int64_t>(
+            rng.NextBounded(static_cast<uint64_t>(kernels.size())));
+        if (std::find(bags.begin(), bags.end(), x) == bags.end()) {
+          bags.push_back(x);
+        }
+      }
+      std::sort(bags.begin(), bags.end());
+      EXPECT_EQ(repaired.Skip(b, bags), fresh.Skip(b, bags))
+          << "seed=" << seed << " b=" << b;
+      EXPECT_EQ(fresh.Skip(b, bags), BruteSkip(list, kernels, b, bags))
+          << "seed=" << seed << " b=" << b;
+    }
+
+    // A no-damage repair is a no-op beyond adopting the index.
+    EXPECT_EQ(repaired.RepairKernels(new_index, {}), 0);
+    EXPECT_EQ(repaired.TotalEntries(), fresh.TotalEntries());
+  }
+}
 
 // Integration with real covers/kernels: SKIP over a graph's kernels.
 TEST(SkipPointers, WithRealCoverKernels) {

@@ -1,7 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <optional>
+#include <set>
+#include <utility>
+#include <vector>
 
 #include "storing/stored_function.h"
 #include "storing/trie.h"
@@ -326,6 +330,207 @@ INSTANTIATE_TEST_SUITE_P(
                       FuzzParams{3, 10, 0.34, 7},
                       FuzzParams{1, 2, 0.9, 8},
                       FuzzParams{4, 5, 0.5, 9}));
+
+// ---- Register-graph validator -----------------------------------------
+//
+// The black-box fuzz above only sees Lookup/Predecessor answers; a
+// mis-pointed successor cell or a dangling parent link left by an
+// Erase/Clean interleave can hide behind later operations that happen to
+// overwrite it. This walks the whole register array against the
+// reference map and checks every invariant the header promises:
+//   * the frontier is node-aligned and every node is reachable from the
+//     root exactly once (compaction leaks no orphans),
+//   * every parent cell points at a (1, child) cell that points back,
+//   * every leaf (1, v) cell is a reference key with the right value,
+//   * every empty cell's payload is exactly the rank of the successor of
+//     its covered digit-string interval (or kNullPayload).
+
+std::vector<int> DigitString(const StoringTrie& trie, const Tuple& key) {
+  const int d = trie.degree();
+  const int h = trie.height_per_coordinate();
+  std::vector<int> out;
+  out.reserve(key.size() * static_cast<size_t>(h));
+  for (const int64_t component : key) {
+    int64_t value = component;
+    const size_t base = out.size();
+    out.resize(base + static_cast<size_t>(h));
+    for (int j = h; j-- > 0;) {
+      out[base + j] = static_cast<int>(value % d);
+      value /= d;
+    }
+  }
+  return out;
+}
+
+void ValidateRegisterGraph(const StoringTrie& trie,
+                           const std::map<Tuple, int64_t>& reference) {
+  const int d = trie.degree();
+  const int kh = trie.arity() * trie.height_per_coordinate();
+  const int64_t r0 = trie.RegistersUsed();
+  ASSERT_EQ(0, (r0 - 1) % (d + 1)) << "frontier not node-aligned";
+  const int64_t total_nodes = (r0 - 1) / (d + 1);
+
+  // Digit strings of the stored keys, ascending (fixed-width per
+  // coordinate, so digit-string order == tuple lex order).
+  std::vector<std::pair<std::vector<int>, const Tuple*>> keys;
+  for (const auto& entry : reference) {
+    keys.emplace_back(DigitString(trie, entry.first), &entry.first);
+  }
+
+  struct Item {
+    int64_t node;
+    std::vector<int> prefix;
+  };
+  std::vector<Item> stack;
+  std::set<int64_t> visited;
+  stack.push_back({1, {}});
+  visited.insert(1);
+  while (!stack.empty()) {
+    const Item item = std::move(stack.back());
+    stack.pop_back();
+    const int64_t node = item.node;
+    const int level = static_cast<int>(item.prefix.size());
+    ASSERT_LT(level, kh);
+
+    const StoringTrie::Register up = trie.DebugRegister(node + d);
+    ASSERT_EQ(-1, up.delta) << "node " << node << " missing parent cell";
+    if (node == 1) {
+      EXPECT_EQ(StoringTrie::kNullPayload, up.payload);
+    } else {
+      ASSERT_GE(up.payload, 1);
+      ASSERT_LT(up.payload, r0);
+      const StoringTrie::Register back = trie.DebugRegister(up.payload);
+      ASSERT_EQ(1, back.delta)
+          << "node " << node << ": dangling parent link";
+      EXPECT_EQ(node, back.payload)
+          << "node " << node << ": parent cell does not point back";
+    }
+
+    for (int j = 0; j < d; ++j) {
+      const StoringTrie::Register cell = trie.DebugRegister(node + j);
+      if (cell.delta == 1) {
+        if (level < kh - 1) {
+          ASSERT_GE(cell.payload, 1);
+          ASSERT_LT(cell.payload, r0);
+          ASSERT_EQ(0, (cell.payload - 1) % (d + 1))
+              << "child pointer not node-aligned";
+          ASSERT_TRUE(visited.insert(cell.payload).second)
+              << "node " << cell.payload << " reachable twice";
+          Item child{cell.payload, item.prefix};
+          child.prefix.push_back(j);
+          stack.push_back(std::move(child));
+        } else {
+          // Leaf: reconstruct the tuple from the digit path.
+          std::vector<int> path = item.prefix;
+          path.push_back(j);
+          Tuple key(static_cast<size_t>(trie.arity()));
+          size_t index = 0;
+          for (int i = 0; i < trie.arity(); ++i) {
+            int64_t value = 0;
+            for (int jj = 0; jj < trie.height_per_coordinate(); ++jj) {
+              value = value * d + path[index++];
+            }
+            key[static_cast<size_t>(i)] = value;
+          }
+          const auto it = reference.find(key);
+          ASSERT_NE(reference.end(), it) << "phantom key in trie";
+          EXPECT_EQ(it->second, cell.payload) << "leaf value mismatch";
+        }
+      } else {
+        ASSERT_EQ(0, cell.delta) << "bad delta in child cell";
+        // Successor semantics: smallest stored key whose digit string is
+        // strictly greater (at this prefix length) than prefix+j.
+        std::vector<int> bound = item.prefix;
+        bound.push_back(j);
+        const Tuple* expected = nullptr;
+        for (const auto& entry : keys) {
+          if (std::lexicographical_compare(
+                  bound.begin(), bound.end(), entry.first.begin(),
+                  entry.first.begin() +
+                      static_cast<std::ptrdiff_t>(bound.size()))) {
+            expected = entry.second;
+            break;
+          }
+        }
+        if (expected == nullptr) {
+          EXPECT_EQ(StoringTrie::kNullPayload, cell.payload)
+              << "empty cell at node " << node << " digit " << j
+              << " should point nowhere";
+        } else {
+          EXPECT_EQ(trie.DebugRankOf(*expected), cell.payload)
+              << "empty cell at node " << node << " digit " << j
+              << " points at the wrong successor";
+        }
+      }
+    }
+  }
+  EXPECT_EQ(total_nodes, static_cast<int64_t>(visited.size()))
+      << "compaction leaked orphan nodes";
+}
+
+class StoringInterleaveTest : public ::testing::TestWithParam<FuzzParams> {};
+
+TEST_P(StoringInterleaveTest, RegisterGraphStaysValidUnderInterleaves) {
+  const FuzzParams params = GetParam();
+  StoringTrie trie(params.arity, params.n, params.eps);
+  std::map<Tuple, int64_t> reference;
+  Rng rng(params.seed);
+
+  // Adversarial interleave: clustered inserts, immediate erase-reinsert
+  // of the same key, descending-order erase sweeps — the patterns that
+  // exercise Clean/Cut with pred/succ on every side. Validate the whole
+  // register graph after every mutation.
+  std::vector<Tuple> live;
+  for (int op = 0; op < 160; ++op) {
+    const double dice = rng.NextDouble();
+    if (dice < 0.40 || live.empty()) {
+      const Tuple key = RandomKey(params.arity, params.n, &rng);
+      const int64_t value = static_cast<int64_t>(rng.NextBounded(1000));
+      trie.Insert(key, value);
+      reference[key] = value;
+      live.push_back(key);
+    } else if (dice < 0.60) {
+      // Erase-then-reinsert the same key: its pred/succ cells must be
+      // repointed twice in a row without going stale.
+      const Tuple key = live[rng.NextBounded(live.size())];
+      trie.Erase(key);
+      reference.erase(key);
+      ValidateRegisterGraph(trie, reference);
+      if (::testing::Test::HasFatalFailure()) return;
+      trie.Insert(key, 7);
+      reference[key] = 7;
+    } else if (dice < 0.85) {
+      const Tuple key = live[rng.NextBounded(live.size())];
+      trie.Erase(key);
+      reference.erase(key);
+      live.erase(std::find(live.begin(), live.end(), key));
+    } else {
+      // Descending sweep over a few largest live keys: Cut compaction
+      // relocating nodes that are themselves on the next victim's path.
+      std::sort(live.begin(), live.end());
+      for (int burst = 0; burst < 3 && !live.empty(); ++burst) {
+        const Tuple key = live.back();
+        live.pop_back();
+        trie.Erase(key);
+        reference.erase(key);
+        ValidateRegisterGraph(trie, reference);
+        if (::testing::Test::HasFatalFailure()) return;
+      }
+    }
+    ValidateRegisterGraph(trie, reference);
+    if (::testing::Test::HasFatalFailure()) return;
+    ASSERT_EQ(trie.size(), static_cast<int64_t>(reference.size()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, StoringInterleaveTest,
+    ::testing::Values(FuzzParams{1, 27, 1.0 / 3.0, 11},
+                      FuzzParams{1, 100, 0.5, 12},
+                      FuzzParams{2, 27, 1.0 / 3.0, 13},
+                      FuzzParams{2, 64, 0.5, 14},
+                      FuzzParams{3, 10, 0.34, 15},
+                      FuzzParams{1, 2, 0.9, 16}));
 
 TEST(StoredFunction, FacadeBasics) {
   StoredFunction f(2, 50);
