@@ -27,6 +27,7 @@
 
 #include "bench/bench_json.h"
 #include "fo/parser.h"
+#include "obs/flight.h"
 #include "obs/metrics.h"
 #include "serve/client.h"
 #include "serve/daemon.h"
@@ -37,6 +38,13 @@ namespace nwd {
 namespace {
 
 bool g_quick = false;
+
+// Trimmed-mean request latency of each BM_ServeFlightOverhead arm
+// ([0]=recorder off, [1]=on), consumed by the post-run overhead gate in
+// main(). Trimmed (top 10% dropped): a single preemption on a loaded CI
+// core adds a >100µs outlier that would dominate a plain mean, while
+// medians of two separate short harness runs jitter with scheduling.
+double g_flight_mean_ns[2] = {0.0, 0.0};
 
 int RequestsPerThread() { return g_quick ? 32 : 256; }
 
@@ -168,6 +176,60 @@ void BM_ServeEnumerateStream(benchmark::State& state) {
   state.counters["solutions"] = static_cast<double>(solutions);
 }
 
+// Experiment E19 — flight-recorder overhead. The same single-connection
+// probe round-trip loop as BM_ServeTestThroughput/1, with the always-on
+// recorder disabled (arg 0) vs enabled (arg 1). The recorder's per-event
+// cost is two relaxed atomic bumps plus a seqlock-protected slot write,
+// so the two arms should be indistinguishable (<2% on mean latency is
+// the acceptance bound; the post-run gate in main() allows 1.5x for CI
+// noise).
+void BM_ServeFlightOverhead(benchmark::State& state) {
+  const bool flight_on = state.range(0) != 0;
+  const int64_t n = 2048;
+  serve::DaemonOptions options;
+  options.max_inflight = 3;
+  ServeHarness harness(n, /*connections=*/1, options);
+  const int batch = RequestsPerThread();
+  const bool flight_before = obs::FlightEnabled();
+  obs::SetFlightEnabled(flight_on);
+
+  std::vector<int64_t> latencies_ns;
+  for (auto _ : state) {
+    serve::Client client(harness.client_fds[0], harness.client_fds[0],
+                         /*seed=*/1);
+    Rng rng(101);
+    latencies_ns.clear();
+    latencies_ns.reserve(static_cast<size_t>(batch));
+    for (int i = 0; i < batch; ++i) {
+      const std::string request =
+          "test " +
+          std::to_string(rng.NextBounded(static_cast<uint64_t>(n))) + "," +
+          std::to_string(rng.NextBounded(static_cast<uint64_t>(n)));
+      serve::Response response;
+      const int64_t start = NowNs();
+      if (!client.CallWithRetry(request, serve::BackoffPolicy{},
+                                &response) ||
+          !response.ok) {
+        std::abort();
+      }
+      latencies_ns.push_back(NowNs() - start);
+    }
+  }
+  obs::SetFlightEnabled(flight_before);
+  state.SetItemsProcessed(state.iterations() * batch);
+  state.counters["flight"] = flight_on ? 1 : 0;
+  state.counters["n"] = static_cast<double>(n);
+  RecordLatencyPercentiles(state, &latencies_ns);  // sorts
+  if (!latencies_ns.empty()) {
+    const size_t kept =
+        latencies_ns.size() - latencies_ns.size() / 10;  // drop top 10%
+    int64_t sum = 0;
+    for (size_t i = 0; i < kept; ++i) sum += latencies_ns[i];
+    g_flight_mean_ns[flight_on ? 1 : 0] =
+        static_cast<double>(sum) / static_cast<double>(kept);
+  }
+}
+
 // Live epoch swaps under probe load: each iteration is one reload round
 // trip (rebuild on the background lane + atomic publish) while prober
 // threads keep pinning snapshots. Swap drain — how long the retired
@@ -251,6 +313,8 @@ BENCHMARK(BM_ServeTestThroughput)->Apply(ThreadArgs)
     ->Unit(benchmark::kMillisecond)->UseRealTime();
 BENCHMARK(BM_ServeEnumerateStream)->Args({0, 1024})->Args({0, 4096})
     ->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK(BM_ServeFlightOverhead)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
 BENCHMARK(BM_ServeEpochSwap)->Arg(1024)
     ->Unit(benchmark::kMillisecond)->UseRealTime();
 
@@ -267,5 +331,28 @@ int main(int argc, char** argv) {
     args.push_back(argv[i]);
   }
   int pruned_argc = static_cast<int>(args.size());
-  return nwd::bench::BenchMain(pruned_argc, args.data(), "bench_serving");
+  const int rc =
+      nwd::bench::BenchMain(pruned_argc, args.data(), "bench_serving");
+  if (rc != 0) return rc;
+  // E19 gate: when both BM_ServeFlightOverhead arms ran (and this is a
+  // real measurement, not --quick), the recorder-on mean latency must
+  // stay within 1.5x of recorder-off. The acceptance bound is <2% on a
+  // quiet machine (EXPERIMENTS.md E19); 1.5x is the CI noise band that
+  // still catches a recorder that became a real per-request tax.
+  if (!nwd::g_quick && nwd::g_flight_mean_ns[0] > 0.0 &&
+      nwd::g_flight_mean_ns[1] > 0.0) {
+    const double ratio =
+        nwd::g_flight_mean_ns[1] / nwd::g_flight_mean_ns[0];
+    std::fprintf(stderr,
+                 "[flight overhead] trimmed mean off=%.0fns on=%.0fns "
+                 "ratio=%.3f\n",
+                 nwd::g_flight_mean_ns[0], nwd::g_flight_mean_ns[1], ratio);
+    if (ratio > 1.5) {
+      std::fprintf(stderr,
+                   "[flight overhead] FAIL: recorder-on trimmed mean "
+                   "latency exceeds 1.5x recorder-off\n");
+      return 1;
+    }
+  }
+  return 0;
 }

@@ -5,7 +5,7 @@
 //        [--next a,b,...] [--explain] [--dump-program] [--color Name=idx]...
 //        [--budget-ms N] [--max-edge-work N] [--max-avg-degree X]
 //        [--probe-file FILE] [--answer-threads N]
-//        [--metrics-json FILE] [--trace-json FILE]
+//        [--metrics-json FILE] [--metrics-prom FILE] [--trace-json FILE]
 //
 // Examples:
 //   nwdq city.g '(x, y) := dist(x, y) <= 4 & C0(y)' --limit 10
@@ -19,10 +19,11 @@
 // --dump-program prints the flat bytecode the engine compiled it to (or
 // the reason compilation was skipped), then exits.
 //
-// --metrics-json / --trace-json enable the observability layer and write
-// its artifacts when the run finishes: a metrics snapshot (nwd-metrics/1
-// schema) and a chrome://tracing-compatible span timeline covering every
-// prepare stage and answer call.
+// --metrics-json / --metrics-prom / --trace-json enable the observability
+// layer and write its artifacts when the run finishes: a metrics snapshot
+// (nwd-metrics/1 schema or Prometheus text exposition, fleet-scrapeable
+// with tools/nwd-stat) and a chrome://tracing-compatible span timeline
+// covering every prepare stage and answer call.
 //
 // A probe file holds one probe per line: `test a,b,...`, `next a,b,...`,
 // or a bare tuple `a,b,...` (treated as test). Blank lines and lines
@@ -64,6 +65,7 @@
 #include "fo/printer.h"
 #include "graph/io.h"
 #include "obs/metrics.h"
+#include "obs/prom.h"
 #include "obs/trace.h"
 #include "util/timer.h"
 
@@ -165,7 +167,8 @@ int Usage() {
                "            [--budget-ms N] [--max-edge-work N] "
                "[--max-avg-degree X]\n"
                "            [--probe-file FILE] [--answer-threads N]\n"
-               "            [--metrics-json FILE] [--trace-json FILE]\n");
+               "            [--metrics-json FILE] [--metrics-prom FILE]\n"
+               "            [--trace-json FILE]\n");
   return 2;
 }
 
@@ -174,11 +177,13 @@ int Usage() {
 // behind — a failed run's trace is exactly the one worth reading.
 struct ObsExport {
   std::ofstream metrics;
+  std::ofstream metrics_prom;
   std::ofstream trace;
   ~ObsExport() {
     if (metrics.is_open()) {
       nwd::obs::MetricsRegistry::Global().WriteJson(metrics);
     }
+    if (metrics_prom.is_open()) nwd::obs::WriteGlobalPrometheus(metrics_prom);
     if (trace.is_open()) nwd::obs::Tracer::Global().WriteJson(trace);
   }
 };
@@ -324,6 +329,14 @@ int main(int argc, char** argv) {
       const char* path = argv[++i];
       obs_export.metrics.open(path, std::ios::trunc);
       if (!obs_export.metrics.is_open()) {
+        std::fprintf(stderr, "error: cannot write metrics file '%s'\n", path);
+        return 1;
+      }
+      nwd::obs::SetMetricsEnabled(true);
+    } else if (arg == "--metrics-prom" && i + 1 < argc) {
+      const char* path = argv[++i];
+      obs_export.metrics_prom.open(path, std::ios::trunc);
+      if (!obs_export.metrics_prom.is_open()) {
         std::fprintf(stderr, "error: cannot write metrics file '%s'\n", path);
         return 1;
       }

@@ -4,6 +4,7 @@
 
 #include "baseline/naive_enum.h"
 #include "fo/naive_eval.h"
+#include "obs/flight.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/check.h"
@@ -20,6 +21,16 @@ struct DynamicInstruments {
   obs::Counter* rebuilds;
   obs::Counter* lazy_probes;
   obs::Histogram* sync_us;
+  // repair.* plane: the RepairStats breakdown as fleet-scrapeable
+  // instruments (the per-stage walls feed experiment E18/E19 dashboards).
+  obs::Counter* repair_repairs;
+  obs::Counter* repair_rebuilds;
+  obs::Counter* repair_kernels;
+  obs::Counter* repair_skip_rows;
+  obs::Histogram* repair_cover_us;
+  obs::Histogram* repair_skips_us;
+  obs::Histogram* repair_extendable_us;
+  obs::Histogram* repair_compile_us;
 };
 
 DynamicInstruments& Instruments() {
@@ -33,10 +44,20 @@ DynamicInstruments& Instruments() {
     m->rebuilds = reg.GetCounter("dynamic.full_rebuilds");
     m->lazy_probes = reg.GetCounter("dynamic.lazy_probes");
     m->sync_us = reg.GetHistogram("dynamic.sync_us");
+    m->repair_repairs = reg.GetCounter("repair.repairs");
+    m->repair_rebuilds = reg.GetCounter("repair.full_rebuilds");
+    m->repair_kernels = reg.GetCounter("repair.kernels_recomputed");
+    m->repair_skip_rows = reg.GetCounter("repair.skip_rows_recomputed");
+    m->repair_cover_us = reg.GetHistogram("repair.cover_us");
+    m->repair_skips_us = reg.GetHistogram("repair.skips_us");
+    m->repair_extendable_us = reg.GetHistogram("repair.extendable_us");
+    m->repair_compile_us = reg.GetHistogram("repair.compile_us");
     return m;
   }();
   return *instruments;
 }
+
+int64_t MsToUs(double ms) { return static_cast<int64_t>(ms * 1e3); }
 
 }  // namespace
 
@@ -106,17 +127,25 @@ int64_t DynamicEngine::Apply(std::span<const GraphEdit> edits) {
     stats_.in_sync = false;
     if (!options_.synchronous) {
       pending_.insert(pending_.end(), effective.begin(), effective.end());
+      // Attribute the eventual background sync to the request that queued
+      // it (coalesced batches credit the newest requester).
+      pending_rid_ = obs::CurrentRequestId();
     }
   }
   if (options_.synchronous) {
-    SyncBatch(std::move(effective));
+    SyncBatch(std::move(effective), obs::CurrentRequestId());
   } else {
     work_cv_.notify_one();
   }
   return applied;
 }
 
-void DynamicEngine::SyncBatch(std::vector<GraphEdit> batch) {
+void DynamicEngine::SyncBatch(std::vector<GraphEdit> batch,
+                              uint64_t origin_rid) {
+  // The background lane runs under the originating request's id: every
+  // span and flight event below carries it, so one rid follows an update
+  // from its wire frame into the repair it triggered.
+  obs::RequestScope rid_scope(origin_rid);
   obs::ScopedSpan span("dynamic/sync");
   Timer timer;
   EnumerationEngine::RepairStats repair_stats;
@@ -135,10 +164,32 @@ void DynamicEngine::SyncBatch(std::vector<GraphEdit> batch) {
     }
   }
   const double sync_ms = timer.ElapsedSeconds() * 1e3;
+  const int64_t edits = static_cast<int64_t>(batch.size());
   DynamicInstruments& m = Instruments();
   m.batches->Increment();
   (repaired ? m.repairs : m.rebuilds)->Increment();
   m.sync_us->Record(static_cast<int64_t>(sync_ms * 1e3));
+  if (repaired) {
+    m.repair_repairs->Increment();
+    m.repair_kernels->Add(repair_stats.kernels_recomputed);
+    m.repair_skip_rows->Add(repair_stats.skip_rows_recomputed);
+    m.repair_cover_us->Record(MsToUs(repair_stats.cover_ms));
+    m.repair_skips_us->Record(MsToUs(repair_stats.skips_ms));
+    m.repair_extendable_us->Record(MsToUs(repair_stats.extendable_ms));
+    m.repair_compile_us->Record(MsToUs(repair_stats.compile_ms));
+    obs::FlightRecord(obs::FlightEventKind::kRepairStage, "cover",
+                      MsToUs(repair_stats.cover_ms), edits);
+    obs::FlightRecord(obs::FlightEventKind::kRepairStage, "skips",
+                      MsToUs(repair_stats.skips_ms), edits);
+    obs::FlightRecord(obs::FlightEventKind::kRepairStage, "extendable",
+                      MsToUs(repair_stats.extendable_ms), edits);
+    obs::FlightRecord(obs::FlightEventKind::kRepairStage, "compile",
+                      MsToUs(repair_stats.compile_ms), edits);
+  } else {
+    m.repair_rebuilds->Increment();
+    obs::FlightRecord(obs::FlightEventKind::kRepairStage, "full_rebuild",
+                      MsToUs(sync_ms), edits);
+  }
 
   std::unique_lock<std::shared_mutex> lock(state_mu_);
   ++stats_.batches;
@@ -167,8 +218,10 @@ void DynamicEngine::RepairThreadBody() {
     }
     std::vector<GraphEdit> batch = std::move(pending_);
     pending_.clear();
+    const uint64_t origin_rid = pending_rid_;
+    pending_rid_ = 0;
     lock.unlock();
-    SyncBatch(std::move(batch));
+    SyncBatch(std::move(batch), origin_rid);
     lock.lock();
   }
 }

@@ -110,7 +110,11 @@ class DynamicEngine {
   AnswerCounters DrainAnswerStats() const;
 
  private:
-  void SyncBatch(std::vector<GraphEdit> batch);
+  // `origin_rid` is the request id of the Apply() that (last) queued this
+  // batch; the sync runs under its RequestScope so repair spans and
+  // flight events attribute to the originating request even from the
+  // background lane.
+  void SyncBatch(std::vector<GraphEdit> batch, uint64_t origin_rid);
   void RepairThreadBody();
 
   const fo::Query query_;
@@ -123,6 +127,7 @@ class DynamicEngine {
   ColoredGraph serving_graph_;
   bool in_sync_ = true;
   std::vector<GraphEdit> pending_;
+  uint64_t pending_rid_ = 0;  // origin rid of the newest pending edits
   bool stop_ = false;
   UpdateStats stats_;
   mutable std::condition_variable_any work_cv_;

@@ -17,6 +17,7 @@
 #include "fo/analysis.h"
 #include "fo/naive_eval.h"
 #include "graph/stats.h"
+#include "obs/flight.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/check.h"
@@ -817,6 +818,7 @@ void EnumerationEngine::RepairExtendable(
   const int32_t locality = static_cast<int32_t>(cover_->radius());
   compiled_.reset();  // borrows extendable0; re-lowered after the repair
   ScopedProbeContext ctx(probe_pool_.get());
+  ctx->request_id = obs::CurrentRequestId();
   ctx->ResetBallCache();
   const Tuple dummy_from = LexMin(k);
 
@@ -1151,6 +1153,7 @@ std::optional<Tuple> EnumerationEngine::Next(const Tuple& from) const {
   }
   obs::ScopedSpan span("answer/next");
   ScopedProbeContext ctx(probe_pool_.get());
+  ctx->request_id = obs::CurrentRequestId();
   ctx->probes_served.fetch_add(1, std::memory_order_relaxed);
   if (lazy_next_ != nullptr) {
     // One backtracking search per probe: the lazy twin of an LNF descent,
@@ -1174,6 +1177,7 @@ bool EnumerationEngine::Test(const Tuple& tuple) const {
   NWD_CHECK_EQ(static_cast<int>(tuple.size()), arity());
   obs::ScopedSpan span("answer/test");
   ScopedProbeContext ctx(probe_pool_.get());
+  ctx->request_id = obs::CurrentRequestId();
   ctx->probes_served.fetch_add(1, std::memory_order_relaxed);
   if (lazy_eval_ != nullptr) {
     std::lock_guard<std::mutex> lock(lazy_mu_);
@@ -1324,14 +1328,19 @@ std::vector<Tuple> EnumerationEngine::EnumerateParallel(int num_threads,
       (static_cast<int64_t>(firsts.size()) + num_shards - 1) / num_shards;
   std::vector<std::vector<Tuple>> parts(static_cast<size_t>(num_shards));
   ThreadPool pool(threads);
+  // Pool workers don't inherit the caller's thread-local request id;
+  // capture it here so sharded work still attributes to the request.
+  const uint64_t rid = obs::CurrentRequestId();
   pool.ParallelFor(
       0, num_shards, /*grain=*/1, [&](int64_t s, int) {
+        obs::RequestScope rid_scope(rid);
         const int64_t lo_idx = s * per_shard;
         const int64_t hi_idx = std::min<int64_t>(
             static_cast<int64_t>(firsts.size()), lo_idx + per_shard);
         if (lo_idx >= hi_idx) return;
         const Vertex last_first = firsts[static_cast<size_t>(hi_idx - 1)];
         ScopedProbeContext ctx(probe_pool_.get());
+        ctx->request_id = rid;
         std::vector<Tuple>& out = parts[static_cast<size_t>(s)];
         Tuple cursor = LexMin(k);
         cursor[0] = firsts[static_cast<size_t>(lo_idx)];

@@ -1,0 +1,103 @@
+#include "obs/prom.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "obs/quantile.h"
+
+namespace nwd {
+namespace obs {
+namespace {
+
+void WriteDouble(std::ostream& out, double v) {
+  if (!std::isfinite(v)) v = 0.0;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  out << buf;
+}
+
+// Upper bound (inclusive) of log2 bucket b: bucket 0 holds zeros, bucket
+// b >= 1 holds values of bit width b, i.e. in [2^(b-1), 2^b - 1].
+uint64_t BucketUpperBound(int b) {
+  if (b <= 0) return 0;
+  if (b >= 64) return UINT64_MAX;
+  return (uint64_t{1} << b) - 1;
+}
+
+void WriteHistogram(std::ostream& out, const std::string& prom_name,
+                    const std::string& raw_name,
+                    const Histogram::Snapshot& h) {
+  out << "# HELP " << prom_name << " nwd histogram " << raw_name
+      << " (log2 buckets)\n";
+  out << "# TYPE " << prom_name << " histogram\n";
+  int last = Histogram::kBuckets - 1;
+  while (last >= 0 && h.buckets[static_cast<size_t>(last)] == 0) --last;
+  int64_t cumulative = 0;
+  for (int b = 0; b <= last; ++b) {
+    cumulative += h.buckets[static_cast<size_t>(b)];
+    out << prom_name << "_bucket{le=\"" << BucketUpperBound(b) << "\"} "
+        << cumulative << "\n";
+  }
+  out << prom_name << "_bucket{le=\"+Inf\"} " << h.count << "\n";
+  out << prom_name << "_sum " << h.sum << "\n";
+  out << prom_name << "_count " << h.count << "\n";
+  // Derived quantile gauges for scrapers that don't run
+  // histogram_quantile(); interpolated, clamped to the exact [min, max].
+  for (const auto& [suffix, q] :
+       {std::pair<const char*, double>{"_p50", 0.5},
+        std::pair<const char*, double>{"_p99", 0.99}}) {
+    const std::string qname = prom_name + suffix;
+    out << "# HELP " << qname << " nwd quantile of " << raw_name << "\n";
+    out << "# TYPE " << qname << " gauge\n";
+    out << qname << ' ';
+    WriteDouble(out, SnapshotQuantile(h, q));
+    out << "\n";
+  }
+}
+
+}  // namespace
+
+std::string PromMetricName(const std::string& name) {
+  std::string out = "nwd_";
+  out.reserve(name.size() + 4);
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+void WritePrometheus(
+    std::ostream& out,
+    const std::map<std::string, MetricsRegistry::InstrumentValue>& snapshot) {
+  using Kind = MetricsRegistry::InstrumentValue::Kind;
+  for (const auto& [name, value] : snapshot) {
+    const std::string prom = PromMetricName(name);
+    switch (value.kind) {
+      case Kind::kCounter: {
+        const std::string full = prom + "_total";
+        out << "# HELP " << full << " nwd counter " << name << "\n";
+        out << "# TYPE " << full << " counter\n";
+        out << full << ' ' << value.value << "\n";
+        break;
+      }
+      case Kind::kGauge: {
+        out << "# HELP " << prom << " nwd gauge " << name << "\n";
+        out << "# TYPE " << prom << " gauge\n";
+        out << prom << ' ' << value.value << "\n";
+        break;
+      }
+      case Kind::kHistogram:
+        WriteHistogram(out, prom, name, value.histogram);
+        break;
+    }
+  }
+}
+
+void WriteGlobalPrometheus(std::ostream& out) {
+  WritePrometheus(out, MetricsRegistry::Global().Snapshot());
+}
+
+}  // namespace obs
+}  // namespace nwd

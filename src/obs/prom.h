@@ -1,0 +1,56 @@
+// Prometheus text exposition over MetricsRegistry snapshots (the
+// observability layer's fleet plane).
+//
+// nwd-metrics/1 JSON is fine for a bench artifact on disk; a fleet
+// scraper wants the Prometheus text format: self-describing `# HELP` /
+// `# TYPE` comment lines, one sample per line, and cumulative histogram
+// buckets a recording rule can turn into rates and quantiles. This
+// module renders a registry snapshot into exactly that, with the
+// following mapping:
+//
+//   * names    — "serve.request_ns" -> "nwd_serve_request_ns" (every
+//                character outside [a-zA-Z0-9_] becomes '_', "nwd_"
+//                prefix namespaces the fleet).
+//   * Counter  — `<name>_total <value>` with TYPE counter.
+//   * Gauge    — `<name> <value>` with TYPE gauge.
+//   * Histogram— TYPE histogram: cumulative `<name>_bucket{le="..."}`
+//                lines (our log2 buckets: bucket b counts values of bit
+//                width b, i.e. <= 2^b - 1, so le="2^b-1" is exact, not
+//                approximated), a closing le="+Inf" equal to `_count`,
+//                plus `_sum` and `_count`. Two derived gauges,
+//                `<name>_p50` / `<name>_p99`, carry the interpolated
+//                quantiles (obs/quantile.h) for scrapers that don't
+//                compute histogram_quantile themselves.
+//
+// The output is deterministic (snapshot order is the registry's sorted
+// map) and every line is either a comment or `name{labels} value` — the
+// conformance guard (tests/validate_prom.cmake + nwd-stat --check)
+// holds the renderer to monotone buckets and self-description.
+
+#ifndef NWD_OBS_PROM_H_
+#define NWD_OBS_PROM_H_
+
+#include <map>
+#include <ostream>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace nwd {
+namespace obs {
+
+// "serve.request_ns" -> "nwd_serve_request_ns".
+std::string PromMetricName(const std::string& name);
+
+// Renders one snapshot in Prometheus text exposition format.
+void WritePrometheus(
+    std::ostream& out,
+    const std::map<std::string, MetricsRegistry::InstrumentValue>& snapshot);
+
+// Convenience: snapshot + render the global registry.
+void WriteGlobalPrometheus(std::ostream& out);
+
+}  // namespace obs
+}  // namespace nwd
+
+#endif  // NWD_OBS_PROM_H_

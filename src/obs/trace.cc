@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <thread>
 
+#include "obs/flight.h"
+
 namespace nwd {
 namespace obs {
 namespace {
@@ -53,13 +55,14 @@ int64_t Tracer::NowNs() {
 
 void Tracer::RecordSpan(const char* name, int64_t begin_ns, int64_t end_ns) {
   const uint64_t tid = CurrentTid();
+  const uint64_t rid = CurrentRequestId();
   std::lock_guard<std::mutex> lock(mu_);
   if (events_.size() >= kMaxEvents) {
     dropped_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
   if (events_.empty()) events_.reserve(1024);
-  events_.push_back(Event{name, begin_ns, end_ns, tid});
+  events_.push_back(Event{name, begin_ns, end_ns, tid, rid});
 }
 
 size_t Tracer::event_count() const {
@@ -94,12 +97,23 @@ void Tracer::WriteJson(std::ostream& out) const {
         static_cast<double>(e.end_ns >= e.begin_ns ? e.end_ns - e.begin_ns
                                                    : 0) /
         1e3;
-    char buf[96];
+    char buf[160];
     out << "{\"name\":";
     WriteJsonString(out, e.name);
-    std::snprintf(buf, sizeof(buf),
-                  ",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%llu}",
-                  ts_us, dur_us, static_cast<unsigned long long>(e.tid % 100000));
+    if (e.rid != 0) {
+      std::snprintf(buf, sizeof(buf),
+                    ",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,"
+                    "\"tid\":%llu,\"args\":{\"rid\":%llu}}",
+                    ts_us, dur_us,
+                    static_cast<unsigned long long>(e.tid % 100000),
+                    static_cast<unsigned long long>(e.rid));
+    } else {
+      std::snprintf(buf, sizeof(buf),
+                    ",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,"
+                    "\"tid\":%llu}",
+                    ts_us, dur_us,
+                    static_cast<unsigned long long>(e.tid % 100000));
+    }
     out << buf;
   }
   out << "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped_events\":"

@@ -52,6 +52,10 @@ class Tracer {
 
   // Records a completed [begin_ns, end_ns) span. `name` must be a string
   // literal (or otherwise outlive the tracer) — events store the pointer.
+  // The span is stamped with the thread's current request id
+  // (obs::CurrentRequestId(), see obs/flight.h), so every existing span
+  // site carries request attribution with no signature change; it shows
+  // up as `args.rid` in the exported JSON.
   void RecordSpan(const char* name, int64_t begin_ns, int64_t end_ns);
 
   size_t event_count() const;
@@ -79,6 +83,7 @@ class Tracer {
     int64_t begin_ns;
     int64_t end_ns;
     uint64_t tid;
+    uint64_t rid;  // request id active on the recording thread (0 = none)
   };
 
   mutable std::mutex mu_;

@@ -1,5 +1,6 @@
 #include "serve/admission.h"
 
+#include "obs/flight.h"
 #include "obs/metrics.h"
 
 namespace nwd {
@@ -29,6 +30,8 @@ bool AdmissionGate::TryAdmit(int64_t* retry_after_ms) {
       reject_streak_.fetch_add(1, std::memory_order_relaxed) + 1;
   int64_t factor = streak < 32 ? streak : 32;
   *retry_after_ms = retry_after_ms_ * factor;
+  obs::FlightRecord(obs::FlightEventKind::kAdmissionReject, nullptr,
+                    /*a=*/cur, /*b=*/streak);
   return false;
 }
 

@@ -6,6 +6,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cmath>
@@ -16,7 +17,10 @@
 #include "enumerate/enumerator.h"
 #include "fo/analysis.h"
 #include "gen/generators.h"
+#include "obs/flight.h"
 #include "obs/metrics.h"
+#include "obs/prom.h"
+#include "obs/quantile.h"
 #include "util/fault_injection.h"
 
 namespace nwd {
@@ -97,6 +101,24 @@ bool TupleInRange(const Tuple& t, int64_t n) {
     if (v < 0 || v >= n) return false;
   }
   return true;
+}
+
+// The thread's active request id as a response-frame suffix. Every final
+// frame (ok/end/err) carries it; `ans` stream frames stay lean.
+std::string RidSuffix() {
+  const uint64_t rid = obs::CurrentRequestId();
+  return rid != 0 ? " rid=" + std::to_string(rid) : std::string();
+}
+
+// Appends ` <name>_p50=… <name>_p99=…` tokens for a histogram (stats verb).
+void AppendQuantiles(std::string* reply, const char* name,
+                     const obs::Histogram& histogram) {
+  const obs::Histogram::Snapshot snap = histogram.Read();
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), " %s_p50=%.0f %s_p99=%.0f", name,
+                obs::SnapshotQuantile(snap, 0.5), name,
+                obs::SnapshotQuantile(snap, 0.99));
+  *reply += buf;
 }
 
 }  // namespace
@@ -247,8 +269,10 @@ void Daemon::HandleConnection(int read_fd, int write_fd,
     if (status == FrameStatus::kTooBig ||
         NWD_FAULT_POINT("serve/frame/corrupt")) {
       // The stream cannot be resynchronized after a garbage length
-      // prefix: report and hang up.
+      // prefix: report and hang up. There is no request to adopt a rid
+      // from, so the error frame carries a minted one.
       metrics.bad_frames->Increment();
+      obs::RequestScope rid_scope(obs::MintRequestId());
       SendError(&stream, ErrorCode::kBadFrame,
                 "unframeable stream (bad length prefix)");
       break;
@@ -256,12 +280,30 @@ void Daemon::HandleConnection(int read_fd, int write_fd,
     metrics.requests->Increment();
     Request request;
     std::string parse_error;
-    if (!ParseRequest(payload, &request, &parse_error)) {
+    const bool parsed = ParseRequest(payload, &request, &parse_error);
+    // Request identity: adopt the client's rid= or mint one; the scope
+    // makes it visible to every span and flight event this thread (and,
+    // forwarded, the rebuild/repair lanes) records for this request.
+    const uint64_t rid =
+        parsed && request.rid != 0 ? request.rid : obs::MintRequestId();
+    obs::RequestScope rid_scope(rid);
+    if (!parsed) {
       metrics.bad_requests->Increment();
       if (!SendError(&stream, ErrorCode::kBadRequest, parse_error)) break;
       continue;  // framing is intact; the connection stays usable
     }
-    if (!HandleRequest(&stream, request)) break;
+    const int64_t started_ns = NowNs();
+    obs::FlightRecord(obs::FlightEventKind::kRequestStart, nullptr, 0, 0,
+                      static_cast<uint32_t>(request.op));
+    const bool alive = HandleRequest(&stream, request);
+    const int64_t latency_ns = NowNs() - started_ns;
+    obs::FlightRecord(obs::FlightEventKind::kRequestEnd, nullptr, latency_ns,
+                      alive ? 1 : 0, static_cast<uint32_t>(request.op));
+    if (options_.slow_request_ms > 0 && obs::FlightEnabled() &&
+        latency_ns >= options_.slow_request_ms * 1'000'000) {
+      obs::FlightRecorder::Global().CaptureSlow(rid, latency_ns);
+    }
+    if (!alive) break;
   }
   if (record != nullptr) {
     // Handshake with Stop(): close under the record mutex so a
@@ -279,7 +321,8 @@ void Daemon::HandleConnection(int read_fd, int write_fd,
 bool Daemon::SendError(FdStream* stream, ErrorCode code,
                        std::string_view message, int64_t retry_after_ms) {
   ServeMetrics& metrics = ServeMetrics::Get();
-  if (!WriteFrame(stream, FormatError(code, message, retry_after_ms))) {
+  if (!WriteFrame(stream,
+                  FormatError(code, message, retry_after_ms) + RidSuffix())) {
     metrics.dropped_conns->Increment();
     return false;
   }
@@ -291,13 +334,19 @@ bool Daemon::HandleRequest(FdStream* stream, const Request& request) {
   ServeMetrics& metrics = ServeMetrics::Get();
   if (NWD_FAULT_POINT("serve/worker/death")) {
     // Simulated worker death: the connection dies with no response; the
-    // daemon (and every other connection) must keep serving.
+    // daemon (and every other connection) must keep serving. The flight
+    // recorder is the black box here — record the death and dump the
+    // recent tail to stderr for the postmortem.
     metrics.worker_deaths->Increment();
+    obs::FlightRecord(obs::FlightEventKind::kWorkerDeath);
+    if (options_.dump_on_death && obs::FlightEnabled()) {
+      obs::FlightRecorder::Global().DumpToFd(2, /*max_events_per_ring=*/32);
+    }
     return false;
   }
   switch (request.op) {
     case RequestOp::kPing: {
-      if (!WriteFrame(stream, "ok ping")) {
+      if (!WriteFrame(stream, "ok ping" + RidSuffix())) {
         metrics.dropped_conns->Increment();
         return false;
       }
@@ -305,15 +354,17 @@ bool Daemon::HandleRequest(FdStream* stream, const Request& request) {
       return true;
     }
     case RequestOp::kMetrics:
-      return HandleMetrics(stream);
+      return HandleMetrics(stream, request);
     case RequestOp::kStats:
       return HandleStats(stream);
+    case RequestOp::kDump:
+      return HandleDump(stream);
     case RequestOp::kShutdown: {
       if (!options_.allow_shutdown) {
         return SendError(stream, ErrorCode::kBadRequest,
                          "shutdown disabled");
       }
-      if (WriteFrame(stream, "ok shutdown")) {
+      if (WriteFrame(stream, "ok shutdown" + RidSuffix())) {
         metrics.responses_ok->Increment();
       } else {
         metrics.dropped_conns->Increment();
@@ -397,7 +448,7 @@ bool Daemon::HandleProbe(FdStream* stream, const Request& request) {
     reply = "ok next ";
     reply += next.has_value() ? FormatTuple(*next) : std::string("none");
   }
-  reply += " epoch=" + std::to_string(snapshot->epoch);
+  reply += " epoch=" + std::to_string(snapshot->epoch) + RidSuffix();
   if (!WriteFrame(stream, reply)) {
     metrics.dropped_conns->Increment();
     return false;
@@ -468,6 +519,7 @@ bool Daemon::HandleEnumerate(FdStream* stream, const Request& request,
   if (request.limit >= 0 && count == request.limit && !exhausted) {
     tail += " limit=1";
   }
+  tail += RidSuffix();
   if (!WriteFrame(stream, tail)) {
     metrics.dropped_conns->Increment();
     return false;
@@ -485,6 +537,7 @@ bool Daemon::HandleReload(FdStream* stream, const Request& request) {
   job->source = request.source;
   job->budget_ms = request.budget_ms;
   job->max_edge_work = request.max_edge_work;
+  job->rid = obs::CurrentRequestId();
   {
     std::unique_lock<std::mutex> lock(rebuild_mu_);
     if (rebuild_busy_ || pending_job_ != nullptr) {
@@ -514,7 +567,7 @@ bool Daemon::HandleReload(FdStream* stream, const Request& request) {
   std::snprintf(prep, sizeof(prep), "%.3f", job->prep_ms);
   const std::string reply = "ok reload epoch=" + std::to_string(job->epoch) +
                             " degraded=" + (job->degraded ? "1" : "0") +
-                            " prep_ms=" + prep;
+                            " prep_ms=" + prep + RidSuffix();
   if (!WriteFrame(stream, reply)) {
     metrics.dropped_conns->Increment();
     return false;
@@ -567,7 +620,7 @@ bool Daemon::HandleUpdate(FdStream* stream, const Request& request) {
       "ok update applied=" + std::to_string(applied) +
       " total=" + std::to_string(request.edits.size()) +
       std::string(" insync=") + (snapshot->dynamic->in_sync() ? "1" : "0") +
-      " epoch=" + std::to_string(snapshot->epoch);
+      " epoch=" + std::to_string(snapshot->epoch) + RidSuffix();
   if (!WriteFrame(stream, reply)) {
     metrics.dropped_conns->Increment();
     return false;
@@ -576,11 +629,15 @@ bool Daemon::HandleUpdate(FdStream* stream, const Request& request) {
   return true;
 }
 
-bool Daemon::HandleMetrics(FdStream* stream) {
+bool Daemon::HandleMetrics(FdStream* stream, const Request& request) {
   ServeMetrics& metrics = ServeMetrics::Get();
   std::ostringstream body;
-  obs::MetricsRegistry::Global().WriteJson(body);
-  if (!WriteFrame(stream, "ok metrics\n" + body.str())) {
+  if (request.prom_format) {
+    obs::WriteGlobalPrometheus(body);
+  } else {
+    obs::MetricsRegistry::Global().WriteJson(body);
+  }
+  if (!WriteFrame(stream, "ok metrics" + RidSuffix() + "\n" + body.str())) {
     metrics.dropped_conns->Increment();
     return false;
   }
@@ -604,7 +661,40 @@ bool Daemon::HandleStats(FdStream* stream) {
     reply += std::string(" insync=") + (update_stats.in_sync ? "1" : "0");
     reply += " source=" + snapshot->source;
   }
+  // Latency shape without a full metrics scrape: interpolated quantiles
+  // of the request and epoch-drain histograms (quantile.h).
+  auto& reg = obs::MetricsRegistry::Global();
+  AppendQuantiles(&reply, "request_ns", *reg.GetHistogram("serve.request_ns"));
+  AppendQuantiles(&reply, "swap_drain_ns",
+                  *reg.GetHistogram("serve.swap_drain_ns"));
+  reply += RidSuffix();
   if (!WriteFrame(stream, reply)) {
+    metrics.dropped_conns->Increment();
+    return false;
+  }
+  metrics.responses_ok->Increment();
+  return true;
+}
+
+bool Daemon::HandleDump(FdStream* stream) {
+  ServeMetrics& metrics = ServeMetrics::Get();
+  // Bound the body well under max_frame_bytes: ~170 bytes/line puts
+  // 2000 events around 340 KB against the 1 MiB default frame cap.
+  constexpr size_t kMaxDumpEvents = 2000;
+  std::ostringstream body;
+  const obs::FlightRecorder::CollectStats stats =
+      obs::FlightRecorder::Global().WriteText(body, kMaxDumpEvents);
+  const int64_t survived =
+      stats.recorded - stats.overwritten - stats.torn_skipped;
+  const int64_t emitted =
+      std::min<int64_t>(survived, static_cast<int64_t>(kMaxDumpEvents));
+  std::string head = "ok dump events=" + std::to_string(emitted) +
+                     " rings=" + std::to_string(stats.rings) +
+                     " recorded=" + std::to_string(stats.recorded) +
+                     " overwritten=" + std::to_string(stats.overwritten) +
+                     " torn=" + std::to_string(stats.torn_skipped) +
+                     RidSuffix();
+  if (!WriteFrame(stream, head + "\n" + body.str())) {
     metrics.dropped_conns->Increment();
     return false;
   }
@@ -627,7 +717,10 @@ void Daemon::RebuildThreadBody() {
       rebuild_busy_ = true;
     }
     // Build outside the lock: serving threads keep probing the current
-    // snapshot while this runs.
+    // snapshot while this runs. The originating request's id rides along
+    // so the rebuild's spans and flight events attribute to the reload
+    // that asked for it, not to an anonymous background thread.
+    obs::RequestScope rid_scope(job->rid);
     auto snapshot = std::make_unique<EngineSnapshot>();
     snapshot->source = job->source;
     snapshot->query = query_;
@@ -689,14 +782,16 @@ bool Daemon::ListenTcp(int port, std::string* error) {
       0) {
     tcp_port_ = ntohs(addr.sin_port);
   }
-  listen_fd_ = fd;
+  listen_fd_.store(fd, std::memory_order_release);
   accept_thread_ = std::thread([this] { AcceptThreadBody(); });
   return true;
 }
 
 void Daemon::AcceptThreadBody() {
   while (!stopping_.load(std::memory_order_acquire)) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    const int listen_fd = listen_fd_.load(std::memory_order_acquire);
+    if (listen_fd < 0) return;  // Stop() already closed the listener
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR) continue;
       return;  // listener closed by Stop()
@@ -711,10 +806,10 @@ void Daemon::Stop() {
                                          std::memory_order_acq_rel)) {
     return;
   }
-  if (listen_fd_ >= 0) {
-    ::shutdown(listen_fd_, SHUT_RDWR);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+  const int listen_fd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
+  if (listen_fd >= 0) {
+    ::shutdown(listen_fd, SHUT_RDWR);
+    ::close(listen_fd);
   }
   // Unblock handler threads parked in read() on live sockets. shutdown()
   // is a no-op on pipes (ENOTSOCK) — pipe-based tests unblock by closing

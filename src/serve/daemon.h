@@ -28,12 +28,23 @@
 //
 //   4. Fault visibility. Every outcome increments a serve.* metric, and
 //      the `metrics` request dumps the whole registry as nwd-metrics/1
-//      JSON, so a soak harness (tests/serve_soak_test.cc) can reconcile
-//      client-observed outcomes against the daemon's own accounting.
-//      Serve-path fault points (NWD_FAULT_POINT, incl. the probabilistic
-//      NWD_FAULT_PROB mode): serve/admission/reject, serve/frame/corrupt,
-//      serve/answer, serve/stream/abort, serve/stream/deadline,
-//      serve/worker/death.
+//      JSON (or Prometheus text with format=prom), so a soak harness
+//      (tests/serve_soak_test.cc) can reconcile client-observed outcomes
+//      against the daemon's own accounting. Serve-path fault points
+//      (NWD_FAULT_POINT, incl. the probabilistic NWD_FAULT_PROB mode):
+//      serve/admission/reject, serve/frame/corrupt, serve/answer,
+//      serve/stream/abort, serve/stream/deadline, serve/worker/death.
+//
+//   5. Request identity + flight recording. Each request runs under a
+//      64-bit request id (client-supplied rid= or minted) installed via
+//      obs::RequestScope; every response frame carries ` rid=N`, every
+//      trace span and flight event the request produces is stamped with
+//      it, and the rebuild/repair lanes inherit the originating id — one
+//      id reconstructs a request's full path across epoch swaps. The
+//      always-on flight recorder (obs/flight.h) keeps the recent event
+//      history: the `dump` verb returns it over the wire, a simulated
+//      worker death dumps it to stderr (dump_on_death), and requests
+//      slower than slow_request_ms are captured eagerly.
 //
 // Threading model: one handler thread per connection (ServeFd), plus one
 // background rebuild thread, plus an optional TCP accept thread. A
@@ -86,6 +97,13 @@ struct DaemonOptions {
   bool allow_reload = true;
   bool allow_update = true;
   bool allow_shutdown = true;
+  // A request slower than this triggers an eager flight-recorder capture
+  // (FlightRecorder::CaptureSlow) keyed by its rid (0 = off).
+  int64_t slow_request_ms = 0;
+  // Dump the flight recorder's recent tail to stderr when a worker dies
+  // (the serve/worker/death fault path) — the forensic record the
+  // recorder exists for. Soak tests turn this off to keep logs bounded.
+  bool dump_on_death = true;
 };
 
 // Builds a graph from a reload source spec: `file:<path>` through the
@@ -140,6 +158,7 @@ class Daemon {
     std::string source;
     int64_t budget_ms = 0;
     int64_t max_edge_work = 0;
+    uint64_t rid = 0;  // originating request id (spans/events attribution)
     // Result (valid once done=true):
     bool ok = false;
     std::string error;
@@ -162,8 +181,9 @@ class Daemon {
                        int64_t admitted_at_ns);
   bool HandleReload(FdStream* stream, const Request& request);
   bool HandleUpdate(FdStream* stream, const Request& request);
-  bool HandleMetrics(FdStream* stream);
+  bool HandleMetrics(FdStream* stream, const Request& request);
   bool HandleStats(FdStream* stream);
+  bool HandleDump(FdStream* stream);
 
   bool SendError(FdStream* stream, ErrorCode code, std::string_view message,
                  int64_t retry_after_ms = 0);
@@ -201,7 +221,8 @@ class Daemon {
   std::mutex conn_mu_;
   std::vector<std::shared_ptr<ConnRecord>> conn_records_;
 
-  int listen_fd_ = -1;
+  // Read by the accept thread while Stop() closes and clears it.
+  std::atomic<int> listen_fd_{-1};
   int tcp_port_ = -1;
   std::thread accept_thread_;
 

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <chrono>
 
+#include "obs/flight.h"
 #include "obs/metrics.h"
 
 namespace nwd {
@@ -56,8 +57,11 @@ int64_t SnapshotRegistry::Publish(std::unique_ptr<EngineSnapshot> snapshot) {
       raw, [retire, drain](const EngineSnapshot* s) {
         const int64_t retired_at =
             retire->retired_at_ns.load(std::memory_order_acquire);
-        if (retired_at != 0 && obs::MetricsEnabled()) {
-          drain->Record(NowNs() - retired_at);
+        if (retired_at != 0) {
+          const int64_t drain_ns = NowNs() - retired_at;
+          if (obs::MetricsEnabled()) drain->Record(drain_ns);
+          obs::FlightRecord(obs::FlightEventKind::kEpochDrain, nullptr,
+                            /*a=*/s->epoch, /*b=*/drain_ns);
         }
         delete s;
         LiveGauge()->Set(g_live_snapshots.fetch_sub(1) - 1);
@@ -76,6 +80,8 @@ int64_t SnapshotRegistry::Publish(std::unique_ptr<EngineSnapshot> snapshot) {
     current_retire_ = retire;
   }
   epoch_gauge->Set(epoch);
+  obs::FlightRecord(obs::FlightEventKind::kEpochPublish, nullptr,
+                    /*a=*/epoch);
   if (old != nullptr) {
     swaps->Increment();
     old_retire->retired_at_ns.store(NowNs(), std::memory_order_release);

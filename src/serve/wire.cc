@@ -240,6 +240,8 @@ bool ParseRequest(std::string_view line, Request* out, std::string* error) {
     out->op = RequestOp::kMetrics;
   } else if (op == "stats") {
     out->op = RequestOp::kStats;
+  } else if (op == "dump") {
+    out->op = RequestOp::kDump;
   } else if (op == "shutdown") {
     out->op = RequestOp::kShutdown;
   } else if (op == "test" || op == "next") {
@@ -323,6 +325,23 @@ bool ParseRequest(std::string_view line, Request* out, std::string* error) {
         return false;
       }
       out->wait_sync = value == "1";
+    } else if (KeyValue(tokens[i], "rid", &value)) {
+      int64_t rid = 0;
+      if (!ParseInt(value, &rid) || rid == 0) {
+        *error = "bad rid (positive integer)";
+        return false;
+      }
+      out->rid = static_cast<uint64_t>(rid);
+    } else if (KeyValue(tokens[i], "format", &value) &&
+               out->op == RequestOp::kMetrics) {
+      if (value == "prom") {
+        out->prom_format = true;
+      } else if (value == "json") {
+        out->prom_format = false;
+      } else {
+        *error = "bad format (json|prom)";
+        return false;
+      }
     } else {
       *error = "unknown argument '" + std::string(tokens[i]) + "'";
       return false;
@@ -384,6 +403,10 @@ bool ReadResponse(FdStream* stream, size_t max_len, Response* out) {
     if (const auto count = FindToken(out->head, "count")) {
       int64_t value = 0;
       if (ParseInt(*count, &value)) out->count = value;
+    }
+    if (const auto rid = FindToken(out->head, "rid")) {
+      int64_t value = 0;
+      if (ParseInt(*rid, &value)) out->rid = value;
     }
     if (out->head.compare(0, 3, "ok ") == 0 ||
         out->head.compare(0, 4, "end ") == 0 || out->head == "end") {

@@ -18,9 +18,17 @@
 //   enumerate [from=v,v,...] [limit=N] [deadline_ms=N]
 //   reload <source> [budget_ms=N] [max_edge_work=N]
 //   update <spec>[;<spec>...] [wait=1]
-//   metrics
+//   metrics [format=json|prom]
 //   stats
+//   dump
 //   shutdown
+//
+// Any request may additionally carry `rid=N` — a client-chosen 64-bit
+// request id. The daemon adopts it (or mints one when absent) and
+// stamps it on every final response frame, every trace span, and every
+// flight-recorder event the request produces, so one id reconstructs
+// the request's path end to end (see obs/flight.h). `dump` returns the
+// flight recorder's merged recent history.
 //
 // `update` patches the live snapshot in place (no epoch swap): each
 // `<spec>` is `add:u,v` (edge insert), `del:u,v` (edge delete), or
@@ -38,17 +46,23 @@
 //
 // Responses:
 //
-//   ok ping
-//   ok test <0|1> epoch=E
-//   ok next <v,v,...|none> epoch=E
+//   ok ping rid=R
+//   ok test <0|1> epoch=E rid=R
+//   ok next <v,v,...|none> epoch=E rid=R
 //   ans <v,v,...>                      (one frame per enumerated tuple)
-//   end count=N epoch=E [limit=1]      (stream completed on epoch E)
-//   ok reload epoch=E degraded=<0|1> prep_ms=<ms>
-//   ok update applied=N total=M insync=<0|1> epoch=E
-//   ok metrics\n<nwd-metrics/1 JSON>   (body after the first line)
-//   ok stats epoch=E inflight=N ... edits=N insync=<0|1> source=<...>
-//   ok shutdown
-//   err <CODE> [retry_after_ms=N] <message>
+//   end count=N epoch=E [limit=1] rid=R  (stream completed on epoch E)
+//   ok reload epoch=E degraded=<0|1> prep_ms=<ms> rid=R
+//   ok update applied=N total=M insync=<0|1> epoch=E rid=R
+//   ok metrics rid=R\n<body>           (nwd-metrics/1 JSON, or Prometheus
+//                                       text with format=prom)
+//   ok stats epoch=E inflight=N ... insync=<0|1> ... source=<...> rid=R
+//   ok dump events=N rings=K overwritten=L torn=T rid=R\n<flight lines>
+//   ok shutdown rid=R
+//   err <CODE> [retry_after_ms=N] <message> rid=R
+//
+// `rid=R` trails every final frame (`ans` stream frames stay lean); the
+// stable `key=value` token scan (FindToken) is what keeps appending it
+// compatible with older clients.
 //
 // An enumeration stream is zero or more `ans` frames terminated by
 // exactly one `end` (single-epoch completion) or `err` (typed abort —
@@ -142,6 +156,7 @@ enum class RequestOp {
   kUpdate,
   kMetrics,
   kStats,
+  kDump,
   kShutdown,
 };
 
@@ -156,6 +171,8 @@ struct Request {
   int64_t max_edge_work = 0;    // reload prepare work cap
   std::vector<GraphEdit> edits;  // update edit batch, in request order
   bool wait_sync = false;        // update wait=1: reply after repair drains
+  uint64_t rid = 0;              // client-supplied request id (0 = mint)
+  bool prom_format = false;      // metrics format=prom
 };
 
 // Parses one request line. On failure returns false and sets *error to a
@@ -187,6 +204,7 @@ struct Response {
   std::vector<Tuple> answers;       // `ans` frames, in order
   int64_t epoch = -1;               // epoch=E on the final frame, if any
   int64_t count = -1;               // count=N on `end` frames
+  int64_t rid = -1;                 // rid=R on the final frame, if any
 };
 
 // Reads frames until a final `ok`/`end`/`err` frame (accumulating `ans`

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/flight.h"
 #include "obs/metrics.h"
 
 namespace nwd {
@@ -65,6 +66,10 @@ void ResourceBudget::Trip(const std::string& stage,
       static obs::Counter* trips =
           obs::MetricsRegistry::Global().GetCounter("budget.trips");
       trips->Increment();
+      obs::FlightRecord(obs::FlightEventKind::kBudgetTrip,
+                        stage.empty() ? nullptr
+                                      : obs::InternFlightLabel(stage),
+                        /*a=*/work_.load(std::memory_order_relaxed));
     }
   }
   tripped_.store(true, std::memory_order_release);

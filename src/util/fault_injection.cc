@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <mutex>
 
+#include "obs/flight.h"
 #include "util/rng.h"
 
 namespace nwd {
@@ -109,7 +110,11 @@ bool ShouldFail(std::string_view point) {
       if (g_rng == nullptr || !g_rng->NextBool(g_probability)) return false;
       break;
   }
-  g_fire_count.fetch_add(1, std::memory_order_relaxed);
+  const int64_t fired = g_fire_count.fetch_add(1, std::memory_order_relaxed);
+  // Cold path (we are about to inject a failure): leave a flight-recorder
+  // breadcrumb so a dump shows which fault fired right before a death.
+  obs::FlightRecord(obs::FlightEventKind::kFaultFire,
+                    obs::InternFlightLabel(point), /*a=*/fired + 1);
   return true;
 }
 

@@ -22,6 +22,7 @@
 #include "fo/builders.h"
 #include "fo/parser.h"
 #include "obs/metrics.h"
+#include "obs/prom.h"
 #include "obs/trace.h"
 #include "tests/property_common.h"
 #include "util/rng.h"
@@ -233,6 +234,87 @@ TEST(EngineMetrics, PrepareStagesPublishGaugesAndPhaseHistograms) {
   EXPECT_EQ(reg.GetHistogram("engine.phase.cover_us")->Read().count,
             covers_before + 1);
   EXPECT_EQ(reg.GetCounter("engine.built")->value() > 0, true);
+}
+
+// --- Prometheus text renderer (prom.h) -----------------------------------
+
+TEST(PromTest, MetricNamesGetFleetPrefixAndSanitizedChars) {
+  EXPECT_EQ("nwd_serve_request_ns", obs::PromMetricName("serve.request_ns"));
+  EXPECT_EQ("nwd_repair_full_rebuilds",
+            obs::PromMetricName("repair.full_rebuilds"));
+  // Every non-[a-zA-Z0-9_] character maps to '_'.
+  EXPECT_EQ("nwd_a_b_c_d", obs::PromMetricName("a-b.c/d"));
+  EXPECT_EQ("nwd_", obs::PromMetricName(""));
+}
+
+TEST(PromTest, RendersCounterGaugeAndHistogramFamilies) {
+  MetricsRegistry reg;
+  reg.GetCounter("c.one")->Add(5);
+  reg.GetGauge("g.one")->Set(12);
+  reg.GetHistogram("h.one")->Record(3);
+  std::ostringstream out;
+  obs::WritePrometheus(out, reg.Snapshot());
+  const std::string text = out.str();
+  // Counters get the _total suffix, with HELP/TYPE on the full name so
+  // a strict scraper associates the metadata with the sample family.
+  EXPECT_NE(text.find("# HELP nwd_c_one_total"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE nwd_c_one_total counter"), std::string::npos);
+  EXPECT_NE(text.find("nwd_c_one_total 5\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE nwd_g_one gauge"), std::string::npos);
+  EXPECT_NE(text.find("nwd_g_one 12\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE nwd_h_one histogram"), std::string::npos);
+  EXPECT_NE(text.find("nwd_h_one_sum 3\n"), std::string::npos);
+  EXPECT_NE(text.find("nwd_h_one_count 1\n"), std::string::npos);
+  // Derived quantile gauges for scrapers without histogram_quantile().
+  EXPECT_NE(text.find("# TYPE nwd_h_one_p50 gauge"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE nwd_h_one_p99 gauge"), std::string::npos);
+  // Nothing leaks outside the fleet namespace.
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    EXPECT_EQ(0u, line.find("nwd_")) << line;
+  }
+}
+
+TEST(PromTest, HistogramBucketsAreCumulativeWithPow2UpperBounds) {
+  MetricsRegistry reg;
+  Histogram* h = reg.GetHistogram("h.lat");
+  h->Record(0);    // bucket 0: le="0"
+  h->Record(1);    // bucket 1: le="1"
+  h->Record(2);    // bucket 2: le="3"
+  h->Record(3);    // bucket 2
+  h->Record(100);  // bucket 7: le="127"
+  std::ostringstream out;
+  obs::WritePrometheus(out, reg.Snapshot());
+  const std::string text = out.str();
+  // Cumulative counts at the log2 bucket upper bounds (2^b - 1), ending
+  // in +Inf == _count — what histogram_quantile() requires.
+  EXPECT_NE(text.find("nwd_h_lat_bucket{le=\"0\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("nwd_h_lat_bucket{le=\"1\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("nwd_h_lat_bucket{le=\"3\"} 4\n"), std::string::npos);
+  EXPECT_NE(text.find("nwd_h_lat_bucket{le=\"127\"} 5\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("nwd_h_lat_bucket{le=\"+Inf\"} 5\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("nwd_h_lat_count 5\n"), std::string::npos);
+  // No buckets past the last populated one (the +Inf line caps the
+  // family): le="255" would be bucket 8.
+  EXPECT_EQ(text.find("nwd_h_lat_bucket{le=\"255\"}"), std::string::npos);
+}
+
+TEST(PromTest, EmptyHistogramStillClosesWithInfBucket) {
+  MetricsRegistry reg;
+  reg.GetHistogram("h.idle");  // registered, never recorded
+  std::ostringstream out;
+  obs::WritePrometheus(out, reg.Snapshot());
+  const std::string text = out.str();
+  // A scraper must still see a conformant (empty) histogram family.
+  EXPECT_NE(text.find("nwd_h_idle_bucket{le=\"+Inf\"} 0\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("nwd_h_idle_sum 0\n"), std::string::npos);
+  EXPECT_NE(text.find("nwd_h_idle_count 0\n"), std::string::npos);
+  EXPECT_NE(text.find("nwd_h_idle_p50 0\n"), std::string::npos);
 }
 
 // --- Concurrency (the TSan twin's reason to exist) -----------------------

@@ -32,6 +32,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -141,6 +142,10 @@ class SoakHarness {
     DaemonOptions options;
     options.max_inflight = 4;
     options.write_timeout_ms = 20000;
+    // The hostile soak injects worker deaths by design; dumping the
+    // flight recorder to stderr on each would drown the log. The
+    // recorder itself stays on — the post-soak `dump` verb checks it.
+    options.dump_on_death = false;
     daemon_ = std::make_unique<Daemon>(query, options);
     std::string error;
     if (!daemon_->LoadInitialSnapshot(kInitialSource, &error)) {
@@ -238,7 +243,9 @@ class SoakHarness {
         continue;
       }
       if (die < 18) {
-        const char* op = (die % 2 == 0) ? "stats" : "metrics";
+        const char* op = (die % 3 == 0)   ? "stats"
+                         : (die % 3 == 1) ? "metrics"
+                                          : "dump";
         if (!client->Call(op, &response)) reconnect();
         continue;
       }
@@ -469,6 +476,45 @@ struct CounterDeltas {
   }
 };
 
+// The flight recorder's acceptance check: a `dump` taken after the soak
+// has quiesced must replay coherent recent history — no torn events, and
+// per-ring sequence numbers / timestamps strictly ordered. The recorder
+// ran always-on through every injected fault, so this is the black box
+// read back after the crash-storm.
+void VerifyDumpCoherence(const Response& response) {
+  ASSERT_TRUE(response.ok) << response.head;
+  EXPECT_EQ(0u, response.head.find("ok dump ")) << response.head;
+  EXPECT_NE(std::string::npos, response.head.find(" torn=0"))
+      << "quiescent dump saw torn slots: " << response.head;
+  std::istringstream body(response.body);
+  std::string line;
+  ASSERT_TRUE(std::getline(body, line));
+  EXPECT_EQ(0u, line.find("flightdump ")) << line;
+  std::map<int, uint64_t> last_seq;
+  std::map<int, long long> last_ts;
+  int64_t events = 0;
+  while (std::getline(body, line)) {
+    int ring = -1;
+    unsigned long long seq = 0;
+    long long ts_ns = -1;
+    ASSERT_EQ(3, std::sscanf(line.c_str(),
+                             "flight ring=%d seq=%llu ts_ns=%lld", &ring,
+                             &seq, &ts_ns))
+        << "unparseable flight event: " << line;
+    EXPECT_NE(std::string::npos, line.find(" kind=")) << line;
+    const auto seq_it = last_seq.find(ring);
+    if (seq_it != last_seq.end()) {
+      EXPECT_GT(seq, seq_it->second) << "ring " << ring << ": " << line;
+      EXPECT_GE(ts_ns, last_ts[ring])
+          << "non-monotone timestamp in ring " << ring << ": " << line;
+    }
+    last_seq[ring] = seq;
+    last_ts[ring] = ts_ns;
+    ++events;
+  }
+  EXPECT_GT(events, 0) << "soak left no flight history";
+}
+
 void RunSoak(bool hostile) {
   fo::ParseResult parsed = fo::ParseFormula("E(x, y)");
   ASSERT_TRUE(parsed.ok) << parsed.error;
@@ -510,13 +556,16 @@ void RunSoak(bool hostile) {
   EXPECT_GT(harness.epochs_seen(), 1u);
   EXPECT_GT(fires, 0) << "no fault ever fired";
 
-  // The daemon survived: a fresh connection still answers.
+  // The daemon survived: a fresh connection still answers, and the
+  // always-on flight recorder replays coherent history through a `dump`.
   {
     const int fd = harness.Connect();
     Client client(fd, fd, /*seed=*/9999);
     Response response;
     ASSERT_TRUE(client.Call("ping", &response));
     EXPECT_TRUE(response.ok);
+    ASSERT_TRUE(client.Call("dump", &response));
+    VerifyDumpCoherence(response);
     ::close(fd);
   }
 

@@ -15,13 +15,16 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "enumerate/engine.h"
 #include "fo/parser.h"
+#include "obs/flight.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/admission.h"
 #include "serve/client.h"
 #include "serve/daemon.h"
@@ -36,6 +39,14 @@ namespace {
 
 int64_t CounterValue(const char* name) {
   return obs::MetricsRegistry::Global().GetCounter(name)->value();
+}
+
+// Every final response frame ends with the request id the daemon adopted
+// or minted (` rid=N`). Tests that assert on the rest of the head
+// verbatim strip it; rid-specific tests read Response::rid instead.
+std::string StripRid(const std::string& head) {
+  const size_t pos = head.rfind(" rid=");
+  return pos == std::string::npos ? head : head.substr(0, pos);
 }
 
 std::vector<Tuple> AllAnswers(const EnumerationEngine& engine,
@@ -181,13 +192,30 @@ TEST(WireTest, ParseRequestForms) {
   ASSERT_EQ(1u, r.edits.size());
   EXPECT_FALSE(r.edits[0].color_on);
   EXPECT_FALSE(r.wait_sync);
+  // rid= is accepted on any request; absent means "mint one".
+  ASSERT_TRUE(ParseRequest("ping rid=77", &r, &error));
+  EXPECT_EQ(uint64_t{77}, r.rid);
+  ASSERT_TRUE(ParseRequest("test 1,2 rid=9000000000", &r, &error));
+  EXPECT_EQ(uint64_t{9000000000}, r.rid);
+  ASSERT_TRUE(ParseRequest("ping", &r, &error));
+  EXPECT_EQ(uint64_t{0}, r.rid);
+  ASSERT_TRUE(ParseRequest("dump", &r, &error));
+  EXPECT_EQ(RequestOp::kDump, r.op);
+  ASSERT_TRUE(ParseRequest("metrics format=prom", &r, &error));
+  EXPECT_EQ(RequestOp::kMetrics, r.op);
+  EXPECT_TRUE(r.prom_format);
+  ASSERT_TRUE(ParseRequest("metrics format=json", &r, &error));
+  EXPECT_FALSE(r.prom_format);
+  ASSERT_TRUE(ParseRequest("metrics", &r, &error));
+  EXPECT_FALSE(r.prom_format);
   for (const char* bad :
        {"", "frobnicate", "test", "test 1,2,", "test 1,2 limit=3",
         "enumerate limit=x", "enumerate from=1,2 bogus=3", "reload",
         "reload budget_ms=5", "next -1", "update", "update add:1",
         "update add:1,2;", "update frob:1,2", "update color:1,2",
         "update color:1,0,2", "update add:1,2 wait=2",
-        "test 1,2 wait=1"}) {
+        "test 1,2 wait=1", "ping rid=0", "ping rid=-3", "ping rid=x",
+        "metrics format=xml", "test 1,2 format=prom"}) {
     EXPECT_FALSE(ParseRequest(bad, &r, &error)) << bad;
     EXPECT_FALSE(error.empty()) << bad;
   }
@@ -362,7 +390,8 @@ TEST_F(DaemonTest, ProbesMatchDirectEngine) {
 
   ASSERT_TRUE(client.Call("ping", &response));
   EXPECT_TRUE(response.ok);
-  EXPECT_EQ("ok ping", response.head);
+  EXPECT_EQ("ok ping", StripRid(response.head));
+  EXPECT_GT(response.rid, 0) << "a minted rid must ride the final frame";
 
   Rng rng(99);
   const int64_t n = engine->universe();
@@ -373,7 +402,7 @@ TEST_F(DaemonTest, ProbesMatchDirectEngine) {
     ASSERT_TRUE(response.ok) << response.head;
     EXPECT_EQ(std::string("ok test ") + (engine->Test(t) ? "1" : "0") +
                   " epoch=1",
-              response.head);
+              StripRid(response.head));
     ASSERT_TRUE(client.Call("next " + FormatTuple(t), &response));
     ASSERT_TRUE(response.ok) << response.head;
     const std::optional<Tuple> next = engine->Next(t);
@@ -381,7 +410,7 @@ TEST_F(DaemonTest, ProbesMatchDirectEngine) {
                   (next.has_value() ? FormatTuple(*next)
                                     : std::string("none")) +
                   " epoch=1",
-              response.head);
+              StripRid(response.head));
   }
   ::close(fd);
 }
@@ -444,6 +473,11 @@ TEST_F(DaemonTest, TypedErrorsForBadProbes) {
   ASSERT_TRUE(client.Call("test 1", &response));  // arity 1 vs 2
   EXPECT_FALSE(response.ok);
   EXPECT_EQ(ErrorCode::kBadRequest, response.code);
+  EXPECT_GT(response.rid, 0) << "typed errors must carry the request id";
+  ASSERT_TRUE(client.Call("test 1 rid=606", &response));
+  EXPECT_FALSE(response.ok);
+  EXPECT_EQ(606, response.rid)
+      << "a client-supplied rid must ride even an error response";
   ASSERT_TRUE(client.Call("test 99999,0", &response));
   EXPECT_FALSE(response.ok);
   EXPECT_EQ(ErrorCode::kOutOfRange, response.code);
@@ -685,7 +719,7 @@ TEST_F(DaemonTest, BudgetedReloadPublishesDegradedEngine) {
     ASSERT_TRUE(response.ok);
     EXPECT_EQ(std::string("ok test ") + (degraded.Test(t) ? "1" : "0") +
                   " epoch=2",
-              response.head);
+              StripRid(response.head));
   }
   ::close(fd);
 }
@@ -799,10 +833,145 @@ TEST_F(DaemonTest, MetricsRequestDumpsRegistryJson) {
   ASSERT_TRUE(client.Call("test 0,1", &response));
   ASSERT_TRUE(client.Call("metrics", &response));
   EXPECT_TRUE(response.ok);
-  EXPECT_EQ("ok metrics", response.head);
+  EXPECT_EQ("ok metrics", StripRid(response.head));
   EXPECT_NE(std::string::npos, response.body.find("nwd-metrics/1"));
   EXPECT_NE(std::string::npos, response.body.find("serve.requests"));
   EXPECT_NE(std::string::npos, response.body.find("serve.epoch"));
+  ::close(fd);
+}
+
+TEST_F(DaemonTest, MetricsPromFormatRendersExposition) {
+  Start();
+  const int fd = Connect();
+  Client client(fd, fd, /*seed=*/40);
+  Response response;
+  ASSERT_TRUE(client.Call("test 0,1", &response));
+  ASSERT_TRUE(client.Call("metrics format=prom", &response));
+  EXPECT_TRUE(response.ok);
+  EXPECT_EQ("ok metrics", StripRid(response.head));
+  // Prometheus text exposition, not the JSON schema: TYPE lines, _total
+  // counters, cumulative buckets with an +Inf bound, derived quantiles.
+  EXPECT_EQ(std::string::npos, response.body.find("nwd-metrics/1"));
+  EXPECT_NE(std::string::npos,
+            response.body.find("# TYPE nwd_serve_requests_total counter"));
+  EXPECT_NE(std::string::npos,
+            response.body.find("# TYPE nwd_serve_request_ns histogram"));
+  EXPECT_NE(std::string::npos,
+            response.body.find("nwd_serve_request_ns_bucket{le=\"+Inf\"}"));
+  EXPECT_NE(std::string::npos, response.body.find("nwd_serve_request_ns_p99"));
+  ::close(fd);
+}
+
+TEST_F(DaemonTest, StatsReportHistogramQuantiles) {
+  Start();
+  // Latency histograms record only while the metrics plane is on (the
+  // clock reads are the gated cost); quantiles need real samples.
+  obs::SetMetricsEnabled(true);
+  const int fd = Connect();
+  Client client(fd, fd, /*seed=*/41);
+  Response response;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(client.Call("test 0,1", &response));
+  }
+  obs::SetMetricsEnabled(false);
+  ASSERT_TRUE(client.Call("stats", &response));
+  ASSERT_TRUE(response.ok) << response.head;
+  // serve.request_ns has samples by now, so its p50/p99 must be real.
+  const int64_t p50 =
+      std::stoll(FindToken(response.head, "request_ns_p50").value_or("-1"));
+  const int64_t p99 =
+      std::stoll(FindToken(response.head, "request_ns_p99").value_or("-1"));
+  EXPECT_GT(p50, 0);
+  EXPECT_GE(p99, p50);
+  // The drain histogram is present even before any swap (possibly 0).
+  EXPECT_TRUE(FindToken(response.head, "swap_drain_ns_p50").has_value());
+  EXPECT_TRUE(FindToken(response.head, "swap_drain_ns_p99").has_value());
+  ::close(fd);
+}
+
+TEST_F(DaemonTest, DumpVerbReturnsFlightHistory) {
+  Start();
+  const int fd = Connect();
+  Client client(fd, fd, /*seed=*/42);
+  Response response;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(client.Call("test 0,1", &response));
+  }
+  ASSERT_TRUE(client.Call("dump", &response));
+  ASSERT_TRUE(response.ok) << response.head;
+  EXPECT_GT(std::stoll(FindToken(response.head, "events").value_or("-1")), 0);
+  EXPECT_GT(std::stoll(FindToken(response.head, "rings").value_or("-1")), 0);
+  EXPECT_EQ("0", FindToken(response.head, "torn").value_or(""));
+  EXPECT_NE(std::string::npos, response.body.find("flightdump"));
+  EXPECT_NE(std::string::npos, response.body.find("kind=request_start"));
+  EXPECT_NE(std::string::npos, response.body.find("kind=request_end"));
+  ::close(fd);
+}
+
+// The acceptance case for request-scoped tracing: one client-supplied id
+// correlates the wire frame, the trace span, and the flight events of a
+// single request.
+TEST_F(DaemonTest, RidCorrelatesWireTraceAndFlightEvents) {
+  Start();
+  const int fd = Connect();
+  Client client(fd, fd, /*seed=*/43);
+  Response response;
+  constexpr uint64_t kRid = 424242;
+  obs::SetTraceEnabled(true);
+  ASSERT_TRUE(client.Call("test 0,1 rid=" + std::to_string(kRid),
+                          &response));
+  obs::SetTraceEnabled(false);
+  ASSERT_TRUE(response.ok) << response.head;
+
+  // Wire: the daemon adopted the client's id on the final frame.
+  EXPECT_EQ(static_cast<int64_t>(kRid), response.rid);
+  EXPECT_NE(std::string::npos,
+            response.head.find(" rid=" + std::to_string(kRid)));
+
+  // Trace: the request's spans carry the same id in their args.
+  std::ostringstream trace;
+  obs::Tracer::Global().WriteJson(trace);
+  EXPECT_NE(std::string::npos,
+            trace.str().find("\"rid\":" + std::to_string(kRid)));
+
+  // Flight: the recorder's request start/end events carry it too.
+  ASSERT_TRUE(client.Call("dump", &response));
+  ASSERT_TRUE(response.ok) << response.head;
+  EXPECT_NE(std::string::npos,
+            response.body.find("rid=" + std::to_string(kRid)));
+  ::close(fd);
+}
+
+TEST_F(DaemonTest, SlowRequestCaptureFiresWithWireRid) {
+  DaemonOptions options;
+  options.slow_request_ms = 1;  // any reload of a real graph exceeds this
+  Start(options);
+  const int fd = Connect();
+  Client client(fd, fd, /*seed=*/44);
+  Response response;
+  constexpr uint64_t kRid = 515151;
+  const int64_t captures_before =
+      obs::FlightRecorder::Global().slow_captures();
+  ASSERT_TRUE(client.Call("reload gen:tree:20000:3 rid=" +
+                              std::to_string(kRid),
+                          &response));
+  ASSERT_TRUE(response.ok) << response.head;
+  EXPECT_EQ(static_cast<int64_t>(kRid), response.rid);
+  // The capture runs on the worker thread after the reply frame is
+  // already on the wire; give it a moment to land.
+  for (int i = 0;
+       i < 2000 &&
+       obs::FlightRecorder::Global().slow_captures() <= captures_before;
+       ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GT(obs::FlightRecorder::Global().slow_captures(), captures_before);
+  const std::optional<obs::FlightRecorder::SlowCapture> capture =
+      obs::FlightRecorder::Global().LastSlowCapture();
+  ASSERT_TRUE(capture.has_value());
+  EXPECT_EQ(kRid, capture->rid) << "the eager capture must attribute the "
+                                   "slow request by its wire rid";
+  EXPECT_GE(capture->latency_ns, 1'000'000);
   ::close(fd);
 }
 
@@ -813,7 +982,7 @@ TEST_F(DaemonTest, ShutdownRequestStopsTheDaemon) {
   Response response;
   ASSERT_TRUE(client.Call("shutdown", &response));
   EXPECT_TRUE(response.ok);
-  EXPECT_EQ("ok shutdown", response.head);
+  EXPECT_EQ("ok shutdown", StripRid(response.head));
   daemon_->WaitUntilStopped();
   EXPECT_TRUE(daemon_->stopping());
   std::string payload;
@@ -878,7 +1047,7 @@ TEST_F(DaemonTest, UpdatePatchesLiveSnapshotWithoutEpochSwap) {
   EXPECT_EQ(AllAnswers(patched, LexMin(patched.arity())), response.answers);
   ASSERT_TRUE(client.Call("test 0,9", &response));
   ASSERT_TRUE(response.ok);
-  EXPECT_EQ("ok test 1 epoch=1", response.head);
+  EXPECT_EQ("ok test 1 epoch=1", StripRid(response.head));
 
   // Replaying the same edits is a no-op batch.
   ASSERT_TRUE(client.Call("update add:0,9;color:5,0,1", &response));
@@ -997,6 +1166,10 @@ TEST_F(DaemonTest, UpdateAccountingClosesIdentity) {
   ASSERT_TRUE(client.Call("update nonsense", &response));
   EXPECT_FALSE(response.ok);
   ASSERT_TRUE(client.Call("test 0,3", &response));
+  EXPECT_TRUE(response.ok);
+  // The dump verb must land in the same accounting buckets as any other
+  // request — forensics reads may not unbalance the identity.
+  ASSERT_TRUE(client.Call("dump", &response));
   EXPECT_TRUE(response.ok);
   ::close(fd);
 

@@ -1,0 +1,127 @@
+# Prometheus exposition conformance over a live daemon, run as a CTest
+# script:
+#   cmake -DNWD_STAT=<path-to-nwd-stat> -DNWDD=<path-to-nwdd>
+#         -DWORK_DIR=<scratch dir> -P validate_prom.cmake
+#
+# nwd-stat spawns the daemon on a stdio pipe pair, scrapes
+# `metrics format=prom`, and validates what a strict scraper would see:
+# a # TYPE for every sample family, cumulative histogram buckets that are
+# monotone and end in le="+Inf" == _count. This script layers the raw
+# text checks on top (# HELP presence, naming convention) and exercises
+# the --diff rate-table path on two real scrapes.
+
+if(NOT DEFINED NWD_STAT OR NOT DEFINED NWDD OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR
+    "usage: cmake -DNWD_STAT=... -DNWDD=... -DWORK_DIR=... -P validate_prom.cmake")
+endif()
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+set(DAEMON_ARGS gen:tree:300:5 "(x, y) := E(x, y)")
+
+# --- Conformance: the checker itself must pass against live nwdd ---------
+
+execute_process(
+  COMMAND ${NWD_STAT} --spawn ${NWDD} ${DAEMON_ARGS} --check
+  RESULT_VARIABLE exit_code
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err
+  TIMEOUT 60)
+if(NOT exit_code STREQUAL "0")
+  message(SEND_ERROR
+    "check: exposition nonconformant (exit '${exit_code}')\nstderr: ${err}")
+endif()
+if(NOT err MATCHES "0 conformance violation")
+  message(SEND_ERROR "check: expected a clean violation count\nstderr: ${err}")
+endif()
+
+# --- Raw scrape: text-level conventions ----------------------------------
+
+set(SCRAPE_A "${WORK_DIR}/scrape_a.prom")
+execute_process(
+  COMMAND ${NWD_STAT} --spawn ${NWDD} ${DAEMON_ARGS} --raw
+  RESULT_VARIABLE exit_code
+  OUTPUT_FILE "${SCRAPE_A}"
+  ERROR_VARIABLE err
+  TIMEOUT 60)
+if(NOT exit_code STREQUAL "0")
+  message(SEND_ERROR "raw: scrape failed (exit '${exit_code}')\nstderr: ${err}")
+endif()
+file(READ "${SCRAPE_A}" scrape)
+
+# Every exposition the daemon serves must document and type its families.
+# string(FIND) rather than MATCHES: the needles contain regex
+# metacharacters ({, +) that must match literally.
+foreach(needle
+    "# HELP nwd_serve_requests_total"
+    "# TYPE nwd_serve_requests_total counter"
+    "# TYPE nwd_serve_epoch gauge"
+    "# TYPE nwd_serve_request_ns histogram"
+    "nwd_serve_request_ns_bucket{le=\"+Inf\"}"
+    "nwd_serve_request_ns_sum"
+    "nwd_serve_request_ns_count")
+  string(FIND "${scrape}" "${needle}" needle_pos)
+  if(needle_pos EQUAL -1)
+    message(SEND_ERROR "raw: scrape missing '${needle}'")
+  endif()
+endforeach()
+
+# The nwd_ prefix is the fleet namespace: every non-comment line uses it.
+string(REGEX REPLACE "\n$" "" scrape_trimmed "${scrape}")
+string(REPLACE "\n" ";" scrape_lines "${scrape_trimmed}")
+foreach(line IN LISTS scrape_lines)
+  if(NOT line STREQUAL "" AND NOT line MATCHES "^#" AND
+     NOT line MATCHES "^nwd_")
+    message(SEND_ERROR "raw: sample outside the nwd_ namespace: '${line}'")
+  endif()
+endforeach()
+
+# --- Rate table over two scrapes -----------------------------------------
+
+set(SCRAPE_B "${WORK_DIR}/scrape_b.prom")
+execute_process(
+  COMMAND ${NWD_STAT} --spawn ${NWDD} ${DAEMON_ARGS} --raw
+  RESULT_VARIABLE exit_code
+  OUTPUT_FILE "${SCRAPE_B}"
+  ERROR_VARIABLE err
+  TIMEOUT 60)
+if(NOT exit_code STREQUAL "0")
+  message(SEND_ERROR "raw_b: scrape failed (exit '${exit_code}')\nstderr: ${err}")
+endif()
+
+execute_process(
+  COMMAND ${NWD_STAT} --diff "${SCRAPE_A}" "${SCRAPE_B}" --interval-s 1
+  RESULT_VARIABLE exit_code
+  OUTPUT_VARIABLE diff_out
+  ERROR_VARIABLE err
+  TIMEOUT 60)
+if(NOT exit_code STREQUAL "0")
+  message(SEND_ERROR "diff: failed (exit '${exit_code}')\nstderr: ${err}")
+endif()
+if(NOT diff_out MATCHES "metric" OR NOT diff_out MATCHES "rate/s")
+  message(SEND_ERROR "diff: rate table header missing:\n${diff_out}")
+endif()
+
+# --- The checker has teeth -----------------------------------------------
+# A deliberately broken exposition (non-monotone cumulative buckets, no
+# +Inf == _count) must be parseable by --diff but the live --check path
+# must fail on a daemon that cannot speak frames at all.
+
+execute_process(
+  COMMAND ${NWD_STAT} --spawn ${NWDD} gen:nope:1:1 "(x, y) := E(x, y)" --check
+  RESULT_VARIABLE exit_code
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err
+  TIMEOUT 60)
+if(exit_code STREQUAL "0")
+  message(SEND_ERROR "check_dead: expected failure against a dead daemon")
+endif()
+
+execute_process(
+  COMMAND ${NWD_STAT}
+  RESULT_VARIABLE exit_code
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err
+  TIMEOUT 60)
+if(NOT exit_code STREQUAL "2")
+  message(SEND_ERROR "usage: expected exit 2, got '${exit_code}'")
+endif()

@@ -1,0 +1,369 @@
+// nwd-stat — fleet-scrape poller over nwdd's Prometheus exposition.
+//
+// Usage:
+//   nwd-stat --diff A.prom B.prom [--interval-s S]
+//   nwd-stat --spawn <nwdd> <nwdd args...> [--raw | --check |
+//                                           --interval-ms N]
+//
+// Modes:
+//   --diff    Reads two Prometheus text scrapes from files and prints a
+//             human rate table: one row per counter/histogram _count that
+//             moved, with the delta and (given --interval-s) the rate.
+//   --spawn   Forks the given nwdd command on a stdio pipe pair, sends it
+//             `metrics format=prom`, and then:
+//               --raw          prints one scrape verbatim and exits.
+//               --check        validates exposition conformance (every
+//                              sample preceded by # HELP and # TYPE for
+//                              its family, histogram cumulative buckets
+//                              monotone, le="+Inf" == _count) and exits
+//                              0 iff conformant — the CI guard's teeth
+//                              (tests/validate_prom.cmake).
+//               (default)      scrapes twice --interval-ms apart (default
+//                              1000) and prints the rate table.
+//
+// The parser here is deliberately a consumer-grade Prometheus text
+// reader, not a reimplementation of our own writer: it only assumes the
+// text exposition format, so it double-checks what a real scraper would
+// see, not what obs/prom.cc intended to say.
+//
+// Exit codes: 0 ok/conformant, 1 nonconformant or scrape failure, 2 usage.
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <chrono>
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/client.h"
+#include "serve/wire.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: nwd-stat --diff A.prom B.prom [--interval-s S]\n"
+      "       nwd-stat --spawn <nwdd> <args...> [--raw | --check |"
+      " --interval-ms N]\n");
+  return 2;
+}
+
+// One parsed exposition: sample name (with labels stripped into `le` for
+// buckets) -> value, plus the HELP/TYPE metadata seen per family.
+struct Exposition {
+  std::map<std::string, double> samples;  // full sample key -> value
+  std::map<std::string, std::string> types;  // family -> TYPE
+  std::set<std::string> helped;              // families with # HELP
+  // Histogram buckets per family, in file order: (le text, value).
+  std::map<std::string, std::vector<std::pair<std::string, double>>> buckets;
+};
+
+// The family a sample belongs to for TYPE lookup: strip the
+// _bucket/_sum/_count suffix (Prometheus histogram convention).
+std::string FamilyOf(const std::string& name) {
+  for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+    const size_t len = std::strlen(suffix);
+    if (name.size() > len &&
+        name.compare(name.size() - len, len, suffix) == 0) {
+      const std::string family = name.substr(0, name.size() - len);
+      return family;
+    }
+  }
+  return name;
+}
+
+bool ParseExposition(std::istream& in, Exposition* out, std::string* error) {
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      std::istringstream meta(line);
+      std::string hash, kind, family, rest;
+      meta >> hash >> kind >> family;
+      if (kind == "HELP") out->helped.insert(family);
+      if (kind == "TYPE") {
+        std::string type;
+        meta >> type;
+        out->types[family] = type;
+      }
+      continue;
+    }
+    // Sample: name[{labels}] value
+    const size_t brace = line.find('{');
+    const size_t space = line.find(' ', brace == std::string::npos
+                                             ? 0
+                                             : line.find('}', brace));
+    if (space == std::string::npos) {
+      *error = "line " + std::to_string(lineno) + ": no value: " + line;
+      return false;
+    }
+    const std::string key = line.substr(0, space);
+    const std::string name =
+        brace == std::string::npos ? key : line.substr(0, brace);
+    char* end = nullptr;
+    const double value = std::strtod(line.c_str() + space + 1, &end);
+    if (end == line.c_str() + space + 1) {
+      *error = "line " + std::to_string(lineno) + ": bad value: " + line;
+      return false;
+    }
+    out->samples[key] = value;
+    if (brace != std::string::npos &&
+        name.size() > 7 &&
+        name.compare(name.size() - 7, 7, "_bucket") == 0) {
+      const size_t le = line.find("le=\"", brace);
+      const size_t close = le == std::string::npos
+                               ? std::string::npos
+                               : line.find('"', le + 4);
+      if (le == std::string::npos || close == std::string::npos) {
+        *error = "line " + std::to_string(lineno) + ": bucket without le=";
+        return false;
+      }
+      out->buckets[FamilyOf(name)].push_back(
+          {line.substr(le + 4, close - le - 4), value});
+    }
+  }
+  return true;
+}
+
+// Conformance: what a strict scraper would reject. Returns the number of
+// violations, printing each.
+int CheckConformance(const Exposition& e) {
+  int violations = 0;
+  auto violate = [&violations](const std::string& what) {
+    std::fprintf(stderr, "nonconformant: %s\n", what.c_str());
+    ++violations;
+  };
+  std::set<std::string> families;
+  for (const auto& [key, value] : e.samples) {
+    (void)value;
+    const size_t brace = key.find('{');
+    std::string family =
+        FamilyOf(brace == std::string::npos ? key : key.substr(0, brace));
+    // Counters are exposed as <family>_total with TYPE on the full name.
+    if (e.types.count(family) == 0 &&
+        e.types.count(family + "_total") != 0) {
+      family += "_total";
+    }
+    families.insert(family);
+  }
+  for (const std::string& family : families) {
+    if (e.types.count(family) == 0) {
+      violate("family '" + family + "' has samples but no # TYPE");
+    }
+    if (e.helped.count(family) == 0) {
+      violate("family '" + family + "' has samples but no # HELP");
+    }
+  }
+  for (const auto& [family, buckets] : e.buckets) {
+    double prev = -1.0;
+    bool saw_inf = false;
+    for (const auto& [le, value] : buckets) {
+      if (value + 1e-9 < prev) {
+        violate("histogram '" + family + "' bucket le=\"" + le +
+                "\" not cumulative (" + std::to_string(value) + " < " +
+                std::to_string(prev) + ")");
+      }
+      prev = value;
+      if (le == "+Inf") {
+        saw_inf = true;
+        const auto count = e.samples.find(family + "_count");
+        if (count == e.samples.end()) {
+          violate("histogram '" + family + "' has no _count");
+        } else if (count->second != value) {
+          violate("histogram '" + family + "' le=\"+Inf\" != _count");
+        }
+      }
+    }
+    if (!saw_inf) violate("histogram '" + family + "' missing le=\"+Inf\"");
+  }
+  return violations;
+}
+
+// Rate table between two scrapes. Counters (and histogram _count/_sum)
+// that moved, with per-second rates when the interval is known.
+void PrintRateTable(const Exposition& a, const Exposition& b,
+                    double interval_s) {
+  std::printf("%-52s %14s %12s\n", "metric", "delta", "rate/s");
+  for (const auto& [key, before] : a.samples) {
+    const auto after = b.samples.find(key);
+    if (after == b.samples.end()) continue;
+    // Only monotone families are rates; gauges would just be noise here.
+    const size_t brace = key.find('{');
+    const std::string name =
+        brace == std::string::npos ? key : key.substr(0, brace);
+    std::string family = FamilyOf(name);
+    auto type = b.types.find(family);
+    if (type == b.types.end()) type = b.types.find(name);
+    if (type == b.types.end() ||
+        (type->second != "counter" && type->second != "histogram")) {
+      continue;
+    }
+    const double delta = after->second - before;
+    if (delta == 0.0) continue;
+    if (interval_s > 0) {
+      std::printf("%-52s %14.0f %12.2f\n", key.c_str(), delta,
+                  delta / interval_s);
+    } else {
+      std::printf("%-52s %14.0f %12s\n", key.c_str(), delta, "-");
+    }
+  }
+}
+
+// One `metrics format=prom` scrape over an already-open frame lane.
+bool Scrape(nwd::serve::Client* client, std::string* body) {
+  nwd::serve::Response response;
+  if (!client->Call("metrics format=prom", &response) || !response.ok) {
+    std::fprintf(stderr, "error: metrics scrape failed (%s)\n",
+                 response.transport_error ? "transport" : "error frame");
+    return false;
+  }
+  *body = response.body;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::signal(SIGPIPE, SIG_IGN);  // a dead daemon is a failed scrape
+  if (argc < 2) return Usage();
+  const std::string mode = argv[1];
+
+  if (mode == "--diff") {
+    if (argc < 4) return Usage();
+    double interval_s = 0.0;
+    if (argc >= 6 && std::string(argv[4]) == "--interval-s") {
+      interval_s = std::atof(argv[5]);
+    }
+    Exposition a, b;
+    std::string error;
+    std::ifstream fa(argv[2]), fb(argv[3]);
+    if (!fa.is_open() || !fb.is_open()) {
+      std::fprintf(stderr, "error: cannot open scrape files\n");
+      return 1;
+    }
+    if (!ParseExposition(fa, &a, &error) ||
+        !ParseExposition(fb, &b, &error)) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 1;
+    }
+    PrintRateTable(a, b, interval_s);
+    return 0;
+  }
+
+  if (mode == "--spawn") {
+    // Split: everything up to the first trailing nwd-stat flag is the
+    // child command line.
+    int cmd_end = argc;
+    bool raw = false, check = false;
+    int64_t interval_ms = 1000;
+    for (int i = 2; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--raw" || arg == "--check" || arg == "--interval-ms") {
+        cmd_end = i;
+        break;
+      }
+    }
+    for (int i = cmd_end; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--raw") {
+        raw = true;
+      } else if (arg == "--check") {
+        check = true;
+      } else if (arg == "--interval-ms" && i + 1 < argc) {
+        interval_ms = std::atoll(argv[++i]);
+      } else {
+        return Usage();
+      }
+    }
+    if (cmd_end <= 2) return Usage();
+
+    int to_child[2], from_child[2];
+    if (pipe(to_child) != 0 || pipe(from_child) != 0) {
+      std::perror("pipe");
+      return 1;
+    }
+    const pid_t pid = fork();
+    if (pid < 0) {
+      std::perror("fork");
+      return 1;
+    }
+    if (pid == 0) {
+      dup2(to_child[0], 0);
+      dup2(from_child[1], 1);
+      close(to_child[0]);
+      close(to_child[1]);
+      close(from_child[0]);
+      close(from_child[1]);
+      std::vector<char*> child_argv;
+      for (int i = 2; i < cmd_end; ++i) child_argv.push_back(argv[i]);
+      child_argv.push_back(nullptr);
+      execvp(child_argv[0], child_argv.data());
+      std::perror("execvp");
+      _exit(127);
+    }
+    close(to_child[0]);
+    close(from_child[1]);
+    nwd::serve::Client client(from_child[0], to_child[1], /*seed=*/1);
+
+    int exit_code = 1;
+    std::string first;
+    if (Scrape(&client, &first)) {
+      if (raw) {
+        std::fputs(first.c_str(), stdout);
+        exit_code = 0;
+      } else if (check) {
+        Exposition e;
+        std::string error;
+        std::istringstream in(first);
+        if (!ParseExposition(in, &e, &error)) {
+          std::fprintf(stderr, "error: %s\n", error.c_str());
+        } else {
+          const int violations = CheckConformance(e);
+          std::fprintf(stderr, "nwd-stat: %d conformance violation(s)\n",
+                       violations);
+          exit_code = violations == 0 ? 0 : 1;
+        }
+      } else {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(interval_ms));
+        std::string second;
+        if (Scrape(&client, &second)) {
+          Exposition a, b;
+          std::string error;
+          std::istringstream ia(first), ib(second);
+          if (ParseExposition(ia, &a, &error) &&
+              ParseExposition(ib, &b, &error)) {
+            PrintRateTable(a, b, static_cast<double>(interval_ms) / 1e3);
+            exit_code = 0;
+          } else {
+            std::fprintf(stderr, "error: %s\n", error.c_str());
+          }
+        }
+      }
+    }
+    // Clean child teardown: ask for shutdown, then close the lane.
+    nwd::serve::Response response;
+    client.Call("shutdown", &response);
+    close(to_child[1]);
+    close(from_child[0]);
+    int status = 0;
+    waitpid(pid, &status, 0);
+    return exit_code;
+  }
+
+  return Usage();
+}

@@ -5,7 +5,7 @@
 //        [--max-inflight N] [--retry-after-ms N] [--deadline-ms N]
 //        [--budget-ms N] [--max-edge-work N] [--threads N]
 //        [--write-timeout-ms N] [--tcp PORT] [--no-reload] [--no-shutdown]
-//        [--metrics-json FILE]
+//        [--metrics-json FILE] [--slow-request-ms N] [--no-dump-on-death]
 //
 // <graph-source> is a plain path, `file:<path>`, or the deterministic
 // `gen:<class>:<n>:<seed>` spec (class: tree|bdeg|grid|caterpillar).
@@ -20,8 +20,15 @@
 // atomically without blocking in-flight probes; per-request deadlines
 // degrade to typed DEADLINE_EXCEEDED errors; past --max-inflight the
 // daemon rejects with RETRY_AFTER instead of queueing; every outcome is
-// a serve.* metric, dumped by the `metrics` request and (at exit) into
-// --metrics-json.
+// a serve.* metric, dumped by the `metrics` request (JSON, or Prometheus
+// text with `metrics format=prom`) and (at exit) into --metrics-json.
+//
+// Forensics: the always-on flight recorder (obs/flight.h) keeps the
+// recent event history per thread. The `dump` request returns it over
+// the wire; a fatal signal (SIGSEGV/SIGABRT/SIGBUS) dumps the tail to
+// stderr before dying; requests slower than --slow-request-ms are
+// captured eagerly; a simulated worker death dumps to stderr unless
+// --no-dump-on-death.
 //
 // Exit codes: 0 clean shutdown, 1 bad data (graph/query), 2 usage.
 
@@ -37,10 +44,27 @@
 #include "fo/analysis.h"
 #include "fo/parser.h"
 #include "fo/printer.h"
+#include "obs/flight.h"
 #include "obs/metrics.h"
 #include "serve/daemon.h"
 
 namespace {
+
+// Fatal-signal forensics: dump the flight recorder's recent tail to
+// stderr, then re-raise with the default disposition so the exit status
+// still reports the signal. DumpToFd takes no lock and allocates nothing,
+// which is what makes it callable from here.
+void FatalSignalHandler(int sig) {
+  nwd::obs::FlightRecorder::Global().DumpToFd(2, /*max_events_per_ring=*/64);
+  std::signal(sig, SIG_DFL);
+  std::raise(sig);
+}
+
+void InstallFatalSignalDumps() {
+  std::signal(SIGSEGV, FatalSignalHandler);
+  std::signal(SIGABRT, FatalSignalHandler);
+  std::signal(SIGBUS, FatalSignalHandler);
+}
 
 bool ParseInt64Flag(const char* flag, const char* text, int64_t min_value,
                     int64_t* out) {
@@ -65,6 +89,7 @@ int Usage() {
       "            [--budget-ms N] [--max-edge-work N] [--threads N]\n"
       "            [--write-timeout-ms N] [--tcp PORT] [--no-reload]\n"
       "            [--no-shutdown] [--metrics-json FILE]\n"
+      "            [--slow-request-ms N] [--no-dump-on-death]\n"
       "graph-source: <path> | file:<path> | gen:<class>:<n>:<seed>\n");
   return 2;
 }
@@ -73,6 +98,7 @@ int Usage() {
 
 int main(int argc, char** argv) {
   std::signal(SIGPIPE, SIG_IGN);  // dying clients are EPIPE, not death
+  InstallFatalSignalDumps();
   if (argc < 3) return Usage();
   std::string source = argv[1];
   const std::string query_text = argv[2];
@@ -123,6 +149,13 @@ int main(int argc, char** argv) {
       options.allow_reload = false;
     } else if (arg == "--no-shutdown") {
       options.allow_shutdown = false;
+    } else if (arg == "--slow-request-ms" && i + 1 < argc) {
+      if (!ParseInt64Flag("--slow-request-ms", argv[++i], 0,
+                          &options.slow_request_ms)) {
+        return 2;
+      }
+    } else if (arg == "--no-dump-on-death") {
+      options.dump_on_death = false;
     } else if (arg == "--metrics-json" && i + 1 < argc) {
       metrics_json = argv[++i];
       nwd::obs::SetMetricsEnabled(true);
